@@ -1,0 +1,72 @@
+"""Ablation — pruning accuracy: do CI / MAB keep the true top-k×l maps?
+
+The paper's pruning schemes claim to retain the highest-DW-utility maps
+w.h.p.  We measure, over several rating groups, the overlap between each
+pruned variant's k×l pool and the exact (no-pruning) pool, and whether the
+exact top-1 map survives.
+"""
+
+import numpy as np
+
+from repro.bench import bench_database, format_table, report
+from repro.core.generator import GeneratorConfig, RMSetGenerator
+from repro.core.pruning import PruningStrategy
+from repro.core.utility import SeenMaps
+from repro.model import RatingGroup, SelectionCriteria
+
+_GROUPS = (
+    SelectionCriteria.root(),
+    SelectionCriteria.of(reviewer={"gender": "F"}),
+    SelectionCriteria.of(reviewer={"age_group": "young"}),
+    SelectionCriteria.of(item={"price_range": "$$"}),
+)
+_STRATEGIES = (
+    PruningStrategy.CONFIDENCE_INTERVAL,
+    PruningStrategy.MAB,
+    PruningStrategy.COMBINED,
+)
+
+
+def _accuracy() -> dict[PruningStrategy, tuple[float, float]]:
+    database = bench_database("yelp")
+    exact_gen = RMSetGenerator(GeneratorConfig(pruning=PruningStrategy.NONE))
+    out: dict[PruningStrategy, tuple[list[float], list[float]]] = {
+        s: ([], []) for s in _STRATEGIES
+    }
+    for criteria in _GROUPS:
+        group = RatingGroup(database, criteria)
+        exact = exact_gen.generate(group, SeenMaps(database.dimensions))
+        exact_specs = [rm.spec for rm in exact.pool]
+        if not exact_specs:
+            continue
+        for strategy in _STRATEGIES:
+            generator = RMSetGenerator(GeneratorConfig(pruning=strategy))
+            pruned = generator.generate(group, SeenMaps(database.dimensions))
+            pruned_specs = {rm.spec for rm in pruned.pool}
+            overlap = len(set(exact_specs) & pruned_specs) / len(exact_specs)
+            top1 = float(exact_specs[0] in pruned_specs)
+            out[strategy][0].append(overlap)
+            out[strategy][1].append(top1)
+    return {
+        s: (float(np.mean(ov)), float(np.mean(t1)))
+        for s, (ov, t1) in out.items()
+    }
+
+
+def test_ablation_pruning_accuracy(benchmark):
+    measured = benchmark.pedantic(_accuracy, rounds=1, iterations=1)
+    rows = [
+        [s.value, overlap, top1] for s, (overlap, top1) in measured.items()
+    ]
+    text = (
+        "== Ablation: pruning accuracy vs exact top-k×l (Yelp) ==\n"
+        + format_table(
+            ["strategy", "pool overlap", "top-1 survival"], rows, "{:.2f}"
+        )
+        + "\nthe paper's w.h.p. guarantee: pruned pools should largely "
+        "agree with the exact ranking, and the best map should survive."
+    )
+    report("ablation_pruning_accuracy", text)
+    for strategy, (overlap, top1) in measured.items():
+        assert overlap >= 0.5, f"{strategy}: pool overlap {overlap:.2f}"
+        assert top1 >= 0.75, f"{strategy}: top-1 survival {top1:.2f}"

@@ -1,0 +1,104 @@
+"""Ablation — the sharing optimization (paper §4.2.1, "Combining Multiple
+Aggregates").
+
+Rating maps that group by the same attribute share one scan in SubDEx: the
+grouping codes are fetched once per attribute and every rating dimension's
+histogram accumulates against them.  The unshared alternative re-slices the
+codes and re-accumulates per (attribute, dimension) pair.  This bench
+measures exactly that primitive (the phased framework's inner loop) on the
+Yelp-like dataset — with 4 rating dimensions the shared plan touches each
+attribute's codes once instead of four times.
+"""
+
+import numpy as np
+
+from repro.bench import format_table, report, time_call
+from repro.datasets import yelp
+from repro.db.groupby import Grouping, SharedGroupByScan, group_histograms
+from repro.model import RatingGroup, SelectionCriteria
+
+
+def _shared_pass(database, group) -> int:
+    """One shared scan per grouping attribute, all dimensions at once."""
+    total = 0
+    rows = np.arange(len(group), dtype=np.int64)
+    for side, attribute in database.grouping_attributes():
+        codes = group.subgroup_codes(side, attribute)
+        labels = group.subgroup_labels(side, attribute)
+        scan = SharedGroupByScan(
+            Grouping(attribute, codes, labels),
+            {dim: group.scores(dim) for dim in database.dimensions},
+            database.scale,
+        )
+        scan.update(rows)
+        total += sum(
+            int(scan.accumulator(dim).counts.sum())
+            for dim in database.dimensions
+        )
+    return total
+
+
+def _unshared_pass(database, group) -> int:
+    """One independent GROUP BY per (attribute, dimension) pair.
+
+    This is SeeDB's un-shared plan: every view issues its own grouping
+    query, so the dictionary encoding and the record alignment are redone
+    per view rather than once per attribute.
+    """
+    from repro.db.groupby import build_grouping
+
+    total = 0
+    for side, attribute in database.grouping_attributes():
+        for dim in database.dimensions:
+            entity_grouping = build_grouping(
+                database.entity_table(side), attribute
+            )
+            codes = entity_grouping.codes[
+                database.entity_rows_for_ratings(side)
+            ][group.rows]
+            counts = group_histograms(
+                codes,
+                entity_grouping.n_groups,
+                group.scores(dim),
+                database.scale,
+            )
+            total += int(counts.sum())
+    return total
+
+
+def test_ablation_sharing(benchmark):
+    def run():
+        # scan-dominated regime: sharing saves per-attribute code slicing,
+        # which only matters once the group is large
+        database = yelp(seed=3, scale_factor=0.25)
+        group = RatingGroup(database, SelectionCriteria.root())
+        shared_total, shared_seconds = time_call(
+            lambda: _shared_pass(database, group), repeats=5
+        )
+        unshared_total, unshared_seconds = time_call(
+            lambda: _unshared_pass(database, group), repeats=5
+        )
+        assert shared_total == unshared_total  # identical histograms
+        return shared_seconds, unshared_seconds
+
+    shared_seconds, unshared_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    speedup = unshared_seconds / max(shared_seconds, 1e-9)
+    text = (
+        "== Ablation: sharing optimization (Combining Multiple Aggregates) ==\n"
+        + format_table(
+            ["plan", "seconds"],
+            [
+                ["shared scans (SubDEx)", shared_seconds],
+                ["one scan per (attribute, dimension)", unshared_seconds],
+            ],
+            "{:.4f}",
+        )
+        + f"\nspeedup from sharing: {speedup:.2f}× "
+        "(paper §4.2.1: maps with the same grouping attribute are combined "
+        "into a single multi-aggregate query)."
+    )
+    report("ablation_sharing", text)
+    # sharing must not lose; with 4 dimensions it should clearly win
+    assert shared_seconds <= unshared_seconds * 1.1

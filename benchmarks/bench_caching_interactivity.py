@@ -1,0 +1,62 @@
+"""Caching / interactivity bench (paper §2 related work: [18], [57]).
+
+An interactive session retraces its own steps (roll-up, drill back down);
+the caching layer should make revisits effectively free while returning
+identical results.  Reports cold vs warm step latency and the hit rate
+over a realistic retracing workload.
+"""
+
+from repro.bench import bench_database, bench_recommender_config, format_table, report, time_call
+from repro.core.caching import CachingEngine
+from repro.core.engine import SubDEx, SubDExConfig
+from repro.core.utility import SeenMaps
+from repro.model import SelectionCriteria
+
+
+def _workload(database) -> list[SelectionCriteria]:
+    """A retracing exploration: out and back through nested selections."""
+    young = SelectionCriteria.of(reviewer={"age_group": "young"})
+    young_f = SelectionCriteria.of(
+        reviewer={"age_group": "young", "gender": "F"}
+    )
+    root = SelectionCriteria.root()
+    return [root, young, young_f, young, root, young_f, young, root]
+
+
+def test_caching_interactivity(benchmark):
+    def run():
+        database = bench_database("yelp")
+        engine = SubDEx(
+            database, SubDExConfig(recommender=bench_recommender_config())
+        )
+        caching = CachingEngine(engine)
+        seen = SeenMaps(
+            database.dimensions,
+            n_attributes=len(database.grouping_attributes()),
+        )
+        latencies = []
+        for criteria in _workload(database):
+            __, seconds = time_call(
+                lambda c=criteria: caching.rating_maps(c, seen)
+            )
+            latencies.append(seconds)
+        return latencies, caching.result_stats
+
+    latencies, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    cold = latencies[:3]
+    warm = latencies[3:]
+    text = (
+        "== Caching: cold vs warm step latency (retracing workload) ==\n"
+        + format_table(
+            ["phase", "mean seconds"],
+            [
+                ["cold (first visits)", sum(cold) / len(cold)],
+                ["warm (revisits)", sum(warm) / len(warm)],
+            ],
+            "{:.5f}",
+        )
+        + f"\nresult cache: {stats.describe()}"
+    )
+    report("caching_interactivity", text)
+    assert stats.hits >= 4  # every revisit under the same seen-state hits
+    assert sum(warm) / len(warm) <= sum(cold) / len(cold)

@@ -1,0 +1,134 @@
+"""Figure 10 — running time as a function of data properties (paper §5.3).
+
+One exploration step's cost (rating maps + next-step recommendations) is
+measured while varying (a) database size by reviewer sampling, (b) the
+number of attributes, and (c) the number of attribute values.  The paper's
+claims: (a) size has little effect because the number of candidate maps and
+operations depends on attributes/values, not rows; (b) and (c) grow
+near-linearly.
+
+Recommendation scoring here runs the *full* phased pipeline
+(``preview_uses_full_pipeline=True``) so the timings exercise exactly what
+the paper timed.  Variants: full SubDEx and the Naive baseline.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.baselines import all_variants
+from repro.bench import (
+    Sweep,
+    bench_database,
+    report,
+    restrict_attribute_count,
+    restrict_value_count,
+    time_call,
+)
+from repro.core.engine import SubDEx
+from repro.model import SelectionCriteria
+
+_VARIANTS = ("SubDEx", "Naive")
+
+
+def _engine(database, variant: str) -> SubDEx:
+    config = all_variants()[variant]
+    config = replace(
+        config,
+        recommender=replace(
+            config.recommender,
+            max_values_per_attribute=4,
+            preview_uses_full_pipeline=True,
+        ),
+    )
+    return SubDEx(database, config)
+
+
+def _step_seconds(engine: SubDEx) -> float:
+    """One full exploration step: k maps + o recommendations."""
+    session = engine.session()
+    __, seconds = time_call(
+        lambda: session.step(with_recommendations=True), repeats=1
+    )
+    return seconds
+
+
+def test_fig10a_database_size(benchmark):
+    def run() -> Sweep:
+        base = bench_database("yelp")
+        sweep = Sweep("reviewer fraction")
+        for fraction in (0.2, 0.4, 0.6, 0.8, 1.0):
+            database = (
+                base if fraction == 1.0 else base.sample_reviewers(fraction, seed=1)
+            )
+            for variant in _VARIANTS:
+                sweep.record(
+                    variant, fraction, _step_seconds(_engine(database, variant))
+                )
+        return sweep
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "== Figure 10(a): step runtime (s) vs database size ==\n"
+        + sweep.format()
+        + "\npaper: all variants < 1 s on their server; size has little "
+        "effect (candidate maps / operations depend on attributes, not rows)."
+    )
+    report("fig10a_db_size", text)
+    for variant in _VARIANTS:
+        series = sweep.series(variant)
+        # little effect: 5× more data should cost well under 5× more time
+        assert series[-1] < 5 * max(series[0], 1e-3)
+
+
+def test_fig10b_number_of_attributes(benchmark):
+    def run() -> Sweep:
+        base = bench_database("yelp")
+        sweep = Sweep("# attributes")
+        for n_attrs in (6, 12, 18, 24):
+            database = restrict_attribute_count(base, n_attrs, seed=2)
+            for variant in _VARIANTS:
+                sweep.record(
+                    variant, n_attrs, _step_seconds(_engine(database, variant))
+                )
+        return sweep
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "== Figure 10(b): step runtime (s) vs # attributes ==\n"
+        + sweep.format()
+        + "\npaper: near-linear growth for all baselines."
+    )
+    report("fig10b_num_attributes", text)
+    for variant in _VARIANTS:
+        series = sweep.series(variant)
+        assert series[-1] > series[0]  # growing
+        # polynomial, not exploding: 4× attributes within ~20× time
+        # (attributes drive both candidate operations and maps per
+        # operation, so the joint growth is mildly super-linear)
+        assert series[-1] < 20 * max(series[0], 1e-3)
+
+
+def test_fig10c_number_of_values(benchmark):
+    def run() -> Sweep:
+        base = bench_database("yelp")
+        sweep = Sweep("# values/attribute")
+        for max_values in (3, 6, 9, 13):
+            database = restrict_value_count(base, max_values)
+            for variant in _VARIANTS:
+                sweep.record(
+                    variant, max_values, _step_seconds(_engine(database, variant))
+                )
+        return sweep
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "== Figure 10(c): step runtime (s) vs # attribute values ==\n"
+        + sweep.format()
+        + "\npaper: near-linear growth (values ≈ candidate operations)."
+    )
+    report("fig10c_num_values", text)
+    for variant in _VARIANTS:
+        series = sweep.series(variant)
+        assert series[-1] > 0.5 * series[0]  # monotone-ish growth

@@ -1,0 +1,126 @@
+"""Figure 11 — running time as a function of system parameters (paper §5.3).
+
+(a) the number of displayed rating maps k — flat, since the fixed
+    pruning-diversity factor means the same k × l pool is examined;
+(b) the number of recommendations o — flat with parallelism, linear for
+    the No-Parallelism / Naive variants;
+(c) the pruning-diversity factor l — a strong effect for the pruning
+    variants (larger l ⇒ fewer maps pruned).
+
+Recommendation scoring runs the full phased pipeline so the pruning
+configuration is actually exercised (as in the paper's timings).
+"""
+
+from dataclasses import replace
+
+from repro.baselines import all_variants
+from repro.bench import Sweep, bench_database, report, time_call
+from repro.core.engine import SubDEx, SubDExConfig
+
+
+def _engine(database, variant: str, **tweaks) -> SubDEx:
+    config = all_variants()[variant]
+    generator = replace(
+        config.generator, **tweaks.get("generator", {})
+    )
+    recommender = replace(
+        config.recommender,
+        max_values_per_attribute=4,
+        preview_uses_full_pipeline=True,
+        **tweaks.get("recommender", {}),
+    )
+    return SubDEx(database, SubDExConfig(generator=generator, recommender=recommender))
+
+
+def _step_seconds(engine: SubDEx, with_recommendations: bool = True) -> float:
+    session = engine.session()
+    __, seconds = time_call(
+        lambda: session.step(with_recommendations=with_recommendations)
+    )
+    return seconds
+
+
+def test_fig11a_number_of_rating_maps(benchmark):
+    def run() -> Sweep:
+        database = bench_database("yelp")
+        sweep = Sweep("k")
+        for k in (1, 2, 3, 4, 5):
+            for variant in ("SubDEx", "No-Pruning"):
+                engine = _engine(database, variant, generator={"k": k})
+                # maps-only step: Fig 11(a) isolates the RM-set generation
+                sweep.record(
+                    variant,
+                    k,
+                    _step_seconds(engine, with_recommendations=False),
+                )
+        return sweep
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "== Figure 11(a): step runtime (s) vs # rating maps k ==\n"
+        + sweep.format()
+        + "\npaper: almost no change — the pruning-diversity factor is "
+        "fixed, so the same overall number of maps is examined."
+    )
+    report("fig11a_num_maps", text)
+    for variant in ("SubDEx", "No-Pruning"):
+        series = sweep.series(variant)
+        assert max(series) < 4 * max(min(series), 1e-3)
+
+
+def test_fig11b_number_of_recommendations(benchmark):
+    def run() -> Sweep:
+        database = bench_database("yelp")
+        sweep = Sweep("o")
+        for o in (1, 3, 5):
+            for variant in ("SubDEx", "No Parallelism"):
+                engine = _engine(
+                    database, variant, recommender={"o": o}
+                )
+                sweep.record(variant, o, _step_seconds(engine))
+        return sweep
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "== Figure 11(b): step runtime (s) vs # recommendations o ==\n"
+        + sweep.format()
+        + "\npaper: flat for parallel variants, linear growth for "
+        "No-Parallelism / Naive.\n"
+        "note: o only selects the top of the already-scored candidate set; "
+        "the dominant cost (scoring all candidates) is what parallelism "
+        "spreads across cores."
+    )
+    report("fig11b_num_recos", text)
+    # o changes which top slice is returned — runtime must stay flat-ish
+    subdex = sweep.series("SubDEx")
+    assert max(subdex) < 3 * max(min(subdex), 1e-3)
+
+
+def test_fig11c_pruning_diversity_factor(benchmark):
+    def run() -> Sweep:
+        database = bench_database("yelp")
+        sweep = Sweep("l")
+        for l_factor in (1, 2, 3, 5):
+            for variant in ("SubDEx", "CI Pruning", "MAB Pruning", "No-Pruning"):
+                engine = _engine(
+                    database,
+                    variant,
+                    generator={"pruning_diversity_factor": l_factor},
+                )
+                sweep.record(
+                    variant,
+                    l_factor,
+                    _step_seconds(engine, with_recommendations=False),
+                )
+        return sweep
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "== Figure 11(c): step runtime (s) vs pruning-diversity factor l ==\n"
+        + sweep.format()
+        + "\npaper: strong effect on all pruning baselines (larger l ⇒ "
+        "fewer maps pruned); No-Pruning is flat."
+    )
+    report("fig11c_pruning_factor", text)
+    no_pruning = sweep.series("No-Pruning")
+    assert max(no_pruning) < 3 * max(min(no_pruning), 1e-3)

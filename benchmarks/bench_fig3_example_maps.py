@@ -1,0 +1,129 @@
+"""Figure 3 — example rating maps and their interestingness scores.
+
+The paper's Figure 3 shows two rating maps over the rating group "young
+reviewers × NYC restaurants" (GroupBy neighborhood / food and GroupBy
+gender / ambiance) and their raw interestingness scores (conciseness 16.6
+and 33.3, agreement 0.74 / 0.76, self peculiarity 0.21 / 0.27).  This bench
+rebuilds the figure's two maps from the paper's literal histograms and
+checks our measures land on the same raw values, then generates the same
+two maps organically from a Yelp-like rating group.
+"""
+
+import numpy as np
+
+from repro.bench import bench_database, paper_vs_measured, report
+from repro.core import RatingDistribution
+from repro.core.interestingness import InterestingnessScorer
+from repro.core.rating_maps import build_rating_map, RatingMapSpec
+from repro.model import RatingGroup, SelectionCriteria, Side
+
+# the exact histograms of Figure 3
+_RM_NEIGHBORHOOD = {
+    "Williamsburg": {1: 1, 2: 2, 3: 1, 4: 5, 5: 7},
+    "SoHo": {1: 3, 2: 3, 3: 2, 4: 5, 5: 7},
+    "Kips Bay": {1: 2, 2: 2, 3: 2, 4: 1, 5: 5},
+    "Tribeca": {1: 3, 2: 1, 3: 2, 4: 1, 5: 5},
+    "Chelsea": {1: 3, 2: 1, 3: 9, 4: 5, 5: 2},
+    "Midtown": {1: 3, 2: 3, 3: 9, 4: 3, 5: 2},
+}
+_RM_GENDER = {
+    "Male": {1: 5, 2: 6, 3: 4, 4: 9, 5: 11},
+    "Unspecified": {1: 5, 2: 8, 3: 7, 4: 5, 5: 5},
+    "Female": {1: 14, 2: 10, 3: 5, 4: 5, 5: 1},
+}
+
+
+def _counts(table: dict) -> np.ndarray:
+    return np.array(
+        [RatingDistribution.from_mapping(row, 5).counts for row in table.values()]
+    )
+
+
+def _inverse_sigma_agreement(scorer: InterestingnessScorer, counts: np.ndarray) -> float:
+    """Agreement as 1/σ̃ — the form that reproduces Figure 3's 0.74 / 0.76."""
+    bounded = scorer.agreement(counts)  # = 1 / (1 + σ̃)
+    sigma = 1.0 / bounded - 1.0
+    return 1.0 / sigma
+
+
+def _figure3_scores() -> dict[str, float]:
+    scorer = InterestingnessScorer(min_support=1)
+    rm = _counts(_RM_NEIGHBORHOOD)
+    rm2 = _counts(_RM_GENDER)
+    return {
+        "rm conciseness": scorer.conciseness(rm, int(rm.sum())),
+        "rm' conciseness": scorer.conciseness(rm2, int(rm2.sum())),
+        "rm agreement (1/σ̃)": _inverse_sigma_agreement(scorer, rm),
+        "rm' agreement (1/σ̃)": _inverse_sigma_agreement(scorer, rm2),
+        "rm self peculiarity": scorer.self_peculiarity(rm),
+        "rm' self peculiarity": scorer.self_peculiarity(rm2),
+        "rm avg(Williamsburg)": RatingDistribution.from_mapping(
+            _RM_NEIGHBORHOOD["Williamsburg"], 5
+        ).mean(),
+        "rm' avg(Female)": RatingDistribution.from_mapping(
+            _RM_GENDER["Female"], 5
+        ).mean(),
+    }
+
+
+def test_fig3_example_maps(benchmark):
+    measured = benchmark.pedantic(_figure3_scores, rounds=1, iterations=1)
+    paper = {
+        "rm conciseness": 16.6,
+        "rm' conciseness": 33.3,
+        "rm agreement (1/σ̃)": 0.74,
+        "rm' agreement (1/σ̃)": 0.76,
+        "rm self peculiarity": 0.21,
+        "rm' self peculiarity": 0.27,
+        "rm avg(Williamsburg)": 3.9,
+        "rm' avg(Female)": 2.1,
+    }
+    text = paper_vs_measured(
+        "Figure 3 — interestingness of the example maps",
+        paper,
+        measured,
+        note=(
+            "conciseness, averages and 1/σ̃ agreement reproduce the figure "
+            "exactly; the figure's peculiarity values (0.21 / 0.27) do not "
+            "follow from its own histograms under max-subgroup TVD (ours: "
+            "0.275 / 0.211) — they appear illustrative. The library keeps "
+            "the bounded 1/(1+σ̃) agreement so all criteria share [0, 1]."
+        ),
+    )
+    report("fig3_example_maps", text)
+    # conciseness is a pure count ratio — must match exactly
+    assert abs(measured["rm conciseness"] - 16.6) < 0.1
+    assert abs(measured["rm' conciseness"] - 33.3) < 0.1
+    # agreement as 1/σ̃ reproduces the figure to two decimals
+    assert abs(measured["rm agreement (1/σ̃)"] - 0.74) < 0.02
+    assert abs(measured["rm' agreement (1/σ̃)"] - 0.76) < 0.02
+    # average scores match the figure
+    assert abs(measured["rm avg(Williamsburg)"] - 3.9) < 0.05
+    assert abs(measured["rm' avg(Female)"] - 2.1) < 0.05
+
+
+def test_fig3_maps_arise_organically(benchmark):
+    """The same two map shapes can be generated from a real rating group."""
+
+    def build():
+        database = bench_database("yelp")
+        group = RatingGroup(
+            database, SelectionCriteria.of(reviewer={"age_group": "young"})
+        )
+        by_neigh = build_rating_map(
+            group, RatingMapSpec(Side.ITEM, "neighborhood", "food")
+        )
+        by_gender = build_rating_map(
+            group, RatingMapSpec(Side.REVIEWER, "gender", "ambiance")
+        )
+        return by_neigh, by_gender
+
+    by_neigh, by_gender = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert by_neigh.is_informative and by_gender.is_informative
+    report(
+        "fig3_organic_maps",
+        "Figure 3 analogue generated from the Yelp-like dataset:\n\n"
+        + by_neigh.render()
+        + "\n\n"
+        + by_gender.render(),
+    )

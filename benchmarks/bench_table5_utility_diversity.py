@@ -1,0 +1,118 @@
+"""Table 5 — utility vs. diversity as the pruning-diversity factor l varies.
+
+Fully-Automated paths of 7 steps (k = 3 maps per step) are generated with
+l ∈ {1 (utility-only), 2, 3} plus a diversity-only configuration (l large
+enough that the pool is every candidate map).  Reported per configuration,
+as in the paper: the number of distinct grouping attributes shown, the
+summed utility of all shown maps, and the average per-step diversity.
+
+Paper shape: as l grows, #attributes and diversity increase while utility
+falls — l = 3 balances both.
+"""
+
+from dataclasses import replace
+
+from repro.bench import (
+    bench_database,
+    bench_recommender_config,
+    format_table,
+    report,
+)
+from repro.core.engine import SubDEx, SubDExConfig
+from repro.core.generator import GeneratorConfig
+from repro.core.modes import ExplorationPath, run_fully_automated
+from repro.core.utility import UtilityConfig
+
+_N_STEPS = 7
+_CONFIGS: tuple[tuple[str, int], ...] = (
+    ("Utility-Only (l=1)", 1),
+    ("l = 2", 2),
+    ("l = 3", 3),
+    ("Diversity-Only", None),
+)
+
+#: Table 5, Yelp column (movielens in the paper is similar)
+_PAPER_YELP = {
+    "Utility-Only (l=1)": (6, 26.1, 0.03),
+    "l = 2": (10, 23.4, 0.06),
+    "l = 3": (15, 20.1, 0.09),
+    "Diversity-Only": (19, 15.5, 0.11),
+}
+
+
+def _metrics(path: ExplorationPath) -> tuple[int, float, float]:
+    attributes = set()
+    utility = 0.0
+    diversity = 0.0
+    for step in path.steps:
+        attributes.update(step.result.selected_attributes())
+        utility += step.result.total_utility()
+        diversity += step.result.diversity
+    return len(attributes), utility, diversity / max(1, len(path.steps))
+
+
+def _run_dataset(name: str) -> dict[str, tuple[int, float, float]]:
+    database = bench_database(name)
+    out = {}
+    # attribute weights are switched off here: they rotate grouping
+    # attributes at every l (our Eq.-1 extension), masking exactly the
+    # l-driven attribute-spread effect this table isolates
+    utility = UtilityConfig(use_attribute_weights=False)
+    for label, l_factor in _CONFIGS:
+        if l_factor is None:
+            generator = replace(
+                GeneratorConfig(), diversity_only=True, utility=utility
+            )
+        else:
+            generator = replace(
+                GeneratorConfig(),
+                pruning_diversity_factor=l_factor,
+                utility=utility,
+            )
+        config = SubDExConfig(
+            generator=generator,
+            recommender=bench_recommender_config(),
+        )
+        path = run_fully_automated(SubDEx(database, config).session(), _N_STEPS)
+        out[label] = _metrics(path)
+    return out
+
+
+def test_table5_utility_vs_diversity(benchmark):
+    measured = benchmark.pedantic(_run_dataset, args=("yelp",), rounds=1, iterations=1)
+    rows = []
+    for label, __ in _CONFIGS:
+        attrs, utility, diversity = measured[label]
+        p_attrs, p_utility, p_div = _PAPER_YELP[label]
+        rows.append(
+            [label, attrs, p_attrs, utility, p_utility, diversity, p_div]
+        )
+    text = (
+        "== Table 5 (Yelp): utility / diversity vs l ==\n"
+        + format_table(
+            [
+                "config",
+                "attrs",
+                "attrs(paper)",
+                "utility",
+                "utility(paper)",
+                "diversity",
+                "div(paper)",
+            ],
+            rows,
+        )
+        + "\nrobust shape: within-step diversity div(RM') grows with l "
+        "(≈0.05 → ≈0.12 here vs the paper's 0.03 → 0.09).\n"
+        "note: the paper's attribute-count spread (6 → 19) does not "
+        "reproduce — our multi-step diversity machinery (min-aggregated "
+        "global peculiarity) already rotates grouping attributes at l = 1, "
+        "absorbing the effect the paper attributes to l; absolute utilities "
+        "differ because our normalisation is absolute, the paper's min–max."
+    )
+    report("table5_utility_diversity", text)
+
+    diversity_by_label = {label: measured[label][2] for label, __ in _CONFIGS}
+    # the l trade-off the formulation guarantees: larger pools ⇒ the GMM
+    # can pick more mutually distant maps each step
+    assert diversity_by_label["l = 3"] > diversity_by_label["Utility-Only (l=1)"]
+    assert diversity_by_label["l = 2"] >= diversity_by_label["Utility-Only (l=1)"]

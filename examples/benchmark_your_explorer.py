@@ -1,0 +1,62 @@
+"""Score your own exploration strategy on the SDE benchmark suite.
+
+The paper calls for an SDE-specific benchmark (§1, §5); `repro.bench`
+provides one.  This example generates a graded task suite over the
+Yelp-like dataset and scores two explorers on it: the built-in
+Fully-Automated mode and a trivial custom strategy (always drill into the
+lowest-rated subgroup on screen).
+
+Run:  python examples/benchmark_your_explorer.py
+"""
+
+from repro import SubDEx, SubDExConfig
+from repro.bench import generate_suite
+from repro.core.modes import run_user_driven
+from repro.core.recommend import RecommenderConfig
+from repro.datasets import yelp
+from repro.userstudy import drill_into_subgroup, suspicious_subgroup
+
+
+def lowest_subgroup_strategy(session, candidates):
+    """A hand-rolled explorer: chase the worst-looking subgroup on screen."""
+    if session.steps:
+        hit = suspicious_subgroup(
+            session.steps[-1].result.selected, threshold=5.0, min_support=5
+        )
+        if hit is not None:
+            operation = drill_into_subgroup(session, *hit)
+            if operation is not None:
+                return operation
+    return candidates[0] if candidates else None
+
+
+def main() -> None:
+    database = yelp(seed=19, scale_factor=0.03)
+    suite = generate_suite(
+        database, n_anomaly_tasks=2, n_insight_tasks=1, seed=4
+    )
+    print(suite.describe())
+    config = SubDExConfig(
+        recommender=RecommenderConfig(max_values_per_attribute=5)
+    )
+
+    def fully_automated(bench_task) -> float:
+        engine = SubDEx(bench_task.task.database, config)
+        path = engine.explore_automated(bench_task.step_budget)
+        exposed = bench_task.task.exposed_in_path(path)
+        return len(exposed) / bench_task.task.max_score
+
+    def custom(bench_task) -> float:
+        engine = SubDEx(bench_task.task.database, config)
+        path = run_user_driven(
+            engine.session(), lowest_subgroup_strategy, bench_task.step_budget
+        )
+        exposed = bench_task.task.exposed_in_path(path)
+        return len(exposed) / bench_task.task.max_score
+
+    print("\nFully-Automated:", suite.score_explorer(fully_automated))
+    print("drill-the-worst:", suite.score_explorer(custom))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Quickstart: rating maps and next-step recommendations in five minutes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SelectionCriteria, SubDEx
+from repro.datasets import movielens
+
+
+def main() -> None:
+    # a MovieLens-100K-like subjective database (scaled down for speed)
+    database = movielens(seed=7, scale_factor=0.15)
+    print(database)
+    print()
+
+    engine = SubDEx(database)
+
+    # Problem 1: the k most useful & diverse rating maps for a selection
+    criteria = SelectionCriteria.of(reviewer={"gender": "F"})
+    result = engine.rating_maps(criteria)
+    print(f"Rating maps for {criteria.describe()} "
+          f"(diversity={result.diversity:.3f}):\n")
+    for rating_map in result.selected:
+        print(rating_map.render())
+        print(f"  DW utility: {result.dw_utility(rating_map):.3f}\n")
+
+    # Problem 2: the top-o next-step operations
+    print("Recommended next steps:")
+    for recommendation in engine.recommend(criteria):
+        print(f"  {recommendation.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Mary's three-step NYC restaurant exploration (paper Figure 1).
+
+A social scientist examines reviewer ratings, drills into young reviewers,
+then into young female reviewers — at each step SubDEx picks the most
+useful and diverse rating maps and recommends next operations.
+
+Run:  python examples/restaurant_exploration.py
+"""
+
+from repro import SelectionCriteria, SubDEx, SubDExConfig
+from repro.core.recommend import RecommenderConfig
+from repro.datasets import yelp
+
+
+def show_step(record) -> None:
+    print(f"--- Step {record.index}: {record.criteria.describe()} "
+          f"({record.group_size} records) ---")
+    for rating_map in record.result.selected:
+        print(rating_map.render())
+        print()
+    for recommendation in record.recommendations:
+        print(f"  suggestion: {recommendation.describe()}")
+    print()
+
+
+def main() -> None:
+    database = yelp(seed=11, scale_factor=0.05)
+    engine = SubDEx(
+        database,
+        SubDExConfig(recommender=RecommenderConfig(max_values_per_attribute=5)),
+    )
+    session = engine.session()
+
+    # Step I — overall ratings of all reviewers (Figure 1, top)
+    show_step(session.step(with_recommendations=True))
+
+    # Step II — Mary, a young adult, dives into her own age group
+    show_step(
+        session.apply_criteria(
+            SelectionCriteria.of(reviewer={"age_group": "young"}),
+            with_recommendations=True,
+        )
+    )
+
+    # Step III — deeper: young *female* reviewers
+    show_step(
+        session.apply_criteria(
+            SelectionCriteria.of(reviewer={"age_group": "young", "gender": "F"}),
+            with_recommendations=True,
+        )
+    )
+
+    print(f"Dimensions shown so far: {session.seen.dimension_history()}")
+    print(f"Dimension weights now: "
+          f"{ {d: round(session.seen.weight(d), 2) for d in database.dimensions} }")
+
+
+if __name__ == "__main__":
+    main()

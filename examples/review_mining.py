@@ -1,0 +1,52 @@
+"""Review-text mining: the paper's Yelp preprocessing pipeline end to end.
+
+Synthesises review texts, extracts per-dimension ratings with the
+phrase-window + sentiment procedure of §5.1 (the VADER-substitute), and
+shows the recovered scores track the writers' intended opinions.
+
+Run:  python examples/review_mining.py
+"""
+
+from repro.datasets import yelp
+from repro.text import (
+    DIMENSION_KEYWORDS,
+    DimensionExtractor,
+    ReviewGenerator,
+    SentimentAnalyzer,
+)
+
+
+def main() -> None:
+    dims = ("food", "service", "ambiance")
+    generator = ReviewGenerator(dims, seed=5)
+    extractor = DimensionExtractor({d: DIMENSION_KEYWORDS[d] for d in dims})
+
+    print("Writer's intent  →  mined ratings")
+    intents = [
+        {"food": 5, "service": 1, "ambiance": 3},
+        {"food": 2, "service": 4, "ambiance": 5},
+        {"food": 1, "service": 1, "ambiance": 1},
+    ]
+    for intent in intents:
+        review = generator.review(intent)
+        mined = extractor.extract(review)
+        print(f"\n  {review}")
+        for d in dims:
+            print(f"    {d}: intended {intent[d]}, mined {mined[d]}")
+
+    analyzer = SentimentAnalyzer()
+    print("\nSentiment scorer on raw phrases:")
+    for phrase in (
+        "the food was absolutely amazing!",
+        "service was not good at all",
+        "a truly terrible, filthy place",
+    ):
+        print(f"  {phrase!r}: {analyzer.score(phrase):+.2f}")
+
+    # the same pipeline wired into the Yelp generator
+    database = yelp(seed=5, scale_factor=0.002, via_text=True)
+    print(f"\nDatabase built via the text pipeline: {database}")
+
+
+if __name__ == "__main__":
+    main()

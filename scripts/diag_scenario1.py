@@ -1,0 +1,36 @@
+"""Dev diagnostic: per-mode exposure rates over several Scenario-I instances.
+
+Usage: python scripts/diag_scenario1.py [n_instances] [dataset]
+"""
+import sys
+import time
+
+from repro import SubDEx, SubDExConfig, RecommenderConfig
+from repro.core.modes import ExplorationMode
+from repro.datasets import movielens, yelp
+from repro.userstudy import make_scenario1_task, sample_path
+
+n_instances = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+dataset = sys.argv[2] if len(sys.argv) > 2 else "yelp"
+factory = {"yelp": lambda s: yelp(seed=s, scale_factor=0.03),
+           "movielens": lambda s: movielens(seed=s, scale_factor=0.08)}[dataset]
+cfg = SubDExConfig(recommender=RecommenderConfig(max_values_per_attribute=5))
+
+totals = {m: [] for m in ExplorationMode}
+t_start = time.time()
+for i in range(n_instances):
+    task = make_scenario1_task(factory(2 + i), seed=5 + i)
+    engine = SubDEx(task.database, cfg)
+    print(f"instance {i}:")
+    for t in task.targets:
+        print("   ", t.describe())
+    for mode in ExplorationMode:
+        exposures = []
+        for ps in range(2):
+            path = sample_path(engine, task, mode, "high", 7, seed=100 + ps)
+            exposures.append(tuple(sorted(task.exposed_in_path(path))))
+        totals[mode].extend(len(e) for e in exposures)
+        print(f"    {mode.short}: exposures {exposures}")
+print(f"\n=== mean exposed of 2 ({time.time()-t_start:.0f}s) ===")
+for mode, counts in totals.items():
+    print(f"  {mode.short}: {sum(counts)/len(counts):.2f}")

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Full verification run: the complete test suite and every benchmark,
+# teeing outputs to the repository root (the reproduction deliverables).
+set -u
+cd "$(dirname "$0")/.."
+
+python -m pytest tests/ 2>&1 | tee test_output.txt
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

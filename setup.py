@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` works in offline environments that
+lack the ``wheel`` package (PEP-517 editable installs require building a
+wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""SubDEx — Subjective Data Exploration.
+
+A full reproduction of "Exploring Ratings in Subjective Databases"
+(Amer-Yahia, Milo & Youngmann, SIGMOD 2021): the subjective data model, the
+rating-map utility/diversity formulation, the phased pruning framework, the
+three exploration modes, the paper's baselines, and the complete
+experimental harness.
+
+Quickstart::
+
+    from repro import SubDEx, SelectionCriteria
+    from repro.datasets import movielens
+
+    engine = SubDEx(movielens(seed=7, scale_factor=0.2))
+    result = engine.rating_maps(SelectionCriteria.of(reviewer={"gender": "F"}))
+    for rating_map in result.selected:
+        print(rating_map.render())
+"""
+
+from .core.engine import SubDEx, SubDExConfig
+from .core.generator import GeneratorConfig, RMSetGenerator, RMSetResult
+from .core.modes import ExplorationMode, ExplorationPath
+from .core.rating_maps import RatingMap, RatingMapSpec, Subgroup
+from .core.recommend import RecommenderConfig, ScoredOperation
+from .core.session import ExplorationSession, StepRecord
+from .core.utility import SeenMaps, UtilityConfig
+from .exceptions import ReproError
+from .model.database import Side, SubjectiveDatabase
+from .model.groups import AVPair, RatingGroup, SelectionCriteria
+from .model.operations import Operation, OperationKind
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AVPair",
+    "ExplorationMode",
+    "ExplorationPath",
+    "ExplorationSession",
+    "GeneratorConfig",
+    "Operation",
+    "OperationKind",
+    "RMSetGenerator",
+    "RMSetResult",
+    "RatingGroup",
+    "RatingMap",
+    "RatingMapSpec",
+    "RecommenderConfig",
+    "ReproError",
+    "ScoredOperation",
+    "SeenMaps",
+    "SelectionCriteria",
+    "Side",
+    "StepRecord",
+    "SubDEx",
+    "SubDExConfig",
+    "SubjectiveDatabase",
+    "Subgroup",
+    "UtilityConfig",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Baseline recommenders and scalability variants (S12–S13)."""
+
+from .patterns import JoinedView, Pattern, pattern_to_operation
+from .qagview import Qagview, QagviewConfig
+from .smart_drilldown import SDDConfig, SmartDrillDown
+from .variants import (
+    all_variants,
+    ci_pruning_config,
+    mab_pruning_config,
+    naive_config,
+    no_parallelism_config,
+    no_pruning_config,
+    subdex_config,
+)
+
+__all__ = [
+    "JoinedView",
+    "Pattern",
+    "Qagview",
+    "QagviewConfig",
+    "SDDConfig",
+    "SmartDrillDown",
+    "all_variants",
+    "ci_pruning_config",
+    "mab_pruning_config",
+    "naive_config",
+    "no_parallelism_config",
+    "no_pruning_config",
+    "pattern_to_operation",
+    "subdex_config",
+]

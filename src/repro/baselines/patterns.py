@@ -1,0 +1,118 @@
+"""Shared pattern machinery for the SDD and Qagview baselines.
+
+Both baselines operate on the *joined* view of a rating group — each rating
+record is described by every explorable reviewer and item attribute (paper
+§5.1: "we joined the item, reviewer and rating tables") — and both emit
+conjunctive attribute-value *patterns* that translate into drill-down
+operations over the current selection criteria.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..model.database import Side
+from ..model.groups import AVPair, RatingGroup
+from ..model.operations import Operation, OperationKind
+
+__all__ = ["Pattern", "JoinedView", "pattern_to_operation"]
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A conjunctive pattern over the joined view (wildcards elsewhere)."""
+
+    pairs: tuple[AVPair, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pairs", tuple(sorted(self.pairs)))
+
+    @property
+    def specificity(self) -> int:
+        """Number of non-wildcard attributes (SDD's rule weight input)."""
+        return len(self.pairs)
+
+    def distance(self, other: "Pattern") -> int:
+        """Number of (side, attribute) slots on which the patterns differ.
+
+        This is Qagview's pattern distance: an attribute counts when the
+        two patterns disagree on it (fixed in one but not the other, or
+        fixed to different values).
+        """
+        mine = {(p.side, p.attribute): p.value for p in self.pairs}
+        theirs = {(p.side, p.attribute): p.value for p in other.pairs}
+        slots = set(mine) | set(theirs)
+        return sum(1 for s in slots if mine.get(s) != theirs.get(s))
+
+    def describe(self) -> str:
+        if not self.pairs:
+            return "⟨*⟩"
+        return " ∧ ".join(
+            f"{p.side.value}.{p.attribute}={p.value}" for p in self.pairs
+        )
+
+
+class JoinedView:
+    """Vectorised access to a rating group's joined attribute columns."""
+
+    def __init__(self, group: RatingGroup, max_values_per_attribute: int = 20) -> None:
+        self._group = group
+        database = group.database
+        self._n = len(group)
+        self._columns: dict[tuple[Side, str], tuple[np.ndarray, tuple]] = {}
+        fixed = group.criteria.attributes()
+        for side, attribute in database.grouping_attributes():
+            if (side, attribute) in fixed:
+                continue  # already pinned by the current selection
+            codes = group.subgroup_codes(side, attribute)
+            labels = group.subgroup_labels(side, attribute)
+            self._columns[(side, attribute)] = (codes, labels)
+        self._max_values = max_values_per_attribute
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def group(self) -> RatingGroup:
+        return self._group
+
+    def single_patterns(self, min_support: int = 1) -> Iterator[tuple[Pattern, np.ndarray]]:
+        """All one-pair patterns with their record masks (frequent values)."""
+        for (side, attribute), (codes, labels) in self._columns.items():
+            present = codes[codes >= 0]
+            if present.size == 0:
+                continue
+            counts = np.bincount(present, minlength=len(labels))
+            order = np.argsort(-counts)[: self._max_values]
+            for code in order:
+                if counts[code] < min_support:
+                    continue
+                pattern = Pattern((AVPair(side, attribute, labels[int(code)]),))
+                yield pattern, codes == code
+
+    def mask_of(self, pattern: Pattern) -> np.ndarray:
+        """Record mask of an arbitrary pattern."""
+        mask = np.ones(self._n, dtype=bool)
+        for pair in pattern.pairs:
+            codes, labels = self._columns[(pair.side, pair.attribute)]
+            try:
+                code = labels.index(pair.value)
+            except ValueError:
+                return np.zeros(self._n, dtype=bool)
+            mask &= codes == code
+        return mask
+
+
+def pattern_to_operation(group: RatingGroup, pattern: Pattern) -> Operation:
+    """Translate a pattern into a drill-down operation on the criteria.
+
+    Both baselines only *refine* the current selection — this is precisely
+    the limitation the paper's Table 4 exposes (no roll-ups).
+    """
+    target = group.criteria
+    for pair in pattern.pairs:
+        target = target.with_pair(pair)
+    return Operation(target, OperationKind.FILTER, added=pattern.pairs)

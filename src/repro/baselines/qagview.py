@@ -1,0 +1,114 @@
+"""Qagview baseline — Wen et al. [58] (paper §5.1).
+
+Qagview summarises a query result with k diverse clusters, each described
+by a conjunctive pattern, such that (a) together the clusters cover at
+least a coverage threshold of the records and (b) every two cluster
+patterns differ in at least ``D`` attribute-values.
+
+Paper settings (§5.1): record values all 1 (plain counting coverage),
+threshold = |g_R| / 2, D = 2.  The greedy realisation repeatedly adds the
+pattern with the largest marginal coverage among those at distance ≥ D from
+all chosen patterns, until k clusters are chosen or the threshold is met
+and no eligible pattern remains.  Each cluster becomes a drill-down
+next-action operation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..model.groups import RatingGroup
+from ..model.operations import Operation
+from .patterns import JoinedView, Pattern, pattern_to_operation
+
+__all__ = ["QagviewConfig", "Qagview"]
+
+
+@dataclass(frozen=True)
+class QagviewConfig:
+    """Knobs of the Qagview baseline (defaults = the paper's settings)."""
+
+    k: int = 3
+    coverage_fraction: float = 0.5  # threshold |g_R| / 2
+    min_distance: int = 2  # D
+    max_pattern_size: int = 2
+    pair_pool: int = 15
+    min_support: int = 5
+    max_values_per_attribute: int = 20
+
+
+class Qagview:
+    """Greedy diverse-cluster summary over a rating group."""
+
+    def __init__(self, config: QagviewConfig | None = None) -> None:
+        self._config = config or QagviewConfig()
+
+    @property
+    def config(self) -> QagviewConfig:
+        return self._config
+
+    def clusters(self, group: RatingGroup) -> list[tuple[Pattern, int]]:
+        """The greedy cluster list: ``[(pattern, covered_records), ...]``."""
+        config = self._config
+        view = JoinedView(group, config.max_values_per_attribute)
+        singles = list(view.single_patterns(config.min_support))
+        candidates: list[tuple[Pattern, np.ndarray]] = list(singles)
+        if config.max_pattern_size >= 2 and singles:
+            top = sorted(singles, key=lambda c: -int(c[1].sum()))[: config.pair_pool]
+            for (p1, m1), (p2, m2) in itertools.combinations(top, 2):
+                slots1 = {(p.side, p.attribute) for p in p1.pairs}
+                slots2 = {(p.side, p.attribute) for p in p2.pairs}
+                if slots1 & slots2:
+                    continue
+                mask = m1 & m2
+                if int(mask.sum()) >= config.min_support:
+                    candidates.append((Pattern(p1.pairs + p2.pairs), mask))
+
+        target = config.coverage_fraction * len(view)
+        covered = np.zeros(len(view), dtype=bool)
+        chosen: list[tuple[Pattern, int]] = []
+        remaining = list(candidates)
+        while len(chosen) < config.k:
+            best_gain = 0
+            best_index = -1
+            for index, (pattern, mask) in enumerate(remaining):
+                if any(
+                    pattern.distance(existing) < config.min_distance
+                    for existing, __ in chosen
+                ):
+                    continue
+                gain = int((mask & ~covered).sum())
+                if gain > best_gain:
+                    best_gain = gain
+                    best_index = index
+            if best_index < 0:
+                break
+            pattern, mask = remaining.pop(best_index)
+            covered |= mask
+            chosen.append((pattern, int(mask.sum())))
+            if int(covered.sum()) >= target and len(chosen) >= config.k:
+                break
+        return chosen
+
+    def recommend(self, group: RatingGroup, k: int | None = None) -> list[Operation]:
+        """Top-k next-action operations (all drill-downs, by construction)."""
+        if k is not None and k != self._config.k:
+            qv = Qagview(
+                QagviewConfig(
+                    k=k,
+                    coverage_fraction=self._config.coverage_fraction,
+                    min_distance=self._config.min_distance,
+                    max_pattern_size=self._config.max_pattern_size,
+                    pair_pool=self._config.pair_pool,
+                    min_support=self._config.min_support,
+                    max_values_per_attribute=self._config.max_values_per_attribute,
+                )
+            )
+            return qv.recommend(group)
+        return [
+            pattern_to_operation(group, pattern)
+            for pattern, __ in self.clusters(group)
+        ]

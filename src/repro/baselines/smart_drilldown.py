@@ -1,0 +1,109 @@
+"""Smart Drill-Down (SDD) baseline — Joglekar et al. [35] (paper §5.1).
+
+SDD summarises a table with a k-rule list of "interesting" conjunctive
+rules.  Interestingness combines three factors (paper §5.1): coverage
+(rules covering many records), specificity (rules fixing more attributes),
+and diversity (rules covering *different* records).  The standard greedy
+realisation scores a candidate rule by its *marginal* weighted coverage
+
+    score(r) = |newly covered records of r| × W(|r|),  W(d) = d
+
+and repeatedly appends the best rule, marking its records covered — which
+yields both the coverage and the diversity factor; the weight rewards
+specificity.  Each selected rule becomes a drill-down next-action.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..model.groups import RatingGroup
+from ..model.operations import Operation
+from .patterns import JoinedView, Pattern, pattern_to_operation
+
+__all__ = ["SDDConfig", "SmartDrillDown"]
+
+
+@dataclass(frozen=True)
+class SDDConfig:
+    """Knobs of the SDD baseline.
+
+    ``max_rule_size`` bounds rule conjunctions (2 keeps parity with
+    SubDEx's ≤-2-edit operations); ``pair_pool`` bounds how many top single
+    rules are combined into two-pair candidates; ``min_support`` discards
+    rules covering fewer records.
+    """
+
+    k: int = 3
+    max_rule_size: int = 2
+    pair_pool: int = 15
+    min_support: int = 5
+    max_values_per_attribute: int = 20
+
+
+class SmartDrillDown:
+    """Greedy k-rule-list construction over a rating group."""
+
+    def __init__(self, config: SDDConfig | None = None) -> None:
+        self._config = config or SDDConfig()
+
+    @property
+    def config(self) -> SDDConfig:
+        return self._config
+
+    def rule_list(self, group: RatingGroup) -> list[tuple[Pattern, int]]:
+        """The greedy rule list: ``[(pattern, covered_records), ...]``."""
+        config = self._config
+        view = JoinedView(group, config.max_values_per_attribute)
+        singles = list(view.single_patterns(config.min_support))
+        candidates: list[tuple[Pattern, np.ndarray]] = list(singles)
+        if config.max_rule_size >= 2 and singles:
+            top = sorted(singles, key=lambda c: -int(c[1].sum()))[: config.pair_pool]
+            for (p1, m1), (p2, m2) in itertools.combinations(top, 2):
+                slots1 = {(p.side, p.attribute) for p in p1.pairs}
+                slots2 = {(p.side, p.attribute) for p in p2.pairs}
+                if slots1 & slots2:
+                    continue
+                mask = m1 & m2
+                if int(mask.sum()) >= config.min_support:
+                    candidates.append((Pattern(p1.pairs + p2.pairs), mask))
+
+        covered = np.zeros(len(view), dtype=bool)
+        rules: list[tuple[Pattern, int]] = []
+        remaining = list(candidates)
+        for __ in range(config.k):
+            best_score = 0
+            best_index = -1
+            for index, (pattern, mask) in enumerate(remaining):
+                marginal = int((mask & ~covered).sum())
+                score = marginal * pattern.specificity
+                if score > best_score:
+                    best_score = score
+                    best_index = index
+            if best_index < 0:
+                break
+            pattern, mask = remaining.pop(best_index)
+            covered |= mask
+            rules.append((pattern, int(mask.sum())))
+        return rules
+
+    def recommend(self, group: RatingGroup, k: int | None = None) -> list[Operation]:
+        """Top-k next-action operations (all drill-downs, by construction)."""
+        if k is not None and k != self._config.k:
+            sdd = SmartDrillDown(
+                SDDConfig(
+                    k=k,
+                    max_rule_size=self._config.max_rule_size,
+                    pair_pool=self._config.pair_pool,
+                    min_support=self._config.min_support,
+                    max_values_per_attribute=self._config.max_values_per_attribute,
+                )
+            )
+            return sdd.recommend(group)
+        return [
+            pattern_to_operation(group, pattern)
+            for pattern, __ in self.rule_list(group)
+        ]

@@ -1,0 +1,88 @@
+"""Scalability baseline configurations (paper §5.1, items I–V).
+
+Each factory returns a :class:`~repro.core.engine.SubDExConfig` that
+restricts full SubDEx along one axis:
+
+* **No-Pruning** — phased framework runs, nothing is ever discarded;
+* **CI Pruning** — confidence-interval pruning only;
+* **MAB Pruning** — multi-armed-bandit pruning only;
+* **No Parallelism** — recommendations scored one rating group at a time;
+* **Naive** — no pruning *and* no parallelism.
+
+``all_variants`` maps the display names used in the paper's Figures 10–11
+to their configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.engine import SubDExConfig
+from ..core.generator import GeneratorConfig
+from ..core.pruning import PruningStrategy
+from ..core.recommend import RecommenderConfig
+
+__all__ = [
+    "subdex_config",
+    "no_pruning_config",
+    "ci_pruning_config",
+    "mab_pruning_config",
+    "no_parallelism_config",
+    "naive_config",
+    "all_variants",
+]
+
+
+def _base(**generator_overrides) -> SubDExConfig:
+    return SubDExConfig(
+        generator=replace(GeneratorConfig(), **generator_overrides),
+        recommender=RecommenderConfig(),
+    )
+
+
+def subdex_config() -> SubDExConfig:
+    """Full SubDEx: combined pruning + parallel recommendation scoring."""
+    return _base(pruning=PruningStrategy.COMBINED)
+
+
+def no_pruning_config() -> SubDExConfig:
+    """Variant I: phased execution without any pruning."""
+    return _base(pruning=PruningStrategy.NONE)
+
+
+def ci_pruning_config() -> SubDExConfig:
+    """Variant II: confidence-interval pruning only."""
+    return _base(pruning=PruningStrategy.CONFIDENCE_INTERVAL)
+
+
+def mab_pruning_config() -> SubDExConfig:
+    """Variant III: multi-armed-bandit pruning only."""
+    return _base(pruning=PruningStrategy.MAB)
+
+
+def no_parallelism_config() -> SubDExConfig:
+    """Variant IV: sequential Recommendation Builder."""
+    config = subdex_config()
+    return replace(
+        config, recommender=replace(config.recommender, parallel=False)
+    )
+
+
+def naive_config() -> SubDExConfig:
+    """Variant V: no pruning and no parallelism."""
+    config = no_pruning_config()
+    return replace(
+        config, recommender=replace(config.recommender, parallel=False)
+    )
+
+
+def all_variants() -> dict[str, SubDExConfig]:
+    """Paper-name → configuration, in the order Figures 10–11 plot them."""
+    return {
+        "SubDEx": subdex_config(),
+        "No-Pruning": no_pruning_config(),
+        "CI Pruning": ci_pruning_config(),
+        "MAB Pruning": mab_pruning_config(),
+        "No Parallelism": no_parallelism_config(),
+        "Naive": naive_config(),
+    }

@@ -1,0 +1,51 @@
+"""Benchmark harness (S18): timing, sweeps, tables, shared workloads."""
+
+from .harness import (
+    Sweep,
+    Timer,
+    format_series,
+    format_table,
+    paper_vs_measured,
+    report,
+    time_call,
+)
+from .sde_benchmark import (
+    BenchmarkSuite,
+    BenchmarkTask,
+    anomaly_visibility,
+    generate_suite,
+)
+from .workloads import (
+    bench_database,
+    bench_engine,
+    bench_recommender_config,
+    bench_scale,
+    bench_subjects,
+    restrict_attribute_count,
+    restrict_value_count,
+    scenario1_task,
+    scenario2_task,
+)
+
+__all__ = [
+    "BenchmarkSuite",
+    "BenchmarkTask",
+    "Sweep",
+    "Timer",
+    "bench_database",
+    "bench_engine",
+    "bench_recommender_config",
+    "bench_scale",
+    "bench_subjects",
+    "anomaly_visibility",
+    "generate_suite",
+    "format_series",
+    "format_table",
+    "paper_vs_measured",
+    "report",
+    "restrict_attribute_count",
+    "restrict_value_count",
+    "scenario1_task",
+    "scenario2_task",
+    "time_call",
+]

@@ -1,0 +1,203 @@
+"""An SDE benchmark-suite generator (paper §1/§5: "a first step toward
+designing an SDE-specific benchmark").
+
+The paper argues SDE needs its own benchmark — unlike IDEBench-style EDA
+benchmarks, tasks must target *user–item relationships*.  This module makes
+that concrete: :func:`generate_suite` turns any subjective database into a
+reproducible suite of graded SDE tasks,
+
+* **anomaly tasks** (Scenario I): irregular-group instances whose measured
+  difficulty is the planted block's *visibility* — how far its strongest
+  one-attribute aggregation dip stands out;
+* **insight tasks** (Scenario II): ground-truth facts with measured effect
+  sizes;
+
+plus per-task metadata (budget in steps, difficulty grade) and a scoring
+routine so different SDE engines/modes can be compared on equal footing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..datasets.insights import verify_insight
+from ..model.database import SubjectiveDatabase
+from ..userstudy.tasks import (
+    ScenarioIITask,
+    ScenarioITask,
+    make_scenario1_task,
+    make_scenario2_task,
+)
+
+__all__ = [
+    "BenchmarkTask",
+    "BenchmarkSuite",
+    "anomaly_visibility",
+    "generate_suite",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkTask:
+    """One graded SDE task."""
+
+    kind: str  # "anomaly" | "insight"
+    task: ScenarioITask | ScenarioIITask
+    step_budget: int
+    difficulty: str  # "easy" | "medium" | "hard"
+    #: the measured signal behind the grade (dip in stars / effect size)
+    signal: float
+
+    def describe(self) -> str:
+        return (
+            f"[{self.kind}/{self.difficulty}] budget {self.step_budget} "
+            f"steps, signal {self.signal:.2f}"
+        )
+
+
+def anomaly_visibility(task: ScenarioITask) -> float:
+    """How visible the planted blocks are at one-attribute aggregations.
+
+    For each target and each of its description pairs, compute the average-
+    score dip the forced block causes in that single-pair slice:
+    ``fraction_forced × (slice_mean_without − 1)``.  The task's visibility
+    is the *max* over targets' *best* dips — the strongest top-level clue
+    any map can show.  Near 0 ⇒ only multi-step exploration can find it.
+    """
+    database = task.database
+    best = 0.0
+    for target in task.targets:
+        table = database.entity_table(target.side)
+        scores = database.dimension_scores(target.dimension)
+        for pair in target.pairs:
+            mask = table.column(pair.attribute).equals_mask(pair.value)
+            record_mask = database.rating_rows_for_entities(target.side, mask)
+            slice_records = int(record_mask.sum())
+            if slice_records == 0:
+                continue
+            forced = len(target.record_rows)
+            fraction = min(1.0, forced / slice_records)
+            # the block sits at score 1; the rest of the slice near the mean
+            slice_scores = scores[record_mask]
+            slice_mean = float(slice_scores.mean())
+            if math.isnan(slice_mean):
+                continue
+            # dip relative to an un-forced slice (approximate the clean
+            # mean by removing the all-1 block's contribution)
+            if fraction < 1.0:
+                clean_mean = (slice_mean - fraction * 1.0) / (1.0 - fraction)
+            else:
+                clean_mean = slice_mean
+            dip = fraction * max(0.0, clean_mean - 1.0)
+            best = max(best, dip)
+    return best
+
+
+def _grade(signal: float, easy: float, hard: float) -> str:
+    if signal >= easy:
+        return "easy"
+    if signal <= hard:
+        return "hard"
+    return "medium"
+
+
+@dataclass
+class BenchmarkSuite:
+    """A reproducible suite of SDE tasks over one database."""
+
+    database_name: str
+    tasks: tuple[BenchmarkTask, ...] = ()
+    metadata: dict = field(default_factory=dict)
+
+    def by_kind(self, kind: str) -> list[BenchmarkTask]:
+        return [t for t in self.tasks if t.kind == kind]
+
+    def by_difficulty(self, difficulty: str) -> list[BenchmarkTask]:
+        return [t for t in self.tasks if t.difficulty == difficulty]
+
+    def describe(self) -> str:
+        lines = [
+            f"SDE benchmark suite over {self.database_name}: "
+            f"{len(self.tasks)} tasks"
+        ]
+        for task in self.tasks:
+            lines.append("  " + task.describe())
+        return "\n".join(lines)
+
+    def score_explorer(
+        self,
+        run_task: Callable[[BenchmarkTask], float],
+    ) -> dict[str, float]:
+        """Evaluate an explorer: ``run_task`` maps a task to a recall ∈ [0, 1].
+
+        Returns mean recall overall and per difficulty grade — the suite's
+        headline comparison numbers.
+        """
+        scores: dict[str, list[float]] = {"overall": []}
+        for task in self.tasks:
+            recall = run_task(task)
+            if not 0.0 <= recall <= 1.0:
+                raise ValueError(
+                    f"run_task must return a recall in [0, 1], got {recall}"
+                )
+            scores["overall"].append(recall)
+            scores.setdefault(task.difficulty, []).append(recall)
+        return {
+            key: sum(values) / len(values)
+            for key, values in scores.items()
+            if values
+        }
+
+
+def generate_suite(
+    database: SubjectiveDatabase,
+    n_anomaly_tasks: int = 3,
+    n_insight_tasks: int = 1,
+    seed: int = 0,
+    anomaly_budget: int = 7,
+    insight_budget: int = 10,
+) -> BenchmarkSuite:
+    """Build a graded task suite over ``database``.
+
+    Anomaly instances are planted with distinct seeds and graded by
+    :func:`anomaly_visibility` (dip ≥ 0.5 stars ⇒ easy, ≤ 0.15 ⇒ hard).
+    Insight tasks are graded by the mean absolute effect size of their
+    ground-truth facts (≥ 0.5 stars ⇒ easy, ≤ 0.2 ⇒ hard).
+    """
+    tasks: list[BenchmarkTask] = []
+    for index in range(n_anomaly_tasks):
+        task = make_scenario1_task(database, seed=seed + 31 * index)
+        signal = anomaly_visibility(task)
+        tasks.append(
+            BenchmarkTask(
+                kind="anomaly",
+                task=task,
+                step_budget=anomaly_budget,
+                difficulty=_grade(signal, easy=0.5, hard=0.15),
+                signal=signal,
+            )
+        )
+    for __ in range(n_insight_tasks):
+        task = make_scenario2_task(database)
+        effects = []
+        for insight in task.targets:
+            inside, outside = verify_insight(database, insight)
+            if not (math.isnan(inside) or math.isnan(outside)):
+                effects.append(abs(inside - outside))
+        signal = sum(effects) / len(effects) if effects else 0.0
+        tasks.append(
+            BenchmarkTask(
+                kind="insight",
+                task=task,
+                step_budget=insight_budget,
+                difficulty=_grade(signal, easy=0.5, hard=0.2),
+                signal=signal,
+            )
+        )
+    return BenchmarkSuite(
+        database_name=database.name,
+        tasks=tuple(tasks),
+        metadata={"seed": seed, "summary": dict(database.summary())},
+    )

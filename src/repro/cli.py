@@ -1,0 +1,240 @@
+"""Command-line interface — the terminal stand-in for the paper's UI (§4).
+
+Three subcommands:
+
+* ``summary`` — dataset statistics in the paper's Table 2 shape;
+* ``explore`` — run a Fully-Automated exploration and print the path;
+* ``interactive`` — the UI loop: each step shows the k rating maps and the
+  top-o recommendations; the user applies a recommendation by number,
+  edits the selection with ``add``/``drop`` commands or a SQL predicate
+  (the "advanced screen" of the paper's UI), or quits.
+
+Sessions can be exported as JSON exploration logs (``--log``), the input
+for the personalisation extension.
+
+Examples::
+
+    python -m repro summary --dataset yelp --scale 0.05
+    python -m repro explore --dataset movielens --steps 5 --log run.json
+    python -m repro interactive --dataset yelp
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .core.engine import SubDEx, SubDExConfig
+from .core.history import ExplorationLog
+from .core.modes import ExplorationMode, ExplorationPath
+from .core.recommend import RecommenderConfig
+from .core.session import ExplorationSession
+from .db.sql import parse_where
+from .exceptions import ReproError
+from .model.database import Side, SubjectiveDatabase
+from .model.groups import AVPair, SelectionCriteria
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_dataset(name: str, scale: float, seed: int) -> SubjectiveDatabase:
+    from . import datasets
+
+    factories: dict[str, Callable[..., SubjectiveDatabase]] = {
+        "movielens": datasets.movielens,
+        "yelp": datasets.yelp,
+        "hotels": datasets.hotels,
+    }
+    if name not in factories:
+        raise SystemExit(
+            f"unknown dataset {name!r} (choose from {', '.join(factories)})"
+        )
+    return factories[name](seed=seed, scale_factor=scale)
+
+
+def _engine(database: SubjectiveDatabase, o: int, k: int) -> SubDEx:
+    config = SubDExConfig(
+        recommender=RecommenderConfig(o=o, max_values_per_attribute=6)
+    ).with_k(k)
+    return SubDEx(database, config)
+
+
+def _print_step(record, out) -> None:
+    from .core.render import render_histogram
+
+    print(f"\n━━ Step {record.index}: {record.criteria.describe()} "
+          f"({record.group_size} records) ━━", file=out)
+    for rating_map in record.result.selected:
+        print(file=out)
+        print(render_histogram(rating_map), file=out)
+    if record.recommendations:
+        print("\nRecommended next steps:", file=out)
+        for i, reco in enumerate(record.recommendations, 1):
+            print(f"  [{i}] {reco.describe()}", file=out)
+
+
+# -- subcommands ---------------------------------------------------------------
+
+def cmd_summary(args: argparse.Namespace, out=None) -> int:
+    out = out or sys.stdout
+    database = _load_dataset(args.dataset, args.scale, args.seed)
+    summary = database.summary()
+    width = max(len(k) for k in summary)
+    for key, value in summary.items():
+        print(f"{key:<{width}}  {value}", file=out)
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace, out=None) -> int:
+    out = out or sys.stdout
+    database = _load_dataset(args.dataset, args.scale, args.seed)
+    engine = _engine(database, args.recommendations, args.maps)
+    path = engine.explore_automated(args.steps)
+    for record in path.steps:
+        _print_step(record, out)
+    if args.log:
+        ExplorationLog.from_path(path, dataset=database.name).save(args.log)
+        print(f"\nexploration log written to {args.log}", file=out)
+    return 0
+
+
+def _parse_edit(
+    command: str, session: ExplorationSession
+) -> SelectionCriteria | None:
+    """Parse an interactive edit command into new criteria.
+
+    ``add reviewer.gender=F`` / ``drop item.city`` /
+    ``sql reviewer gender = 'F' AND age_group = 'young'``.
+    """
+    parts = command.split(None, 2)
+    verb = parts[0].lower()
+    if verb == "add" and len(parts) >= 2:
+        target, __, value = parts[1].partition("=")
+        side_name, __, attribute = target.partition(".")
+        side = Side(side_name)
+        return session.criteria.with_pair(AVPair(side, attribute, value))
+    if verb == "drop" and len(parts) >= 2:
+        side_name, __, attribute = parts[1].partition(".")
+        side = Side(side_name)
+        for pair in session.criteria:
+            if pair.side is side and pair.attribute == attribute:
+                return session.criteria.without_pair(pair)
+        raise ReproError(f"{parts[1]} is not part of the current selection")
+    if verb == "sql" and len(parts) >= 3:
+        side = Side(parts[1])
+        predicate = parse_where(parts[2])
+        # the advanced screen accepts conjunctions of equalities
+        pairs = [p for p in session.criteria if p.side is not side]
+        from .db.predicates import And, Eq
+
+        leaves = (
+            predicate.operands if isinstance(predicate, And) else (predicate,)
+        )
+        for leaf in leaves:
+            if not isinstance(leaf, Eq):
+                raise ReproError(
+                    "the interactive screen accepts conjunctions of "
+                    "attribute = value only"
+                )
+            pairs.append(AVPair(side, leaf.attribute, leaf.value))
+        return SelectionCriteria(pairs)
+    raise ReproError(f"unrecognised command: {command!r}")
+
+
+def cmd_interactive(
+    args: argparse.Namespace,
+    out=None,
+    input_fn: Callable[[str], str] = input,
+) -> int:
+    out = out or sys.stdout
+    database = _load_dataset(args.dataset, args.scale, args.seed)
+    engine = _engine(database, args.recommendations, args.maps)
+    session = engine.session()
+    record = session.step(with_recommendations=True)
+    _print_step(record, out)
+    print(
+        "\ncommands: 1..o apply recommendation · add side.attr=value · "
+        "drop side.attr · sql side <predicate> · quit",
+        file=out,
+    )
+    while True:
+        try:
+            command = input_fn("subdex> ").strip()
+        except EOFError:
+            break
+        if not command:
+            continue
+        if command.lower() in ("quit", "exit", "q"):
+            break
+        try:
+            if command.isdigit():
+                index = int(command) - 1
+                recommendations = record.recommendations
+                if not 0 <= index < len(recommendations):
+                    print(f"no recommendation [{command}]", file=out)
+                    continue
+                record = session.step(
+                    recommendations[index].operation, with_recommendations=True
+                )
+            else:
+                criteria = _parse_edit(command, session)
+                record = session.apply_criteria(
+                    criteria, with_recommendations=True
+                )
+            _print_step(record, out)
+        except (ReproError, ValueError) as error:
+            print(f"error: {error}", file=out)
+    if args.log:
+        path = ExplorationPath(ExplorationMode.USER_DRIVEN, session.steps)
+        ExplorationLog.from_path(path, dataset=database.name).save(args.log)
+        print(f"exploration log written to {args.log}", file=out)
+    return 0
+
+
+# -- parser ---------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SubDEx — Subjective Data Exploration",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", default="yelp",
+                       help="movielens | yelp | hotels (default: yelp)")
+        p.add_argument("--scale", type=float, default=0.05,
+                       help="dataset scale factor (1.0 = paper size)")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_summary = sub.add_parser("summary", help="dataset statistics (Table 2)")
+    common(p_summary)
+    p_summary.set_defaults(fn=cmd_summary)
+
+    p_explore = sub.add_parser("explore", help="Fully-Automated exploration")
+    common(p_explore)
+    p_explore.add_argument("--steps", type=int, default=5)
+    p_explore.add_argument("--maps", type=int, default=3, help="k")
+    p_explore.add_argument("--recommendations", type=int, default=3, help="o")
+    p_explore.add_argument("--log", default=None,
+                           help="write the exploration log to this JSON file")
+    p_explore.set_defaults(fn=cmd_explore)
+
+    p_inter = sub.add_parser("interactive", help="interactive exploration")
+    common(p_inter)
+    p_inter.add_argument("--maps", type=int, default=3, help="k")
+    p_inter.add_argument("--recommendations", type=int, default=3, help="o")
+    p_inter.add_argument("--log", default=None)
+    p_inter.set_defaults(fn=cmd_interactive)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,142 @@
+"""SubDEx core: the paper's primary contribution (S4–S11)."""
+
+from .aggregation import (
+    ScoreAggregation,
+    aggregate_score,
+    median_score,
+    mode_score,
+)
+from .caching import CacheStats, CachingEngine, LRUCache
+from .distance import (
+    MapDistanceMethod,
+    emd,
+    kl_divergence,
+    map_distance,
+    min_pairwise_distance,
+    total_variation,
+)
+from .distributions import RatingDistribution
+from .engine import SubDEx, SubDExConfig
+from .history import ExplorationLog, LoggedMap, LoggedStep
+from .generator import GeneratorConfig, RMSetGenerator, RMSetResult
+from .gmm import exact_max_min_subset, gmm_select, min_pairwise
+from .interestingness import (
+    Criterion,
+    CriterionScores,
+    DispersionMeasure,
+    InterestingnessScorer,
+    PeculiarityDistance,
+)
+from .modes import (
+    ExplorationMode,
+    ExplorationPath,
+    run_fully_automated,
+    run_recommendation_powered,
+    run_user_driven,
+)
+from .normalization import NormalizationStrategy, minmax_normalize, squash_ratio
+from .phases import PhasedExecution, PhasedExecutionResult, PhaseSnapshot
+from .pruning import (
+    CombinedPruner,
+    ConfidenceIntervalPruner,
+    MABPruner,
+    NoPruning,
+    PruningStrategy,
+    make_pruner,
+)
+from .rating_maps import (
+    RatingMap,
+    RatingMapSpec,
+    Subgroup,
+    build_rating_map,
+    enumerate_map_specs,
+)
+from .recommend import RecommendationBuilder, RecommenderConfig, ScoredOperation
+from .sampling import ApproximateMap, approximate_rating_map, ordering_agreement
+from .selection import SelectionResult, select_diverse_maps
+from .session import ExplorationSession, StepRecord
+from .utility import (
+    ScoredCandidate,
+    SeenMaps,
+    UtilityAggregation,
+    UtilityConfig,
+    aggregate_utility,
+    dimension_weights,
+    get_weights,
+    normalize_criteria,
+    score_candidate_set,
+)
+
+__all__ = [
+    "ApproximateMap",
+    "CacheStats",
+    "CachingEngine",
+    "ExplorationLog",
+    "LRUCache",
+    "LoggedMap",
+    "LoggedStep",
+    "approximate_rating_map",
+    "ordering_agreement",
+    "CombinedPruner",
+    "ConfidenceIntervalPruner",
+    "Criterion",
+    "CriterionScores",
+    "DispersionMeasure",
+    "ExplorationMode",
+    "ExplorationPath",
+    "ExplorationSession",
+    "GeneratorConfig",
+    "InterestingnessScorer",
+    "MABPruner",
+    "MapDistanceMethod",
+    "NoPruning",
+    "NormalizationStrategy",
+    "PeculiarityDistance",
+    "PhaseSnapshot",
+    "PhasedExecution",
+    "PhasedExecutionResult",
+    "PruningStrategy",
+    "RMSetGenerator",
+    "RMSetResult",
+    "RatingDistribution",
+    "RatingMap",
+    "RatingMapSpec",
+    "RecommendationBuilder",
+    "ScoreAggregation",
+    "RecommenderConfig",
+    "ScoredCandidate",
+    "ScoredOperation",
+    "SeenMaps",
+    "SelectionResult",
+    "StepRecord",
+    "SubDEx",
+    "SubDExConfig",
+    "Subgroup",
+    "UtilityAggregation",
+    "UtilityConfig",
+    "aggregate_score",
+    "aggregate_utility",
+    "build_rating_map",
+    "dimension_weights",
+    "emd",
+    "enumerate_map_specs",
+    "exact_max_min_subset",
+    "get_weights",
+    "gmm_select",
+    "kl_divergence",
+    "make_pruner",
+    "map_distance",
+    "median_score",
+    "mode_score",
+    "min_pairwise",
+    "min_pairwise_distance",
+    "minmax_normalize",
+    "normalize_criteria",
+    "run_fully_automated",
+    "run_recommendation_powered",
+    "run_user_driven",
+    "score_candidate_set",
+    "select_diverse_maps",
+    "squash_ratio",
+    "total_variation",
+]

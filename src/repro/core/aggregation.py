@@ -1,0 +1,67 @@
+"""Subgroup score aggregation functions (paper Def. 2, remark).
+
+The paper assigns each subgroup a single aggregated score, using the
+*average* "in this work" and noting that "other aggregations could be used
+such as the highest probability for the rating dimension" — i.e. the mode.
+This module provides the catalogue (mean / mode / median) so rating-map
+displays and downstream analyses can swap the aggregate.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Callable
+
+import numpy as np
+
+from .distributions import RatingDistribution
+
+__all__ = ["ScoreAggregation", "aggregate_score", "mode_score", "median_score"]
+
+
+class ScoreAggregation(str, enum.Enum):
+    """How a subgroup's distribution becomes one displayed score."""
+
+    MEAN = "mean"
+    MODE = "mode"  # the paper's "highest probability" alternative
+    MEDIAN = "median"
+
+
+def mode_score(distribution: RatingDistribution) -> float:
+    """The score with the highest probability (ties → the lowest score).
+
+    NaN for empty distributions.
+    """
+    if distribution.is_empty:
+        return math.nan
+    return float(int(np.argmax(distribution.counts)) + 1)
+
+
+def median_score(distribution: RatingDistribution) -> float:
+    """The (lower) median score of the histogram; NaN when empty."""
+    total = distribution.total
+    if total == 0:
+        return math.nan
+    midpoint = (total + 1) // 2
+    running = 0
+    for score, count in enumerate(distribution.counts, start=1):
+        running += int(count)
+        if running >= midpoint:
+            return float(score)
+    return float(distribution.scale)  # pragma: no cover - unreachable
+
+
+_AGGREGATORS: dict[ScoreAggregation, Callable[[RatingDistribution], float]] = {
+    ScoreAggregation.MEAN: lambda d: d.mean(),
+    ScoreAggregation.MODE: mode_score,
+    ScoreAggregation.MEDIAN: median_score,
+}
+
+
+def aggregate_score(
+    distribution: RatingDistribution,
+    aggregation: ScoreAggregation = ScoreAggregation.MEAN,
+) -> float:
+    """The subgroup's displayed score under the chosen aggregation."""
+    return _AGGREGATORS[aggregation](distribution)

@@ -1,0 +1,161 @@
+"""Interactivity caching (paper §2: in-memory caching / avoiding repeated
+data access, after [18] and Data Canopy [57]).
+
+Interactive SDE repeatedly revisits rating groups — a user rolls up, drills
+back down, retraces recommendations.  :class:`CachingEngine` wraps a
+:class:`~repro.core.engine.SubDEx` engine with two LRU caches:
+
+* **group cache** — materialised :class:`RatingGroup` row sets per
+  selection criteria (the dominant per-operation cost);
+* **result cache** — full :class:`RMSetResult` per (criteria, seen-state
+  fingerprint), so re-examining a selection under the same display history
+  is instant.
+
+The caches are transparent (identical results) and expose hit statistics
+for the interactivity bench.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from ..model.groups import RatingGroup, SelectionCriteria
+from .engine import SubDEx
+from .generator import RMSetResult
+from .utility import SeenMaps
+
+__all__ = ["CacheStats", "LRUCache", "CachingEngine"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hits / {self.requests} requests "
+            f"({self.hit_rate:.0%}), {self.evictions} evictions"
+        )
+
+
+class LRUCache:
+    """A small, explicit LRU cache (no functools.lru_cache: we need stats
+    and non-function usage)."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._store: OrderedDict[Hashable, object] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: Hashable) -> object | None:
+        if key in self._store:
+            self._store.move_to_end(key)
+            self.stats.hits += 1
+            return self._store[key]
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: Hashable, value: object) -> None:
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = value
+        if len(self._store) > self._capacity:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+def _seen_fingerprint(seen: SeenMaps) -> tuple:
+    """A hashable fingerprint of the display history that affects results.
+
+    DW utilities depend on the dimension/attribute histories and global
+    peculiarity on the pooled distributions; both are captured by the
+    ordered dimension history plus the pooled distributions themselves
+    (hashable RatingDistribution values).
+    """
+    return (
+        seen.dimension_history(),
+        seen.pooled_distributions(),
+    )
+
+
+class CachingEngine:
+    """A drop-in caching layer over :class:`SubDEx`.
+
+    ``rating_maps`` / ``group`` calls hit the caches; everything else
+    delegates to the wrapped engine.
+    """
+
+    def __init__(
+        self,
+        engine: SubDEx,
+        group_capacity: int = 256,
+        result_capacity: int = 128,
+    ) -> None:
+        self._engine = engine
+        self._groups = LRUCache(group_capacity)
+        self._results = LRUCache(result_capacity)
+
+    @property
+    def engine(self) -> SubDEx:
+        return self._engine
+
+    @property
+    def group_stats(self) -> CacheStats:
+        return self._groups.stats
+
+    @property
+    def result_stats(self) -> CacheStats:
+        return self._results.stats
+
+    def group(self, criteria: SelectionCriteria) -> RatingGroup:
+        """A (cached) materialised rating group."""
+        cached = self._groups.get(criteria)
+        if cached is None:
+            cached = RatingGroup(self._engine.database, criteria)
+            self._groups.put(criteria, cached)
+        return cached  # type: ignore[return-value]
+
+    def rating_maps(
+        self,
+        criteria: SelectionCriteria | None = None,
+        seen: SeenMaps | None = None,
+    ) -> RMSetResult:
+        """Problem 1 with caching; results identical to the plain engine."""
+        criteria = criteria or SelectionCriteria.root()
+        seen = seen or SeenMaps(
+            self._engine.database.dimensions,
+            n_attributes=len(self._engine.database.grouping_attributes()),
+        )
+        key = (criteria, _seen_fingerprint(seen))
+        cached = self._results.get(key)
+        if cached is None:
+            group = self.group(criteria)
+            cached = self._engine.generator.generate(group, seen)
+            self._results.put(key, cached)
+        return cached  # type: ignore[return-value]
+
+    def clear(self) -> None:
+        self._groups.clear()
+        self._results.clear()

@@ -1,0 +1,113 @@
+"""Rating distributions (paper Definition 1).
+
+A :class:`RatingDistribution` is the histogram of rating scores of a record
+set on the integer scale ``{1, ..., m}`` — the sufficient statistic for all
+interestingness and distance computations in SubDEx.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..stats.dispersion import histogram_mean, histogram_std
+
+__all__ = ["RatingDistribution"]
+
+
+class RatingDistribution:
+    """Immutable histogram of scores over the scale ``1..m``."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Iterable[int] | np.ndarray) -> None:
+        counts = np.asarray(list(counts) if not isinstance(counts, np.ndarray) else counts)
+        if counts.ndim != 1 or counts.size < 2:
+            raise ValueError("counts must be a 1-D array over a scale of >= 2")
+        if (counts < 0).any():
+            raise ValueError("counts must be non-negative")
+        self._counts = counts.astype(np.int64)
+        self._counts.setflags(write=False)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[int, int], scale: int) -> "RatingDistribution":
+        """Build from ``{score: count}`` (Figure 3's ``{1:1, 2:2, ...}``)."""
+        counts = np.zeros(scale, dtype=np.int64)
+        for score, count in mapping.items():
+            if not 1 <= int(score) <= scale:
+                raise ValueError(f"score {score} outside scale 1..{scale}")
+            counts[int(score) - 1] = int(count)
+        return cls(counts)
+
+    @classmethod
+    def from_scores(cls, scores: np.ndarray, scale: int) -> "RatingDistribution":
+        """Histogram of a raw score array (non-finite entries dropped)."""
+        scores = np.asarray(scores, dtype=np.float64)
+        with np.errstate(invalid="ignore"):
+            valid = np.isfinite(scores) & (scores >= 1) & (scores <= scale)
+        buckets = scores[valid].astype(np.int64) - 1
+        return cls(np.bincount(buckets, minlength=scale))
+
+    # -- accessors --------------------------------------------------------
+    @property
+    def counts(self) -> np.ndarray:
+        return self._counts
+
+    @property
+    def scale(self) -> int:
+        return int(self._counts.size)
+
+    @property
+    def total(self) -> int:
+        """Number of records in the histogram."""
+        return int(self._counts.sum())
+
+    @property
+    def is_empty(self) -> bool:
+        return self.total == 0
+
+    def probabilities(self) -> np.ndarray:
+        """Normalised distribution (uniform if empty, so distances stay defined)."""
+        total = self.total
+        if total == 0:
+            return np.full(self.scale, 1.0 / self.scale)
+        return self._counts / total
+
+    def mean(self) -> float:
+        """Average score (the paper's per-subgroup aggregated score)."""
+        return histogram_mean(self._counts)
+
+    def std(self) -> float:
+        return histogram_std(self._counts)
+
+    def count_of(self, score: int) -> int:
+        return int(self._counts[score - 1])
+
+    def to_mapping(self) -> dict[int, int]:
+        """Figure 3 style ``{score: count}`` including zero entries."""
+        return {j + 1: int(c) for j, c in enumerate(self._counts)}
+
+    # -- algebra ------------------------------------------------------------
+    def merge(self, other: "RatingDistribution") -> "RatingDistribution":
+        """Pointwise sum (pooling two disjoint record sets)."""
+        if other.scale != self.scale:
+            raise ValueError("cannot merge distributions with different scales")
+        return RatingDistribution(self._counts + other.counts)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RatingDistribution)
+            and self.scale == other.scale
+            and bool((self._counts == other.counts).all())
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._counts.tobytes())
+
+    def __repr__(self) -> str:
+        body = ",".join(f"{j + 1}:{c}" for j, c in enumerate(self._counts))
+        mean = self.mean()
+        mean_str = "nan" if math.isnan(mean) else f"{mean:.2f}"
+        return f"RatingDistribution({{{body}}}, mean={mean_str})"

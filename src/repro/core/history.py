@@ -1,0 +1,177 @@
+"""Exploration-log persistence.
+
+SubDEx's related work leans on logs of previous operations for personalised
+recommendations (paper §5.2.2: "the Recommendation Builder may be replaced
+with alternative implementations, yielding personalized recommendations
+using logs of previous operations").  This module provides the log format:
+an :class:`ExplorationLog` serialises a completed path (criteria, displayed
+maps, chosen operations, timings) to JSON and back, losing the raw
+histograms' bulk but keeping everything the personalisation layer
+(:mod:`repro.extensions.personalize`) and offline analyses need.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..model.database import Side
+from .modes import ExplorationMode, ExplorationPath
+
+__all__ = ["LoggedMap", "LoggedStep", "ExplorationLog"]
+
+
+@dataclass(frozen=True)
+class LoggedMap:
+    """A displayed rating map, reduced to its identity and headline stats."""
+
+    side: str
+    attribute: str
+    dimension: str
+    n_subgroups: int
+    covered: int
+    dw_utility: float
+    top_label: str | None = None
+    top_average: float | None = None
+
+
+@dataclass(frozen=True)
+class LoggedStep:
+    """One step of a logged exploration."""
+
+    index: int
+    criteria: dict[str, dict[str, Any]]  # side → {attribute: value}
+    group_size: int
+    maps: tuple[LoggedMap, ...]
+    operation_kind: str | None
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class ExplorationLog:
+    """A serialisable record of one exploration path."""
+
+    dataset: str
+    mode: str
+    steps: tuple[LoggedStep, ...]
+    user: str = "anonymous"
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_path(
+        cls,
+        path: ExplorationPath,
+        dataset: str,
+        user: str = "anonymous",
+        metadata: dict[str, Any] | None = None,
+    ) -> "ExplorationLog":
+        steps = []
+        for record in path.steps:
+            criteria = {
+                Side.REVIEWER.value: record.criteria.side_pairs(Side.REVIEWER),
+                Side.ITEM.value: record.criteria.side_pairs(Side.ITEM),
+            }
+            maps = []
+            for rating_map in record.result.selected:
+                top = rating_map.sorted_by_score()
+                maps.append(
+                    LoggedMap(
+                        side=rating_map.spec.side.value,
+                        attribute=rating_map.spec.attribute,
+                        dimension=rating_map.dimension,
+                        n_subgroups=rating_map.n_subgroups,
+                        covered=rating_map.covered,
+                        dw_utility=record.result.dw_utility(rating_map),
+                        top_label=str(top[0].label) if top else None,
+                        top_average=top[0].average_score if top else None,
+                    )
+                )
+            steps.append(
+                LoggedStep(
+                    index=record.index,
+                    criteria=criteria,
+                    group_size=record.group_size,
+                    maps=tuple(maps),
+                    operation_kind=(
+                        record.operation.kind.value if record.operation else None
+                    ),
+                    elapsed_seconds=record.elapsed_seconds,
+                )
+            )
+        return cls(
+            dataset=dataset,
+            mode=path.mode.value,
+            steps=tuple(steps),
+            user=user,
+            metadata=dict(metadata or {}),
+        )
+
+    # -- (de)serialisation ----------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExplorationLog":
+        data = json.loads(text)
+        steps = tuple(
+            LoggedStep(
+                index=s["index"],
+                criteria=s["criteria"],
+                group_size=s["group_size"],
+                maps=tuple(LoggedMap(**m) for m in s["maps"]),
+                operation_kind=s["operation_kind"],
+                elapsed_seconds=s["elapsed_seconds"],
+            )
+            for s in data["steps"]
+        )
+        return cls(
+            dataset=data["dataset"],
+            mode=data["mode"],
+            steps=steps,
+            user=data.get("user", "anonymous"),
+            metadata=data.get("metadata", {}),
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExplorationLog":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    @classmethod
+    def load_all(cls, directory: str | Path) -> list["ExplorationLog"]:
+        """Load every ``*.json`` log in a directory (sorted by name)."""
+        return [
+            cls.load(p) for p in sorted(Path(directory).glob("*.json"))
+        ]
+
+    # -- analysis helpers ------------------------------------------------------
+    @property
+    def explored_mode(self) -> ExplorationMode:
+        return ExplorationMode(self.mode)
+
+    def shown_specs(self) -> list[tuple[str, str, str]]:
+        """Every displayed (side, attribute, dimension), in order."""
+        return [
+            (m.side, m.attribute, m.dimension)
+            for step in self.steps
+            for m in step.maps
+        ]
+
+    def total_seconds(self) -> float:
+        return sum(step.elapsed_seconds for step in self.steps)
+
+    @staticmethod
+    def spec_frequencies(
+        logs: Iterable["ExplorationLog"],
+    ) -> dict[tuple[str, str, str], int]:
+        """Display counts of each map spec across a set of logs."""
+        counts: dict[tuple[str, str, str], int] = {}
+        for log in logs:
+            for spec in log.shown_specs():
+                counts[spec] = counts.get(spec, 0) + 1
+        return counts

@@ -1,0 +1,167 @@
+"""The three exploration modes (paper §3.3).
+
+* **User-Driven** — the system only shows rating maps; the user supplies the
+  next operation (here: a chooser callback over the enumerated operation
+  neighbourhood, with *no* utility information — exactly the information
+  asymmetry the paper's user study measures).
+* **Recommendation-Powered** — the system additionally shows the top-o
+  scored recommendations; the chooser sees them and may pick one or act on
+  its own.
+* **Fully-Automated** — the system applies the top-1 recommendation for a
+  fixed number of steps, no user input.
+
+All modes return an :class:`ExplorationPath` (the per-step records), which
+the user study and the benches consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..exceptions import OperationError
+from ..model.operations import Operation
+from .recommend import ScoredOperation
+from .session import ExplorationSession, StepRecord
+
+__all__ = [
+    "ExplorationMode",
+    "ExplorationPath",
+    "UserDrivenChooser",
+    "RecommendationChooser",
+    "run_user_driven",
+    "run_recommendation_powered",
+    "run_fully_automated",
+]
+
+
+class ExplorationMode(str, enum.Enum):
+    """The paper's three modes."""
+
+    USER_DRIVEN = "user-driven"
+    RECOMMENDATION_POWERED = "recommendation-powered"
+    FULLY_AUTOMATED = "fully-automated"
+
+    @property
+    def short(self) -> str:
+        return {
+            ExplorationMode.USER_DRIVEN: "UD",
+            ExplorationMode.RECOMMENDATION_POWERED: "RP",
+            ExplorationMode.FULLY_AUTOMATED: "FA",
+        }[self]
+
+
+@dataclass(frozen=True)
+class ExplorationPath:
+    """A completed exploration: mode + ordered step records."""
+
+    mode: ExplorationMode
+    steps: tuple[StepRecord, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def all_maps(self):
+        """Every rating map shown along the path, in display order."""
+        return [rm for step in self.steps for rm in step.result.selected]
+
+    def describe(self) -> str:
+        header = f"=== {self.mode.value} exploration, {len(self.steps)} steps ==="
+        return "\n".join([header] + [step.describe() for step in self.steps])
+
+
+#: UD chooser: (session, candidate operations) → operation or None to stop.
+UserDrivenChooser = Callable[
+    [ExplorationSession, Sequence[Operation]], Operation | None
+]
+#: RP chooser: (session, scored recommendations) → operation or None to stop.
+RecommendationChooser = Callable[
+    [ExplorationSession, Sequence[ScoredOperation]], Operation | None
+]
+
+
+def run_user_driven(
+    session: ExplorationSession,
+    chooser: UserDrivenChooser,
+    n_steps: int,
+) -> ExplorationPath:
+    """User-Driven mode: maps shown, next operation chosen blind.
+
+    An operation that turns out empty is simply rejected by the UI (as in
+    the real system), so the chooser is asked again with that candidate
+    removed — up to a handful of retries per step.
+    """
+    records = [session.step()]
+    for __ in range(n_steps - 1):
+        candidates = session.recommender.candidate_operations(session.criteria)
+        record = None
+        for __retry in range(10):
+            operation = chooser(session, candidates)
+            if operation is None:
+                break
+            try:
+                record = session.step(operation)
+                break
+            except OperationError:
+                candidates = [c for c in candidates if c.target != operation.target]
+        if record is None:
+            break
+        records.append(record)
+    return ExplorationPath(ExplorationMode.USER_DRIVEN, tuple(records))
+
+
+def run_recommendation_powered(
+    session: ExplorationSession,
+    chooser: RecommendationChooser,
+    n_steps: int,
+) -> ExplorationPath:
+    """Recommendation-Powered mode: maps + top-o recommendations shown.
+
+    Recommended operations are never empty (the builder filters them), but
+    a chooser acting on its own may still produce one — such steps are
+    rejected and the chooser falls back to the top recommendation.
+    """
+    records = [session.step(with_recommendations=True)]
+    for __ in range(n_steps - 1):
+        recommendations = records[-1].recommendations
+        operation = chooser(session, recommendations)
+        if operation is None:
+            break
+        try:
+            record = session.step(operation, with_recommendations=True)
+        except OperationError:
+            if not recommendations:
+                break
+            record = session.step(
+                recommendations[0].operation, with_recommendations=True
+            )
+        records.append(record)
+    return ExplorationPath(
+        ExplorationMode.RECOMMENDATION_POWERED, tuple(records)
+    )
+
+
+def run_fully_automated(
+    session: ExplorationSession,
+    n_steps: int,
+) -> ExplorationPath:
+    """Fully-Automated mode: apply the top-1 recommendation every step.
+
+    Exactly top-1, no user judgment: the mode cannot skip a recommendation
+    that returns to an already-visited selection — precisely the
+    inflexibility the paper's study attributes FA's cap to.  (The engine
+    itself never recommends an operation whose rating group is *identical*
+    to the current one, so degenerate same-group oscillation cannot occur.)
+    """
+    records = [session.step(with_recommendations=True)]
+    for __ in range(n_steps - 1):
+        recommendations = records[-1].recommendations
+        if not recommendations:
+            break
+        records.append(
+            session.step(
+                recommendations[0].operation, with_recommendations=True
+            )
+        )
+    return ExplorationPath(ExplorationMode.FULLY_AUTOMATED, tuple(records))

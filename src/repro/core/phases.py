@@ -1,0 +1,226 @@
+"""Phase-based execution framework (paper Algorithm 1).
+
+The framework materialises all candidate rating maps of a rating group
+incrementally: the group's records are split into ``n`` near-equal fractions
+and each phase folds one fraction into per-candidate histogram accumulators.
+Between phases a pluggable pruner (see :mod:`repro.core.pruning`) inspects
+the partial scores and discards low-utility candidates so later phases touch
+less state.
+
+Sharing (paper §4.2.1) is structural: candidates that group by the same
+attribute share one :class:`~repro.db.groupby.SharedGroupByScan`, so a phase
+scans each attribute once regardless of how many rating dimensions remain.
+
+Records are processed in a seeded random permutation so the
+Hoeffding–Serfling assumptions (uniform sampling without replacement) hold
+regardless of the physical row order of the rating table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from ..db.groupby import Grouping, SharedGroupByScan, phase_slices
+from ..model.groups import RatingGroup
+from .interestingness import CriterionScores, InterestingnessScorer
+from .rating_maps import RatingMap, RatingMapSpec, rating_map_from_counts
+from .utility import ScoredCandidate, SeenMaps, UtilityConfig, score_candidate_set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pruning import Pruner
+
+__all__ = ["PhaseSnapshot", "PhasedExecutionResult", "PhasedExecution"]
+
+
+@dataclass(frozen=True)
+class PhaseSnapshot:
+    """What a pruner sees at the end of a phase."""
+
+    phase: int
+    n_phases: int
+    rows_seen: int
+    n_total: int
+    scores: Mapping[RatingMapSpec, ScoredCandidate]
+
+    @property
+    def fraction_seen(self) -> float:
+        return self.rows_seen / self.n_total if self.n_total else 1.0
+
+
+@dataclass(frozen=True)
+class PhasedExecutionResult:
+    """Outcome of one Algorithm-1 run."""
+
+    ranked: tuple[RatingMap, ...]
+    scores: Mapping[RatingMapSpec, ScoredCandidate]
+    pruned: tuple[RatingMapSpec, ...]
+    phases_run: int
+
+    def top(self, n: int) -> tuple[RatingMap, ...]:
+        return self.ranked[:n]
+
+
+class PhasedExecution:
+    """One run of the phase-based framework over a rating group.
+
+    Parameters
+    ----------
+    group:
+        The rating group g_R to summarise.
+    specs:
+        Candidate rating-map specs (GroupBy attribute × dimension).
+    seen:
+        The cross-step RM state (dimension weights, global-peculiarity refs).
+    utility_config:
+        Utility function configuration.
+    scorer:
+        Raw-criteria scorer (shared across phases).
+    n_phases:
+        The paper sets n = 10.
+    shuffle_seed:
+        Seed of the record permutation (``None`` disables shuffling).
+    """
+
+    def __init__(
+        self,
+        group: RatingGroup,
+        specs: Sequence[RatingMapSpec],
+        seen: SeenMaps,
+        utility_config: UtilityConfig,
+        scorer: InterestingnessScorer,
+        n_phases: int = 10,
+        shuffle_seed: int | None = 0,
+    ) -> None:
+        self._group = group
+        self._specs = tuple(specs)
+        self._seen = seen
+        self._config = utility_config
+        self._scorer = scorer
+        self._n_phases = max(1, int(n_phases))
+        self._shuffle_seed = shuffle_seed
+        self._seen_pooled = seen.pooled_distributions()
+
+        # Shared scans: one per grouping attribute, covering all dimensions
+        # of the specs that use it ("Combining Multiple Aggregates").
+        self._scans: dict[tuple, SharedGroupByScan] = {}
+        self._labels: dict[tuple, tuple] = {}
+        by_attribute: dict[tuple, list[RatingMapSpec]] = {}
+        for spec in self._specs:
+            by_attribute.setdefault((spec.side, spec.attribute), []).append(spec)
+        for (side, attribute), attr_specs in by_attribute.items():
+            codes = group.subgroup_codes(side, attribute)
+            labels = group.subgroup_labels(side, attribute)
+            grouping = Grouping(attribute, codes, labels)
+            dimension_scores = {
+                spec.dimension: group.scores(spec.dimension) for spec in attr_specs
+            }
+            self._scans[(side, attribute)] = SharedGroupByScan(
+                grouping, dimension_scores, group.database.scale
+            )
+            self._labels[(side, attribute)] = labels
+
+        self._active: set[RatingMapSpec] = set(self._specs)
+        self._pruned: list[RatingMapSpec] = []
+        self._rows_seen = 0
+
+    # -- internals ----------------------------------------------------------
+    def _permuted_rows(self) -> np.ndarray:
+        n = len(self._group)
+        rows = np.arange(n, dtype=np.int64)
+        if self._shuffle_seed is not None and n > 1:
+            rng = np.random.default_rng(self._shuffle_seed)
+            rng.shuffle(rows)
+        return rows
+
+    def _counts_of(self, spec: RatingMapSpec) -> np.ndarray:
+        scan = self._scans[(spec.side, spec.attribute)]
+        return scan.accumulator(spec.dimension).counts
+
+    def _raw_scores(self) -> dict[RatingMapSpec, CriterionScores]:
+        group_size = len(self._group)
+        return {
+            spec: self._scorer.score(
+                self._counts_of(spec), group_size, self._seen_pooled
+            )
+            for spec in self._active
+        }
+
+    def _scored(self) -> dict[RatingMapSpec, ScoredCandidate]:
+        raw = self._raw_scores()
+        dimension_of = {spec: spec.dimension for spec in raw}
+        attribute_of = {spec: (spec.side, spec.attribute) for spec in raw}
+        return score_candidate_set(
+            raw, dimension_of, self._seen, self._config, attribute_of
+        )
+
+    def _drop(self, specs: set[RatingMapSpec]) -> None:
+        for spec in specs:
+            if spec not in self._active:
+                continue
+            self._active.discard(spec)
+            self._pruned.append(spec)
+            scan = self._scans[(spec.side, spec.attribute)]
+            # only stop accumulating a dimension nothing else needs
+            if not any(
+                s.dimension == spec.dimension
+                and (s.side, s.attribute) == (spec.side, spec.attribute)
+                for s in self._active
+            ):
+                scan.drop_dimension(spec.dimension)
+
+    # -- the algorithm ------------------------------------------------------
+    def run(self, pruner: "Pruner", k_prime: int) -> PhasedExecutionResult:
+        """Algorithm 1: phased scan with inter-phase pruning.
+
+        ``k_prime`` is k × l, the number of maps to retain.  Returns the
+        surviving maps ranked by DW utility (materialised from their final
+        histograms) together with their scores.
+        """
+        pruner.begin(self._specs, k_prime)
+        rows = self._permuted_rows()
+        slices = phase_slices(len(rows), self._n_phases)
+        phases_run = 0
+        for i, block in enumerate(slices):
+            phase_rows = rows[block]
+            for scan in self._scans.values():
+                scan.update(phase_rows)
+            self._rows_seen += int(len(phase_rows))
+            phases_run += 1
+            is_last = i == len(slices) - 1
+            if is_last or len(self._active) <= k_prime:
+                continue
+            if not getattr(pruner, "needs_snapshots", True):
+                continue  # e.g. NoPruning: skip the inter-phase scoring
+            snapshot = PhaseSnapshot(
+                phase=i + 1,
+                n_phases=len(slices),
+                rows_seen=self._rows_seen,
+                n_total=len(self._group),
+                scores=self._scored(),
+            )
+            to_drop = pruner.prune(snapshot)
+            self._drop(to_drop & self._active)
+
+        final_scores = self._scored()
+        order = sorted(
+            final_scores,
+            key=lambda s: (-final_scores[s].dw_utility, s),
+        )
+        ranked: list[RatingMap] = []
+        for spec in order[:k_prime]:
+            counts = np.array(self._counts_of(spec))
+            labels = self._labels[(spec.side, spec.attribute)]
+            rating_map = rating_map_from_counts(
+                spec, self._group.criteria, counts, labels, len(self._group)
+            )
+            if rating_map.is_informative:
+                ranked.append(rating_map)
+        return PhasedExecutionResult(
+            ranked=tuple(ranked),
+            scores=final_scores,
+            pruned=tuple(self._pruned),
+            phases_run=phases_run,
+        )

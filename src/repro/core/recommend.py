@@ -1,0 +1,189 @@
+"""Recommendation Builder: next-step recommendations (Problem 2, paper §4.3).
+
+Candidate operations are the ≤-2-edit neighbourhood of the current selection
+criteria.  Each candidate is scored by Eq. (2): the sum of the DW utilities
+of the k rating maps its rating group would display — i.e. the RM-Set
+Generator is reused as the scoring oracle, which is exactly how the paper
+recommends maps and operations *simultaneously*.
+
+Scoring independent candidates is embarrassingly parallel; the builder
+evaluates them on a thread pool (the histogram accumulation is numpy-bound
+and releases the GIL).  ``parallel=False`` gives the paper's No-Parallelism
+baseline.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from ..model.database import SubjectiveDatabase
+from ..model.groups import RatingGroup, SelectionCriteria
+from ..model.operations import Operation, enumerate_operations
+from .generator import RMSetGenerator, RMSetResult
+from .pruning import PruningStrategy
+from .utility import SeenMaps
+
+__all__ = ["RecommenderConfig", "ScoredOperation", "RecommendationBuilder"]
+
+
+@dataclass(frozen=True)
+class RecommenderConfig:
+    """Parameters of the Recommendation Builder.
+
+    ``o`` is the number of recommendations (paper default 3);
+    ``max_values_per_attribute`` caps the FILTER/CHANGE fan-out per
+    attribute (most frequent values first); ``min_group_size`` discards
+    operations whose rating group is too small to chart.
+
+    ``preview_uses_full_pipeline`` controls how candidate operations are
+    scored.  By default each candidate's rating maps are computed with a
+    single exact pass (``preview_n_phases`` = 1, no pruning): the phased
+    pruning framework exists to cut *scan* cost, but for in-memory
+    candidate scoring a single vectorised pass is both faster and exact.
+    The scalability benches set ``preview_uses_full_pipeline=True`` so the
+    recommender exercises the configured pruning scheme end to end, as the
+    paper's timing experiments do.
+    """
+
+    o: int = 3
+    max_values_per_attribute: int | None = None
+    include_compound: bool = False
+    min_group_size: int = 5
+    parallel: bool = True
+    max_workers: int | None = None
+    preview_uses_full_pipeline: bool = False
+    preview_n_phases: int = 1
+
+    def workers(self) -> int:
+        if not self.parallel:
+            return 1
+        if self.max_workers is not None:
+            return max(1, self.max_workers)
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class ScoredOperation:
+    """A candidate operation with its Eq.-(2) utility and map preview."""
+
+    operation: Operation
+    utility: float
+    preview: RMSetResult
+
+    @property
+    def target(self) -> SelectionCriteria:
+        return self.operation.target
+
+    def describe(self) -> str:
+        return f"{self.operation.describe()}  [u={self.utility:.3f}]"
+
+
+class RecommendationBuilder:
+    """Scores the operation neighbourhood and returns the top-o."""
+
+    def __init__(
+        self,
+        database: SubjectiveDatabase,
+        generator: RMSetGenerator,
+        config: RecommenderConfig | None = None,
+    ) -> None:
+        self._database = database
+        self._generator = generator
+        self._config = config or RecommenderConfig()
+        if self._config.preview_uses_full_pipeline:
+            self._preview_generator = generator
+        else:
+            self._preview_generator = RMSetGenerator(
+                replace(
+                    generator.config,
+                    n_phases=max(1, self._config.preview_n_phases),
+                    pruning=PruningStrategy.NONE,
+                )
+            )
+
+    @property
+    def config(self) -> RecommenderConfig:
+        return self._config
+
+    def candidate_operations(self, current: SelectionCriteria) -> list[Operation]:
+        """The enumerated (unscored) neighbourhood of ``current``."""
+        return list(
+            enumerate_operations(
+                self._database,
+                current,
+                max_values_per_attribute=self._config.max_values_per_attribute,
+                include_compound=self._config.include_compound,
+            )
+        )
+
+    def _score_one(
+        self,
+        operation: Operation,
+        seen: SeenMaps,
+        current_rows: "np.ndarray | None" = None,
+    ) -> ScoredOperation | None:
+        group = RatingGroup(self._database, operation.target)
+        if len(group) < self._config.min_group_size:
+            return None
+        if current_rows is not None and len(group) == len(current_rows):
+            # §3.2.1: an operation generates a *new* rating group — adding a
+            # redundant pair (1992 ⊆ 1990s) selects the same records and is
+            # not a real move (it also causes add/remove oscillation in FA)
+            if np.array_equal(group.rows, current_rows):
+                return None
+        preview = self._preview_generator.generate(group, seen)
+        if not preview.selected:
+            return None
+        return ScoredOperation(operation, preview.total_utility(), preview)
+
+    def recommend(
+        self,
+        current: SelectionCriteria,
+        seen: SeenMaps,
+        o: int | None = None,
+        candidates: Sequence[Operation] | None = None,
+        exclude_targets: "set[SelectionCriteria] | frozenset[SelectionCriteria] | None" = None,
+    ) -> list[ScoredOperation]:
+        """Problem 2: the top-o next operations by aggregated DW utility.
+
+        ``exclude_targets`` drops candidates leading back to selections the
+        session has already examined — the operation-level counterpart of
+        multi-step diversity.  Without it, two selections whose map sets
+        tie in utility trap the Fully-Automated mode in an A↔B cycle.
+        """
+        o = self._config.o if o is None else o
+        operations = (
+            list(candidates)
+            if candidates is not None
+            else self.candidate_operations(current)
+        )
+        if exclude_targets:
+            filtered = [
+                op for op in operations if op.target not in exclude_targets
+            ]
+            if filtered:
+                operations = filtered
+        current_rows = RatingGroup(self._database, current).rows
+        workers = self._config.workers()
+        if workers > 1 and len(operations) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                scored = list(
+                    pool.map(
+                        lambda op: self._score_one(op, seen, current_rows),
+                        operations,
+                    )
+                )
+        else:
+            scored = [
+                self._score_one(op, seen, current_rows) for op in operations
+            ]
+        ranked = sorted(
+            (s for s in scored if s is not None),
+            key=lambda s: (-s.utility, s.operation.target.describe()),
+        )
+        return ranked[:o]

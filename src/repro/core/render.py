@@ -1,0 +1,73 @@
+"""Terminal rendering of rating maps (the UI's histograms, paper Fig. 1/5).
+
+The paper's UI draws rating maps as bar-chart histograms; this module is
+the terminal equivalent: per-subgroup distribution bars, score gauges, and
+a compact step dashboard used by the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .rating_maps import RatingMap
+
+__all__ = ["distribution_bar", "score_gauge", "render_histogram", "render_step"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def distribution_bar(counts: Sequence[int], width_per_bucket: int = 1) -> str:
+    """A sparkline of a score histogram, one block glyph per bucket."""
+    counts = [int(c) for c in counts]
+    peak = max(counts) if len(counts) else 0
+    if peak == 0:
+        return " " * len(counts) * width_per_bucket
+    glyphs = []
+    for count in counts:
+        level = int(round((len(_BLOCKS) - 1) * count / peak))
+        glyphs.append(_BLOCKS[level] * width_per_bucket)
+    return "".join(glyphs)
+
+
+def score_gauge(score: float, scale: int, width: int = 10) -> str:
+    """A ``[████······]`` gauge of a score's position on the 1..m scale."""
+    if math.isnan(score):
+        return "[" + "·" * width + "]"
+    position = (score - 1) / (scale - 1)
+    filled = int(round(position * width))
+    return "[" + "█" * filled + "·" * (width - filled) + "]"
+
+
+def render_histogram(rating_map: RatingMap, max_rows: int = 12) -> str:
+    """A rating map as per-subgroup sparklines + gauges (UI histogram)."""
+    lines = [f"▌ {rating_map.spec.describe()}"]
+    ordered = rating_map.sorted_by_score()
+    shown = ordered[:max_rows]
+    label_width = max((len(str(sg.label)) for sg in shown), default=5)
+    label_width = min(label_width, 24)
+    for sg in shown:
+        label = str(sg.label)
+        if len(label) > label_width:
+            label = label[: label_width - 1] + "…"
+        avg = sg.average_score
+        avg_text = " n/a" if math.isnan(avg) else f"{avg:4.1f}"
+        lines.append(
+            f"  {label:<{label_width}}  "
+            f"{distribution_bar(sg.distribution.counts, 2)}  "
+            f"{score_gauge(avg, rating_map.scale)} {avg_text}  "
+            f"({sg.size} records)"
+        )
+    if len(ordered) > max_rows:
+        lines.append(f"  … {len(ordered) - max_rows} more subgroups")
+    return "\n".join(lines)
+
+
+def render_step(maps: Sequence[RatingMap], title: str = "") -> str:
+    """A step dashboard: every displayed map as a histogram block."""
+    parts = []
+    if title:
+        parts.append(f"━━ {title} ━━")
+    for rating_map in maps:
+        parts.append(render_histogram(rating_map))
+    return "\n\n".join(parts)

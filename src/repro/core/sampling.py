@@ -1,0 +1,143 @@
+"""Approximate rating maps via sampling (paper §2, after Kim et al. [36]).
+
+For very large rating groups a full scan per map may be unnecessary: a
+uniform sample preserves each subgroup's distribution up to a quantifiable
+error, and — the property [36] optimises for — usually preserves the
+*ordering* of subgroups by average score, which is what a user reads off a
+rating map.
+
+:func:`approximate_rating_map` draws a seeded uniform sample of the group's
+records and materialises the map from the sample, attaching per-subgroup
+Hoeffding–Serfling confidence half-widths.  :func:`ordering_agreement`
+measures how well an approximation preserved the exact map's score
+ordering (Kendall-style pairwise agreement), which the test-suite bounds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..model.groups import RatingGroup
+from ..stats.hoeffding import serfling_epsilon
+from .rating_maps import RatingMap, RatingMapSpec, rating_map_from_counts
+
+__all__ = ["ApproximateMap", "approximate_rating_map", "ordering_agreement"]
+
+
+@dataclass(frozen=True)
+class ApproximateMap:
+    """A sampled rating map plus its sampling metadata."""
+
+    rating_map: RatingMap
+    sample_size: int
+    population_size: int
+    #: per-subgroup half-width of the mean estimate, in scale units —
+    #: keyed by subgroup label (each subgroup has its own effective sample)
+    subgroup_epsilons: dict
+
+    @property
+    def sample_fraction(self) -> float:
+        if self.population_size == 0:
+            return 1.0
+        return self.sample_size / self.population_size
+
+    @property
+    def mean_epsilon(self) -> float:
+        """The weakest (largest) subgroup bound — 0.0 for a full scan."""
+        if not self.subgroup_epsilons:
+            return 0.0
+        return max(self.subgroup_epsilons.values())
+
+    def epsilon_for(self, label: object) -> float:
+        return self.subgroup_epsilons.get(label, float("inf"))
+
+
+def approximate_rating_map(
+    group: RatingGroup,
+    spec: RatingMapSpec,
+    sample_fraction: float = 0.1,
+    seed: int = 0,
+    delta: float = 0.05,
+) -> ApproximateMap:
+    """Materialise ``spec`` over a uniform sample of ``group``.
+
+    The returned ``mean_epsilon`` bounds (w.p. ≥ 1 − delta, per subgroup)
+    how far a sampled subgroup's average score can sit from its exact
+    average, via the Hoeffding–Serfling inequality scaled to the rating
+    range.
+    """
+    if not 0 < sample_fraction <= 1:
+        raise ValueError(
+            f"sample_fraction must be in (0, 1], got {sample_fraction}"
+        )
+    database = group.database
+    n = len(group)
+    sample_size = max(1, int(round(sample_fraction * n)))
+    rng = np.random.default_rng(seed)
+    local_rows = (
+        np.arange(n)
+        if sample_size >= n
+        else np.sort(rng.choice(n, size=sample_size, replace=False))
+    )
+
+    full_codes = group.subgroup_codes(spec.side, spec.attribute)
+    codes = full_codes[local_rows]
+    labels = group.subgroup_labels(spec.side, spec.attribute)
+    scores = group.scores(spec.dimension)[local_rows]
+    scale = database.scale
+    with np.errstate(invalid="ignore"):
+        valid = (codes >= 0) & np.isfinite(scores) & (scores >= 1) & (scores <= scale)
+    flat = np.bincount(
+        codes[valid] * scale + (scores[valid].astype(np.int64) - 1),
+        minlength=len(labels) * scale,
+    )
+    counts = flat.reshape(len(labels), scale)
+    rating_map = rating_map_from_counts(
+        spec, group.criteria, counts, labels, n
+    )
+    # per-subgroup bounds: each subgroup's mean is estimated from its own
+    # (much smaller) sample drawn from its own population
+    population_sizes = np.bincount(
+        full_codes[full_codes >= 0], minlength=len(labels)
+    )
+    epsilons = {}
+    for code, label in enumerate(labels):
+        sampled = int(counts[code].sum())
+        population = int(population_sizes[code])
+        if sampled == 0 or population == 0:
+            continue
+        epsilons[label] = float(
+            serfling_epsilon(sampled, population, delta) * (scale - 1)
+        )
+    return ApproximateMap(
+        rating_map=rating_map,
+        sample_size=int(sample_size),
+        population_size=n,
+        subgroup_epsilons=epsilons,
+    )
+
+
+def ordering_agreement(exact: RatingMap, approximate: RatingMap) -> float:
+    """Pairwise score-ordering agreement between two maps ∈ [0, 1].
+
+    For every pair of subgroup labels present in both maps, checks whether
+    the two maps order the pair's average scores the same way (ties agree
+    with everything).  1.0 = identical ordering; 0.5 ≈ random.
+    """
+    exact_scores = {sg.label: sg.average_score for sg in exact.subgroups}
+    approx_scores = {sg.label: sg.average_score for sg in approximate.subgroups}
+    shared = [label for label in exact_scores if label in approx_scores]
+    if len(shared) < 2:
+        return 1.0
+    agree = 0
+    total = 0
+    for a, b in itertools.combinations(shared, 2):
+        exact_sign = np.sign(exact_scores[a] - exact_scores[b])
+        approx_sign = np.sign(approx_scores[a] - approx_scores[b])
+        total += 1
+        if exact_sign == approx_sign or exact_sign == 0 or approx_sign == 0:
+            agree += 1
+    return agree / total

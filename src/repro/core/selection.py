@@ -1,0 +1,58 @@
+"""RM-Selector: the Diverse Rating Map Set Selection problem (Problem 1).
+
+Given the l × k highest-DW-utility rating maps produced by the RM-Generator,
+select the k most diverse among them using GMM (paper §4.2.2).  The seed is
+the highest-utility map, so the top map is always shown — with l = 1 the
+selection degenerates to pure top-k by utility, exactly as the paper
+describes ("when l = 1 ... the highest utility scores").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .distance import MapDistanceMethod, map_distance, min_pairwise_distance
+from .gmm import gmm_select
+from .rating_maps import RatingMap
+
+__all__ = ["SelectionResult", "select_diverse_maps"]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of one Problem-1 selection."""
+
+    selected: tuple[RatingMap, ...]
+    candidates: tuple[RatingMap, ...]
+    diversity: float
+
+    @property
+    def k(self) -> int:
+        return len(self.selected)
+
+
+def select_diverse_maps(
+    candidates: Sequence[RatingMap],
+    k: int,
+    method: MapDistanceMethod = MapDistanceMethod.PROFILE,
+) -> SelectionResult:
+    """Pick the k most diverse maps among utility-ranked ``candidates``.
+
+    ``candidates`` must be ordered by descending DW utility (the
+    RM-Generator's output); the first is used as the GMM seed.  Diversity of
+    the selection, ``div(RM') = min pairwise d``, is reported alongside.
+    """
+    if k <= 0:
+        return SelectionResult((), tuple(candidates), 0.0)
+    chosen = gmm_select(
+        list(candidates),
+        k,
+        lambda a, b: map_distance(a, b, method),
+        seed_index=0,
+    )
+    return SelectionResult(
+        tuple(chosen),
+        tuple(candidates),
+        min_pairwise_distance(chosen, method),
+    )

@@ -1,0 +1,192 @@
+"""Exploration sessions: the stateful multi-step SDE process (paper §3.3).
+
+A :class:`ExplorationSession` tracks the current rating group, the set RM of
+rating maps the user has seen (dimension weights + global-peculiarity
+references), and the step history.  The three exploration modes
+(:mod:`repro.core.modes`) are thin drivers over this class.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..exceptions import EmptyGroupError, OperationError
+from ..model.database import SubjectiveDatabase
+from ..model.groups import RatingGroup, SelectionCriteria
+from ..model.operations import Operation, OperationKind
+from .generator import RMSetGenerator, RMSetResult
+from .recommend import RecommendationBuilder, ScoredOperation
+from .utility import SeenMaps
+
+__all__ = ["StepRecord", "ExplorationSession"]
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Everything one exploration step produced."""
+
+    index: int
+    criteria: SelectionCriteria
+    group_size: int
+    result: RMSetResult
+    operation: Operation | None = None
+    recommendations: tuple[ScoredOperation, ...] = ()
+    elapsed_seconds: float = 0.0
+    recommend_seconds: float = 0.0
+
+    @property
+    def maps(self):
+        return self.result.selected
+
+    def describe(self) -> str:
+        lines = [
+            f"Step {self.index}: {self.criteria.describe()} "
+            f"({self.group_size} records)"
+        ]
+        for rm in self.result.selected:
+            lines.append(
+                f"  · {rm.spec.describe()} "
+                f"[û={self.result.dw_utility(rm):.3f}]"
+            )
+        for reco in self.recommendations:
+            lines.append(f"  → {reco.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _SessionState:
+    criteria: SelectionCriteria
+    group: RatingGroup
+    steps: list[StepRecord] = field(default_factory=list)
+
+
+class ExplorationSession:
+    """One user's multi-step exploration of a subjective database."""
+
+    def __init__(
+        self,
+        database: SubjectiveDatabase,
+        generator: RMSetGenerator,
+        recommender: RecommendationBuilder,
+        start: SelectionCriteria | None = None,
+    ) -> None:
+        self._database = database
+        self._generator = generator
+        self._recommender = recommender
+        self._seen = SeenMaps(
+            database.dimensions,
+            n_attributes=len(database.grouping_attributes()),
+        )
+        criteria = start if start is not None else SelectionCriteria.root()
+        group = RatingGroup(database, criteria)
+        if group.is_empty:
+            raise EmptyGroupError(
+                f"starting criteria matches no records: {criteria.describe()}"
+            )
+        self._state = _SessionState(criteria, group)
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def database(self) -> SubjectiveDatabase:
+        return self._database
+
+    @property
+    def criteria(self) -> SelectionCriteria:
+        return self._state.criteria
+
+    @property
+    def group(self) -> RatingGroup:
+        return self._state.group
+
+    @property
+    def seen(self) -> SeenMaps:
+        return self._seen
+
+    @property
+    def recommender(self) -> RecommendationBuilder:
+        return self._recommender
+
+    @property
+    def steps(self) -> tuple[StepRecord, ...]:
+        return tuple(self._state.steps)
+
+    @property
+    def n_steps(self) -> int:
+        return len(self._state.steps)
+
+    # -- stepping -----------------------------------------------------------
+    def step(
+        self,
+        operation: Operation | None = None,
+        with_recommendations: bool = False,
+    ) -> StepRecord:
+        """Execute one exploration step.
+
+        Without an ``operation`` the current rating group is (re)examined —
+        this is the session's opening step.  With one, the session moves to
+        the operation's target criteria first.  The step runs the RM-Set
+        Generator, updates the seen-maps state, and optionally attaches the
+        top-o next-step recommendations.
+        """
+        if operation is not None:
+            group = RatingGroup(self._database, operation.target)
+            if group.is_empty:
+                raise OperationError(
+                    f"operation yields an empty group: {operation.describe()}"
+                )
+            self._state.criteria = operation.target
+            self._state.group = group
+
+        started = time.perf_counter()
+        result = self._generator.generate(self._state.group, self._seen)
+        for rating_map in result.selected:
+            self._seen.add(rating_map)
+        generate_elapsed = time.perf_counter() - started
+
+        recommendations: tuple[ScoredOperation, ...] = ()
+        recommend_elapsed = 0.0
+        if with_recommendations:
+            reco_started = time.perf_counter()
+            visited = {s.criteria for s in self._state.steps}
+            visited.add(self._state.criteria)
+            recommendations = tuple(
+                self._recommender.recommend(
+                    self._state.criteria,
+                    self._seen,
+                    exclude_targets=visited,
+                )
+            )
+            recommend_elapsed = time.perf_counter() - reco_started
+
+        record = StepRecord(
+            index=len(self._state.steps) + 1,
+            criteria=self._state.criteria,
+            group_size=len(self._state.group),
+            result=result,
+            operation=operation,
+            recommendations=recommendations,
+            elapsed_seconds=generate_elapsed + recommend_elapsed,
+            recommend_seconds=recommend_elapsed,
+        )
+        self._state.steps.append(record)
+        return record
+
+    def recommendations(self, o: int | None = None) -> list[ScoredOperation]:
+        """Top-o next-step recommendations for the current state."""
+        return self._recommender.recommend(self._state.criteria, self._seen, o=o)
+
+    def apply_criteria(
+        self, criteria: SelectionCriteria, with_recommendations: bool = False
+    ) -> StepRecord:
+        """User-driven step: jump straight to ``criteria``.
+
+        The edit is wrapped in a synthetic operation so history stays
+        uniform.
+        """
+        added = tuple(criteria.pairs - self._state.criteria.pairs)
+        removed = tuple(self._state.criteria.pairs - criteria.pairs)
+        operation = Operation(
+            criteria, OperationKind.COMPOUND, added=added, removed=removed
+        )
+        return self.step(operation, with_recommendations=with_recommendations)

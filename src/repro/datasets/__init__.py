@@ -1,0 +1,54 @@
+"""Dataset generators and study workloads (S16)."""
+
+from .hotels import HOTEL_DIMENSIONS, HOTEL_EFFECTS, hotels
+from .insights import (
+    Insight,
+    ground_truth_insights,
+    insights_from_effects,
+    verify_insight,
+)
+from .irregular import IrregularGroup, inject_irregular_groups
+from .movielens import GENRES, MOVIELENS_EFFECTS, OCCUPATIONS, movielens
+from .synthetic import (
+    CategoricalAttribute,
+    GroupEffect,
+    MultiValuedAttribute,
+    NumericAttribute,
+    assemble_database,
+    generate_entities,
+    generate_ratings,
+)
+from .yelp import CUISINES, NEIGHBORHOODS, YELP_DIMENSIONS, YELP_EFFECTS, yelp
+from .zipcodes import AGE_GROUPS, GAZETTEER, age_group_of, location_of
+
+__all__ = [
+    "AGE_GROUPS",
+    "CUISINES",
+    "CategoricalAttribute",
+    "GAZETTEER",
+    "GENRES",
+    "GroupEffect",
+    "HOTEL_DIMENSIONS",
+    "HOTEL_EFFECTS",
+    "Insight",
+    "IrregularGroup",
+    "MOVIELENS_EFFECTS",
+    "MultiValuedAttribute",
+    "NEIGHBORHOODS",
+    "NumericAttribute",
+    "OCCUPATIONS",
+    "YELP_DIMENSIONS",
+    "YELP_EFFECTS",
+    "age_group_of",
+    "assemble_database",
+    "generate_entities",
+    "generate_ratings",
+    "ground_truth_insights",
+    "hotels",
+    "inject_irregular_groups",
+    "insights_from_effects",
+    "location_of",
+    "movielens",
+    "verify_insight",
+    "yelp",
+]

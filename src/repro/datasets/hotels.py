@@ -1,0 +1,105 @@
+"""Hotel-Reviews-like dataset generator (paper §5.1, Table 2).
+
+At ``scale_factor=1.0``: 15 493 reviewers, 879 hotels, 35 912 rating
+records, 4 dimensions (overall, cleanliness, food, comfort), 8 explorable
+attributes with ≤ 62 values (the reviewer country attribute carries the
+62-value domain).  The paper reports this dataset showed the same trends as
+Yelp; it is included for completeness and used by the wider test matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..model.database import Side, SubjectiveDatabase
+from .synthetic import (
+    CategoricalAttribute,
+    GroupEffect,
+    generate_entities,
+    generate_ratings,
+)
+
+__all__ = ["hotels", "HOTEL_EFFECTS", "HOTEL_DIMENSIONS"]
+
+HOTEL_DIMENSIONS: tuple[str, ...] = ("overall", "cleanliness", "food", "comfort")
+
+_COUNTRIES: tuple[str, ...] = tuple(
+    f"{name}"
+    for name in (
+        "USA", "UK", "Germany", "France", "Italy", "Spain", "Netherlands",
+        "Canada", "Australia", "Japan", "China", "India", "Brazil", "Mexico",
+        "Russia", "Poland", "Sweden", "Norway", "Denmark", "Finland",
+        "Ireland", "Portugal", "Greece", "Turkey", "Austria", "Switzerland",
+        "Belgium", "Czechia", "Hungary", "Romania", "Bulgaria", "Croatia",
+        "Serbia", "Ukraine", "Israel", "Egypt", "Morocco", "South Africa",
+        "Nigeria", "Kenya", "Argentina", "Chile", "Colombia", "Peru",
+        "South Korea", "Thailand", "Vietnam", "Malaysia", "Singapore",
+        "Indonesia", "Philippines", "New Zealand", "Iceland", "Estonia",
+        "Latvia", "Lithuania", "Slovakia", "Slovenia", "Luxembourg",
+        "Qatar", "UAE", "Saudi Arabia",
+    )
+)
+
+_REVIEWER_ATTRS = (
+    CategoricalAttribute("gender", ("M", "F", "Unspecified"), zipf_s=0.4),
+    CategoricalAttribute("age_group", ("young", "adult", "senior"), zipf_s=0.5),
+    CategoricalAttribute("country", _COUNTRIES, zipf_s=1.1),
+    CategoricalAttribute(
+        "traveler_type",
+        ("leisure", "business", "family", "couple", "solo"),
+        zipf_s=0.6,
+    ),
+)
+
+_ITEM_ATTRS = (
+    CategoricalAttribute("star_rating", ("1", "2", "3", "4", "5"), zipf_s=0.4),
+    CategoricalAttribute(
+        "city",
+        (
+            "London", "Paris", "Rome", "Barcelona", "Amsterdam", "Berlin",
+            "Vienna", "Prague", "Lisbon", "Madrid", "Dublin", "Budapest",
+            "Athens", "Istanbul", "New York", "Miami", "Las Vegas",
+            "San Francisco", "Chicago", "Boston", "Tokyo", "Kyoto",
+            "Bangkok", "Singapore", "Sydney", "Melbourne", "Dubai",
+            "Marrakesh", "Cancun", "Rio de Janeiro",
+        ),
+        zipf_s=0.9,
+    ),
+    CategoricalAttribute("chain", ("independent", "chain"), zipf_s=0.3),
+    CategoricalAttribute(
+        "property_type", ("hotel", "resort", "boutique", "hostel"), zipf_s=0.8
+    ),
+)
+
+HOTEL_EFFECTS: tuple[GroupEffect, ...] = (
+    GroupEffect(Side.ITEM, "star_rating", "5", "comfort", +0.70),
+    GroupEffect(Side.ITEM, "star_rating", "1", "cleanliness", -0.70),
+    GroupEffect(Side.ITEM, "property_type", "hostel", "comfort", -0.55),
+    GroupEffect(Side.ITEM, "property_type", "resort", "food", +0.40),
+    GroupEffect(Side.REVIEWER, "traveler_type", "business", "overall", -0.45),
+    GroupEffect(Side.REVIEWER, "age_group", "senior", "cleanliness", -0.35),
+)
+
+
+def hotels(seed: int = 0, scale_factor: float = 1.0) -> SubjectiveDatabase:
+    """Generate the Hotel-Reviews-like database."""
+    if scale_factor <= 0:
+        raise ValueError(f"scale_factor must be positive, got {scale_factor}")
+    rng = np.random.default_rng(seed)
+    n_users = max(50, int(round(15_493 * scale_factor)))
+    n_items = max(30, int(round(879 * scale_factor)))
+    n_ratings = max(500, int(round(35_912 * scale_factor)))
+    reviewers = generate_entities(n_users, "user_id", _REVIEWER_ATTRS, rng)
+    items = generate_entities(n_items, "item_id", _ITEM_ATTRS, rng)
+    ratings = generate_ratings(
+        reviewers,
+        items,
+        n_ratings,
+        HOTEL_DIMENSIONS,
+        rng,
+        effects=HOTEL_EFFECTS,
+        base=3.6,
+    )
+    return SubjectiveDatabase(
+        reviewers, items, ratings, HOTEL_DIMENSIONS, scale=5, name="hotels"
+    )

@@ -1,0 +1,203 @@
+"""Irregular-group injection (paper §5.2, Scenario I).
+
+An *irregular group* is a reviewer (or item) group described by two or
+three attribute-value pairs, containing at least five entities, whose
+rating records for one dimension have all been set to the minimal score 1.
+The user-study task is to find such groups; this module plants them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db.column import NumericColumn
+from ..exceptions import ConfigurationError
+from ..model.database import Side, SubjectiveDatabase
+from ..model.groups import AVPair
+
+__all__ = ["IrregularGroup", "inject_irregular_groups"]
+
+
+@dataclass(frozen=True)
+class IrregularGroup:
+    """Ground-truth record of one injected irregular group.
+
+    ``record_rows`` indexes the forced rating records in the modified
+    database's rating table (row order is preserved by injection), so
+    exposure tests can measure how much of a displayed subgroup consists
+    of the irregular block.
+    """
+
+    side: Side
+    pairs: tuple[AVPair, ...]
+    dimension: str
+    entity_ids: tuple[int, ...]
+    n_records: int
+    record_rows: frozenset[int] = frozenset()
+
+    def describe(self) -> str:
+        desc = " ∧ ".join(f"{p.attribute}={p.value}" for p in self.pairs)
+        return (
+            f"irregular {self.side.value} group [{desc}] — all {self.dimension} "
+            f"scores forced to 1 ({len(self.entity_ids)} entities, "
+            f"{self.n_records} records)"
+        )
+
+
+def _sample_description(
+    database: SubjectiveDatabase,
+    side: Side,
+    rng: np.random.Generator,
+    n_pairs: int,
+    min_entities: int,
+    max_fraction: float,
+    max_record_fraction: float,
+    max_slice_fraction: float = 1.0,
+    attempts: int = 1500,
+) -> tuple[tuple[AVPair, ...], np.ndarray] | None:
+    """Draw a random conjunctive description matching a small entity set.
+
+    Besides the entity-count bounds, the group's rating records must stay
+    below ``max_record_fraction`` of the database — an anomaly spanning a
+    fifth of all records is not "irregular", it is the dataset.
+
+    ``max_slice_fraction`` additionally caps how much of each *single-pair*
+    slice the group's records may cover.  At 1.0 (the default) there is no
+    constraint; below it, the anomaly is guaranteed to be diluted in every
+    one-attribute aggregation — no rating map at the top level can give it
+    away, so finding it genuinely requires multi-step exploration.
+    """
+    table = database.entity_table(side)
+    attributes = list(database.explorable_attributes(side))
+    if len(attributes) < n_pairs:
+        return None
+    catalog = database.catalog(side)
+    for __ in range(attempts):
+        chosen_attrs = rng.choice(len(attributes), size=n_pairs, replace=False)
+        pairs = []
+        pair_masks = []
+        mask = np.ones(len(table), dtype=bool)
+        for index in chosen_attrs:
+            attribute = attributes[int(index)]
+            domain = catalog.domain(attribute)
+            if domain.cardinality == 0:
+                break
+            value = domain.values[int(rng.integers(0, domain.cardinality))]
+            pairs.append(AVPair(side, attribute, value))
+            pair_mask = table.column(attribute).equals_mask(value)
+            pair_masks.append(pair_mask)
+            mask &= pair_mask
+        else:
+            count = int(mask.sum())
+            # on tiny tables the fraction cap can dip below the minimum
+            # group size; always allow groups up to twice the minimum
+            upper = max(2 * min_entities, int(max_fraction * len(table)))
+            if not min_entities <= count <= upper:
+                continue
+            n_records = int(
+                database.rating_rows_for_entities(side, mask).sum()
+            )
+            if not 0 < n_records <= max_record_fraction * database.n_ratings:
+                continue
+            if max_slice_fraction < 1.0:
+                diluted = True
+                for pair_mask in pair_masks:
+                    slice_records = int(
+                        database.rating_rows_for_entities(side, pair_mask).sum()
+                    )
+                    if n_records > max_slice_fraction * slice_records:
+                        diluted = False
+                        break
+                if not diluted:
+                    continue
+            return tuple(sorted(pairs)), mask
+    return None
+
+
+def inject_irregular_groups(
+    database: SubjectiveDatabase,
+    n_reviewer_groups: int = 1,
+    n_item_groups: int = 1,
+    seed: int = 0,
+    min_entities: int = 5,
+    max_fraction: float = 0.1,
+    max_record_fraction: float = 0.08,
+    max_slice_fraction: float = 1.0,
+    n_pairs_choices: tuple[int, ...] | dict[Side, tuple[int, ...]] = (2, 3),
+) -> tuple[SubjectiveDatabase, list[IrregularGroup]]:
+    """Plant irregular groups and return (new database, ground truth).
+
+    Each group's description uses 2 or 3 attribute-value pairs (paper
+    §5.2) drawn uniformly from ``n_pairs_choices`` (a dict gives per-side
+    choices); every rating record of a member entity has its chosen
+    dimension forced to 1.  The original database is not modified.
+    """
+    rng = np.random.default_rng(seed)
+    if not isinstance(n_pairs_choices, dict):
+        n_pairs_choices = {
+            Side.REVIEWER: tuple(n_pairs_choices),
+            Side.ITEM: tuple(n_pairs_choices),
+        }
+    scores = {
+        dim: database.dimension_scores(dim).copy() for dim in database.dimensions
+    }
+    planted: list[IrregularGroup] = []
+    plan = [(Side.REVIEWER, n_reviewer_groups), (Side.ITEM, n_item_groups)]
+    for side, n_groups in plan:
+        for __ in range(n_groups):
+            side_choices = n_pairs_choices[side]
+            n_pairs = int(side_choices[rng.integers(0, len(side_choices))])
+            found = _sample_description(
+                database,
+                side,
+                rng,
+                n_pairs,
+                min_entities,
+                max_fraction,
+                max_record_fraction,
+                max_slice_fraction,
+            )
+            if found is None:
+                raise ConfigurationError(
+                    f"could not find an irregular {side.value} group with "
+                    f"{min_entities}+ entities; relax min_entities/max_fraction"
+                )
+            pairs, entity_mask = found
+            dimension = database.dimensions[
+                int(rng.integers(0, len(database.dimensions)))
+            ]
+            record_mask = database.rating_rows_for_entities(side, entity_mask)
+            scores[dimension][record_mask] = 1.0
+            key = database.key(side)
+            ids = database.entity_table(side).numeric(key)[entity_mask]
+            planted.append(
+                IrregularGroup(
+                    side=side,
+                    pairs=pairs,
+                    dimension=dimension,
+                    entity_ids=tuple(int(i) for i in ids),
+                    n_records=int(record_mask.sum()),
+                    record_rows=frozenset(
+                        int(r) for r in np.flatnonzero(record_mask)
+                    ),
+                )
+            )
+
+    ratings = database.ratings
+    for dimension in database.dimensions:
+        ratings = ratings.replace_column(
+            dimension, NumericColumn(scores[dimension])
+        )
+    modified = SubjectiveDatabase(
+        database.reviewers,
+        database.items,
+        ratings,
+        database.dimensions,
+        scale=database.scale,
+        user_key=database.key(Side.REVIEWER),
+        item_key=database.key(Side.ITEM),
+        name=f"{database.name}+irregular",
+    )
+    return modified, planted

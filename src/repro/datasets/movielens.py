@@ -1,0 +1,173 @@
+"""MovieLens-100K-like dataset generator (paper §5.1, Table 2).
+
+At ``scale_factor=1.0`` the statistics match the paper's Table 2 row:
+943 reviewers, 1682 movies, 100 000 ratings, 1 rating dimension.  The
+reviewer table carries MovieLens' native attributes (age, gender,
+occupation, zip code) plus the paper's enrichments (city / state from zip,
+age group from age); the movie table carries genres plus the enriched
+release year and decade.
+
+``MOVIELENS_EFFECTS`` is the generator's latent ground truth — the
+structural facts a competent explorer can rediscover; the user-study
+insights (:mod:`repro.datasets.insights`) are drawn from it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..db.schema import AttributeSpec, TableSchema
+from ..db.table import Table
+from ..db.types import ColumnType
+from ..model.database import Side, SubjectiveDatabase
+from .synthetic import GroupEffect, MultiValuedAttribute, generate_ratings
+from .zipcodes import GAZETTEER, age_group_of, location_of
+
+__all__ = ["movielens", "MOVIELENS_EFFECTS", "OCCUPATIONS", "GENRES"]
+
+OCCUPATIONS: tuple[str, ...] = (
+    "student",
+    "educator",
+    "engineer",
+    "programmer",
+    "administrator",
+    "writer",
+    "librarian",
+    "technician",
+    "executive",
+    "scientist",
+    "artist",
+    "marketing",
+    "healthcare",
+    "entertainment",
+    "retired",
+    "lawyer",
+    "salesman",
+    "doctor",
+    "homemaker",
+    "none",
+    "other",
+)
+
+GENRES: tuple[str, ...] = (
+    "Drama",
+    "Comedy",
+    "Action",
+    "Thriller",
+    "Romance",
+    "Adventure",
+    "Children",
+    "Crime",
+    "Sci-Fi",
+    "Horror",
+    "War",
+    "Mystery",
+    "Musical",
+    "Documentary",
+    "Animation",
+    "Western",
+    "Film-Noir",
+    "Fantasy",
+)
+
+#: latent structure of the generated data (also the insight ground truth)
+MOVIELENS_EFFECTS: tuple[GroupEffect, ...] = (
+    GroupEffect(Side.ITEM, "genre", "Horror", "rating", -0.55),
+    GroupEffect(Side.ITEM, "genre", "Documentary", "rating", +0.45),
+    GroupEffect(Side.ITEM, "genre", "Film-Noir", "rating", +0.50),
+    GroupEffect(Side.ITEM, "release_decade", "1990s", "rating", -0.25),
+    GroupEffect(Side.ITEM, "release_decade", "1940s", "rating", +0.40),
+    GroupEffect(Side.REVIEWER, "occupation", "programmer", "rating", -0.35),
+    GroupEffect(Side.REVIEWER, "occupation", "retired", "rating", +0.35),
+    GroupEffect(Side.REVIEWER, "age_group", "teen", "rating", +0.25),
+)
+
+
+def _reviewers(n_users: int, rng: np.random.Generator) -> Table:
+    ages = rng.integers(13, 74, size=n_users)
+    genders = rng.choice(["M", "F"], size=n_users, p=[0.71, 0.29])
+    occ_ranks = np.arange(1, len(OCCUPATIONS) + 1, dtype=np.float64) ** -0.8
+    occ_p = occ_ranks / occ_ranks.sum()
+    occupations = rng.choice(OCCUPATIONS, size=n_users, p=occ_p)
+    prefixes = list(GAZETTEER)
+    zips = [
+        f"{prefixes[int(i)]}{rng.integers(0, 100):02d}"
+        for i in rng.integers(0, len(prefixes), size=n_users)
+    ]
+    cities = [location_of(z)[0] for z in zips]
+    states = [location_of(z)[1] for z in zips]
+    schema = TableSchema.of(
+        AttributeSpec("user_id", ColumnType.NUMERIC, explorable=False),
+        AttributeSpec("age", ColumnType.NUMERIC, explorable=False),
+        AttributeSpec("gender", ColumnType.CATEGORICAL),
+        AttributeSpec("occupation", ColumnType.CATEGORICAL),
+        AttributeSpec("zip_code", ColumnType.CATEGORICAL, explorable=False),
+        AttributeSpec("city", ColumnType.CATEGORICAL),
+        AttributeSpec("state", ColumnType.CATEGORICAL),
+        AttributeSpec("age_group", ColumnType.CATEGORICAL),
+    )
+    return Table.from_columns(
+        {
+            "user_id": list(range(n_users)),
+            "age": ages.tolist(),
+            "gender": genders.tolist(),
+            "occupation": occupations.tolist(),
+            "zip_code": zips,
+            "city": cities,
+            "state": states,
+            "age_group": [age_group_of(int(a)) for a in ages],
+        },
+        schema,
+    )
+
+
+def _items(n_items: int, rng: np.random.Generator) -> Table:
+    genre_attr = MultiValuedAttribute("genre", GENRES, max_members=3, zipf_s=0.9)
+    years = rng.integers(1940, 1999, size=n_items)
+    # skew towards the 90s like MovieLens-100K
+    recent = rng.random(size=n_items) < 0.6
+    years[recent] = rng.integers(1990, 1999, size=int(recent.sum()))
+    decades = [f"{(int(y) // 10) * 10}s" for y in years]
+    schema = TableSchema.of(
+        AttributeSpec("item_id", ColumnType.NUMERIC, explorable=False),
+        AttributeSpec("genre", ColumnType.MULTI_VALUED),
+        AttributeSpec("release_year", ColumnType.NUMERIC),
+        AttributeSpec("release_decade", ColumnType.CATEGORICAL),
+    )
+    return Table.from_columns(
+        {
+            "item_id": list(range(n_items)),
+            "genre": genre_attr.sample(n_items, rng),
+            "release_year": years.tolist(),
+            "release_decade": decades,
+        },
+        schema,
+    )
+
+
+def movielens(seed: int = 0, scale_factor: float = 1.0) -> SubjectiveDatabase:
+    """Generate the MovieLens-like database.
+
+    ``scale_factor`` scales reviewers, movies and ratings together (1.0 =
+    the paper's Table 2 sizes; benches typically use 0.1–0.3 for speed).
+    """
+    if scale_factor <= 0:
+        raise ValueError(f"scale_factor must be positive, got {scale_factor}")
+    rng = np.random.default_rng(seed)
+    n_users = max(20, int(round(943 * scale_factor)))
+    n_items = max(30, int(round(1682 * scale_factor)))
+    n_ratings = max(500, int(round(100_000 * scale_factor)))
+    reviewers = _reviewers(n_users, rng)
+    items = _items(n_items, rng)
+    ratings = generate_ratings(
+        reviewers,
+        items,
+        n_ratings,
+        ("rating",),
+        rng,
+        effects=MOVIELENS_EFFECTS,
+        base=3.5,
+    )
+    return SubjectiveDatabase(
+        reviewers, items, ratings, ("rating",), scale=5, name="movielens"
+    )

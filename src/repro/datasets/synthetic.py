@@ -1,0 +1,233 @@
+"""Generic synthetic subjective-database generation.
+
+The dataset-specific generators (movielens / yelp / hotels) are thin
+configurations of the machinery here:
+
+* :class:`CategoricalAttribute` / :class:`MultiValuedAttribute` — attribute
+  declarations with Zipf-skewed value frequencies (real demographic and
+  catalog attributes are heavy-tailed, which matters for pruning behaviour);
+* :class:`GroupEffect` — a latent shift of one rating dimension for records
+  touching a given attribute-value (the mechanism behind both the injected
+  "insights" the user study looks for and plain dataset texture);
+* :func:`generate_ratings` — the latent-factor rating model: score =
+  round(base + user bias + item quality + Σ matching group effects + noise)
+  clipped to the scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..db.schema import AttributeSpec, TableSchema
+from ..db.table import Table
+from ..db.types import ColumnType
+from ..model.database import Side, SubjectiveDatabase
+
+__all__ = [
+    "CategoricalAttribute",
+    "MultiValuedAttribute",
+    "NumericAttribute",
+    "GroupEffect",
+    "generate_entities",
+    "generate_ratings",
+    "assemble_database",
+]
+
+
+@dataclass(frozen=True)
+class CategoricalAttribute:
+    """A categorical attribute with Zipf-skewed value draw."""
+
+    name: str
+    values: tuple[str, ...]
+    zipf_s: float = 1.1
+    explorable: bool = True
+
+    def sample(self, n: int, rng: np.random.Generator) -> list[str]:
+        ranks = np.arange(1, len(self.values) + 1, dtype=np.float64)
+        weights = ranks**-self.zipf_s
+        weights /= weights.sum()
+        draws = rng.choice(len(self.values), size=n, p=weights)
+        return [self.values[int(i)] for i in draws]
+
+
+@dataclass(frozen=True)
+class MultiValuedAttribute:
+    """A set-valued attribute (e.g. cuisines): 1..max_members members/row."""
+
+    name: str
+    values: tuple[str, ...]
+    max_members: int = 2
+    zipf_s: float = 1.1
+    explorable: bool = True
+
+    def sample(self, n: int, rng: np.random.Generator) -> list[frozenset[str]]:
+        ranks = np.arange(1, len(self.values) + 1, dtype=np.float64)
+        weights = ranks**-self.zipf_s
+        weights /= weights.sum()
+        rows: list[frozenset[str]] = []
+        for __ in range(n):
+            size = int(rng.integers(1, self.max_members + 1))
+            size = min(size, len(self.values))
+            members = rng.choice(len(self.values), size=size, replace=False, p=weights)
+            rows.append(frozenset(self.values[int(i)] for i in members))
+        return rows
+
+
+@dataclass(frozen=True)
+class NumericAttribute:
+    """A numeric attribute drawn uniformly over integer ``low..high``."""
+
+    name: str
+    low: int
+    high: int
+    explorable: bool = True
+
+    def sample(self, n: int, rng: np.random.Generator) -> list[int]:
+        return rng.integers(self.low, self.high + 1, size=n).tolist()
+
+
+Attribute = CategoricalAttribute | MultiValuedAttribute | NumericAttribute
+
+
+@dataclass(frozen=True)
+class GroupEffect:
+    """A latent rating shift for one attribute-value on one dimension.
+
+    ``delta`` is added (pre-rounding) to every rating record whose entity
+    carries ``value`` for ``attribute``.  These are the dataset's ground
+    truth: a large negative delta is a findable "insight".
+    """
+
+    side: Side
+    attribute: str
+    value: str
+    dimension: str
+    delta: float
+
+    def describe(self) -> str:
+        direction = "lower" if self.delta < 0 else "higher"
+        return (
+            f"{self.side.value}s with {self.attribute}={self.value} give "
+            f"{direction} {self.dimension} scores (Δ={self.delta:+.2f})"
+        )
+
+
+def _column_type(attribute: Attribute) -> ColumnType:
+    if isinstance(attribute, MultiValuedAttribute):
+        return ColumnType.MULTI_VALUED
+    if isinstance(attribute, NumericAttribute):
+        return ColumnType.NUMERIC
+    return ColumnType.CATEGORICAL
+
+
+def generate_entities(
+    n: int,
+    key: str,
+    attributes: Sequence[Attribute],
+    rng: np.random.Generator,
+) -> Table:
+    """An entity table with ids ``0..n-1`` and sampled attribute columns."""
+    specs = [AttributeSpec(key, ColumnType.NUMERIC, explorable=False)]
+    data: dict[str, list] = {key: list(range(n))}
+    for attribute in attributes:
+        specs.append(
+            AttributeSpec(attribute.name, _column_type(attribute), attribute.explorable)
+        )
+        data[attribute.name] = attribute.sample(n, rng)
+    return Table.from_columns(data, TableSchema(tuple(specs)))
+
+
+def _effect_vector(
+    table: Table, effects: Sequence[GroupEffect], side: Side, dimension: str
+) -> np.ndarray:
+    """Per-entity summed effect deltas for one side and dimension."""
+    out = np.zeros(len(table), dtype=np.float64)
+    for effect in effects:
+        if effect.side is not side or effect.dimension != dimension:
+            continue
+        mask = table.column(effect.attribute).equals_mask(effect.value)
+        out[mask] += effect.delta
+    return out
+
+
+def generate_ratings(
+    reviewers: Table,
+    items: Table,
+    n_ratings: int,
+    dimensions: Sequence[str],
+    rng: np.random.Generator,
+    effects: Sequence[GroupEffect] = (),
+    scale: int = 5,
+    base: float = 3.4,
+    user_bias_sd: float = 0.45,
+    item_quality_sd: float = 0.6,
+    noise_sd: float = 0.9,
+    user_key: str = "user_id",
+    item_key: str = "item_id",
+    user_activity_zipf: float = 0.8,
+) -> Table:
+    """The rating-record table of the latent-factor model.
+
+    Reviewer activity is Zipf-skewed (a few prolific reviewers, a long
+    tail), item popularity likewise; both match the shape of the public
+    rating datasets the paper uses.
+    """
+    n_users, n_items = len(reviewers), len(items)
+    user_ranks = np.arange(1, n_users + 1, dtype=np.float64)
+    user_p = user_ranks**-user_activity_zipf
+    user_p /= user_p.sum()
+    item_ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    item_p = item_ranks**-0.9
+    item_p /= item_p.sum()
+
+    user_idx = rng.choice(n_users, size=n_ratings, p=user_p)
+    item_idx = rng.choice(n_items, size=n_ratings, p=item_p)
+
+    user_bias = rng.normal(0.0, user_bias_sd, size=n_users)
+    data: dict[str, list] = {
+        user_key: user_idx.tolist(),
+        item_key: item_idx.tolist(),
+    }
+    specs = [
+        AttributeSpec(user_key, ColumnType.NUMERIC, explorable=False),
+        AttributeSpec(item_key, ColumnType.NUMERIC, explorable=False),
+    ]
+    for dimension in dimensions:
+        item_quality = rng.normal(0.0, item_quality_sd, size=n_items)
+        user_effect = _effect_vector(reviewers, effects, Side.REVIEWER, dimension)
+        item_effect = _effect_vector(items, effects, Side.ITEM, dimension)
+        raw = (
+            base
+            + user_bias[user_idx]
+            + item_quality[item_idx]
+            + user_effect[user_idx]
+            + item_effect[item_idx]
+            + rng.normal(0.0, noise_sd, size=n_ratings)
+        )
+        scores = np.clip(np.rint(raw), 1, scale).astype(np.int64)
+        data[dimension] = scores.tolist()
+        specs.append(AttributeSpec(dimension, ColumnType.NUMERIC, explorable=False))
+    return Table.from_columns(data, TableSchema(tuple(specs)))
+
+
+def assemble_database(
+    name: str,
+    reviewers: Table,
+    items: Table,
+    ratings: Table,
+    dimensions: Sequence[str],
+    scale: int = 5,
+) -> SubjectiveDatabase:
+    """Bundle generated tables into a :class:`SubjectiveDatabase`."""
+    return SubjectiveDatabase(
+        reviewers,
+        items,
+        ratings,
+        tuple(dimensions),
+        scale=scale,
+        name=name,
+    )

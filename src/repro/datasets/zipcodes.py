@@ -1,0 +1,76 @@
+"""Zip-code enrichment (paper §5.1: MovieLens city/state from zip codes).
+
+A deterministic synthetic gazetteer: 3-digit zip prefixes map to (city,
+state).  :func:`enrich_with_location` mirrors the paper's preprocessing —
+given a zip code column, derive ``city`` and ``state`` columns.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GAZETTEER", "location_of", "age_group_of", "AGE_GROUPS"]
+
+#: 3-digit zip prefix → (city, state); 29 cities across 15 states.
+GAZETTEER: dict[str, tuple[str, str]] = {
+    "100": ("New York", "NY"),
+    "112": ("Brooklyn", "NY"),
+    "104": ("Bronx", "NY"),
+    "021": ("Boston", "MA"),
+    "014": ("Worcester", "MA"),
+    "191": ("Philadelphia", "PA"),
+    "152": ("Pittsburgh", "PA"),
+    "606": ("Chicago", "IL"),
+    "627": ("Springfield", "IL"),
+    "770": ("Houston", "TX"),
+    "752": ("Dallas", "TX"),
+    "787": ("Austin", "TX"),
+    "900": ("Los Angeles", "CA"),
+    "941": ("San Francisco", "CA"),
+    "921": ("San Diego", "CA"),
+    "958": ("Sacramento", "CA"),
+    "331": ("Miami", "FL"),
+    "328": ("Orlando", "FL"),
+    "336": ("Tampa", "FL"),
+    "980": ("Seattle", "WA"),
+    "992": ("Spokane", "WA"),
+    "802": ("Denver", "CO"),
+    "850": ("Phoenix", "AZ"),
+    "891": ("Las Vegas", "NV"),
+    "972": ("Portland", "OR"),
+    "303": ("Atlanta", "GA"),
+    "482": ("Detroit", "MI"),
+    "554": ("Minneapolis", "MN"),
+    "632": ("St. Louis", "MO"),
+}
+
+_PREFIXES = tuple(GAZETTEER)
+
+#: age-group bands (paper: age_group extracted from age)
+AGE_GROUPS: tuple[tuple[str, int, int], ...] = (
+    ("teen", 0, 17),
+    ("young", 18, 29),
+    ("adult", 30, 49),
+    ("senior", 50, 200),
+)
+
+
+def location_of(zip_code: str | int) -> tuple[str, str]:
+    """(city, state) for a zip code; unknown prefixes hash into the gazetteer.
+
+    Hashing keeps the mapping total and deterministic, so any generated zip
+    code enriches to a real gazetteer entry — the same role the paper's
+    external zip database plays.
+    """
+    text = str(zip_code).strip()
+    prefix = text[:3]
+    if prefix in GAZETTEER:
+        return GAZETTEER[prefix]
+    index = sum(ord(c) for c in text) % len(_PREFIXES)
+    return GAZETTEER[_PREFIXES[index]]
+
+
+def age_group_of(age: int) -> str:
+    """Age band of an integer age (paper's age_group enrichment)."""
+    for label, low, high in AGE_GROUPS:
+        if low <= age <= high:
+            return label
+    raise ValueError(f"age out of range: {age}")

@@ -1,0 +1,99 @@
+"""Active-domain catalog.
+
+The Recommendation Builder enumerates candidate operations from the *active
+domain* of each explorable attribute (which values actually occur, and how
+often).  The catalog computes and caches those statistics per table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .column import CategoricalColumn, MultiValuedColumn, NumericColumn
+from .table import Table
+
+__all__ = ["AttributeDomain", "Catalog"]
+
+
+@dataclass(frozen=True)
+class AttributeDomain:
+    """Active domain of one attribute: values and their row frequencies."""
+
+    attribute: str
+    values: tuple[Any, ...]
+    counts: tuple[int, ...]
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+    def frequent_values(self, min_count: int = 1) -> tuple[Any, ...]:
+        """Values occurring at least ``min_count`` times, most frequent first."""
+        order = sorted(
+            range(len(self.values)), key=lambda i: (-self.counts[i], str(self.values[i]))
+        )
+        return tuple(
+            self.values[i] for i in order if self.counts[i] >= min_count
+        )
+
+
+def _domain_of(table: Table, attribute: str) -> AttributeDomain:
+    column = table.column(attribute)
+    if isinstance(column, CategoricalColumn):
+        codes = column.codes
+        present = codes[codes >= 0]
+        counts = np.bincount(present, minlength=len(column.categories))
+        pairs = [
+            (cat, int(n)) for cat, n in zip(column.categories, counts) if n > 0
+        ]
+    elif isinstance(column, NumericColumn):
+        finite = column.data[~np.isnan(column.data)]
+        values, freq = np.unique(finite, return_counts=True)
+        pairs = []
+        for value, n in zip(values, freq):
+            value = float(value)
+            pairs.append((int(value) if value.is_integer() else value, int(n)))
+    elif isinstance(column, MultiValuedColumn):
+        tally: dict[str, int] = {}
+        for value in column.distinct_values():
+            tally[value] = int(column.equals_mask(value).sum())
+        pairs = sorted(tally.items())
+    else:  # pragma: no cover - defensive
+        pairs = []
+    pairs.sort(key=lambda p: str(p[0]))
+    return AttributeDomain(
+        attribute,
+        tuple(p[0] for p in pairs),
+        tuple(p[1] for p in pairs),
+    )
+
+
+class Catalog:
+    """Lazy per-attribute active-domain statistics for a table."""
+
+    def __init__(self, table: Table) -> None:
+        self._table = table
+        self._domains: dict[str, AttributeDomain] = {}
+
+    @property
+    def table(self) -> Table:
+        return self._table
+
+    def domain(self, attribute: str) -> AttributeDomain:
+        """The (cached) active domain of ``attribute``."""
+        if attribute not in self._domains:
+            self._domains[attribute] = _domain_of(self._table, attribute)
+        return self._domains[attribute]
+
+    def explorable_domains(self) -> dict[str, AttributeDomain]:
+        """Domains of every explorable attribute."""
+        return {
+            name: self.domain(name) for name in self._table.explorable_attributes
+        }
+
+    def total_values(self) -> int:
+        """Total number of (attribute, value) pairs across explorable attrs."""
+        return sum(d.cardinality for d in self.explorable_domains().values())

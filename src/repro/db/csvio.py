@@ -1,0 +1,88 @@
+"""CSV persistence for tables.
+
+The format is plain RFC-4180 CSV.  Multi-valued cells are serialised as
+``"a|b|c"``; empty cells are missing values.  A sidecar convention is not
+needed: ``load_table`` re-infers types, and callers that need exact types
+pass an explicit schema.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+from .schema import TableSchema
+from .table import Table
+from .types import ColumnType
+
+__all__ = ["save_table", "load_table"]
+
+_MULTI_SEP = "|"
+
+
+def _serialise(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, (set, frozenset)):
+        return _MULTI_SEP.join(sorted(str(v) for v in value))
+    return str(value)
+
+
+def save_table(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` as CSV (UTF-8, header row)."""
+    path = Path(path)
+    names = table.attribute_names
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row in table.rows():
+            writer.writerow([_serialise(row[name]) for name in names])
+
+
+def _parse_cell(text: str, ctype: ColumnType | None) -> Any:
+    if text == "":
+        return None
+    if ctype is ColumnType.MULTI_VALUED or (
+        ctype is None and _MULTI_SEP in text
+    ):
+        return frozenset(text.split(_MULTI_SEP))
+    if ctype is ColumnType.CATEGORICAL:
+        return text
+    # numeric or inferred
+    try:
+        value = float(text)
+    except ValueError:
+        return text
+    if ctype is ColumnType.NUMERIC:
+        return value
+    # inference: keep numerics numeric, but preserve leading zeros as text
+    if text.lstrip("-").startswith("0") and text not in ("0", "-0") and "." not in text:
+        return text
+    return value
+
+
+def load_table(path: str | Path, schema: TableSchema | None = None) -> Table:
+    """Load a CSV written by :func:`save_table`.
+
+    With a ``schema``, cells are parsed to the declared types; otherwise
+    types are inferred from the parsed values.
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return Table.from_columns({}, schema)
+        raw_rows = list(reader)
+    ctypes: dict[str, ColumnType | None]
+    if schema is not None:
+        ctypes = {spec.name: spec.ctype for spec in schema.attributes}
+    else:
+        ctypes = {name: None for name in header}
+    data: dict[str, list[Any]] = {name: [] for name in header}
+    for raw in raw_rows:
+        for name, cell in zip(header, raw):
+            data[name].append(_parse_cell(cell, ctypes.get(name)))
+    return Table.from_columns(data, schema)

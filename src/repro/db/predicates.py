@@ -1,0 +1,296 @@
+"""Predicate algebra over tables.
+
+Predicates form a small immutable AST that evaluates to a boolean numpy mask
+against a :class:`~repro.db.table.Table`.  SDE selection criteria (sets of
+attribute-value pairs, paper §3.1) are conjunctions of :class:`Eq` leaves;
+the algebra additionally supports ``IN``, numeric comparisons, negation and
+disjunction so the tiny SQL dialect (:mod:`repro.db.sql`) has a full target.
+
+Predicates are hashable value objects: two structurally identical predicates
+compare equal, which the exploration layer relies on for deduplicating
+candidate operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..exceptions import PredicateError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .table import Table
+
+__all__ = [
+    "Predicate",
+    "TruePredicate",
+    "Eq",
+    "In",
+    "Cmp",
+    "Not",
+    "And",
+    "Or",
+    "conjunction",
+    "to_sql",
+]
+
+
+class Predicate:
+    """Base class; subclasses are frozen dataclasses."""
+
+    def mask(self, table: "Table") -> np.ndarray:
+        """Evaluate to a boolean mask with one entry per table row."""
+        raise NotImplementedError
+
+    # -- algebra ----------------------------------------------------------
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other)).flattened()
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other)).flattened()
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def attributes(self) -> frozenset[str]:
+        """The set of attribute names this predicate references."""
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Matches every row (the empty selection criteria)."""
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return np.ones(len(table), dtype=bool)
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    """``attribute = value``; containment for multi-valued attributes."""
+
+    attribute: str
+    value: Any
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return table.column(self.attribute).equals_mask(self.value)
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def __repr__(self) -> str:
+        return f"{self.attribute} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """``attribute IN values``."""
+
+    attribute: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return table.column(self.attribute).isin_mask(self.values)
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def __repr__(self) -> str:
+        return f"{self.attribute} IN {self.values!r}"
+
+
+@dataclass(frozen=True)
+class Cmp(Predicate):
+    """Numeric comparison ``attribute op value`` with op in <, <=, >, >=, !=."""
+
+    attribute: str
+    op: str
+    value: float
+
+    _OPS = ("<", "<=", ">", ">=", "!=")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise PredicateError(f"unsupported operator {self.op!r}")
+
+    def mask(self, table: "Table") -> np.ndarray:
+        from .column import NumericColumn
+
+        column = table.column(self.attribute)
+        if not isinstance(column, NumericColumn):
+            raise PredicateError(
+                f"comparison {self.op!r} requires a numeric column, "
+                f"got {column.type} for {self.attribute!r}"
+            )
+        return column.compare_mask(self.op, self.value)
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.attribute})
+
+    def __repr__(self) -> str:
+        return f"{self.attribute} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Logical negation."""
+
+    operand: Predicate
+
+    def mask(self, table: "Table") -> np.ndarray:
+        return ~self.operand.mask(table)
+
+    def attributes(self) -> frozenset[str]:
+        return self.operand.attributes()
+
+    def __repr__(self) -> str:
+        return f"NOT ({self.operand!r})"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of child predicates; empty conjunction is TRUE."""
+
+    operands: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", tuple(self.operands))
+
+    def mask(self, table: "Table") -> np.ndarray:
+        out = np.ones(len(table), dtype=bool)
+        for operand in self.operands:
+            out &= operand.mask(table)
+        return out
+
+    def flattened(self) -> "Predicate":
+        """Flatten nested ANDs and drop TRUE leaves."""
+        flat: list[Predicate] = []
+        for operand in self.operands:
+            if isinstance(operand, And):
+                flat.extend(operand.flattened_operands())
+            elif not isinstance(operand, TruePredicate):
+                flat.append(operand)
+        if not flat:
+            return TruePredicate()
+        if len(flat) == 1:
+            return flat[0]
+        return And(tuple(flat))
+
+    def flattened_operands(self) -> tuple[Predicate, ...]:
+        flattened = self.flattened()
+        if isinstance(flattened, And):
+            return flattened.operands
+        if isinstance(flattened, TruePredicate):
+            return ()
+        return (flattened,)
+
+    def attributes(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for operand in self.operands:
+            out |= operand.attributes()
+        return out
+
+    def __repr__(self) -> str:
+        return " AND ".join(f"({op!r})" for op in self.operands) or "TRUE"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of child predicates; empty disjunction matches nothing."""
+
+    operands: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operands", tuple(self.operands))
+
+    def mask(self, table: "Table") -> np.ndarray:
+        out = np.zeros(len(table), dtype=bool)
+        for operand in self.operands:
+            out |= operand.mask(table)
+        return out
+
+    def flattened(self) -> "Predicate":
+        flat: list[Predicate] = []
+        for operand in self.operands:
+            if isinstance(operand, Or):
+                inner = operand.flattened()
+                if isinstance(inner, Or):
+                    flat.extend(inner.operands)
+                else:
+                    flat.append(inner)
+            else:
+                flat.append(operand)
+        if len(flat) == 1:
+            return flat[0]
+        return Or(tuple(flat))
+
+    def attributes(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for operand in self.operands:
+            out |= operand.attributes()
+        return out
+
+    def __repr__(self) -> str:
+        return " OR ".join(f"({op!r})" for op in self.operands) or "FALSE"
+
+
+def conjunction(pairs: dict[str, Any] | list[tuple[str, Any]]) -> Predicate:
+    """Build the conjunction of ``attribute = value`` pairs.
+
+    This is the canonical form of an SDE selection criteria (paper §3.1):
+    ``conjunction({"gender": "F", "age_group": "young"})``.
+    """
+    if isinstance(pairs, dict):
+        pairs = list(pairs.items())
+    if not pairs:
+        return TruePredicate()
+    leaves: list[Predicate] = [Eq(attr, value) for attr, value in pairs]
+    if len(leaves) == 1:
+        return leaves[0]
+    return And(tuple(leaves))
+
+
+def _sql_literal(value: object) -> str:
+    """Render a Python value as a SQL literal of the tiny dialect."""
+    if isinstance(value, bool):
+        return f"'{value}'"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+def to_sql(predicate: Predicate) -> str:
+    """Serialise a predicate into the tiny SQL WHERE dialect.
+
+    The output round-trips through :func:`repro.db.sql.parse_where` back to
+    an equivalent predicate (modulo AND/OR flattening).
+    """
+    if isinstance(predicate, TruePredicate):
+        return "TRUE"
+    if isinstance(predicate, Eq):
+        return f"{predicate.attribute} = {_sql_literal(predicate.value)}"
+    if isinstance(predicate, In):
+        values = ", ".join(_sql_literal(v) for v in predicate.values)
+        return f"{predicate.attribute} IN ({values})"
+    if isinstance(predicate, Cmp):
+        return f"{predicate.attribute} {predicate.op} {predicate.value!r}"
+    if isinstance(predicate, Not):
+        return f"NOT ({to_sql(predicate.operand)})"
+    if isinstance(predicate, And):
+        if not predicate.operands:
+            return "TRUE"
+        return " AND ".join(f"({to_sql(op)})" for op in predicate.operands)
+    if isinstance(predicate, Or):
+        if not predicate.operands:
+            return "NOT (TRUE)"
+        return " OR ".join(f"({to_sql(op)})" for op in predicate.operands)
+    raise PredicateError(f"cannot serialise predicate {predicate!r}")

@@ -1,0 +1,87 @@
+"""Table schemas for the columnar engine.
+
+A :class:`TableSchema` is an ordered collection of :class:`AttributeSpec`.
+Schemas are declarative: dataset generators build them explicitly, and the
+catalog (see :mod:`repro.db.catalog`) derives active domains from the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import SchemaError, UnknownAttributeError
+from .types import ColumnType
+
+__all__ = ["AttributeSpec", "TableSchema"]
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Declaration of one attribute (column).
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within the table.
+    ctype:
+        Logical column type.
+    explorable:
+        Whether SDE operations may filter / group by this attribute.  Keys
+        (``user_id``, ``item_id``) and free-text columns set this to False.
+    """
+
+    name: str
+    ctype: ColumnType = ColumnType.CATEGORICAL
+    explorable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError("attribute name must be a non-empty string")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Ordered, immutable set of attribute specs."""
+
+    attributes: tuple[AttributeSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names: {dupes}")
+
+    @classmethod
+    def of(cls, *specs: AttributeSpec) -> "TableSchema":
+        return cls(tuple(specs))
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    @property
+    def explorable_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes if a.explorable)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+    def __getitem__(self, name: str) -> AttributeSpec:
+        for spec in self.attributes:
+            if spec.name == name:
+                return spec
+        raise UnknownAttributeError(name, self.names)
+
+    def ctype(self, name: str) -> ColumnType:
+        return self[name].ctype
+
+    def with_attribute(self, spec: AttributeSpec) -> "TableSchema":
+        """Return a schema extended with ``spec`` (appended)."""
+        return TableSchema(self.attributes + (spec,))
+
+    def without_attributes(self, names: set[str] | frozenset[str]) -> "TableSchema":
+        """Return a schema with every attribute in ``names`` removed."""
+        return TableSchema(tuple(a for a in self.attributes if a.name not in names))

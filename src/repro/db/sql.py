@@ -1,0 +1,220 @@
+"""A tiny SQL ``WHERE``-clause dialect.
+
+SubDEx's UI lets advanced users type SQL predicates (paper §4, "System UI").
+This module parses that dialect into the predicate algebra of
+:mod:`repro.db.predicates`:
+
+.. code-block:: sql
+
+    age_group = 'young' AND (city = 'NYC' OR city = 'Brooklyn')
+    occupation IN ('student', 'programmer') AND NOT gender = 'M'
+    year >= 1990 AND rating != 3
+
+Also accepted is a full ``SELECT * FROM t WHERE ...`` statement, in which
+case only the WHERE clause is parsed.  Identifiers are attribute names;
+string literals use single quotes (doubled to escape); numbers are int or
+float literals.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from ..exceptions import SQLParseError
+from .predicates import And, Cmp, Eq, In, Not, Or, Predicate, TruePredicate
+
+__all__ = ["parse_where", "parse_select"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<op><=|>=|!=|<>|=|<|>)
+      | (?P<lparen>\()
+      | (?P<rparen>\))
+      | (?P<comma>,)
+      | (?P<word>[A-Za-z_][A-Za-z_0-9.]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"AND", "OR", "NOT", "IN", "TRUE", "SELECT", "FROM", "WHERE"}
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: Any) -> None:
+        self.kind = kind
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Token({self.kind}, {self.value!r})"
+
+
+def _tokenise(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise SQLParseError(text, f"unexpected character at {remainder[:10]!r}")
+        pos = match.end()
+        if match.lastgroup == "string":
+            literal = match.group("string")[1:-1].replace("''", "'")
+            tokens.append(_Token("string", literal))
+        elif match.lastgroup == "number":
+            raw = match.group("number")
+            tokens.append(_Token("number", float(raw) if "." in raw else int(raw)))
+        elif match.lastgroup == "word":
+            word = match.group("word")
+            if word.upper() in _KEYWORDS:
+                tokens.append(_Token("keyword", word.upper()))
+            else:
+                tokens.append(_Token("ident", word))
+        else:
+            tokens.append(_Token(match.lastgroup or "", match.group(0).strip()))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser: or_expr → and_expr → unary → comparison."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = _tokenise(text)
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+    def _peek(self) -> _Token | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise SQLParseError(self._text, "unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _accept_keyword(self, word: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "keyword" and token.value == word:
+            self._pos += 1
+            return True
+        return False
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise SQLParseError(
+                self._text, f"expected {kind}, got {token.value!r}"
+            )
+        return token
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self) -> Predicate:
+        predicate = self._or_expr()
+        if self._peek() is not None:
+            raise SQLParseError(
+                self._text, f"trailing input at {self._peek().value!r}"
+            )
+        return predicate
+
+    def _or_expr(self) -> Predicate:
+        operands = [self._and_expr()]
+        while self._accept_keyword("OR"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(tuple(operands)).flattened()
+
+    def _and_expr(self) -> Predicate:
+        operands = [self._unary()]
+        while self._accept_keyword("AND"):
+            operands.append(self._unary())
+        if len(operands) == 1:
+            return operands[0]
+        return And(tuple(operands)).flattened()
+
+    def _unary(self) -> Predicate:
+        if self._accept_keyword("NOT"):
+            return Not(self._unary())
+        if self._accept_keyword("TRUE"):
+            return TruePredicate()
+        token = self._peek()
+        if token is not None and token.kind == "lparen":
+            self._next()
+            inner = self._or_expr()
+            self._expect("rparen")
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> Predicate:
+        ident = self._expect("ident")
+        token = self._next()
+        if token.kind == "keyword" and token.value == "IN":
+            return In(ident.value, tuple(self._value_list()))
+        if token.kind != "op":
+            raise SQLParseError(
+                self._text, f"expected operator after {ident.value!r}"
+            )
+        op = "!=" if token.value == "<>" else token.value
+        literal = self._literal()
+        if op == "=":
+            return Eq(ident.value, literal)
+        if not isinstance(literal, (int, float)):
+            raise SQLParseError(
+                self._text, f"operator {op!r} needs a numeric literal"
+            )
+        return Cmp(ident.value, op, float(literal))
+
+    def _value_list(self) -> list[Any]:
+        self._expect("lparen")
+        values = [self._literal()]
+        while True:
+            token = self._next()
+            if token.kind == "rparen":
+                return values
+            if token.kind != "comma":
+                raise SQLParseError(self._text, "expected ',' or ')' in IN list")
+            values.append(self._literal())
+
+    def _literal(self) -> Any:
+        token = self._next()
+        if token.kind in ("string", "number"):
+            return token.value
+        if token.kind == "ident":
+            # bare words allowed as string literals for convenience
+            return token.value
+        raise SQLParseError(self._text, f"expected literal, got {token.value!r}")
+
+
+def parse_where(text: str) -> Predicate:
+    """Parse a WHERE-clause expression into a :class:`Predicate`."""
+    if not text or not text.strip():
+        return TruePredicate()
+    return _Parser(text).parse()
+
+
+def parse_select(text: str) -> tuple[str | None, Predicate]:
+    """Parse ``SELECT * FROM table [WHERE cond]``.
+
+    Returns ``(table_name, predicate)``; plain WHERE expressions are also
+    accepted and yield ``(None, predicate)``.
+    """
+    stripped = text.strip()
+    match = re.match(
+        r"(?is)^\s*select\s+\*\s+from\s+([A-Za-z_][A-Za-z_0-9]*)\s*(?:where\s+(.*))?$",
+        stripped,
+    )
+    if match is None:
+        return None, parse_where(stripped)
+    table_name = match.group(1)
+    where = match.group(2)
+    return table_name, parse_where(where) if where else TruePredicate()

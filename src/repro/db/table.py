@@ -1,0 +1,215 @@
+"""The :class:`Table` — an immutable in-memory columnar relation.
+
+Tables pair a :class:`~repro.db.schema.TableSchema` with one
+:class:`~repro.db.column.Column` per attribute.  Selection (``filter``)
+returns a new table; predicates evaluate to vectorised numpy masks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import SchemaError, UnknownAttributeError
+from .column import Column, column_from_values
+from .predicates import Predicate
+from .schema import AttributeSpec, TableSchema
+from .types import ColumnType, infer_column_type
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An immutable columnar table.
+
+    Build directly from columns, or from Python rows / column dicts via the
+    classmethod constructors.
+    """
+
+    def __init__(self, schema: TableSchema, columns: Mapping[str, Column]) -> None:
+        if set(schema.names) != set(columns):
+            missing = set(schema.names) - set(columns)
+            extra = set(columns) - set(schema.names)
+            raise SchemaError(
+                f"columns do not match schema (missing={sorted(missing)}, "
+                f"extra={sorted(extra)})"
+            )
+        lengths = {name: len(col) for name, col in columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"column lengths differ: {lengths}")
+        self._schema = schema
+        self._columns = dict(columns)
+        self._nrows = next(iter(lengths.values())) if lengths else 0
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        data: Mapping[str, Sequence[Any]],
+        schema: TableSchema | None = None,
+        explorable: Mapping[str, bool] | None = None,
+    ) -> "Table":
+        """Build a table from ``{name: values}``; types inferred if no schema.
+
+        ``explorable`` optionally marks attributes as non-explorable when the
+        schema is being inferred.
+        """
+        explorable = dict(explorable or {})
+        if schema is None:
+            specs = []
+            for name, values in data.items():
+                ctype = infer_column_type(list(values))
+                specs.append(
+                    AttributeSpec(name, ctype, explorable.get(name, True))
+                )
+            schema = TableSchema(tuple(specs))
+        columns = {
+            spec.name: column_from_values(list(data[spec.name]), spec.ctype)
+            for spec in schema.attributes
+        }
+        return cls(schema, columns)
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Mapping[str, Any]],
+        schema: TableSchema | None = None,
+        explorable: Mapping[str, bool] | None = None,
+    ) -> "Table":
+        """Build a table from a sequence of row dicts."""
+        if schema is not None:
+            names: Sequence[str] = schema.names
+        elif rows:
+            names = list(rows[0])
+        else:
+            names = []
+        data = {name: [row.get(name) for row in rows] for name in names}
+        return cls.from_columns(data, schema, explorable)
+
+    @classmethod
+    def empty(cls, schema: TableSchema) -> "Table":
+        columns = {
+            spec.name: column_from_values([], spec.ctype)
+            for spec in schema.attributes
+        }
+        return cls(schema, columns)
+
+    # -- basic accessors ----------------------------------------------------
+    @property
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return self._schema.names
+
+    @property
+    def explorable_attributes(self) -> tuple[str, ...]:
+        return self._schema.explorable_names
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise UnknownAttributeError(name, self._schema.names) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Materialise row ``index`` as a dict."""
+        return {name: col.value_at(index) for name, col in self._columns.items()}
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        for i in range(self._nrows):
+            yield self.row(i)
+
+    # -- relational operations ----------------------------------------------
+    def mask(self, predicate: Predicate) -> np.ndarray:
+        """Evaluate ``predicate`` to a boolean mask over this table."""
+        return predicate.mask(self)
+
+    def filter(self, predicate: Predicate) -> "Table":
+        """Rows matching ``predicate`` (a new table)."""
+        return self.take(np.flatnonzero(predicate.mask(self)))
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Rows at ``indices``, in order (a new table)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        columns = {name: col.take(indices) for name, col in self._columns.items()}
+        return Table(self._schema, columns)
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Projection onto ``names`` (preserving their schema specs)."""
+        specs = tuple(self._schema[name] for name in names)
+        columns = {name: self.column(name) for name in names}
+        return Table(TableSchema(specs), columns)
+
+    def drop(self, names: set[str] | frozenset[str] | Sequence[str]) -> "Table":
+        """Projection removing ``names``."""
+        names = set(names)
+        keep = [n for n in self._schema.names if n not in names]
+        return self.select(keep)
+
+    def replace_column(self, name: str, column: Column) -> "Table":
+        """A new table with column ``name`` swapped for ``column``.
+
+        The replacement must have the same length and a type matching the
+        schema (the schema is unchanged).
+        """
+        if name not in self._columns:
+            raise UnknownAttributeError(name, self._schema.names)
+        if len(column) != self._nrows:
+            raise SchemaError(
+                f"replacement column has {len(column)} rows, table has {self._nrows}"
+            )
+        if column.type is not self._schema[name].ctype:
+            raise SchemaError(
+                f"replacement column type {column.type} does not match "
+                f"schema type {self._schema[name].ctype} for {name!r}"
+            )
+        columns = dict(self._columns)
+        columns[name] = column
+        return Table(self._schema, columns)
+
+    def numeric(self, name: str) -> np.ndarray:
+        """The float64 data of a numeric column (raises otherwise)."""
+        from .column import NumericColumn
+
+        column = self.column(name)
+        if not isinstance(column, NumericColumn):
+            raise SchemaError(f"column {name!r} is {column.type}, not numeric")
+        return column.data
+
+    def distinct(self, name: str) -> list[Any]:
+        """Sorted distinct non-missing values of a column."""
+        return self.column(name).distinct_values()
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self._nrows} rows × {len(self._schema)} cols: "
+            f"{', '.join(self._schema.names)})"
+        )
+
+    def head_str(self, n: int = 5) -> str:
+        """A small aligned textual preview (for examples / debugging)."""
+        names = self._schema.names
+        rows = [
+            ["" if v is None else str(v) for v in (self.row(i)[n2] for n2 in names)]
+            for i in range(min(n, self._nrows))
+        ]
+        widths = [
+            max(len(name), *(len(r[j]) for r in rows)) if rows else len(name)
+            for j, name in enumerate(names)
+        ]
+        header = "  ".join(name.ljust(w) for name, w in zip(names, widths))
+        lines = [header, "  ".join("-" * w for w in widths)]
+        for r in rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        if self._nrows > n:
+            lines.append(f"... ({self._nrows - n} more rows)")
+        return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Column type definitions for the columnar engine.
+
+The engine supports three logical column types, matching what a subjective
+database needs (paper §3.1):
+
+* ``CATEGORICAL`` — dictionary-encoded strings (e.g. gender, city).
+* ``NUMERIC`` — integers or floats (e.g. rating scores, zip codes used as
+  numbers).
+* ``MULTI_VALUED`` — sets of strings per row (e.g. a restaurant's cuisines).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+
+class ColumnType(enum.Enum):
+    """Logical type of a table column."""
+
+    CATEGORICAL = "categorical"
+    NUMERIC = "numeric"
+    MULTI_VALUED = "multi_valued"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def infer_column_type(values: list[Any]) -> ColumnType:
+    """Infer the :class:`ColumnType` of raw Python ``values``.
+
+    Rules, applied to the non-``None`` entries:
+
+    * any ``set``/``frozenset``/``list``/``tuple`` value → ``MULTI_VALUED``;
+    * all ``int``/``float`` (bools excluded) → ``NUMERIC``;
+    * otherwise → ``CATEGORICAL``.
+
+    An all-``None`` or empty column defaults to ``CATEGORICAL``.
+    """
+    saw_numeric = False
+    saw_other = False
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, (set, frozenset, list, tuple)):
+            return ColumnType.MULTI_VALUED
+        if isinstance(value, bool):
+            saw_other = True
+        elif isinstance(value, (int, float)):
+            saw_numeric = True
+        else:
+            saw_other = True
+    if saw_numeric and not saw_other:
+        return ColumnType.NUMERIC
+    return ColumnType.CATEGORICAL

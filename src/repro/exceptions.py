@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish schema problems from query problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table schema is invalid or an attribute reference cannot be resolved."""
+
+
+class ColumnTypeError(SchemaError):
+    """An operation was applied to a column of an incompatible type."""
+
+
+class UnknownAttributeError(SchemaError):
+    """A predicate or group-by referenced an attribute that does not exist."""
+
+    def __init__(self, attribute: str, available: tuple[str, ...] = ()) -> None:
+        self.attribute = attribute
+        self.available = tuple(available)
+        message = f"unknown attribute {attribute!r}"
+        if self.available:
+            message += f" (available: {', '.join(self.available)})"
+        super().__init__(message)
+
+
+class PredicateError(ReproError):
+    """A predicate is malformed or cannot be evaluated against a table."""
+
+
+class SQLParseError(PredicateError):
+    """The tiny SQL dialect parser rejected a query string."""
+
+    def __init__(self, query: str, reason: str) -> None:
+        self.query = query
+        self.reason = reason
+        super().__init__(f"cannot parse {query!r}: {reason}")
+
+
+class EmptyGroupError(ReproError):
+    """An operation produced a rating group with no records."""
+
+
+class ConfigurationError(ReproError):
+    """An engine or generator was configured with inconsistent parameters."""
+
+
+class OperationError(ReproError):
+    """An exploration operation is invalid for the current session state."""

@@ -1,0 +1,5 @@
+"""Extensions the paper names as future work (§6)."""
+
+from .personalize import PersonalizedRecommendationBuilder, PreferenceModel
+
+__all__ = ["PersonalizedRecommendationBuilder", "PreferenceModel"]

@@ -1,0 +1,151 @@
+"""Personalised recommendations from exploration logs (paper §6 extension).
+
+The paper's conclusion names personalised exploration as the next step and
+§5.2.2 points at log-based recommenders [23, 42] as drop-in replacements for
+the Recommendation Builder.  This module implements that extension:
+
+* :class:`PreferenceModel` — per-user display/choice statistics mined from
+  :class:`~repro.core.history.ExplorationLog` records: which grouping
+  attributes and rating dimensions this user's sessions dwell on.
+* :class:`PersonalizedRecommendationBuilder` — wraps the stock builder and
+  re-ranks its candidates by blending Eq. (2) utility with the preference
+  affinity of the maps each operation would show.
+
+The blend is deliberately conservative (``alpha`` weights the personal
+term): with no history the builder behaves exactly like stock SubDEx.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.history import ExplorationLog
+from ..core.recommend import RecommendationBuilder, ScoredOperation
+from ..core.utility import SeenMaps
+from ..model.groups import SelectionCriteria
+
+__all__ = ["PreferenceModel", "PersonalizedRecommendationBuilder"]
+
+
+@dataclass
+class PreferenceModel:
+    """Per-user affinity over grouping attributes and rating dimensions.
+
+    Affinities are smoothed log-frequencies normalised to [0, 1]; an
+    attribute/dimension never seen in the user's logs scores the neutral
+    prior 0.5.
+    """
+
+    attribute_counts: dict[tuple[str, str], int] = field(default_factory=dict)
+    dimension_counts: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_logs(cls, logs: Iterable[ExplorationLog]) -> "PreferenceModel":
+        model = cls()
+        for log in logs:
+            for side, attribute, dimension in log.shown_specs():
+                key = (side, attribute)
+                model.attribute_counts[key] = (
+                    model.attribute_counts.get(key, 0) + 1
+                )
+                model.dimension_counts[dimension] = (
+                    model.dimension_counts.get(dimension, 0) + 1
+                )
+        return model
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.attribute_counts and not self.dimension_counts
+
+    def _affinity(self, count: int, total: int) -> float:
+        if total == 0:
+            return 0.5
+        # smoothed log-frequency mapped into [0, 1]; 0.5 = average interest
+        expected = total / max(1, len(self.attribute_counts) or 1)
+        ratio = (count + 1) / (expected + 1)
+        return 1.0 / (1.0 + math.exp(-math.log(ratio)))
+
+    def attribute_affinity(self, side: str, attribute: str) -> float:
+        total = sum(self.attribute_counts.values())
+        return self._affinity(
+            self.attribute_counts.get((side, attribute), 0), total
+        )
+
+    def dimension_affinity(self, dimension: str) -> float:
+        total = sum(self.dimension_counts.values())
+        if total == 0:
+            return 0.5
+        expected = total / max(1, len(self.dimension_counts))
+        ratio = (self.dimension_counts.get(dimension, 0) + 1) / (expected + 1)
+        return 1.0 / (1.0 + math.exp(-math.log(ratio)))
+
+    def operation_affinity(self, scored: ScoredOperation) -> float:
+        """Mean affinity of the maps the operation would display."""
+        maps = scored.preview.selected
+        if not maps:
+            return 0.5
+        values = []
+        for rating_map in maps:
+            values.append(
+                0.5 * self.attribute_affinity(
+                    rating_map.spec.side.value, rating_map.spec.attribute
+                )
+                + 0.5 * self.dimension_affinity(rating_map.dimension)
+            )
+        return sum(values) / len(values)
+
+
+class PersonalizedRecommendationBuilder:
+    """Re-ranks stock recommendations by a user's logged preferences.
+
+    Drop-in compatible with :class:`RecommendationBuilder.recommend` —
+    exactly the modular replacement the paper describes.
+    """
+
+    def __init__(
+        self,
+        base: RecommendationBuilder,
+        model: PreferenceModel,
+        alpha: float = 0.3,
+    ) -> None:
+        if not 0 <= alpha <= 1:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self._base = base
+        self._model = model
+        self._alpha = alpha
+
+    @property
+    def base(self) -> RecommendationBuilder:
+        return self._base
+
+    def candidate_operations(self, current: SelectionCriteria):
+        return self._base.candidate_operations(current)
+
+    def recommend(
+        self,
+        current: SelectionCriteria,
+        seen: SeenMaps,
+        o: int | None = None,
+        candidates: Sequence | None = None,
+    ) -> list[ScoredOperation]:
+        """Top-o operations by ``(1-α)·utility + α·utility·affinity``."""
+        o = self._base.config.o if o is None else o
+        # over-fetch so the re-ranking has room to reorder
+        pool = self._base.recommend(
+            current, seen, o=max(o * 3, o), candidates=candidates
+        )
+        if self._model.is_empty or not pool:
+            return pool[:o]
+        max_utility = max(s.utility for s in pool) or 1.0
+
+        def blended(scored: ScoredOperation) -> float:
+            normalized = scored.utility / max_utility
+            affinity = self._model.operation_affinity(scored)
+            return (1 - self._alpha) * normalized + self._alpha * (
+                normalized * affinity * 2
+            )
+
+        ranked = sorted(pool, key=blended, reverse=True)
+        return ranked[:o]

@@ -1,0 +1,27 @@
+"""Subjective data model ⟨I, U, R⟩ (substrates S2–S3)."""
+
+from .database import Side, SubjectiveDatabase
+from .graph import density, item_degrees, reviewer_degrees, to_bipartite_graph
+from .groups import AVPair, RatingGroup, SelectionCriteria
+from .operations import (
+    Operation,
+    OperationKind,
+    apply_operation,
+    enumerate_operations,
+)
+
+__all__ = [
+    "AVPair",
+    "Operation",
+    "OperationKind",
+    "RatingGroup",
+    "SelectionCriteria",
+    "Side",
+    "SubjectiveDatabase",
+    "apply_operation",
+    "density",
+    "enumerate_operations",
+    "item_degrees",
+    "reviewer_degrees",
+    "to_bipartite_graph",
+]

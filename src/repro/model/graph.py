@@ -1,0 +1,81 @@
+"""Bipartite-graph view of a subjective database (paper §1).
+
+The paper models subjective data as a bipartite graph with reviewer nodes,
+item nodes, and rating-record links.  This module exposes that view via
+networkx for graph-style analyses (degree distributions, connectivity,
+projections) that complement the exploration engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import networkx as nx
+import numpy as np
+
+from .database import Side, SubjectiveDatabase
+from .groups import RatingGroup
+
+__all__ = ["to_bipartite_graph", "reviewer_degrees", "item_degrees", "density"]
+
+
+def to_bipartite_graph(
+    database: SubjectiveDatabase,
+    group: RatingGroup | None = None,
+    dimension: str | None = None,
+) -> nx.Graph:
+    """Build the bipartite reviewer–item graph.
+
+    Nodes are ``("reviewer", id)`` / ``("item", id)`` with a ``side``
+    attribute; each rating record becomes an edge whose ``scores`` attribute
+    maps dimension → score (or just the requested ``dimension``).
+    Restricting to a :class:`RatingGroup` keeps only its records.
+    """
+    graph = nx.Graph()
+    rows = group.rows if group is not None else np.arange(database.n_ratings)
+    dims = (dimension,) if dimension else database.dimensions
+    user_ids = database.ratings.numeric(database.key(Side.REVIEWER)).astype(np.int64)
+    item_ids = database.ratings.numeric(database.key(Side.ITEM)).astype(np.int64)
+    score_arrays = {d: database.dimension_scores(d) for d in dims}
+    for row in rows:
+        row = int(row)
+        u = ("reviewer", int(user_ids[row]))
+        i = ("item", int(item_ids[row]))
+        if u not in graph:
+            graph.add_node(u, side="reviewer")
+        if i not in graph:
+            graph.add_node(i, side="item")
+        scores: dict[str, Any] = {}
+        for dim in dims:
+            value = float(score_arrays[dim][row])
+            if np.isfinite(value):
+                scores[dim] = value
+        graph.add_edge(u, i, scores=scores)
+    return graph
+
+
+def _degrees(graph: nx.Graph, side: str) -> dict[int, int]:
+    return {
+        node[1]: degree
+        for node, degree in graph.degree()
+        if graph.nodes[node]["side"] == side
+    }
+
+
+def reviewer_degrees(graph: nx.Graph) -> dict[int, int]:
+    """Number of rated items per reviewer id."""
+    return _degrees(graph, "reviewer")
+
+
+def item_degrees(graph: nx.Graph) -> dict[int, int]:
+    """Number of reviewers per item id."""
+    return _degrees(graph, "item")
+
+
+def density(graph: nx.Graph) -> float:
+    """Edge density of the bipartite graph (edges / (|U|·|I|))."""
+    reviewers = sum(1 for __, d in graph.nodes(data=True) if d["side"] == "reviewer")
+    items = graph.number_of_nodes() - reviewers
+    if reviewers == 0 or items == 0:
+        return 0.0
+    return graph.number_of_edges() / (reviewers * items)

@@ -1,0 +1,32 @@
+"""Statistics substrate (S14): bounds, intervals, bandits, dispersion, ANOVA."""
+
+from .anova import AnovaResult, one_way_anova
+from .bandits import SuccessiveAcceptsRejects
+from .dispersion import (
+    histogram_mean,
+    histogram_std,
+    histogram_variance,
+    macarthur_index,
+    schutz_coefficient,
+    shannon_entropy,
+    simpson_index,
+)
+from .hoeffding import hoeffding_epsilon, serfling_epsilon
+from .intervals import ConfidenceInterval, combine_max_intervals
+
+__all__ = [
+    "AnovaResult",
+    "ConfidenceInterval",
+    "SuccessiveAcceptsRejects",
+    "combine_max_intervals",
+    "histogram_mean",
+    "histogram_std",
+    "histogram_variance",
+    "hoeffding_epsilon",
+    "macarthur_index",
+    "one_way_anova",
+    "schutz_coefficient",
+    "serfling_epsilon",
+    "shannon_entropy",
+    "simpson_index",
+]

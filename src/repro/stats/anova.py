@@ -1,0 +1,58 @@
+"""One-way ANOVA reporting for the user-study analyses (paper §5.2.1).
+
+The paper checks, at p < .05, that (a) mode order within a treatment group,
+(b) dataset, and (c) domain knowledge do not significantly change outcomes.
+This thin wrapper around :func:`scipy.stats.f_oneway` returns a structured
+result the study reporter can render.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["AnovaResult", "one_way_anova"]
+
+
+@dataclass(frozen=True)
+class AnovaResult:
+    """Outcome of a one-way ANOVA."""
+
+    f_statistic: float
+    p_value: float
+    group_sizes: tuple[int, ...]
+    alpha: float = 0.05
+
+    @property
+    def significant(self) -> bool:
+        """True if the group means differ significantly at ``alpha``."""
+        return (not math.isnan(self.p_value)) and self.p_value < self.alpha
+
+    def describe(self) -> str:
+        verdict = "significant" if self.significant else "not significant"
+        return (
+            f"F={self.f_statistic:.3f}, p={self.p_value:.4f} "
+            f"({verdict} at α={self.alpha})"
+        )
+
+
+def one_way_anova(
+    groups: Sequence[Sequence[float]], alpha: float = 0.05
+) -> AnovaResult:
+    """One-way ANOVA across ``groups`` of observations.
+
+    Degenerate inputs (fewer than two groups with ≥ 2 observations, or zero
+    within-group variance everywhere) yield ``p = NaN`` and count as not
+    significant — matching how the paper treats uninformative cells.
+    """
+    arrays = [np.asarray(g, dtype=np.float64) for g in groups]
+    sizes = tuple(len(a) for a in arrays)
+    usable = [a for a in arrays if len(a) >= 2]
+    if len(usable) < 2 or all(np.allclose(a, a[0]) for a in usable):
+        return AnovaResult(math.nan, math.nan, sizes, alpha)
+    f_stat, p_value = stats.f_oneway(*usable)
+    return AnovaResult(float(f_stat), float(p_value), sizes, alpha)

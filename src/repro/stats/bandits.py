@@ -1,0 +1,127 @@
+"""Multi-armed-bandit top-k identification (Successive Accepts and Rejects).
+
+SubDEx's MAB pruning (paper §4.2.1) treats each candidate rating map as an
+arm whose reward is its DW utility estimated from one phase's worth of data.
+At the end of each phase the Successive Accepts and Rejects strategy of
+Bubeck, Wang & Viswanathan (2013) either *accepts* the best-looking arm into
+the top-k' or *rejects* the worst-looking arm, using the gap test described
+in the paper:
+
+* Δ1 = (highest active mean) − ((k'+1)-th overall mean)
+* Δ2 = (k'-th overall mean) − (lowest active mean)
+* if Δ1 > Δ2 accept the highest arm, else reject the lowest.
+
+The class below is generic over hashable arm identifiers so both the pruner
+and the tests can drive it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+__all__ = ["SuccessiveAcceptsRejects"]
+
+Arm = Hashable
+
+
+class SuccessiveAcceptsRejects:
+    """Stateful accept/reject top-k identification.
+
+    Parameters
+    ----------
+    arms:
+        All arm identifiers.
+    k:
+        Target number of accepted arms (``k' = k × l`` in the paper).
+    """
+
+    def __init__(self, arms: Sequence[Arm], k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self._active: list[Arm] = list(dict.fromkeys(arms))
+        if len(self._active) != len(list(arms)):
+            raise ValueError("duplicate arm identifiers")
+        self._k = min(k, len(self._active))
+        self._accepted: list[Arm] = []
+        self._rejected: list[Arm] = []
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def active(self) -> tuple[Arm, ...]:
+        """Arms still being sampled."""
+        return tuple(self._active)
+
+    @property
+    def accepted(self) -> tuple[Arm, ...]:
+        """Arms already committed to the top-k."""
+        return tuple(self._accepted)
+
+    @property
+    def rejected(self) -> tuple[Arm, ...]:
+        return tuple(self._rejected)
+
+    @property
+    def remaining_slots(self) -> int:
+        """How many top-k slots are still open."""
+        return self._k - len(self._accepted)
+
+    @property
+    def finished(self) -> bool:
+        """True when the top-k is fully determined."""
+        return self.remaining_slots == 0 or len(self._active) <= self.remaining_slots
+
+    def surviving(self) -> tuple[Arm, ...]:
+        """Accepted arms plus still-active arms (the non-pruned set)."""
+        return tuple(self._accepted) + tuple(self._active)
+
+    def topk(self, means: Mapping[Arm, float]) -> tuple[Arm, ...]:
+        """The final top-k: accepted arms padded with the best active ones."""
+        order = sorted(self._active, key=lambda a: means.get(a, 0.0), reverse=True)
+        return tuple(self._accepted) + tuple(order[: self.remaining_slots])
+
+    def force_reject(self, arm: Arm) -> None:
+        """Remove an active arm unconditionally (pruned by another scheme)."""
+        if arm in self._active:
+            self._active.remove(arm)
+            self._rejected.append(arm)
+
+    # -- the phase-end decision -------------------------------------------
+    def step(self, means: Mapping[Arm, float]) -> tuple[str, Arm] | None:
+        """Perform one accept-or-reject decision given current arm means.
+
+        Returns ``("accept", arm)`` or ``("reject", arm)``, or ``None`` when
+        the process is already finished.  Arms missing from ``means``
+        default to 0.
+        """
+        if self.finished:
+            return None
+        ranked = sorted(
+            self._active, key=lambda a: (means.get(a, 0.0), str(a)), reverse=True
+        )
+        slots = self.remaining_slots
+        highest = means.get(ranked[0], 0.0)
+        lowest = means.get(ranked[-1], 0.0)
+        # boundary means among the *active* ranking relative to open slots
+        kth = means.get(ranked[slots - 1], 0.0)
+        kplus1 = means.get(ranked[slots], 0.0) if slots < len(ranked) else lowest
+        delta1 = highest - kplus1
+        delta2 = kth - lowest
+        if delta1 > delta2:
+            arm = ranked[0]
+            self._active.remove(arm)
+            self._accepted.append(arm)
+            return ("accept", arm)
+        arm = ranked[-1]
+        self._active.remove(arm)
+        self._rejected.append(arm)
+        return ("reject", arm)
+
+    def run_to_completion(self, means: Mapping[Arm, float]) -> tuple[Arm, ...]:
+        """Apply :meth:`step` until finished with fixed means; return top-k.
+
+        Useful for the final phase, where means are exact and every pending
+        decision can be resolved at once.
+        """
+        while self.step(means) is not None:
+            pass
+        return self.topk(means)

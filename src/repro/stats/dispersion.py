@@ -1,0 +1,107 @@
+"""Dispersion measures over rating histograms.
+
+The agreement score (paper §4.1) is ``1 / (1 + σ̃)`` where σ̃ is the average
+subgroup standard deviation; the paper notes any dispersion measure from the
+interestingness literature (e.g. Schutz, MacArthur — Hilderman & Hamilton)
+can be substituted.  All measures here operate on integer-scale histograms
+``counts[j] = #records with score j+1`` so they compose with the phased
+accumulators without touching raw records.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "histogram_mean",
+    "histogram_std",
+    "histogram_variance",
+    "schutz_coefficient",
+    "macarthur_index",
+    "simpson_index",
+    "shannon_entropy",
+]
+
+
+def _values(scale: int) -> np.ndarray:
+    return np.arange(1, scale + 1, dtype=np.float64)
+
+
+def histogram_mean(counts: np.ndarray) -> float:
+    """Mean score of a histogram (NaN for an empty histogram)."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total == 0:
+        return math.nan
+    return float((_values(counts.size) * counts).sum() / total)
+
+
+def histogram_variance(counts: np.ndarray) -> float:
+    """Population variance of the scores in a histogram."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total == 0:
+        return math.nan
+    values = _values(counts.size)
+    mean = (values * counts).sum() / total
+    return float(((values - mean) ** 2 * counts).sum() / total)
+
+
+def histogram_std(counts: np.ndarray) -> float:
+    """Population standard deviation of the scores in a histogram."""
+    variance = histogram_variance(counts)
+    return math.nan if math.isnan(variance) else math.sqrt(variance)
+
+
+def schutz_coefficient(counts: np.ndarray) -> float:
+    """Schutz coefficient of inequality (relative mean deviation).
+
+    ``Σ n_j |v_j − mean| / (2 · N · mean)`` — 0 for perfect agreement,
+    approaching 1 for maximal inequality.  NaN for empty histograms.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total == 0:
+        return math.nan
+    values = _values(counts.size)
+    mean = (values * counts).sum() / total
+    if mean == 0:
+        return 0.0
+    return float(np.abs(values - mean).dot(counts) / (2.0 * total * mean))
+
+
+def shannon_entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (nats) of the normalised histogram."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total == 0:
+        return math.nan
+    p = counts[counts > 0] / total
+    return float(-(p * np.log(p)).sum())
+
+
+def macarthur_index(counts: np.ndarray) -> float:
+    """MacArthur evenness: ``H / H_max`` ∈ [0, 1].
+
+    1 when scores spread uniformly over the scale (maximal disagreement),
+    0 when all records share one score (perfect agreement).
+    """
+    entropy = shannon_entropy(counts)
+    if math.isnan(entropy):
+        return math.nan
+    h_max = math.log(len(np.asarray(counts)))
+    if h_max == 0:
+        return 0.0
+    return entropy / h_max
+
+
+def simpson_index(counts: np.ndarray) -> float:
+    """Simpson diversity ``1 − Σ p_j²`` ∈ [0, 1 − 1/m]."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total == 0:
+        return math.nan
+    p = counts / total
+    return float(1.0 - (p**2).sum())

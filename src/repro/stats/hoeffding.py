@@ -1,0 +1,70 @@
+"""Hoeffding–Serfling confidence bounds for sampling without replacement.
+
+The phased execution framework scans a rating group fraction by fraction —
+i.e. it samples *without replacement* from a finite population of N records.
+Serfling (1974) tightens Hoeffding's inequality for this setting; SubDEx
+(following SeeDB [54]) uses the resulting worst-case confidence interval to
+bound the utility of a rating map from partial data.
+
+For values in ``[0, 1]``, after observing ``l`` of ``N`` records, with
+probability at least ``1 - delta`` the running mean is within
+:func:`serfling_epsilon` of the population mean simultaneously for all ``l``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["serfling_epsilon", "hoeffding_epsilon"]
+
+
+def serfling_epsilon(n_seen: int, n_total: int, delta: float = 0.05) -> float:
+    """Half-width of the Hoeffding–Serfling confidence interval.
+
+    Parameters
+    ----------
+    n_seen:
+        Number of records observed so far (``l`` ≥ 1).
+    n_total:
+        Population size ``N`` ≥ ``n_seen``.
+    delta:
+        Failure probability across *all* phases (anytime bound).
+
+    Returns
+    -------
+    ``epsilon`` such that ``|mean_l - mean_N| <= epsilon`` w.p. ≥ 1 - delta.
+    Returns 0.0 once the whole population has been seen.
+
+    Notes
+    -----
+    Uses the anytime form from SeeDB [54]:
+
+    .. math::
+        \\epsilon = \\sqrt{\\frac{(1 - \\frac{l-1}{N})
+                     (2 \\log\\log l + \\log(\\pi^2 / 3\\delta))}{2 l}}
+
+    ``log log l`` is clamped at 0 for ``l < 3`` where it is undefined or
+    negative.
+    """
+    if n_seen <= 0:
+        return 1.0
+    if n_total <= 0 or n_seen >= n_total:
+        return 0.0
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    shrink = 1.0 - (n_seen - 1) / n_total
+    loglog = math.log(math.log(n_seen)) if n_seen >= 3 else 0.0
+    numerator = shrink * (2.0 * max(loglog, 0.0) + math.log(math.pi**2 / (3.0 * delta)))
+    return math.sqrt(numerator / (2.0 * n_seen))
+
+
+def hoeffding_epsilon(n_seen: int, delta: float = 0.05) -> float:
+    """Classic Hoeffding half-width (with replacement), for comparison.
+
+    ``epsilon = sqrt(log(2 / delta) / (2 l))`` for values in [0, 1].
+    """
+    if n_seen <= 0:
+        return 1.0
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * n_seen))

@@ -1,0 +1,92 @@
+"""Confidence-interval value objects and the interval-combination rule.
+
+Algorithm 3 of the paper manipulates one interval per utility criterion and
+combines them into a single interval per rating map:
+
+* intervals lying entirely below another interval are discarded (their
+  criterion cannot be the max);
+* the combined upper bound is the max upper bound of the survivors, the
+  combined lower bound the min lower bound of the survivors;
+* the result is scaled by the rating-dimension weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["ConfidenceInterval", "combine_max_intervals"]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A closed interval ``[lo, hi]`` with a point estimate ``mean``."""
+
+    mean: float
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"empty interval: lo={self.lo} > hi={self.hi}")
+
+    @classmethod
+    def around(cls, mean: float, epsilon: float, clamp: bool = True) -> "ConfidenceInterval":
+        """Symmetric interval ``mean ± epsilon``, clamped to [0, 1] by default."""
+        lo, hi = mean - epsilon, mean + epsilon
+        if clamp:
+            lo, hi = max(0.0, lo), min(1.0, hi)
+            mean = min(max(mean, 0.0), 1.0)
+        return cls(mean, lo, hi)
+
+    @classmethod
+    def exact(cls, value: float) -> "ConfidenceInterval":
+        return cls(value, value, value)
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def entirely_below(self, other: "ConfidenceInterval") -> bool:
+        """True if every value of self is below every value of ``other``."""
+        return self.hi < other.lo
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def scaled(self, factor: float) -> "ConfidenceInterval":
+        """Interval scaled by a non-negative factor (dimension weight)."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be >= 0, got {factor}")
+        return ConfidenceInterval(self.mean * factor, self.lo * factor, self.hi * factor)
+
+    def __repr__(self) -> str:
+        return f"CI({self.mean:.4f} ∈ [{self.lo:.4f}, {self.hi:.4f}])"
+
+
+def combine_max_intervals(
+    intervals: Sequence[ConfidenceInterval] | Iterable[ConfidenceInterval],
+) -> ConfidenceInterval:
+    """Interval of ``max(X_1, ..., X_n)`` given an interval per criterion.
+
+    Implements the dominated-interval elimination of Algorithm 3 (lines
+    2–9): criteria whose interval lies entirely below another criterion's
+    interval cannot realise the max and are dropped; the remaining intervals
+    bound the max by ``[max lo, max hi]``.
+
+    Note the lower bound is the *max* of surviving lower bounds (the true
+    maximum is at least each criterion's lower bound); this is the sound
+    reading of the pseudo-code's interval update.
+    """
+    survivors = list(intervals)
+    if not survivors:
+        raise ValueError("need at least one interval")
+    best_hi = max(ci.hi for ci in survivors)
+    kept = [
+        ci
+        for ci in survivors
+        if not any(ci is not other and ci.entirely_below(other) for other in survivors)
+    ]
+    lo = max(ci.lo for ci in kept)
+    mean = max(ci.mean for ci in kept)
+    return ConfidenceInterval(min(mean, best_hi), min(lo, best_hi), best_hi)

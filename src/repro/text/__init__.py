@@ -1,0 +1,19 @@
+"""Sentiment / review-text substrate (S15): the VADER-substitute pipeline."""
+
+from .extraction import DimensionExtractor, extract_dimension_scores, phrase_windows
+from .lexicon import INTENSIFIERS, NEGATORS, VALENCE
+from .reviews import DIMENSION_KEYWORDS, ReviewGenerator
+from .sentiment import SentimentAnalyzer, tokenize
+
+__all__ = [
+    "DIMENSION_KEYWORDS",
+    "DimensionExtractor",
+    "INTENSIFIERS",
+    "NEGATORS",
+    "ReviewGenerator",
+    "SentimentAnalyzer",
+    "VALENCE",
+    "extract_dimension_scores",
+    "phrase_windows",
+    "tokenize",
+]

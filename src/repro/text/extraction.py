@@ -1,0 +1,82 @@
+"""Per-dimension rating extraction from review text (paper §5.1).
+
+The paper derived Yelp's food / service / ambiance scores by taking, for
+each rating dimension, every phrase containing the dimension keyword plus a
+fixed 5-word window around it, scoring each phrase with VADER, and averaging
+the phrase sentiments.  :func:`extract_dimension_scores` reproduces exactly
+that procedure on top of :class:`~repro.text.sentiment.SentimentAnalyzer`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .sentiment import SentimentAnalyzer, tokenize
+
+__all__ = ["phrase_windows", "extract_dimension_scores", "DimensionExtractor"]
+
+
+def phrase_windows(
+    tokens: Sequence[str], keywords: Sequence[str], window: int = 5
+) -> list[list[str]]:
+    """All ``±window``-token phrases around occurrences of any keyword."""
+    keyword_set = set(keywords)
+    phrases: list[list[str]] = []
+    for i, token in enumerate(tokens):
+        if token in keyword_set:
+            lo = max(0, i - window)
+            hi = min(len(tokens), i + window + 1)
+            phrases.append(list(tokens[lo:hi]))
+    return phrases
+
+
+def extract_dimension_scores(
+    text: str,
+    dimension_keywords: Mapping[str, Sequence[str]],
+    analyzer: SentimentAnalyzer | None = None,
+    window: int = 5,
+    scale: int = 5,
+) -> dict[str, int | None]:
+    """Per-dimension integer ratings extracted from one review.
+
+    For each dimension: collect keyword phrases, sentiment-score each,
+    average, and map to the ``1..scale`` rating scale.  Dimensions whose
+    keywords never occur yield ``None`` (a missing rating).
+    """
+    analyzer = analyzer or SentimentAnalyzer()
+    tokens = tokenize(text)
+    out: dict[str, int | None] = {}
+    for dimension, keywords in dimension_keywords.items():
+        phrases = phrase_windows(tokens, keywords, window)
+        if not phrases:
+            out[dimension] = None
+            continue
+        sentiments = [analyzer.score_tokens(phrase) for phrase in phrases]
+        average = sum(sentiments) / len(sentiments)
+        out[dimension] = analyzer.to_rating(average, scale)
+    return out
+
+
+class DimensionExtractor:
+    """Reusable extractor bound to one keyword map / analyzer / scale."""
+
+    def __init__(
+        self,
+        dimension_keywords: Mapping[str, Sequence[str]],
+        analyzer: SentimentAnalyzer | None = None,
+        window: int = 5,
+        scale: int = 5,
+    ) -> None:
+        self._keywords = {d: tuple(ks) for d, ks in dimension_keywords.items()}
+        self._analyzer = analyzer or SentimentAnalyzer()
+        self._window = window
+        self._scale = scale
+
+    @property
+    def dimensions(self) -> tuple[str, ...]:
+        return tuple(self._keywords)
+
+    def extract(self, text: str) -> dict[str, int | None]:
+        return extract_dimension_scores(
+            text, self._keywords, self._analyzer, self._window, self._scale
+        )

@@ -1,0 +1,133 @@
+"""A compact sentiment lexicon (substitute for VADER, paper §5.1).
+
+Scores are valences in [-1, 1].  The lexicon is intentionally small but
+covers the vocabulary of the synthetic review generator plus common English
+opinion words, negators, and intensifiers — enough to exercise the identical
+extraction code path the paper ran over real Yelp reviews.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VALENCE", "NEGATORS", "INTENSIFIERS"]
+
+#: word → valence in [-1, 1]
+VALENCE: dict[str, float] = {
+    # strong positive
+    "amazing": 0.9,
+    "awesome": 0.9,
+    "excellent": 0.9,
+    "exceptional": 0.9,
+    "fantastic": 0.9,
+    "incredible": 0.9,
+    "outstanding": 0.9,
+    "perfect": 1.0,
+    "phenomenal": 0.9,
+    "superb": 0.9,
+    "wonderful": 0.85,
+    "delicious": 0.8,
+    "divine": 0.8,
+    "exquisite": 0.85,
+    "flawless": 0.9,
+    "heavenly": 0.8,
+    "stellar": 0.85,
+    # positive
+    "attentive": 0.6,
+    "charming": 0.6,
+    "clean": 0.5,
+    "comfortable": 0.55,
+    "cozy": 0.55,
+    "enjoyable": 0.6,
+    "fresh": 0.55,
+    "friendly": 0.6,
+    "good": 0.5,
+    "great": 0.7,
+    "happy": 0.6,
+    "helpful": 0.55,
+    "impressive": 0.65,
+    "lovely": 0.6,
+    "nice": 0.45,
+    "pleasant": 0.5,
+    "polite": 0.5,
+    "prompt": 0.5,
+    "recommend": 0.55,
+    "solid": 0.4,
+    "tasty": 0.6,
+    "warm": 0.45,
+    "welcoming": 0.55,
+    # mild / mixed
+    "acceptable": 0.2,
+    "adequate": 0.15,
+    "average": 0.0,
+    "decent": 0.2,
+    "fine": 0.2,
+    "okay": 0.1,
+    "ordinary": 0.0,
+    "passable": 0.1,
+    "plain": -0.05,
+    "standard": 0.05,
+    "unremarkable": -0.1,
+    # negative
+    "bland": -0.5,
+    "boring": -0.4,
+    "cold": -0.35,
+    "cramped": -0.4,
+    "dirty": -0.6,
+    "disappointing": -0.6,
+    "dull": -0.4,
+    "forgettable": -0.4,
+    "greasy": -0.45,
+    "loud": -0.3,
+    "mediocre": -0.4,
+    "noisy": -0.35,
+    "overpriced": -0.5,
+    "poor": -0.55,
+    "rude": -0.65,
+    "slow": -0.4,
+    "stale": -0.55,
+    "uncomfortable": -0.5,
+    "underwhelming": -0.45,
+    "unfriendly": -0.55,
+    "weak": -0.4,
+    # strong negative
+    "abysmal": -0.9,
+    "appalling": -0.9,
+    "atrocious": -0.9,
+    "awful": -0.85,
+    "disgusting": -0.9,
+    "dreadful": -0.85,
+    "filthy": -0.8,
+    "horrible": -0.85,
+    "horrendous": -0.9,
+    "inedible": -0.9,
+    "nasty": -0.75,
+    "repulsive": -0.9,
+    "terrible": -0.85,
+    "unacceptable": -0.8,
+    "vile": -0.9,
+    "worst": -0.95,
+}
+
+#: words that flip the valence of the following opinion word
+NEGATORS: frozenset[str] = frozenset(
+    {"not", "no", "never", "hardly", "barely", "isnt", "wasnt", "werent", "didnt"}
+)
+
+#: word → multiplicative booster applied to the following opinion word
+INTENSIFIERS: dict[str, float] = {
+    "absolutely": 1.4,
+    "extremely": 1.4,
+    "incredibly": 1.35,
+    "really": 1.2,
+    "remarkably": 1.3,
+    "so": 1.15,
+    "totally": 1.3,
+    "truly": 1.25,
+    "utterly": 1.35,
+    "very": 1.25,
+    "quite": 1.1,
+    "fairly": 0.9,
+    "pretty": 1.05,
+    "slightly": 0.7,
+    "somewhat": 0.8,
+    "rather": 0.95,
+}

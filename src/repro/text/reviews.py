@@ -1,0 +1,96 @@
+"""Synthetic review-text generator.
+
+Produces English-ish review sentences whose per-dimension opinions encode
+target rating scores, so that the extraction pipeline
+(:mod:`repro.text.extraction`) can recover approximately those scores — the
+synthetic stand-in for real Yelp review text (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ReviewGenerator", "DIMENSION_KEYWORDS"]
+
+#: default keyword vocabulary per rating dimension (Yelp-style)
+DIMENSION_KEYWORDS: dict[str, tuple[str, ...]] = {
+    "food": ("food", "dish", "meal"),
+    "service": ("service", "waiter", "staff"),
+    "ambiance": ("ambiance", "atmosphere", "decor"),
+    "cleanliness": ("cleanliness", "bathroom", "hygiene"),
+    "comfort": ("comfort", "bed", "room"),
+}
+
+#: adjectives per rating bucket 1..5, all present in the sentiment lexicon
+_BUCKET_ADJECTIVES: dict[int, tuple[str, ...]] = {
+    1: ("terrible", "awful", "horrible", "disgusting", "dreadful"),
+    2: ("disappointing", "mediocre", "poor", "bland", "underwhelming"),
+    3: ("okay", "decent", "average", "fine", "acceptable"),
+    4: ("good", "nice", "tasty", "pleasant", "friendly"),
+    5: ("amazing", "excellent", "fantastic", "wonderful", "outstanding"),
+}
+
+_TEMPLATES: tuple[str, ...] = (
+    "The {keyword} was {adjective}.",
+    "I found the {keyword} truly {adjective}.",
+    "Honestly, the {keyword} seemed {adjective} to me.",
+    "Their {keyword} is {adjective}, plain and simple.",
+    "We thought the {keyword} was really {adjective}.",
+)
+
+_FILLER: tuple[str, ...] = (
+    "We visited on a weekday evening.",
+    "Parking nearby was easy to find.",
+    "I came here with a group of friends.",
+    "It was our second visit this year.",
+    "The menu has not changed much lately.",
+)
+
+
+class ReviewGenerator:
+    """Generates review text encoding target per-dimension ratings.
+
+    Parameters
+    ----------
+    dimensions:
+        Rating dimensions to mention; each must exist in
+        ``dimension_keywords``.
+    seed:
+        RNG seed for reproducible text.
+    """
+
+    def __init__(
+        self,
+        dimensions: tuple[str, ...] | list[str],
+        dimension_keywords: dict[str, tuple[str, ...]] | None = None,
+        seed: int = 0,
+    ) -> None:
+        keywords = dimension_keywords or DIMENSION_KEYWORDS
+        missing = [d for d in dimensions if d not in keywords]
+        if missing:
+            raise KeyError(f"no keywords for dimensions: {missing}")
+        self._dimensions = tuple(dimensions)
+        self._keywords = {d: keywords[d] for d in self._dimensions}
+        self._rng = np.random.default_rng(seed)
+
+    def sentence_for(self, dimension: str, rating: int) -> str:
+        """One sentence expressing ``rating`` (1..5) about ``dimension``."""
+        bucket = min(max(int(rating), 1), 5)
+        keyword = str(self._rng.choice(self._keywords[dimension]))
+        adjective = str(self._rng.choice(_BUCKET_ADJECTIVES[bucket]))
+        template = str(self._rng.choice(_TEMPLATES))
+        return template.format(keyword=keyword, adjective=adjective)
+
+    def review(self, ratings: dict[str, int]) -> str:
+        """A full review mentioning every rated dimension plus filler."""
+        sentences = [
+            self.sentence_for(dimension, rating)
+            for dimension, rating in ratings.items()
+        ]
+        if self._rng.random() < 0.7:
+            sentences.insert(
+                int(self._rng.integers(0, len(sentences) + 1)),
+                str(self._rng.choice(_FILLER)),
+            )
+        order = self._rng.permutation(len(sentences))
+        return " ".join(sentences[i] for i in order)

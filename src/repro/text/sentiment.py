@@ -1,0 +1,92 @@
+"""Rule-based sentiment scoring (the VADER substitute, paper §5.1).
+
+:class:`SentimentAnalyzer` scores a text in [-1, 1] with the standard
+rule-based recipe: lexicon valences, negation flipping, intensity boosting,
+exclamation emphasis, and length normalisation.  It is deterministic and
+dependency-free; the paper's pipeline used VADER [34] for the same role.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .lexicon import INTENSIFIERS, NEGATORS, VALENCE
+
+__all__ = ["SentimentAnalyzer", "tokenize"]
+
+_WORD_RE = re.compile(r"[a-z']+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens (apostrophes stripped: ``isn't`` → ``isnt``)."""
+    return [w.replace("'", "") for w in _WORD_RE.findall(text.lower())]
+
+
+class SentimentAnalyzer:
+    """Lexicon + rules sentiment scorer.
+
+    Parameters
+    ----------
+    valence, negators, intensifiers:
+        Override the built-in lexicon (e.g. a domain-specific vocabulary).
+    """
+
+    def __init__(
+        self,
+        valence: dict[str, float] | None = None,
+        negators: frozenset[str] | None = None,
+        intensifiers: dict[str, float] | None = None,
+    ) -> None:
+        self._valence = dict(VALENCE if valence is None else valence)
+        self._negators = NEGATORS if negators is None else negators
+        self._intensifiers = dict(
+            INTENSIFIERS if intensifiers is None else intensifiers
+        )
+
+    def word_valence(self, word: str) -> float | None:
+        """Valence of a single word, or None if out of lexicon."""
+        return self._valence.get(word)
+
+    def score_tokens(self, tokens: list[str]) -> float:
+        """Score a token list in [-1, 1]; 0.0 for fully neutral text."""
+        total = 0.0
+        n_hits = 0
+        for i, token in enumerate(tokens):
+            valence = self._valence.get(token)
+            if valence is None:
+                continue
+            boost = 1.0
+            # look back up to two tokens for negators / intensifiers
+            for back in (1, 2):
+                if i - back < 0:
+                    break
+                prev = tokens[i - back]
+                if prev in self._negators:
+                    boost *= -0.8  # negation flips and damps
+                elif prev in self._intensifiers:
+                    boost *= self._intensifiers[prev]
+            total += valence * boost
+            n_hits += 1
+        if n_hits == 0:
+            return 0.0
+        # tanh-style squashing keeps multi-hit sentences in range
+        return math.tanh(total / math.sqrt(n_hits))
+
+    def score(self, text: str) -> float:
+        """Score raw ``text`` in [-1, 1], with '!' emphasis."""
+        tokens = tokenize(text)
+        base = self.score_tokens(tokens)
+        exclamations = min(text.count("!"), 3)
+        return max(-1.0, min(1.0, base * (1.0 + 0.08 * exclamations)))
+
+    def to_rating(self, sentiment: float, scale: int = 5) -> int:
+        """Map a sentiment in [-1, 1] to the integer rating scale ``1..m``.
+
+        Linear binning: -1 → 1, +1 → m, 0 → the middle of the scale.
+        """
+        if scale < 2:
+            raise ValueError(f"scale must be >= 2, got {scale}")
+        position = (sentiment + 1.0) / 2.0  # [0, 1]
+        rating = 1 + int(position * scale)
+        return min(max(rating, 1), scale)

@@ -1,0 +1,55 @@
+"""Simulated user study (S17): subjects, tasks, runners, reporting."""
+
+from .questionnaire import LatentSubject, Questionnaire, prequalify
+from .reporting import format_guidance_table, format_simple_table, recall_series_table
+from .study import (
+    MODE_ASSIGNMENT,
+    GuidanceResult,
+    StudyConfig,
+    run_guidance_study,
+    run_recall_vs_steps,
+    run_recommendation_quality,
+    sample_path,
+    simulate_subject_score,
+)
+from .subjects import (
+    SimulatedSubject,
+    SubjectProfile,
+    drill_into_subgroup,
+    suspicious_subgroup,
+)
+from .tasks import (
+    ScenarioIITask,
+    ScenarioITask,
+    insight_exposed,
+    irregular_group_exposed,
+    make_scenario1_task,
+    make_scenario2_task,
+)
+
+__all__ = [
+    "GuidanceResult",
+    "LatentSubject",
+    "Questionnaire",
+    "MODE_ASSIGNMENT",
+    "ScenarioIITask",
+    "ScenarioITask",
+    "SimulatedSubject",
+    "StudyConfig",
+    "SubjectProfile",
+    "drill_into_subgroup",
+    "format_guidance_table",
+    "format_simple_table",
+    "insight_exposed",
+    "prequalify",
+    "irregular_group_exposed",
+    "make_scenario1_task",
+    "make_scenario2_task",
+    "recall_series_table",
+    "run_guidance_study",
+    "run_recall_vs_steps",
+    "run_recommendation_quality",
+    "sample_path",
+    "simulate_subject_score",
+    "suspicious_subgroup",
+]

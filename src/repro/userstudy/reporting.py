@@ -1,0 +1,72 @@
+"""Rendering study results in the paper's table shapes (Fig. 7, Tab. 4)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.modes import ExplorationMode
+from .study import MODE_ASSIGNMENT, GuidanceResult
+
+__all__ = ["format_guidance_table", "format_simple_table"]
+
+
+def format_guidance_table(result: GuidanceResult) -> str:
+    """Figure-7-style 2×2 grid of per-mode means.
+
+    Rows are CS expertise, columns domain knowledge; each cell lists the two
+    modes assigned to that expertise level with their mean scores.
+    """
+    lines = [f"{result.dataset} — scenario {result.scenario}"]
+    header = f"{'':<20}{'High Domain Knowledge':<28}{'Low Domain Knowledge':<28}"
+    lines.append(header)
+    for cs in ("high", "low"):
+        cells = []
+        for dk in ("high", "low"):
+            parts = [
+                f"{mode.short}: {result.mean(cs, dk, mode):.1f}"
+                for mode in MODE_ASSIGNMENT[cs]
+            ]
+            cells.append(", ".join(parts))
+        label = f"{cs.capitalize()} CS Expertise"
+        lines.append(f"{label:<20}{cells[0]:<28}{cells[1]:<28}")
+    anova = result.domain_knowledge_anova()
+    if anova:
+        lines.append("domain-knowledge effect (one-way ANOVA):")
+        for (cs, mode), res in sorted(
+            anova.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+        ):
+            lines.append(f"  {cs} CS / {mode.short}: {res.describe()}")
+    return "\n".join(lines)
+
+
+def format_simple_table(
+    rows: Mapping[str, float] | Sequence[tuple[str, float]],
+    header: tuple[str, str] = ("Baseline", "Score"),
+    fmt: str = "{:.2f}",
+) -> str:
+    """A two-column aligned table (Table 4 / Table 6 shape)."""
+    if isinstance(rows, Mapping):
+        rows = list(rows.items())
+    width = max([len(header[0])] + [len(name) for name, __ in rows]) + 2
+    lines = [f"{header[0]:<{width}}{header[1]}"]
+    lines.append("-" * (width + len(header[1])))
+    for name, value in rows:
+        lines.append(f"{name:<{width}}{fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def recall_series_table(
+    series: Mapping[ExplorationMode, Sequence[float]]
+) -> str:
+    """Figure-8-style recall series, one row per step."""
+    modes = list(series)
+    header = "step  " + "  ".join(f"{m.short:>6}" for m in modes)
+    lines = [header]
+    n_steps = max(len(v) for v in series.values())
+    for s in range(n_steps):
+        row = [f"{s + 1:<5}"]
+        for mode in modes:
+            values = series[mode]
+            row.append(f"{values[s]:>6.2f}" if s < len(values) else f"{'—':>6}")
+        lines.append("  ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,326 @@
+"""Study runners (paper §5.2): guidance study, recall-vs-steps, Table 4.
+
+The expensive part of a study is generating exploration paths (every step
+runs the engine); the cheap part is subject detection sampling.  Paths are
+therefore sampled once per (mode, expertise) with representative choosers
+and shared round-robin across the cell's subjects, whose Bernoulli
+detection draws provide the within-cell variance the ANOVA checks need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.engine import SubDEx, SubDExConfig
+from ..core.modes import (
+    ExplorationMode,
+    ExplorationPath,
+    run_fully_automated,
+    run_recommendation_powered,
+    run_user_driven,
+)
+from ..core.session import ExplorationSession
+from ..model.groups import RatingGroup
+from ..model.operations import Operation
+from ..stats.anova import AnovaResult, one_way_anova
+from .subjects import SimulatedSubject, SubjectProfile
+from .tasks import ScenarioIITask, ScenarioITask
+
+__all__ = [
+    "StudyConfig",
+    "GuidanceResult",
+    "sample_path",
+    "simulate_subject_score",
+    "run_guidance_study",
+    "run_recall_vs_steps",
+    "run_recommendation_quality",
+]
+
+Task = ScenarioITask | ScenarioIITask
+
+
+def _check_engine_matches_task(engine: SubDEx, task: Task) -> None:
+    """The engine must explore the task's database (the injected copy)."""
+    if engine.database is not task.database:
+        raise ValueError(
+            "engine.database is not the task's database — build the engine "
+            "over task.database (the copy with injected ground truth)"
+        )
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Study-level parameters (defaults = paper Table 3 / §5.2.1)."""
+
+    n_subjects_per_cell: int = 30
+    n_path_samples: int = 3
+    n_steps: int = 7
+    seed: int = 0
+
+
+def sample_path(
+    engine: SubDEx,
+    task: Task,
+    mode: ExplorationMode,
+    expertise: str,
+    n_steps: int,
+    seed: int,
+) -> ExplorationPath:
+    """One exploration path in ``mode`` driven by a representative chooser.
+
+    Scenario-I tasks get the anomaly-hunting choosers (investigate /
+    retreat), Scenario-II tasks the shallow browse choosers — matching how
+    real subjects approach each task.
+    """
+    session = engine.session()
+    if mode is ExplorationMode.FULLY_AUTOMATED:
+        return run_fully_automated(session, n_steps)
+    chooser_subject = SimulatedSubject(
+        SubjectProfile(expertise, "high"), seed=seed
+    )
+    browsing = isinstance(task, ScenarioIITask)
+    if mode is ExplorationMode.USER_DRIVEN:
+        chooser = (
+            chooser_subject.choose_user_driven_browse
+            if browsing
+            else chooser_subject.choose_user_driven
+        )
+        return run_user_driven(session, chooser, n_steps)
+    chooser = (
+        chooser_subject.choose_recommendation_powered_browse
+        if browsing
+        else chooser_subject.choose_recommendation_powered
+    )
+    return run_recommendation_powered(session, chooser, n_steps)
+
+
+def simulate_subject_score(
+    subject: SimulatedSubject, task: Task, path: ExplorationPath
+) -> int:
+    """Number of distinct targets the subject identifies along the path.
+
+    A target exposed for the first time is noticed with the subject's
+    detection probability; if missed, later re-exposures only help with a
+    damped probability — a subject who mis-read a chart once tends to
+    anchor on that reading (and simulation-wise, repeated certain
+    re-detection would wash out all between-subject variance).
+    """
+    found: set[int] = set()
+    times_exposed: dict[int, int] = {}
+    for step in path.steps:
+        exposed = sorted(task.exposed_in_step(step) - found)
+        fresh = [t for t in exposed if times_exposed.get(t, 0) == 0]
+        stale = [t for t in exposed if times_exposed.get(t, 0) > 0]
+        found |= subject.detect(fresh)
+        found |= subject.detect(stale, damp=0.3)
+        for target in exposed:
+            times_exposed[target] = times_exposed.get(target, 0) + 1
+    return len(found)
+
+
+@dataclass
+class GuidanceResult:
+    """Figure-7-shaped outcome of one (dataset, scenario) guidance study."""
+
+    dataset: str
+    scenario: str
+    #: (cs_expertise, domain_knowledge, mode) → per-subject scores
+    scores: dict[tuple[str, str, ExplorationMode], list[int]] = field(
+        default_factory=dict
+    )
+
+    def mean(self, cs: str, dk: str, mode: ExplorationMode) -> float:
+        cell = self.scores.get((cs, dk, mode), [])
+        return float(np.mean(cell)) if cell else float("nan")
+
+    def domain_knowledge_anova(self) -> dict[tuple[str, ExplorationMode], AnovaResult]:
+        """Per (cs, mode): does domain knowledge change the outcome?
+
+        The paper reports these as not significant; the simulator's design
+        makes the same true in expectation.
+        """
+        out: dict[tuple[str, ExplorationMode], AnovaResult] = {}
+        by_mode: dict[tuple[str, ExplorationMode], list[list[int]]] = {}
+        for (cs, __, mode), cell in self.scores.items():
+            by_mode.setdefault((cs, mode), []).append(list(cell))
+        for key, groups in by_mode.items():
+            if len(groups) >= 2:
+                out[key] = one_way_anova(groups)
+        return out
+
+
+#: mode assignment per CS expertise (paper §5.2.1)
+MODE_ASSIGNMENT: dict[str, tuple[ExplorationMode, ExplorationMode]] = {
+    "high": (ExplorationMode.USER_DRIVEN, ExplorationMode.RECOMMENDATION_POWERED),
+    "low": (ExplorationMode.RECOMMENDATION_POWERED, ExplorationMode.FULLY_AUTOMATED),
+}
+
+
+def run_guidance_study(
+    instances: Sequence[tuple[SubDEx, Task]],
+    scenario: str,
+    config: StudyConfig | None = None,
+) -> GuidanceResult:
+    """The paper's guidance experiment for one dataset and scenario.
+
+    ``instances`` are independent task instances (engine + injected task);
+    several are needed because an individual instance can be uniformly
+    easy or uniformly hard — the paper's intermediate averages arise from
+    the spread.  Four treatment groups (high/low CS × high/low domain
+    knowledge), each subject performing the task in its two assigned
+    modes; exploration order is irrelevant here because runs are
+    independent (matching the paper's non-significant order effect).
+    """
+    if not instances:
+        raise ValueError("at least one (engine, task) instance is required")
+    config = config or StudyConfig()
+    for engine, task in instances:
+        _check_engine_matches_task(engine, task)
+    result = GuidanceResult(
+        dataset=instances[0][0].database.name, scenario=scenario
+    )
+
+    # representative paths per (instance, mode, expertise)
+    mode_index = {mode: i for i, mode in enumerate(ExplorationMode)}
+    paths: dict[tuple[int, ExplorationMode, str], list[ExplorationPath]] = {}
+    for instance_id, (engine, task) in enumerate(instances):
+        for cs, modes in MODE_ASSIGNMENT.items():
+            for mode in modes:
+                key = (instance_id, mode, cs)
+                if key in paths:
+                    continue
+                paths[key] = [
+                    sample_path(
+                        engine,
+                        task,
+                        mode,
+                        cs,
+                        config.n_steps,
+                        seed=(
+                            config.seed * 1000
+                            + 101 * instance_id
+                            + 17 * sample
+                            + mode_index[mode]
+                        ),
+                    )
+                    for sample in range(config.n_path_samples)
+                ]
+
+    subject_counter = 0
+    for cs in ("high", "low"):
+        for dk in ("high", "low"):
+            for mode in MODE_ASSIGNMENT[cs]:
+                cell: list[int] = []
+                for index in range(config.n_subjects_per_cell):
+                    instance_id = index % len(instances)
+                    __, task = instances[instance_id]
+                    mode_paths = paths[(instance_id, mode, cs)]
+                    subject = SimulatedSubject(
+                        SubjectProfile(cs, dk),
+                        seed=config.seed * 100_000 + subject_counter,
+                    )
+                    subject_counter += 1
+                    path = mode_paths[(index // len(instances)) % len(mode_paths)]
+                    cell.append(simulate_subject_score(subject, task, path))
+                result.scores[(cs, dk, mode)] = cell
+    return result
+
+
+def run_recall_vs_steps(
+    engine: SubDEx,
+    task: Task,
+    max_steps: int,
+    n_subjects: int = 30,
+    n_path_samples: int = 3,
+    seed: int = 0,
+) -> dict[ExplorationMode, list[float]]:
+    """Figure 8: per-mode recall as a function of exploration steps.
+
+    Recall at step s = mean over subjects of (targets detected within the
+    first s steps) / (total targets).
+    """
+    _check_engine_matches_task(engine, task)
+    out: dict[ExplorationMode, list[float]] = {}
+    for mode in ExplorationMode:
+        mode_paths = [
+            sample_path(engine, task, mode, "high", max_steps, seed=seed + 31 * i)
+            for i in range(n_path_samples)
+        ]
+        recall = np.zeros(max_steps)
+        for index in range(n_subjects):
+            subject = SimulatedSubject(
+                SubjectProfile("high", "high"), seed=seed * 7919 + index
+            )
+            path = mode_paths[index % len(mode_paths)]
+            found: set[int] = set()
+            for s in range(max_steps):
+                if s < len(path.steps):
+                    exposed = sorted(task.exposed_in_step(path.steps[s]) - found)
+                    found |= subject.detect(exposed)
+                recall[s] += len(found) / task.max_score
+        out[mode] = list(recall / n_subjects)
+    return out
+
+
+#: a baseline recommender: rating group → ranked candidate operations
+BaselineRecommender = Callable[[RatingGroup], Sequence[Operation]]
+
+
+def _baseline_driven_path(
+    engine: SubDEx,
+    recommender: BaselineRecommender,
+    n_steps: int,
+) -> ExplorationPath:
+    """Fully-Automated path whose operations come from ``recommender``.
+
+    Rating maps are always generated by SubDEx's RM-Set Generator — the
+    paper fixes the displayed maps across baselines so only the quality of
+    the next-action recommendations differs.
+    """
+    session = engine.session()
+    records = [session.step()]
+    for __ in range(n_steps - 1):
+        operations = [
+            op
+            for op in recommender(session.group)
+            if not RatingGroup(engine.database, op.target).is_empty
+        ]
+        if not operations:
+            break
+        records.append(session.step(operations[0]))
+    return ExplorationPath(ExplorationMode.FULLY_AUTOMATED, tuple(records))
+
+
+def run_recommendation_quality(
+    engine: SubDEx,
+    task: ScenarioITask,
+    recommenders: Mapping[str, BaselineRecommender | None],
+    n_steps: int = 7,
+    n_subjects: int = 30,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Table 4: avg #identified irregular groups per recommendation source.
+
+    ``recommenders`` maps a display name to a baseline recommender, or to
+    ``None`` for SubDEx's own Recommendation Builder (the FA mode).
+    """
+    _check_engine_matches_task(engine, task)
+    out: dict[str, float] = {}
+    for name, recommender in recommenders.items():
+        if recommender is None:
+            path = run_fully_automated(engine.session(), n_steps)
+        else:
+            path = _baseline_driven_path(engine, recommender, n_steps)
+        scores = [
+            simulate_subject_score(
+                SimulatedSubject(SubjectProfile("high", "high"), seed=seed + i),
+                task,
+                path,
+            )
+            for i in range(n_subjects)
+        ]
+        out[name] = float(np.mean(scores))
+    return out

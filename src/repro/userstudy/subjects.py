@@ -1,0 +1,365 @@
+"""Simulated study subjects (paper §5.2.1; substitution documented in DESIGN.md).
+
+A subject is a noisy observer plus a choice policy:
+
+* **Observation** — when a step's rating maps *expose* a task target (an
+  irregular group or an insight), the subject notices it with a detection
+  probability that depends on CS expertise only.  Domain knowledge has, by
+  design, no effect on behaviour — reproducing the paper's finding that
+  results do not depend on domain knowledge (it is still tracked and
+  ANOVA-tested, as in the paper).
+* **Choice** — how the next operation is picked, per mode:
+
+  - *User-Driven*: if a displayed map shows a suspicious subgroup the
+    subject drills into it (experts act on the signal more reliably);
+    otherwise the subject picks an operation blindly — the paper's "little
+    information on which operation is the most interesting".
+  - *Recommendation-Powered*: same investigative reflex, but with no
+    signal on screen the subject follows the top recommendation instead of
+    guessing.
+  - *Fully-Automated*: no choices at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from ..core.rating_maps import RatingMap
+from ..core.recommend import ScoredOperation
+from ..core.session import ExplorationSession
+from ..model.groups import AVPair
+from ..model.operations import Operation, OperationKind
+
+__all__ = [
+    "SubjectProfile",
+    "SimulatedSubject",
+    "suspicious_subgroup",
+    "drill_into_subgroup",
+]
+
+#: per-expertise detection probability of an exposed target
+_DETECTION_P = {"high": 0.85, "low": 0.7}
+#: per-expertise probability of acting on a suspicious on-screen signal
+_INVESTIGATE_P = {"high": 0.9, "low": 0.7}
+
+
+@dataclass(frozen=True)
+class SubjectProfile:
+    """Treatment-group coordinates of one subject."""
+
+    cs_expertise: str  # "high" | "low"
+    domain_knowledge: str  # "high" | "low"
+
+    def __post_init__(self) -> None:
+        for field_name in ("cs_expertise", "domain_knowledge"):
+            value = getattr(self, field_name)
+            if value not in ("high", "low"):
+                raise ValueError(f"{field_name} must be 'high'|'low', got {value!r}")
+
+
+def suspicious_subgroup(
+    maps: Sequence[RatingMap],
+    threshold: float = 2.0,
+    gap: float = 0.45,
+    min_support: int = 10,
+) -> tuple[RatingMap, object] | None:
+    """The most suspicious subgroup on screen, if any.
+
+    A subgroup looks suspicious when its average score is extreme in
+    absolute terms (≤ ``threshold``) *or* sits at least ``gap`` below its
+    map's overall average — a partially-diluted anomaly (an irregular block
+    mixed into an otherwise normal subgroup) shows up as exactly such a
+    relative dip.
+    """
+    best: tuple[float, RatingMap, object] | None = None
+    for rating_map in maps:
+        pooled_avg = rating_map.pooled().mean()
+        for subgroup in rating_map.subgroups:
+            avg = subgroup.average_score
+            if math.isnan(avg) or subgroup.size < min_support:
+                continue
+            looks_low = avg <= threshold or (
+                not math.isnan(pooled_avg) and pooled_avg - avg >= gap
+            )
+            if looks_low and (best is None or avg < best[0]):
+                best = (avg, rating_map, subgroup.label)
+    if best is None:
+        return None
+    return best[1], best[2]
+
+
+def drill_into_subgroup(
+    session: ExplorationSession, rating_map: RatingMap, label: object
+) -> Operation | None:
+    """Build the FILTER operation that zooms into a displayed subgroup.
+
+    Multi-valued subgroup labels ("Barbeque | Seafood") drill into their
+    first member.  Returns None when the pair is already part of the
+    current criteria (nothing to do).
+    """
+    value = str(label)
+    if " | " in value:
+        value = value.split(" | ")[0]
+    pair = AVPair(rating_map.spec.side, rating_map.spec.attribute, value)
+    if pair in session.criteria:
+        return None
+    return Operation(
+        session.criteria.with_pair(pair), OperationKind.FILTER, added=(pair,)
+    )
+
+
+class SimulatedSubject:
+    """One subject: detection sampling + the two mode-specific choosers."""
+
+    def __init__(self, profile: SubjectProfile, seed: int = 0) -> None:
+        self.profile = profile
+        self._rng = np.random.default_rng(seed)
+        #: suspicious signals already chased: (side, attribute, value)
+        self._investigated: set[tuple] = set()
+        #: selections already examined (users remember where they've been)
+        self._visited: set = set()
+
+    def _remember(self, session: ExplorationSession) -> None:
+        self._visited.add(session.criteria)
+
+    def _unvisited(self, operations: Sequence) -> list:
+        fresh = [
+            op
+            for op in operations
+            if getattr(op, "operation", op).target not in self._visited
+        ]
+        return fresh or list(operations)
+
+    @property
+    def detection_probability(self) -> float:
+        return _DETECTION_P[self.profile.cs_expertise]
+
+    @property
+    def investigate_probability(self) -> float:
+        return _INVESTIGATE_P[self.profile.cs_expertise]
+
+    def detect(
+        self, exposed: Sequence[Hashable], damp: float = 1.0
+    ) -> set[Hashable]:
+        """Which of the targets exposed in one step the subject notices.
+
+        ``damp`` scales the detection probability (used for re-exposures a
+        subject already mis-read once).
+        """
+        p = damp * self.detection_probability
+        return {t for t in exposed if self._rng.random() < p}
+
+    # -- choosers -------------------------------------------------------------
+    def _fresh_signal(
+        self, session: ExplorationSession
+    ) -> tuple[RatingMap, object] | None:
+        """A suspicious on-screen subgroup the subject has not chased yet."""
+        if not session.steps:
+            return None
+        maps = session.steps[-1].result.selected
+        hit = suspicious_subgroup(maps)
+        if hit is None:
+            return None
+        rating_map, label = hit
+        value = str(label).split(" | ")[0]
+        key = (rating_map.spec.side, rating_map.spec.attribute, value)
+        if key in self._investigated:
+            return None
+        return hit
+
+    def _investigate(
+        self,
+        session: ExplorationSession,
+        factor: float = 1.0,
+        precision: float = 1.0,
+    ) -> Operation | None:
+        """Chase a fresh suspicious subgroup.
+
+        ``factor`` scales the probability of acting at all; ``precision``
+        is the probability of drilling into the *right* subgroup — a UD
+        subject translating a chart into a hand-written selection slips to
+        a neighbouring subgroup some of the time.
+        """
+        hit = self._fresh_signal(session)
+        if hit is None or self._rng.random() >= factor * self.investigate_probability:
+            return None
+        rating_map, label = hit
+        # the subject *believes* they are checking this signal — it is
+        # spent either way, even if the hand-built drill lands elsewhere
+        true_value = str(label).split(" | ")[0]
+        self._investigated.add(
+            (rating_map.spec.side, rating_map.spec.attribute, true_value)
+        )
+        if self._rng.random() >= precision:
+            others = [
+                sg.label for sg in rating_map.subgroups if sg.label != label
+            ]
+            if others:
+                label = others[int(self._rng.integers(0, len(others)))]
+                value = str(label).split(" | ")[0]
+                self._investigated.add(
+                    (rating_map.spec.side, rating_map.spec.attribute, value)
+                )
+        return drill_into_subgroup(session, rating_map, label)
+
+    def _avoids_investigated(self, operation: Operation) -> bool:
+        """Does the operation steer away from already-chased signals?"""
+        return not any(
+            (p.side, p.attribute, str(p.value)) in self._investigated
+            for p in operation.target.pairs
+        )
+
+    def _retreat(self, session: ExplorationSession) -> Operation | None:
+        """Roll up out of an exhausted anomaly region.
+
+        Once a chased region shows nothing fresh, a real analyst notes the
+        finding and generalises back out to look elsewhere — the roll-up
+        move the paper identifies as essential (and which the drill-down
+        baselines lack).
+        """
+        stale = [
+            pair
+            for pair in session.criteria
+            if (pair.side, pair.attribute, str(pair.value)) in self._investigated
+        ]
+        if not stale:
+            return None
+        pair = stale[0]
+        return Operation(
+            session.criteria.without_pair(pair),
+            OperationKind.GENERALIZE,
+            removed=(pair,),
+        )
+
+    def choose_user_driven(
+        self, session: ExplorationSession, candidates: Sequence[Operation]
+    ) -> Operation | None:
+        """UD policy: investigate a fresh signal, retreat from exhausted
+        regions, else pick blindly.
+
+        The 0.55 investigation factor and 0.6 precision model that a UD
+        user must translate a visual hunch into a hand-built selection with
+        no system support — the information gap the paper's study isolates.
+        """
+        self._remember(session)
+        operation = self._investigate(session, factor=0.55, precision=0.6)
+        if operation is not None:
+            return operation
+        operation = self._retreat(session)
+        if operation is not None:
+            return operation
+        pool = [c for c in candidates if self._avoids_investigated(c)] or list(
+            candidates
+        )
+        pool = self._unvisited(pool)
+        if not pool:
+            return None
+        # blind choice: mildly prefer simple drill-downs, like real users
+        filters = [c for c in pool if c.kind is OperationKind.FILTER]
+        if filters and self._rng.random() < 0.7:
+            pool = filters
+        return pool[int(self._rng.integers(0, len(pool)))]
+
+    def choose_recommendation_powered(
+        self,
+        session: ExplorationSession,
+        recommendations: Sequence[ScoredOperation],
+    ) -> Operation | None:
+        """RP policy: investigate fresh signals, then follow recommendations
+        that lead *away* from anomalies already chased — the user control
+        the paper credits for RP's advantage over Fully-Automated."""
+        self._remember(session)
+        operation = self._investigate(session)
+        if operation is not None:
+            return operation
+        operation = self._retreat(session)
+        if operation is not None:
+            return operation
+        if not recommendations:
+            return None
+        preferred = [
+            r
+            for r in recommendations
+            if self._avoids_investigated(r.operation)
+        ] or list(recommendations)
+        preferred = self._unvisited(preferred)
+        # mostly the best remaining recommendation, sometimes a lower one
+        if len(preferred) > 1 and self._rng.random() < 0.25:
+            index = int(self._rng.integers(1, len(preferred)))
+        else:
+            index = 0
+        return preferred[index].operation
+
+    # -- browse policies (Scenario II: insight extraction) ------------------
+    # Global insights live in broad aggregations; deep drill-downs hide
+    # them.  A subject extracting insights therefore browses shallow
+    # selections, which these variants of the two choosers model.
+
+    def _shallow(self, operations: Sequence, max_pairs: int = 2) -> list:
+        """Operations with the smallest target depth (capped at max_pairs).
+
+        When nothing at or below ``max_pairs`` is available, the shallowest
+        operations offered are returned instead — a browsing subject always
+        moves *toward* the surface, never deeper for lack of options.
+        """
+        if not operations:
+            return []
+        depths = [
+            len(getattr(op, "operation", op).target) for op in operations
+        ]
+        cutoff = max(min(depths), 1)
+        limit = max_pairs if min(depths) <= max_pairs else cutoff
+        return [
+            op for op, depth in zip(operations, depths) if depth <= limit
+        ]
+
+    def choose_user_driven_browse(
+        self, session: ExplorationSession, candidates: Sequence[Operation]
+    ) -> Operation | None:
+        """UD browse: an unguided wander.
+
+        Without recommendations, real subjects *anchor*: much of the time
+        they tweak the selection they already have (change one value) or
+        drill further into it rather than jumping to genuinely new ground
+        — the coverage loss behind UD's low Scenario-II scores in the
+        paper.  Modelled as: 60% sideways/deeper moves on the current
+        criteria, otherwise a uniformly random candidate of any depth.
+        """
+        if not candidates:
+            return None
+        self._remember(session)
+        if len(session.criteria) > 0 and self._rng.random() < 0.6:
+            anchored = [
+                op
+                for op in candidates
+                if op.kind in (OperationKind.CHANGE, OperationKind.FILTER)
+                and op.target.edit_distance(session.criteria) == 1
+                and len(op.target) >= len(session.criteria)
+            ]
+            if anchored:
+                return anchored[int(self._rng.integers(0, len(anchored)))]
+        return candidates[int(self._rng.integers(0, len(candidates)))]
+
+    def choose_recommendation_powered_browse(
+        self,
+        session: ExplorationSession,
+        recommendations: Sequence[ScoredOperation],
+    ) -> Operation | None:
+        """RP browse: trust the recommendations.
+
+        For insight extraction the system's DW-utility ranking is already
+        an excellent browsing policy (it rotates dimensions and attributes
+        and avoids revisits), so the subject applies the best
+        recommendation that doesn't retrace their own steps.  Injecting
+        "curiosity" deviations measurably lowered coverage — an RP subject
+        doing well is one who lets the guidance work.
+        """
+        if not recommendations:
+            return None
+        self._remember(session)
+        pool = self._unvisited(recommendations)
+        return pool[0].operation

@@ -1,0 +1,173 @@
+"""Tests for the SDD / Qagview baselines and the scalability variants."""
+
+import pytest
+
+from repro.baselines import (
+    JoinedView,
+    Pattern,
+    Qagview,
+    QagviewConfig,
+    SDDConfig,
+    SmartDrillDown,
+    all_variants,
+    naive_config,
+    no_parallelism_config,
+    no_pruning_config,
+    pattern_to_operation,
+    subdex_config,
+)
+from repro.core.pruning import PruningStrategy
+from repro.model import AVPair, OperationKind, RatingGroup, SelectionCriteria, Side
+
+
+@pytest.fixture()
+def root_group(tiny_db) -> RatingGroup:
+    return RatingGroup(tiny_db, SelectionCriteria.root())
+
+
+class TestPattern:
+    def test_specificity(self):
+        p = Pattern((AVPair(Side.ITEM, "city", "NYC"),))
+        assert p.specificity == 1
+
+    def test_distance_counts_differing_slots(self):
+        a = Pattern((AVPair(Side.ITEM, "city", "NYC"),))
+        b = Pattern((AVPair(Side.ITEM, "city", "LA"),))
+        c = Pattern(
+            (AVPair(Side.ITEM, "city", "NYC"), AVPair(Side.REVIEWER, "gender", "F"))
+        )
+        assert a.distance(b) == 1  # same slot, different value
+        assert a.distance(c) == 1  # one extra slot
+        assert b.distance(c) == 2
+        assert a.distance(a) == 0
+
+    def test_describe(self):
+        p = Pattern((AVPair(Side.ITEM, "city", "NYC"),))
+        assert "city=NYC" in p.describe()
+        assert Pattern(()).describe() == "⟨*⟩"
+
+
+class TestJoinedView:
+    def test_single_patterns_have_masks(self, root_group):
+        view = JoinedView(root_group)
+        patterns = list(view.single_patterns())
+        assert patterns
+        for pattern, mask in patterns:
+            assert mask.sum() > 0
+            assert (view.mask_of(pattern) == mask).all()
+
+    def test_fixed_attributes_excluded(self, tiny_db):
+        group = RatingGroup(tiny_db, SelectionCriteria.of(reviewer={"gender": "F"}))
+        view = JoinedView(group)
+        attrs = {p.pairs[0].attribute for p, __ in view.single_patterns()}
+        assert "gender" not in attrs
+
+    def test_mask_of_conjunction(self, root_group):
+        view = JoinedView(root_group)
+        singles = dict(
+            (p.pairs[0], m) for p, m in view.single_patterns()
+        )
+        pairs = list(singles)
+        p1, p2 = None, None
+        for a in pairs:
+            for b in pairs:
+                if (a.side, a.attribute) != (b.side, b.attribute):
+                    p1, p2 = a, b
+                    break
+            if p1:
+                break
+        combo = Pattern((p1, p2))
+        assert (
+            view.mask_of(combo) == (singles[p1] & singles[p2])
+        ).all()
+
+    def test_pattern_to_operation_is_drilldown(self, root_group):
+        pattern = Pattern((AVPair(Side.ITEM, "city", "NYC"),))
+        op = pattern_to_operation(root_group, pattern)
+        assert op.kind is OperationKind.FILTER
+        assert AVPair(Side.ITEM, "city", "NYC") in op.target
+
+
+class TestSmartDrillDown:
+    def test_returns_at_most_k_rules(self, root_group):
+        rules = SmartDrillDown(SDDConfig(k=3, min_support=2)).rule_list(root_group)
+        assert 0 < len(rules) <= 3
+
+    def test_rules_are_marginal_coverage_greedy(self, root_group):
+        sdd = SmartDrillDown(SDDConfig(k=2, min_support=2))
+        rules = sdd.rule_list(root_group)
+        # first rule's weighted coverage must be >= second's marginal one
+        assert rules[0][1] * rules[0][0].specificity >= 0
+
+    def test_recommend_only_drilldowns(self, root_group):
+        ops = SmartDrillDown(SDDConfig(min_support=2)).recommend(root_group)
+        assert ops
+        assert all(op.kind is OperationKind.FILTER for op in ops)
+        assert all(
+            op.target.edit_distance(root_group.criteria) >= 1 for op in ops
+        )
+
+    def test_k_override(self, root_group):
+        ops = SmartDrillDown(SDDConfig(min_support=2)).recommend(root_group, k=1)
+        assert len(ops) <= 1
+
+    def test_two_pair_rules_produced_when_supported(self, root_group):
+        rules = SmartDrillDown(
+            SDDConfig(k=5, min_support=2, pair_pool=10)
+        ).rule_list(root_group)
+        assert any(r.specificity == 2 for r, __ in rules) or len(rules) <= 5
+
+
+class TestQagview:
+    def test_clusters_respect_min_distance(self, root_group):
+        qv = Qagview(QagviewConfig(k=3, min_support=2))
+        clusters = qv.clusters(root_group)
+        for i, (a, __) in enumerate(clusters):
+            for b, __ in clusters[i + 1 :]:
+                assert a.distance(b) >= 2
+
+    def test_recommend_only_drilldowns(self, root_group):
+        ops = Qagview(QagviewConfig(min_support=2)).recommend(root_group)
+        assert ops
+        assert all(op.kind is OperationKind.FILTER for op in ops)
+
+    def test_coverage_greedy_first_cluster_largest(self, root_group):
+        clusters = Qagview(QagviewConfig(min_support=2)).clusters(root_group)
+        coverages = [c for __, c in clusters]
+        assert coverages[0] == max(coverages)
+
+    def test_k_override(self, root_group):
+        ops = Qagview(QagviewConfig(min_support=2)).recommend(root_group, k=2)
+        assert len(ops) <= 2
+
+
+class TestVariants:
+    def test_all_variants_names(self):
+        variants = all_variants()
+        assert list(variants) == [
+            "SubDEx",
+            "No-Pruning",
+            "CI Pruning",
+            "MAB Pruning",
+            "No Parallelism",
+            "Naive",
+        ]
+
+    def test_pruning_strategies(self):
+        variants = all_variants()
+        assert variants["SubDEx"].generator.pruning is PruningStrategy.COMBINED
+        assert variants["No-Pruning"].generator.pruning is PruningStrategy.NONE
+        assert (
+            variants["CI Pruning"].generator.pruning
+            is PruningStrategy.CONFIDENCE_INTERVAL
+        )
+        assert variants["MAB Pruning"].generator.pruning is PruningStrategy.MAB
+
+    def test_parallelism_flags(self):
+        assert subdex_config().recommender.parallel
+        assert not no_parallelism_config().recommender.parallel
+        assert not naive_config().recommender.parallel
+        assert naive_config().generator.pruning is PruningStrategy.NONE
+
+    def test_no_pruning_keeps_parallelism(self):
+        assert no_pruning_config().recommender.parallel

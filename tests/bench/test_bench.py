@@ -1,0 +1,102 @@
+"""Tests for the benchmark harness and shared workloads."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    Sweep,
+    Timer,
+    bench_database,
+    format_series,
+    format_table,
+    paper_vs_measured,
+    report,
+    restrict_attribute_count,
+    restrict_value_count,
+    time_call,
+)
+from repro.db.column import CategoricalColumn
+from repro.model import Side
+
+
+class TestTimer:
+    def test_accumulates_samples(self):
+        timer = Timer()
+        for __ in range(3):
+            with timer:
+                pass
+        assert len(timer.samples) == 3
+        assert timer.total >= 0
+        assert timer.mean >= 0
+
+    def test_empty_mean_nan(self):
+        assert math.isnan(Timer().mean)
+
+    def test_time_call_returns_result(self):
+        result, seconds = time_call(lambda: 42, repeats=2)
+        assert result == 42 and seconds >= 0
+
+    def test_time_call_validates_repeats(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: 1, repeats=0)
+
+
+class TestSweep:
+    def test_record_and_series(self):
+        sweep = Sweep("x")
+        sweep.record("a", 1, 0.5)
+        sweep.record("a", 2, 0.7)
+        sweep.record("b", 1, 0.1)
+        assert sweep.series("a") == [0.5, 0.7]
+        assert math.isnan(sweep.series("b")[1])
+
+    def test_format_contains_points(self):
+        sweep = Sweep("k")
+        sweep.record("v", 3, 1.0)
+        assert "k" in sweep.format() and "3" in sweep.format()
+
+
+class TestFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xx", 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in text
+
+    def test_format_series(self):
+        text = format_series("p", [1, 2], {"v": {1: 0.1, 2: 0.2}})
+        assert "0.1000" in text
+
+    def test_paper_vs_measured_merges_keys(self):
+        text = paper_vs_measured(
+            "T", {"x": 1.0}, {"x": 1.1, "extra": 2.0}, note="n"
+        )
+        assert "extra" in text and "note: n" in text
+
+    def test_report_writes_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+        path = report("unit", "hello")
+        assert (tmp_path / "unit.txt").read_text() == "hello\n"
+        assert str(tmp_path) in path
+
+
+class TestWorkloads:
+    def test_bench_database_cached(self):
+        assert bench_database("yelp") is bench_database("yelp")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            bench_database("nope")
+
+    def test_restrict_attribute_count(self):
+        db = restrict_attribute_count(bench_database("yelp"), 5, seed=1)
+        assert len(db.grouping_attributes()) == 5
+
+    def test_restrict_value_count_caps_categoricals(self):
+        db = restrict_value_count(bench_database("yelp"), 4)
+        for side in (Side.REVIEWER, Side.ITEM):
+            for attr in db.explorable_attributes(side):
+                column = db.entity_table(side).column(attr)
+                if isinstance(column, CategoricalColumn):
+                    assert db.catalog(side).domain(attr).cardinality <= 4

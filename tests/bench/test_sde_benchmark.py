@@ -1,0 +1,100 @@
+"""Tests for the SDE benchmark-suite generator."""
+
+import pytest
+
+from repro.bench.sde_benchmark import (
+    BenchmarkSuite,
+    BenchmarkTask,
+    anomaly_visibility,
+    generate_suite,
+)
+from repro.datasets import yelp
+from repro.userstudy.tasks import ScenarioIITask, ScenarioITask
+
+
+@pytest.fixture(scope="module")
+def database():
+    return yelp(seed=8, scale_factor=0.02)
+
+
+@pytest.fixture(scope="module")
+def suite(database):
+    return generate_suite(database, n_anomaly_tasks=2, n_insight_tasks=1, seed=3)
+
+
+class TestGenerateSuite:
+    def test_task_counts(self, suite):
+        assert len(suite.by_kind("anomaly")) == 2
+        assert len(suite.by_kind("insight")) == 1
+
+    def test_task_types(self, suite):
+        for task in suite.tasks:
+            if task.kind == "anomaly":
+                assert isinstance(task.task, ScenarioITask)
+                assert task.step_budget == 7
+            else:
+                assert isinstance(task.task, ScenarioIITask)
+                assert task.step_budget == 10
+
+    def test_difficulty_grades_valid(self, suite):
+        assert all(
+            t.difficulty in ("easy", "medium", "hard") for t in suite.tasks
+        )
+
+    def test_signals_non_negative(self, suite):
+        assert all(t.signal >= 0 for t in suite.tasks)
+
+    def test_deterministic(self, database):
+        a = generate_suite(database, n_anomaly_tasks=1, seed=5)
+        b = generate_suite(database, n_anomaly_tasks=1, seed=5)
+        assert a.tasks[0].signal == b.tasks[0].signal
+        assert a.tasks[0].task.targets[0].pairs == b.tasks[0].task.targets[0].pairs
+
+    def test_metadata_records_summary(self, suite, database):
+        assert suite.metadata["summary"]["n_items"] == len(database.items)
+
+    def test_describe(self, suite):
+        text = suite.describe()
+        assert "anomaly" in text and "insight" in text
+
+
+class TestAnomalyVisibility:
+    def test_positive_for_planted_tasks(self, suite):
+        for task in suite.by_kind("anomaly"):
+            assert anomaly_visibility(task.task) >= 0
+
+    def test_diluted_instances_less_visible(self, database):
+        from repro.datasets import inject_irregular_groups
+
+        diluted_db, diluted = inject_irregular_groups(
+            database, seed=4, max_slice_fraction=0.2, max_record_fraction=0.04
+        )
+        glaring_db, glaring = inject_irregular_groups(
+            database, seed=4, max_slice_fraction=1.0
+        )
+        diluted_vis = anomaly_visibility(
+            ScenarioITask(diluted_db, tuple(diluted))
+        )
+        glaring_vis = anomaly_visibility(
+            ScenarioITask(glaring_db, tuple(glaring))
+        )
+        assert diluted_vis <= glaring_vis + 0.15
+
+
+class TestScoring:
+    def test_score_explorer_means(self, suite):
+        scores = suite.score_explorer(lambda task: 0.5)
+        assert scores["overall"] == pytest.approx(0.5)
+
+    def test_score_validates_range(self, suite):
+        with pytest.raises(ValueError):
+            suite.score_explorer(lambda task: 1.5)
+
+    def test_per_difficulty_keys(self, suite):
+        scores = suite.score_explorer(lambda task: 1.0)
+        for task in suite.tasks:
+            assert task.difficulty in scores
+
+    def test_empty_suite(self):
+        suite = BenchmarkSuite("x")
+        assert suite.score_explorer(lambda t: 1.0) == {}

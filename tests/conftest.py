@@ -1,0 +1,73 @@
+"""Shared fixtures: a small deterministic subjective database."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SubDEx, SubDExConfig, SubjectiveDatabase
+from repro.core.recommend import RecommenderConfig
+from repro.db import Table
+
+
+@pytest.fixture(scope="session")
+def tiny_db() -> SubjectiveDatabase:
+    """50 reviewers × 20 restaurants × 600 ratings, 2 dimensions, seeded."""
+    rng = np.random.default_rng(0)
+    n_users, n_items, n_ratings = 50, 20, 600
+    users = Table.from_columns(
+        {
+            "user_id": list(range(n_users)),
+            "gender": [str(rng.choice(["M", "F"])) for __ in range(n_users)],
+            "age_group": [
+                str(rng.choice(["young", "adult", "senior"]))
+                for __ in range(n_users)
+            ],
+            "occupation": [
+                str(rng.choice(["student", "artist", "lawyer", "teacher"]))
+                for __ in range(n_users)
+            ],
+        },
+        explorable={"user_id": False},
+    )
+    items = Table.from_columns(
+        {
+            "item_id": list(range(n_items)),
+            "cuisine": [
+                frozenset(
+                    rng.choice(
+                        ["Pizza", "Sushi", "Tacos", "Burgers"],
+                        size=int(rng.integers(1, 3)),
+                        replace=False,
+                    )
+                )
+                for __ in range(n_items)
+            ],
+            "city": [
+                str(rng.choice(["NYC", "Austin", "Detroit"]))
+                for __ in range(n_items)
+            ],
+        },
+        explorable={"item_id": False},
+    )
+    ratings = Table.from_columns(
+        {
+            "user_id": rng.integers(0, n_users, n_ratings).tolist(),
+            "item_id": rng.integers(0, n_items, n_ratings).tolist(),
+            "overall": rng.integers(1, 6, n_ratings).tolist(),
+            "food": rng.integers(1, 6, n_ratings).tolist(),
+        },
+        explorable={"user_id": False, "item_id": False},
+    )
+    return SubjectiveDatabase(
+        users, items, ratings, ("overall", "food"), scale=5, name="tiny"
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_engine(tiny_db: SubjectiveDatabase) -> SubDEx:
+    """An engine over the tiny database with bounded recommendation fan-out."""
+    return SubDEx(
+        tiny_db,
+        SubDExConfig(recommender=RecommenderConfig(max_values_per_attribute=3)),
+    )

@@ -1,0 +1,79 @@
+"""Tests for subgroup score aggregation alternatives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import RatingDistribution
+from repro.core.aggregation import (
+    ScoreAggregation,
+    aggregate_score,
+    median_score,
+    mode_score,
+)
+
+_counts = st.lists(st.integers(0, 30), min_size=3, max_size=7)
+
+
+class TestModeScore:
+    def test_clear_mode(self):
+        assert mode_score(RatingDistribution([1, 5, 2, 0, 0])) == 2.0
+
+    def test_tie_takes_lowest(self):
+        assert mode_score(RatingDistribution([3, 3, 0])) == 1.0
+
+    def test_empty_nan(self):
+        assert math.isnan(mode_score(RatingDistribution([0, 0, 0])))
+
+    @given(counts=_counts)
+    def test_mode_in_scale(self, counts):
+        dist = RatingDistribution(counts)
+        value = mode_score(dist)
+        if not math.isnan(value):
+            assert 1 <= value <= dist.scale
+            assert dist.count_of(int(value)) == max(dist.counts)
+
+
+class TestMedianScore:
+    def test_odd_count(self):
+        # scores: 1, 2, 2 → median 2
+        assert median_score(RatingDistribution([1, 2, 0])) == 2.0
+
+    def test_even_count_takes_lower(self):
+        # scores: 1, 3 → lower median 1
+        assert median_score(RatingDistribution([1, 0, 1])) == 1.0
+
+    def test_empty_nan(self):
+        assert math.isnan(median_score(RatingDistribution([0, 0])))
+
+    @given(counts=_counts)
+    def test_median_between_min_and_max_support(self, counts):
+        dist = RatingDistribution(counts)
+        value = median_score(dist)
+        if math.isnan(value):
+            return
+        present = [i + 1 for i, c in enumerate(counts) if c > 0]
+        assert present[0] <= value <= present[-1]
+
+
+class TestAggregateScore:
+    def test_mean_matches_distribution(self):
+        dist = RatingDistribution([0, 0, 0, 0, 4])
+        assert aggregate_score(dist, ScoreAggregation.MEAN) == 5.0
+
+    @pytest.mark.parametrize("aggregation", list(ScoreAggregation))
+    def test_all_aggregations_defined(self, aggregation):
+        dist = RatingDistribution([1, 2, 3, 2, 1])
+        value = aggregate_score(dist, aggregation)
+        assert 1 <= value <= 5
+
+    @given(counts=_counts)
+    def test_mode_has_highest_probability(self, counts):
+        dist = RatingDistribution(counts)
+        if dist.is_empty:
+            return
+        mode = aggregate_score(dist, ScoreAggregation.MODE)
+        probabilities = dist.probabilities()
+        assert probabilities[int(mode) - 1] == probabilities.max()

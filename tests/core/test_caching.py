@@ -1,0 +1,85 @@
+"""Tests for the interactivity caching layer."""
+
+import pytest
+
+from repro.core.caching import CachingEngine, LRUCache
+from repro.core.utility import SeenMaps
+from repro.model import SelectionCriteria
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+
+    def test_miss_counted(self):
+        cache = LRUCache(2)
+        assert cache.get("missing") is None
+        assert cache.stats.misses == 1
+
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # a is now most-recent
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.stats.evictions == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_stats_describe(self):
+        cache = LRUCache(2)
+        cache.get("x")
+        assert "misses" not in cache.stats.describe()  # formatted line
+        assert "requests" in cache.stats.describe()
+
+
+class TestCachingEngine:
+    def test_results_identical_to_plain_engine(self, tiny_engine):
+        caching = CachingEngine(tiny_engine)
+        criteria = SelectionCriteria.of(reviewer={"gender": "F"})
+        plain = tiny_engine.rating_maps(criteria)
+        cached = caching.rating_maps(criteria)
+        assert [rm.spec for rm in cached.selected] == [
+            rm.spec for rm in plain.selected
+        ]
+
+    def test_second_call_hits(self, tiny_engine):
+        caching = CachingEngine(tiny_engine)
+        criteria = SelectionCriteria.of(reviewer={"gender": "F"})
+        first = caching.rating_maps(criteria)
+        second = caching.rating_maps(criteria)
+        assert second is first
+        assert caching.result_stats.hits == 1
+
+    def test_different_seen_state_misses(self, tiny_engine, tiny_db):
+        caching = CachingEngine(tiny_engine)
+        criteria = SelectionCriteria.root()
+        seen = SeenMaps(tiny_db.dimensions)
+        first = caching.rating_maps(criteria, seen)
+        for rm in first.selected:
+            seen.add(rm)
+        second = caching.rating_maps(criteria, seen)
+        assert second is not first
+        assert caching.result_stats.hits == 0
+
+    def test_group_cache(self, tiny_engine):
+        caching = CachingEngine(tiny_engine)
+        criteria = SelectionCriteria.of(item={"city": "NYC"})
+        a = caching.group(criteria)
+        b = caching.group(criteria)
+        assert a is b
+        assert caching.group_stats.hit_rate == 0.5
+
+    def test_clear(self, tiny_engine):
+        caching = CachingEngine(tiny_engine)
+        caching.rating_maps(SelectionCriteria.root())
+        caching.clear()
+        caching.rating_maps(SelectionCriteria.root())
+        assert caching.result_stats.hits == 0

@@ -1,0 +1,180 @@
+"""Tests for distribution / map distances, including metric properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import RatingDistribution, emd, kl_divergence, total_variation
+from repro.core.distance import (
+    MapDistanceMethod,
+    map_distance,
+    min_pairwise_distance,
+    transportation_cost,
+    weighted_points_emd,
+)
+from repro.core.rating_maps import RatingMap, RatingMapSpec, Subgroup
+from repro.model import SelectionCriteria, Side
+
+_counts = st.lists(st.integers(0, 30), min_size=5, max_size=5).filter(
+    lambda c: sum(c) > 0
+)
+_dists = _counts.map(RatingDistribution)
+
+
+def _map(spec_attr: str, dimension: str, subgroup_counts) -> RatingMap:
+    spec = RatingMapSpec(Side.ITEM, spec_attr, dimension)
+    subgroups = [
+        Subgroup(f"g{i}", RatingDistribution(c))
+        for i, c in enumerate(subgroup_counts)
+    ]
+    size = sum(sum(c) for c in subgroup_counts)
+    return RatingMap(spec, SelectionCriteria.root(), subgroups, size)
+
+
+class TestEmd:
+    def test_identical_is_zero(self):
+        d = RatingDistribution([1, 2, 3, 4, 5])
+        assert emd(d, d) == 0.0
+
+    def test_extremes_are_one(self):
+        lo = RatingDistribution([10, 0, 0, 0, 0])
+        hi = RatingDistribution([0, 0, 0, 0, 10])
+        assert emd(lo, hi) == pytest.approx(1.0)
+
+    def test_scale_mismatch(self):
+        with pytest.raises(ValueError):
+            emd(RatingDistribution([1, 1]), RatingDistribution([1, 1, 1]))
+
+    @given(p=_dists, q=_dists)
+    def test_symmetry(self, p, q):
+        assert emd(p, q) == pytest.approx(emd(q, p))
+
+    @given(p=_dists, q=_dists, r=_dists)
+    def test_triangle_inequality(self, p, q, r):
+        assert emd(p, r) <= emd(p, q) + emd(q, r) + 1e-9
+
+    @given(p=_dists, q=_dists)
+    def test_bounded_unit(self, p, q):
+        assert 0 <= emd(p, q) <= 1 + 1e-12
+
+    @given(p=_dists)
+    def test_identity(self, p):
+        assert emd(p, p) == pytest.approx(0.0)
+
+
+class TestTotalVariation:
+    def test_disjoint_supports_are_one(self):
+        a = RatingDistribution([5, 0, 0, 0, 0])
+        b = RatingDistribution([0, 5, 0, 0, 0])
+        assert total_variation(a, b) == pytest.approx(1.0)
+
+    @given(p=_dists, q=_dists)
+    def test_metric_properties(self, p, q):
+        assert 0 <= total_variation(p, q) <= 1 + 1e-12
+        assert total_variation(p, q) == pytest.approx(total_variation(q, p))
+
+    def test_tvd_upper_bounds_emd_times_range(self):
+        # on adjacent buckets, EMD ≤ TVD (mass moves ≤ 1 bucket / (m-1))
+        a = RatingDistribution([5, 5, 0, 0, 0])
+        b = RatingDistribution([5, 0, 5, 0, 0])
+        assert emd(a, b) <= total_variation(a, b)
+
+
+class TestKl:
+    def test_zero_for_identical(self):
+        d = RatingDistribution([1, 2, 3, 4, 5])
+        assert kl_divergence(d, d) == pytest.approx(0.0, abs=1e-9)
+
+    @given(p=_dists, q=_dists)
+    def test_non_negative(self, p, q):
+        assert kl_divergence(p, q) >= -1e-9
+
+    def test_asymmetric_in_general(self):
+        a = RatingDistribution([10, 0, 0, 0, 1])
+        b = RatingDistribution([1, 1, 1, 1, 10])
+        assert kl_divergence(a, b) != pytest.approx(kl_divergence(b, a))
+
+
+class TestWeightedPointsEmd:
+    def test_same_points_zero(self):
+        xs = np.array([1.0, 3.0])
+        w = np.array([1.0, 1.0])
+        assert weighted_points_emd(xs, w, xs, w, span=4) == 0.0
+
+    def test_known_shift(self):
+        xs = np.array([1.0])
+        ys = np.array([5.0])
+        w = np.array([1.0])
+        assert weighted_points_emd(xs, w, ys, w, span=4.0) == pytest.approx(1.0)
+
+    def test_empty_vs_nonempty(self):
+        assert weighted_points_emd(
+            np.array([]), np.array([]), np.array([1.0]), np.array([1.0]), 4
+        ) == 1.0
+
+
+class TestTransportation:
+    def test_identity_zero_cost(self):
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert transportation_cost(
+            np.array([0.5, 0.5]), np.array([0.5, 0.5]), cost
+        ) == pytest.approx(0.0)
+
+    def test_full_move(self):
+        cost = np.array([[0.0, 2.0], [2.0, 0.0]])
+        assert transportation_cost(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0]), cost
+        ) == pytest.approx(2.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            transportation_cost(np.ones(2) / 2, np.ones(2) / 2, np.ones((3, 2)))
+
+
+class TestMapDistance:
+    @pytest.mark.parametrize("method", list(MapDistanceMethod))
+    def test_self_distance_zero(self, method):
+        rm = _map("city", "food", [[1, 2, 3, 4, 5], [5, 4, 3, 2, 1]])
+        assert map_distance(rm, rm, method) == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("method", list(MapDistanceMethod))
+    def test_symmetry(self, method):
+        a = _map("city", "food", [[9, 1, 0, 0, 0], [0, 0, 0, 1, 9]])
+        b = _map("state", "food", [[1, 1, 6, 1, 1], [2, 2, 2, 2, 2]])
+        assert map_distance(a, b, method) == pytest.approx(
+            map_distance(b, a, method)
+        )
+
+    def test_pooled_blind_to_grouping(self):
+        # same pooled distribution split differently → POOLED sees nothing
+        a = _map("city", "food", [[4, 0, 0, 0, 0], [0, 0, 0, 0, 4]])
+        b = _map("state", "food", [[2, 0, 0, 0, 2], [2, 0, 0, 0, 2]])
+        assert map_distance(a, b, MapDistanceMethod.POOLED) == pytest.approx(0.0)
+        assert map_distance(a, b, MapDistanceMethod.PROFILE) > 0.1
+
+    def test_profile_separates_dimensions(self):
+        low = _map("city", "food", [[9, 1, 0, 0, 0], [8, 2, 0, 0, 0]])
+        high = _map("city", "service", [[0, 0, 0, 1, 9], [0, 0, 0, 2, 8]])
+        assert map_distance(low, high) > 0.5
+
+    def test_nested_matches_profile_ordering(self):
+        a = _map("city", "food", [[9, 1, 0, 0, 0], [0, 0, 0, 1, 9]])
+        near = _map("state", "food", [[8, 2, 0, 0, 0], [0, 0, 0, 2, 8]])
+        far = _map("zip", "food", [[0, 0, 10, 0, 0], [0, 0, 10, 0, 0]])
+        for method in (MapDistanceMethod.PROFILE, MapDistanceMethod.NESTED):
+            assert map_distance(a, near, method) < map_distance(a, far, method)
+
+
+class TestMinPairwise:
+    def test_fewer_than_two_is_zero(self):
+        rm = _map("city", "food", [[1, 1, 1, 1, 1], [2, 2, 2, 2, 2]])
+        assert min_pairwise_distance([]) == 0.0
+        assert min_pairwise_distance([rm]) == 0.0
+
+    def test_pairwise_minimum(self):
+        a = _map("a", "food", [[9, 1, 0, 0, 0], [8, 2, 0, 0, 0]])
+        b = _map("b", "food", [[0, 0, 0, 1, 9], [0, 0, 0, 2, 8]])
+        c = _map("c", "food", [[9, 1, 0, 0, 0], [8, 2, 0, 0, 0]])  # ≈ a
+        div = min_pairwise_distance([a, b, c])
+        assert div == pytest.approx(map_distance(a, c), abs=1e-9)

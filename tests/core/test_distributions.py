@@ -1,0 +1,92 @@
+"""Tests for RatingDistribution (Definition 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import RatingDistribution
+
+_counts = st.lists(st.integers(0, 50), min_size=2, max_size=8)
+
+
+class TestConstruction:
+    def test_from_mapping_matches_figure3(self):
+        dist = RatingDistribution.from_mapping({1: 1, 2: 2, 3: 1, 4: 5, 5: 7}, 5)
+        assert dist.total == 16
+        assert dist.mean() == pytest.approx(3.9, abs=0.05)
+
+    def test_from_mapping_out_of_scale(self):
+        with pytest.raises(ValueError):
+            RatingDistribution.from_mapping({6: 1}, 5)
+
+    def test_from_scores_drops_invalid(self):
+        scores = np.array([1.0, 5.0, np.nan, 0.0, 6.0])
+        dist = RatingDistribution.from_scores(scores, 5)
+        assert dist.total == 2
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            RatingDistribution([1, -1])
+
+    def test_scale_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            RatingDistribution([3])
+
+
+class TestAccessors:
+    def test_probabilities_sum_to_one(self):
+        dist = RatingDistribution([1, 2, 3, 4])
+        assert dist.probabilities().sum() == pytest.approx(1.0)
+
+    def test_empty_probabilities_uniform(self):
+        dist = RatingDistribution([0, 0, 0, 0])
+        assert (dist.probabilities() == 0.25).all()
+        assert dist.is_empty
+
+    def test_mean_of_empty_is_nan(self):
+        assert math.isnan(RatingDistribution([0, 0]).mean())
+
+    def test_count_of(self):
+        dist = RatingDistribution([5, 0, 2])
+        assert dist.count_of(1) == 5 and dist.count_of(3) == 2
+
+    def test_to_mapping_roundtrip(self):
+        dist = RatingDistribution([1, 0, 2])
+        assert RatingDistribution.from_mapping(dist.to_mapping(), 3) == dist
+
+    def test_immutability(self):
+        dist = RatingDistribution([1, 2])
+        with pytest.raises(ValueError):
+            dist.counts[0] = 99
+
+
+class TestAlgebra:
+    def test_merge(self):
+        a = RatingDistribution([1, 0, 0])
+        b = RatingDistribution([0, 2, 0])
+        assert a.merge(b) == RatingDistribution([1, 2, 0])
+
+    def test_merge_scale_mismatch(self):
+        with pytest.raises(ValueError):
+            RatingDistribution([1, 1]).merge(RatingDistribution([1, 1, 1]))
+
+    def test_equality_and_hash(self):
+        assert RatingDistribution([1, 2]) == RatingDistribution([1, 2])
+        assert hash(RatingDistribution([1, 2])) == hash(RatingDistribution([1, 2]))
+        assert RatingDistribution([1, 2]) != RatingDistribution([2, 1])
+
+    @given(a=_counts)
+    def test_merge_total_additive(self, a):
+        dist = RatingDistribution(a)
+        merged = dist.merge(dist)
+        assert merged.total == 2 * dist.total
+
+    @given(a=_counts)
+    def test_mean_within_scale(self, a):
+        dist = RatingDistribution(a)
+        mean = dist.mean()
+        if not math.isnan(mean):
+            assert 1 <= mean <= dist.scale

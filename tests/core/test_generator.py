@@ -1,0 +1,107 @@
+"""Tests for the RM-Set Generator (Problem 1 end to end)."""
+
+import pytest
+
+from repro.core.distance import MapDistanceMethod
+from repro.core.generator import GeneratorConfig, RMSetGenerator
+from repro.core.pruning import PruningStrategy
+from repro.core.utility import SeenMaps
+from repro.model import RatingGroup, SelectionCriteria
+
+
+@pytest.fixture()
+def seen(tiny_db) -> SeenMaps:
+    return SeenMaps(tiny_db.dimensions)
+
+
+class TestGenerate:
+    def test_returns_k_maps(self, tiny_db, seen):
+        generator = RMSetGenerator(GeneratorConfig(k=3))
+        group = RatingGroup(tiny_db, SelectionCriteria.root())
+        result = generator.generate(group, seen)
+        assert len(result.selected) == 3
+        assert len(result.pool) <= 9
+
+    def test_selected_subset_of_pool(self, tiny_db, seen):
+        generator = RMSetGenerator(GeneratorConfig())
+        group = RatingGroup(tiny_db, SelectionCriteria.root())
+        result = generator.generate(group, seen)
+        assert set(rm.spec for rm in result.selected) <= set(
+            rm.spec for rm in result.pool
+        )
+
+    def test_empty_group_yields_nothing(self, tiny_db, seen):
+        generator = RMSetGenerator()
+        group = RatingGroup(
+            tiny_db, SelectionCriteria.of(reviewer={"gender": "NOPE"})
+        )
+        result = generator.generate(group, seen)
+        assert result.selected == ()
+
+    def test_k_override(self, tiny_db, seen):
+        generator = RMSetGenerator(GeneratorConfig(k=3))
+        group = RatingGroup(tiny_db, SelectionCriteria.root())
+        result = generator.generate(group, seen, k=1)
+        assert len(result.selected) == 1
+
+    def test_dimension_restriction(self, tiny_db, seen):
+        generator = RMSetGenerator()
+        group = RatingGroup(tiny_db, SelectionCriteria.root())
+        result = generator.generate(group, seen, dimensions=("food",))
+        assert all(rm.dimension == "food" for rm in result.selected)
+
+    def test_l_one_is_pure_topk_utility(self, tiny_db, seen):
+        generator = RMSetGenerator(
+            GeneratorConfig(
+                k=3, pruning_diversity_factor=1, pruning=PruningStrategy.NONE
+            )
+        )
+        group = RatingGroup(tiny_db, SelectionCriteria.root())
+        result = generator.generate(group, seen)
+        utilities = [result.scores[rm.spec].dw_utility for rm in result.selected]
+        # with l=1 the pool IS the selection: top-k by DW utility
+        assert utilities == sorted(utilities, reverse=True)
+        assert set(result.selected) == set(result.pool)
+
+    def test_larger_l_increases_or_keeps_diversity(self, tiny_db, seen):
+        group = RatingGroup(tiny_db, SelectionCriteria.root())
+        low = RMSetGenerator(
+            GeneratorConfig(pruning_diversity_factor=1, pruning=PruningStrategy.NONE)
+        ).generate(group, SeenMaps(tiny_db.dimensions))
+        high = RMSetGenerator(
+            GeneratorConfig(pruning_diversity_factor=3, pruning=PruningStrategy.NONE)
+        ).generate(group, SeenMaps(tiny_db.dimensions))
+        assert high.diversity >= low.diversity - 1e-9
+
+    @pytest.mark.parametrize("strategy", list(PruningStrategy))
+    def test_all_pruning_strategies_produce_maps(self, tiny_db, seen, strategy):
+        generator = RMSetGenerator(GeneratorConfig(pruning=strategy))
+        group = RatingGroup(tiny_db, SelectionCriteria.root())
+        result = generator.generate(group, SeenMaps(tiny_db.dimensions))
+        assert result.selected
+
+    def test_pruned_overlap_with_exact_topk(self, tiny_db):
+        """Pruning should mostly agree with the exact top-k' ranking."""
+        group = RatingGroup(tiny_db, SelectionCriteria.root())
+        exact = RMSetGenerator(
+            GeneratorConfig(pruning=PruningStrategy.NONE)
+        ).generate(group, SeenMaps(tiny_db.dimensions))
+        pruned = RMSetGenerator(
+            GeneratorConfig(pruning=PruningStrategy.COMBINED)
+        ).generate(group, SeenMaps(tiny_db.dimensions))
+        exact_specs = {rm.spec for rm in exact.pool}
+        pruned_specs = {rm.spec for rm in pruned.pool}
+        if pruned_specs:
+            overlap = len(exact_specs & pruned_specs) / len(pruned_specs)
+            assert overlap >= 0.5
+
+    def test_total_utility_is_sum_of_selected(self, tiny_db, seen):
+        generator = RMSetGenerator()
+        group = RatingGroup(tiny_db, SelectionCriteria.root())
+        result = generator.generate(group, seen)
+        assert result.total_utility() == pytest.approx(
+            sum(result.scores[rm.spec].dw_utility for rm in result.selected)
+        )
+
+    def test_profile_distance_default(self):
+        assert GeneratorConfig().distance_method is MapDistanceMethod.PROFILE

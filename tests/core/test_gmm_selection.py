@@ -1,0 +1,102 @@
+"""Tests for GMM (Gonzalez) and the RM-Selector (Problem 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RatingDistribution
+from repro.core.distance import MapDistanceMethod
+from repro.core.gmm import exact_max_min_subset, gmm_select, min_pairwise
+from repro.core.rating_maps import RatingMap, RatingMapSpec, Subgroup
+from repro.core.selection import select_diverse_maps
+from repro.model import SelectionCriteria, Side
+
+
+def _points_distance(a, b):
+    return abs(a - b)
+
+
+class TestGmmSelect:
+    def test_k_zero(self):
+        assert gmm_select([1, 2, 3], 0, _points_distance) == []
+
+    def test_k_exceeds_n_returns_all(self):
+        assert gmm_select([1, 2], 5, _points_distance) == [1, 2]
+
+    def test_picks_extremes_on_a_line(self):
+        points = [0.0, 1.0, 2.0, 10.0]
+        chosen = gmm_select(points, 2, _points_distance)
+        assert set(chosen) == {0.0, 10.0}
+
+    def test_seed_always_included(self):
+        points = [5.0, 0.0, 10.0]
+        chosen = gmm_select(points, 2, _points_distance, seed_index=0)
+        assert 5.0 in chosen
+
+    def test_invalid_seed(self):
+        with pytest.raises(IndexError):
+            gmm_select([1, 2], 1, _points_distance, seed_index=9)
+
+    def test_deterministic(self):
+        points = [3.0, 1.0, 4.0, 1.5, 9.0]
+        assert gmm_select(points, 3, _points_distance) == gmm_select(
+            points, 3, _points_distance
+        )
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        points=st.lists(
+            st.floats(0, 100, allow_nan=False), min_size=3, max_size=9, unique=True
+        ),
+        k=st.integers(2, 4),
+    )
+    def test_property_two_approximation(self, points, k):
+        """GMM's min pairwise distance is ≥ OPT/2 (Gonzalez 1985)."""
+        k = min(k, len(points))
+        greedy = gmm_select(points, k, _points_distance)
+        optimal = exact_max_min_subset(points, k, _points_distance)
+        greedy_value = min_pairwise(greedy, _points_distance)
+        optimal_value = min_pairwise(optimal, _points_distance)
+        assert greedy_value >= optimal_value / 2 - 1e-9
+
+
+def _map(attr: str, dimension: str, shift: int) -> RatingMap:
+    counts = np.zeros(5, dtype=int)
+    counts[shift] = 20
+    counts[(shift + 1) % 5] = 5
+    spec = RatingMapSpec(Side.ITEM, attr, dimension)
+    subgroups = [
+        Subgroup("a", RatingDistribution(counts)),
+        Subgroup("b", RatingDistribution(np.roll(counts, 1))),
+    ]
+    return RatingMap(spec, SelectionCriteria.root(), subgroups, 50)
+
+
+class TestSelectDiverseMaps:
+    def test_k_zero(self):
+        result = select_diverse_maps([_map("a", "d", 0)], 0)
+        assert result.selected == ()
+
+    def test_first_candidate_is_seed(self):
+        maps = [_map("a", "d", 0), _map("b", "d", 2), _map("c", "d", 4)]
+        result = select_diverse_maps(maps, 2)
+        assert result.selected[0] is maps[0]
+
+    def test_diversity_reported(self):
+        maps = [_map("a", "d", 0), _map("b", "d", 4), _map("c", "d", 0)]
+        result = select_diverse_maps(maps, 2)
+        # picked the far-apart pair (seed a + the shifted map b, not c ≈ a)
+        assert result.selected[1] is maps[1]
+        assert result.diversity > 0.2
+
+    def test_l_equals_one_degenerates_to_topk(self):
+        maps = [_map("a", "d", 0), _map("b", "d", 1)]
+        result = select_diverse_maps(maps, 2)
+        assert set(result.selected) == set(maps)
+
+    @pytest.mark.parametrize("method", list(MapDistanceMethod))
+    def test_all_distance_methods_work(self, method):
+        maps = [_map("a", "d", i) for i in range(4)]
+        result = select_diverse_maps(maps, 2, method)
+        assert len(result.selected) == 2

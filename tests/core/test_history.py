@@ -1,0 +1,72 @@
+"""Tests for exploration-log persistence."""
+
+import pytest
+
+from repro.core.history import ExplorationLog, LoggedMap
+from repro.core.modes import ExplorationMode, run_fully_automated
+
+
+@pytest.fixture(scope="module")
+def path(tiny_engine):
+    return run_fully_automated(tiny_engine.session(), n_steps=3)
+
+
+@pytest.fixture(scope="module")
+def log(path, tiny_engine):
+    return ExplorationLog.from_path(
+        path, dataset=tiny_engine.database.name, user="alice", metadata={"x": 1}
+    )
+
+
+class TestFromPath:
+    def test_step_count(self, log, path):
+        assert len(log.steps) == len(path)
+
+    def test_maps_reduced(self, log):
+        for step in log.steps:
+            for m in step.maps:
+                assert isinstance(m, LoggedMap)
+                assert m.n_subgroups >= 2
+                assert m.dimension in ("overall", "food")
+
+    def test_criteria_captured(self, log):
+        step2 = log.steps[1]
+        pairs = {**step2.criteria["reviewer"], **step2.criteria["item"]}
+        assert pairs  # FA moved somewhere after step 1
+
+    def test_mode_recorded(self, log):
+        assert log.explored_mode is ExplorationMode.FULLY_AUTOMATED
+
+    def test_metadata_kept(self, log):
+        assert log.user == "alice"
+        assert log.metadata == {"x": 1}
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self, log):
+        assert ExplorationLog.from_json(log.to_json()) == log
+
+    def test_save_load(self, log, tmp_path):
+        target = tmp_path / "session.json"
+        log.save(target)
+        assert ExplorationLog.load(target) == log
+
+    def test_load_all(self, log, tmp_path):
+        log.save(tmp_path / "a.json")
+        log.save(tmp_path / "b.json")
+        assert len(ExplorationLog.load_all(tmp_path)) == 2
+
+
+class TestAnalysis:
+    def test_shown_specs(self, log):
+        specs = log.shown_specs()
+        assert len(specs) == sum(len(s.maps) for s in log.steps)
+        assert all(len(s) == 3 for s in specs)
+
+    def test_total_seconds_positive(self, log):
+        assert log.total_seconds() > 0
+
+    def test_spec_frequencies(self, log):
+        freqs = ExplorationLog.spec_frequencies([log, log])
+        assert all(v % 2 == 0 for v in freqs.values())
+        assert sum(freqs.values()) == 2 * len(log.shown_specs())

@@ -1,0 +1,236 @@
+"""Tests for normalization and the utility pipeline (Eq. 1, Alg. 2)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import RatingDistribution
+from repro.core.interestingness import Criterion, CriterionScores
+from repro.core.normalization import (
+    NormalizationStrategy,
+    conciseness_01,
+    minmax_normalize,
+    squash_ratio,
+)
+from repro.core.rating_maps import RatingMap, RatingMapSpec, Subgroup
+from repro.core.utility import (
+    SeenMaps,
+    UtilityAggregation,
+    UtilityConfig,
+    aggregate_utility,
+    dimension_weights,
+    get_weights,
+    normalize_criteria,
+    score_candidate_set,
+)
+from repro.model import SelectionCriteria, Side
+
+
+class TestMinMax:
+    def test_basic(self):
+        out = minmax_normalize({"a": 0.0, "b": 5.0, "c": 10.0})
+        assert out == {"a": 0.0, "b": 0.5, "c": 1.0}
+
+    def test_all_equal_neutral(self):
+        assert minmax_normalize({"a": 3.0, "b": 3.0}) == {"a": 0.5, "b": 0.5}
+
+    def test_nan_maps_to_zero(self):
+        out = minmax_normalize({"a": float("nan"), "b": 1.0, "c": 2.0})
+        assert out["a"] == 0.0
+
+    def test_empty(self):
+        assert minmax_normalize({}) == {}
+
+    @given(
+        values=st.dictionaries(
+            st.text(min_size=1, max_size=3),
+            st.floats(-100, 100),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_property_in_unit_interval(self, values):
+        for v in minmax_normalize(values).values():
+            assert 0.0 <= v <= 1.0
+
+
+class TestFixedNormalizers:
+    def test_conciseness_01_monotone_decreasing(self):
+        values = [conciseness_01(n) for n in (2, 3, 5, 10, 50)]
+        assert values == sorted(values, reverse=True)
+
+    def test_conciseness_01_uninformative_zero(self):
+        assert conciseness_01(0) == 0.0
+        assert conciseness_01(1) == 0.0
+
+    def test_conciseness_01_two_groups_value(self):
+        assert conciseness_01(2) == pytest.approx(0.125)
+
+    def test_squash_ratio(self):
+        assert squash_ratio(10, 10) == pytest.approx(0.5)
+        assert squash_ratio(0, 10) == 0.0
+        assert squash_ratio(float("nan"), 10) == 0.0
+
+    def test_squash_ratio_validation(self):
+        with pytest.raises(ValueError):
+            squash_ratio(-1, 10)
+        with pytest.raises(ValueError):
+            squash_ratio(1, 0)
+
+
+class TestGetWeights:
+    def test_algorithm2_frequencies(self):
+        freqs = get_weights(["food", "food", "service"], ["food", "service", "ambiance"])
+        assert freqs == {"food": 2 / 3, "service": 1 / 3, "ambiance": 0.0}
+
+    def test_empty_history_zero_frequencies(self):
+        assert get_weights([], ["a", "b"]) == {"a": 0.0, "b": 0.0}
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(KeyError):
+            get_weights(["zzz"], ["a"])
+
+    def test_dimension_weights_complement(self):
+        weights = dimension_weights(["food", "food"], ["food", "service"])
+        assert weights == {"food": 0.0, "service": 1.0}
+
+    def test_single_dimension_keeps_weight_one(self):
+        # MovieLens has one dimension; Eq. (1) must not zero everything out
+        assert dimension_weights(["rating"] * 5, ["rating"]) == {"rating": 1.0}
+
+    def test_paper_example(self):
+        # m=10: overall 3, food 3, service 3, ambiance 1
+        history = ["o"] * 3 + ["f"] * 3 + ["s"] * 3 + ["a"]
+        weights = dimension_weights(history, ["o", "f", "s", "a"])
+        assert weights["f"] == pytest.approx(0.7)
+        assert weights["a"] == pytest.approx(0.9)
+
+
+def _rating_map(dimension: str) -> RatingMap:
+    spec = RatingMapSpec(Side.ITEM, "city", dimension)
+    subgroups = [
+        Subgroup("a", RatingDistribution([5, 4, 3, 2, 1])),
+        Subgroup("b", RatingDistribution([1, 2, 3, 4, 5])),
+    ]
+    return RatingMap(spec, SelectionCriteria.root(), subgroups, 30)
+
+
+class TestSeenMaps:
+    def test_attribute_weight_starts_at_one(self):
+        seen = SeenMaps(("food",))
+        assert seen.attribute_weight((Side.ITEM, "city")) == 1.0
+
+    def test_attribute_weight_decreases_with_repeats(self):
+        seen = SeenMaps(("food", "service"))
+        seen.add(_rating_map("food"))  # spec: item.city
+        key = (Side.ITEM, "city")
+        assert seen.attribute_weight(key) < 1.0
+        assert seen.attribute_weight((Side.ITEM, "other")) == 1.0
+
+    def test_attribute_weight_smoothing(self):
+        # with A attributes, weight = 1 - count / (m + A)
+        seen = SeenMaps(("food",), n_attributes=5)
+        for __ in range(10):
+            seen.add(_rating_map("food"))
+        assert seen.attribute_weight((Side.ITEM, "city")) == pytest.approx(
+            1 - 10 / (10 + 2)
+        )
+        # never reaches zero while m is finite
+        assert seen.attribute_weight((Side.ITEM, "city")) > 0
+
+    def test_add_and_counts(self):
+        seen = SeenMaps(("food", "service"))
+        seen.add(_rating_map("food"))
+        seen.add(_rating_map("food"))
+        seen.add(_rating_map("service"))
+        assert seen.total == 3
+        assert seen.count_for("food") == 2
+        assert seen.weight("service") == pytest.approx(2 / 3)
+
+    def test_unknown_dimension_rejected(self):
+        seen = SeenMaps(("food",))
+        with pytest.raises(KeyError):
+            seen.add(_rating_map("zzz"))
+
+    def test_pooled_distributions_recorded(self):
+        seen = SeenMaps(("food",))
+        seen.add(_rating_map("food"))
+        assert len(seen.pooled_distributions()) == 1
+        assert seen.pooled_distributions()[0].total == 30
+
+
+class TestAggregation:
+    def test_max_vs_avg(self):
+        normalized = {
+            Criterion.CONCISENESS: 0.2,
+            Criterion.AGREEMENT: 0.8,
+            Criterion.PECULIARITY_SELF: 0.4,
+            Criterion.PECULIARITY_GLOBAL: 0.0,
+        }
+        assert aggregate_utility(normalized, UtilityConfig()) == 0.8
+        avg_config = UtilityConfig(aggregation=UtilityAggregation.AVG)
+        assert aggregate_utility(normalized, avg_config) == pytest.approx(0.35)
+
+    def test_criteria_subset(self):
+        config = UtilityConfig(criteria=(Criterion.AGREEMENT,))
+        assert aggregate_utility({Criterion.AGREEMENT: 0.3}, config) == 0.3
+
+    def test_empty_criteria_rejected(self):
+        with pytest.raises(ValueError):
+            UtilityConfig(criteria=())
+
+
+class TestScoreCandidateSet:
+    def _raw(self):
+        return {
+            "x": CriterionScores(10.0, 0.9, 0.1, 0.0, 4),
+            "y": CriterionScores(5.0, 0.5, 0.9, 0.2, 8),
+        }
+
+    def test_minmax_pipeline(self):
+        config = UtilityConfig(normalization=NormalizationStrategy.MINMAX)
+        seen = SeenMaps(("food", "service"))
+        scored = score_candidate_set(
+            self._raw(), {"x": "food", "y": "service"}, seen, config
+        )
+        # per-criterion winner gets 1.0 under minmax + max aggregation
+        assert scored["x"].utility == 1.0
+        assert scored["y"].utility == 1.0
+        assert scored["x"].weight == 1.0  # nothing seen yet
+
+    def test_squash_pipeline_discriminates(self):
+        config = UtilityConfig(normalization=NormalizationStrategy.SQUASH)
+        seen = SeenMaps(("food", "service"))
+        scored = score_candidate_set(
+            self._raw(), {"x": "food", "y": "service"}, seen, config
+        )
+        assert scored["y"].utility > scored["x"].utility  # pec 0.9 dominates
+
+    def test_dimension_weight_applied(self):
+        config = UtilityConfig()
+        seen = SeenMaps(("food", "service"))
+        seen.add(_rating_map("food"))
+        scored = score_candidate_set(
+            self._raw(), {"x": "food", "y": "service"}, seen, config
+        )
+        assert scored["x"].weight == 0.0  # food is the only dim seen
+        assert scored["y"].weight == 1.0
+        assert scored["x"].dw_utility == 0.0
+
+    def test_weights_disabled(self):
+        config = UtilityConfig(use_dimension_weights=False)
+        seen = SeenMaps(("food", "service"))
+        seen.add(_rating_map("food"))
+        scored = score_candidate_set(
+            self._raw(), {"x": "food", "y": "service"}, seen, config
+        )
+        assert scored["x"].weight == 1.0
+
+    def test_agreement_floor_rescaling(self):
+        config = UtilityConfig(criteria=(Criterion.AGREEMENT,))
+        raw = {"x": CriterionScores(0, 0.414, 0, 0, 3)}
+        seen = SeenMaps(("food",))
+        scored = score_candidate_set(raw, {"x": "food"}, seen, config)
+        assert scored["x"].utility == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,120 @@
+"""Cross-module property tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RatingDistribution, emd
+from repro.core.distance import MapDistanceMethod, map_distance
+from repro.core.generator import GeneratorConfig, RMSetGenerator
+from repro.core.interestingness import InterestingnessScorer
+from repro.core.pruning import PruningStrategy
+from repro.core.rating_maps import RatingMap, RatingMapSpec, Subgroup
+from repro.core.utility import SeenMaps
+from repro.model import RatingGroup, SelectionCriteria, Side
+
+_counts_matrix = st.lists(
+    st.lists(st.integers(0, 40), min_size=5, max_size=5),
+    min_size=2,
+    max_size=6,
+).map(np.array)
+
+
+class TestScorerInvariants:
+    @given(counts=_counts_matrix)
+    def test_raw_scores_bounded(self, counts):
+        scorer = InterestingnessScorer()
+        group_size = int(counts.sum())
+        scores = scorer.score(counts, group_size, [])
+        assert 0 <= scores.agreement <= 1
+        assert 0 <= scores.pec_self <= 1
+        assert scores.conciseness >= 0
+        assert scores.n_subgroups >= 0
+
+    @given(counts=_counts_matrix)
+    def test_scale_invariance_of_agreement(self, counts):
+        """Multiplying every histogram by a constant leaves agreement fixed."""
+        scorer = InterestingnessScorer()
+        a = scorer.agreement(counts * 10, int(counts.sum()) * 10)
+        b = scorer.agreement(counts * 20, int(counts.sum()) * 20)
+        assert a == pytest.approx(b)
+
+    @given(counts=_counts_matrix, factor=st.integers(2, 5))
+    def test_peculiarity_grows_with_evidence(self, counts, factor):
+        """More records with the same shape ⇒ peculiarity not lower."""
+        scorer = InterestingnessScorer()
+        small = scorer.self_peculiarity(counts, int(counts.sum()))
+        big = scorer.self_peculiarity(
+            counts * factor, int(counts.sum()) * factor
+        )
+        assert big >= small - 1e-9
+
+
+class TestPhaseOrderInvariance:
+    def test_shuffle_seed_does_not_change_final_scores(self, tiny_db):
+        group = RatingGroup(tiny_db, SelectionCriteria.root())
+        results = []
+        for seed in (0, 1, 99):
+            generator = RMSetGenerator(
+                GeneratorConfig(
+                    pruning=PruningStrategy.NONE, shuffle_seed=seed
+                )
+            )
+            result = generator.generate(group, SeenMaps(tiny_db.dimensions))
+            results.append(
+                {spec: sc.dw_utility for spec, sc in result.scores.items()}
+            )
+        for other in results[1:]:
+            assert set(other) == set(results[0])
+            for spec, value in results[0].items():
+                assert other[spec] == pytest.approx(value)
+
+
+def _map_from_counts(counts, attr="a", dim="d"):
+    subgroups = [
+        Subgroup(f"g{i}", RatingDistribution(row)) for i, row in enumerate(counts)
+    ]
+    return RatingMap(
+        RatingMapSpec(Side.ITEM, attr, dim),
+        SelectionCriteria.root(),
+        subgroups,
+        int(np.asarray(counts).sum()),
+    )
+
+
+class TestMapDistanceInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(a=_counts_matrix, b=_counts_matrix)
+    def test_profile_symmetric_and_bounded(self, a, b):
+        rm_a, rm_b = _map_from_counts(a), _map_from_counts(b, attr="b")
+        d_ab = map_distance(rm_a, rm_b, MapDistanceMethod.PROFILE)
+        d_ba = map_distance(rm_b, rm_a, MapDistanceMethod.PROFILE)
+        assert d_ab == pytest.approx(d_ba)
+        assert -1e-9 <= d_ab <= 1 + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(a=_counts_matrix)
+    def test_nested_self_distance_zero(self, a):
+        if np.asarray(a).sum() == 0:
+            return
+        rm = _map_from_counts(a)
+        assert map_distance(rm, rm, MapDistanceMethod.NESTED) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        p=st.lists(st.integers(0, 30), min_size=5, max_size=5),
+        q=st.lists(st.integers(0, 30), min_size=5, max_size=5),
+    )
+    def test_pooled_equals_distribution_emd(self, p, q):
+        if sum(p) == 0 or sum(q) == 0:
+            return
+        rm_p = _map_from_counts([p, p])
+        rm_q = _map_from_counts([q, q])
+        assert map_distance(
+            rm_p, rm_q, MapDistanceMethod.POOLED
+        ) == pytest.approx(
+            emd(RatingDistribution(np.array(p) * 2), RatingDistribution(np.array(q) * 2))
+        )

@@ -1,0 +1,114 @@
+"""Tests for rating maps (Definition 2) and candidate enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.core import RatingDistribution
+from repro.core.rating_maps import (
+    RatingMap,
+    RatingMapSpec,
+    Subgroup,
+    build_rating_map,
+    enumerate_map_specs,
+)
+from repro.model import RatingGroup, SelectionCriteria, Side
+
+
+class TestSubgroup:
+    def test_average_score(self):
+        sg = Subgroup("x", RatingDistribution([0, 0, 0, 0, 4]))
+        assert sg.average_score == 5.0
+        assert sg.size == 4
+
+
+class TestRatingMap:
+    def _map(self) -> RatingMap:
+        spec = RatingMapSpec(Side.ITEM, "city", "food")
+        subgroups = [
+            Subgroup("NYC", RatingDistribution([1, 2, 3, 4, 5])),
+            Subgroup("LA", RatingDistribution([5, 4, 3, 2, 1])),
+            Subgroup("empty", RatingDistribution([0, 0, 0, 0, 0])),
+        ]
+        return RatingMap(spec, SelectionCriteria.root(), subgroups, 40)
+
+    def test_empty_subgroups_dropped(self):
+        assert self._map().n_subgroups == 2
+
+    def test_covered_vs_group_size(self):
+        rm = self._map()
+        assert rm.covered == 30
+        assert rm.group_size == 40
+
+    def test_pooled(self):
+        pooled = self._map().pooled()
+        assert pooled.counts.tolist() == [6, 6, 6, 6, 6]
+
+    def test_sorted_by_score(self):
+        ordered = self._map().sorted_by_score()
+        assert ordered[0].label == "NYC"
+
+    def test_is_informative(self):
+        rm = self._map()
+        assert rm.is_informative
+        single = RatingMap(rm.spec, rm.criteria, rm.subgroups[:1], 40)
+        assert not single.is_informative
+
+    def test_render_mentions_subgroups(self):
+        text = self._map().render()
+        assert "NYC" in text and "avg. score" in text
+
+    def test_scale(self):
+        assert self._map().scale == 5
+
+
+class TestEnumerateSpecs:
+    def test_all_attribute_dimension_pairs(self, tiny_db):
+        specs = list(enumerate_map_specs(tiny_db, SelectionCriteria.root()))
+        # 3 reviewer attrs + 2 item attrs, 2 dims
+        assert len(specs) == 5 * 2
+
+    def test_fixed_attributes_excluded(self, tiny_db):
+        criteria = SelectionCriteria.of(reviewer={"gender": "F"})
+        specs = list(enumerate_map_specs(tiny_db, criteria))
+        assert all(
+            not (s.side is Side.REVIEWER and s.attribute == "gender")
+            for s in specs
+        )
+        assert len(specs) == 4 * 2
+
+    def test_dimension_subset(self, tiny_db):
+        specs = list(
+            enumerate_map_specs(
+                tiny_db, SelectionCriteria.root(), dimensions=("food",)
+            )
+        )
+        assert all(s.dimension == "food" for s in specs)
+
+
+class TestBuildRatingMap:
+    def test_counts_match_naive(self, tiny_db):
+        group = RatingGroup(tiny_db, SelectionCriteria.root())
+        spec = RatingMapSpec(Side.ITEM, "city", "overall")
+        rm = build_rating_map(group, spec)
+        # naive recount
+        scores = tiny_db.dimension_scores("overall")
+        aligned = tiny_db.aligned_grouping(Side.ITEM, "city")
+        for sg in rm.subgroups:
+            code = aligned.labels.index(sg.label)
+            mask = aligned.codes == code
+            expected = int(mask.sum())
+            assert sg.size == expected
+
+    def test_group_size_recorded(self, tiny_db):
+        group = RatingGroup(tiny_db, SelectionCriteria.root())
+        rm = build_rating_map(group, RatingMapSpec(Side.ITEM, "city", "food"))
+        assert rm.group_size == len(group)
+
+    def test_respects_criteria_restriction(self, tiny_db):
+        criteria = SelectionCriteria.of(item={"city": "NYC"})
+        group = RatingGroup(tiny_db, criteria)
+        rm = build_rating_map(
+            group, RatingMapSpec(Side.REVIEWER, "gender", "food")
+        )
+        assert rm.covered <= len(group)
+        assert rm.criteria == criteria

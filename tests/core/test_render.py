@@ -1,0 +1,87 @@
+"""Tests for the terminal rating-map renderer."""
+
+import math
+
+from repro.core import RatingDistribution
+from repro.core.rating_maps import RatingMap, RatingMapSpec, Subgroup
+from repro.core.render import (
+    distribution_bar,
+    render_histogram,
+    render_step,
+    score_gauge,
+)
+from repro.model import SelectionCriteria, Side
+
+
+def _map(n_subgroups=3):
+    subgroups = [
+        Subgroup(f"group-{i}", RatingDistribution([i + 1, 2, 3, 2, 1]))
+        for i in range(n_subgroups)
+    ]
+    return RatingMap(
+        RatingMapSpec(Side.ITEM, "city", "food"),
+        SelectionCriteria.root(),
+        subgroups,
+        100,
+    )
+
+
+class TestDistributionBar:
+    def test_peak_gets_full_block(self):
+        bar = distribution_bar([0, 5, 1])
+        assert bar[1] == "█"
+        assert bar[0] == " "
+
+    def test_empty_histogram_blank(self):
+        assert distribution_bar([0, 0, 0]).strip() == ""
+
+    def test_width_per_bucket(self):
+        assert len(distribution_bar([1, 2], width_per_bucket=3)) == 6
+
+
+class TestScoreGauge:
+    def test_minimum_empty(self):
+        assert score_gauge(1.0, 5) == "[" + "·" * 10 + "]"
+
+    def test_maximum_full(self):
+        assert score_gauge(5.0, 5) == "[" + "█" * 10 + "]"
+
+    def test_midpoint_half(self):
+        gauge = score_gauge(3.0, 5)
+        assert gauge.count("█") == 5
+
+    def test_nan(self):
+        assert "█" not in score_gauge(math.nan, 5)
+
+
+class TestRenderHistogram:
+    def test_contains_labels_and_counts(self):
+        text = render_histogram(_map())
+        assert "group-0" in text
+        assert "records" in text
+        assert "GroupBy item.city" in text
+
+    def test_truncates_rows(self):
+        text = render_histogram(_map(20), max_rows=5)
+        assert "more subgroups" in text
+        assert text.count("records") == 5
+
+    def test_long_labels_ellipsised(self):
+        subgroups = [
+            Subgroup("x" * 40, RatingDistribution([1, 1, 1, 1, 1])),
+            Subgroup("y", RatingDistribution([1, 1, 1, 1, 1])),
+        ]
+        rm = RatingMap(
+            RatingMapSpec(Side.ITEM, "city", "food"),
+            SelectionCriteria.root(),
+            subgroups,
+            10,
+        )
+        assert "…" in render_histogram(rm)
+
+
+class TestRenderStep:
+    def test_joins_maps_with_title(self):
+        text = render_step([_map(), _map()], title="Step 1")
+        assert text.startswith("━━ Step 1")
+        assert text.count("GroupBy") == 2

@@ -1,0 +1,93 @@
+"""Tests for sampled (approximate) rating maps."""
+
+import pytest
+
+from repro.core.rating_maps import RatingMapSpec, build_rating_map
+from repro.core.sampling import approximate_rating_map, ordering_agreement
+from repro.datasets import yelp
+from repro.model import RatingGroup, SelectionCriteria, Side
+
+
+@pytest.fixture(scope="module")
+def group():
+    database = yelp(seed=9, scale_factor=0.05)
+    return RatingGroup(database, SelectionCriteria.root())
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return RatingMapSpec(Side.ITEM, "neighborhood", "food")
+
+
+class TestApproximateRatingMap:
+    def test_full_fraction_equals_exact(self, group, spec):
+        exact = build_rating_map(group, spec)
+        approx = approximate_rating_map(group, spec, sample_fraction=1.0)
+        assert approx.rating_map.covered == exact.covered
+        assert approx.mean_epsilon == 0.0
+        assert ordering_agreement(exact, approx.rating_map) == 1.0
+
+    def test_sample_sizes(self, group, spec):
+        approx = approximate_rating_map(group, spec, sample_fraction=0.25)
+        assert approx.sample_size == pytest.approx(0.25 * len(group), rel=0.05)
+        assert 0.2 < approx.sample_fraction < 0.3
+
+    def test_invalid_fraction(self, group, spec):
+        with pytest.raises(ValueError):
+            approximate_rating_map(group, spec, sample_fraction=0.0)
+
+    def test_epsilon_shrinks_with_fraction(self, group, spec):
+        small = approximate_rating_map(group, spec, sample_fraction=0.05)
+        large = approximate_rating_map(group, spec, sample_fraction=0.5)
+        assert large.mean_epsilon < small.mean_epsilon
+
+    def test_deterministic_given_seed(self, group, spec):
+        a = approximate_rating_map(group, spec, sample_fraction=0.2, seed=3)
+        b = approximate_rating_map(group, spec, sample_fraction=0.2, seed=3)
+        assert a.rating_map.pooled() == b.rating_map.pooled()
+
+    def test_means_within_epsilon_mostly(self, group, spec):
+        """The Hoeffding–Serfling bound holds for (nearly) all subgroups."""
+        exact = build_rating_map(group, spec)
+        exact_means = {sg.label: sg.average_score for sg in exact.subgroups}
+        violations = 0
+        checks = 0
+        for seed in range(5):
+            approx = approximate_rating_map(
+                group, spec, sample_fraction=0.3, seed=seed
+            )
+            for sg in approx.rating_map.subgroups:
+                if sg.label not in exact_means or sg.size < 10:
+                    continue
+                checks += 1
+                gap = abs(sg.average_score - exact_means[sg.label])
+                violations += gap > approx.epsilon_for(sg.label)
+        assert checks > 0
+        assert violations / checks <= 0.05
+
+    def test_ordering_mostly_preserved(self, group, spec):
+        """The [36] property: sampling keeps the subgroup ordering."""
+        exact = build_rating_map(group, spec)
+        agreements = [
+            ordering_agreement(
+                exact,
+                approximate_rating_map(
+                    group, spec, sample_fraction=0.3, seed=seed
+                ).rating_map,
+            )
+            for seed in range(5)
+        ]
+        assert sum(agreements) / len(agreements) >= 0.8
+
+
+class TestOrderingAgreement:
+    def test_no_shared_labels(self, group, spec):
+        exact = build_rating_map(group, spec)
+        other = build_rating_map(
+            group, RatingMapSpec(Side.ITEM, "price_range", "food")
+        )
+        assert ordering_agreement(exact, other) == 1.0  # vacuous
+
+    def test_self_agreement(self, group, spec):
+        exact = build_rating_map(group, spec)
+        assert ordering_agreement(exact, exact) == 1.0

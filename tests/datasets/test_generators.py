@@ -1,0 +1,218 @@
+"""Tests for the dataset generators (Table 2 shapes, effects, enrichment)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CategoricalAttribute,
+    GroupEffect,
+    MultiValuedAttribute,
+    NumericAttribute,
+    age_group_of,
+    generate_entities,
+    generate_ratings,
+    ground_truth_insights,
+    hotels,
+    location_of,
+    movielens,
+    verify_insight,
+    yelp,
+)
+from repro.model import Side
+
+
+@pytest.fixture(scope="module")
+def small_yelp():
+    return yelp(seed=1, scale_factor=0.02)
+
+
+@pytest.fixture(scope="module")
+def small_movielens():
+    return movielens(seed=1, scale_factor=0.1)
+
+
+class TestTable2Shapes:
+    def test_movielens_full_scale_statistics(self):
+        # construct at full scale to check Table 2 numbers (fast enough)
+        db = movielens(seed=0, scale_factor=1.0)
+        s = db.summary()
+        assert s["n_reviewers"] == 943
+        assert s["n_items"] == 1682
+        assert s["n_ratings"] == 100_000
+        assert s["n_dimensions"] == 1
+
+    def test_yelp_attribute_counts(self, small_yelp):
+        s = small_yelp.summary()
+        assert s["n_attributes"] == 24
+        assert s["max_values"] == 13
+        assert s["n_dimensions"] == 4
+        assert s["n_items"] == 93
+
+    def test_hotels_attribute_counts(self):
+        db = hotels(seed=0, scale_factor=0.05)
+        s = db.summary()
+        assert s["n_attributes"] == 8
+        assert s["max_values"] <= 62
+        assert s["n_dimensions"] == 4
+
+    def test_scale_factor_scales(self):
+        small = movielens(seed=0, scale_factor=0.05)
+        assert small.n_ratings == 5000
+
+    def test_invalid_scale(self):
+        for factory in (movielens, yelp, hotels):
+            with pytest.raises(ValueError):
+                factory(scale_factor=0)
+
+    def test_deterministic_given_seed(self):
+        a = yelp(seed=3, scale_factor=0.01)
+        b = yelp(seed=3, scale_factor=0.01)
+        assert (
+            a.dimension_scores("overall") == b.dimension_scores("overall")
+        ).all()
+
+    def test_scores_on_scale(self, small_yelp):
+        for dim in small_yelp.dimensions:
+            scores = small_yelp.dimension_scores(dim)
+            finite = scores[np.isfinite(scores)]
+            assert finite.min() >= 1 and finite.max() <= 5
+
+
+class TestEffects:
+    def test_movielens_insights_hold(self, small_movielens):
+        held = 0
+        for insight in ground_truth_insights("movielens"):
+            inside, outside = verify_insight(small_movielens, insight)
+            if np.isnan(inside) or np.isnan(outside):
+                continue
+            held += (inside < outside) == (insight.direction == "low")
+        assert held >= 4
+
+    def test_yelp_insights_hold(self):
+        db = yelp(seed=1, scale_factor=0.1)
+        held = 0
+        for insight in ground_truth_insights("yelp"):
+            inside, outside = verify_insight(db, insight)
+            held += (inside < outside) == (insight.direction == "low")
+        assert held >= 4
+
+    def test_ground_truth_lookup_strips_suffixes(self):
+        assert ground_truth_insights("yelp+irregular") == ground_truth_insights(
+            "yelp"
+        )
+        assert ground_truth_insights("movielens[20% reviewers]")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            ground_truth_insights("nope")
+
+    def test_effect_describe(self):
+        effect = GroupEffect(Side.ITEM, "genre", "Horror", "rating", -0.5)
+        assert "lower" in effect.describe()
+
+
+class TestSyntheticPrimitives:
+    def test_categorical_sampling_skewed(self):
+        attr = CategoricalAttribute("x", tuple("abcdef"), zipf_s=1.5)
+        rng = np.random.default_rng(0)
+        values = attr.sample(2000, rng)
+        assert values.count("a") > values.count("f")
+
+    def test_multivalued_sampling(self):
+        attr = MultiValuedAttribute("x", ("p", "q", "r"), max_members=2)
+        rng = np.random.default_rng(0)
+        rows = attr.sample(100, rng)
+        assert all(1 <= len(r) <= 2 for r in rows)
+
+    def test_numeric_sampling_range(self):
+        attr = NumericAttribute("year", 1990, 1999)
+        rng = np.random.default_rng(0)
+        values = attr.sample(200, rng)
+        assert min(values) >= 1990 and max(values) <= 1999
+
+    def test_generate_entities_schema(self):
+        rng = np.random.default_rng(0)
+        table = generate_entities(
+            10, "user_id", [CategoricalAttribute("g", ("a", "b"))], rng
+        )
+        assert table.attribute_names == ("user_id", "g")
+        assert "user_id" not in table.explorable_attributes
+
+    def test_generate_ratings_applies_effect(self):
+        rng = np.random.default_rng(0)
+        users = generate_entities(
+            200, "user_id", [CategoricalAttribute("g", ("a", "b"), zipf_s=0.1)], rng
+        )
+        items = generate_entities(20, "item_id", [], rng)
+        effect = GroupEffect(Side.REVIEWER, "g", "a", "score", -1.5)
+        ratings = generate_ratings(
+            users, items, 8000, ("score",), rng, effects=[effect], noise_sd=0.3
+        )
+        mask_a = users.column("g").equals_mask("a")
+        user_rows = {int(u): i for i, u in enumerate(users.numeric("user_id"))}
+        scores = ratings.numeric("score")
+        rated_by_a = np.array(
+            [mask_a[user_rows[int(u)]] for u in ratings.numeric("user_id")]
+        )
+        assert scores[rated_by_a].mean() < scores[~rated_by_a].mean() - 0.5
+
+
+class TestEnrichment:
+    def test_location_known_prefix(self):
+        assert location_of("10001") == ("New York", "NY")
+
+    def test_location_unknown_prefix_total(self):
+        city, state = location_of("99999")
+        assert city and state
+
+    def test_location_deterministic(self):
+        assert location_of("55555") == location_of("55555")
+
+    @pytest.mark.parametrize(
+        "age,expected",
+        [(13, "teen"), (18, "young"), (29, "young"), (30, "adult"), (55, "senior")],
+    )
+    def test_age_group(self, age, expected):
+        assert age_group_of(age) == expected
+
+    def test_age_group_invalid(self):
+        with pytest.raises(ValueError):
+            age_group_of(-1)
+
+    def test_movielens_city_state_consistent(self, small_movielens):
+        table = small_movielens.reviewers
+        for i in range(min(50, len(table))):
+            row = table.row(i)
+            assert (row["city"], row["state"]) == location_of(row["zip_code"])
+
+    def test_movielens_age_group_consistent(self, small_movielens):
+        table = small_movielens.reviewers
+        for i in range(min(50, len(table))):
+            row = table.row(i)
+            assert row["age_group"] == age_group_of(int(row["age"]))
+
+    def test_movielens_decade_consistent(self, small_movielens):
+        table = small_movielens.items
+        for i in range(min(50, len(table))):
+            row = table.row(i)
+            assert row["release_decade"] == f"{(int(row['release_year']) // 10) * 10}s"
+
+
+class TestViaText:
+    def test_yelp_via_text_builds(self):
+        db = yelp(seed=5, scale_factor=0.002, via_text=True)
+        assert db.n_ratings >= 500
+        # mined dimensions still on scale, with possible missing values
+        food = db.dimension_scores("food")
+        finite = food[np.isfinite(food)]
+        assert finite.size > 0
+        assert finite.min() >= 1 and finite.max() <= 5
+
+    def test_via_text_correlates_with_latent(self):
+        plain = yelp(seed=5, scale_factor=0.002, via_text=False)
+        mined = yelp(seed=5, scale_factor=0.002, via_text=True)
+        a = plain.dimension_scores("food")
+        b = mined.dimension_scores("food")
+        mask = np.isfinite(a) & np.isfinite(b)
+        corr = np.corrcoef(a[mask], b[mask])[0, 1]
+        assert corr > 0.5

@@ -1,0 +1,90 @@
+"""Tests for irregular-group injection and insight machinery."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import inject_irregular_groups, yelp
+from repro.datasets.insights import Insight
+from repro.model import RatingGroup, SelectionCriteria, Side
+
+
+@pytest.fixture(scope="module")
+def base():
+    return yelp(seed=4, scale_factor=0.02)
+
+
+@pytest.fixture(scope="module")
+def injected(base):
+    return inject_irregular_groups(base, seed=7)
+
+
+class TestInjection:
+    def test_returns_both_sides(self, injected):
+        __, groups = injected
+        assert {g.side for g in groups} == {Side.REVIEWER, Side.ITEM}
+
+    def test_original_database_untouched(self, base, injected):
+        modified, groups = injected
+        for group in groups:
+            original = base.dimension_scores(group.dimension)
+            rows = sorted(group.record_rows)
+            assert not (original[rows] == 1).all() or len(rows) == 0
+
+    def test_forced_records_are_one(self, injected):
+        modified, groups = injected
+        for group in groups:
+            scores = modified.dimension_scores(group.dimension)
+            rows = sorted(group.record_rows)
+            assert rows, "group must cover records"
+            assert (scores[rows] == 1).all()
+
+    def test_group_size_at_least_five(self, injected):
+        __, groups = injected
+        assert all(len(g.entity_ids) >= 5 for g in groups)
+
+    def test_description_matches_entities(self, injected):
+        modified, groups = injected
+        for group in groups:
+            criteria = SelectionCriteria(group.pairs)
+            table = modified.entity_table(group.side)
+            mask = table.mask(criteria.predicate(group.side))
+            key = modified.key(group.side)
+            ids = set(int(i) for i in table.numeric(key)[mask])
+            assert ids == set(group.entity_ids)
+
+    def test_record_rows_match_entities(self, injected):
+        modified, groups = injected
+        for group in groups:
+            criteria = SelectionCriteria(group.pairs)
+            rg = RatingGroup(modified, criteria)
+            assert set(int(r) for r in rg.rows) == set(group.record_rows)
+
+    def test_record_fraction_capped(self, base, injected):
+        __, groups = injected
+        for group in groups:
+            assert group.n_records <= 0.08 * base.n_ratings + 1
+
+    def test_pair_count_choices(self, base):
+        __, groups = inject_irregular_groups(
+            base, seed=3, n_pairs_choices=(2,)
+        )
+        assert all(len(g.pairs) == 2 for g in groups)
+
+    def test_describe(self, injected):
+        __, groups = injected
+        assert "forced to 1" in groups[0].describe()
+
+    def test_deterministic(self, base):
+        __, g1 = inject_irregular_groups(base, seed=11)
+        __, g2 = inject_irregular_groups(base, seed=11)
+        assert [g.pairs for g in g1] == [g.pairs for g in g2]
+
+
+class TestInsightObject:
+    def test_direction_validation(self):
+        with pytest.raises(ValueError):
+            Insight(Side.ITEM, "a", "b", "d", "sideways")
+
+    def test_describe(self):
+        insight = Insight(Side.ITEM, "genre", "Horror", "rating", "low")
+        assert "lowest" in insight.describe()

@@ -1,0 +1,118 @@
+"""Tests for repro.db.catalog, csvio and schema."""
+
+import pytest
+
+from repro.db import (
+    AttributeSpec,
+    Catalog,
+    ColumnType,
+    Table,
+    TableSchema,
+    load_table,
+    save_table,
+)
+from repro.exceptions import SchemaError, UnknownAttributeError
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_columns(
+        {
+            "id": [1, 2, 3],
+            "color": ["red", "red", "blue"],
+            "tags": [{"a", "b"}, {"a"}, set()],
+        },
+        explorable={"id": False},
+    )
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema.of(AttributeSpec("x"), AttributeSpec("x"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("")
+
+    def test_lookup(self):
+        schema = TableSchema.of(AttributeSpec("x", ColumnType.NUMERIC))
+        assert schema["x"].ctype is ColumnType.NUMERIC
+        assert "x" in schema and "y" not in schema
+
+    def test_unknown_lookup_raises(self):
+        schema = TableSchema.of(AttributeSpec("x"))
+        with pytest.raises(UnknownAttributeError):
+            schema["zzz"]
+
+    def test_with_and_without(self):
+        schema = TableSchema.of(AttributeSpec("a"), AttributeSpec("b"))
+        grown = schema.with_attribute(AttributeSpec("c"))
+        assert grown.names == ("a", "b", "c")
+        shrunk = grown.without_attributes({"a", "c"})
+        assert shrunk.names == ("b",)
+
+    def test_explorable_names(self):
+        schema = TableSchema.of(
+            AttributeSpec("a"), AttributeSpec("b", explorable=False)
+        )
+        assert schema.explorable_names == ("a",)
+
+
+class TestCatalog:
+    def test_categorical_domain(self, table):
+        domain = Catalog(table).domain("color")
+        assert domain.values == ("blue", "red")
+        assert dict(zip(domain.values, domain.counts)) == {"red": 2, "blue": 1}
+
+    def test_numeric_domain(self, table):
+        domain = Catalog(table).domain("id")
+        assert domain.values == (1, 2, 3)
+
+    def test_multivalued_domain_counts_members(self, table):
+        domain = Catalog(table).domain("tags")
+        assert dict(zip(domain.values, domain.counts)) == {"a": 2, "b": 1}
+
+    def test_frequent_values_order(self, table):
+        domain = Catalog(table).domain("color")
+        assert domain.frequent_values() == ("red", "blue")
+        assert domain.frequent_values(min_count=2) == ("red",)
+
+    def test_explorable_domains_skips_keys(self, table):
+        domains = Catalog(table).explorable_domains()
+        assert set(domains) == {"color", "tags"}
+
+    def test_total_values(self, table):
+        assert Catalog(table).total_values() == 4  # red, blue + a, b
+
+    def test_domain_cached(self, table):
+        catalog = Catalog(table)
+        assert catalog.domain("color") is catalog.domain("color")
+
+
+class TestCsvIO:
+    def test_roundtrip(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        save_table(table, path)
+        loaded = load_table(path, schema=table.schema)
+        assert len(loaded) == len(table)
+        assert loaded.row(0) == table.row(0)
+        assert loaded.row(2)["tags"] is None
+
+    def test_roundtrip_without_schema_infers(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        save_table(table, path)
+        loaded = load_table(path)
+        assert loaded.column("id").type is ColumnType.NUMERIC
+        assert loaded.row(0)["tags"] == frozenset({"a", "b"})
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert len(load_table(path)) == 0
+
+    def test_leading_zero_preserved_as_text(self, tmp_path):
+        path = tmp_path / "z.csv"
+        path.write_text("zip\n02139\n10001\n")
+        loaded = load_table(path)
+        assert loaded.row(0)["zip"] == "02139"

@@ -1,0 +1,177 @@
+"""Tests for repro.db.column (all three column implementations)."""
+
+import numpy as np
+import pytest
+
+from repro.db.column import (
+    CategoricalColumn,
+    MultiValuedColumn,
+    NumericColumn,
+    column_from_values,
+)
+from repro.db.types import ColumnType
+from repro.exceptions import ColumnTypeError
+
+
+class TestCategoricalColumn:
+    def test_roundtrip_values(self):
+        col = CategoricalColumn.from_values(["a", "b", "a", None])
+        assert col.to_list() == ["a", "b", "a", None]
+
+    def test_length(self):
+        assert len(CategoricalColumn.from_values(["x"] * 7)) == 7
+
+    def test_equals_mask(self):
+        col = CategoricalColumn.from_values(["a", "b", "a"])
+        assert col.equals_mask("a").tolist() == [True, False, True]
+
+    def test_equals_mask_unknown_value(self):
+        col = CategoricalColumn.from_values(["a", "b"])
+        assert not col.equals_mask("zzz").any()
+
+    def test_missing_never_matches(self):
+        col = CategoricalColumn.from_values([None, "a"])
+        assert col.equals_mask("a").tolist() == [False, True]
+
+    def test_isin_mask(self):
+        col = CategoricalColumn.from_values(["a", "b", "c"])
+        assert col.isin_mask(["a", "c"]).tolist() == [True, False, True]
+
+    def test_take_preserves_categories(self):
+        col = CategoricalColumn.from_values(["a", "b", "c"])
+        taken = col.take(np.array([2, 0]))
+        assert taken.to_list() == ["c", "a"]
+
+    def test_distinct_values_sorted(self):
+        col = CategoricalColumn.from_values(["b", "a", "b", None])
+        assert col.distinct_values() == ["a", "b"]
+
+    def test_group_codes_disjoint_and_labelled(self):
+        col = CategoricalColumn.from_values(["b", "a", "b"])
+        codes, labels = col.group_codes()
+        assert len(labels) == 2
+        assert labels[codes[0]] == "b"
+        assert labels[codes[1]] == "a"
+
+    def test_group_codes_missing_is_minus_one(self):
+        col = CategoricalColumn.from_values([None, "a"])
+        codes, labels = col.group_codes()
+        assert codes[0] == -1
+        assert labels == ["a"]
+
+    def test_code_out_of_range_rejected(self):
+        with pytest.raises(ColumnTypeError):
+            CategoricalColumn(np.array([5], dtype=np.int32), ["only"])
+
+    def test_non_string_values_coerced(self):
+        col = CategoricalColumn.from_values([1, 2, 1])
+        assert col.to_list() == ["1", "2", "1"]
+
+
+class TestNumericColumn:
+    def test_roundtrip_with_missing(self):
+        col = NumericColumn.from_values([1, None, 2.5])
+        assert col.to_list() == [1, None, 2.5]
+
+    def test_integers_come_back_as_int(self):
+        col = NumericColumn.from_values([3.0])
+        assert col.value_at(0) == 3
+        assert isinstance(col.value_at(0), int)
+
+    def test_equals_mask(self):
+        col = NumericColumn.from_values([1, 2, 1])
+        assert col.equals_mask(1).tolist() == [True, False, True]
+
+    def test_equals_mask_non_numeric_value(self):
+        col = NumericColumn.from_values([1, 2])
+        assert not col.equals_mask("abc").any()
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("<", [True, False, False]),
+            ("<=", [True, True, False]),
+            (">", [False, False, True]),
+            (">=", [False, True, True]),
+            ("!=", [True, False, True]),
+        ],
+    )
+    def test_compare_mask(self, op, expected):
+        col = NumericColumn.from_values([1, 2, 3])
+        assert col.compare_mask(op, 2).tolist() == expected
+
+    def test_compare_mask_nan_never_matches(self):
+        col = NumericColumn.from_values([None, 1])
+        assert col.compare_mask("!=", 5).tolist() == [False, True]
+
+    def test_compare_mask_bad_op(self):
+        with pytest.raises(ColumnTypeError):
+            NumericColumn.from_values([1]).compare_mask("~", 1)
+
+    def test_distinct_values(self):
+        col = NumericColumn.from_values([2, 1, 2, None])
+        assert col.distinct_values() == [1, 2]
+
+    def test_group_codes(self):
+        col = NumericColumn.from_values([3, 1, 3, None])
+        codes, labels = col.group_codes()
+        assert labels == [1, 3]
+        assert codes.tolist() == [1, 0, 1, -1]
+
+
+class TestMultiValuedColumn:
+    def test_roundtrip(self):
+        rows = [frozenset({"a", "b"}), frozenset(), frozenset({"c"})]
+        col = MultiValuedColumn(rows)
+        assert col.to_list() == [frozenset({"a", "b"}), None, frozenset({"c"})]
+
+    def test_equals_mask_is_containment(self):
+        col = MultiValuedColumn(
+            [frozenset({"a", "b"}), frozenset({"b"}), frozenset({"c"})]
+        )
+        assert col.equals_mask("b").tolist() == [True, True, False]
+
+    def test_equals_mask_unknown_member(self):
+        col = MultiValuedColumn([frozenset({"a"})])
+        assert not col.equals_mask("zzz").any()
+
+    def test_from_values_scalar_becomes_singleton(self):
+        col = MultiValuedColumn.from_values(["solo"])
+        assert col.value_at(0) == frozenset({"solo"})
+
+    def test_distinct_values_are_members(self):
+        col = MultiValuedColumn([frozenset({"b", "a"}), frozenset({"c"})])
+        assert col.distinct_values() == ["a", "b", "c"]
+
+    def test_group_codes_key_is_full_set(self):
+        col = MultiValuedColumn(
+            [frozenset({"a", "b"}), frozenset({"a"}), frozenset({"b", "a"})]
+        )
+        codes, labels = col.group_codes()
+        assert codes[0] == codes[2] != codes[1]
+        assert "a | b" in labels
+
+    def test_group_codes_empty_set_missing(self):
+        col = MultiValuedColumn([frozenset(), frozenset({"x"})])
+        codes, __ = col.group_codes()
+        assert codes[0] == -1
+
+    def test_take(self):
+        col = MultiValuedColumn([frozenset({"a"}), frozenset({"b"})])
+        assert col.take(np.array([1])).to_list() == [frozenset({"b"})]
+
+
+class TestColumnFromValues:
+    def test_dispatch_categorical(self):
+        assert column_from_values(["a"]).type is ColumnType.CATEGORICAL
+
+    def test_dispatch_numeric(self):
+        assert column_from_values([1.0]).type is ColumnType.NUMERIC
+
+    def test_dispatch_multivalued(self):
+        assert column_from_values([{"a"}]).type is ColumnType.MULTI_VALUED
+
+    def test_forced_type(self):
+        col = column_from_values([1, 2], ColumnType.CATEGORICAL)
+        assert col.type is ColumnType.CATEGORICAL
+        assert col.to_list() == ["1", "2"]

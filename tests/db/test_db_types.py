@@ -1,0 +1,43 @@
+"""Tests for repro.db.types (column-type inference)."""
+
+from repro.db.types import ColumnType, infer_column_type
+
+
+class TestInferColumnType:
+    def test_numeric_ints(self):
+        assert infer_column_type([1, 2, 3]) is ColumnType.NUMERIC
+
+    def test_numeric_floats(self):
+        assert infer_column_type([1.5, 2.0]) is ColumnType.NUMERIC
+
+    def test_numeric_with_none(self):
+        assert infer_column_type([1, None, 3]) is ColumnType.NUMERIC
+
+    def test_strings_are_categorical(self):
+        assert infer_column_type(["a", "b"]) is ColumnType.CATEGORICAL
+
+    def test_mixed_numeric_string_is_categorical(self):
+        assert infer_column_type([1, "a"]) is ColumnType.CATEGORICAL
+
+    def test_bools_are_categorical(self):
+        assert infer_column_type([True, False]) is ColumnType.CATEGORICAL
+
+    def test_sets_are_multivalued(self):
+        assert infer_column_type([{"a"}, {"b"}]) is ColumnType.MULTI_VALUED
+
+    def test_frozensets_are_multivalued(self):
+        assert (
+            infer_column_type([frozenset({"a", "b"})]) is ColumnType.MULTI_VALUED
+        )
+
+    def test_lists_are_multivalued(self):
+        assert infer_column_type([["a", "b"]]) is ColumnType.MULTI_VALUED
+
+    def test_one_set_forces_multivalued(self):
+        assert infer_column_type([1, 2, {"a"}]) is ColumnType.MULTI_VALUED
+
+    def test_empty_defaults_categorical(self):
+        assert infer_column_type([]) is ColumnType.CATEGORICAL
+
+    def test_all_none_defaults_categorical(self):
+        assert infer_column_type([None, None]) is ColumnType.CATEGORICAL

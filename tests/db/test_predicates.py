@@ -1,0 +1,168 @@
+"""Tests for repro.db.predicates, including algebra property tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db import Table
+from repro.db.predicates import (
+    And,
+    Cmp,
+    Eq,
+    In,
+    Not,
+    Or,
+    TruePredicate,
+    conjunction,
+)
+from repro.exceptions import PredicateError
+
+
+@pytest.fixture(scope="module")
+def table() -> Table:
+    return Table.from_columns(
+        {
+            "color": ["red", "blue", "red", "green", None],
+            "size": [1, 2, 3, 4, 5],
+            "tags": [{"a"}, {"a", "b"}, {"b"}, set(), {"c"}],
+        }
+    )
+
+
+class TestLeaves:
+    def test_true_matches_all(self, table):
+        assert TruePredicate().mask(table).all()
+
+    def test_eq_categorical(self, table):
+        assert Eq("color", "red").mask(table).tolist() == [
+            True, False, True, False, False,
+        ]
+
+    def test_eq_multivalued_containment(self, table):
+        assert Eq("tags", "a").mask(table).tolist() == [
+            True, True, False, False, False,
+        ]
+
+    def test_in(self, table):
+        assert In("color", ("red", "green")).mask(table).sum() == 3
+
+    def test_cmp(self, table):
+        assert Cmp("size", ">=", 4).mask(table).tolist() == [
+            False, False, False, True, True,
+        ]
+
+    def test_cmp_on_categorical_raises(self, table):
+        with pytest.raises(PredicateError):
+            Cmp("color", ">", 1).mask(table)
+
+    def test_cmp_invalid_op_rejected_at_construction(self):
+        with pytest.raises(PredicateError):
+            Cmp("size", "=", 1)
+
+
+class TestCombinators:
+    def test_and(self, table):
+        mask = (Eq("color", "red") & Cmp("size", ">", 1)).mask(table)
+        assert mask.tolist() == [False, False, True, False, False]
+
+    def test_or(self, table):
+        mask = (Eq("color", "blue") | Eq("color", "green")).mask(table)
+        assert mask.sum() == 2
+
+    def test_not(self, table):
+        mask = (~Eq("color", "red")).mask(table)
+        assert mask.tolist() == [False, True, False, True, True]
+
+    def test_and_flattens(self):
+        pred = Eq("a", 1) & (Eq("b", 2) & Eq("c", 3))
+        assert isinstance(pred, And)
+        assert len(pred.operands) == 3
+
+    def test_and_drops_true(self):
+        pred = Eq("a", 1) & TruePredicate()
+        assert pred == Eq("a", 1)
+
+    def test_or_flattens(self):
+        pred = Eq("a", 1) | (Eq("b", 2) | Eq("c", 3))
+        assert isinstance(pred, Or)
+        assert len(pred.operands) == 3
+
+    def test_attributes_collected(self):
+        pred = (Eq("a", 1) & Eq("b", 2)) | Not(Eq("c", 3))
+        assert pred.attributes() == frozenset({"a", "b", "c"})
+
+    def test_value_equality_and_hash(self):
+        assert Eq("a", 1) == Eq("a", 1)
+        assert hash(Eq("a", 1)) == hash(Eq("a", 1))
+        assert Eq("a", 1) != Eq("a", 2)
+
+
+class TestConjunction:
+    def test_empty_is_true(self, table):
+        assert conjunction({}).mask(table).all()
+
+    def test_single_pair(self):
+        assert conjunction({"a": 1}) == Eq("a", 1)
+
+    def test_multiple_pairs(self, table):
+        pred = conjunction({"color": "red", "size": 3})
+        assert pred.mask(table).tolist() == [False, False, True, False, False]
+
+
+# -- property-based: boolean algebra laws over random predicates ------------
+
+_colors = st.sampled_from(["red", "blue", "green", "purple"])
+_sizes = st.integers(min_value=0, max_value=6)
+
+
+def _leaf(draw_color, draw_size):
+    return st.one_of(
+        st.builds(Eq, st.just("color"), draw_color),
+        st.builds(lambda v: Cmp("size", ">=", float(v)), draw_size),
+    )
+
+
+_predicates = st.recursive(
+    _leaf(_colors, _sizes),
+    lambda children: st.one_of(
+        st.builds(lambda a, b: And((a, b)), children, children),
+        st.builds(lambda a, b: Or((a, b)), children, children),
+        st.builds(Not, children),
+    ),
+    max_leaves=6,
+)
+
+
+@pytest.fixture(scope="module")
+def algebra_table() -> Table:
+    return Table.from_columns(
+        {
+            "color": ["red", "blue", "green", "purple", "red", "blue"],
+            "size": [0, 1, 2, 3, 4, 5],
+        }
+    )
+
+
+class TestAlgebraProperties:
+    @given(p=_predicates)
+    def test_double_negation(self, p):
+        table = Table.from_columns(
+            {"color": ["red", "blue", "green"], "size": [1, 3, 5]}
+        )
+        assert (Not(Not(p)).mask(table) == p.mask(table)).all()
+
+    @given(p=_predicates, q=_predicates)
+    def test_de_morgan(self, p, q):
+        table = Table.from_columns(
+            {"color": ["red", "blue", "green", "purple"], "size": [0, 2, 4, 6]}
+        )
+        left = Not(And((p, q))).mask(table)
+        right = Or((Not(p), Not(q))).mask(table)
+        assert (left == right).all()
+
+    @given(p=_predicates)
+    def test_excluded_middle(self, p):
+        table = Table.from_columns(
+            {"color": ["red", "purple"], "size": [2, 5]}
+        )
+        assert Or((p, Not(p))).mask(table).all()

@@ -1,0 +1,166 @@
+"""Tests for the tiny SQL WHERE dialect."""
+
+import pytest
+
+from repro.db import Table, parse_select, parse_where
+from repro.db.predicates import And, Cmp, Eq, In, Not, Or, TruePredicate
+from repro.exceptions import SQLParseError
+
+
+@pytest.fixture(scope="module")
+def table() -> Table:
+    return Table.from_columns(
+        {
+            "city": ["NYC", "Austin", "NYC", "Detroit"],
+            "year": [1990, 1995, 2000, 2005],
+        }
+    )
+
+
+class TestParseWhere:
+    def test_simple_equality(self):
+        assert parse_where("city = 'NYC'") == Eq("city", "NYC")
+
+    def test_numeric_equality(self):
+        assert parse_where("year = 1995") == Eq("year", 1995)
+
+    def test_comparison(self):
+        assert parse_where("year >= 2000") == Cmp("year", ">=", 2000.0)
+
+    def test_not_equal_both_spellings(self):
+        assert parse_where("year != 3") == parse_where("year <> 3")
+
+    def test_in_list(self):
+        pred = parse_where("city IN ('NYC', 'Austin')")
+        assert pred == In("city", ("NYC", "Austin"))
+
+    def test_and_or_precedence(self):
+        pred = parse_where("city = 'NYC' OR city = 'Austin' AND year > 1993")
+        # AND binds tighter than OR
+        assert isinstance(pred, Or)
+
+    def test_parentheses(self):
+        pred = parse_where("(city = 'NYC' OR city = 'Austin') AND year > 1993")
+        assert isinstance(pred, And)
+
+    def test_not(self):
+        pred = parse_where("NOT city = 'NYC'")
+        assert isinstance(pred, Not)
+
+    def test_escaped_quote(self):
+        assert parse_where("city = 'Joe''s'") == Eq("city", "Joe's")
+
+    def test_bare_word_literal(self):
+        assert parse_where("city = NYC") == Eq("city", "NYC")
+
+    def test_empty_is_true(self):
+        assert parse_where("") == TruePredicate()
+        assert parse_where("   ") == TruePredicate()
+
+    def test_case_insensitive_keywords(self):
+        pred = parse_where("city = 'NYC' and year > 1990")
+        assert isinstance(pred, And)
+
+    def test_evaluates_against_table(self, table):
+        pred = parse_where("city = 'NYC' AND year >= 2000")
+        assert table.filter(pred).numeric("year").tolist() == [2000]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "city =",
+            "= 'NYC'",
+            "city = 'NYC' AND",
+            "city IN ('a'",
+            "city ~ 3",
+            "year > 'abc' zz",
+            "city = 'NYC' trailing",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(SQLParseError):
+            parse_where(bad)
+
+    def test_comparison_needs_numeric_literal(self):
+        with pytest.raises(SQLParseError):
+            parse_where("year > abc")
+
+
+class TestParseSelect:
+    def test_full_select(self):
+        name, pred = parse_select("SELECT * FROM reviewers WHERE gender = 'F'")
+        assert name == "reviewers"
+        assert pred == Eq("gender", "F")
+
+    def test_select_without_where(self):
+        name, pred = parse_select("SELECT * FROM items")
+        assert name == "items"
+        assert pred == TruePredicate()
+
+    def test_bare_where_expression(self):
+        name, pred = parse_select("gender = 'F'")
+        assert name is None
+        assert pred == Eq("gender", "F")
+
+    def test_case_insensitive(self):
+        name, __ = parse_select("select * from T where x = 1")
+        assert name == "T"
+
+
+# -- to_sql round-trip property tests ---------------------------------------
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.predicates import to_sql
+
+_idents = st.sampled_from(["city", "year", "genre", "occupation"])
+_strings = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=" '_-"),
+    min_size=1,
+    max_size=10,
+)
+_sql_leaves = st.one_of(
+    st.builds(Eq, _idents, _strings),
+    st.builds(Eq, _idents, st.integers(-100, 100)),
+    st.builds(
+        lambda op, v: Cmp("year", op, float(v)),  # the only numeric column
+        st.sampled_from(["<", "<=", ">", ">=", "!="]),
+        st.integers(-50, 50),
+    ),
+    st.builds(lambda a, vs: In(a, tuple(vs)), _idents, st.lists(_strings, min_size=1, max_size=3)),
+    st.just(TruePredicate()),
+)
+_sql_predicates = st.recursive(
+    _sql_leaves,
+    lambda children: st.one_of(
+        st.builds(lambda a, b: And((a, b)), children, children),
+        st.builds(lambda a, b: Or((a, b)), children, children),
+        st.builds(Not, children),
+    ),
+    max_leaves=5,
+)
+
+
+class TestToSqlRoundtrip:
+    @given(p=_sql_predicates)
+    def test_roundtrip_semantics(self, p):
+        """Parsing to_sql(p) yields a predicate with identical semantics."""
+        reparsed = parse_where(to_sql(p))
+        table = Table.from_columns(
+            {
+                "city": ["NYC", "Austin", None, "NY C"],
+                "year": [1990, 2000, 2010, None],
+                "genre": ["a", "b", "c", "d"],
+                "occupation": ["x", "y", "x", None],
+            }
+        )
+        assert (p.mask(table) == reparsed.mask(table)).all()
+
+    def test_numeric_eq_roundtrip(self):
+        p = Eq("year", 1995)
+        assert parse_where(to_sql(p)) == p
+
+    def test_string_with_quote(self):
+        p = Eq("city", "Joe's")
+        assert parse_where(to_sql(p)) == p

@@ -1,0 +1,129 @@
+"""Tests for repro.db.table."""
+
+import numpy as np
+import pytest
+
+from repro.db import ColumnType, Table
+from repro.db.column import NumericColumn
+from repro.db.predicates import Cmp, Eq, TruePredicate
+from repro.db.schema import AttributeSpec, TableSchema
+from repro.exceptions import SchemaError, UnknownAttributeError
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_columns(
+        {
+            "id": [1, 2, 3, 4],
+            "color": ["red", "blue", "red", None],
+            "tags": [{"a"}, {"b"}, {"a", "b"}, set()],
+        },
+        explorable={"id": False},
+    )
+
+
+class TestConstruction:
+    def test_from_columns_infers_schema(self, table):
+        assert table.schema.ctype("id") is ColumnType.NUMERIC
+        assert table.schema.ctype("color") is ColumnType.CATEGORICAL
+        assert table.schema.ctype("tags") is ColumnType.MULTI_VALUED
+
+    def test_explorable_flag_respected(self, table):
+        assert "id" not in table.explorable_attributes
+        assert "color" in table.explorable_attributes
+
+    def test_from_rows(self):
+        t = Table.from_rows([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert len(t) == 2
+        assert t.row(1) == {"a": 2, "b": "y"}
+
+    def test_from_rows_missing_key_becomes_none(self):
+        t = Table.from_rows([{"a": 1, "b": "x"}, {"a": 2}])
+        assert t.row(1)["b"] is None
+
+    def test_empty(self):
+        schema = TableSchema.of(AttributeSpec("x", ColumnType.NUMERIC))
+        assert len(Table.empty(schema)) == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_columns({"a": [1, 2], "b": [1]})
+
+    def test_schema_column_mismatch_rejected(self):
+        schema = TableSchema.of(AttributeSpec("x", ColumnType.NUMERIC))
+        with pytest.raises(SchemaError):
+            Table(schema, {})
+
+
+class TestAccess:
+    def test_unknown_column_raises(self, table):
+        with pytest.raises(UnknownAttributeError):
+            table.column("nope")
+
+    def test_row_materialisation(self, table):
+        assert table.row(0) == {"id": 1, "color": "red", "tags": frozenset({"a"})}
+
+    def test_rows_iterates_all(self, table):
+        assert len(list(table.rows())) == 4
+
+    def test_numeric_accessor(self, table):
+        assert table.numeric("id").tolist() == [1, 2, 3, 4]
+
+    def test_numeric_on_categorical_raises(self, table):
+        with pytest.raises(SchemaError):
+            table.numeric("color")
+
+    def test_distinct(self, table):
+        assert table.distinct("color") == ["blue", "red"]
+
+
+class TestRelationalOps:
+    def test_filter(self, table):
+        filtered = table.filter(Eq("color", "red"))
+        assert len(filtered) == 2
+        assert filtered.numeric("id").tolist() == [1, 3]
+
+    def test_filter_true_keeps_all(self, table):
+        assert len(table.filter(TruePredicate())) == 4
+
+    def test_filter_cmp(self, table):
+        assert len(table.filter(Cmp("id", ">", 2))) == 2
+
+    def test_take_order(self, table):
+        taken = table.take(np.array([3, 0]))
+        assert taken.numeric("id").tolist() == [4, 1]
+
+    def test_select_projection(self, table):
+        projected = table.select(["color"])
+        assert projected.attribute_names == ("color",)
+        assert len(projected) == 4
+
+    def test_drop(self, table):
+        assert table.drop({"tags"}).attribute_names == ("id", "color")
+
+    def test_replace_column(self, table):
+        new = table.replace_column("id", NumericColumn.from_values([9, 8, 7, 6]))
+        assert new.numeric("id").tolist() == [9, 8, 7, 6]
+        assert table.numeric("id").tolist() == [1, 2, 3, 4]  # original intact
+
+    def test_replace_column_wrong_length(self, table):
+        with pytest.raises(SchemaError):
+            table.replace_column("id", NumericColumn.from_values([1]))
+
+    def test_replace_column_wrong_type(self, table):
+        with pytest.raises(SchemaError):
+            table.replace_column("color", NumericColumn.from_values([1, 2, 3, 4]))
+
+    def test_replace_unknown_column(self, table):
+        with pytest.raises(UnknownAttributeError):
+            table.replace_column("nope", NumericColumn.from_values([1, 2, 3, 4]))
+
+
+class TestDisplay:
+    def test_repr_mentions_shape(self, table):
+        assert "4 rows" in repr(table)
+
+    def test_head_str_truncates(self, table):
+        preview = table.head_str(2)
+        assert "more rows" in preview
+        assert "color" in preview

@@ -1,0 +1,100 @@
+"""Tests for the log-based personalisation extension."""
+
+import pytest
+
+from repro.core.history import ExplorationLog
+from repro.core.modes import run_fully_automated
+from repro.core.utility import SeenMaps
+from repro.extensions import PersonalizedRecommendationBuilder, PreferenceModel
+from repro.model import SelectionCriteria
+
+
+@pytest.fixture(scope="module")
+def logs(tiny_engine):
+    paths = [
+        run_fully_automated(tiny_engine.session(), n_steps=2) for __ in range(2)
+    ]
+    return [
+        ExplorationLog.from_path(p, dataset="tiny", user="u") for p in paths
+    ]
+
+
+class TestPreferenceModel:
+    def test_empty_model_neutral(self):
+        model = PreferenceModel()
+        assert model.is_empty
+        assert model.attribute_affinity("item", "city") == 0.5
+        assert model.dimension_affinity("food") == 0.5
+
+    def test_from_logs_counts(self, logs):
+        model = PreferenceModel.from_logs(logs)
+        assert not model.is_empty
+        assert sum(model.attribute_counts.values()) == sum(
+            len(log.shown_specs()) for log in logs
+        )
+
+    def test_frequent_attribute_scores_higher(self):
+        model = PreferenceModel(
+            attribute_counts={("item", "city"): 9, ("item", "wifi"): 1},
+            dimension_counts={"food": 10},
+        )
+        assert model.attribute_affinity("item", "city") > model.attribute_affinity(
+            "item", "wifi"
+        )
+
+    def test_frequent_dimension_scores_higher(self):
+        model = PreferenceModel(
+            attribute_counts={("item", "a"): 1},
+            dimension_counts={"food": 9, "service": 1},
+        )
+        assert model.dimension_affinity("food") > model.dimension_affinity(
+            "service"
+        )
+
+
+class TestPersonalizedBuilder:
+    def test_alpha_validated(self, tiny_engine):
+        with pytest.raises(ValueError):
+            PersonalizedRecommendationBuilder(
+                tiny_engine.recommender, PreferenceModel(), alpha=1.5
+            )
+
+    def test_empty_model_matches_stock(self, tiny_engine, tiny_db):
+        stock = tiny_engine.recommend(SelectionCriteria.root())
+        personalized = PersonalizedRecommendationBuilder(
+            tiny_engine.recommender, PreferenceModel()
+        ).recommend(SelectionCriteria.root(), SeenMaps(tiny_db.dimensions))
+        assert [r.target for r in personalized] == [r.target for r in stock]
+
+    def test_reranking_respects_o(self, tiny_engine, tiny_db, logs):
+        builder = PersonalizedRecommendationBuilder(
+            tiny_engine.recommender, PreferenceModel.from_logs(logs), alpha=0.5
+        )
+        recos = builder.recommend(
+            SelectionCriteria.root(), SeenMaps(tiny_db.dimensions), o=2
+        )
+        assert len(recos) == 2
+
+    def test_strong_preference_changes_ranking(self, tiny_engine, tiny_db):
+        stock = tiny_engine.recommend(SelectionCriteria.root(), o=9)
+        if len(stock) < 2:
+            pytest.skip("not enough recommendations to rerank")
+        # build a model that loves exactly what the LAST stock reco shows
+        last = stock[-1]
+        counts: dict = {}
+        dims: dict = {}
+        for rm in last.preview.selected:
+            key = (rm.spec.side.value, rm.spec.attribute)
+            counts[key] = counts.get(key, 0) + 50
+            dims[rm.dimension] = dims.get(rm.dimension, 0) + 50
+        model = PreferenceModel(attribute_counts=counts, dimension_counts=dims)
+        builder = PersonalizedRecommendationBuilder(
+            tiny_engine.recommender, model, alpha=0.9
+        )
+        personalized = builder.recommend(
+            SelectionCriteria.root(), SeenMaps(tiny_db.dimensions), o=9
+        )
+        # the loved operation should move up the ranking
+        stock_rank = [r.target for r in stock].index(last.target)
+        new_rank = [r.target for r in personalized].index(last.target)
+        assert new_rank <= stock_rank

@@ -1,0 +1,53 @@
+"""Tests for the bipartite graph view."""
+
+import pytest
+
+from repro.model import (
+    RatingGroup,
+    SelectionCriteria,
+    density,
+    item_degrees,
+    reviewer_degrees,
+    to_bipartite_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def graph(tiny_db):
+    return to_bipartite_graph(tiny_db)
+
+
+class TestBipartiteGraph:
+    def test_node_counts(self, graph, tiny_db):
+        reviewers = [n for n, d in graph.nodes(data=True) if d["side"] == "reviewer"]
+        items = [n for n, d in graph.nodes(data=True) if d["side"] == "item"]
+        assert len(reviewers) <= len(tiny_db.reviewers)
+        assert len(items) <= len(tiny_db.items)
+
+    def test_edges_carry_scores(self, graph, tiny_db):
+        __, __, data = next(iter(graph.edges(data=True)))
+        assert set(data["scores"]) <= set(tiny_db.dimensions)
+
+    def test_restricted_to_group(self, tiny_db):
+        group = RatingGroup(tiny_db, SelectionCriteria.of(item={"city": "NYC"}))
+        sub = to_bipartite_graph(tiny_db, group=group)
+        assert sub.number_of_edges() <= len(group)
+
+    def test_single_dimension(self, tiny_db):
+        g = to_bipartite_graph(tiny_db, dimension="food")
+        __, __, data = next(iter(g.edges(data=True)))
+        assert set(data["scores"]) <= {"food"}
+
+    def test_degrees(self, graph):
+        r = reviewer_degrees(graph)
+        i = item_degrees(graph)
+        assert all(d >= 1 for d in r.values())
+        assert all(d >= 1 for d in i.values())
+
+    def test_density_in_unit_interval(self, graph):
+        assert 0 < density(graph) <= 1
+
+    def test_density_empty_graph(self):
+        import networkx as nx
+
+        assert density(nx.Graph()) == 0.0

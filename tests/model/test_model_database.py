@@ -1,0 +1,142 @@
+"""Tests for repro.model.database (SubjectiveDatabase)."""
+
+import numpy as np
+import pytest
+
+from repro.db import Table
+from repro.exceptions import SchemaError
+from repro.model import Side, SubjectiveDatabase
+
+
+def _mini_db(**overrides):
+    users = Table.from_columns(
+        {"user_id": [10, 20, 30], "gender": ["F", "M", "F"]},
+        explorable={"user_id": False},
+    )
+    items = Table.from_columns(
+        {"item_id": [1, 2], "city": ["NYC", "Austin"]},
+        explorable={"item_id": False},
+    )
+    ratings = Table.from_columns(
+        {
+            "user_id": [10, 10, 20, 30],
+            "item_id": [1, 2, 1, 2],
+            "score": [5, 4, 3, 1],
+        },
+        explorable={"user_id": False, "item_id": False},
+    )
+    kwargs = dict(
+        reviewers=users,
+        items=items,
+        ratings=ratings,
+        dimensions=("score",),
+        name="mini",
+    )
+    kwargs.update(overrides)
+    return SubjectiveDatabase(**kwargs)
+
+
+class TestConstruction:
+    def test_valid(self):
+        db = _mini_db()
+        assert db.n_ratings == 4
+        assert db.dimensions == ("score",)
+
+    def test_missing_dimension_column(self):
+        with pytest.raises(SchemaError):
+            _mini_db(dimensions=("nope",))
+
+    def test_empty_dimensions(self):
+        with pytest.raises(SchemaError):
+            _mini_db(dimensions=())
+
+    def test_unknown_rating_reference(self):
+        bad_ratings = Table.from_columns(
+            {"user_id": [99], "item_id": [1], "score": [5]},
+            explorable={"user_id": False, "item_id": False},
+        )
+        with pytest.raises(SchemaError):
+            _mini_db(ratings=bad_ratings)
+
+    def test_duplicate_entity_id(self):
+        users = Table.from_columns(
+            {"user_id": [10, 10], "gender": ["F", "M"]},
+            explorable={"user_id": False},
+        )
+        with pytest.raises(SchemaError):
+            _mini_db(reviewers=users)
+
+    def test_bad_scale(self):
+        with pytest.raises(SchemaError):
+            _mini_db(scale=1)
+
+
+class TestAlignment:
+    def test_entity_rows_for_ratings(self):
+        db = _mini_db()
+        assert db.entity_rows_for_ratings(Side.REVIEWER).tolist() == [0, 0, 1, 2]
+        assert db.entity_rows_for_ratings(Side.ITEM).tolist() == [0, 1, 0, 1]
+
+    def test_rating_rows_for_entities(self):
+        db = _mini_db()
+        mask = np.array([True, False, False])  # only user 10
+        assert db.rating_rows_for_entities(Side.REVIEWER, mask).tolist() == [
+            True, True, False, False,
+        ]
+
+    def test_aligned_grouping(self):
+        db = _mini_db()
+        grouping = db.aligned_grouping(Side.REVIEWER, "gender")
+        # ratings by users 10,10,20,30 → F,F,M,F
+        labels = [grouping.labels[c] for c in grouping.codes]
+        assert labels == ["F", "F", "M", "F"]
+
+    def test_aligned_grouping_cached(self):
+        db = _mini_db()
+        assert db.aligned_grouping(Side.ITEM, "city") is db.aligned_grouping(
+            Side.ITEM, "city"
+        )
+
+    def test_dimension_scores(self):
+        db = _mini_db()
+        assert db.dimension_scores("score").tolist() == [5, 4, 3, 1]
+
+    def test_dimension_scores_unknown(self):
+        with pytest.raises(SchemaError):
+            _mini_db().dimension_scores("nope")
+
+
+class TestDerivedViews:
+    def test_explorable_attributes_exclude_keys(self):
+        db = _mini_db()
+        assert db.explorable_attributes(Side.REVIEWER) == ("gender",)
+        assert db.explorable_attributes(Side.ITEM) == ("city",)
+
+    def test_grouping_attributes(self):
+        db = _mini_db()
+        assert db.grouping_attributes() == (
+            (Side.REVIEWER, "gender"),
+            (Side.ITEM, "city"),
+        )
+
+    def test_summary_shape(self):
+        s = _mini_db().summary()
+        assert s["n_ratings"] == 4
+        assert s["n_reviewers"] == 3
+        assert s["n_items"] == 2
+        assert s["n_dimensions"] == 1
+
+    def test_restrict(self):
+        db = _mini_db().restrict(reviewer_attributes=())
+        assert db.explorable_attributes(Side.REVIEWER) == ()
+        assert db.explorable_attributes(Side.ITEM) == ("city",)
+
+    def test_sample_reviewers(self):
+        db = _mini_db().sample_reviewers(0.67, seed=1)
+        assert len(db.reviewers) == 2
+        # only sampled reviewers' records survive
+        assert db.n_ratings < 4 or len(db.reviewers) == 3
+
+    def test_sample_reviewers_bad_fraction(self):
+        with pytest.raises(ValueError):
+            _mini_db().sample_reviewers(0.0)

@@ -1,0 +1,114 @@
+"""Tests for repro.model.operations (neighbourhood enumeration)."""
+
+import pytest
+
+from repro.exceptions import OperationError
+from repro.model import (
+    AVPair,
+    OperationKind,
+    SelectionCriteria,
+    Side,
+    apply_operation,
+    enumerate_operations,
+)
+
+
+class TestEnumeration:
+    def test_root_yields_only_filters(self, tiny_db):
+        ops = list(enumerate_operations(tiny_db, SelectionCriteria.root()))
+        assert ops
+        assert all(op.kind is OperationKind.FILTER for op in ops)
+
+    def test_filter_targets_extend_current(self, tiny_db):
+        current = SelectionCriteria.of(reviewer={"gender": "F"})
+        ops = list(enumerate_operations(tiny_db, current))
+        filters = [op for op in ops if op.kind is OperationKind.FILTER]
+        assert all(len(op.target) == 2 for op in filters)
+
+    def test_generalize_removes_pair(self, tiny_db):
+        current = SelectionCriteria.of(reviewer={"gender": "F", "age_group": "young"})
+        ops = list(enumerate_operations(tiny_db, current))
+        rollups = [op for op in ops if op.kind is OperationKind.GENERALIZE]
+        assert len(rollups) == 2
+        assert all(len(op.target) == 1 for op in rollups)
+
+    def test_change_swaps_value(self, tiny_db):
+        current = SelectionCriteria.of(reviewer={"gender": "F"})
+        ops = list(enumerate_operations(tiny_db, current))
+        changes = [op for op in ops if op.kind is OperationKind.CHANGE]
+        assert changes
+        assert all(
+            op.target.side_pairs(Side.REVIEWER)["gender"] != "F" for op in changes
+        )
+
+    def test_no_duplicate_targets(self, tiny_db):
+        current = SelectionCriteria.of(reviewer={"gender": "F"})
+        ops = list(enumerate_operations(tiny_db, current, include_compound=True))
+        targets = [op.target for op in ops]
+        assert len(targets) == len(set(targets))
+
+    def test_never_yields_current(self, tiny_db):
+        current = SelectionCriteria.of(reviewer={"gender": "F"})
+        ops = list(enumerate_operations(tiny_db, current, include_compound=True))
+        assert current not in [op.target for op in ops]
+
+    def test_edit_distance_bounded_by_two(self, tiny_db):
+        current = SelectionCriteria.of(
+            reviewer={"gender": "F"}, item={"city": "NYC"}
+        )
+        ops = list(enumerate_operations(tiny_db, current, include_compound=True))
+        assert all(op.target.edit_distance(current) <= 2 for op in ops)
+
+    def test_max_values_cap(self, tiny_db):
+        ops_all = list(enumerate_operations(tiny_db, SelectionCriteria.root()))
+        ops_capped = list(
+            enumerate_operations(
+                tiny_db, SelectionCriteria.root(), max_values_per_attribute=1
+            )
+        )
+        assert len(ops_capped) < len(ops_all)
+
+    def test_compound_flag_adds_candidates(self, tiny_db):
+        current = SelectionCriteria.of(reviewer={"gender": "F"})
+        plain = list(enumerate_operations(tiny_db, current))
+        compound = list(enumerate_operations(tiny_db, current, include_compound=True))
+        assert len(compound) > len(plain)
+        assert any(op.kind is OperationKind.COMPOUND for op in compound)
+
+    def test_excludes_attributes_already_fixed(self, tiny_db):
+        current = SelectionCriteria.of(reviewer={"gender": "F"})
+        ops = list(enumerate_operations(tiny_db, current))
+        adds = [
+            p
+            for op in ops
+            if op.kind is OperationKind.FILTER
+            for p in op.added
+        ]
+        assert all(
+            (p.side, p.attribute) != (Side.REVIEWER, "gender") for p in adds
+        )
+
+
+class TestApplyOperation:
+    def test_apply_yields_group(self, tiny_db):
+        ops = list(enumerate_operations(tiny_db, SelectionCriteria.root()))
+        group = apply_operation(tiny_db, ops[0])
+        assert len(group) > 0
+
+    def test_apply_empty_raises(self, tiny_db):
+        from repro.model.operations import Operation
+
+        target = SelectionCriteria.of(reviewer={"gender": "NOPE"})
+        bad = Operation(target, OperationKind.FILTER)
+        with pytest.raises(OperationError):
+            apply_operation(tiny_db, bad)
+
+    def test_describe_mentions_edits(self):
+        from repro.model.operations import Operation
+
+        pair = AVPair(Side.ITEM, "city", "NYC")
+        op = Operation(
+            SelectionCriteria([pair]), OperationKind.FILTER, added=(pair,)
+        )
+        assert "add" in op.describe()
+        assert "city" in op.describe()

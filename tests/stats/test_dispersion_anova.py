@@ -1,0 +1,109 @@
+"""Tests for dispersion measures and ANOVA wrapper."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats import (
+    histogram_mean,
+    histogram_std,
+    histogram_variance,
+    macarthur_index,
+    one_way_anova,
+    schutz_coefficient,
+    shannon_entropy,
+    simpson_index,
+)
+
+_hists = st.lists(st.integers(0, 30), min_size=2, max_size=7).map(np.array)
+
+
+class TestHistogramMoments:
+    def test_mean_known(self):
+        # two 1s and two 5s → mean 3
+        assert histogram_mean(np.array([2, 0, 0, 0, 2])) == 3.0
+
+    def test_mean_empty_nan(self):
+        assert math.isnan(histogram_mean(np.zeros(5)))
+
+    def test_std_zero_for_point_mass(self):
+        assert histogram_std(np.array([0, 0, 9, 0, 0])) == 0.0
+
+    def test_std_matches_numpy(self):
+        counts = np.array([3, 1, 4, 1, 5])
+        samples = np.repeat(np.arange(1, 6), counts)
+        assert histogram_std(counts) == pytest.approx(samples.std())
+
+    def test_variance_matches_numpy(self):
+        counts = np.array([1, 2, 3])
+        samples = np.repeat(np.arange(1, 4), counts)
+        assert histogram_variance(counts) == pytest.approx(samples.var())
+
+    @given(counts=_hists)
+    def test_std_bounded_by_half_range(self, counts):
+        std = histogram_std(counts)
+        if not math.isnan(std):
+            m = len(counts)
+            assert std <= (m - 1) / 2 + 1e-9
+
+
+class TestInequalityMeasures:
+    def test_schutz_zero_for_point_mass(self):
+        assert schutz_coefficient(np.array([0, 8, 0])) == 0.0
+
+    def test_schutz_positive_for_spread(self):
+        assert schutz_coefficient(np.array([5, 0, 5])) > 0
+
+    @given(counts=_hists)
+    def test_schutz_in_unit_interval(self, counts):
+        value = schutz_coefficient(counts)
+        if not math.isnan(value):
+            assert 0 <= value <= 1
+
+    def test_entropy_uniform_is_log_m(self):
+        assert shannon_entropy(np.array([4, 4, 4, 4])) == pytest.approx(
+            math.log(4)
+        )
+
+    def test_macarthur_bounds(self):
+        assert macarthur_index(np.array([0, 10, 0])) == 0.0
+        assert macarthur_index(np.array([5, 5, 5])) == pytest.approx(1.0)
+
+    def test_simpson(self):
+        assert simpson_index(np.array([10, 0])) == 0.0
+        assert simpson_index(np.array([5, 5])) == pytest.approx(0.5)
+
+    def test_empty_histograms_nan(self):
+        for fn in (schutz_coefficient, macarthur_index, simpson_index, shannon_entropy):
+            assert math.isnan(fn(np.zeros(4)))
+
+
+class TestAnova:
+    def test_clearly_different_groups_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 50)
+        b = rng.normal(3, 1, 50)
+        assert one_way_anova([a, b]).significant
+
+    def test_identical_distributions_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 50)
+        b = rng.normal(0, 1, 50)
+        result = one_way_anova([a, b])
+        assert result.p_value > 0.001  # overwhelmingly likely
+
+    def test_degenerate_groups_give_nan(self):
+        result = one_way_anova([[1.0], [2.0]])
+        assert math.isnan(result.p_value)
+        assert not result.significant
+
+    def test_constant_groups_give_nan(self):
+        result = one_way_anova([[2.0, 2.0], [2.0, 2.0]])
+        assert not result.significant
+
+    def test_describe_mentions_verdict(self):
+        result = one_way_anova([[1, 2, 3], [1.1, 2.1, 2.9]])
+        assert "significant" in result.describe()

@@ -1,0 +1,74 @@
+"""Tests for Hoeffding / Hoeffding–Serfling bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats import hoeffding_epsilon, serfling_epsilon
+
+
+class TestSerflingEpsilon:
+    def test_zero_seen_is_vacuous(self):
+        assert serfling_epsilon(0, 100) == 1.0
+
+    def test_full_population_is_exact(self):
+        assert serfling_epsilon(100, 100) == 0.0
+
+    def test_decreases_with_more_data(self):
+        values = [serfling_epsilon(n, 1000) for n in (10, 50, 100, 500, 900)]
+        assert values == sorted(values, reverse=True)
+
+    def test_wider_with_smaller_delta(self):
+        assert serfling_epsilon(50, 1000, delta=0.01) > serfling_epsilon(
+            50, 1000, delta=0.2
+        )
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            serfling_epsilon(10, 100, delta=0.0)
+        with pytest.raises(ValueError):
+            serfling_epsilon(10, 100, delta=1.5)
+
+    @given(
+        n_seen=st.integers(1, 999),
+        n_total=st.integers(1000, 5000),
+        delta=st.floats(0.01, 0.5),
+    )
+    def test_always_positive_before_completion(self, n_seen, n_total, delta):
+        assert serfling_epsilon(n_seen, n_total, delta) > 0
+
+    def test_empirical_coverage(self):
+        """The anytime bound should cover the true mean almost always."""
+        rng = np.random.default_rng(7)
+        population = rng.random(400)
+        true_mean = population.mean()
+        failures = 0
+        trials = 200
+        for t in range(trials):
+            perm = rng.permutation(population)
+            covered = True
+            for n_seen in (40, 80, 160, 320):
+                running = perm[:n_seen].mean()
+                eps = serfling_epsilon(n_seen, len(population), delta=0.05)
+                if abs(running - true_mean) > eps:
+                    covered = False
+                    break
+            failures += not covered
+        assert failures / trials <= 0.05
+
+
+class TestHoeffdingEpsilon:
+    def test_vacuous_for_zero(self):
+        assert hoeffding_epsilon(0) == 1.0
+
+    def test_decreasing(self):
+        assert hoeffding_epsilon(100) < hoeffding_epsilon(10)
+
+    def test_known_value(self):
+        # sqrt(ln(2/0.05) / (2*100)) ≈ 0.1358
+        assert hoeffding_epsilon(100, delta=0.05) == pytest.approx(0.1358, abs=1e-3)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            hoeffding_epsilon(10, delta=2.0)

@@ -1,0 +1,83 @@
+"""Tests for confidence intervals and the max-combination rule (Alg. 3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats import ConfidenceInterval, combine_max_intervals
+
+
+class TestConfidenceInterval:
+    def test_around_clamps_to_unit(self):
+        ci = ConfidenceInterval.around(0.95, 0.2)
+        assert ci.hi == 1.0 and ci.lo == pytest.approx(0.75)
+
+    def test_around_unclamped(self):
+        ci = ConfidenceInterval.around(0.5, 0.7, clamp=False)
+        assert ci.lo == pytest.approx(-0.2)
+
+    def test_exact(self):
+        ci = ConfidenceInterval.exact(0.3)
+        assert ci.width == 0.0 and ci.contains(0.3)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(0.5, 0.6, 0.4)
+
+    def test_entirely_below(self):
+        low = ConfidenceInterval(0.2, 0.1, 0.3)
+        high = ConfidenceInterval(0.6, 0.5, 0.7)
+        assert low.entirely_below(high)
+        assert not high.entirely_below(low)
+        touching = ConfidenceInterval(0.4, 0.3, 0.5)
+        assert not touching.entirely_below(high)
+
+    def test_scaled(self):
+        ci = ConfidenceInterval(0.5, 0.4, 0.6).scaled(0.5)
+        assert (ci.mean, ci.lo, ci.hi) == (0.25, 0.2, 0.3)
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(0.5, 0.4, 0.6).scaled(-1)
+
+
+class TestCombineMaxIntervals:
+    def test_single(self):
+        ci = ConfidenceInterval(0.5, 0.4, 0.6)
+        assert combine_max_intervals([ci]) == ci
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_max_intervals([])
+
+    def test_dominated_interval_ignored(self):
+        dominated = ConfidenceInterval(0.1, 0.05, 0.15)
+        top = ConfidenceInterval(0.6, 0.5, 0.7)
+        combined = combine_max_intervals([dominated, top])
+        assert combined.hi == 0.7
+        assert combined.lo == 0.5  # dominated one cannot drag the bound down
+
+    def test_overlapping_intervals_widen(self):
+        a = ConfidenceInterval(0.55, 0.4, 0.7)
+        b = ConfidenceInterval(0.5, 0.45, 0.55)
+        combined = combine_max_intervals([a, b])
+        assert combined.hi == 0.7
+        assert combined.lo == pytest.approx(0.45)  # max of surviving lowers
+
+    @given(
+        intervals=st.lists(
+            st.tuples(
+                st.floats(0, 1), st.floats(0, 0.3)
+            ).map(lambda t: ConfidenceInterval.around(t[0], t[1])),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_combined_bounds_are_sound_for_max(self, intervals):
+        """If each X_i ∈ [lo_i, hi_i], then max X_i ∈ [combined.lo, combined.hi]."""
+        combined = combine_max_intervals(intervals)
+        # worst case low: every X_i at its lower bound
+        low_realisation = max(ci.lo for ci in intervals)
+        high_realisation = max(ci.hi for ci in intervals)
+        assert combined.lo <= low_realisation + 1e-12
+        assert combined.hi >= high_realisation - 1e-12

@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import _parse_edit, build_parser, cmd_interactive, main
+from repro.model import AVPair, Side
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_summary_defaults(self):
+        args = build_parser().parse_args(["summary"])
+        assert args.dataset == "yelp"
+        assert args.scale == 0.05
+
+    def test_explore_options(self):
+        args = build_parser().parse_args(
+            ["explore", "--dataset", "movielens", "--steps", "4", "--maps", "2"]
+        )
+        assert args.steps == 4 and args.maps == 2
+
+
+class TestSummaryCommand:
+    def test_prints_table2_fields(self, capsys):
+        assert main(["summary", "--dataset", "yelp", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        for field in ("n_attributes", "n_ratings", "n_reviewers", "n_items"):
+            assert field in out
+
+    def test_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["summary", "--dataset", "nope"])
+
+
+class TestExploreCommand:
+    def test_explore_writes_log(self, tmp_path, capsys):
+        log_path = tmp_path / "run.json"
+        code = main(
+            [
+                "explore",
+                "--dataset",
+                "yelp",
+                "--scale",
+                "0.01",
+                "--steps",
+                "2",
+                "--log",
+                str(log_path),
+            ]
+        )
+        assert code == 0
+        data = json.loads(log_path.read_text())
+        assert len(data["steps"]) == 2
+        out = capsys.readouterr().out
+        assert "Step 1" in out and "Recommended next steps" in out
+
+
+class TestInteractive:
+    def _run(self, commands, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "interactive",
+                "--dataset",
+                "yelp",
+                "--scale",
+                "0.01",
+                "--log",
+                str(tmp_path / "log.json"),
+            ]
+        )
+        feed = iter(commands)
+        out = io.StringIO()
+        code = cmd_interactive(
+            args, out=out, input_fn=lambda prompt: next(feed)
+        )
+        return code, out.getvalue()
+
+    def test_apply_recommendation_and_quit(self, tmp_path):
+        code, out = self._run(["1", "quit"], tmp_path)
+        assert code == 0
+        assert "Step 2" in out
+
+    def test_add_and_drop(self, tmp_path):
+        code, out = self._run(
+            ["add reviewer.gender=F", "drop reviewer.gender", "q"], tmp_path
+        )
+        assert code == 0
+        assert "gender=F" in out
+
+    def test_sql_command(self, tmp_path):
+        code, out = self._run(["sql reviewer gender = 'M'", "quit"], tmp_path)
+        assert code == 0
+        assert "gender=M" in out
+
+    def test_bad_command_reports_error(self, tmp_path):
+        code, out = self._run(["frobnicate", "quit"], tmp_path)
+        assert code == 0
+        assert "error:" in out
+
+    def test_out_of_range_recommendation(self, tmp_path):
+        code, out = self._run(["99", "quit"], tmp_path)
+        assert code == 0
+        assert "no recommendation" in out
+
+    def test_eof_terminates(self, tmp_path):
+        args = build_parser().parse_args(
+            ["interactive", "--dataset", "yelp", "--scale", "0.01"]
+        )
+
+        def raise_eof(prompt):
+            raise EOFError
+
+        assert cmd_interactive(args, out=io.StringIO(), input_fn=raise_eof) == 0
+
+
+class TestParseEdit:
+    def test_add(self, tiny_engine):
+        session = tiny_engine.session()
+        criteria = _parse_edit("add reviewer.gender=F", session)
+        assert AVPair(Side.REVIEWER, "gender", "F") in criteria
+
+    def test_drop_missing_raises(self, tiny_engine):
+        session = tiny_engine.session()
+        with pytest.raises(Exception):
+            _parse_edit("drop item.city", session)
+
+    def test_sql_rejects_disjunction(self, tiny_engine):
+        session = tiny_engine.session()
+        with pytest.raises(Exception):
+            _parse_edit("sql reviewer gender = 'F' OR gender = 'M'", session)

@@ -1,0 +1,157 @@
+"""Edge-case tests across modules (final coverage pass)."""
+
+import numpy as np
+import pytest
+
+from repro import SelectionCriteria, SubDEx, SubDExConfig
+from repro.core.modes import run_user_driven
+from repro.core.recommend import RecommenderConfig
+from repro.db import Table, load_table, save_table
+from repro.model import (
+    AVPair,
+    Operation,
+    OperationKind,
+    Side,
+    enumerate_operations,
+)
+from repro.userstudy.reporting import recall_series_table
+from repro.core.modes import ExplorationMode
+
+
+class TestCsvEdgeCases:
+    def test_cells_with_commas_and_quotes(self, tmp_path):
+        table = Table.from_columns(
+            {"name": ['Joe"s, Grill', "plain", 'a,b"c'], "n": [1, 2, 3]}
+        )
+        path = tmp_path / "t.csv"
+        save_table(table, path)
+        loaded = load_table(path, schema=table.schema)
+        assert loaded.row(0)["name"] == 'Joe"s, Grill'
+        assert loaded.row(2)["name"] == 'a,b"c'
+
+    def test_cells_with_newlines(self, tmp_path):
+        table = Table.from_columns({"text": ["line1\nline2", "x"]})
+        path = tmp_path / "t.csv"
+        save_table(table, path)
+        loaded = load_table(path, schema=table.schema)
+        assert loaded.row(0)["text"] == "line1\nline2"
+
+    def test_unicode_roundtrip(self, tmp_path):
+        table = Table.from_columns({"city": ["Zürich", "København", "東京"]})
+        path = tmp_path / "t.csv"
+        save_table(table, path)
+        assert load_table(path, schema=table.schema).row(2)["city"] == "東京"
+
+    def test_multivalued_roundtrip_with_empty(self, tmp_path):
+        table = Table.from_columns(
+            {"tags": [frozenset({"a", "b"}), frozenset(), frozenset({"c"})]}
+        )
+        path = tmp_path / "t.csv"
+        save_table(table, path)
+        loaded = load_table(path, schema=table.schema)
+        assert loaded.row(1)["tags"] is None
+
+
+class TestCompoundOperations:
+    def test_compound_edit_distance_exactly_two(self, tiny_db):
+        current = SelectionCriteria.of(
+            reviewer={"gender": "F"}, item={"city": "NYC"}
+        )
+        compounds = [
+            op
+            for op in enumerate_operations(
+                tiny_db, current, include_compound=True
+            )
+            if op.kind is OperationKind.COMPOUND
+        ]
+        assert compounds
+        assert all(op.target.edit_distance(current) == 2 for op in compounds)
+
+    def test_compound_add_plus_remove_shapes(self, tiny_db):
+        current = SelectionCriteria.of(reviewer={"gender": "F"})
+        compounds = [
+            op
+            for op in enumerate_operations(
+                tiny_db, current, include_compound=True
+            )
+            if op.kind is OperationKind.COMPOUND
+        ]
+        # add+remove keeps size 1, add+change keeps size 2
+        sizes = {len(op.target) for op in compounds}
+        assert sizes <= {1, 2}
+
+
+class TestUserDrivenRetries:
+    def test_chooser_returning_empty_target_is_retried(self, tiny_engine):
+        """A chooser that first picks a dead-end op still advances."""
+        bad = Operation(
+            SelectionCriteria.of(reviewer={"gender": "NOPE"}),
+            OperationKind.FILTER,
+            added=(AVPair(Side.REVIEWER, "gender", "NOPE"),),
+        )
+        calls = {"n": 0}
+
+        def chooser(session, candidates):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return bad
+            return candidates[0] if candidates else None
+
+        path = run_user_driven(tiny_engine.session(), chooser, n_steps=2)
+        assert len(path) == 2  # the retry succeeded
+        assert calls["n"] >= 2
+
+
+class TestReporting:
+    def test_recall_series_table_renders(self):
+        series = {
+            ExplorationMode.USER_DRIVEN: [0.1, 0.2],
+            ExplorationMode.RECOMMENDATION_POWERED: [0.3, 0.6, 0.9],
+        }
+        text = recall_series_table(series)
+        assert "UD" in text and "RP" in text
+        assert "0.90" in text
+        assert "—" in text  # missing step padded
+
+
+class TestEngineParameterisation:
+    def test_k_one_single_map_per_step(self, tiny_db):
+        engine = SubDEx(
+            tiny_db,
+            SubDExConfig(
+                recommender=RecommenderConfig(max_values_per_attribute=2)
+            ).with_k(1),
+        )
+        result = engine.rating_maps()
+        assert len(result.selected) == 1
+
+    def test_large_k_clamped_to_candidates(self, tiny_db):
+        engine = SubDEx(
+            tiny_db,
+            SubDExConfig(
+                recommender=RecommenderConfig(max_values_per_attribute=2)
+            ).with_k(50),
+        )
+        result = engine.rating_maps()
+        # tiny db has 10 candidate specs; selection cannot exceed that
+        assert 1 <= len(result.selected) <= 10
+
+    def test_o_zero_returns_empty(self, tiny_engine):
+        assert tiny_engine.recommend(o=0) == []
+
+
+class TestDatabaseViews:
+    def test_restrict_item_attributes(self, tiny_db):
+        restricted = tiny_db.restrict(item_attributes=("city",))
+        assert restricted.explorable_attributes(Side.ITEM) == ("city",)
+        # reviewer side untouched
+        assert restricted.explorable_attributes(Side.REVIEWER) == (
+            tiny_db.explorable_attributes(Side.REVIEWER)
+        )
+
+    def test_sample_reviewers_preserves_alignment(self, tiny_db):
+        sampled = tiny_db.sample_reviewers(0.5, seed=3)
+        # every rating record still references an existing reviewer
+        ids = set(int(v) for v in sampled.reviewers.numeric("user_id"))
+        for u in sampled.ratings.numeric("user_id"):
+            assert int(u) in ids

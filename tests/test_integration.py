@@ -1,0 +1,186 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    SelectionCriteria,
+    SubDEx,
+    SubDExConfig,
+)
+from repro.baselines import Qagview, SDDConfig, SmartDrillDown, all_variants
+from repro.core.modes import ExplorationMode, run_fully_automated
+from repro.core.recommend import RecommenderConfig
+from repro.datasets import movielens, yelp
+from repro.model import RatingGroup, Side
+from repro.userstudy import (
+    StudyConfig,
+    make_scenario1_task,
+    make_scenario2_task,
+    run_guidance_study,
+    run_recommendation_quality,
+    sample_path,
+)
+
+
+@pytest.fixture(scope="module")
+def small_yelp():
+    return yelp(seed=7, scale_factor=0.015)
+
+
+@pytest.fixture(scope="module")
+def engine(small_yelp):
+    return SubDEx(
+        small_yelp,
+        SubDExConfig(recommender=RecommenderConfig(max_values_per_attribute=3)),
+    )
+
+
+class TestEndToEndSessions:
+    def test_three_step_manual_session(self, engine):
+        """The paper's Figure 1 flow: examine, drill by age, drill by gender."""
+        session = engine.session()
+        first = session.step(with_recommendations=True)
+        assert first.maps and first.recommendations
+        second = session.apply_criteria(
+            SelectionCriteria.of(reviewer={"age_group": "young"})
+        )
+        assert second.group_size <= first.group_size
+        third = session.apply_criteria(
+            SelectionCriteria.of(reviewer={"age_group": "young", "gender": "F"})
+        )
+        assert third.group_size <= second.group_size
+        assert session.seen.total == 9
+
+    def test_automated_path_respects_seen_state(self, engine):
+        path = run_fully_automated(engine.session(), n_steps=3)
+        dims_shown = set()
+        for step in path.steps:
+            dims_shown.update(step.result.selected_dimensions())
+        # DW weights should rotate through multiple dimensions over 9 maps
+        assert len(dims_shown) >= 2
+
+    def test_every_variant_produces_a_session(self, small_yelp):
+        for name, config in all_variants().items():
+            from dataclasses import replace
+
+            config = replace(
+                config,
+                recommender=replace(
+                    config.recommender, max_values_per_attribute=2
+                ),
+            )
+            variant_engine = SubDEx(small_yelp, config)
+            record = variant_engine.session().step()
+            assert record.maps, name
+
+    def test_movielens_end_to_end(self):
+        database = movielens(seed=5, scale_factor=0.05)
+        ml_engine = SubDEx(
+            database,
+            SubDExConfig(
+                recommender=RecommenderConfig(max_values_per_attribute=3)
+            ),
+        )
+        path = run_fully_automated(ml_engine.session(), n_steps=2)
+        assert len(path) == 2
+
+
+class TestScenarioPipelines:
+    def test_scenario1_pipeline(self, small_yelp):
+        task = make_scenario1_task(small_yelp, seed=1)
+        task_engine = SubDEx(
+            task.database,
+            SubDExConfig(
+                recommender=RecommenderConfig(max_values_per_attribute=3)
+            ),
+        )
+        path = sample_path(
+            task_engine, task, ExplorationMode.FULLY_AUTOMATED, "high", 3, seed=0
+        )
+        exposed = task.exposed_in_path(path)
+        assert exposed <= set(range(task.max_score))
+
+    def test_scenario2_pipeline(self, small_yelp):
+        task = make_scenario2_task(small_yelp)
+        task_engine = SubDEx(
+            small_yelp,
+            SubDExConfig(
+                recommender=RecommenderConfig(max_values_per_attribute=3)
+            ),
+        )
+        path = sample_path(
+            task_engine,
+            task,
+            ExplorationMode.RECOMMENDATION_POWERED,
+            "high",
+            3,
+            seed=0,
+        )
+        assert task.exposed_in_path(path) <= set(range(5))
+
+    def test_guidance_study_smoke(self, small_yelp):
+        task = make_scenario1_task(small_yelp, seed=2)
+        task_engine = SubDEx(
+            task.database,
+            SubDExConfig(
+                recommender=RecommenderConfig(max_values_per_attribute=2)
+            ),
+        )
+        result = run_guidance_study(
+            [(task_engine, task)],
+            "I",
+            StudyConfig(n_subjects_per_cell=3, n_path_samples=1, n_steps=2),
+        )
+        assert all(0 <= s <= 2 for cell in result.scores.values() for s in cell)
+
+    def test_recommendation_quality_smoke(self, small_yelp):
+        task = make_scenario1_task(small_yelp, seed=3)
+        task_engine = SubDEx(
+            task.database,
+            SubDExConfig(
+                recommender=RecommenderConfig(max_values_per_attribute=2)
+            ),
+        )
+        sdd = SmartDrillDown(SDDConfig(k=3, min_support=2))
+        scores = run_recommendation_quality(
+            task_engine,
+            task,
+            {"SubDEx": None, "SDD": sdd.recommend},
+            n_steps=2,
+            n_subjects=3,
+        )
+        assert set(scores) == {"SubDEx", "SDD"}
+
+    def test_baselines_on_live_group(self, small_yelp):
+        group = RatingGroup(small_yelp, SelectionCriteria.root())
+        for ops in (
+            SmartDrillDown(SDDConfig(min_support=2)).recommend(group),
+            Qagview().recommend(group),
+        ):
+            for op in ops:
+                target_group = RatingGroup(small_yelp, op.target)
+                assert len(target_group) >= 0  # valid, evaluable operations
+
+
+class TestCrossChecks:
+    def test_rating_map_counts_consistent_with_db(self, engine, small_yelp):
+        result = engine.rating_maps()
+        for rm in result.selected:
+            # covered records never exceed the group and match a recount
+            group = RatingGroup(small_yelp, rm.criteria)
+            assert rm.covered <= len(group)
+            scores = group.scores(rm.dimension)
+            n_valid = int(np.isfinite(scores).sum())
+            assert rm.covered <= n_valid
+
+    def test_dimension_weights_monotone_along_path(self, engine):
+        session = engine.session()
+        session.step()
+        shown = session.seen.dimension_history()
+        weights = {
+            d: session.seen.weight(d) for d in engine.database.dimensions
+        }
+        for dim in engine.database.dimensions:
+            if dim not in shown:
+                assert weights[dim] == 1.0

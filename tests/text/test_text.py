@@ -1,0 +1,170 @@
+"""Tests for the sentiment / review-text pipeline (S15)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import (
+    DIMENSION_KEYWORDS,
+    DimensionExtractor,
+    ReviewGenerator,
+    SentimentAnalyzer,
+    extract_dimension_scores,
+    phrase_windows,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("The Food was GREAT!") == ["the", "food", "was", "great"]
+
+    def test_apostrophes_stripped(self):
+        assert tokenize("isn't bad") == ["isnt", "bad"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestSentimentAnalyzer:
+    @pytest.fixture()
+    def analyzer(self):
+        return SentimentAnalyzer()
+
+    def test_positive_words_positive(self, analyzer):
+        assert analyzer.score("the food was amazing") > 0.5
+
+    def test_negative_words_negative(self, analyzer):
+        assert analyzer.score("a terrible, disgusting place") < -0.5
+
+    def test_neutral_text_zero(self, analyzer):
+        assert analyzer.score("we went there on a tuesday") == 0.0
+
+    def test_negation_flips(self, analyzer):
+        positive = analyzer.score("the food was good")
+        negated = analyzer.score("the food was not good")
+        assert positive > 0 > negated
+
+    def test_intensifier_boosts(self, analyzer):
+        plain = analyzer.score("the staff was good")
+        boosted = analyzer.score("the staff was extremely good")
+        assert boosted > plain
+
+    def test_downtoner_dampens(self, analyzer):
+        plain = analyzer.score("the staff was good")
+        dampened = analyzer.score("the staff was slightly good")
+        assert dampened < plain
+
+    def test_exclamation_emphasis(self, analyzer):
+        plain = analyzer.score("the food was great")
+        emphatic = analyzer.score("the food was great!!!")
+        assert emphatic > plain
+
+    def test_bounded(self, analyzer):
+        assert -1 <= analyzer.score("worst worst worst awful awful!!!") <= 1
+
+    @pytest.mark.parametrize(
+        "sentiment,expected",
+        [(-1.0, 1), (-0.5, 2), (0.0, 3), (0.5, 4), (0.99, 5), (1.0, 5)],
+    )
+    def test_to_rating_bins(self, analyzer, sentiment, expected):
+        assert analyzer.to_rating(sentiment, scale=5) == expected
+
+    def test_to_rating_invalid_scale(self, analyzer):
+        with pytest.raises(ValueError):
+            analyzer.to_rating(0.0, scale=1)
+
+    @given(s=st.floats(-1, 1))
+    def test_to_rating_always_in_scale(self, s):
+        analyzer = SentimentAnalyzer()
+        assert 1 <= analyzer.to_rating(s, 5) <= 5
+
+    def test_custom_lexicon(self):
+        analyzer = SentimentAnalyzer(valence={"blorpy": 0.9})
+        assert analyzer.score("such a blorpy day") > 0
+        assert analyzer.score("such an amazing day") == 0.0  # default lexicon gone
+
+
+class TestPhraseWindows:
+    def test_window_extent(self):
+        tokens = "a b c d e food f g h i j".split()
+        windows = phrase_windows(tokens, ["food"], window=2)
+        assert windows == [["d", "e", "food", "f", "g"]]
+
+    def test_multiple_occurrences(self):
+        tokens = "food is food".split()
+        assert len(phrase_windows(tokens, ["food"], window=1)) == 2
+
+    def test_no_occurrence(self):
+        assert phrase_windows(["a", "b"], ["food"]) == []
+
+    def test_window_clipped_at_bounds(self):
+        tokens = "food great".split()
+        windows = phrase_windows(tokens, ["food"], window=5)
+        assert windows == [["food", "great"]]
+
+
+class TestExtraction:
+    def test_per_dimension_scores(self):
+        # sentences far enough apart that the ±5 window stays in-sentence
+        text = (
+            "The food here was truly amazing and we loved every single bite "
+            "of it. On the other hand after a long wait we found the "
+            "service honestly terrible from start to finish."
+        )
+        scores = extract_dimension_scores(
+            text, {"food": ["food"], "service": ["service"]}
+        )
+        assert scores["food"] >= 4
+        assert scores["service"] <= 2
+
+    def test_smaller_window_localises(self):
+        text = "The food was amazing. We found the service terrible."
+        scores = extract_dimension_scores(
+            text, {"service": ["service"]}, window=1
+        )
+        assert scores["service"] <= 2
+
+    def test_missing_dimension_is_none(self):
+        scores = extract_dimension_scores(
+            "The food was fine.", {"food": ["food"], "ambiance": ["ambiance"]}
+        )
+        assert scores["ambiance"] is None
+
+    def test_extractor_class(self):
+        extractor = DimensionExtractor({"food": ("food", "meal")})
+        assert extractor.dimensions == ("food",)
+        assert extractor.extract("the meal was excellent")["food"] >= 4
+
+
+class TestReviewGenerator:
+    def test_review_mentions_all_dimensions(self):
+        generator = ReviewGenerator(("food", "service"), seed=1)
+        review = generator.review({"food": 5, "service": 1})
+        tokens = set(tokenize(review))
+        assert tokens & set(DIMENSION_KEYWORDS["food"])
+        assert tokens & set(DIMENSION_KEYWORDS["service"])
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(KeyError):
+            ReviewGenerator(("nonexistent",))
+
+    def test_deterministic_with_seed(self):
+        a = ReviewGenerator(("food",), seed=42).review({"food": 3})
+        b = ReviewGenerator(("food",), seed=42).review({"food": 3})
+        assert a == b
+
+    def test_roundtrip_recovers_intent_direction(self):
+        """Generated text mined back should correlate with intent."""
+        dims = ("food", "service")
+        generator = ReviewGenerator(dims, seed=9)
+        extractor = DimensionExtractor({d: DIMENSION_KEYWORDS[d] for d in dims})
+        agreements = 0
+        trials = 30
+        for i in range(trials):
+            intent = {"food": 1 + (i % 5), "service": 1 + ((i * 2) % 5)}
+            mined = extractor.extract(generator.review(intent))
+            for d in dims:
+                if mined[d] is not None and abs(mined[d] - intent[d]) <= 1:
+                    agreements += 1
+        assert agreements / (trials * 2) >= 0.6

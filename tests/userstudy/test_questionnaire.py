@@ -1,0 +1,66 @@
+"""Tests for the pre-qualification questionnaire."""
+
+import numpy as np
+import pytest
+
+from repro.userstudy.questionnaire import (
+    LatentSubject,
+    Questionnaire,
+    prequalify,
+)
+
+
+class TestQuestionnaire:
+    def test_score_bounds(self):
+        rng = np.random.default_rng(0)
+        q = Questionnaire()
+        for ability in (0.0, 0.5, 1.0):
+            score, __ = q.administer(ability, rng)
+            assert 0 <= score <= 10
+
+    def test_ability_out_of_range(self):
+        with pytest.raises(ValueError):
+            Questionnaire().administer(1.5, np.random.default_rng(0))
+
+    def test_high_ability_mostly_passes(self):
+        rng = np.random.default_rng(1)
+        q = Questionnaire()
+        passes = sum(q.administer(0.95, rng)[1] for __ in range(300))
+        assert passes > 250
+
+    def test_low_ability_mostly_fails(self):
+        rng = np.random.default_rng(2)
+        q = Questionnaire()
+        passes = sum(q.administer(0.05, rng)[1] for __ in range(300))
+        assert passes < 100
+
+    def test_misclassification_exists_near_boundary(self):
+        """A borderline subject lands in both groups across repetitions."""
+        rng = np.random.default_rng(3)
+        q = Questionnaire()
+        outcomes = {q.administer(0.45, rng)[1] for __ in range(100)}
+        assert outcomes == {True, False}
+
+
+class TestPrequalify:
+    def test_assigns_all_subjects(self):
+        subjects = [
+            LatentSubject(0.9, 0.1),
+            LatentSubject(0.1, 0.9),
+            LatentSubject(0.5, 0.5),
+        ]
+        profiles = prequalify(subjects, seed=4)
+        assert len(profiles) == 3
+        assert all(p.cs_expertise in ("high", "low") for p in profiles)
+
+    def test_extreme_abilities_classified_correctly(self):
+        subjects = [LatentSubject(0.99, 0.01)] * 20
+        profiles = prequalify(subjects, seed=5)
+        highs = sum(p.cs_expertise == "high" for p in profiles)
+        low_dk = sum(p.domain_knowledge == "low" for p in profiles)
+        assert highs >= 18
+        assert low_dk >= 18
+
+    def test_deterministic_given_seed(self):
+        subjects = [LatentSubject(0.5, 0.5)] * 10
+        assert prequalify(subjects, seed=6) == prequalify(subjects, seed=6)

@@ -1,0 +1,236 @@
+"""Tests for the simulated user study (subjects, tasks, runners)."""
+
+import math
+
+import pytest
+
+from repro import SubDEx, SubDExConfig
+from repro.core import RatingDistribution
+from repro.core.modes import ExplorationMode, ExplorationPath
+from repro.core.rating_maps import RatingMap, RatingMapSpec, Subgroup
+from repro.core.recommend import RecommenderConfig
+from repro.datasets import yelp
+from repro.datasets.insights import Insight
+from repro.model import AVPair, SelectionCriteria, Side
+from repro.userstudy import (
+    SimulatedSubject,
+    SubjectProfile,
+    StudyConfig,
+    format_guidance_table,
+    format_simple_table,
+    insight_exposed,
+    irregular_group_exposed,
+    make_scenario1_task,
+    make_scenario2_task,
+    run_guidance_study,
+    sample_path,
+    simulate_subject_score,
+    suspicious_subgroup,
+)
+from repro.datasets.irregular import IrregularGroup
+
+
+def _map(side, attribute, dimension, subgroups) -> RatingMap:
+    spec = RatingMapSpec(side, attribute, dimension)
+    sgs = [Subgroup(label, RatingDistribution(c)) for label, c in subgroups]
+    size = sum(sum(c) for __, c in subgroups)
+    return RatingMap(spec, SelectionCriteria.root(), sgs, size)
+
+
+class TestSubjectProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubjectProfile("medium", "high")
+
+    def test_detection_depends_on_cs_only(self):
+        high = SimulatedSubject(SubjectProfile("high", "low"))
+        low = SimulatedSubject(SubjectProfile("low", "high"))
+        assert high.detection_probability > low.detection_probability
+
+    def test_domain_knowledge_has_no_behavioural_effect(self):
+        a = SimulatedSubject(SubjectProfile("high", "high"))
+        b = SimulatedSubject(SubjectProfile("high", "low"))
+        assert a.detection_probability == b.detection_probability
+        assert a.investigate_probability == b.investigate_probability
+
+
+class TestDetection:
+    def test_detect_probabilistic(self):
+        subject = SimulatedSubject(SubjectProfile("high", "high"), seed=1)
+        hits = sum(len(subject.detect([0])) for __ in range(400))
+        assert 0.75 * 400 < hits < 0.95 * 400
+
+    def test_damp_reduces_detection(self):
+        subject = SimulatedSubject(SubjectProfile("high", "high"), seed=1)
+        hits = sum(len(subject.detect([0], damp=0.1)) for __ in range(400))
+        assert hits < 100
+
+
+class TestSuspiciousSubgroup:
+    def test_absolute_threshold(self):
+        rm = _map(
+            Side.ITEM, "city", "food",
+            [("bad", [20, 0, 0, 0, 0]), ("ok", [0, 0, 20, 20, 0])],
+        )
+        hit = suspicious_subgroup([rm])
+        assert hit is not None and hit[1] == "bad"
+
+    def test_gap_trigger(self):
+        rm = _map(
+            Side.ITEM, "city", "food",
+            [("dip", [5, 10, 15, 5, 0]), ("high", [0, 0, 5, 20, 30])],
+        )
+        hit = suspicious_subgroup([rm], threshold=1.0, gap=0.45)
+        assert hit is not None and hit[1] == "dip"
+
+    def test_nothing_suspicious(self):
+        rm = _map(
+            Side.ITEM, "city", "food",
+            [("a", [0, 0, 20, 20, 5]), ("b", [0, 0, 18, 22, 6])],
+        )
+        assert suspicious_subgroup([rm], gap=1.0) is None
+
+    def test_small_support_ignored(self):
+        rm = _map(
+            Side.ITEM, "city", "food",
+            [("tiny", [2, 0, 0, 0, 0]), ("big", [0, 0, 50, 50, 0])],
+        )
+        assert suspicious_subgroup([rm], min_support=10) is None
+
+
+class TestExposureRules:
+    def _group(self, dimension="food"):
+        return IrregularGroup(
+            side=Side.ITEM,
+            pairs=(
+                AVPair(Side.ITEM, "city", "NYC"),
+                AVPair(Side.ITEM, "wifi", "free"),
+            ),
+            dimension=dimension,
+            entity_ids=(1, 2, 3, 4, 5),
+            n_records=40,
+        )
+
+    def test_description_exposure(self):
+        rm = _map(
+            Side.ITEM, "city", "food",
+            [("NYC", [30, 0, 0, 0, 0]), ("LA", [0, 0, 10, 20, 10])],
+        )
+        assert irregular_group_exposed(rm, self._group())
+
+    def test_wrong_dimension_not_exposed(self):
+        rm = _map(
+            Side.ITEM, "city", "service",
+            [("NYC", [30, 0, 0, 0, 0]), ("LA", [0, 0, 10, 20, 10])],
+        )
+        assert not irregular_group_exposed(rm, self._group())
+
+    def test_wrong_attribute_not_exposed(self):
+        rm = _map(
+            Side.ITEM, "noise", "food",
+            [("loud", [30, 0, 0, 0, 0]), ("quiet", [0, 0, 10, 20, 10])],
+        )
+        assert not irregular_group_exposed(rm, self._group())
+
+    def test_subgroup_must_be_extreme(self):
+        rm = _map(
+            Side.ITEM, "city", "food",
+            [("NYC", [5, 5, 20, 0, 0]), ("LA", [30, 0, 0, 0, 0])],
+        )
+        assert not irregular_group_exposed(rm, self._group())
+
+    def test_multivalued_label_matching(self):
+        group = IrregularGroup(
+            side=Side.ITEM,
+            pairs=(AVPair(Side.ITEM, "cuisine", "Thai"),),
+            dimension="food",
+            entity_ids=(1,) * 5,
+            n_records=30,
+        )
+        rm = _map(
+            Side.ITEM, "cuisine", "food",
+            [("Sushi | Thai", [30, 0, 0, 0, 0]), ("Pizza", [0, 0, 10, 20, 10])],
+        )
+        assert irregular_group_exposed(rm, group)
+
+
+class TestInsightExposure:
+    def _insight(self, direction="low"):
+        return Insight(Side.ITEM, "city", "NYC", "food", direction)
+
+    def test_low_insight_exposed_when_minimum(self):
+        rm = _map(
+            Side.ITEM, "city", "food",
+            [("NYC", [10, 20, 5, 0, 0]), ("LA", [0, 0, 10, 20, 10])],
+        )
+        assert insight_exposed(rm, self._insight("low"))
+        assert not insight_exposed(rm, self._insight("high"))
+
+    def test_high_insight_exposed_when_maximum(self):
+        rm = _map(
+            Side.ITEM, "city", "food",
+            [("NYC", [0, 0, 0, 10, 30]), ("LA", [0, 10, 20, 10, 0])],
+        )
+        assert insight_exposed(rm, self._insight("high"))
+
+    def test_support_floor(self):
+        rm = _map(
+            Side.ITEM, "city", "food",
+            [("NYC", [3, 0, 0, 0, 0]), ("LA", [0, 0, 10, 20, 10])],
+        )
+        assert not insight_exposed(rm, self._insight("low"), min_support=5)
+
+
+@pytest.fixture(scope="module")
+def small_instance():
+    base = yelp(seed=3, scale_factor=0.02)
+    task = make_scenario1_task(base, seed=2)
+    engine = SubDEx(
+        task.database,
+        SubDExConfig(recommender=RecommenderConfig(max_values_per_attribute=3)),
+    )
+    return engine, task
+
+
+class TestStudyRunners:
+    def test_engine_task_mismatch_rejected(self, small_instance, tiny_engine):
+        __, task = small_instance
+        with pytest.raises(ValueError):
+            run_guidance_study([(tiny_engine, task)], "I")
+
+    def test_sample_path_all_modes(self, small_instance):
+        engine, task = small_instance
+        for mode in ExplorationMode:
+            path = sample_path(engine, task, mode, "high", n_steps=2, seed=0)
+            assert 1 <= len(path) <= 2
+            assert path.mode is mode
+
+    def test_simulate_subject_score_bounded(self, small_instance):
+        engine, task = small_instance
+        path = sample_path(
+            engine, task, ExplorationMode.FULLY_AUTOMATED, "high", 2, seed=0
+        )
+        subject = SimulatedSubject(SubjectProfile("high", "high"), seed=0)
+        score = simulate_subject_score(subject, task, path)
+        assert 0 <= score <= task.max_score
+
+    def test_guidance_study_shape(self, small_instance):
+        result = run_guidance_study(
+            [small_instance],
+            "I",
+            StudyConfig(n_subjects_per_cell=4, n_path_samples=1, n_steps=2),
+        )
+        assert len(result.scores) == 8  # 2 cs × 2 dk × 2 modes each
+        for cell in result.scores.values():
+            assert len(cell) == 4
+        table = format_guidance_table(result)
+        assert "High CS Expertise" in table
+
+    def test_scenario2_task(self):
+        base = yelp(seed=3, scale_factor=0.02)
+        task = make_scenario2_task(base)
+        assert task.max_score == 5
+
+    def test_format_simple_table(self):
+        text = format_simple_table({"SubDEx": 0.9, "SDD": 0.6})
+        assert "SubDEx" in text and "0.90" in text
