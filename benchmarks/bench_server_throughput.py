@@ -1,0 +1,119 @@
+"""Serving-layer throughput bench (ISSUE 1: the concurrent exploration
+service).
+
+Drives N concurrent simulated users against ONE in-process server: each
+user creates a session, reads maps and recommendations, applies
+recommendations, fetches the history and closes.  Reports end-to-end
+request throughput and p50/p95 latency, and verifies via ``/metrics`` that
+the traffic was observed and the shared per-dataset cache amortised work
+across users.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.bench import (
+    bench_database,
+    bench_recommender_config,
+    format_table,
+    latency_summary,
+    report,
+)
+from repro.core.engine import SubDEx, SubDExConfig
+from repro.server import ServerConfig, SubDExClient, build_server
+
+N_USERS = 8
+STEPS_PER_USER = 2  # recommendations applied after the opening step
+
+
+def _run_load(n_users: int = N_USERS, steps_per_user: int = STEPS_PER_USER):
+    database = bench_database("yelp")
+    factory = lambda: SubDEx(  # noqa: E731
+        database, SubDExConfig(recommender=bench_recommender_config())
+    )
+    server = build_server(
+        {"yelp": factory},
+        port=0,
+        config=ServerConfig(max_sessions=n_users * 2),
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    latencies: list[float] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_users)
+
+    def timed(fn, *args, **kwargs):
+        started = time.perf_counter()
+        result = fn(*args, **kwargs)
+        with lock:
+            latencies.append(time.perf_counter() - started)
+        return result
+
+    def user(user_id: int) -> int:
+        with SubDExClient(server.url) as client:
+            barrier.wait()
+            session = timed(client.create_session)
+            timed(session.maps)
+            for __ in range(steps_per_user):
+                recommendations = timed(session.recommendations)
+                if recommendations:
+                    timed(session.apply_recommendation, 1)
+            timed(session.history)
+            timed(session.close)
+        return user_id
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=n_users) as pool:
+        for future in [pool.submit(user, u) for u in range(n_users)]:
+            future.result()
+    elapsed = time.perf_counter() - started
+
+    with SubDExClient(server.url) as client:
+        metrics = client.metrics()
+    server.shutdown()
+    server.server_close()
+    return latencies, elapsed, metrics
+
+
+def _report(latencies, elapsed, metrics) -> str:
+    summary = latency_summary(latencies)
+    throughput = len(latencies) / elapsed
+    result_cache = metrics["caches"]["yelp"]["result"]
+    rows = [
+        ["concurrent users", float(N_USERS)],
+        ["requests", float(len(latencies))],
+        ["wall seconds", elapsed],
+        ["throughput (req/s)", throughput],
+        ["latency p50 (s)", summary["p50"]],
+        ["latency p95 (s)", summary["p95"]],
+        ["latency mean (s)", summary["mean"]],
+        ["result-cache hit rate", result_cache["hit_rate"]],
+    ]
+    return (
+        f"== Server throughput: {N_USERS} concurrent simulated users ==\n"
+        + format_table(["quantity", "value"], rows, "{:.4f}")
+    )
+
+
+def test_server_throughput(benchmark):
+    latencies, elapsed, metrics = benchmark.pedantic(
+        _run_load, rounds=1, iterations=1
+    )
+    text = _report(latencies, elapsed, metrics)
+    report("server_throughput", text)
+    # /metrics saw the traffic…
+    assert metrics["requests"]["total"] >= len(latencies)
+    assert metrics["requests"]["by_endpoint"]["POST /sessions"]["count"] == N_USERS
+    assert metrics["sessions"]["created"] == N_USERS
+    # …and the shared cache amortised the identical opening steps
+    assert metrics["caches"]["yelp"]["result"]["hits"] > 0
+    assert len(latencies) / elapsed > 0
+
+
+if __name__ == "__main__":
+    results = _run_load()
+    print(_report(*results))

@@ -5,7 +5,9 @@ from .harness import (
     Timer,
     format_series,
     format_table,
+    latency_summary,
     paper_vs_measured,
+    percentile,
     report,
     time_call,
 )
@@ -41,7 +43,9 @@ __all__ = [
     "generate_suite",
     "format_series",
     "format_table",
+    "latency_summary",
     "paper_vs_measured",
+    "percentile",
     "report",
     "restrict_attribute_count",
     "restrict_value_count",

@@ -22,7 +22,9 @@ __all__ = [
     "Sweep",
     "format_table",
     "format_series",
+    "latency_summary",
     "paper_vs_measured",
+    "percentile",
     "report",
 ]
 
@@ -94,6 +96,30 @@ class Sweep:
         return format_series(
             self.parameter, self.points, self.rows, value_fmt=value_fmt
         )
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) of ``samples`` (NaN when empty)."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    if not samples:
+        return float("nan")
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+def latency_summary(samples: Sequence[float]) -> dict[str, float]:
+    """Headline latency statistics for a load run: n, mean, p50, p95, max.
+
+    The shared shape for throughput benches and the serving layer's
+    reports, so every latency table reads the same way.
+    """
+    return {
+        "n": float(len(samples)),
+        "mean": float(np.mean(samples)) if samples else float("nan"),
+        "p50": percentile(samples, 50.0),
+        "p95": percentile(samples, 95.0),
+        "max": float(np.max(samples)) if samples else float("nan"),
+    }
 
 
 def format_table(

@@ -1,28 +1,35 @@
 """Command-line interface — the terminal stand-in for the paper's UI (§4).
 
-Three subcommands:
+Four subcommands:
 
 * ``summary`` — dataset statistics in the paper's Table 2 shape;
 * ``explore`` — run a Fully-Automated exploration and print the path;
 * ``interactive`` — the UI loop: each step shows the k rating maps and the
   top-o recommendations; the user applies a recommendation by number,
   edits the selection with ``add``/``drop`` commands or a SQL predicate
-  (the "advanced screen" of the paper's UI), or quits.
+  (the "advanced screen" of the paper's UI), or quits;
+* ``serve`` — run the concurrent multi-session exploration service
+  (:mod:`repro.server`).
 
 Sessions can be exported as JSON exploration logs (``--log``), the input
 for the personalisation extension.
+
+Usage errors (unknown dataset, unwritable ``--log`` path) exit with code 2
+and a one-line message on stderr.
 
 Examples::
 
     python -m repro summary --dataset yelp --scale 0.05
     python -m repro explore --dataset movielens --steps 5 --log run.json
     python -m repro interactive --dataset yelp
+    python -m repro serve --dataset yelp --port 8642
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Sequence
 
 from .core.engine import SubDEx, SubDExConfig
@@ -35,7 +42,13 @@ from .exceptions import ReproError
 from .model.database import Side, SubjectiveDatabase
 from .model.groups import AVPair, SelectionCriteria
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "CLIError"]
+
+DATASETS = ("movielens", "yelp", "hotels")
+
+
+class CLIError(Exception):
+    """A usage error: ``main`` prints one line to stderr and exits 2."""
 
 
 def _load_dataset(name: str, scale: float, seed: int) -> SubjectiveDatabase:
@@ -47,10 +60,29 @@ def _load_dataset(name: str, scale: float, seed: int) -> SubjectiveDatabase:
         "hotels": datasets.hotels,
     }
     if name not in factories:
-        raise SystemExit(
+        raise CLIError(
             f"unknown dataset {name!r} (choose from {', '.join(factories)})"
         )
     return factories[name](seed=seed, scale_factor=scale)
+
+
+def _check_log_path(log: str | None) -> None:
+    """Fail fast on a ``--log`` path that can never be written."""
+    if log is None:
+        return
+    path = Path(log)
+    if path.is_dir():
+        raise CLIError(f"--log path {log!r} is a directory")
+    parent = path.parent
+    if not parent.is_dir():
+        raise CLIError(f"--log directory {str(parent)!r} does not exist")
+
+
+def _save_log(log: ExplorationLog, destination: str) -> None:
+    try:
+        log.save(destination)
+    except OSError as error:
+        raise CLIError(f"cannot write --log file {destination!r}: {error}")
 
 
 def _engine(database: SubjectiveDatabase, o: int, k: int) -> SubDEx:
@@ -88,13 +120,16 @@ def cmd_summary(args: argparse.Namespace, out=None) -> int:
 
 def cmd_explore(args: argparse.Namespace, out=None) -> int:
     out = out or sys.stdout
+    _check_log_path(args.log)
     database = _load_dataset(args.dataset, args.scale, args.seed)
     engine = _engine(database, args.recommendations, args.maps)
     path = engine.explore_automated(args.steps)
     for record in path.steps:
         _print_step(record, out)
     if args.log:
-        ExplorationLog.from_path(path, dataset=database.name).save(args.log)
+        _save_log(
+            ExplorationLog.from_path(path, dataset=database.name), args.log
+        )
         print(f"\nexploration log written to {args.log}", file=out)
     return 0
 
@@ -148,6 +183,7 @@ def cmd_interactive(
     input_fn: Callable[[str], str] = input,
 ) -> int:
     out = out or sys.stdout
+    _check_log_path(args.log)
     database = _load_dataset(args.dataset, args.scale, args.seed)
     engine = _engine(database, args.recommendations, args.maps)
     session = engine.session()
@@ -187,9 +223,38 @@ def cmd_interactive(
             print(f"error: {error}", file=out)
     if args.log:
         path = ExplorationPath(ExplorationMode.USER_DRIVEN, session.steps)
-        ExplorationLog.from_path(path, dataset=database.name).save(args.log)
+        _save_log(
+            ExplorationLog.from_path(path, dataset=database.name), args.log
+        )
         print(f"exploration log written to {args.log}", file=out)
     return 0
+
+
+def cmd_serve(args: argparse.Namespace, out=None) -> int:
+    out = out or sys.stdout
+    from .server import ServerConfig, serve
+
+    names = [name.strip() for name in args.dataset.split(",") if name.strip()]
+    if not names:
+        raise CLIError("--dataset must name at least one dataset")
+    factories = {}
+    for name in names:
+        if name not in DATASETS:
+            raise CLIError(
+                f"unknown dataset {name!r} (choose from {', '.join(DATASETS)})"
+            )
+        factories[name] = (
+            lambda n=name: _engine(
+                _load_dataset(n, args.scale, args.seed),
+                args.recommendations,
+                args.maps,
+            )
+        )
+    config = ServerConfig(
+        max_sessions=args.max_sessions,
+        session_ttl_seconds=args.session_ttl,
+    )
+    return serve(factories, host=args.host, port=args.port, config=config, out=out)
 
 
 # -- parser ---------------------------------------------------------------------
@@ -228,12 +293,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_inter.add_argument("--log", default=None)
     p_inter.set_defaults(fn=cmd_interactive)
 
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-session exploration service"
+    )
+    common(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642)
+    p_serve.add_argument("--maps", type=int, default=3, help="k")
+    p_serve.add_argument("--recommendations", type=int, default=3, help="o")
+    p_serve.add_argument("--max-sessions", type=int, default=64,
+                         help="live-session cap (further creates get 429)")
+    p_serve.add_argument("--session-ttl", type=float, default=1800.0,
+                         help="idle seconds before a session is evicted")
+    p_serve.set_defaults(fn=cmd_serve)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CLIError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

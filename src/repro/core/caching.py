@@ -13,25 +13,43 @@ back down, retraces recommendations.  :class:`CachingEngine` wraps a
 
 The caches are transparent (identical results) and expose hit statistics
 for the interactivity bench.
+
+Both :class:`LRUCache` and :class:`CachingEngine` are **thread-safe**: the
+serving layer (:mod:`repro.server`) shares one caching engine per dataset
+across every concurrent session so group/result reuse is amortised across
+users.  Cache bookkeeping (lookup, insertion, eviction, statistics) is
+guarded by a per-cache lock; the expensive computation on a miss runs
+*outside* the lock, so two threads missing the same key may both compute
+the value — wasted work, never a wrong answer (both compute equal values
+and last-put wins).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Hashable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable
 
 from ..model.groups import RatingGroup, SelectionCriteria
 from .engine import SubDEx
 from .generator import RMSetResult
 from .utility import SeenMaps
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .session import ExplorationSession
+
 __all__ = ["CacheStats", "LRUCache", "CachingEngine"]
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one cache."""
+    """Hit/miss counters of one cache.
+
+    Mutated only while the owning cache's lock is held, so the counters
+    stay consistent under concurrent use; reads are single-attribute and
+    therefore safe without the lock.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -45,6 +63,18 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.requests if self.requests else 0.0
 
+    def snapshot(self) -> dict[str, float]:
+        """A point-in-time JSON-friendly view (for the /metrics endpoint)."""
+        hits, misses, evictions = self.hits, self.misses, self.evictions
+        requests = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "requests": requests,
+            "evictions": evictions,
+            "hit_rate": hits / requests if requests else 0.0,
+        }
+
     def describe(self) -> str:
         return (
             f"{self.hits} hits / {self.requests} requests "
@@ -53,37 +83,42 @@ class CacheStats:
 
 
 class LRUCache:
-    """A small, explicit LRU cache (no functools.lru_cache: we need stats
-    and non-function usage)."""
+    """A small, explicit, thread-safe LRU cache (no functools.lru_cache:
+    we need stats and non-function usage)."""
 
     def __init__(self, capacity: int = 128) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._store: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._store)
+        with self._lock:
+            return len(self._store)
 
     def get(self, key: Hashable) -> object | None:
-        if key in self._store:
-            self._store.move_to_end(key)
-            self.stats.hits += 1
-            return self._store[key]
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self.stats.hits += 1
+                return self._store[key]
+            self.stats.misses += 1
+            return None
 
     def put(self, key: Hashable, value: object) -> None:
-        if key in self._store:
-            self._store.move_to_end(key)
-        self._store[key] = value
-        if len(self._store) > self._capacity:
-            self._store.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+            self._store[key] = value
+            if len(self._store) > self._capacity:
+                self._store.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
-        self._store.clear()
+        with self._lock:
+            self._store.clear()
 
 
 def _seen_fingerprint(seen: SeenMaps) -> tuple:
@@ -104,7 +139,9 @@ class CachingEngine:
     """A drop-in caching layer over :class:`SubDEx`.
 
     ``rating_maps`` / ``group`` calls hit the caches; everything else
-    delegates to the wrapped engine.
+    delegates to the wrapped engine.  Safe to share across threads — each
+    server worker thread (or exploration session) may call into one shared
+    instance concurrently.
     """
 
     def __init__(
@@ -120,6 +157,10 @@ class CachingEngine:
     @property
     def engine(self) -> SubDEx:
         return self._engine
+
+    @property
+    def database(self):
+        return self._engine.database
 
     @property
     def group_stats(self) -> CacheStats:
@@ -155,6 +196,24 @@ class CachingEngine:
             cached = self._engine.generator.generate(group, seen)
             self._results.put(key, cached)
         return cached  # type: ignore[return-value]
+
+    def session(self, start: SelectionCriteria | None = None) -> "ExplorationSession":
+        """A fresh exploration session whose group materialisation and
+        RM-Set generation run through this shared cache.
+
+        Sessions created this way by different users amortise each other's
+        work: revisiting a selection another session already examined under
+        the same display history is a cache hit.
+        """
+        from .session import ExplorationSession
+
+        return ExplorationSession(
+            self._engine.database,
+            self._engine.generator,
+            self._engine.recommender,
+            start,
+            cache=self,
+        )
 
     def clear(self) -> None:
         self._groups.clear()

@@ -20,7 +20,12 @@ from typing import Any, Iterable
 from ..model.database import Side
 from .modes import ExplorationMode, ExplorationPath
 
-__all__ = ["LoggedMap", "LoggedStep", "ExplorationLog"]
+__all__ = ["SCHEMA_VERSION", "LoggedMap", "LoggedStep", "ExplorationLog"]
+
+#: Version of the exploration-log JSON schema.  Written into every export
+#: so server-produced logs stay forward-compatible with the
+#: personalisation extension; loaders accept and ignore unknown versions.
+SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -110,12 +115,21 @@ class ExplorationLog:
         )
 
     # -- (de)serialisation ----------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-ready payload, including the schema version stamp."""
+        payload = asdict(self)
+        payload["schema_version"] = SCHEMA_VERSION
+        return payload
+
     def to_json(self) -> str:
-        return json.dumps(asdict(self), indent=2, sort_keys=True)
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "ExplorationLog":
         data = json.loads(text)
+        # schema_version is accepted on load but intentionally not required
+        # or validated: older logs lack it, newer ones may bump it.
+        data.pop("schema_version", None)
         steps = tuple(
             LoggedStep(
                 index=s["index"],

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..exceptions import EmptyGroupError, OperationError
 from ..model.database import SubjectiveDatabase
@@ -18,6 +19,9 @@ from ..model.operations import Operation, OperationKind
 from .generator import RMSetGenerator, RMSetResult
 from .recommend import RecommendationBuilder, ScoredOperation
 from .utility import SeenMaps
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .caching import CachingEngine
 
 __all__ = ["StepRecord", "ExplorationSession"]
 
@@ -70,16 +74,18 @@ class ExplorationSession:
         generator: RMSetGenerator,
         recommender: RecommendationBuilder,
         start: SelectionCriteria | None = None,
+        cache: "CachingEngine | None" = None,
     ) -> None:
         self._database = database
         self._generator = generator
         self._recommender = recommender
+        self._cache = cache
         self._seen = SeenMaps(
             database.dimensions,
             n_attributes=len(database.grouping_attributes()),
         )
         criteria = start if start is not None else SelectionCriteria.root()
-        group = RatingGroup(database, criteria)
+        group = self._materialise(criteria)
         if group.is_empty:
             raise EmptyGroupError(
                 f"starting criteria matches no records: {criteria.describe()}"
@@ -115,6 +121,23 @@ class ExplorationSession:
     def n_steps(self) -> int:
         return len(self._state.steps)
 
+    # -- computation backends ------------------------------------------------
+    def _materialise(self, criteria: SelectionCriteria) -> RatingGroup:
+        """Materialise a rating group, through the shared cache if any.
+
+        When the session is created by :meth:`CachingEngine.session`, group
+        row sets are shared with every other session on the same engine.
+        """
+        if self._cache is not None:
+            return self._cache.group(criteria)
+        return RatingGroup(self._database, criteria)
+
+    def _generate(self) -> RMSetResult:
+        """Run the RM-Set Generator for the current state (cached if shared)."""
+        if self._cache is not None:
+            return self._cache.rating_maps(self._state.criteria, self._seen)
+        return self._generator.generate(self._state.group, self._seen)
+
     # -- stepping -----------------------------------------------------------
     def step(
         self,
@@ -130,7 +153,7 @@ class ExplorationSession:
         top-o next-step recommendations.
         """
         if operation is not None:
-            group = RatingGroup(self._database, operation.target)
+            group = self._materialise(operation.target)
             if group.is_empty:
                 raise OperationError(
                     f"operation yields an empty group: {operation.describe()}"
@@ -139,7 +162,7 @@ class ExplorationSession:
             self._state.group = group
 
         started = time.perf_counter()
-        result = self._generator.generate(self._state.group, self._seen)
+        result = self._generate()
         for rating_map in result.selected:
             self._seen.add(rating_map)
         generate_elapsed = time.perf_counter() - started

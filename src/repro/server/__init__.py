@@ -1,0 +1,51 @@
+"""The SubDEx exploration service (the "serving layer").
+
+The paper demonstrates SubDEx as an interactive UI over one analyst's
+session; this package turns the engine into a shared, concurrent service:
+
+* :mod:`repro.server.protocol` — the JSON wire protocol mirroring the
+  paper's UI actions (create session, show rating maps, list top-o
+  recommendations, apply an operation, edit the selection via the SQL
+  dialect, fetch the exploration log, close);
+* :mod:`repro.server.registry` — the session registry: per-session locks,
+  TTL-based idle eviction, a bounded session cap;
+* :mod:`repro.server.metrics` — request counters, latency percentiles and
+  cache statistics behind ``GET /metrics``;
+* :mod:`repro.server.app` — the stdlib :class:`ThreadingHTTPServer`
+  application and the per-dataset engine pool (one shared, thread-safe
+  :class:`~repro.core.caching.CachingEngine` per dataset, so group/result
+  caches are amortised across users);
+* :mod:`repro.server.client` — :class:`SubDExClient`, the small blocking
+  client used by the tests and the throughput bench.
+
+Start a server from the command line with ``python -m repro serve``.
+"""
+
+from .app import EnginePool, ServerConfig, SubDExServer, build_server, serve
+from .client import ServerError, SubDExClient
+from .metrics import ServerMetrics
+from .protocol import ProtocolError
+from .registry import (
+    ManagedSession,
+    SessionGoneError,
+    SessionLimitError,
+    SessionRegistry,
+    UnknownSessionError,
+)
+
+__all__ = [
+    "EnginePool",
+    "ManagedSession",
+    "ProtocolError",
+    "ServerConfig",
+    "ServerError",
+    "ServerMetrics",
+    "SessionGoneError",
+    "SessionLimitError",
+    "SessionRegistry",
+    "SubDExClient",
+    "SubDExServer",
+    "UnknownSessionError",
+    "build_server",
+    "serve",
+]

@@ -1,0 +1,530 @@
+"""The SubDEx HTTP application: stdlib ``ThreadingHTTPServer`` + routes.
+
+Architecture (one process, many threads):
+
+* one :class:`EnginePool` — per dataset, a lazily-built
+  :class:`~repro.core.engine.SubDEx` wrapped in a shared, thread-safe
+  :class:`~repro.core.caching.CachingEngine`, so every session on that
+  dataset amortises group materialisation and RM-Set generation;
+* one :class:`~repro.server.registry.SessionRegistry` — per-session locks,
+  TTL idle eviction, a bounded live-session cap;
+* one :class:`~repro.server.metrics.ServerMetrics` — request/latency/cache
+  accounting behind ``GET /metrics``.
+
+Endpoints (all JSON; see ``docs/API.md`` for the full reference)::
+
+    GET    /health                          liveness + datasets
+    GET    /metrics                         serving metrics
+    POST   /sessions                        create a session (opening step)
+    GET    /sessions                        list live sessions
+    GET    /sessions/{id}                   session summary
+    DELETE /sessions/{id}                   close a session
+    GET    /sessions/{id}/maps              current rating maps
+    GET    /sessions/{id}/recommendations   numbered top-o recommendations
+    POST   /sessions/{id}/apply             apply a recommendation / edit
+    GET    /sessions/{id}/history           exploration log (JSON schema)
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+from urllib.parse import parse_qs, urlsplit
+
+from ..core.caching import CachingEngine
+from ..core.engine import SubDEx
+from ..core.history import ExplorationLog
+from ..core.modes import ExplorationMode, ExplorationPath
+from ..exceptions import EmptyGroupError, OperationError, ReproError
+from .metrics import ServerMetrics
+from .protocol import (
+    ProtocolError,
+    apply_edit,
+    criteria_from_json,
+    criteria_to_json,
+    error_payload,
+    rating_map_to_json,
+    recommendation_to_json,
+    step_to_json,
+)
+from .registry import (
+    SessionGoneError,
+    SessionLimitError,
+    SessionRegistry,
+    UnknownSessionError,
+)
+
+__all__ = ["ServerConfig", "EnginePool", "SubDExServer", "build_server", "serve"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one server process."""
+
+    max_sessions: int = 64
+    session_ttl_seconds: float = 1800.0
+    max_body_bytes: int = 1 << 20
+    metrics_reservoir_size: int = 1024
+    group_cache_capacity: int = 256
+    result_cache_capacity: int = 128
+
+
+class EnginePool:
+    """Per-dataset shared caching engines.
+
+    ``factories`` maps dataset name → zero-argument :class:`SubDEx`
+    builder; engines are built lazily on first use (dataset loading is the
+    expensive part) and wrapped in one shared :class:`CachingEngine` each.
+    """
+
+    def __init__(
+        self,
+        factories: Mapping[str, Callable[[], SubDEx]],
+        group_capacity: int = 256,
+        result_capacity: int = 128,
+    ) -> None:
+        if not factories:
+            raise ValueError("EnginePool needs at least one dataset factory")
+        self._factories = dict(factories)
+        self._group_capacity = group_capacity
+        self._result_capacity = result_capacity
+        self._engines: dict[str, CachingEngine] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._factories)
+
+    @property
+    def default_dataset(self) -> str:
+        return next(iter(self._factories))
+
+    def get(self, name: str) -> CachingEngine:
+        """The shared caching engine for ``name`` (built on first use)."""
+        if name not in self._factories:
+            raise ProtocolError(
+                f"unknown dataset {name!r} "
+                f"(served datasets: {', '.join(self._factories)})",
+                "unknown_dataset",
+            )
+        with self._lock:
+            engine = self._engines.get(name)
+            if engine is None:
+                engine = CachingEngine(
+                    self._factories[name](),
+                    group_capacity=self._group_capacity,
+                    result_capacity=self._result_capacity,
+                )
+                self._engines[name] = engine
+            return engine
+
+    def cache_snapshots(self) -> dict[str, Any]:
+        """Per-dataset group/result cache statistics (for ``/metrics``)."""
+        with self._lock:
+            engines = dict(self._engines)
+        return {
+            name: {
+                "group": engine.group_stats.snapshot(),
+                "result": engine.result_stats.snapshot(),
+            }
+            for name, engine in engines.items()
+        }
+
+
+_SESSION_ID = r"(?P<sid>[0-9a-f]{32})"
+_ROUTES: list[tuple[str, re.Pattern, str, str]] = [
+    ("GET", re.compile(r"^/health$"), "handle_health", "GET /health"),
+    ("GET", re.compile(r"^/metrics$"), "handle_metrics", "GET /metrics"),
+    ("POST", re.compile(r"^/sessions$"), "handle_create", "POST /sessions"),
+    ("GET", re.compile(r"^/sessions$"), "handle_list", "GET /sessions"),
+    (
+        "GET",
+        re.compile(rf"^/sessions/{_SESSION_ID}$"),
+        "handle_summary",
+        "GET /sessions/{id}",
+    ),
+    (
+        "DELETE",
+        re.compile(rf"^/sessions/{_SESSION_ID}$"),
+        "handle_close",
+        "DELETE /sessions/{id}",
+    ),
+    (
+        "GET",
+        re.compile(rf"^/sessions/{_SESSION_ID}/maps$"),
+        "handle_maps",
+        "GET /sessions/{id}/maps",
+    ),
+    (
+        "GET",
+        re.compile(rf"^/sessions/{_SESSION_ID}/recommendations$"),
+        "handle_recommendations",
+        "GET /sessions/{id}/recommendations",
+    ),
+    (
+        "POST",
+        re.compile(rf"^/sessions/{_SESSION_ID}/apply$"),
+        "handle_apply",
+        "POST /sessions/{id}/apply",
+    ),
+    (
+        "GET",
+        re.compile(rf"^/sessions/{_SESSION_ID}/history$"),
+        "handle_history",
+        "GET /sessions/{id}/history",
+    ),
+]
+
+
+class _PayloadTooLarge(ReproError):
+    """Request body exceeds the configured limit (HTTP 413)."""
+
+
+class SubDExRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to handler methods; owns nothing but the wire."""
+
+    protocol_version = "HTTP/1.1"
+    server: "SubDExServer"  # narrowed for type checkers
+
+    # -- plumbing -----------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # request logging is the metrics endpoint's job
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        path = urlsplit(self.path).path
+        label = None
+        allowed: list[str] = []
+        handler_name = None
+        params: dict[str, str] = {}
+        for route_method, pattern, name, route_label in _ROUTES:
+            match = pattern.match(path)
+            if not match:
+                continue
+            if route_method == method:
+                handler_name = name
+                label = route_label
+                params = match.groupdict()
+                break
+            allowed.append(route_method)
+
+        started = time.perf_counter()
+        if handler_name is None:
+            if allowed:
+                label = f"{method} {path}"
+                status, payload = 405, error_payload(
+                    "method_not_allowed",
+                    f"{method} not allowed here (allowed: {', '.join(allowed)})",
+                )
+            else:
+                label = "<unmatched>"
+                status, payload = 404, error_payload(
+                    "not_found", f"no such endpoint: {method} {path}"
+                )
+        else:
+            status, payload = self._run(handler_name, params)
+        self._send(status, payload)
+        self.server.metrics.observe(
+            label or "<unmatched>", status, time.perf_counter() - started
+        )
+
+    def _run(
+        self, handler_name: str, params: dict[str, str]
+    ) -> tuple[int, dict[str, Any]]:
+        try:
+            return getattr(self, handler_name)(**params)
+        except _PayloadTooLarge as error:
+            self.close_connection = True  # unread body still on the wire
+            return 413, error_payload("payload_too_large", str(error))
+        except ProtocolError as error:
+            return 400, error_payload(error.code, str(error))
+        except UnknownSessionError as error:
+            return 404, error_payload("unknown_session", str(error))
+        except SessionGoneError as error:
+            return 410, error_payload("session_gone", str(error))
+        except SessionLimitError as error:
+            return 429, error_payload("too_many_sessions", str(error))
+        except (EmptyGroupError, OperationError) as error:
+            return 400, error_payload("empty_group", str(error))
+        except ReproError as error:
+            return 400, error_payload("bad_request", str(error))
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            return 500, error_payload(
+                "internal_error", f"{type(error).__name__}: {error}"
+            )
+
+    def _send(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json_body(self) -> dict[str, Any]:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header) if length_header is not None else 0
+        except ValueError:
+            raise ProtocolError(
+                f"invalid Content-Length: {length_header!r}", "invalid_request"
+            ) from None
+        limit = self.server.config.max_body_bytes
+        if length > limit:
+            raise _PayloadTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{limit}-byte limit"
+            )
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(
+                f"request body is not valid JSON: {error}", "invalid_json"
+            ) from None
+        if not isinstance(body, dict):
+            raise ProtocolError(
+                "request body must be a JSON object", "invalid_json"
+            )
+        return body
+
+    def _query(self) -> dict[str, list[str]]:
+        return parse_qs(urlsplit(self.path).query)
+
+    # -- service endpoints ---------------------------------------------------
+    def handle_health(self) -> tuple[int, dict[str, Any]]:
+        return 200, {
+            "status": "ok",
+            "datasets": list(self.server.pool.names),
+            "sessions": self.server.registry.live_count,
+        }
+
+    def handle_metrics(self) -> tuple[int, dict[str, Any]]:
+        return 200, self.server.metrics.snapshot(
+            sessions=self.server.registry.counters(),
+            caches=self.server.pool.cache_snapshots(),
+        )
+
+    # -- session lifecycle ---------------------------------------------------
+    def handle_create(self) -> tuple[int, dict[str, Any]]:
+        body = self._json_body()
+        dataset = body.get("dataset") or self.server.pool.default_dataset
+        if not isinstance(dataset, str):
+            raise ProtocolError("'dataset' must be a string", "invalid_request")
+        engine = self.server.pool.get(dataset)
+        start = (
+            criteria_from_json(body["criteria"])
+            if body.get("criteria") is not None
+            else None
+        )
+        managed = self.server.registry.create(
+            dataset, lambda: engine.session(start)
+        )
+        with self.server.registry.acquire(managed.session_id) as live:
+            record = live.session.step(with_recommendations=True)
+            live.latest = record
+            return 201, {
+                "session_id": live.session_id,
+                "dataset": dataset,
+                "step": step_to_json(record),
+            }
+
+    def handle_list(self) -> tuple[int, dict[str, Any]]:
+        return 200, {"sessions": self.server.registry.summaries()}
+
+    def handle_summary(self, sid: str) -> tuple[int, dict[str, Any]]:
+        registry = self.server.registry
+        with registry.acquire(sid) as managed:
+            summary = managed.summary(now=time.monotonic())
+            summary["criteria"] = (
+                criteria_to_json(managed.session.criteria)
+                if managed.session is not None
+                else None
+            )
+            return 200, summary
+
+    def handle_close(self, sid: str) -> tuple[int, dict[str, Any]]:
+        managed = self.server.registry.close(sid)
+        return 200, {
+            "session_id": sid,
+            "closed": True,
+            "n_steps": managed.session.n_steps if managed.session else 0,
+        }
+
+    # -- exploration ---------------------------------------------------------
+    def handle_maps(self, sid: str) -> tuple[int, dict[str, Any]]:
+        with self.server.registry.acquire(sid) as managed:
+            record = managed.latest
+            return 200, {
+                "session_id": sid,
+                "step_index": record.index if record else 0,
+                "criteria": criteria_to_json(record.criteria) if record else None,
+                "maps": [
+                    rating_map_to_json(rm, record.result.dw_utility(rm))
+                    for rm in record.result.selected
+                ]
+                if record
+                else [],
+            }
+
+    def handle_recommendations(self, sid: str) -> tuple[int, dict[str, Any]]:
+        query = self._query()
+        limit: int | None = None
+        if "o" in query:
+            try:
+                limit = int(query["o"][0])
+            except ValueError:
+                raise ProtocolError(
+                    f"query parameter o must be an integer, "
+                    f"got {query['o'][0]!r}",
+                    "invalid_request",
+                ) from None
+            if limit < 1:
+                raise ProtocolError(
+                    f"query parameter o must be >= 1, got {limit}",
+                    "invalid_request",
+                )
+        with self.server.registry.acquire(sid) as managed:
+            scored = managed.latest.recommendations if managed.latest else ()
+            if limit is not None:
+                scored = scored[:limit]
+            return 200, {
+                "session_id": sid,
+                "recommendations": [
+                    recommendation_to_json(i, s)
+                    for i, s in enumerate(scored, 1)
+                ],
+            }
+
+    def handle_apply(self, sid: str) -> tuple[int, dict[str, Any]]:
+        body = self._json_body()
+        directives = [
+            k
+            for k in ("recommendation", "add", "drop", "sql", "criteria")
+            if k in body
+        ]
+        if len(directives) > 1:
+            raise ProtocolError(
+                "apply body must contain exactly one of 'recommendation', "
+                f"'add', 'drop', 'sql' or 'criteria', got {directives}",
+                "invalid_edit",
+            )
+        with self.server.registry.acquire(sid) as managed:
+            if "recommendation" in body:
+                number = body["recommendation"]
+                scored = managed.latest.recommendations if managed.latest else ()
+                if (
+                    not isinstance(number, int)
+                    or isinstance(number, bool)
+                    or not 1 <= number <= len(scored)
+                ):
+                    raise ProtocolError(
+                        f"invalid recommendation number {number!r} "
+                        f"(the current step offers 1..{len(scored)})",
+                        "invalid_recommendation",
+                    )
+                record = managed.session.step(
+                    scored[number - 1].operation, with_recommendations=True
+                )
+            else:
+                criteria = apply_edit(managed.session.criteria, body)
+                record = managed.session.apply_criteria(
+                    criteria, with_recommendations=True
+                )
+            managed.latest = record
+            return 200, {"session_id": sid, "step": step_to_json(record)}
+
+    def handle_history(self, sid: str) -> tuple[int, dict[str, Any]]:
+        with self.server.registry.acquire(sid) as managed:
+            path = ExplorationPath(
+                ExplorationMode.USER_DRIVEN, managed.session.steps
+            )
+            log = ExplorationLog.from_path(
+                path,
+                dataset=managed.dataset,
+                metadata={"session_id": sid},
+            )
+            return 200, log.to_dict()
+
+
+class SubDExServer(ThreadingHTTPServer):
+    """One serving process: pool + registry + metrics behind HTTP."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        pool: EnginePool,
+        config: ServerConfig | None = None,
+    ) -> None:
+        super().__init__(address, SubDExRequestHandler)
+        self.config = config or ServerConfig()
+        self.pool = pool
+        self.registry = SessionRegistry(
+            max_sessions=self.config.max_sessions,
+            ttl_seconds=self.config.session_ttl_seconds,
+        )
+        self.metrics = ServerMetrics(
+            reservoir_size=self.config.metrics_reservoir_size
+        )
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[0], self.server_address[1]
+        return f"http://{host}:{port}"
+
+
+def build_server(
+    factories: Mapping[str, Callable[[], SubDEx]],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: ServerConfig | None = None,
+) -> SubDExServer:
+    """Create (but do not start) a server; ``port=0`` picks a free port."""
+    config = config or ServerConfig()
+    pool = EnginePool(
+        factories,
+        group_capacity=config.group_cache_capacity,
+        result_capacity=config.result_cache_capacity,
+    )
+    return SubDExServer((host, port), pool, config)
+
+
+def serve(
+    factories: Mapping[str, Callable[[], SubDEx]],
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    config: ServerConfig | None = None,
+    out=None,
+) -> int:
+    """Run a server until interrupted (the ``python -m repro serve`` body)."""
+    import sys
+
+    out = out or sys.stdout
+    server = build_server(factories, host, port, config)
+    print(f"SubDEx serving {', '.join(server.pool.names)} on {server.url}", file=out)
+    print("endpoints: /health /metrics /sessions (see docs/API.md)", file=out)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down", file=out)
+    finally:
+        server.server_close()
+    return 0

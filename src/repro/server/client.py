@@ -1,0 +1,201 @@
+"""A small blocking client for the SubDEx service.
+
+:class:`SubDExClient` speaks the JSON wire protocol over a persistent
+``http.client`` connection (reconnecting transparently when the server
+closes it).  Server-side failures surface as :class:`ServerError` carrying
+the HTTP status and the machine-readable error code from the payload, so
+callers can distinguish a bad request (400) from an evicted session (410)
+or a full server (429).
+
+.. code-block:: python
+
+    with SubDExClient("http://127.0.0.1:8642") as client:
+        session = client.create_session()
+        for rm in session.maps()["maps"]:
+            print(rm["description"])
+        session.apply_recommendation(1)
+        log = session.history()
+        session.close()
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Mapping
+from urllib.parse import urlencode, urlsplit
+
+from ..exceptions import ReproError
+
+__all__ = ["ServerError", "SubDExClient", "ClientSession"]
+
+
+class ServerError(ReproError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class SubDExClient:
+    """Blocking HTTP client; one instance per thread (not thread-safe)."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"only http:// URLs are supported, got {base_url!r}")
+        netloc = parts.netloc or parts.path  # tolerate "host:port" without scheme
+        self._host, _, port = netloc.partition(":")
+        self._port = int(port) if port else 80
+        self._timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # -- plumbing -----------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "SubDExClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Mapping[str, Any] | None = None,
+        query: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """One round-trip; raises :class:`ServerError` on non-2xx."""
+        if query:
+            path = f"{path}?{urlencode(query)}"
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (1, 2):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                BrokenPipeError,
+            ):
+                # stale keep-alive connection: reconnect once
+                self.close()
+                if attempt == 2:
+                    raise
+        try:
+            data = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as error:
+            raise ServerError(
+                response.status, "invalid_response", f"non-JSON body: {error}"
+            ) from None
+        if response.status >= 400:
+            error_info = data.get("error", {}) if isinstance(data, dict) else {}
+            raise ServerError(
+                response.status,
+                error_info.get("code", "unknown"),
+                error_info.get("message", raw.decode("utf-8", "replace")),
+            )
+        return data
+
+    # -- service endpoints ---------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self.request("GET", "/health")
+
+    def metrics(self) -> dict[str, Any]:
+        return self.request("GET", "/metrics")
+
+    def sessions(self) -> list[dict[str, Any]]:
+        return self.request("GET", "/sessions")["sessions"]
+
+    def create_session(
+        self,
+        dataset: str | None = None,
+        criteria: Mapping[str, Mapping[str, Any]] | None = None,
+    ) -> "ClientSession":
+        payload: dict[str, Any] = {}
+        if dataset is not None:
+            payload["dataset"] = dataset
+        if criteria is not None:
+            payload["criteria"] = dict(criteria)
+        data = self.request("POST", "/sessions", payload)
+        return ClientSession(self, data)
+
+
+class ClientSession:
+    """A handle on one server-side exploration session."""
+
+    def __init__(self, client: SubDExClient, created: dict[str, Any]) -> None:
+        self._client = client
+        self.id = created["session_id"]
+        self.dataset = created["dataset"]
+        #: The latest step payload (updated by every ``apply_*`` call).
+        self.step = created["step"]
+
+    def _apply(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        data = self._client.request(
+            "POST", f"/sessions/{self.id}/apply", payload
+        )
+        self.step = data["step"]
+        return self.step
+
+    # -- the paper's UI actions ---------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        return self._client.request("GET", f"/sessions/{self.id}")
+
+    def maps(self) -> dict[str, Any]:
+        """The current step's rating maps."""
+        return self._client.request("GET", f"/sessions/{self.id}/maps")
+
+    def recommendations(self, o: int | None = None) -> list[dict[str, Any]]:
+        """The current step's numbered top-o recommendations."""
+        query = {"o": o} if o is not None else None
+        data = self._client.request(
+            "GET", f"/sessions/{self.id}/recommendations", query=query
+        )
+        return data["recommendations"]
+
+    def apply_recommendation(self, number: int) -> dict[str, Any]:
+        """Apply recommendation ``number`` (1-based, as displayed)."""
+        return self._apply({"recommendation": number})
+
+    def apply_add(self, side: str, attribute: str, value: Any) -> dict[str, Any]:
+        return self._apply(
+            {"add": {"side": side, "attribute": attribute, "value": value}}
+        )
+
+    def apply_drop(self, side: str, attribute: str) -> dict[str, Any]:
+        return self._apply({"drop": {"side": side, "attribute": attribute}})
+
+    def apply_sql(self, side: str, where: str) -> dict[str, Any]:
+        """Replace one side's selection with a SQL-dialect conjunction."""
+        return self._apply({"sql": {"side": side, "where": where}})
+
+    def apply_criteria(
+        self, criteria: Mapping[str, Mapping[str, Any]]
+    ) -> dict[str, Any]:
+        return self._apply({"criteria": dict(criteria)})
+
+    def history(self) -> dict[str, Any]:
+        """The exploration log (same JSON schema as ``--log`` exports)."""
+        return self._client.request("GET", f"/sessions/{self.id}/history")
+
+    def close(self) -> dict[str, Any]:
+        return self._client.request("DELETE", f"/sessions/{self.id}")

@@ -1,0 +1,132 @@
+"""Serving metrics: request counts, latency percentiles, cache hit rates.
+
+Pure stdlib (the server must not pull numpy into its hot path): latencies
+are kept in bounded per-endpoint reservoirs (the most recent ``maxlen``
+observations) and percentiles are computed with linear interpolation on a
+sorted copy at snapshot time.  All mutation is behind one lock —
+``observe`` is a few appends and increments, far cheaper than any request
+it measures.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Mapping
+
+__all__ = ["ServerMetrics", "pure_percentile"]
+
+
+def pure_percentile(samples: list[float], q: float) -> float:
+    """The ``q``-th percentile (0–100), linear interpolation, no numpy."""
+    if not samples:
+        return float("nan")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class _EndpointStats:
+    """Counters and a bounded latency reservoir for one endpoint."""
+
+    __slots__ = ("count", "errors", "latencies")
+
+    def __init__(self, maxlen: int) -> None:
+        self.count = 0
+        self.errors = 0
+        self.latencies: deque[float] = deque(maxlen=maxlen)
+
+    def snapshot(self) -> dict[str, Any]:
+        samples = list(self.latencies)
+        return {
+            "count": self.count,
+            "errors": self.errors,
+            "latency_seconds": {
+                "mean": sum(samples) / len(samples) if samples else float("nan"),
+                "p50": pure_percentile(samples, 50.0),
+                "p95": pure_percentile(samples, 95.0),
+                "p99": pure_percentile(samples, 99.0),
+            },
+        }
+
+
+class ServerMetrics:
+    """Thread-safe request/latency/session accounting for ``/metrics``."""
+
+    def __init__(self, reservoir_size: int = 1024) -> None:
+        if reservoir_size < 1:
+            raise ValueError(
+                f"reservoir_size must be >= 1, got {reservoir_size}"
+            )
+        self._reservoir_size = reservoir_size
+        self._lock = threading.Lock()
+        self._started_wall = time.time()
+        self._started_monotonic = time.monotonic()
+        self._total = 0
+        self._by_endpoint: dict[str, _EndpointStats] = {}
+        self._by_status: dict[int, int] = {}
+
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one completed request.
+
+        ``endpoint`` is the route label (``"POST /sessions"``), not the
+        raw path, so per-session URLs aggregate into one series.
+        """
+        with self._lock:
+            self._total += 1
+            stats = self._by_endpoint.get(endpoint)
+            if stats is None:
+                stats = self._by_endpoint[endpoint] = _EndpointStats(
+                    self._reservoir_size
+                )
+            stats.count += 1
+            if status >= 400:
+                stats.errors += 1
+            stats.latencies.append(seconds)
+            self._by_status[status] = self._by_status.get(status, 0) + 1
+
+    @property
+    def total_requests(self) -> int:
+        with self._lock:
+            return self._total
+
+    def snapshot(
+        self,
+        sessions: Mapping[str, int] | None = None,
+        caches: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """The full ``/metrics`` payload.
+
+        ``sessions`` (registry counters) and ``caches`` (per-dataset
+        group/result cache stats) are supplied by the application, which
+        owns those objects.
+        """
+        with self._lock:
+            payload: dict[str, Any] = {
+                "started_at": self._started_wall,
+                "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "requests": {
+                    "total": self._total,
+                    "by_endpoint": {
+                        name: stats.snapshot()
+                        for name, stats in sorted(self._by_endpoint.items())
+                    },
+                    "by_status": {
+                        str(status): count
+                        for status, count in sorted(self._by_status.items())
+                    },
+                },
+            }
+        if sessions is not None:
+            payload["sessions"] = dict(sessions)
+        if caches is not None:
+            payload["caches"] = dict(caches)
+        return payload

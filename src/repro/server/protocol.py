@@ -1,0 +1,260 @@
+"""The JSON wire protocol of the SubDEx service.
+
+One function per payload shape, so the handler, the client and the tests
+agree on a single source of truth.  The protocol mirrors the paper's UI
+actions: every response a client needs to render a step is derived from a
+:class:`~repro.core.session.StepRecord` — the selected rating maps (with
+full per-subgroup histograms, Figure 3's table) and the numbered top-o
+recommendations the user can apply.
+
+Selection edits accept the same three forms as the interactive CLI screen:
+``add`` / ``drop`` one attribute-value pair, or replace one side's
+predicate with a conjunction of equalities written in the SQL dialect
+(the paper UI's "advanced screen").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..core.recommend import ScoredOperation
+from ..core.session import StepRecord
+from ..db.predicates import And, Eq
+from ..db.sql import parse_where
+from ..exceptions import ReproError
+from ..model.database import Side
+from ..model.groups import AVPair, SelectionCriteria
+
+__all__ = [
+    "ProtocolError",
+    "apply_edit",
+    "criteria_from_json",
+    "criteria_to_json",
+    "error_payload",
+    "rating_map_to_json",
+    "recommendation_to_json",
+    "step_to_json",
+]
+
+
+class ProtocolError(ReproError):
+    """A request payload does not follow the wire protocol (HTTP 400).
+
+    ``code`` is a stable machine-readable identifier carried in the error
+    payload next to the human-readable message.
+    """
+
+    def __init__(self, message: str, code: str = "bad_request") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _plain(value: Any) -> Any:
+    """Coerce a label/value to a JSON-representable scalar."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (frozenset, set)):
+        return "|".join(sorted(str(v) for v in value))
+    return str(value)
+
+
+def error_payload(code: str, message: str) -> dict[str, Any]:
+    """The uniform error body: ``{"error": {"code": ..., "message": ...}}``."""
+    return {"error": {"code": code, "message": message}}
+
+
+# -- selection criteria ---------------------------------------------------------
+
+def criteria_to_json(criteria: SelectionCriteria) -> dict[str, dict[str, Any]]:
+    """``{"reviewer": {attr: value}, "item": {attr: value}}``."""
+    return {
+        Side.REVIEWER.value: {
+            attr: _plain(value)
+            for attr, value in criteria.side_pairs(Side.REVIEWER).items()
+        },
+        Side.ITEM.value: {
+            attr: _plain(value)
+            for attr, value in criteria.side_pairs(Side.ITEM).items()
+        },
+    }
+
+
+def criteria_from_json(payload: Any) -> SelectionCriteria:
+    """Parse the per-side dict shape back into a :class:`SelectionCriteria`."""
+    if payload is None:
+        return SelectionCriteria.root()
+    if not isinstance(payload, Mapping):
+        raise ProtocolError("criteria must be an object", "invalid_criteria")
+    pairs: list[AVPair] = []
+    for side_name, side_pairs in payload.items():
+        try:
+            side = Side(side_name)
+        except ValueError:
+            raise ProtocolError(
+                f"unknown criteria side {side_name!r} "
+                f"(expected 'reviewer' or 'item')",
+                "invalid_criteria",
+            ) from None
+        if not isinstance(side_pairs, Mapping):
+            raise ProtocolError(
+                f"criteria[{side_name!r}] must be an object of "
+                "attribute: value pairs",
+                "invalid_criteria",
+            )
+        for attribute, value in side_pairs.items():
+            pairs.append(AVPair(side, str(attribute), value))
+    try:
+        return SelectionCriteria(pairs)
+    except ReproError as error:
+        raise ProtocolError(str(error), "invalid_criteria") from error
+
+
+# -- selection edits ------------------------------------------------------------
+
+def _require_fields(body: Mapping[str, Any], spec: Mapping[str, str]) -> list[Any]:
+    values = []
+    for name, kind in spec.items():
+        if name not in body:
+            raise ProtocolError(f"missing field {name!r}", "invalid_edit")
+        value = body[name]
+        if kind == "str" and not isinstance(value, str):
+            raise ProtocolError(f"field {name!r} must be a string", "invalid_edit")
+        values.append(value)
+    return values
+
+
+def _side(name: Any) -> Side:
+    try:
+        return Side(name)
+    except (ValueError, TypeError):
+        raise ProtocolError(
+            f"unknown side {name!r} (expected 'reviewer' or 'item')",
+            "invalid_edit",
+        ) from None
+
+
+def apply_edit(current: SelectionCriteria, body: Mapping[str, Any]) -> SelectionCriteria:
+    """Apply one selection edit from an ``/apply`` request body.
+
+    Exactly one of ``add`` / ``drop`` / ``sql`` / ``criteria`` must be
+    present (``recommendation`` is handled by the caller, which owns the
+    numbered list the index refers to).
+    """
+    kinds = [k for k in ("add", "drop", "sql", "criteria") if k in body]
+    if len(kinds) != 1:
+        raise ProtocolError(
+            "apply body must contain exactly one of "
+            "'recommendation', 'add', 'drop', 'sql' or 'criteria'",
+            "invalid_edit",
+        )
+    kind = kinds[0]
+    payload = body[kind]
+    if kind == "criteria":
+        return criteria_from_json(payload)
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(f"{kind!r} must be an object", "invalid_edit")
+
+    if kind == "add":
+        side_name, attribute = _require_fields(
+            payload, {"side": "any", "attribute": "str"}
+        )
+        if "value" not in payload:
+            raise ProtocolError("missing field 'value'", "invalid_edit")
+        return current.with_pair(
+            AVPair(_side(side_name), attribute, payload["value"])
+        )
+
+    if kind == "drop":
+        side_name, attribute = _require_fields(
+            payload, {"side": "any", "attribute": "str"}
+        )
+        side = _side(side_name)
+        for pair in current:
+            if pair.side is side and pair.attribute == attribute:
+                return current.without_pair(pair)
+        raise ProtocolError(
+            f"{side.value}.{attribute} is not part of the current selection",
+            "invalid_edit",
+        )
+
+    # kind == "sql": replace one side's pairs with a conjunction of
+    # equalities, exactly like the CLI's advanced screen.
+    side_name, where = _require_fields(payload, {"side": "any", "where": "str"})
+    side = _side(side_name)
+    try:
+        predicate = parse_where(where)
+    except ReproError as error:
+        raise ProtocolError(str(error), "invalid_sql") from error
+    pairs = [p for p in current if p.side is not side]
+    leaves = predicate.operands if isinstance(predicate, And) else (predicate,)
+    for leaf in leaves:
+        if not isinstance(leaf, Eq):
+            raise ProtocolError(
+                "the sql edit accepts conjunctions of attribute = value only",
+                "invalid_sql",
+            )
+        pairs.append(AVPair(side, leaf.attribute, leaf.value))
+    try:
+        return SelectionCriteria(pairs)
+    except ReproError as error:
+        raise ProtocolError(str(error), "invalid_sql") from error
+
+
+# -- step payloads --------------------------------------------------------------
+
+def rating_map_to_json(rating_map, dw_utility: float) -> dict[str, Any]:
+    """One displayed rating map, histograms included (Figure 3's table)."""
+    return {
+        "side": rating_map.spec.side.value,
+        "attribute": rating_map.spec.attribute,
+        "dimension": rating_map.dimension,
+        "description": rating_map.spec.describe(),
+        "dw_utility": dw_utility,
+        "n_subgroups": rating_map.n_subgroups,
+        "covered": rating_map.covered,
+        "group_size": rating_map.group_size,
+        "scale": rating_map.scale,
+        "subgroups": [
+            {
+                "label": _plain(sg.label),
+                "size": sg.size,
+                "average_score": sg.average_score,
+                "counts": [int(c) for c in sg.distribution.counts],
+            }
+            for sg in rating_map.sorted_by_score()
+        ],
+    }
+
+
+def recommendation_to_json(number: int, scored: ScoredOperation) -> dict[str, Any]:
+    """One numbered recommendation; ``number`` is what ``/apply`` refers to."""
+    operation = scored.operation
+    return {
+        "number": number,
+        "kind": operation.kind.value,
+        "description": scored.describe(),
+        "utility": scored.utility,
+        "target": criteria_to_json(operation.target),
+    }
+
+
+def step_to_json(record: StepRecord) -> dict[str, Any]:
+    """Everything a client needs to render one exploration step."""
+    return {
+        "index": record.index,
+        "criteria": criteria_to_json(record.criteria),
+        "criteria_description": record.criteria.describe(),
+        "group_size": record.group_size,
+        "operation": (
+            record.operation.describe() if record.operation is not None else None
+        ),
+        "elapsed_seconds": record.elapsed_seconds,
+        "maps": [
+            rating_map_to_json(rm, record.result.dw_utility(rm))
+            for rm in record.result.selected
+        ],
+        "recommendations": [
+            recommendation_to_json(i, scored)
+            for i, scored in enumerate(record.recommendations, 1)
+        ],
+    }

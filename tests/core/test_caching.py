@@ -1,5 +1,8 @@
 """Tests for the interactivity caching layer."""
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
 import pytest
 
 from repro.core.caching import CachingEngine, LRUCache
@@ -83,3 +86,87 @@ class TestCachingEngine:
         caching.clear()
         caching.rating_maps(SelectionCriteria.root())
         assert caching.result_stats.hits == 0
+
+    def test_session_runs_through_cache(self, tiny_engine):
+        caching = CachingEngine(tiny_engine)
+        first = caching.session()
+        first.step()
+        second = caching.session()
+        second.step()
+        # the second user's identical opening step is amortised: the group
+        # was materialised once and the RM-Set result is a cache hit
+        assert caching.result_stats.hits >= 1
+        assert caching.group_stats.hits >= 1
+
+    def test_cached_session_results_match_plain_session(self, tiny_engine):
+        plain = tiny_engine.session()
+        cached = CachingEngine(tiny_engine).session()
+        for session in (plain, cached):
+            session.step()
+        assert [rm.spec for rm in plain.steps[0].result.selected] == [
+            rm.spec for rm in cached.steps[0].result.selected
+        ]
+
+
+class TestConcurrency:
+    """The server shares one cache across worker threads (ISSUE 1)."""
+
+    def test_lru_cache_hammered_from_8_threads(self):
+        cache = LRUCache(capacity=32)
+        n_threads, n_ops = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(thread_id: int) -> None:
+            barrier.wait()
+            for i in range(n_ops):
+                key = (thread_id * i) % 64
+                if cache.get(key) is None:
+                    cache.put(key, key * 2)
+
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            for future in [pool.submit(hammer, t) for t in range(n_threads)]:
+                future.result()
+
+        stats = cache.stats
+        # every operation was counted exactly once (atomic updates, no
+        # lost increments) and the store never exceeded its capacity
+        assert stats.requests == n_threads * n_ops
+        assert stats.hits + stats.misses == stats.requests
+        assert len(cache) <= 32
+        # all cached values are consistent (no torn writes)
+        for key in range(64):
+            value = cache.get(key)
+            assert value is None or value == key * 2
+
+    def test_shared_engine_concurrent_results_identical(self, tiny_engine):
+        """Concurrent users of one CachingEngine see single-thread results."""
+        criterias = [
+            SelectionCriteria.root(),
+            SelectionCriteria.of(reviewer={"gender": "F"}),
+            SelectionCriteria.of(reviewer={"gender": "M"}),
+            SelectionCriteria.of(item={"city": "NYC"}),
+        ]
+        expected = {
+            criteria: [rm.spec for rm in tiny_engine.rating_maps(criteria).selected]
+            for criteria in criterias
+        }
+        caching = CachingEngine(tiny_engine)
+        barrier = threading.Barrier(8)
+
+        def explore(thread_id: int):
+            barrier.wait()
+            observed = {}
+            for i in range(len(criterias) * 3):
+                criteria = criterias[(thread_id + i) % len(criterias)]
+                result = caching.rating_maps(criteria)
+                observed[criteria] = [rm.spec for rm in result.selected]
+            return observed
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = [f.result() for f in [pool.submit(explore, t) for t in range(8)]]
+
+        for observed in results:
+            for criteria, specs in observed.items():
+                assert specs == expected[criteria]
+        # the shared cache amortised work across the 8 threads
+        assert caching.result_stats.hits > 0

@@ -56,6 +56,26 @@ class TestSerialisation:
         log.save(tmp_path / "b.json")
         assert len(ExplorationLog.load_all(tmp_path)) == 2
 
+    def test_schema_version_written(self, log):
+        import json
+
+        from repro.core.history import SCHEMA_VERSION
+
+        data = json.loads(log.to_json())
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert log.to_dict()["schema_version"] == SCHEMA_VERSION
+
+    def test_schema_version_accepted_and_ignored_on_load(self, log):
+        import json
+
+        # logs from older builds (no version) and newer builds (future
+        # version) both load: the field is accepted and ignored
+        data = json.loads(log.to_json())
+        del data["schema_version"]
+        assert ExplorationLog.from_json(json.dumps(data)) == log
+        data["schema_version"] = 999
+        assert ExplorationLog.from_json(json.dumps(data)) == log
+
 
 class TestAnalysis:
     def test_shown_specs(self, log):

@@ -1,0 +1,65 @@
+"""Fixtures: an in-process server over the tiny database, on an ephemeral port."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import SubDEx, SubDExConfig
+from repro.core.recommend import RecommenderConfig
+from repro.server import ServerConfig, SubDExClient, build_server
+
+
+def _tiny_factory(tiny_db):
+    return lambda: SubDEx(
+        tiny_db,
+        SubDExConfig(recommender=RecommenderConfig(max_values_per_attribute=3)),
+    )
+
+
+@pytest.fixture
+def server(tiny_db):
+    """A live server on an ephemeral port, torn down after the test."""
+    instance = build_server(
+        {"tiny": _tiny_factory(tiny_db)},
+        port=0,
+        config=ServerConfig(
+            max_sessions=8,
+            session_ttl_seconds=300.0,
+            max_body_bytes=8192,
+        ),
+    )
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+
+
+@pytest.fixture
+def client(server):
+    with SubDExClient(server.url) as instance:
+        yield instance
+
+
+@pytest.fixture
+def make_server(tiny_db):
+    """Factory for servers with custom configs (cap/TTL/body-limit tests)."""
+    servers = []
+
+    def build(**config_kwargs):
+        instance = build_server(
+            {"tiny": _tiny_factory(tiny_db)},
+            port=0,
+            config=ServerConfig(**config_kwargs),
+        )
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        servers.append(instance)
+        return instance
+
+    yield build
+    for instance in servers:
+        instance.shutdown()
+        instance.server_close()

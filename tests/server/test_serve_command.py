@@ -1,0 +1,78 @@
+"""Acceptance: ``python -m repro serve --dataset yelp`` starts a real server
+process a :class:`SubDExClient` can explore against."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.server import ServerError, SubDExClient
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture(scope="module")
+def serve_process():
+    """``python -m repro serve`` on an ephemeral port, at test scale."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro",
+            "serve",
+            "--dataset",
+            "yelp",
+            "--scale",
+            "0.01",
+            "--port",
+            "0",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        banner = process.stdout.readline()  # "SubDEx serving yelp on http://..."
+        assert "http://" in banner, f"unexpected serve banner: {banner!r}"
+        url = banner.strip().rsplit(" ", 1)[-1]
+        deadline = time.monotonic() + 30.0
+        while True:
+            try:
+                with SubDExClient(url, timeout=5.0) as client:
+                    client.health()
+                break
+            except (ServerError, OSError):
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.1)
+        yield url
+    finally:
+        process.terminate()
+        process.wait(timeout=10)
+
+
+def test_serve_command_end_to_end(serve_process):
+    with SubDExClient(serve_process) as client:
+        assert client.health()["datasets"] == ["yelp"]
+        session = client.create_session()
+        maps = session.maps()["maps"]
+        assert len(maps) == 3 and all(m["subgroups"] for m in maps)
+        recommendations = session.recommendations()
+        assert recommendations and recommendations[0]["number"] == 1
+        step = session.apply_recommendation(1)
+        assert step["index"] == 2
+        history = session.history()
+        assert len(history["steps"]) == 2 and history["dataset"] == "yelp"
+        assert client.metrics()["requests"]["total"] >= 5
+        session.close()

@@ -25,6 +25,13 @@ class TestParser:
         )
         assert args.steps == 4 and args.maps == 2
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+        assert args.max_sessions == 64
+        assert args.session_ttl == 1800.0
+
 
 class TestSummaryCommand:
     def test_prints_table2_fields(self, capsys):
@@ -33,9 +40,67 @@ class TestSummaryCommand:
         for field in ("n_attributes", "n_ratings", "n_reviewers", "n_items"):
             assert field in out
 
-    def test_unknown_dataset(self):
-        with pytest.raises(SystemExit):
-            main(["summary", "--dataset", "nope"])
+    def test_unknown_dataset_exits_2(self, capsys):
+        assert main(["summary", "--dataset", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: unknown dataset")
+        assert err.count("\n") == 1  # a one-line message, not a traceback
+
+
+class TestUsageErrors:
+    def test_unknown_dataset_explore_exits_2(self, capsys):
+        assert main(["explore", "--dataset", "nope"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
+
+    def test_log_in_missing_directory_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "no" / "such" / "dir" / "run.json"
+        code = main(
+            [
+                "explore",
+                "--dataset",
+                "yelp",
+                "--scale",
+                "0.01",
+                "--log",
+                str(missing),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err and err.startswith("repro: ")
+
+    def test_log_path_is_directory_exits_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "explore",
+                "--dataset",
+                "yelp",
+                "--scale",
+                "0.01",
+                "--log",
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+        assert "is a directory" in capsys.readouterr().err
+
+    def test_log_checked_before_exploring(self, tmp_path, capsys):
+        # the bad path must fail fast, not after minutes of exploration —
+        # the interactive command checks it before loading the dataset
+        code = main(
+            [
+                "interactive",
+                "--dataset",
+                "yelp",
+                "--log",
+                str(tmp_path / "nope" / "log.json"),
+            ]
+        )
+        assert code == 2
+
+    def test_serve_unknown_dataset_exits_2(self, capsys):
+        assert main(["serve", "--dataset", "nope"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err
 
 
 class TestExploreCommand:
