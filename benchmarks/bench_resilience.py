@@ -1,0 +1,322 @@
+"""Resilience chaos bench: availability and latency under a fault storm.
+
+Drives 8 concurrent simulated users against ONE in-process server while a
+seeded :class:`~repro.resilience.FaultPlan` injects a 10% handler-exception
+rate and a 10% slow-engine-call rate.  Asserts the resilience layer's
+acceptance bar:
+
+* every request — including the deliberately failed ones — answers with a
+  well-formed JSON envelope (no resets, no HTML error pages);
+* availability stays high because idempotent reads retry with jittered
+  backoff and mutations are only replayed when the injected fault fired
+  *before* the handler ran (so the retry is safe by construction);
+* deadline-bound requests answer within ``deadline + 250ms`` — expired
+  budgets cancel cooperatively instead of hogging a worker;
+* after a kill/restart, every checkpointed session is restored with an
+  identical history export;
+* the storm leaves zero hung threads: the admission gate drains to zero
+  and the process thread count returns to its pre-storm level.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.bench import (
+    bench_database,
+    bench_recommender_config,
+    format_table,
+    latency_summary,
+    report,
+)
+from repro.core.engine import SubDEx, SubDExConfig
+from repro.resilience import FaultPlan
+from repro.server import (
+    RetryPolicy,
+    ServerConfig,
+    ServerError,
+    ServerUnavailable,
+    SubDExClient,
+    build_server,
+)
+
+N_CLIENTS = 8
+STEPS_PER_CLIENT = 2
+HANDLER_ERROR_RATE = 0.10
+SLOW_ENGINE_RATE = 0.10
+FAULT_SEED = 11
+DEADLINE_MS = 400
+DEADLINE_SLACK_SECONDS = 0.25
+DEADLINE_PROBES = 10
+
+
+def _factory():
+    database = bench_database("yelp")
+    return SubDEx(database, SubDExConfig(recommender=bench_recommender_config()))
+
+
+def _client(url: str, seed: int, retries: int = 4) -> SubDExClient:
+    return SubDExClient(
+        url,
+        timeout=30.0,
+        retry=RetryPolicy(
+            max_attempts=retries,
+            base_seconds=0.02,
+            cap_seconds=0.25,
+            rng=random.Random(seed),
+        ),
+    )
+
+
+class Outcomes:
+    """Thread-safe tally of every logical request's fate."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.latencies: list[float] = []
+        self.ok = 0
+        self.handled_errors = 0  # well-formed JSON error envelopes
+        self.malformed = 0  # non-JSON or connection-level failures
+
+    def record(self, seconds: float, ok: bool, well_formed: bool) -> None:
+        with self._lock:
+            self.latencies.append(seconds)
+            if ok:
+                self.ok += 1
+            elif well_formed:
+                self.handled_errors += 1
+            else:
+                self.malformed += 1
+
+    @property
+    def total(self) -> int:
+        return len(self.latencies)
+
+
+def _well_formed(error: BaseException) -> bool:
+    if isinstance(error, ServerUnavailable):
+        return _well_formed(error.last_error)
+    return isinstance(error, ServerError) and error.code != "invalid_response"
+
+
+def _attempt(outcomes: Outcomes, fn):
+    """One logical request; returns its payload or None on a handled error."""
+    started = time.perf_counter()
+    try:
+        result = fn()
+    except (ServerError, OSError) as error:
+        outcomes.record(
+            time.perf_counter() - started, False, _well_formed(error)
+        )
+        return None
+    outcomes.record(time.perf_counter() - started, True, True)
+    return result
+
+
+def _mutate(outcomes: Outcomes, fn, attempts: int = 4):
+    """A mutation, retried only on faults injected *before* the handler ran.
+
+    The ``"handler"`` chaos site fires before dispatch, so an
+    ``injected_fault`` error proves the step never happened — replaying it
+    is safe.  Any other failure surfaces untouched.
+    """
+    for remaining in range(attempts, 0, -1):
+        started = time.perf_counter()
+        try:
+            result = fn()
+        except ServerError as error:
+            ok_to_retry = error.code == "injected_fault" and remaining > 1
+            outcomes.record(
+                time.perf_counter() - started, False, _well_formed(error)
+            )
+            if ok_to_retry:
+                continue
+            return None
+        outcomes.record(time.perf_counter() - started, True, True)
+        return result
+    return None
+
+
+def _run_chaos():
+    checkpoint_dir = tempfile.mkdtemp(prefix="subdex-resilience-")
+    plan = FaultPlan(
+        seed=FAULT_SEED,
+        error_rates={"handler": HANDLER_ERROR_RATE},
+        latency_rates={"pool.get": SLOW_ENGINE_RATE},
+        latency_seconds=0.05,
+    )
+    config = ServerConfig(
+        max_sessions=N_CLIENTS * 2,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval_seconds=3600.0,  # mutation checkpoints only
+        drain_seconds=15.0,
+    )
+    threads_before = threading.active_count()
+    server = build_server({"yelp": _factory}, port=0, config=config, fault_plan=plan)
+    serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    serve_thread.start()
+
+    outcomes = Outcomes()
+    session_ids: list[str] = []
+    ids_lock = threading.Lock()
+
+    def user(user_id: int) -> None:
+        with _client(server.url, seed=user_id) as client:
+            session = _mutate(
+                outcomes, lambda: client.create_session(dataset="yelp")
+            )
+            if session is None:
+                return
+            with ids_lock:
+                session_ids.append(session.id)
+            for _ in range(STEPS_PER_CLIENT):
+                recommendations = _attempt(outcomes, session.recommendations)
+                if recommendations:
+                    _mutate(outcomes, lambda: session.apply_recommendation(1))
+                _attempt(outcomes, session.maps)
+            _attempt(outcomes, session.history)
+
+    storm_started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=N_CLIENTS) as pool:
+        for future in [pool.submit(user, u) for u in range(N_CLIENTS)]:
+            future.result()
+    storm_elapsed = time.perf_counter() - storm_started
+
+    # -- deadline phase: bounded answers even mid-chaos ----------------------
+    deadline_durations: list[float] = []
+    deadline_statuses: dict[str, int] = {}
+    with SubDExClient(
+        server.url, retry=RetryPolicy(max_attempts=1)
+    ) as probe_client:
+        for _ in range(DEADLINE_PROBES):
+            started = time.perf_counter()
+            try:
+                probe_client.request(
+                    "POST", "/sessions", {}, deadline_ms=DEADLINE_MS
+                )
+                key = "completed"
+            except ServerError as error:
+                key = error.code
+            deadline_durations.append(time.perf_counter() - started)
+            deadline_statuses[key] = deadline_statuses.get(key, 0) + 1
+
+    # -- kill/restart phase --------------------------------------------------
+    histories: dict[str, dict] = {}
+    with _client(server.url, seed=999) as client:
+        for session_id in session_ids:
+            payload = _attempt(
+                outcomes,
+                lambda sid=session_id: client.request(
+                    "GET", f"/sessions/{sid}/history"
+                ),
+            )
+            assert payload is not None, "history read must survive the storm"
+            histories[session_id] = payload
+
+    drained = server.graceful_shutdown()
+    serve_thread.join(10.0)
+
+    # the restarted server gets a clean fault plan: restore must be exact
+    reborn = build_server({"yelp": _factory}, port=0, config=config)
+    reborn_thread = threading.Thread(target=reborn.serve_forever, daemon=True)
+    reborn_thread.start()
+    restored_identical = 0
+    with SubDExClient(reborn.url) as client:
+        for session_id, before in histories.items():
+            after = client.request("GET", f"/sessions/{session_id}/history")
+            if after == before:
+                restored_identical += 1
+    reborn.graceful_shutdown()
+    reborn_thread.join(10.0)
+
+    # -- zero hung threads ---------------------------------------------------
+    give_up = time.monotonic() + 10.0
+    while threading.active_count() > threads_before and time.monotonic() < give_up:
+        time.sleep(0.05)
+
+    return {
+        "outcomes": outcomes,
+        "storm_elapsed": storm_elapsed,
+        "faults": plan.counters(),
+        "deadline_durations": deadline_durations,
+        "deadline_statuses": deadline_statuses,
+        "drained": drained,
+        "gate_inflight": server.gate.inflight,
+        "sessions": len(session_ids),
+        "restored_identical": restored_identical,
+        "checkpoint_dir": checkpoint_dir,
+        "threads_before": threads_before,
+        "threads_after": threading.active_count(),
+    }
+
+
+def _report(results: dict) -> str:
+    outcomes: Outcomes = results["outcomes"]
+    summary = latency_summary(outcomes.latencies)
+    handler_faults = results["faults"].get("handler", {}).get("errors", 0)
+    stalls = results["faults"].get("pool.get", {}).get("stalls", 0)
+    deadline_bound = DEADLINE_MS / 1000.0 + DEADLINE_SLACK_SECONDS
+    rows = [
+        ["concurrent clients", float(N_CLIENTS)],
+        ["logical requests", float(outcomes.total)],
+        ["succeeded", float(outcomes.ok)],
+        ["handled JSON errors", float(outcomes.handled_errors)],
+        ["malformed responses", float(outcomes.malformed)],
+        ["injected handler faults", float(handler_faults)],
+        ["injected engine stalls", float(stalls)],
+        ["storm wall seconds", results["storm_elapsed"]],
+        ["throughput (req/s)", outcomes.total / results["storm_elapsed"]],
+        ["latency p50 (s)", summary["p50"]],
+        ["latency p95 (s)", summary["p95"]],
+        ["deadline probes", float(len(results["deadline_durations"]))],
+        ["deadline bound (s)", deadline_bound],
+        ["deadline worst (s)", max(results["deadline_durations"])],
+        ["sessions checkpointed", float(results["sessions"])],
+        ["restored identical", float(results["restored_identical"])],
+        ["drained cleanly", float(results["drained"])],
+    ]
+    statuses = ", ".join(
+        f"{k}={v}" for k, v in sorted(results["deadline_statuses"].items())
+    )
+    return (
+        f"== Resilience: {N_CLIENTS} clients under a "
+        f"{HANDLER_ERROR_RATE:.0%} fault / {SLOW_ENGINE_RATE:.0%} stall storm ==\n"
+        + format_table(["quantity", "value"], rows, "{:.4f}")
+        + f"\ndeadline probe outcomes: {statuses}"
+    )
+
+
+def test_resilience_chaos(benchmark):
+    results = benchmark.pedantic(_run_chaos, rounds=1, iterations=1)
+    text = _report(results)
+    report("resilience", text)
+    outcomes: Outcomes = results["outcomes"]
+
+    # every request answered with well-formed JSON — even the injected 500s
+    assert outcomes.malformed == 0
+    assert outcomes.total > 0
+    # the storm really stormed…
+    assert results["faults"].get("handler", {}).get("errors", 0) > 0
+    # …yet retries kept availability high
+    assert outcomes.ok / outcomes.total >= 0.90
+
+    # deadline-bound requests answered within deadline + 250ms
+    bound = DEADLINE_MS / 1000.0 + DEADLINE_SLACK_SECONDS
+    assert max(results["deadline_durations"]) <= bound
+
+    # kill/restart restored every checkpointed session, histories identical
+    assert results["sessions"] == N_CLIENTS
+    assert results["restored_identical"] == results["sessions"]
+
+    # zero hung threads: the gate drained and the thread count recovered
+    assert results["drained"] is True
+    assert results["gate_inflight"] == 0
+    assert results["threads_after"] <= results["threads_before"] + 1
+
+
+if __name__ == "__main__":
+    print(_report(_run_chaos()))

@@ -253,6 +253,11 @@ def cmd_serve(args: argparse.Namespace, out=None) -> int:
     config = ServerConfig(
         max_sessions=args.max_sessions,
         session_ttl_seconds=args.session_ttl,
+        default_deadline_ms=args.deadline_ms,
+        max_inflight=args.max_inflight,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval_seconds=args.checkpoint_interval,
+        drain_seconds=args.drain_seconds,
     )
     return serve(factories, host=args.host, port=args.port, config=config, out=out)
 
@@ -305,6 +310,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="live-session cap (further creates get 429)")
     p_serve.add_argument("--session-ttl", type=float, default=1800.0,
                          help="idle seconds before a session is evicted")
+    p_serve.add_argument("--deadline-ms", type=int, default=None,
+                         help="default per-request deadline in milliseconds "
+                              "(clients override with X-Deadline-Ms)")
+    p_serve.add_argument("--max-inflight", type=int, default=32,
+                         help="concurrent-request hard limit; past it, "
+                              "sheddable requests get 503 + Retry-After")
+    p_serve.add_argument("--checkpoint-dir", default=None,
+                         help="directory for crash-safe session checkpoints "
+                              "(restored on startup)")
+    p_serve.add_argument("--checkpoint-interval", type=float, default=30.0,
+                         help="seconds between periodic checkpoint flushes")
+    p_serve.add_argument("--drain-seconds", type=float, default=10.0,
+                         help="graceful-shutdown budget for in-flight requests")
     p_serve.set_defaults(fn=cmd_serve)
 
     return parser

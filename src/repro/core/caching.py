@@ -28,10 +28,11 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Hashable
 
 from ..model.groups import RatingGroup, SelectionCriteria
+from ..resilience.gate import under_pressure
 from .engine import SubDEx
 from .generator import RMSetResult
 from .utility import SeenMaps
@@ -153,6 +154,10 @@ class CachingEngine:
         self._engine = engine
         self._groups = LRUCache(group_capacity)
         self._results = LRUCache(result_capacity)
+        # criteria → most recent full-quality result under *any* display
+        # history: the graceful-degradation fallback ("stale RM-Set")
+        self._latest = LRUCache(result_capacity)
+        self.stale_hits = 0
 
     @property
     def engine(self) -> SubDEx:
@@ -192,9 +197,23 @@ class CachingEngine:
         key = (criteria, _seen_fingerprint(seen))
         cached = self._results.get(key)
         if cached is None:
+            if under_pressure():
+                # graceful degradation: reuse the latest result computed
+                # for the same selection under a *different* display
+                # history instead of paying a full generation, flagged
+                # ``degraded`` so the serving layer can tell the client
+                stale = self._latest.get(criteria)
+                if stale is not None:
+                    self.stale_hits += 1
+                    return replace(stale, degraded=True)  # type: ignore[arg-type]
             group = self.group(criteria)
             cached = self._engine.generator.generate(group, seen)
-            self._results.put(key, cached)
+            if not cached.degraded:
+                # degraded (pressure-time) results are answers, not truth:
+                # keep them out of the shared caches so later requests
+                # recompute at full fidelity
+                self._results.put(key, cached)
+                self._latest.put(criteria, cached)
         return cached  # type: ignore[return-value]
 
     def session(self, start: SelectionCriteria | None = None) -> "ExplorationSession":
@@ -218,3 +237,4 @@ class CachingEngine:
     def clear(self) -> None:
         self._groups.clear()
         self._results.clear()
+        self._latest.clear()

@@ -13,7 +13,8 @@ from typing import Mapping, Sequence
 
 from ..exceptions import ConfigurationError
 from ..model.groups import RatingGroup
-from .distance import MapDistanceMethod
+from ..resilience.gate import under_pressure
+from .distance import MapDistanceMethod, min_pairwise_distance
 from .interestingness import InterestingnessScorer
 from .phases import PhasedExecution
 from .pruning import PruningStrategy, make_pruner
@@ -72,6 +73,9 @@ class RMSetResult:
     scores: Mapping[RatingMapSpec, ScoredCandidate]
     diversity: float
     pruned: tuple[RatingMapSpec, ...]
+    #: True when the result came from a degraded path (load shedding: the
+    #: diversity GMM pass was skipped, or a stale cached result was reused).
+    degraded: bool = False
 
     def dw_utility(self, rating_map: RatingMap) -> float:
         """DW utility of one of this step's maps."""
@@ -139,6 +143,21 @@ class RMSetGenerator:
             outcome = execution.run(pruner, k * config.pruning_diversity_factor)
         if not outcome.ranked:
             return RMSetResult((), (), outcome.scores, 0.0, outcome.pruned)
+        if under_pressure() and not config.diversity_only:
+            # graceful degradation: skip the GMM pass and show the plain
+            # top-k by utility (the l = 1 degenerate selection), flagged so
+            # the serving layer can tell the client the answer is degraded
+            selected = outcome.ranked[:k]
+            return RMSetResult(
+                selected=selected,
+                pool=outcome.ranked,
+                scores=outcome.scores,
+                diversity=min_pairwise_distance(
+                    selected, config.distance_method
+                ),
+                pruned=outcome.pruned,
+                degraded=True,
+            )
         selection = select_diverse_maps(
             outcome.ranked, k, config.distance_method
         )

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..db.groupby import Grouping, SharedGroupByScan, phase_slices
 from ..model.groups import RatingGroup
+from ..resilience.deadline import check_deadline
 from .interestingness import CriterionScores, InterestingnessScorer
 from .rating_maps import RatingMap, RatingMapSpec, rating_map_from_counts
 from .utility import ScoredCandidate, SeenMaps, UtilityConfig, score_candidate_set
@@ -186,6 +187,9 @@ class PhasedExecution:
         for i, block in enumerate(slices):
             phase_rows = rows[block]
             for scan in self._scans.values():
+                # cooperative cancellation: an oversized request aborts
+                # between GroupBy scans instead of hogging its worker
+                check_deadline()
                 scan.update(phase_rows)
             self._rows_seen += int(len(phase_rows))
             phases_run += 1

@@ -24,6 +24,8 @@ import numpy as np
 from ..model.database import SubjectiveDatabase
 from ..model.groups import RatingGroup, SelectionCriteria
 from ..model.operations import Operation, enumerate_operations
+from ..resilience.deadline import current_deadline, deadline_scope
+from ..resilience.gate import pressure_scope, under_pressure
 from .generator import RMSetGenerator, RMSetResult
 from .pruning import PruningStrategy
 from .utility import SeenMaps
@@ -58,6 +60,10 @@ class RecommenderConfig:
     max_workers: int | None = None
     preview_uses_full_pipeline: bool = False
     preview_n_phases: int = 1
+    #: Under load pressure (see :mod:`repro.resilience.gate`) only the
+    #: first this-many candidate operations are scored — recommendation
+    #: quality degrades before availability does.
+    pressure_candidate_cap: int = 16
 
     def workers(self) -> int:
         if not self.parallel:
@@ -168,20 +174,26 @@ class RecommendationBuilder:
             ]
             if filtered:
                 operations = filtered
+        # Ambient request context (deadline, load pressure) lives in
+        # contextvars, which worker threads do not inherit: capture it here
+        # and re-install it around every pooled scoring call.
+        deadline = current_deadline()
+        pressure = under_pressure()
+        if pressure:
+            operations = operations[: self._config.pressure_candidate_cap]
         current_rows = RatingGroup(self._database, current).rows
+
+        def score(operation: Operation) -> ScoredOperation | None:
+            with deadline_scope(deadline), pressure_scope(pressure):
+                if deadline is not None:
+                    deadline.check()
+                return self._score_one(operation, seen, current_rows)
         workers = self._config.workers()
         if workers > 1 and len(operations) > 1:
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                scored = list(
-                    pool.map(
-                        lambda op: self._score_one(op, seen, current_rows),
-                        operations,
-                    )
-                )
+                scored = list(pool.map(score, operations))
         else:
-            scored = [
-                self._score_one(op, seen, current_rows) for op in operations
-            ]
+            scored = [score(op) for op in operations]
         ranked = sorted(
             (s for s in scored if s is not None),
             key=lambda s: (-s.utility, s.operation.target.describe()),

@@ -9,10 +9,12 @@ references), and the step history.  The three exploration modes
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 from ..exceptions import EmptyGroupError, OperationError
+from ..resilience.deadline import check_deadline
+from ..resilience.gate import under_pressure
 from ..model.database import SubjectiveDatabase
 from ..model.groups import RatingGroup, SelectionCriteria
 from ..model.operations import Operation, OperationKind
@@ -38,6 +40,9 @@ class StepRecord:
     recommendations: tuple[ScoredOperation, ...] = ()
     elapsed_seconds: float = 0.0
     recommend_seconds: float = 0.0
+    #: True when any stage answered from a degraded path (stale cached
+    #: RM-Set, skipped diversity pass) under load pressure.
+    degraded: bool = False
 
     @property
     def maps(self):
@@ -152,6 +157,7 @@ class ExplorationSession:
         Generator, updates the seen-maps state, and optionally attaches the
         top-o next-step recommendations.
         """
+        check_deadline()
         if operation is not None:
             group = self._materialise(operation.target)
             if group.is_empty:
@@ -191,9 +197,34 @@ class ExplorationSession:
             recommendations=recommendations,
             elapsed_seconds=generate_elapsed + recommend_elapsed,
             recommend_seconds=recommend_elapsed,
+            degraded=result.degraded or (with_recommendations and under_pressure()),
         )
         self._state.steps.append(record)
         return record
+
+    def stamp_step_timing(
+        self,
+        index: int,
+        elapsed_seconds: float,
+        recommend_seconds: float = 0.0,
+    ) -> None:
+        """Overwrite one step's recorded timings (1-based ``index``).
+
+        Checkpoint restore replays a session's decisions, which reproduces
+        the step *results* exactly but not the original wall-clock timings;
+        stamping them back keeps history exports identical across restarts.
+        """
+        position = index - 1
+        if not 0 <= position < len(self._state.steps):
+            raise OperationError(
+                f"no step {index} to stamp (session has "
+                f"{len(self._state.steps)} steps)"
+            )
+        self._state.steps[position] = replace(
+            self._state.steps[position],
+            elapsed_seconds=elapsed_seconds,
+            recommend_seconds=recommend_seconds,
+        )
 
     def recommendations(self, o: int | None = None) -> list[ScoredOperation]:
         """Top-o next-step recommendations for the current state."""

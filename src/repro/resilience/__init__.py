@@ -1,0 +1,67 @@
+"""Resilience substrate for the SubDEx exploration service.
+
+The serving layer (:mod:`repro.server`) is judged on bounded response time
+and availability under load; this package provides the mechanisms that keep
+it both when individual requests, datasets, or the whole process misbehave:
+
+* :mod:`repro.resilience.deadline` — per-request deadlines with cooperative
+  cancellation, propagated from the ``X-Deadline-Ms`` header down into the
+  phased GroupBy scans (Algorithm 1) via ``deadline.check()`` calls;
+* :mod:`repro.resilience.gate` — the worker-budget admission gate: sheds
+  the lowest-priority work first (503 + ``Retry-After``) and signals
+  *pressure* so heavy stages degrade (stale RM-Sets, no GMM pass) instead
+  of failing;
+* :mod:`repro.resilience.breaker` — a circuit breaker around per-dataset
+  engine construction, so a corrupt dataset answers fast 503s instead of
+  re-running the expensive (failing) load on every request;
+* :mod:`repro.resilience.checkpoint` — crash-safe session persistence:
+  atomic JSONL checkpoints per session and deterministic replay-based
+  restore, so a restarted server keeps every user's exploration history;
+* :mod:`repro.resilience.faults` — deterministic fault injection
+  (:class:`FaultPlan`): seeded latency/exception/partial-write faults
+  installable into the engine pool, the registry and the checkpoint store,
+  driving the chaos suite (``tests/resilience/``) and
+  ``benchmarks/bench_resilience.py``.
+
+Everything here is clock-injectable and seeded: no test or benchmark in
+this package depends on wall-clock randomness.
+"""
+
+from .breaker import BreakerOpenError, CircuitBreaker
+from .checkpoint import (
+    CheckpointStore,
+    SessionCheckpoint,
+    SessionCheckpointer,
+    restore_session,
+)
+from .deadline import (
+    Deadline,
+    DeadlineExceeded,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+from .faults import FaultPlan, InjectedFault, PartialWrite
+from .gate import AdmissionGate, OverloadedError, Priority, pressure_scope, under_pressure
+
+__all__ = [
+    "AdmissionGate",
+    "BreakerOpenError",
+    "CheckpointStore",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "InjectedFault",
+    "OverloadedError",
+    "PartialWrite",
+    "Priority",
+    "SessionCheckpoint",
+    "SessionCheckpointer",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "pressure_scope",
+    "restore_session",
+    "under_pressure",
+]

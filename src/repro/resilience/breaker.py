@@ -1,0 +1,140 @@
+"""A circuit breaker for expensive, retry-hostile operations.
+
+The canonical client is per-dataset engine construction: loading a corrupt
+dataset is slow *and* doomed, and without a breaker every request against
+that dataset re-runs the failing load, burning a worker thread each time.
+The breaker turns that into one failed load per cooldown window — everyone
+else gets an immediate :class:`BreakerOpenError` (HTTP 503 with a truthful
+``Retry-After``).
+
+States follow the classic pattern:
+
+* **closed** — operations run; consecutive failures are counted;
+* **open** — after ``failure_threshold`` consecutive failures, calls fail
+  fast for ``reset_seconds``;
+* **half-open** — after the cooldown, exactly one probe call is admitted;
+  success closes the breaker, failure re-opens it for another window.
+
+The clock is injectable so state transitions are deterministic in tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..exceptions import ReproError
+
+__all__ = ["BreakerOpenError", "CircuitBreaker"]
+
+
+class BreakerOpenError(ReproError):
+    """The breaker is open: fail fast instead of retrying a doomed call."""
+
+    def __init__(self, name: str, retry_after: float, last_error: str) -> None:
+        super().__init__(
+            f"{name} is unavailable (circuit open, retry in "
+            f"{max(0.0, retry_after):.1f}s; last error: {last_error})"
+        )
+        self.name = name
+        self.retry_after = max(0.0, retry_after)
+        self.last_error = last_error
+
+
+class CircuitBreaker:
+    """Thread-safe consecutive-failure circuit breaker."""
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        reset_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_seconds <= 0:
+            raise ValueError(f"reset_seconds must be > 0, got {reset_seconds}")
+        self.name = name
+        self._threshold = failure_threshold
+        self._reset_seconds = reset_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        self._last_error = "never failed"
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"`` (for /metrics)."""
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if (
+                self._clock() - self._opened_at >= self._reset_seconds
+                or self._probing
+            ):
+                return "half_open"
+            return "open"
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    # -- protocol ------------------------------------------------------------
+    def before_call(self) -> None:
+        """Gate one call; raises :class:`BreakerOpenError` while open.
+
+        In the half-open state only a single probe is admitted at a time —
+        a thundering herd against a just-cooled-down dataset would defeat
+        the point of the breaker.
+        """
+        with self._lock:
+            if self._opened_at is None:
+                return
+            elapsed = self._clock() - self._opened_at
+            if elapsed < self._reset_seconds or self._probing:
+                retry_after = self._reset_seconds - elapsed
+                if self._probing:
+                    retry_after = max(retry_after, 0.1)
+                raise BreakerOpenError(self.name, retry_after, self._last_error)
+            self._probing = True  # this caller is the half-open probe
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self, error: BaseException | str) -> None:
+        with self._lock:
+            self._failures += 1
+            self._last_error = (
+                str(error) if isinstance(error, str) else f"{type(error).__name__}: {error}"
+            )
+            if self._probing or self._failures >= self._threshold:
+                self._opened_at = self._clock()
+            self._probing = False
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            if self._opened_at is None:
+                state = "closed"
+            elif (
+                self._clock() - self._opened_at >= self._reset_seconds
+                or self._probing
+            ):
+                state = "half_open"
+            else:
+                state = "open"
+            return {
+                "state": state,
+                "consecutive_failures": self._failures,
+                "last_error": self._last_error,
+            }

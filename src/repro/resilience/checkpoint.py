@@ -1,0 +1,448 @@
+"""Crash-safe session checkpoints: JSONL files + deterministic replay.
+
+A server restart must not cost users their exploration history.  Each live
+session is periodically (and on every mutation) captured as a
+:class:`SessionCheckpoint` — the session's *decisions*, not its bulky
+results: the start criteria and, per step, the applied operation, whether
+recommendations were requested, and the recorded timings.  Because the
+engine is fully seeded (record permutation, GMM seed, pruning), replaying
+those decisions against the same dataset reproduces the identical step
+records; the original timings are stamped back on so even the exported
+:class:`~repro.core.history.ExplorationLog` is byte-identical.
+
+Durability protocol (one ``<session_id>.jsonl`` file per session):
+
+* writes go to a ``.tmp`` sibling first, then ``os.replace`` — readers
+  (and crashes) see either the previous checkpoint or the new one, never a
+  half-written file;
+* loading tolerates torn files anyway (a truncated trailing line is
+  dropped, an unreadable file is skipped and counted) because fault
+  injection — and real disks — can violate the happy path.
+
+:class:`SessionCheckpointer` owns the background flush thread and the
+save/failure accounting; the serving layer calls :meth:`~SessionCheckpointer.save`
+on mutation and :meth:`~SessionCheckpointer.flush` on graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from ..exceptions import ReproError
+from ..model.database import Side
+from ..model.groups import AVPair, SelectionCriteria
+from ..model.operations import Operation, OperationKind
+from .faults import FaultPlan, PartialWrite
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.session import ExplorationSession
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointError",
+    "CheckpointStore",
+    "SessionCheckpoint",
+    "SessionCheckpointer",
+    "CheckpointStep",
+    "restore_session",
+]
+
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written or parsed."""
+
+
+# -- faithful JSON value round-trip ------------------------------------------
+#
+# The wire protocol flattens frozenset values to display strings; replay
+# needs the real value back, so checkpoint encoding is tagged instead.
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, (frozenset, set)):
+        return {"__set__": sorted(str(v) for v in value)}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and set(value) == {"__set__"}:
+        return frozenset(value["__set__"])
+    return value
+
+
+def _encode_pairs(pairs: Iterable[AVPair]) -> list[list[Any]]:
+    return [
+        [p.side.value, p.attribute, _encode_value(p.value)]
+        for p in sorted(pairs)
+    ]
+
+
+def _decode_pairs(payload: Any) -> tuple[AVPair, ...]:
+    return tuple(
+        AVPair(Side(side), attribute, _decode_value(value))
+        for side, attribute, value in payload
+    )
+
+
+def _encode_criteria(criteria: SelectionCriteria) -> list[list[Any]]:
+    return _encode_pairs(criteria.pairs)
+
+
+def _decode_criteria(payload: Any) -> SelectionCriteria:
+    return SelectionCriteria(_decode_pairs(payload))
+
+
+# -- the checkpoint shape -----------------------------------------------------
+
+@dataclass(frozen=True)
+class CheckpointStep:
+    """One replayable step: the decision plus its recorded timings."""
+
+    index: int
+    operation: Operation | None
+    with_recommendations: bool
+    elapsed_seconds: float
+    recommend_seconds: float
+
+    def to_line(self) -> dict[str, Any]:
+        operation = None
+        if self.operation is not None:
+            operation = {
+                "kind": self.operation.kind.value,
+                "target": _encode_criteria(self.operation.target),
+                "added": _encode_pairs(self.operation.added),
+                "removed": _encode_pairs(self.operation.removed),
+            }
+        return {
+            "record": "step",
+            "index": self.index,
+            "operation": operation,
+            "with_recommendations": self.with_recommendations,
+            "elapsed_seconds": self.elapsed_seconds,
+            "recommend_seconds": self.recommend_seconds,
+        }
+
+    @classmethod
+    def from_line(cls, line: dict[str, Any]) -> "CheckpointStep":
+        operation = None
+        if line.get("operation") is not None:
+            raw = line["operation"]
+            operation = Operation(
+                target=_decode_criteria(raw["target"]),
+                kind=OperationKind(raw["kind"]),
+                added=_decode_pairs(raw.get("added", [])),
+                removed=_decode_pairs(raw.get("removed", [])),
+            )
+        return cls(
+            index=int(line["index"]),
+            operation=operation,
+            with_recommendations=bool(line["with_recommendations"]),
+            elapsed_seconds=float(line["elapsed_seconds"]),
+            recommend_seconds=float(line["recommend_seconds"]),
+        )
+
+
+@dataclass(frozen=True)
+class SessionCheckpoint:
+    """Everything needed to resurrect one session on the same dataset."""
+
+    session_id: str
+    dataset: str
+    created_wall: float
+    start: SelectionCriteria
+    steps: tuple[CheckpointStep, ...] = ()
+    schema_version: int = CHECKPOINT_SCHEMA_VERSION
+
+    @classmethod
+    def capture(
+        cls,
+        session_id: str,
+        dataset: str,
+        created_wall: float,
+        session: "ExplorationSession",
+    ) -> "SessionCheckpoint":
+        """Snapshot a live session (caller must hold its session lock)."""
+        records = session.steps
+        start = records[0].criteria if records else session.criteria
+        steps = tuple(
+            CheckpointStep(
+                index=record.index,
+                operation=record.operation,
+                with_recommendations=bool(record.recommendations),
+                elapsed_seconds=record.elapsed_seconds,
+                recommend_seconds=record.recommend_seconds,
+            )
+            for record in records
+        )
+        return cls(
+            session_id=session_id,
+            dataset=dataset,
+            created_wall=created_wall,
+            start=start,
+            steps=steps,
+        )
+
+    # -- (de)serialisation ----------------------------------------------------
+    def to_jsonl(self) -> str:
+        header = {
+            "record": "header",
+            "schema_version": self.schema_version,
+            "session_id": self.session_id,
+            "dataset": self.dataset,
+            "created_wall": self.created_wall,
+            "start": _encode_criteria(self.start),
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        lines += [
+            json.dumps(step.to_line(), sort_keys=True) for step in self.steps
+        ]
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "SessionCheckpoint":
+        """Parse a checkpoint, dropping any torn trailing lines.
+
+        A truncated final line (crash mid-append, injected partial write)
+        loses at most the newest step — never the whole session.
+        """
+        raw_lines = [line for line in text.split("\n") if line.strip()]
+        if not raw_lines:
+            raise CheckpointError("empty checkpoint file")
+        try:
+            header = json.loads(raw_lines[0])
+        except json.JSONDecodeError as error:
+            raise CheckpointError(f"unreadable checkpoint header: {error}")
+        if not isinstance(header, dict) or header.get("record") != "header":
+            raise CheckpointError("first checkpoint line is not a header")
+        steps: list[CheckpointStep] = []
+        for raw in raw_lines[1:]:
+            try:
+                line = json.loads(raw)
+                step = CheckpointStep.from_line(line)
+            except (json.JSONDecodeError, KeyError, ValueError, TypeError):
+                break  # torn tail: keep the consistent prefix
+            steps.append(step)
+        try:
+            return cls(
+                session_id=str(header["session_id"]),
+                dataset=str(header["dataset"]),
+                created_wall=float(header["created_wall"]),
+                start=_decode_criteria(header["start"]),
+                steps=tuple(steps),
+                schema_version=int(
+                    header.get("schema_version", CHECKPOINT_SCHEMA_VERSION)
+                ),
+            )
+        except (KeyError, ValueError, TypeError) as error:
+            raise CheckpointError(f"malformed checkpoint header: {error}")
+
+
+def restore_session(engine: Any, checkpoint: SessionCheckpoint) -> "ExplorationSession":
+    """Replay a checkpoint into a live session on ``engine``.
+
+    ``engine`` is anything with a ``session(start)`` factory —
+    :class:`~repro.core.engine.SubDEx` or the shared
+    :class:`~repro.core.caching.CachingEngine`.  Replay is deterministic,
+    so the rebuilt step records match the originals; the checkpointed
+    timings are stamped back so history exports are identical too.
+    """
+    session = engine.session(checkpoint.start)
+    for step in checkpoint.steps:
+        session.step(
+            step.operation, with_recommendations=step.with_recommendations
+        )
+        session.stamp_step_timing(
+            step.index, step.elapsed_seconds, step.recommend_seconds
+        )
+    return session
+
+
+# -- the store ----------------------------------------------------------------
+
+class CheckpointStore:
+    """One checkpoint file per session under ``directory``, written atomically."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._fault_plan = fault_plan
+        self.skipped = 0  # unreadable files seen by the last load_all()
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def path_for(self, session_id: str) -> Path:
+        return self._directory / f"{session_id}.jsonl"
+
+    def save(self, checkpoint: SessionCheckpoint) -> Path:
+        """Atomically persist one checkpoint (tmp file + ``os.replace``)."""
+        if self._fault_plan is not None:
+            self._fault_plan.check("checkpoint.write")
+        final = self.path_for(checkpoint.session_id)
+        tmp = final.with_suffix(".jsonl.tmp")
+        data = checkpoint.to_jsonl().encode("utf-8")
+        if self._fault_plan is not None:
+            truncated = self._fault_plan.truncate(
+                "checkpoint.partial_write", data
+            )
+            if truncated is not None:
+                # the simulated crash: bytes hit the temp file, the rename
+                # never happens — the previous checkpoint must survive
+                tmp.write_bytes(truncated)
+                raise PartialWrite(
+                    "checkpoint.partial_write", len(truncated), len(data)
+                )
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, final)
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot write checkpoint {final.name}: {error}"
+            )
+        return final
+
+    def load(self, session_id: str) -> SessionCheckpoint:
+        path = self.path_for(session_id)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot read checkpoint {path.name}: {error}"
+            )
+        return SessionCheckpoint.from_jsonl(text)
+
+    def load_all(self) -> list[SessionCheckpoint]:
+        """Every readable checkpoint, oldest first; corrupt files are
+        skipped (and counted in :attr:`skipped`), not fatal."""
+        checkpoints: list[SessionCheckpoint] = []
+        self.skipped = 0
+        for path in sorted(self._directory.glob("*.jsonl")):
+            try:
+                checkpoints.append(
+                    SessionCheckpoint.from_jsonl(
+                        path.read_text(encoding="utf-8")
+                    )
+                )
+            except (CheckpointError, OSError):
+                self.skipped += 1
+        return checkpoints
+
+    def delete(self, session_id: str) -> None:
+        """Forget a closed session's checkpoint (missing is fine)."""
+        try:
+            self.path_for(session_id).unlink()
+        except FileNotFoundError:
+            pass
+        except OSError as error:
+            raise CheckpointError(
+                f"cannot delete checkpoint for {session_id}: {error}"
+            )
+
+
+# -- the flusher --------------------------------------------------------------
+
+class SessionCheckpointer:
+    """On-mutation saves plus a periodic background flush.
+
+    ``source`` yields a fresh :class:`SessionCheckpoint` per live session
+    (the server supplies a registry walk that skips sessions whose lock is
+    busy — a busy session just checkpointed on its own mutation).  Faults
+    from the store are counted, never propagated: losing one checkpoint
+    write must not fail a user request or kill the flush thread.
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        source: Callable[[], Iterable[SessionCheckpoint]] | None = None,
+        interval_seconds: float = 30.0,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be > 0, got {interval_seconds}"
+            )
+        self._store = store
+        self._source = source
+        self._interval = interval_seconds
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self.saves = 0
+        self.failures = 0
+        self.flushes = 0
+
+    @property
+    def store(self) -> CheckpointStore:
+        return self._store
+
+    # -- one-shot operations --------------------------------------------------
+    def save(self, checkpoint: SessionCheckpoint) -> bool:
+        """Persist one checkpoint; ``False`` (and a counter) on failure."""
+        try:
+            self._store.save(checkpoint)
+        except ReproError:
+            with self._lock:
+                self.failures += 1
+            return False
+        with self._lock:
+            self.saves += 1
+        return True
+
+    def forget(self, session_id: str) -> None:
+        try:
+            self._store.delete(session_id)
+        except ReproError:
+            with self._lock:
+                self.failures += 1
+
+    def flush(self) -> int:
+        """Checkpoint every session the source yields; returns saves."""
+        if self._source is None:
+            return 0
+        saved = 0
+        for checkpoint in self._source():
+            if self.save(checkpoint):
+                saved += 1
+        with self._lock:
+            self.flushes += 1
+        return saved
+
+    # -- the background thread ------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="subdex-checkpointer", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self.flush()
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "saves": self.saves,
+                "failures": self.failures,
+                "flushes": self.flushes,
+            }

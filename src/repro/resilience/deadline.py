@@ -1,0 +1,118 @@
+"""Per-request deadlines with cooperative cancellation.
+
+A :class:`Deadline` is an absolute point on a monotonic clock.  The serving
+layer creates one per request (from the ``X-Deadline-Ms`` header or the
+server default) and installs it in a :mod:`contextvars` context variable;
+long-running stages deep in the engine — the phased GroupBy scans of
+Algorithm 1, the recommendation candidate loop — call :func:`check_deadline`
+between units of work and abort with :class:`DeadlineExceeded` the moment
+the budget is spent.
+
+Cancellation is *cooperative*: nothing is killed, the computation unwinds
+through an ordinary exception, so locks release and caches stay consistent.
+The handler maps :class:`DeadlineExceeded` to a structured
+``DEADLINE_EXCEEDED`` response (HTTP 504) instead of hogging the worker
+thread until the client has long given up.
+
+The clock is injectable so expiry is deterministic in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterator
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "Deadline",
+    "DeadlineExceeded",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+]
+
+
+class DeadlineExceeded(ReproError):
+    """The request's time budget ran out mid-computation (HTTP 504)."""
+
+    def __init__(self, budget_seconds: float, overrun_seconds: float) -> None:
+        super().__init__(
+            f"deadline of {budget_seconds * 1000.0:.0f}ms exceeded "
+            f"(overran by {max(0.0, overrun_seconds) * 1000.0:.0f}ms)"
+        )
+        self.budget_seconds = budget_seconds
+        self.overrun_seconds = overrun_seconds
+
+
+class Deadline:
+    """An absolute time budget on a monotonic clock.
+
+    ``check()`` is designed to be called from hot loops: one clock read and
+    one comparison on the happy path.
+    """
+
+    __slots__ = ("_budget", "_clock", "_expires_at")
+
+    def __init__(
+        self,
+        seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {seconds}")
+        self._budget = float(seconds)
+        self._clock = clock
+        self._expires_at = clock() + float(seconds)
+
+    @property
+    def budget_seconds(self) -> float:
+        return self._budget
+
+    @property
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self._expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining <= 0.0
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        overrun = -self.remaining
+        if overrun >= 0.0:
+            raise DeadlineExceeded(self._budget, overrun)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline(remaining={self.remaining:.3f}s of {self._budget:.3f}s)"
+
+
+#: The ambient per-request deadline.  Each server worker thread installs its
+#: request's deadline here; library code far from the wire reads it through
+#: :func:`check_deadline` without any parameter threading.
+_CURRENT: ContextVar[Deadline | None] = ContextVar("subdex_deadline", default=None)
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline governing the current context, if any."""
+    return _CURRENT.get()
+
+
+def check_deadline() -> None:
+    """Cooperative cancellation point: no-op unless a deadline is set."""
+    deadline = _CURRENT.get()
+    if deadline is not None:
+        deadline.check()
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None) -> Iterator[Deadline | None]:
+    """Install ``deadline`` as the ambient deadline for the ``with`` body."""
+    token = _CURRENT.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _CURRENT.reset(token)

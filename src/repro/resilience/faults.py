@@ -1,0 +1,137 @@
+"""Deterministic fault injection: the chaos side of the resilience layer.
+
+A :class:`FaultPlan` decides, per *site* (a short string naming an
+injection point, e.g. ``"pool.build"`` or ``"checkpoint.write"``), whether
+a given call should fail, stall, or half-complete.  Decisions come from one
+seeded :class:`random.Random` — **no wall clock, no global randomness** —
+so a chaos run replays identically under the same seed, and the chaos
+suite can assert exact behaviour.
+
+Installable injection points (each component accepts ``fault_plan=``):
+
+* the engine pool (:class:`repro.server.app.EnginePool`): sites
+  ``"pool.build"`` (engine construction — exercises the circuit breaker)
+  and ``"pool.get"`` (per-request latency);
+* the session registry (:class:`repro.server.registry.SessionRegistry`):
+  site ``"registry.acquire"`` (slow lock handoff);
+* the checkpoint store (:class:`repro.resilience.checkpoint.CheckpointStore`):
+  sites ``"checkpoint.write"`` (write error) and
+  ``"checkpoint.partial_write"`` (truncated temp file, simulating a crash
+  mid-write — the atomic rename must protect the previous checkpoint);
+* the request handler (:class:`repro.server.app.SubDExServer` with a plan):
+  site ``"handler"`` (a raised :class:`InjectedFault` that must still
+  produce a well-formed JSON 500).
+
+Latency injection calls an injectable ``sleep`` so unit tests can count
+stalls without waiting for them; the chaos benchmark uses real (small)
+sleeps.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Mapping
+
+from ..exceptions import ReproError
+
+__all__ = ["FaultPlan", "InjectedFault", "PartialWrite"]
+
+
+class InjectedFault(ReproError):
+    """An exception thrown on purpose by a :class:`FaultPlan`."""
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected fault at {site!r}")
+        self.site = site
+
+
+class PartialWrite(ReproError):
+    """A write was deliberately truncated mid-way (simulated crash)."""
+
+    def __init__(self, site: str, written: int, total: int) -> None:
+        super().__init__(
+            f"injected partial write at {site!r}: {written}/{total} bytes"
+        )
+        self.site = site
+        self.written = written
+        self.total = total
+
+
+class FaultPlan:
+    """Seeded, thread-safe fault decisions for named injection sites.
+
+    ``error_rates`` / ``latency_rates`` / ``partial_write_rates`` map a
+    site name to a probability in [0, 1]; unlisted sites never fault.
+    ``latency_seconds`` is how long an injected stall sleeps.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        error_rates: Mapping[str, float] | None = None,
+        latency_rates: Mapping[str, float] | None = None,
+        partial_write_rates: Mapping[str, float] | None = None,
+        latency_seconds: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        for rates in (error_rates, latency_rates, partial_write_rates):
+            for site, rate in (rates or {}).items():
+                if not 0.0 <= rate <= 1.0:
+                    raise ValueError(
+                        f"fault rate for {site!r} must be in [0, 1], got {rate}"
+                    )
+        self._error_rates = dict(error_rates or {})
+        self._latency_rates = dict(latency_rates or {})
+        self._partial_write_rates = dict(partial_write_rates or {})
+        self._latency_seconds = latency_seconds
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        #: site → {"errors": n, "stalls": n, "partial_writes": n}
+        self.injected: dict[str, dict[str, int]] = {}
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _count(self, site: str, kind: str) -> None:
+        # caller holds self._lock
+        per_site = self.injected.setdefault(
+            site, {"errors": 0, "stalls": 0, "partial_writes": 0}
+        )
+        per_site[kind] += 1
+
+    def counters(self) -> dict[str, dict[str, int]]:
+        with self._lock:
+            return {site: dict(kinds) for site, kinds in self.injected.items()}
+
+    # -- decisions -----------------------------------------------------------
+    def check(self, site: str) -> None:
+        """One injection point: maybe stall, then maybe raise.
+
+        The stall happens *before* the error decision so a site can both
+        slow down and fail in one chaos run (rates are independent).
+        """
+        with self._lock:
+            stall = self._rng.random() < self._latency_rates.get(site, 0.0)
+            fail = self._rng.random() < self._error_rates.get(site, 0.0)
+            if stall:
+                self._count(site, "stalls")
+            if fail:
+                self._count(site, "errors")
+        if stall:
+            self._sleep(self._latency_seconds)
+        if fail:
+            raise InjectedFault(site)
+
+    def truncate(self, site: str, data: bytes) -> bytes | None:
+        """Partial-write decision: the prefix to write instead, or ``None``.
+
+        Returning half the payload simulates a crash mid-``write()``; the
+        store must write the prefix, then raise :class:`PartialWrite` *after*
+        the bytes hit the file, so the corruption is really on disk.
+        """
+        with self._lock:
+            if self._rng.random() >= self._partial_write_rates.get(site, 0.0):
+                return None
+            self._count(site, "partial_writes")
+        return data[: max(1, len(data) // 2)]

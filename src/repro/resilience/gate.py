@@ -1,0 +1,176 @@
+"""Worker-budget admission gate: load shedding and graceful degradation.
+
+The server has a bounded worker budget; when concurrent requests approach
+it, the cheapest way to stay available is to do *less work per request*
+before doing *no work at all*:
+
+* past the **soft limit**, the gate signals *pressure*: heavy stages
+  consulted through :func:`under_pressure` degrade — recommendation
+  generation falls back to a cached/stale RM-Set, the diversity GMM pass is
+  skipped — and responses carry ``degraded: true``;
+* past the **hard limit**, the lowest-priority work is shed outright with
+  :class:`OverloadedError` (HTTP 503 + ``Retry-After``).  Cheap
+  introspection (:attr:`Priority.CRITICAL` — health, metrics, close) is
+  never shed: an operator must always be able to see a struggling server.
+
+The gate also doubles as the in-flight tracker that graceful shutdown
+drains against.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "AdmissionGate",
+    "OverloadedError",
+    "Priority",
+    "pressure_scope",
+    "under_pressure",
+]
+
+
+class Priority(enum.IntEnum):
+    """How sheddable a request is (higher value = shed first)."""
+
+    CRITICAL = 0  # health, metrics, session close — never shed
+    NORMAL = 1  # reads of existing state: maps, history, summaries
+    HEAVY = 2  # RM-Set generation / recommendation scoring: create, apply
+
+
+class OverloadedError(ReproError):
+    """The worker budget is exhausted; the request was shed (HTTP 503)."""
+
+    def __init__(self, inflight: int, limit: int, retry_after: float) -> None:
+        super().__init__(
+            f"server overloaded ({inflight} requests in flight, "
+            f"hard limit {limit}); retry after {retry_after:.0f}s"
+        )
+        self.inflight = inflight
+        self.limit = limit
+        self.retry_after = retry_after
+
+
+#: Ambient pressure flag, set by the gate for admitted-but-degraded
+#: requests.  Heavy stages (generator, caching engine) read it through
+#: :func:`under_pressure` without parameter threading.
+_PRESSURE: ContextVar[bool] = ContextVar("subdex_pressure", default=False)
+
+
+def under_pressure() -> bool:
+    """Whether the current context should prefer cheap, degraded answers."""
+    return _PRESSURE.get()
+
+
+@contextmanager
+def pressure_scope(active: bool = True) -> Iterator[None]:
+    """Mark the ``with`` body as running under load pressure."""
+    token = _PRESSURE.set(active)
+    try:
+        yield
+    finally:
+        _PRESSURE.reset(token)
+
+
+class AdmissionGate:
+    """Bounded concurrent-request budget with priority shedding."""
+
+    def __init__(
+        self,
+        hard_limit: int = 32,
+        soft_limit: int | None = None,
+        retry_after_seconds: float = 1.0,
+    ) -> None:
+        if hard_limit < 1:
+            raise ValueError(f"hard_limit must be >= 1, got {hard_limit}")
+        if soft_limit is None:
+            soft_limit = max(1, (hard_limit * 3) // 4)
+        if not 1 <= soft_limit <= hard_limit:
+            raise ValueError(
+                f"soft_limit must be in [1, hard_limit], got {soft_limit}"
+            )
+        self._hard_limit = hard_limit
+        self._soft_limit = soft_limit
+        self._retry_after = retry_after_seconds
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        self._inflight = 0
+        self.shed = 0
+        self.degraded = 0
+
+    @property
+    def hard_limit(self) -> int:
+        return self._hard_limit
+
+    @property
+    def soft_limit(self) -> int:
+        return self._soft_limit
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    @contextmanager
+    def admit(self, priority: Priority = Priority.NORMAL) -> Iterator[bool]:
+        """Admit one request for the ``with`` body; yields ``degraded``.
+
+        Sheddable work (priority above :attr:`Priority.CRITICAL`) past the
+        hard limit raises :class:`OverloadedError`; admitted work past the
+        soft limit runs inside a :func:`pressure_scope` and yields ``True``
+        so the handler can flag the response.
+        """
+        with self._lock:
+            if (
+                self._inflight >= self._hard_limit
+                and priority > Priority.CRITICAL
+            ):
+                self.shed += 1
+                raise OverloadedError(
+                    self._inflight, self._hard_limit, self._retry_after
+                )
+            self._inflight += 1
+            degraded = (
+                self._inflight > self._soft_limit and priority >= Priority.HEAVY
+            )
+            if degraded:
+                self.degraded += 1
+        try:
+            if degraded:
+                with pressure_scope():
+                    yield True
+            else:
+                yield False
+        finally:
+            with self._lock:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._drained.notify_all()
+
+    def drain(self, timeout_seconds: float) -> bool:
+        """Block until no request is in flight; ``True`` if fully drained."""
+        give_up = time.monotonic() + timeout_seconds
+        with self._lock:
+            while self._inflight > 0:
+                remaining = give_up - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._drained.wait(remaining)
+            return True
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "soft_limit": self._soft_limit,
+                "hard_limit": self._hard_limit,
+                "shed": self.shed,
+                "degraded": self.degraded,
+            }

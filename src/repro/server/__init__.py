@@ -16,13 +16,32 @@ session; this package turns the engine into a shared, concurrent service:
   :class:`~repro.core.caching.CachingEngine` per dataset, so group/result
   caches are amortised across users);
 * :mod:`repro.server.client` — :class:`SubDExClient`, the small blocking
-  client used by the tests and the throughput bench.
+  client used by the tests and the throughput bench (idempotent GETs retry
+  with full-jitter backoff; the budget-exhausted failure is the typed
+  :class:`ServerUnavailable`).
+
+Resilience (deadlines, admission control, circuit breakers, crash-safe
+checkpoints, fault injection) lives in :mod:`repro.resilience` and is
+wired through the application here — see the "Resilience" section of the
+README and the error-semantics table in ``docs/API.md``.
 
 Start a server from the command line with ``python -m repro serve``.
 """
 
-from .app import EnginePool, ServerConfig, SubDExServer, build_server, serve
-from .client import ServerError, SubDExClient
+from .app import (
+    DatasetLoadError,
+    EnginePool,
+    ServerConfig,
+    SubDExServer,
+    build_server,
+    serve,
+)
+from .client import (
+    RetryPolicy,
+    ServerError,
+    ServerUnavailable,
+    SubDExClient,
+)
 from .metrics import ServerMetrics
 from .protocol import ProtocolError
 from .registry import (
@@ -34,12 +53,15 @@ from .registry import (
 )
 
 __all__ = [
+    "DatasetLoadError",
     "EnginePool",
     "ManagedSession",
     "ProtocolError",
+    "RetryPolicy",
     "ServerConfig",
     "ServerError",
     "ServerMetrics",
+    "ServerUnavailable",
     "SessionGoneError",
     "SessionLimitError",
     "SessionRegistry",

@@ -5,11 +5,21 @@ Architecture (one process, many threads):
 * one :class:`EnginePool` — per dataset, a lazily-built
   :class:`~repro.core.engine.SubDEx` wrapped in a shared, thread-safe
   :class:`~repro.core.caching.CachingEngine`, so every session on that
-  dataset amortises group materialisation and RM-Set generation;
+  dataset amortises group materialisation and RM-Set generation; each
+  dataset sits behind a :class:`~repro.resilience.breaker.CircuitBreaker`
+  so a failing load answers fast 503s instead of retrying on every request;
 * one :class:`~repro.server.registry.SessionRegistry` — per-session locks,
   TTL idle eviction, a bounded live-session cap;
-* one :class:`~repro.server.metrics.ServerMetrics` — request/latency/cache
-  accounting behind ``GET /metrics``.
+* one :class:`~repro.resilience.gate.AdmissionGate` — the worker budget:
+  past the soft limit heavy requests degrade (stale RM-Sets, no GMM pass,
+  ``degraded: true`` in the response), past the hard limit they are shed
+  with 503 + ``Retry-After``;
+* per request, a :class:`~repro.resilience.deadline.Deadline` — from the
+  ``X-Deadline-Ms`` header (or the server default), propagated down into
+  the phased GroupBy scans; overruns answer a structured 504;
+* optionally one :class:`~repro.resilience.checkpoint.SessionCheckpointer`
+  — crash-safe session persistence: on-mutation + periodic checkpoints,
+  restore-on-startup, and a final flush during graceful shutdown.
 
 Endpoints (all JSON; see ``docs/API.md`` for the full reference)::
 
@@ -29,11 +39,12 @@ from __future__ import annotations
 
 import json
 import re
+import signal
 import threading
 import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterator, Mapping
 from urllib.parse import parse_qs, urlsplit
 
 from ..core.caching import CachingEngine
@@ -41,6 +52,16 @@ from ..core.engine import SubDEx
 from ..core.history import ExplorationLog
 from ..core.modes import ExplorationMode, ExplorationPath
 from ..exceptions import EmptyGroupError, OperationError, ReproError
+from ..resilience.breaker import BreakerOpenError, CircuitBreaker
+from ..resilience.checkpoint import (
+    CheckpointStore,
+    SessionCheckpoint,
+    SessionCheckpointer,
+    restore_session,
+)
+from ..resilience.deadline import Deadline, DeadlineExceeded, deadline_scope
+from ..resilience.faults import FaultPlan, InjectedFault
+from ..resilience.gate import AdmissionGate, OverloadedError, Priority
 from .metrics import ServerMetrics
 from .protocol import (
     ProtocolError,
@@ -53,13 +74,21 @@ from .protocol import (
     step_to_json,
 )
 from .registry import (
+    ManagedSession,
     SessionGoneError,
     SessionLimitError,
     SessionRegistry,
     UnknownSessionError,
 )
 
-__all__ = ["ServerConfig", "EnginePool", "SubDExServer", "build_server", "serve"]
+__all__ = [
+    "DatasetLoadError",
+    "EnginePool",
+    "ServerConfig",
+    "SubDExServer",
+    "build_server",
+    "serve",
+]
 
 
 @dataclass(frozen=True)
@@ -72,14 +101,62 @@ class ServerConfig:
     metrics_reservoir_size: int = 1024
     group_cache_capacity: int = 256
     result_cache_capacity: int = 128
+    #: Default per-request time budget in milliseconds; ``None`` disables
+    #: deadlines unless the client sends ``X-Deadline-Ms``.
+    default_deadline_ms: int | None = None
+    #: Worker budget: the hard concurrent-request limit (sheddable work
+    #: past it gets 503) and the soft limit past which heavy work degrades
+    #: (``None`` → 3/4 of the hard limit).
+    max_inflight: int = 32
+    soft_inflight: int | None = None
+    shed_retry_after_seconds: float = 1.0
+    #: Per-dataset engine-construction circuit breaker.
+    breaker_failure_threshold: int = 3
+    breaker_reset_seconds: float = 30.0
+    #: Crash-safe sessions: ``None`` disables checkpointing.
+    checkpoint_dir: str | None = None
+    checkpoint_interval_seconds: float = 30.0
+    #: Graceful shutdown: how long to wait for in-flight requests.
+    drain_seconds: float = 10.0
+
+
+class DatasetLoadError(ReproError):
+    """A dataset engine failed to build (HTTP 503, retryable)."""
+
+    def __init__(self, dataset: str, error: BaseException) -> None:
+        super().__init__(
+            f"dataset {dataset!r} failed to load: "
+            f"{type(error).__name__}: {error}"
+        )
+        self.dataset = dataset
+
+
+class _DatasetSlot:
+    """One dataset's lazily-built engine plus its failure bookkeeping."""
+
+    __slots__ = ("factory", "lock", "engine", "breaker")
+
+    def __init__(
+        self, factory: Callable[[], SubDEx], breaker: CircuitBreaker
+    ) -> None:
+        self.factory = factory
+        self.lock = threading.Lock()
+        self.engine: CachingEngine | None = None
+        self.breaker = breaker
 
 
 class EnginePool:
-    """Per-dataset shared caching engines.
+    """Per-dataset shared caching engines with circuit-broken construction.
 
     ``factories`` maps dataset name → zero-argument :class:`SubDEx`
     builder; engines are built lazily on first use (dataset loading is the
     expensive part) and wrapped in one shared :class:`CachingEngine` each.
+
+    A failed build is **never cached**: the slot stays empty, the failure
+    feeds the dataset's circuit breaker, and the request answers 503.
+    After ``breaker_failure_threshold`` consecutive failures the breaker
+    opens and further requests fail fast — no repeated doomed loads —
+    until the cooldown admits a single probe.
     """
 
     def __init__(
@@ -87,96 +164,147 @@ class EnginePool:
         factories: Mapping[str, Callable[[], SubDEx]],
         group_capacity: int = 256,
         result_capacity: int = 128,
+        breaker_failure_threshold: int = 3,
+        breaker_reset_seconds: float = 30.0,
+        fault_plan: FaultPlan | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if not factories:
             raise ValueError("EnginePool needs at least one dataset factory")
-        self._factories = dict(factories)
         self._group_capacity = group_capacity
         self._result_capacity = result_capacity
-        self._engines: dict[str, CachingEngine] = {}
-        self._lock = threading.Lock()
+        self._fault_plan = fault_plan
+        self._slots = {
+            name: _DatasetSlot(
+                factory,
+                CircuitBreaker(
+                    f"dataset {name!r}",
+                    failure_threshold=breaker_failure_threshold,
+                    reset_seconds=breaker_reset_seconds,
+                    clock=clock,
+                ),
+            )
+            for name, factory in factories.items()
+        }
 
     @property
     def names(self) -> tuple[str, ...]:
-        return tuple(self._factories)
+        return tuple(self._slots)
 
     @property
     def default_dataset(self) -> str:
-        return next(iter(self._factories))
+        return next(iter(self._slots))
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        return self._slots[name].breaker
 
     def get(self, name: str) -> CachingEngine:
         """The shared caching engine for ``name`` (built on first use)."""
-        if name not in self._factories:
+        slot = self._slots.get(name)
+        if slot is None:
             raise ProtocolError(
                 f"unknown dataset {name!r} "
-                f"(served datasets: {', '.join(self._factories)})",
+                f"(served datasets: {', '.join(self._slots)})",
                 "unknown_dataset",
             )
-        with self._lock:
-            engine = self._engines.get(name)
-            if engine is None:
+        if self._fault_plan is not None:
+            # chaos site "pool.get": a slow engine call on the request path
+            self._fault_plan.check("pool.get")
+        with slot.lock:
+            if slot.engine is not None:
+                return slot.engine
+            slot.breaker.before_call()  # fast 503 while the circuit is open
+            try:
+                if self._fault_plan is not None:
+                    self._fault_plan.check("pool.build")
                 engine = CachingEngine(
-                    self._factories[name](),
+                    slot.factory(),
                     group_capacity=self._group_capacity,
                     result_capacity=self._result_capacity,
                 )
-                self._engines[name] = engine
+            except Exception as error:
+                # evict-on-failure: the slot stays empty so the next
+                # admitted attempt rebuilds from scratch
+                slot.breaker.record_failure(error)
+                raise DatasetLoadError(name, error) from error
+            slot.breaker.record_success()
+            slot.engine = engine
             return engine
 
     def cache_snapshots(self) -> dict[str, Any]:
         """Per-dataset group/result cache statistics (for ``/metrics``)."""
-        with self._lock:
-            engines = dict(self._engines)
-        return {
-            name: {
+        snapshots: dict[str, Any] = {}
+        for name, slot in self._slots.items():
+            with slot.lock:
+                engine = slot.engine
+            if engine is None:
+                continue
+            snapshots[name] = {
                 "group": engine.group_stats.snapshot(),
                 "result": engine.result_stats.snapshot(),
+                "stale_hits": engine.stale_hits,
             }
-            for name, engine in engines.items()
+        return snapshots
+
+    def breaker_snapshots(self) -> dict[str, Any]:
+        return {
+            name: slot.breaker.snapshot()
+            for name, slot in self._slots.items()
         }
 
 
 _SESSION_ID = r"(?P<sid>[0-9a-f]{32})"
-_ROUTES: list[tuple[str, re.Pattern, str, str]] = [
-    ("GET", re.compile(r"^/health$"), "handle_health", "GET /health"),
-    ("GET", re.compile(r"^/metrics$"), "handle_metrics", "GET /metrics"),
-    ("POST", re.compile(r"^/sessions$"), "handle_create", "POST /sessions"),
-    ("GET", re.compile(r"^/sessions$"), "handle_list", "GET /sessions"),
+#: method, pattern, handler, metrics label, shed priority
+_ROUTES: list[tuple[str, re.Pattern, str, str, Priority]] = [
+    ("GET", re.compile(r"^/health$"), "handle_health", "GET /health",
+     Priority.CRITICAL),
+    ("GET", re.compile(r"^/metrics$"), "handle_metrics", "GET /metrics",
+     Priority.CRITICAL),
+    ("POST", re.compile(r"^/sessions$"), "handle_create", "POST /sessions",
+     Priority.HEAVY),
+    ("GET", re.compile(r"^/sessions$"), "handle_list", "GET /sessions",
+     Priority.NORMAL),
     (
         "GET",
         re.compile(rf"^/sessions/{_SESSION_ID}$"),
         "handle_summary",
         "GET /sessions/{id}",
+        Priority.NORMAL,
     ),
     (
         "DELETE",
         re.compile(rf"^/sessions/{_SESSION_ID}$"),
         "handle_close",
         "DELETE /sessions/{id}",
+        Priority.CRITICAL,  # closing frees capacity: never shed it
     ),
     (
         "GET",
         re.compile(rf"^/sessions/{_SESSION_ID}/maps$"),
         "handle_maps",
         "GET /sessions/{id}/maps",
+        Priority.NORMAL,
     ),
     (
         "GET",
         re.compile(rf"^/sessions/{_SESSION_ID}/recommendations$"),
         "handle_recommendations",
         "GET /sessions/{id}/recommendations",
+        Priority.NORMAL,
     ),
     (
         "POST",
         re.compile(rf"^/sessions/{_SESSION_ID}/apply$"),
         "handle_apply",
         "POST /sessions/{id}/apply",
+        Priority.HEAVY,
     ),
     (
         "GET",
         re.compile(rf"^/sessions/{_SESSION_ID}/history$"),
         "handle_history",
         "GET /sessions/{id}/history",
+        Priority.NORMAL,
     ),
 ]
 
@@ -209,19 +337,22 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
         label = None
         allowed: list[str] = []
         handler_name = None
+        priority = Priority.NORMAL
         params: dict[str, str] = {}
-        for route_method, pattern, name, route_label in _ROUTES:
+        for route_method, pattern, name, route_label, route_priority in _ROUTES:
             match = pattern.match(path)
             if not match:
                 continue
             if route_method == method:
                 handler_name = name
                 label = route_label
+                priority = route_priority
                 params = match.groupdict()
                 break
             allowed.append(route_method)
 
         started = time.perf_counter()
+        headers: dict[str, str] = {}
         if handler_name is None:
             if allowed:
                 label = f"{method} {path}"
@@ -235,42 +366,161 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
                     "not_found", f"no such endpoint: {method} {path}"
                 )
         else:
-            status, payload = self._run(handler_name, params)
-        self._send(status, payload)
+            status, payload, headers = self._run_admitted(
+                handler_name, priority, params
+            )
+        self._send(status, payload, headers)
         self.server.metrics.observe(
             label or "<unmatched>", status, time.perf_counter() - started
         )
 
-    def _run(
-        self, handler_name: str, params: dict[str, str]
-    ) -> tuple[int, dict[str, Any]]:
+    def _drop_unread_body(self) -> None:
+        """Close the connection if the handler never consumed the body.
+
+        Early-exit paths (shedding, injected faults, bad deadline headers)
+        answer before reading the request body; leaving those bytes on a
+        keep-alive connection would desync the next request.
+        """
+        if self.headers.get("Content-Length") not in (None, "0"):
+            self.close_connection = True
+
+    def _deadline(self) -> Deadline | None:
+        """The request's time budget: header first, server default second."""
+        raw = self.headers.get("X-Deadline-Ms")
+        if raw is None:
+            default = self.server.config.default_deadline_ms
+            return Deadline(default / 1000.0) if default else None
         try:
-            return getattr(self, handler_name)(**params)
-        except _PayloadTooLarge as error:
-            self.close_connection = True  # unread body still on the wire
-            return 413, error_payload("payload_too_large", str(error))
+            millis = int(raw)
+        except ValueError:
+            raise ProtocolError(
+                f"invalid X-Deadline-Ms header: {raw!r}", "invalid_deadline"
+            ) from None
+        if millis < 1:
+            raise ProtocolError(
+                f"X-Deadline-Ms must be >= 1, got {millis}", "invalid_deadline"
+            )
+        return Deadline(millis / 1000.0)
+
+    def _run_admitted(
+        self, handler_name: str, priority: Priority, params: dict[str, str]
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """Admission gate + deadline scope around one handler call."""
+        server = self.server
+        try:
+            deadline = self._deadline()
         except ProtocolError as error:
-            return 400, error_payload(error.code, str(error))
-        except UnknownSessionError as error:
-            return 404, error_payload("unknown_session", str(error))
-        except SessionGoneError as error:
-            return 410, error_payload("session_gone", str(error))
-        except SessionLimitError as error:
-            return 429, error_payload("too_many_sessions", str(error))
-        except (EmptyGroupError, OperationError) as error:
-            return 400, error_payload("empty_group", str(error))
-        except ReproError as error:
-            return 400, error_payload("bad_request", str(error))
-        except Exception as error:  # noqa: BLE001 - last-resort 500
-            return 500, error_payload(
-                "internal_error", f"{type(error).__name__}: {error}"
+            self._drop_unread_body()
+            return 400, error_payload(error.code, str(error)), {}
+        try:
+            with server.gate.admit(priority) as degraded:
+                if degraded:
+                    server.metrics.record_event("pressure_admissions")
+                with deadline_scope(deadline):
+                    if server.fault_plan is not None:
+                        try:
+                            server.fault_plan.check("handler")
+                        except InjectedFault as error:
+                            server.metrics.record_event("injected_faults")
+                            self._drop_unread_body()
+                            return (
+                                500,
+                                error_payload(
+                                    "injected_fault", str(error), retryable=True
+                                ),
+                                {},
+                            )
+                    return self._run(handler_name, params)
+        except OverloadedError as error:
+            server.metrics.record_event("shed_requests")
+            self._drop_unread_body()
+            return (
+                503,
+                error_payload(
+                    "overloaded",
+                    str(error),
+                    retryable=True,
+                    retry_after=error.retry_after,
+                ),
+                {"Retry-After": f"{max(1, round(error.retry_after))}"},
             )
 
-    def _send(self, status: int, payload: dict[str, Any]) -> None:
+    def _run(
+        self, handler_name: str, params: dict[str, str]
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        try:
+            result = getattr(self, handler_name)(**params)
+            status, payload = result
+            if payload.get("degraded"):
+                self.server.metrics.record_event("degraded_responses")
+            return status, payload, {}
+        except _PayloadTooLarge as error:
+            self.close_connection = True  # unread body still on the wire
+            return 413, error_payload("payload_too_large", str(error)), {}
+        except DeadlineExceeded as error:
+            self.server.metrics.record_event("deadline_exceeded")
+            return (
+                504,
+                error_payload("deadline_exceeded", str(error), retryable=True),
+                {},
+            )
+        except BreakerOpenError as error:
+            return (
+                503,
+                error_payload(
+                    "dataset_unavailable",
+                    str(error),
+                    retryable=True,
+                    retry_after=error.retry_after,
+                ),
+                {"Retry-After": f"{max(1, round(error.retry_after))}"},
+            )
+        except DatasetLoadError as error:
+            return (
+                503,
+                error_payload("dataset_unavailable", str(error), retryable=True),
+                {"Retry-After": "1"},
+            )
+        except ProtocolError as error:
+            return 400, error_payload(error.code, str(error)), {}
+        except UnknownSessionError as error:
+            return 404, error_payload("unknown_session", str(error)), {}
+        except SessionGoneError as error:
+            return 410, error_payload("session_gone", str(error)), {}
+        except SessionLimitError as error:
+            return (
+                429,
+                error_payload("too_many_sessions", str(error), retryable=True),
+                {"Retry-After": "1"},
+            )
+        except InjectedFault as error:
+            self.server.metrics.record_event("injected_faults")
+            return 500, error_payload("injected_fault", str(error), retryable=True), {}
+        except (EmptyGroupError, OperationError) as error:
+            return 400, error_payload("empty_group", str(error)), {}
+        except ReproError as error:
+            return 400, error_payload("bad_request", str(error)), {}
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            return (
+                500,
+                error_payload(
+                    "internal_error", f"{type(error).__name__}: {error}"
+                ),
+                {},
+            )
+
+    def _send(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: Mapping[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -312,12 +562,14 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
             "status": "ok",
             "datasets": list(self.server.pool.names),
             "sessions": self.server.registry.live_count,
+            "inflight": self.server.gate.inflight,
         }
 
     def handle_metrics(self) -> tuple[int, dict[str, Any]]:
         return 200, self.server.metrics.snapshot(
             sessions=self.server.registry.counters(),
             caches=self.server.pool.cache_snapshots(),
+            resilience=self.server.resilience_snapshot(),
         )
 
     # -- session lifecycle ---------------------------------------------------
@@ -338,9 +590,11 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
         with self.server.registry.acquire(managed.session_id) as live:
             record = live.session.step(with_recommendations=True)
             live.latest = record
+            self.server.save_checkpoint(live)
             return 201, {
                 "session_id": live.session_id,
                 "dataset": dataset,
+                "degraded": record.degraded,
                 "step": step_to_json(record),
             }
 
@@ -360,6 +614,7 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
 
     def handle_close(self, sid: str) -> tuple[int, dict[str, Any]]:
         managed = self.server.registry.close(sid)
+        self.server.forget_checkpoint(sid)
         return 200, {
             "session_id": sid,
             "closed": True,
@@ -373,6 +628,7 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
             return 200, {
                 "session_id": sid,
                 "step_index": record.index if record else 0,
+                "degraded": record.degraded if record else False,
                 "criteria": criteria_to_json(record.criteria) if record else None,
                 "maps": [
                     rating_map_to_json(rm, record.result.dw_utility(rm))
@@ -447,7 +703,12 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
                     criteria, with_recommendations=True
                 )
             managed.latest = record
-            return 200, {"session_id": sid, "step": step_to_json(record)}
+            self.server.save_checkpoint(managed)
+            return 200, {
+                "session_id": sid,
+                "degraded": record.degraded,
+                "step": step_to_json(record),
+            }
 
     def handle_history(self, sid: str) -> tuple[int, dict[str, Any]]:
         with self.server.registry.acquire(sid) as managed:
@@ -463,7 +724,7 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
 
 
 class SubDExServer(ThreadingHTTPServer):
-    """One serving process: pool + registry + metrics behind HTTP."""
+    """One serving process: pool + registry + gate + metrics behind HTTP."""
 
     daemon_threads = True
     allow_reuse_address = True
@@ -473,22 +734,143 @@ class SubDExServer(ThreadingHTTPServer):
         address: tuple[str, int],
         pool: EnginePool,
         config: ServerConfig | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         super().__init__(address, SubDExRequestHandler)
         self.config = config or ServerConfig()
         self.pool = pool
+        self.fault_plan = fault_plan
         self.registry = SessionRegistry(
             max_sessions=self.config.max_sessions,
             ttl_seconds=self.config.session_ttl_seconds,
+            fault_plan=fault_plan,
         )
         self.metrics = ServerMetrics(
             reservoir_size=self.config.metrics_reservoir_size
         )
+        self.gate = AdmissionGate(
+            hard_limit=self.config.max_inflight,
+            soft_limit=self.config.soft_inflight,
+            retry_after_seconds=self.config.shed_retry_after_seconds,
+        )
+        self.checkpointer: SessionCheckpointer | None = None
+        if self.config.checkpoint_dir is not None:
+            store = CheckpointStore(
+                self.config.checkpoint_dir, fault_plan=fault_plan
+            )
+            self.checkpointer = SessionCheckpointer(
+                store,
+                source=self._checkpoint_source,
+                interval_seconds=self.config.checkpoint_interval_seconds,
+            )
 
     @property
     def url(self) -> str:
         host, port = self.server_address[0], self.server_address[1]
         return f"http://{host}:{port}"
+
+    # -- checkpointing --------------------------------------------------------
+    def _checkpoint_source(self) -> Iterator[SessionCheckpoint]:
+        """Periodic-flush source: every live session whose lock is free.
+
+        A busy session is mid-mutation and will checkpoint itself when the
+        handler finishes; skipping it avoids stalling the flush thread on
+        a long-running step.
+        """
+        for managed in self.registry.live_sessions():
+            if managed.session is None:
+                continue
+            if not managed.lock.acquire(blocking=False):
+                continue
+            try:
+                yield SessionCheckpoint.capture(
+                    managed.session_id,
+                    managed.dataset,
+                    managed.created_wall,
+                    managed.session,
+                )
+            finally:
+                managed.lock.release()
+
+    def save_checkpoint(self, managed: ManagedSession) -> None:
+        """On-mutation checkpoint (caller holds the session lock)."""
+        if self.checkpointer is None or managed.session is None:
+            return
+        self.checkpointer.save(
+            SessionCheckpoint.capture(
+                managed.session_id,
+                managed.dataset,
+                managed.created_wall,
+                managed.session,
+            )
+        )
+
+    def forget_checkpoint(self, session_id: str) -> None:
+        if self.checkpointer is not None:
+            self.checkpointer.forget(session_id)
+
+    def restore_sessions(self) -> int:
+        """Replay every checkpoint in the store into live sessions.
+
+        Called once before serving.  A checkpoint that cannot be restored
+        (unknown dataset, failing engine, replay error) is skipped and
+        counted — a corrupt session must not block the healthy ones.
+        """
+        if self.checkpointer is None:
+            return 0
+        restored = 0
+        for checkpoint in self.checkpointer.store.load_all():
+            try:
+                engine = self.pool.get(checkpoint.dataset)
+                session = restore_session(engine, checkpoint)
+                managed = self.registry.adopt(
+                    checkpoint.session_id,
+                    checkpoint.dataset,
+                    session,
+                    created_wall=checkpoint.created_wall,
+                )
+                managed.latest = session.steps[-1] if session.steps else None
+                restored += 1
+            except Exception:  # noqa: BLE001 - skip the unrestorable
+                self.metrics.record_event("restore_failures")
+        if restored:
+            self.metrics.record_event("sessions_restored", restored)
+        return restored
+
+    def start_background(self) -> None:
+        """Start the periodic checkpoint flusher (no-op without one)."""
+        if self.checkpointer is not None:
+            self.checkpointer.start()
+
+    # -- shutdown -------------------------------------------------------------
+    def graceful_shutdown(self, drain_seconds: float | None = None) -> bool:
+        """Stop accepting, drain in-flight work, flush checkpoints, close.
+
+        Returns ``True`` if every in-flight request finished inside the
+        drain budget.  Must be called from a thread other than the one
+        running :meth:`serve_forever`.
+        """
+        budget = (
+            self.config.drain_seconds if drain_seconds is None else drain_seconds
+        )
+        self.shutdown()  # stop accepting new connections
+        drained = self.gate.drain(budget)
+        if self.checkpointer is not None:
+            self.checkpointer.stop()
+            self.checkpointer.flush()  # one final checkpoint per live session
+        self.server_close()
+        return drained
+
+    def resilience_snapshot(self) -> dict[str, Any]:
+        snapshot: dict[str, Any] = {
+            "gate": self.gate.counters(),
+            "breakers": self.pool.breaker_snapshots(),
+        }
+        if self.checkpointer is not None:
+            snapshot["checkpoints"] = self.checkpointer.counters()
+        if self.fault_plan is not None:
+            snapshot["faults"] = self.fault_plan.counters()
+        return snapshot
 
 
 def build_server(
@@ -496,15 +878,27 @@ def build_server(
     host: str = "127.0.0.1",
     port: int = 0,
     config: ServerConfig | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> SubDExServer:
-    """Create (but do not start) a server; ``port=0`` picks a free port."""
+    """Create (but do not start) a server; ``port=0`` picks a free port.
+
+    If the config names a checkpoint directory, previously checkpointed
+    sessions are restored (replayed) before the server is returned, and
+    the periodic flusher is started.
+    """
     config = config or ServerConfig()
     pool = EnginePool(
         factories,
         group_capacity=config.group_cache_capacity,
         result_capacity=config.result_cache_capacity,
+        breaker_failure_threshold=config.breaker_failure_threshold,
+        breaker_reset_seconds=config.breaker_reset_seconds,
+        fault_plan=fault_plan,
     )
-    return SubDExServer((host, port), pool, config)
+    server = SubDExServer((host, port), pool, config, fault_plan=fault_plan)
+    server.restore_sessions()
+    server.start_background()
+    return server
 
 
 def serve(
@@ -513,18 +907,47 @@ def serve(
     port: int = 8642,
     config: ServerConfig | None = None,
     out=None,
+    install_signal_handlers: bool = True,
 ) -> int:
-    """Run a server until interrupted (the ``python -m repro serve`` body)."""
+    """Run a server until interrupted (the ``python -m repro serve`` body).
+
+    SIGTERM/SIGINT trigger a graceful shutdown: stop accepting, drain
+    in-flight requests inside the configured drain budget, flush one final
+    checkpoint per live session, exit 0.
+    """
     import sys
 
     out = out or sys.stdout
     server = build_server(factories, host, port, config)
     print(f"SubDEx serving {', '.join(server.pool.names)} on {server.url}", file=out)
     print("endpoints: /health /metrics /sessions (see docs/API.md)", file=out)
+
+    stop = threading.Event()
+    if (
+        install_signal_handlers
+        and threading.current_thread() is threading.main_thread()
+    ):
+
+        def _request_stop(signum: int, frame: object) -> None:
+            stop.set()
+
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+
+    worker = threading.Thread(
+        target=server.serve_forever, name="subdex-serve", daemon=True
+    )
+    worker.start()
     try:
-        server.serve_forever()
+        stop.wait()
     except KeyboardInterrupt:
-        print("\nshutting down", file=out)
-    finally:
-        server.server_close()
+        pass
+    print("\ndraining in-flight requests", file=out)
+    drained = server.graceful_shutdown()
+    worker.join(5.0)
+    print(
+        "shutdown complete"
+        + ("" if drained else " (drain deadline hit; some requests aborted)"),
+        file=out,
+    )
     return 0

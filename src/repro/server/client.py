@@ -7,6 +7,15 @@ the HTTP status and the machine-readable error code from the payload, so
 callers can distinguish a bad request (400) from an evicted session (410)
 or a full server (429).
 
+Idempotent GETs are retried with capped exponential backoff and **full
+jitter** (``sleep ~ U(0, min(cap, base * 2**attempt))``) on transient
+failures — connection errors, 429/503/504 and any error the server marks
+``retryable`` — honouring ``Retry-After`` when the server sends one.
+Mutating requests (POST/DELETE) are never replayed: applying a
+recommendation twice is two steps.  When the retry budget runs out the
+client raises the typed :class:`ServerUnavailable`.  The policy's RNG and
+sleep are injectable so tests are deterministic and instant.
+
 .. code-block:: python
 
     with SubDExClient("http://127.0.0.1:8642") as client:
@@ -22,28 +31,105 @@ from __future__ import annotations
 
 import http.client
 import json
-from typing import Any, Mapping
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
 from urllib.parse import urlencode, urlsplit
 
 from ..exceptions import ReproError
 
-__all__ = ["ServerError", "SubDExClient", "ClientSession"]
+__all__ = [
+    "ClientSession",
+    "RetryPolicy",
+    "ServerError",
+    "ServerUnavailable",
+    "SubDExClient",
+]
+
+#: Statuses worth retrying on an idempotent request: overload shedding,
+#: open circuit breakers (503), deadline overruns (504), session-cap
+#: rejections (429).
+_RETRYABLE_STATUSES = frozenset({429, 503, 504})
 
 
 class ServerError(ReproError):
     """A non-2xx response from the service."""
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retryable: bool = False,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(f"[{status} {code}] {message}")
         self.status = status
         self.code = code
         self.message = message
+        #: The server's own judgement (the ``retryable`` payload field).
+        self.retryable = retryable or status in _RETRYABLE_STATUSES
+        self.retry_after = retry_after
+
+
+class ServerUnavailable(ServerError):
+    """The retry budget ran out without a successful response.
+
+    ``last_error`` is the final failure — a :class:`ServerError` for an
+    HTTP-level rejection, an :class:`OSError` for a dead connection.
+    """
+
+    def __init__(self, attempts: int, last_error: BaseException) -> None:
+        status = last_error.status if isinstance(last_error, ServerError) else 0
+        code = last_error.code if isinstance(last_error, ServerError) else "unreachable"
+        super().__init__(
+            status,
+            code,
+            f"server unavailable after {attempts} attempts "
+            f"(last error: {last_error})",
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+@dataclass
+class RetryPolicy:
+    """Capped exponential backoff with full jitter for idempotent GETs.
+
+    Deterministic when given a seeded ``rng`` and a fake ``sleep``;
+    ``max_attempts=1`` disables retries entirely.
+    """
+
+    max_attempts: int = 4
+    base_seconds: float = 0.05
+    cap_seconds: float = 2.0
+    rng: random.Random = field(default_factory=random.Random)
+    sleep: Callable[[float], None] = time.sleep
+
+    def backoff(self, attempt: int, retry_after: float | None = None) -> float:
+        """Seconds to wait after failed attempt ``attempt`` (0-based).
+
+        A server-provided ``Retry-After`` is a floor, not a suggestion:
+        retrying sooner is guaranteed to fail again.
+        """
+        jittered = self.rng.uniform(
+            0.0, min(self.cap_seconds, self.base_seconds * (2.0 ** attempt))
+        )
+        if retry_after is not None:
+            return max(retry_after, jittered)
+        return jittered
 
 
 class SubDExClient:
     """Blocking HTTP client; one instance per thread (not thread-safe)."""
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         parts = urlsplit(base_url)
         if parts.scheme not in ("http", ""):
             raise ValueError(f"only http:// URLs are supported, got {base_url!r}")
@@ -51,6 +137,7 @@ class SubDExClient:
         self._host, _, port = netloc.partition(":")
         self._port = int(port) if port else 80
         self._timeout = timeout
+        self._retry = retry or RetryPolicy()
         self._connection: http.client.HTTPConnection | None = None
 
     # -- plumbing -----------------------------------------------------------
@@ -72,22 +159,18 @@ class SubDExClient:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def request(
+    def _round_trip(
         self,
         method: str,
         path: str,
-        payload: Mapping[str, Any] | None = None,
-        query: Mapping[str, Any] | None = None,
+        body: bytes | None,
+        headers: Mapping[str, str],
     ) -> dict[str, Any]:
-        """One round-trip; raises :class:`ServerError` on non-2xx."""
-        if query:
-            path = f"{path}?{urlencode(query)}"
-        body = json.dumps(payload).encode("utf-8") if payload is not None else None
-        headers = {"Content-Type": "application/json"} if body else {}
+        """One request/response cycle; raises :class:`ServerError` on non-2xx."""
         for attempt in (1, 2):
             connection = self._connect()
             try:
-                connection.request(method, path, body=body, headers=headers)
+                connection.request(method, path, body=body, headers=dict(headers))
                 response = connection.getresponse()
                 raw = response.read()
                 break
@@ -108,12 +191,61 @@ class SubDExClient:
             ) from None
         if response.status >= 400:
             error_info = data.get("error", {}) if isinstance(data, dict) else {}
+            retry_after = error_info.get("retry_after")
+            if retry_after is None:
+                header = response.getheader("Retry-After")
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        retry_after = None
             raise ServerError(
                 response.status,
                 error_info.get("code", "unknown"),
                 error_info.get("message", raw.decode("utf-8", "replace")),
+                retryable=bool(error_info.get("retryable", False)),
+                retry_after=retry_after,
             )
         return data
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Mapping[str, Any] | None = None,
+        query: Mapping[str, Any] | None = None,
+        deadline_ms: int | None = None,
+    ) -> dict[str, Any]:
+        """One logical request; idempotent GETs retry per the policy."""
+        if query:
+            path = f"{path}?{urlencode(query)}"
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers: dict[str, str] = {}
+        if body:
+            headers["Content-Type"] = "application/json"
+        if deadline_ms is not None:
+            headers["X-Deadline-Ms"] = str(deadline_ms)
+        if method != "GET" or self._retry.max_attempts <= 1:
+            return self._round_trip(method, path, body, headers)
+
+        attempts = self._retry.max_attempts
+        last_error: BaseException | None = None
+        for attempt in range(attempts):
+            try:
+                return self._round_trip(method, path, body, headers)
+            except ServerError as error:
+                if not error.retryable:
+                    raise
+                last_error = error
+                retry_after = error.retry_after
+            except OSError as error:
+                # connection refused / reset: the server may be restarting
+                self.close()
+                last_error = error
+                retry_after = None
+            if attempt + 1 < attempts:
+                self._retry.sleep(self._retry.backoff(attempt, retry_after))
+        raise ServerUnavailable(attempts, last_error)  # type: ignore[arg-type]
 
     # -- service endpoints ---------------------------------------------------
     def health(self) -> dict[str, Any]:

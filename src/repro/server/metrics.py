@@ -73,6 +73,7 @@ class ServerMetrics:
         self._total = 0
         self._by_endpoint: dict[str, _EndpointStats] = {}
         self._by_status: dict[int, int] = {}
+        self._events: dict[str, int] = {}
 
     def observe(self, endpoint: str, status: int, seconds: float) -> None:
         """Record one completed request.
@@ -98,16 +99,27 @@ class ServerMetrics:
         with self._lock:
             return self._total
 
+    def record_event(self, name: str, count: int = 1) -> None:
+        """Count one resilience event (shed, degraded, deadline, ...)."""
+        with self._lock:
+            self._events[name] = self._events.get(name, 0) + count
+
+    def event_count(self, name: str) -> int:
+        with self._lock:
+            return self._events.get(name, 0)
+
     def snapshot(
         self,
         sessions: Mapping[str, int] | None = None,
         caches: Mapping[str, Any] | None = None,
+        resilience: Mapping[str, Any] | None = None,
     ) -> dict[str, Any]:
         """The full ``/metrics`` payload.
 
-        ``sessions`` (registry counters) and ``caches`` (per-dataset
-        group/result cache stats) are supplied by the application, which
-        owns those objects.
+        ``sessions`` (registry counters), ``caches`` (per-dataset
+        group/result cache stats) and ``resilience`` (gate, breaker and
+        checkpoint state) are supplied by the application, which owns
+        those objects.
         """
         with self._lock:
             payload: dict[str, Any] = {
@@ -124,9 +136,12 @@ class ServerMetrics:
                         for status, count in sorted(self._by_status.items())
                     },
                 },
+                "events": dict(sorted(self._events.items())),
             }
         if sessions is not None:
             payload["sessions"] = dict(sessions)
         if caches is not None:
             payload["caches"] = dict(caches)
+        if resilience is not None:
+            payload["resilience"] = dict(resilience)
         return payload

@@ -58,9 +58,24 @@ def _plain(value: Any) -> Any:
     return str(value)
 
 
-def error_payload(code: str, message: str) -> dict[str, Any]:
-    """The uniform error body: ``{"error": {"code": ..., "message": ...}}``."""
-    return {"error": {"code": code, "message": message}}
+def error_payload(
+    code: str,
+    message: str,
+    retryable: bool | None = None,
+    retry_after: float | None = None,
+) -> dict[str, Any]:
+    """The uniform error body: ``{"error": {"code": ..., "message": ...}}``.
+
+    ``retryable`` tells well-behaved clients whether repeating the same
+    request can succeed (see the error-semantics table in ``docs/API.md``);
+    ``retry_after`` mirrors the ``Retry-After`` header in seconds.
+    """
+    error: dict[str, Any] = {"code": code, "message": message}
+    if retryable is not None:
+        error["retryable"] = retryable
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    return {"error": error}
 
 
 # -- selection criteria ---------------------------------------------------------
@@ -245,6 +260,7 @@ def step_to_json(record: StepRecord) -> dict[str, Any]:
         "criteria": criteria_to_json(record.criteria),
         "criteria_description": record.criteria.describe(),
         "group_size": record.group_size,
+        "degraded": record.degraded,
         "operation": (
             record.operation.describe() if record.operation is not None else None
         ),

@@ -30,6 +30,7 @@ from typing import Callable, Iterator
 
 from ..core.session import ExplorationSession, StepRecord
 from ..exceptions import ReproError
+from ..resilience.faults import FaultPlan
 
 __all__ = [
     "ManagedSession",
@@ -79,12 +80,14 @@ class ManagedSession:
         dataset: str,
         session: ExplorationSession,
         created_monotonic: float,
+        created_wall: float | None = None,
     ) -> None:
         self.session_id = session_id
         self.dataset = dataset
         self.session = session
         self.lock = threading.Lock()
-        self.created_wall = time.time()
+        # restored sessions keep their original creation time
+        self.created_wall = time.time() if created_wall is None else created_wall
         self.created_monotonic = created_monotonic
         self.last_used = created_monotonic
         #: The latest step record — the numbered recommendation list an
@@ -112,6 +115,7 @@ class SessionRegistry:
         max_sessions: int = 64,
         ttl_seconds: float = 1800.0,
         clock: Callable[[], float] = time.monotonic,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
@@ -120,6 +124,7 @@ class SessionRegistry:
         self._max_sessions = max_sessions
         self._ttl_seconds = ttl_seconds
         self._clock = clock
+        self._fault_plan = fault_plan
         self._lock = threading.Lock()
         self._sessions: dict[str, ManagedSession] = {}
         self._tombstones: OrderedDict[str, str] = OrderedDict()  # id → reason
@@ -187,6 +192,9 @@ class SessionRegistry:
                 if reason is not None:
                     raise SessionGoneError(session_id, reason)
                 raise UnknownSessionError(session_id)
+        if self._fault_plan is not None:
+            # chaos site "registry.acquire": a slow or failing lock handoff
+            self._fault_plan.check("registry.acquire")
         with managed.lock:
             with self._lock:
                 # re-check: the session may have been closed while we
@@ -198,6 +206,34 @@ class SessionRegistry:
                 yield managed
             finally:
                 managed.last_used = self._clock()
+
+    def adopt(
+        self,
+        session_id: str,
+        dataset: str,
+        session: ExplorationSession,
+        created_wall: float | None = None,
+    ) -> ManagedSession:
+        """Register a restored session under its original id.
+
+        Used by checkpoint restore on startup: the id was issued by a
+        previous incarnation of this server, so clients holding it must
+        keep working.  Beyond-cap restores raise
+        :class:`SessionLimitError` (oldest checkpoints win).
+        """
+        managed = ManagedSession(
+            session_id, dataset, session, self._clock(), created_wall
+        )
+        with self._lock:
+            if session_id in self._sessions:
+                raise ReproError(f"session {session_id!r} already live")
+            if len(self._sessions) >= self._max_sessions:
+                self.rejected += 1
+                raise SessionLimitError(self._max_sessions)
+            self._sessions[session_id] = managed
+            self._tombstones.pop(session_id, None)
+            self.created += 1
+        return managed
 
     def close(self, session_id: str) -> ManagedSession:
         """Remove a session and tombstone its id as ``closed``."""
@@ -242,6 +278,11 @@ class SessionRegistry:
             self._tombstones.popitem(last=False)
 
     # -- introspection -------------------------------------------------------
+    def live_sessions(self) -> list[ManagedSession]:
+        """A point-in-time list of live sessions (for the checkpointer)."""
+        with self._lock:
+            return list(self._sessions.values())
+
     def summaries(self) -> list[dict]:
         now = self._clock()
         with self._lock:

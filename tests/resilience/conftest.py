@@ -1,0 +1,76 @@
+"""Fixtures for the resilience/chaos suite: engines and fault-injectable servers."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import SubDEx, SubDExConfig
+from repro.core.recommend import RecommenderConfig
+from repro.server import ServerConfig, SubDExClient, build_server
+from repro.server.client import RetryPolicy
+
+
+@pytest.fixture
+def tiny_engine(tiny_db) -> SubDEx:
+    """A fresh, fully seeded engine over the tiny database."""
+    return SubDEx(
+        tiny_db,
+        SubDExConfig(recommender=RecommenderConfig(max_values_per_attribute=3)),
+    )
+
+
+@pytest.fixture
+def make_server(tiny_db):
+    """Factory for live servers with injectable faults and custom configs.
+
+    ``build(fault_plan=..., factories=..., **config_kwargs)`` starts a
+    server on an ephemeral port; every server is torn down after the test.
+    """
+    servers = []
+
+    def default_factories():
+        return {
+            "tiny": lambda: SubDEx(
+                tiny_db,
+                SubDExConfig(
+                    recommender=RecommenderConfig(max_values_per_attribute=3)
+                ),
+            )
+        }
+
+    def build(fault_plan=None, factories=None, **config_kwargs):
+        instance = build_server(
+            factories if factories is not None else default_factories(),
+            port=0,
+            config=ServerConfig(**config_kwargs),
+            fault_plan=fault_plan,
+        )
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        servers.append(instance)
+        return instance
+
+    yield build
+    for instance in servers:
+        try:
+            instance.shutdown()
+            instance.server_close()
+        except OSError:
+            pass  # already closed by a graceful-shutdown test
+
+
+@pytest.fixture
+def no_retry_client():
+    """Client factory with retries disabled, so error statuses surface raw."""
+    clients = []
+
+    def connect(url: str) -> SubDExClient:
+        client = SubDExClient(url, retry=RetryPolicy(max_attempts=1))
+        clients.append(client)
+        return client
+
+    yield connect
+    for client in clients:
+        client.close()

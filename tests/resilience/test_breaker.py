@@ -1,0 +1,112 @@
+"""Circuit breaker: closed → open → half-open transitions, single probe."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import BreakerOpenError, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def breaker():
+    clock = FakeClock()
+    instance = CircuitBreaker(
+        "dataset 'bad'", failure_threshold=3, reset_seconds=30.0, clock=clock
+    )
+    instance.test_clock = clock  # type: ignore[attr-defined]
+    return instance
+
+
+def test_stays_closed_below_the_threshold(breaker):
+    for _ in range(2):
+        breaker.before_call()
+        breaker.record_failure(RuntimeError("corrupt shard"))
+    assert breaker.state == "closed"
+    assert breaker.consecutive_failures == 2
+    breaker.before_call()  # still admitted
+
+
+def test_success_resets_the_failure_streak(breaker):
+    breaker.record_failure(RuntimeError("x"))
+    breaker.record_failure(RuntimeError("x"))
+    breaker.record_success()
+    assert breaker.consecutive_failures == 0
+    breaker.record_failure(RuntimeError("x"))
+    assert breaker.state == "closed"  # streak restarted, not resumed
+
+
+def test_opens_at_the_threshold_and_fails_fast(breaker):
+    for _ in range(3):
+        breaker.record_failure(RuntimeError("corrupt shard"))
+    assert breaker.state == "open"
+    with pytest.raises(BreakerOpenError) as excinfo:
+        breaker.before_call()
+    assert excinfo.value.retry_after == pytest.approx(30.0)
+    assert "corrupt shard" in excinfo.value.last_error
+    breaker.test_clock.advance(10.0)
+    with pytest.raises(BreakerOpenError) as excinfo:
+        breaker.before_call()
+    assert excinfo.value.retry_after == pytest.approx(20.0)  # truthful countdown
+
+
+def test_half_open_admits_exactly_one_probe(breaker):
+    for _ in range(3):
+        breaker.record_failure(RuntimeError("x"))
+    breaker.test_clock.advance(30.0)
+    assert breaker.state == "half_open"
+    breaker.before_call()  # the single probe
+    with pytest.raises(BreakerOpenError):
+        breaker.before_call()  # a second caller must not pile on
+
+
+def test_probe_success_closes(breaker):
+    for _ in range(3):
+        breaker.record_failure(RuntimeError("x"))
+    breaker.test_clock.advance(30.0)
+    breaker.before_call()
+    breaker.record_success()
+    assert breaker.state == "closed"
+    breaker.before_call()  # normal service resumed
+
+
+def test_probe_failure_reopens_for_a_full_window(breaker):
+    for _ in range(3):
+        breaker.record_failure(RuntimeError("x"))
+    breaker.test_clock.advance(30.0)
+    breaker.before_call()
+    breaker.record_failure(RuntimeError("still corrupt"))
+    assert breaker.state == "open"
+    with pytest.raises(BreakerOpenError) as excinfo:
+        breaker.before_call()
+    assert excinfo.value.retry_after == pytest.approx(30.0)
+
+
+def test_snapshot_reports_state(breaker):
+    snap = breaker.snapshot()
+    assert snap == {
+        "state": "closed",
+        "consecutive_failures": 0,
+        "last_error": "never failed",
+    }
+    for _ in range(3):
+        breaker.record_failure(RuntimeError("boom"))
+    assert breaker.snapshot()["state"] == "open"
+    assert "boom" in breaker.snapshot()["last_error"]
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        CircuitBreaker("x", failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker("x", reset_seconds=0.0)

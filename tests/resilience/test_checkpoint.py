@@ -1,0 +1,190 @@
+"""Crash-safe checkpoints: round-trip, torn files, atomic writes, replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.history import ExplorationLog
+from repro.core.modes import ExplorationMode, ExplorationPath
+from repro.resilience import (
+    CheckpointStore,
+    FaultPlan,
+    PartialWrite,
+    SessionCheckpoint,
+    SessionCheckpointer,
+    restore_session,
+)
+from repro.resilience.checkpoint import CheckpointError
+
+
+@pytest.fixture
+def explored_session(tiny_engine):
+    """A session with three steps: open, one recommendation, one edit."""
+    session = tiny_engine.session()
+    record = session.step(with_recommendations=True)
+    assert record.recommendations, "tiny fixture must produce recommendations"
+    session.step(
+        record.recommendations[0].operation, with_recommendations=True
+    )
+    latest = session.steps[-1]
+    if latest.recommendations:
+        session.step(
+            latest.recommendations[0].operation, with_recommendations=False
+        )
+    return session
+
+
+def capture(session) -> SessionCheckpoint:
+    return SessionCheckpoint.capture("a" * 32, "tiny", 1700000000.0, session)
+
+
+def test_jsonl_round_trip(explored_session):
+    checkpoint = capture(explored_session)
+    text = checkpoint.to_jsonl()
+    restored = SessionCheckpoint.from_jsonl(text)
+    assert restored == checkpoint
+    # the file really is JSONL: one header line + one line per step
+    lines = [json.loads(line) for line in text.strip().split("\n")]
+    assert lines[0]["record"] == "header"
+    assert [line["record"] for line in lines[1:]] == ["step"] * len(
+        checkpoint.steps
+    )
+
+
+def test_criteria_values_round_trip_including_sets(explored_session):
+    checkpoint = capture(explored_session)
+    restored = SessionCheckpoint.from_jsonl(checkpoint.to_jsonl())
+    # replay needs the real values (e.g. frozenset cuisine labels), not the
+    # wire protocol's flattened display strings
+    for original, rebuilt in zip(checkpoint.steps, restored.steps):
+        assert rebuilt.operation == original.operation
+
+
+def test_torn_trailing_line_drops_only_the_newest_step(explored_session):
+    checkpoint = capture(explored_session)
+    text = checkpoint.to_jsonl()
+    torn = text.rstrip("\n")[:-10]  # crash mid-append of the last step
+    restored = SessionCheckpoint.from_jsonl(torn)
+    assert restored.session_id == checkpoint.session_id
+    assert restored.steps == checkpoint.steps[:-1]
+
+
+def test_unreadable_header_is_fatal():
+    with pytest.raises(CheckpointError):
+        SessionCheckpoint.from_jsonl("not json\n")
+    with pytest.raises(CheckpointError):
+        SessionCheckpoint.from_jsonl("")
+    with pytest.raises(CheckpointError):
+        SessionCheckpoint.from_jsonl('{"record": "step"}\n')
+
+
+def test_store_save_load_delete(tmp_path, explored_session):
+    store = CheckpointStore(tmp_path / "checkpoints")
+    checkpoint = capture(explored_session)
+    path = store.save(checkpoint)
+    assert path.exists() and path.suffix == ".jsonl"
+    assert store.load(checkpoint.session_id) == checkpoint
+    assert store.load_all() == [checkpoint]
+    store.delete(checkpoint.session_id)
+    assert not path.exists()
+    store.delete(checkpoint.session_id)  # idempotent
+
+
+def test_load_all_skips_corrupt_files(tmp_path, explored_session):
+    store = CheckpointStore(tmp_path)
+    checkpoint = capture(explored_session)
+    store.save(checkpoint)
+    (tmp_path / ("b" * 32 + ".jsonl")).write_text("garbage\n")
+    loaded = store.load_all()
+    assert loaded == [checkpoint]
+    assert store.skipped == 1
+
+
+def test_partial_write_fault_preserves_the_previous_checkpoint(
+    tmp_path, explored_session
+):
+    healthy = CheckpointStore(tmp_path)
+    checkpoint = capture(explored_session)
+    healthy.save(checkpoint)
+
+    faulty = CheckpointStore(
+        tmp_path,
+        fault_plan=FaultPlan(
+            seed=0, partial_write_rates={"checkpoint.partial_write": 1.0}
+        ),
+    )
+    with pytest.raises(PartialWrite) as excinfo:
+        faulty.save(checkpoint)
+    assert 0 < excinfo.value.written < excinfo.value.total
+    # the truncated bytes went to the temp file; the rename never happened,
+    # so the atomic-write protocol kept the previous checkpoint intact
+    assert healthy.load(checkpoint.session_id) == checkpoint
+
+
+def test_write_error_fault_counts_not_crashes(tmp_path, explored_session):
+    store = CheckpointStore(
+        tmp_path,
+        fault_plan=FaultPlan(
+            seed=0, error_rates={"checkpoint.write": 1.0}, sleep=lambda s: None
+        ),
+    )
+    checkpointer = SessionCheckpointer(store)
+    assert checkpointer.save(capture(explored_session)) is False
+    assert checkpointer.counters()["failures"] == 1
+    assert store.load_all() == []
+
+
+def test_restore_replays_identical_history(tiny_db, tiny_engine, explored_session):
+    """The acceptance bar: kill/restart reproduces the history export."""
+    checkpoint = capture(explored_session)
+    rebuilt_checkpoint = SessionCheckpoint.from_jsonl(checkpoint.to_jsonl())
+
+    # a *fresh* engine, as after a process restart
+    from repro import SubDEx, SubDExConfig
+    from repro.core.recommend import RecommenderConfig
+
+    fresh = SubDEx(
+        tiny_db,
+        SubDExConfig(recommender=RecommenderConfig(max_values_per_attribute=3)),
+    )
+    restored = restore_session(fresh, rebuilt_checkpoint)
+
+    def export(session):
+        path = ExplorationPath(ExplorationMode.USER_DRIVEN, session.steps)
+        return ExplorationLog.from_path(path, dataset="tiny").to_dict()
+
+    assert export(restored) == export(explored_session)
+
+
+def test_checkpointer_flush_walks_the_source(tmp_path, explored_session):
+    store = CheckpointStore(tmp_path)
+    checkpoint = capture(explored_session)
+    checkpointer = SessionCheckpointer(store, source=lambda: [checkpoint])
+    assert checkpointer.flush() == 1
+    assert store.load_all() == [checkpoint]
+    counters = checkpointer.counters()
+    assert counters["saves"] == 1 and counters["flushes"] == 1
+
+
+def test_checkpointer_background_thread_flushes(tmp_path, explored_session):
+    import threading
+
+    store = CheckpointStore(tmp_path)
+    checkpoint = capture(explored_session)
+    flushed = threading.Event()
+
+    def source():
+        flushed.set()
+        return [checkpoint]
+
+    checkpointer = SessionCheckpointer(
+        store, source=source, interval_seconds=0.02
+    )
+    checkpointer.start()
+    try:
+        assert flushed.wait(5.0)
+    finally:
+        checkpointer.stop()
+    assert store.load_all() == [checkpoint]

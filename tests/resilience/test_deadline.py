@@ -1,0 +1,90 @@
+"""Deadlines: budget accounting, cooperative checks, ambient propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import (
+    Deadline,
+    DeadlineExceeded,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_remaining_and_expiry_follow_the_clock():
+    clock = FakeClock()
+    deadline = Deadline(2.0, clock=clock)
+    assert deadline.budget_seconds == 2.0
+    assert deadline.remaining == pytest.approx(2.0)
+    assert not deadline.expired
+    clock.advance(1.5)
+    assert deadline.remaining == pytest.approx(0.5)
+    deadline.check()  # still inside the budget: no exception
+    clock.advance(1.0)
+    assert deadline.expired
+    assert deadline.remaining == pytest.approx(-0.5)
+
+
+def test_check_raises_with_budget_and_overrun():
+    clock = FakeClock()
+    deadline = Deadline(0.1, clock=clock)
+    clock.advance(0.35)
+    with pytest.raises(DeadlineExceeded) as excinfo:
+        deadline.check()
+    assert excinfo.value.budget_seconds == pytest.approx(0.1)
+    assert excinfo.value.overrun_seconds == pytest.approx(0.25)
+    assert "100ms" in str(excinfo.value)
+
+
+def test_non_positive_budget_rejected():
+    with pytest.raises(ValueError):
+        Deadline(0.0)
+    with pytest.raises(ValueError):
+        Deadline(-1.0)
+
+
+def test_check_deadline_is_noop_without_ambient_deadline():
+    assert current_deadline() is None
+    check_deadline()  # must not raise
+
+
+def test_deadline_scope_installs_and_restores():
+    clock = FakeClock()
+    expired = Deadline(0.5, clock=clock)
+    clock.advance(1.0)
+    with deadline_scope(expired) as installed:
+        assert installed is expired
+        assert current_deadline() is expired
+        with pytest.raises(DeadlineExceeded):
+            check_deadline()
+    assert current_deadline() is None
+    check_deadline()  # ambient deadline gone: no-op again
+
+
+def test_deadline_scopes_nest():
+    clock = FakeClock()
+    outer = Deadline(10.0, clock=clock)
+    inner = Deadline(5.0, clock=clock)
+    with deadline_scope(outer):
+        with deadline_scope(inner):
+            assert current_deadline() is inner
+        assert current_deadline() is outer
+
+
+def test_scope_accepts_none():
+    with deadline_scope(None):
+        assert current_deadline() is None
+        check_deadline()

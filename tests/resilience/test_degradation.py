@@ -1,0 +1,88 @@
+"""Graceful degradation under pressure: cheaper answers, clearly flagged."""
+
+from __future__ import annotations
+
+from repro.core.caching import CachingEngine
+from repro.model.groups import RatingGroup, SelectionCriteria
+from repro.core.utility import SeenMaps
+from repro.resilience import pressure_scope
+
+
+def fresh_seen(engine):
+    return SeenMaps(
+        engine.database.dimensions,
+        n_attributes=len(engine.database.grouping_attributes()),
+    )
+
+
+def test_generator_skips_the_gmm_pass_under_pressure(tiny_engine):
+    group = RatingGroup(tiny_engine.database, SelectionCriteria.root())
+
+    normal = tiny_engine.generator.generate(group, fresh_seen(tiny_engine))
+    assert normal.degraded is False
+
+    with pressure_scope():
+        degraded = tiny_engine.generator.generate(group, fresh_seen(tiny_engine))
+    assert degraded.degraded is True
+    # the degraded selection is the utility-ranked prefix — no diversity
+    # optimisation, but still the k best individual maps
+    assert list(degraded.selected) == list(degraded.pool)[: len(degraded.selected)]
+    assert len(degraded.selected) == len(normal.selected)
+
+
+def test_session_steps_flag_degradation(tiny_engine):
+    session = tiny_engine.session()
+    with pressure_scope():
+        record = session.step(with_recommendations=False)
+    assert record.degraded is True
+
+    fresh = tiny_engine.session()
+    assert fresh.step(with_recommendations=False).degraded is False
+
+
+def test_caching_engine_serves_stale_results_under_pressure(tiny_engine):
+    caching = CachingEngine(tiny_engine)
+    root = SelectionCriteria.root()
+
+    # full-quality result cached for the root selection under one history
+    first = caching.rating_maps(root, fresh_seen(tiny_engine))
+    assert first.degraded is False
+
+    # same selection, *different* display history: an exact-key miss —
+    # under pressure the engine reuses the latest full-quality result
+    seen = fresh_seen(tiny_engine)
+    for rating_map in first.selected:
+        seen.add(rating_map)
+    with pressure_scope():
+        stale = caching.rating_maps(root, seen)
+    assert stale.degraded is True
+    assert [rm.spec for rm in stale.selected] == [rm.spec for rm in first.selected]
+    assert caching.stale_hits == 1
+
+    # without pressure the same miss pays the full, exact computation
+    recomputed = caching.rating_maps(root, seen)
+    assert recomputed.degraded is False
+
+
+def test_degraded_results_never_enter_the_shared_caches(tiny_engine):
+    caching = CachingEngine(tiny_engine)
+    root = SelectionCriteria.root()
+    with pressure_scope():
+        degraded = caching.rating_maps(root, fresh_seen(tiny_engine))
+    # nothing cached for the root yet, so the degraded path had to compute
+    # — but a degraded answer must not poison the cache
+    assert degraded.degraded is True
+    after = caching.rating_maps(root, fresh_seen(tiny_engine))
+    assert after.degraded is False
+
+
+def test_pressure_caps_recommendation_candidates(tiny_engine):
+    session = tiny_engine.session()
+    record = session.step(with_recommendations=True)
+    assert record.degraded is False
+    with pressure_scope():
+        degraded = session.step(
+            record.recommendations[0].operation, with_recommendations=True
+        )
+    assert degraded.degraded is True
+    assert degraded.recommendations  # degraded, not empty

@@ -1,0 +1,97 @@
+"""Fault injection: seeded determinism, stalls, errors, partial writes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import FaultPlan, InjectedFault
+
+
+def run_sites(plan: FaultPlan, sites: list[str]) -> list[str]:
+    """Drive the plan through a call sequence; returns which calls failed."""
+    failed = []
+    for site in sites:
+        try:
+            plan.check(site)
+        except InjectedFault:
+            failed.append(site)
+    return failed
+
+
+def test_same_seed_replays_identically():
+    sequence = ["handler"] * 50 + ["pool.get"] * 50
+    plan_a = FaultPlan(seed=7, error_rates={"handler": 0.3}, sleep=lambda s: None)
+    plan_b = FaultPlan(seed=7, error_rates={"handler": 0.3}, sleep=lambda s: None)
+    assert run_sites(plan_a, sequence) == run_sites(plan_b, sequence)
+    assert plan_a.counters() == plan_b.counters()
+
+
+def test_different_seeds_differ():
+    sequence = ["handler"] * 200
+    plan_a = FaultPlan(seed=1, error_rates={"handler": 0.5}, sleep=lambda s: None)
+    plan_b = FaultPlan(seed=2, error_rates={"handler": 0.5}, sleep=lambda s: None)
+    assert run_sites(plan_a, sequence) != run_sites(plan_b, sequence)
+
+
+def test_unlisted_sites_never_fault():
+    plan = FaultPlan(seed=0, error_rates={"handler": 1.0}, sleep=lambda s: None)
+    for _ in range(100):
+        plan.check("pool.get")  # must not raise
+    assert "pool.get" not in plan.counters()
+
+
+def test_error_rate_one_always_raises_and_counts():
+    plan = FaultPlan(seed=0, error_rates={"handler": 1.0}, sleep=lambda s: None)
+    for _ in range(10):
+        with pytest.raises(InjectedFault) as excinfo:
+            plan.check("handler")
+        assert excinfo.value.site == "handler"
+    assert plan.counters()["handler"]["errors"] == 10
+
+
+def test_latency_uses_the_injected_sleep():
+    slept = []
+    plan = FaultPlan(
+        seed=0,
+        latency_rates={"pool.get": 1.0},
+        latency_seconds=0.25,
+        sleep=slept.append,
+    )
+    for _ in range(5):
+        plan.check("pool.get")
+    assert slept == [0.25] * 5
+    assert plan.counters()["pool.get"]["stalls"] == 5
+
+
+def test_stall_and_error_are_independent_decisions():
+    slept = []
+    plan = FaultPlan(
+        seed=0,
+        error_rates={"handler": 1.0},
+        latency_rates={"handler": 1.0},
+        latency_seconds=0.1,
+        sleep=slept.append,
+    )
+    with pytest.raises(InjectedFault):
+        plan.check("handler")
+    # the stall happened before the error was raised
+    assert slept == [0.1]
+    counters = plan.counters()["handler"]
+    assert counters["errors"] == 1 and counters["stalls"] == 1
+
+
+def test_truncate_returns_a_proper_prefix_or_none():
+    plan = FaultPlan(seed=0, partial_write_rates={"checkpoint.partial_write": 1.0})
+    data = b"0123456789abcdef"
+    prefix = plan.truncate("checkpoint.partial_write", data)
+    assert prefix == data[:8]
+    assert plan.counters()["checkpoint.partial_write"]["partial_writes"] == 1
+    # a site with no partial-write rate never truncates
+    assert plan.truncate("other.site", data) is None
+
+
+def test_rates_validated():
+    with pytest.raises(ValueError):
+        FaultPlan(error_rates={"handler": 1.5})
+    with pytest.raises(ValueError):
+        FaultPlan(latency_rates={"handler": -0.1})

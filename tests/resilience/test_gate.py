@@ -1,0 +1,128 @@
+"""Admission gate: priority shedding, pressure signalling, drains."""
+
+from __future__ import annotations
+
+import threading
+from contextlib import ExitStack
+
+import pytest
+
+from repro.resilience import (
+    AdmissionGate,
+    OverloadedError,
+    Priority,
+    pressure_scope,
+    under_pressure,
+)
+
+
+def test_admit_tracks_inflight():
+    gate = AdmissionGate(hard_limit=4)
+    assert gate.inflight == 0
+    with gate.admit():
+        assert gate.inflight == 1
+    assert gate.inflight == 0
+
+
+def test_sheds_normal_work_at_the_hard_limit():
+    gate = AdmissionGate(hard_limit=2, soft_limit=2, retry_after_seconds=3.0)
+    with ExitStack() as stack:
+        stack.enter_context(gate.admit())
+        stack.enter_context(gate.admit())
+        with pytest.raises(OverloadedError) as excinfo:
+            with gate.admit(Priority.NORMAL):
+                pass
+        assert excinfo.value.inflight == 2
+        assert excinfo.value.limit == 2
+        assert excinfo.value.retry_after == pytest.approx(3.0)
+    assert gate.counters()["shed"] == 1
+
+
+def test_critical_work_is_never_shed():
+    gate = AdmissionGate(hard_limit=1, soft_limit=1)
+    with gate.admit():
+        # health/metrics/close must get through a saturated gate
+        with gate.admit(Priority.CRITICAL) as degraded:
+            assert degraded is False
+            assert gate.inflight == 2
+
+
+def test_heavy_work_degrades_past_the_soft_limit():
+    gate = AdmissionGate(hard_limit=4, soft_limit=1)
+    with gate.admit():  # occupies the soft limit
+        with gate.admit(Priority.HEAVY) as degraded:
+            assert degraded is True
+            assert under_pressure()
+        assert not under_pressure()
+    assert gate.counters()["degraded"] == 1
+
+
+def test_normal_reads_do_not_degrade_past_the_soft_limit():
+    gate = AdmissionGate(hard_limit=4, soft_limit=1)
+    with gate.admit():
+        with gate.admit(Priority.NORMAL) as degraded:
+            assert degraded is False
+            assert not under_pressure()
+
+
+def test_default_soft_limit_is_three_quarters():
+    gate = AdmissionGate(hard_limit=32)
+    assert gate.soft_limit == 24
+    assert gate.hard_limit == 32
+
+
+def test_invalid_limits_rejected():
+    with pytest.raises(ValueError):
+        AdmissionGate(hard_limit=0)
+    with pytest.raises(ValueError):
+        AdmissionGate(hard_limit=4, soft_limit=5)
+
+
+def test_pressure_scope_is_thread_local_context():
+    gate = AdmissionGate(hard_limit=4, soft_limit=1)
+    observed = {}
+
+    def other_thread():
+        observed["pressure"] = under_pressure()
+
+    with gate.admit():
+        with gate.admit(Priority.HEAVY):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+    # a fresh thread has a fresh context: no pressure leaks across threads
+    assert observed["pressure"] is False
+
+
+def test_drain_returns_immediately_when_idle():
+    gate = AdmissionGate(hard_limit=2)
+    assert gate.drain(0.01) is True
+
+
+def test_drain_waits_for_inflight_work():
+    gate = AdmissionGate(hard_limit=2)
+    release = threading.Event()
+    started = threading.Event()
+
+    def request():
+        with gate.admit():
+            started.set()
+            release.wait(5.0)
+
+    worker = threading.Thread(target=request)
+    worker.start()
+    assert started.wait(5.0)
+    assert gate.drain(0.05) is False  # request still running: drain times out
+    release.set()
+    assert gate.drain(5.0) is True
+    worker.join(5.0)
+
+
+def test_explicit_pressure_scope():
+    assert not under_pressure()
+    with pressure_scope():
+        assert under_pressure()
+        with pressure_scope(False):
+            assert not under_pressure()
+        assert under_pressure()
+    assert not under_pressure()

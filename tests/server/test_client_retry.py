@@ -1,0 +1,194 @@
+"""Client retries: full-jitter backoff, Retry-After, typed exhaustion."""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.server import RetryPolicy, ServerError, ServerUnavailable, SubDExClient
+
+
+class ScriptedServer:
+    """An HTTP server answering from a scripted list of responses.
+
+    Each script entry is ``(status, payload, headers)``; once the script
+    runs out, every further request gets 200 ``{"ok": true}``.
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = []  # (method, path) log
+        self._lock = threading.Lock()
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, *args):
+                pass
+
+            def _answer(self):
+                with outer._lock:
+                    outer.requests.append((self.command, self.path))
+                    entry = outer.script.pop(0) if outer.script else None
+                status, payload, headers = entry or (200, {"ok": True}, {})
+                body = json.dumps(payload).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                for name, value in headers.items():
+                    self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(body)
+
+            do_GET = do_POST = do_DELETE = _answer
+
+        self.server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self.thread.start()
+
+    @property
+    def url(self):
+        return f"http://127.0.0.1:{self.server.server_address[1]}"
+
+    def stop(self):
+        self.server.shutdown()
+        self.server.server_close()
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def start(script):
+        server = ScriptedServer(script)
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        server.stop()
+
+
+def overloaded(retry_after=None):
+    payload = {
+        "error": {"code": "overloaded", "message": "shed", "retryable": True}
+    }
+    headers = {}
+    if retry_after is not None:
+        payload["error"]["retry_after"] = retry_after
+        headers["Retry-After"] = str(retry_after)
+    return (503, payload, headers)
+
+
+def recording_policy(max_attempts=4, **kwargs):
+    sleeps = []
+    policy = RetryPolicy(
+        max_attempts=max_attempts,
+        rng=random.Random(42),
+        sleep=sleeps.append,
+        **kwargs,
+    )
+    return policy, sleeps
+
+
+def test_get_retries_transient_503s_until_success(scripted):
+    server = scripted([overloaded(), overloaded()])
+    policy, sleeps = recording_policy()
+    with SubDExClient(server.url, retry=policy) as client:
+        assert client.request("GET", "/health") == {"ok": True}
+    assert len(server.requests) == 3
+    assert len(sleeps) == 2
+    # full jitter: each sleep is inside [0, min(cap, base * 2**attempt)]
+    for attempt, slept in enumerate(sleeps):
+        assert 0.0 <= slept <= min(
+            policy.cap_seconds, policy.base_seconds * (2.0 ** attempt)
+        )
+
+
+def test_retry_after_is_honoured_as_a_floor(scripted):
+    server = scripted([overloaded(retry_after=1.5)])
+    policy, sleeps = recording_policy()
+    with SubDExClient(server.url, retry=policy) as client:
+        client.request("GET", "/health")
+    assert sleeps and sleeps[0] >= 1.5
+
+
+def test_429_with_retry_after_header_is_retried(scripted):
+    server = scripted(
+        [(429, {"error": {"code": "too_many_sessions", "message": "full"}},
+          {"Retry-After": "2"})]
+    )
+    policy, sleeps = recording_policy()
+    with SubDExClient(server.url, retry=policy) as client:
+        client.request("GET", "/sessions")
+    assert sleeps[0] >= 2.0
+
+
+def test_budget_exhaustion_raises_typed_server_unavailable(scripted):
+    server = scripted([overloaded()] * 10)
+    policy, sleeps = recording_policy(max_attempts=3)
+    with SubDExClient(server.url, retry=policy) as client:
+        with pytest.raises(ServerUnavailable) as excinfo:
+            client.request("GET", "/health")
+    error = excinfo.value
+    assert error.attempts == 3
+    assert isinstance(error.last_error, ServerError)
+    assert error.last_error.status == 503
+    assert len(server.requests) == 3
+    assert len(sleeps) == 2  # no sleep after the final attempt
+
+
+def test_non_retryable_errors_surface_immediately(scripted):
+    server = scripted(
+        [(404, {"error": {"code": "unknown_session", "message": "nope"}}, {})]
+    )
+    policy, sleeps = recording_policy()
+    with SubDExClient(server.url, retry=policy) as client:
+        with pytest.raises(ServerError) as excinfo:
+            client.request("GET", "/sessions/feed")
+    assert excinfo.value.status == 404
+    assert not isinstance(excinfo.value, ServerUnavailable)
+    assert sleeps == []
+    assert len(server.requests) == 1
+
+
+def test_mutating_requests_are_never_replayed(scripted):
+    """POST through an overloaded server: one attempt, the error surfaces."""
+    server = scripted([overloaded()] * 5)
+    policy, sleeps = recording_policy()
+    with SubDExClient(server.url, retry=policy) as client:
+        with pytest.raises(ServerError) as excinfo:
+            client.request("POST", "/sessions", {})
+    assert excinfo.value.status == 503
+    assert len(server.requests) == 1
+    assert sleeps == []
+
+
+def test_connection_refused_get_raises_server_unavailable():
+    # grab a port nothing listens on
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    policy, sleeps = recording_policy(max_attempts=3)
+    with SubDExClient(f"http://127.0.0.1:{port}", retry=policy) as client:
+        with pytest.raises(ServerUnavailable) as excinfo:
+            client.request("GET", "/health")
+    assert isinstance(excinfo.value.last_error, OSError)
+    assert len(sleeps) == 2
+
+
+def test_seeded_policies_are_deterministic():
+    policy_a = RetryPolicy(rng=random.Random(7), sleep=lambda s: None)
+    policy_b = RetryPolicy(rng=random.Random(7), sleep=lambda s: None)
+    assert [policy_a.backoff(i) for i in range(4)] == [
+        policy_b.backoff(i) for i in range(4)
+    ]

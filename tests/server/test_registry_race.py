@@ -1,0 +1,139 @@
+"""The TTL-vs-in-flight race: eviction must never yank a session mid-handler."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.server import SessionGoneError, SessionRegistry
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class StubSession:
+    """Just enough surface for the registry bookkeeping."""
+
+    n_steps = 0
+
+
+@pytest.fixture
+def registry():
+    clock = FakeClock()
+    instance = SessionRegistry(max_sessions=4, ttl_seconds=10.0, clock=clock)
+    instance.test_clock = clock  # type: ignore[attr-defined]
+    return instance
+
+
+def test_ttl_firing_during_a_request_does_not_evict_or_deadlock(registry):
+    """The TTL expires while a handler holds the session lock: the handler
+    completes normally, the *next* idle window evicts, and the late request
+    gets a truthful 410 — no deadlock anywhere."""
+    managed = registry.create("tiny", StubSession)
+    sid = managed.session_id
+
+    in_handler = threading.Event()
+    release_handler = threading.Event()
+    handler_result = {}
+
+    def long_request():
+        with registry.acquire(sid) as live:
+            in_handler.set()
+            assert release_handler.wait(10.0)
+            handler_result["session"] = live.session_id
+
+    worker = threading.Thread(target=long_request)
+    worker.start()
+    assert in_handler.wait(5.0)
+
+    # the TTL fires mid-handler...
+    registry.test_clock.advance(60.0)
+    assert registry.evict_idle() == []  # ...but a locked session is not idle
+    assert registry.live_count == 1
+
+    release_handler.set()
+    worker.join(5.0)
+    assert not worker.is_alive(), "handler deadlocked against eviction"
+    assert handler_result["session"] == sid
+
+    # the handler's completion refreshed last_used: still alive now
+    assert registry.evict_idle() == []
+
+    # a *real* idle window later, the session goes - and stays queryable as 410
+    registry.test_clock.advance(60.0)
+    assert registry.evict_idle() == [sid]
+    with pytest.raises(SessionGoneError) as excinfo:
+        with registry.acquire(sid):
+            pass
+    assert excinfo.value.reason == "evicted"
+
+
+def test_eviction_waits_out_a_race_on_the_session_lock(registry):
+    """A request that grabbed the lock just before eviction keeps its
+    session for the whole handler, even across many eviction attempts."""
+    managed = registry.create("tiny", StubSession)
+    sid = managed.session_id
+
+    in_handler = threading.Event()
+    release_handler = threading.Event()
+
+    def long_request():
+        with registry.acquire(sid):
+            in_handler.set()
+            release_handler.wait(10.0)
+
+    worker = threading.Thread(target=long_request)
+    worker.start()
+    assert in_handler.wait(5.0)
+    registry.test_clock.advance(100.0)
+    for _ in range(10):  # an eviction storm during the handler
+        assert registry.evict_idle() == []
+    release_handler.set()
+    worker.join(5.0)
+    assert registry.live_count == 1  # survived every attempt
+
+
+def test_close_while_waiting_on_the_lock_yields_gone_not_stale(registry):
+    """acquire() re-checks liveness after winning the lock: a session closed
+    while we queued must answer 410, not hand out a dead session."""
+    managed = registry.create("tiny", StubSession)
+    sid = managed.session_id
+
+    in_handler = threading.Event()
+    release_handler = threading.Event()
+    waiter_error = {}
+
+    def first_request():
+        with registry.acquire(sid):
+            in_handler.set()
+            release_handler.wait(10.0)
+
+    def queued_request():
+        try:
+            with registry.acquire(sid):
+                waiter_error["outcome"] = "acquired"
+        except SessionGoneError:
+            waiter_error["outcome"] = "gone"
+
+    holder = threading.Thread(target=first_request)
+    holder.start()
+    assert in_handler.wait(5.0)
+    waiter = threading.Thread(target=queued_request)
+    waiter.start()
+
+    # while the waiter queues on the session lock, the session is closed
+    # out from under it (close() only needs the registry lock)
+    registry.close(sid)
+    release_handler.set()
+    holder.join(5.0)
+    waiter.join(5.0)
+    assert waiter_error["outcome"] == "gone"
