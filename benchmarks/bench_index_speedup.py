@@ -1,0 +1,94 @@
+"""Index speedup — naive scans vs the sufficient-statistic index layer.
+
+One recommendation step's neighbourhood scoring (Problem 2 at the root
+selection) is timed on the Fig. 10 synthetic Yelp database at three scales,
+with ``use_index`` on and off.  Both variants run in the same process and
+their answers are compared fingerprint-for-fingerprint — the speedup is
+only reported if the indexed path reproduced the naive oracle exactly.
+
+Scales are multiples of ``REPRO_INDEX_BENCH_SF`` (default 1.0, the paper's
+full synthetic size).  At full size the medium config must show the ≥3×
+speedup the index is built for; at reduced CI sizes (where fixed
+per-candidate statistical work dominates both variants) the bar is only
+that the indexed path is not slower.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench import format_table, report, time_call
+from repro.core.engine import SubDEx, SubDExConfig
+from repro.datasets import yelp
+from repro.index.verify import diff_recommendations
+
+_SCALES = {"small": 0.25, "medium": 1.0, "large": 2.0}
+_SPEEDUP_FLOOR = 3.0
+
+
+def _base_sf() -> float:
+    return float(os.environ.get("REPRO_INDEX_BENCH_SF", "1.0"))
+
+
+def test_index_speedup(benchmark):
+    def run():
+        rows = []
+        outcomes = {}
+        for name, multiplier in _SCALES.items():
+            sf = multiplier * _base_sf()
+            database = yelp(seed=0, scale_factor=sf)
+            fast = SubDEx(database, SubDExConfig(use_index=True))
+            naive = SubDEx(database, SubDExConfig(use_index=False))
+            naive_result, naive_s = time_call(naive.recommend, repeats=1)
+            fast_result, fast_s = time_call(fast.recommend, repeats=1)
+            diffs = diff_recommendations(naive_result, fast_result)
+            speedup = naive_s / fast_s if fast_s else float("inf")
+            outcomes[name] = (speedup, naive_s, fast_s, diffs)
+            stats = fast.index.stats()
+            rows.append(
+                (
+                    name,
+                    f"{database.n_ratings}",
+                    f"{naive_s:.2f}",
+                    f"{fast_s:.2f}",
+                    f"{speedup:.2f}x",
+                    "yes" if not diffs else "NO",
+                    f"{stats['candidates_cube']}/{stats['candidates_delta']}"
+                    f"/{stats['candidates_direct']}",
+                )
+            )
+        return rows, outcomes
+
+    rows, outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "== Index speedup: neighbourhood scoring, naive vs indexed ==\n"
+        + format_table(
+            (
+                "config",
+                "|R|",
+                "naive (s)",
+                "indexed (s)",
+                "speedup",
+                "identical",
+                "cube/delta/direct",
+            ),
+            rows,
+        )
+        + f"\nbase scale factor: {_base_sf()} (REPRO_INDEX_BENCH_SF)"
+        + "\nidentical = indexed recommendations fingerprint-equal to the"
+        " naive oracle in this same run."
+    )
+    report("index_speedup", text)
+
+    for name, (speedup, naive_s, fast_s, diffs) in outcomes.items():
+        assert not diffs, f"{name}: indexed differs from naive: {diffs[:3]}"
+    speedup, naive_s, fast_s, __ = outcomes["medium"]
+    # at any scale the index must not lose to naive (5% timer-noise margin)
+    assert fast_s <= naive_s * 1.05, (
+        f"indexed slower than naive on medium: {fast_s:.2f}s vs {naive_s:.2f}s"
+    )
+    if _base_sf() >= 0.9:
+        # full-size run: the headline claim
+        assert speedup >= _SPEEDUP_FLOOR, (
+            f"medium speedup {speedup:.2f}x below {_SPEEDUP_FLOOR}x"
+        )

@@ -1,0 +1,57 @@
+"""Small shared concurrency primitives.
+
+:class:`KeyedSingleFlight` gives per-key mutual exclusion for "compute on
+miss" caches: when several threads miss the same key simultaneously, one
+computes while the rest wait and then read the freshly cached value, so an
+expensive computation runs once per key instead of once per thread.  Used
+by :class:`~repro.core.caching.CachingEngine` and the posting-list /
+candidate-cube builders in :mod:`repro.index`.
+
+Lock entries are reference-counted and removed as soon as the last holder
+releases, so the registry never grows with the key space.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Hashable, Iterator
+
+__all__ = ["KeyedSingleFlight"]
+
+
+class KeyedSingleFlight:
+    """Per-key locks handed out on demand and reclaimed when idle."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        #: key → [lock, holders+waiters]
+        self._entries: dict[Hashable, list] = {}
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return len(self._entries)
+
+    @contextmanager
+    def lock(self, key: Hashable) -> Iterator[None]:
+        """Hold the key's lock for the duration of the ``with`` block.
+
+        Callers are expected to re-check their cache after acquiring: a
+        waiter that blocked here usually finds the value the first holder
+        just computed.
+        """
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = [threading.Lock(), 0]
+                self._entries[key] = entry
+            entry[1] += 1
+        entry[0].acquire()
+        try:
+            yield
+        finally:
+            entry[0].release()
+            with self._mutex:
+                entry[1] -= 1
+                if entry[1] == 0:
+                    self._entries.pop(key, None)

@@ -19,9 +19,11 @@ serving layer (:mod:`repro.server`) shares one caching engine per dataset
 across every concurrent session so group/result reuse is amortised across
 users.  Cache bookkeeping (lookup, insertion, eviction, statistics) is
 guarded by a per-cache lock; the expensive computation on a miss runs
-*outside* the lock, so two threads missing the same key may both compute
-the value — wasted work, never a wrong answer (both compute equal values
-and last-put wins).
+*outside* the lock, under a per-key **single-flight** lock
+(:class:`~repro.concurrency.KeyedSingleFlight`): when several threads miss
+the same key simultaneously, one computes while the rest wait and then
+read the freshly cached value — no thundering herd of duplicate
+generations.  Different keys never block each other.
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Hashable
 
+from ..concurrency import KeyedSingleFlight
 from ..model.groups import RatingGroup, SelectionCriteria
 from ..resilience.gate import under_pressure
 from .engine import SubDEx
@@ -108,6 +111,19 @@ class LRUCache:
             self.stats.misses += 1
             return None
 
+    def peek(self, key: Hashable) -> object | None:
+        """Like :meth:`get` but without touching the hit/miss counters.
+
+        Used for the re-check after acquiring a single-flight lock: the
+        original miss was already counted, and a waiter finding the value
+        the first holder computed is not a second logical request.
+        """
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                return self._store[key]
+            return None
+
     def put(self, key: Hashable, value: object) -> None:
         with self._lock:
             if key in self._store:
@@ -157,6 +173,7 @@ class CachingEngine:
         # criteria → most recent full-quality result under *any* display
         # history: the graceful-degradation fallback ("stale RM-Set")
         self._latest = LRUCache(result_capacity)
+        self._flight = KeyedSingleFlight()
         self.stale_hits = 0
 
     @property
@@ -175,12 +192,22 @@ class CachingEngine:
     def result_stats(self) -> CacheStats:
         return self._results.stats
 
+    def _materialise(self, criteria: SelectionCriteria) -> RatingGroup:
+        index = self._engine.index
+        if index is not None:
+            return index.group(criteria)
+        return RatingGroup(self._engine.database, criteria)
+
     def group(self, criteria: SelectionCriteria) -> RatingGroup:
         """A (cached) materialised rating group."""
         cached = self._groups.get(criteria)
-        if cached is None:
-            cached = RatingGroup(self._engine.database, criteria)
-            self._groups.put(criteria, cached)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        with self._flight.lock(("group", criteria)):
+            cached = self._groups.peek(criteria)
+            if cached is None:
+                cached = self._materialise(criteria)
+                self._groups.put(criteria, cached)
         return cached  # type: ignore[return-value]
 
     def rating_maps(
@@ -196,25 +223,30 @@ class CachingEngine:
         )
         key = (criteria, _seen_fingerprint(seen))
         cached = self._results.get(key)
-        if cached is None:
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        with self._flight.lock(("result", key)):
+            cached = self._results.peek(key)
+            if cached is not None:
+                return cached  # type: ignore[return-value]
             if under_pressure():
                 # graceful degradation: reuse the latest result computed
                 # for the same selection under a *different* display
                 # history instead of paying a full generation, flagged
                 # ``degraded`` so the serving layer can tell the client
-                stale = self._latest.get(criteria)
+                stale = self._latest.peek(criteria)
                 if stale is not None:
                     self.stale_hits += 1
                     return replace(stale, degraded=True)  # type: ignore[arg-type]
             group = self.group(criteria)
-            cached = self._engine.generator.generate(group, seen)
-            if not cached.degraded:
+            result = self._engine.generator.generate(group, seen)
+            if not result.degraded:
                 # degraded (pressure-time) results are answers, not truth:
                 # keep them out of the shared caches so later requests
                 # recompute at full fidelity
-                self._results.put(key, cached)
-                self._latest.put(criteria, cached)
-        return cached  # type: ignore[return-value]
+                self._results.put(key, result)
+                self._latest.put(criteria, result)
+            return result
 
     def session(self, start: SelectionCriteria | None = None) -> "ExplorationSession":
         """A fresh exploration session whose group materialisation and
@@ -232,6 +264,7 @@ class CachingEngine:
             self._engine.recommender,
             start,
             cache=self,
+            index=self._engine.index,
         )
 
     def clear(self) -> None:

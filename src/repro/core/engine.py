@@ -39,10 +39,19 @@ __all__ = ["SubDExConfig", "SubDEx"]
 
 @dataclass(frozen=True)
 class SubDExConfig:
-    """Complete engine configuration (defaults = paper Table 3)."""
+    """Complete engine configuration (defaults = paper Table 3).
+
+    ``use_index`` attaches the sufficient-statistic index layer
+    (:mod:`repro.index`): posting lists, fused candidate cubes and
+    delta-maintained histograms under the hot paths.  Disabling it gives
+    the naive scan-everything engine — the correctness oracle the indexed
+    path is tested against (see ``docs/PERFORMANCE.md``).
+    """
 
     generator: GeneratorConfig = field(default_factory=GeneratorConfig)
     recommender: RecommenderConfig = field(default_factory=RecommenderConfig)
+    use_index: bool = True
+    index_memory_budget_bytes: int = 64 * 1024 * 1024
 
     # -- fluent tweaks used by the benches -------------------------------
     def with_k(self, k: int) -> "SubDExConfig":
@@ -71,8 +80,20 @@ class SubDEx:
         self._database = database
         self._config = config or SubDExConfig()
         self._generator = RMSetGenerator(self._config.generator)
+        if self._config.use_index:
+            from ..index.facade import IndexedDatabase
+
+            self._index: "IndexedDatabase | None" = IndexedDatabase(
+                database,
+                memory_budget_bytes=self._config.index_memory_budget_bytes,
+            )
+        else:
+            self._index = None
         self._recommender = RecommendationBuilder(
-            database, self._generator, self._config.recommender
+            database,
+            self._generator,
+            self._config.recommender,
+            index=self._index,
         )
 
     # -- accessors --------------------------------------------------------
@@ -92,6 +113,11 @@ class SubDEx:
     def recommender(self) -> RecommendationBuilder:
         return self._recommender
 
+    @property
+    def index(self):
+        """The attached :class:`~repro.index.IndexedDatabase` (or ``None``)."""
+        return self._index
+
     # -- one-shot operations ------------------------------------------------
     def rating_maps(
         self,
@@ -100,7 +126,10 @@ class SubDEx:
     ) -> RMSetResult:
         """The diverse k-set of rating maps for a selection (Problem 1)."""
         criteria = criteria or SelectionCriteria.root()
-        group = RatingGroup(self._database, criteria)
+        if self._index is not None:
+            group = self._index.group(criteria)
+        else:
+            group = RatingGroup(self._database, criteria)
         seen = seen or SeenMaps(
             self._database.dimensions,
             n_attributes=len(self._database.grouping_attributes()),
@@ -127,7 +156,11 @@ class SubDEx:
     ) -> ExplorationSession:
         """A fresh exploration session starting at ``start`` (default: root)."""
         return ExplorationSession(
-            self._database, self._generator, self._recommender, start
+            self._database,
+            self._generator,
+            self._recommender,
+            start,
+            index=self._index,
         )
 
     def explore_user_driven(

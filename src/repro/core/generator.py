@@ -9,14 +9,16 @@ with GMM.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..model.groups import RatingGroup
+from ..model.groups import RatingGroup, SelectionCriteria
 from ..resilience.gate import under_pressure
 from .distance import MapDistanceMethod, min_pairwise_distance
 from .interestingness import InterestingnessScorer
-from .phases import PhasedExecution
+from .phases import PhasedExecution, PhasedExecutionResult, finalize_from_counts
 from .pruning import PruningStrategy, make_pruner
 from .rating_maps import RatingMap, RatingMapSpec, enumerate_map_specs
 from .selection import select_diverse_maps
@@ -141,6 +143,51 @@ class RMSetGenerator:
         else:
             pruner = make_pruner(config.pruning, config.delta)
             outcome = execution.run(pruner, k * config.pruning_diversity_factor)
+        return self._finish(outcome, k)
+
+    def generate_from_counts(
+        self,
+        criteria: SelectionCriteria,
+        specs: Sequence[RatingMapSpec],
+        counts_of: Callable[[RatingMapSpec], "np.ndarray"],
+        labels_of: Callable[[RatingMapSpec], tuple[Any, ...]],
+        group_size: int,
+        seen: SeenMaps,
+        k: int | None = None,
+    ) -> RMSetResult:
+        """Problem 1 from precomputed histograms (the index fast path).
+
+        Produces exactly what :meth:`generate` produces for a group holding
+        the same records when run with one phase and no pruning (the
+        Recommendation Builder's preview configuration): the count matrices
+        are sufficient statistics, and scoring/selection read nothing else
+        from the group.
+        """
+        config = self._config
+        k = config.k if k is None else k
+        specs = tuple(specs)
+        if group_size == 0 or not specs:
+            return RMSetResult((), (), {}, 0.0, ())
+        k_prime = len(specs) if config.diversity_only else k * config.pruning_diversity_factor
+        outcome = finalize_from_counts(
+            specs,
+            counts_of,
+            labels_of,
+            criteria,
+            group_size,
+            seen,
+            config.utility,
+            self._scorer,
+            k_prime,
+        )
+        if config.diversity_only:
+            ranked = tuple(sorted(outcome.ranked, key=lambda rm: rm.spec))
+            outcome = replace(outcome, ranked=ranked)
+        return self._finish(outcome, k)
+
+    def _finish(self, outcome: PhasedExecutionResult, k: int) -> RMSetResult:
+        """Shared RM-Selector tail: pressure degradation or diverse top-k."""
+        config = self._config
         if not outcome.ranked:
             return RMSetResult((), (), outcome.scores, 0.0, outcome.pruned)
         if under_pressure() and not config.diversity_only:

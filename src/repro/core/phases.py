@@ -19,12 +19,12 @@ regardless of the physical row order of the rating table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 from ..db.groupby import Grouping, SharedGroupByScan, phase_slices
-from ..model.groups import RatingGroup
+from ..model.groups import RatingGroup, SelectionCriteria
 from ..resilience.deadline import check_deadline
 from .interestingness import CriterionScores, InterestingnessScorer
 from .rating_maps import RatingMap, RatingMapSpec, rating_map_from_counts
@@ -33,7 +33,12 @@ from .utility import ScoredCandidate, SeenMaps, UtilityConfig, score_candidate_s
 if TYPE_CHECKING:  # pragma: no cover
     from .pruning import Pruner
 
-__all__ = ["PhaseSnapshot", "PhasedExecutionResult", "PhasedExecution"]
+__all__ = [
+    "PhaseSnapshot",
+    "PhasedExecutionResult",
+    "PhasedExecution",
+    "finalize_from_counts",
+]
 
 
 @dataclass(frozen=True)
@@ -62,6 +67,58 @@ class PhasedExecutionResult:
 
     def top(self, n: int) -> tuple[RatingMap, ...]:
         return self.ranked[:n]
+
+
+def finalize_from_counts(
+    specs: Sequence[RatingMapSpec],
+    counts_of: Callable[[RatingMapSpec], np.ndarray],
+    labels_of: Callable[[RatingMapSpec], tuple[Any, ...]],
+    criteria: SelectionCriteria,
+    group_size: int,
+    seen: SeenMaps,
+    utility_config: UtilityConfig,
+    scorer: InterestingnessScorer,
+    k_prime: int,
+    pruned: Sequence[RatingMapSpec] = (),
+    phases_run: int = 1,
+) -> PhasedExecutionResult:
+    """Score and rank candidate maps from their final histogram matrices.
+
+    This is the tail of Algorithm 1 once every phase has run: since the
+    ``(n_groups, scale)`` count matrices are sufficient statistics, the
+    scoring/ranking step is independent of *how* the counts were obtained
+    — a phased scan, a fused candidate cube, or delta maintenance.
+    ``counts_of``/``labels_of`` supply each spec's matrix and subgroup
+    labels; both the phased executor and :mod:`repro.index` route here.
+    """
+    seen_pooled = seen.pooled_distributions()
+    raw = {
+        spec: scorer.score(counts_of(spec), group_size, seen_pooled)
+        for spec in specs
+    }
+    dimension_of = {spec: spec.dimension for spec in raw}
+    attribute_of = {spec: (spec.side, spec.attribute) for spec in raw}
+    final_scores = score_candidate_set(
+        raw, dimension_of, seen, utility_config, attribute_of
+    )
+    order = sorted(
+        final_scores,
+        key=lambda s: (-final_scores[s].dw_utility, s),
+    )
+    ranked: list[RatingMap] = []
+    for spec in order[:k_prime]:
+        counts = np.array(counts_of(spec))
+        rating_map = rating_map_from_counts(
+            spec, criteria, counts, labels_of(spec), group_size
+        )
+        if rating_map.is_informative:
+            ranked.append(rating_map)
+    return PhasedExecutionResult(
+        ranked=tuple(ranked),
+        scores=final_scores,
+        pruned=tuple(pruned),
+        phases_run=phases_run,
+    )
 
 
 class PhasedExecution:
@@ -208,23 +265,16 @@ class PhasedExecution:
             to_drop = pruner.prune(snapshot)
             self._drop(to_drop & self._active)
 
-        final_scores = self._scored()
-        order = sorted(
-            final_scores,
-            key=lambda s: (-final_scores[s].dw_utility, s),
-        )
-        ranked: list[RatingMap] = []
-        for spec in order[:k_prime]:
-            counts = np.array(self._counts_of(spec))
-            labels = self._labels[(spec.side, spec.attribute)]
-            rating_map = rating_map_from_counts(
-                spec, self._group.criteria, counts, labels, len(self._group)
-            )
-            if rating_map.is_informative:
-                ranked.append(rating_map)
-        return PhasedExecutionResult(
-            ranked=tuple(ranked),
-            scores=final_scores,
-            pruned=tuple(self._pruned),
+        return finalize_from_counts(
+            tuple(s for s in self._specs if s in self._active),
+            self._counts_of,
+            lambda spec: self._labels[(spec.side, spec.attribute)],
+            self._group.criteria,
+            len(self._group),
+            self._seen,
+            self._config,
+            self._scorer,
+            k_prime,
+            pruned=self._pruned,
             phases_run=phases_run,
         )

@@ -17,9 +17,12 @@ from __future__ import annotations
 import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: index builds on core
+    from ..index.facade import IndexedDatabase, NeighborhoodContext
 
 from ..model.database import SubjectiveDatabase
 from ..model.groups import RatingGroup, SelectionCriteria
@@ -97,10 +100,12 @@ class RecommendationBuilder:
         database: SubjectiveDatabase,
         generator: RMSetGenerator,
         config: RecommenderConfig | None = None,
+        index: "IndexedDatabase | None" = None,
     ) -> None:
         self._database = database
         self._generator = generator
         self._config = config or RecommenderConfig()
+        self._index = index
         if self._config.preview_uses_full_pipeline:
             self._preview_generator = generator
         else:
@@ -127,13 +132,19 @@ class RecommendationBuilder:
             )
         )
 
+    def _materialise(self, criteria: SelectionCriteria) -> RatingGroup:
+        """A criteria's rating group, via the index when one is attached."""
+        if self._index is not None:
+            return self._index.group(criteria)
+        return RatingGroup(self._database, criteria)
+
     def _score_one(
         self,
         operation: Operation,
         seen: SeenMaps,
         current_rows: "np.ndarray | None" = None,
     ) -> ScoredOperation | None:
-        group = RatingGroup(self._database, operation.target)
+        group = self._materialise(operation.target)
         if len(group) < self._config.min_group_size:
             return None
         if current_rows is not None and len(group) == len(current_rows):
@@ -147,6 +158,37 @@ class RecommendationBuilder:
             return None
         return ScoredOperation(operation, preview.total_utility(), preview)
 
+    def _score_one_indexed(
+        self,
+        ctx: "NeighborhoodContext",
+        operation: Operation,
+        seen: SeenMaps,
+    ) -> ScoredOperation | None:
+        """Score from sufficient statistics — no group materialisation.
+
+        Mirrors :meth:`_score_one` decision for decision: same size gate,
+        same redundancy test (a FILTER child is a subset of the parent, so
+        its size alone settles row equality), and the preview is generated
+        from count matrices identical to what the naive scan produces.
+        """
+        view = ctx.candidate(operation)
+        size = view.size
+        if size < self._config.min_group_size:
+            return None
+        if view.matches_parent(ctx.parent_size):
+            return None
+        preview = self._preview_generator.generate_from_counts(
+            operation.target,
+            view.specs,
+            view.counts_of,
+            view.labels_of,
+            size,
+            seen,
+        )
+        if not preview.selected:
+            return None
+        return ScoredOperation(operation, preview.total_utility(), preview)
+
     def recommend(
         self,
         current: SelectionCriteria,
@@ -154,6 +196,7 @@ class RecommendationBuilder:
         o: int | None = None,
         candidates: Sequence[Operation] | None = None,
         exclude_targets: "set[SelectionCriteria] | frozenset[SelectionCriteria] | None" = None,
+        current_group: RatingGroup | None = None,
     ) -> list[ScoredOperation]:
         """Problem 2: the top-o next operations by aggregated DW utility.
 
@@ -161,6 +204,11 @@ class RecommendationBuilder:
         session has already examined — the operation-level counterpart of
         multi-step diversity.  Without it, two selections whose map sets
         tie in utility trap the Fully-Automated mode in an A↔B cycle.
+
+        ``current_group`` lets callers that already hold the current
+        selection's rating group (sessions, the caching engine) pass it in
+        instead of having it re-materialised here; it is used only when its
+        criteria matches ``current``.
         """
         o = self._config.o if o is None else o
         operations = (
@@ -181,12 +229,23 @@ class RecommendationBuilder:
         pressure = under_pressure()
         if pressure:
             operations = operations[: self._config.pressure_candidate_cap]
-        current_rows = RatingGroup(self._database, current).rows
+        if current_group is None or current_group.criteria != current:
+            current_group = self._materialise(current)
+        current_rows = current_group.rows
+        # Sufficient-statistic fast path: candidates are scored from fused
+        # cube slices / delta-maintained histograms instead of per-candidate
+        # group scans.  The full-pipeline preview mode exercises the phased
+        # pruning machinery on purpose, so it keeps the group-based path.
+        ctx: "NeighborhoodContext | None" = None
+        if self._index is not None and not self._config.preview_uses_full_pipeline:
+            ctx = self._index.neighborhood(current_group)
 
         def score(operation: Operation) -> ScoredOperation | None:
             with deadline_scope(deadline), pressure_scope(pressure):
                 if deadline is not None:
                     deadline.check()
+                if ctx is not None:
+                    return self._score_one_indexed(ctx, operation, seen)
                 return self._score_one(operation, seen, current_rows)
         workers = self._config.workers()
         if workers > 1 and len(operations) > 1:

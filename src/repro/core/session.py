@@ -23,6 +23,7 @@ from .recommend import RecommendationBuilder, ScoredOperation
 from .utility import SeenMaps
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..index.facade import IndexedDatabase
     from .caching import CachingEngine
 
 __all__ = ["StepRecord", "ExplorationSession"]
@@ -80,11 +81,13 @@ class ExplorationSession:
         recommender: RecommendationBuilder,
         start: SelectionCriteria | None = None,
         cache: "CachingEngine | None" = None,
+        index: "IndexedDatabase | None" = None,
     ) -> None:
         self._database = database
         self._generator = generator
         self._recommender = recommender
         self._cache = cache
+        self._index = index
         self._seen = SeenMaps(
             database.dimensions,
             n_attributes=len(database.grouping_attributes()),
@@ -135,6 +138,8 @@ class ExplorationSession:
         """
         if self._cache is not None:
             return self._cache.group(criteria)
+        if self._index is not None:
+            return self._index.group(criteria)
         return RatingGroup(self._database, criteria)
 
     def _generate(self) -> RMSetResult:
@@ -184,6 +189,7 @@ class ExplorationSession:
                     self._state.criteria,
                     self._seen,
                     exclude_targets=visited,
+                    current_group=self._state.group,
                 )
             )
             recommend_elapsed = time.perf_counter() - reco_started
@@ -228,7 +234,12 @@ class ExplorationSession:
 
     def recommendations(self, o: int | None = None) -> list[ScoredOperation]:
         """Top-o next-step recommendations for the current state."""
-        return self._recommender.recommend(self._state.criteria, self._seen, o=o)
+        return self._recommender.recommend(
+            self._state.criteria,
+            self._seen,
+            o=o,
+            current_group=self._state.group,
+        )
 
     def apply_criteria(
         self, criteria: SelectionCriteria, with_recommendations: bool = False

@@ -144,6 +144,17 @@ class CategoricalColumn(Column):
         code = self._index.get(str(value), -2)
         return self._codes == code
 
+    def isin_mask(self, values: Iterable[Any]) -> np.ndarray:
+        """Vectorised membership: one ``np.isin`` over codes, not k mask ORs."""
+        wanted = {
+            code
+            for code in (self._index.get(str(v)) for v in values)
+            if code is not None
+        }
+        if not wanted:
+            return np.zeros(len(self), dtype=bool)
+        return np.isin(self._codes, np.fromiter(wanted, dtype=np.int32))
+
     def distinct_values(self) -> list[str]:
         present = np.unique(self._codes[self._codes >= 0])
         return sorted(self._categories[int(c)] for c in present)

@@ -1,0 +1,268 @@
+"""Fused candidate cubes: every FILTER value's histograms in one pass.
+
+The paper's §4.2.1 sharing computes all *aggregates* of one grouping in a
+single scan.  FILTER candidates admit two further sharing axes:
+
+* **across candidate operations** — all FILTER values of one attribute
+  partition the parent's rows by that attribute, so one 3-way ``bincount``
+  keyed by (filter value, subgroup, score bucket) yields the candidate
+  rating-map histograms of *every* value at once;
+* **across attribute roles** — the joint histogram of (attribute a,
+  attribute b, bucket) is symmetric in a↔b, so the pass that builds
+  attribute a's cube slice grouped by b also provides, transposed,
+  attribute b's cube slice grouped by a.
+
+:class:`StepSlices` owns the per-recommendation-step state: the parent
+rows' attribute codes and score buckets (sliced once, shared by every
+cube) and the joint pair histograms (built once per unordered attribute
+pair per dimension, under single-flight locks).  Missing codes and
+out-of-scale scores are routed to trash cells (row/column/bucket 0 or
+``scale``) instead of being masked out, so each pass is a single
+streaming ``bincount`` with no boolean fancy-indexing; the trash cells
+are sliced away afterwards, leaving exactly the counts a masked scan
+produces.
+
+A :class:`FilterAxis` exists only for categorical and numeric attributes:
+multi-valued FILTER semantics are *containment*, while the aligned
+grouping keys rows by their full value set, so a cube slice would not
+equal the candidate's rows — those candidates take the posting-list path
+instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..concurrency import KeyedSingleFlight
+from ..core.rating_maps import RatingMapSpec
+from ..db.types import ColumnType
+from ..model.database import Side, SubjectiveDatabase
+
+__all__ = [
+    "FilterAxis",
+    "CandidateCube",
+    "StepSlices",
+    "axis_for",
+    "cube_cells",
+]
+
+_AttrKey = tuple[Side, str]
+
+
+@dataclass(frozen=True)
+class FilterAxis:
+    """Dictionary encoding of one FILTER-able attribute over rating rows."""
+
+    side: Side
+    attribute: str
+    #: per-rating-record value code (-1 = missing), from the aligned grouping
+    codes: np.ndarray
+    labels: tuple[Any, ...]
+    kind: ColumnType
+    _index: dict[Any, int] = field(repr=False)
+
+    @property
+    def n_values(self) -> int:
+        return len(self.labels)
+
+    def code_of(self, value: Any) -> int | None:
+        """The value's code, or ``None`` if outside the active domain."""
+        if self.kind is ColumnType.CATEGORICAL:
+            return self._index.get(str(value))
+        try:
+            return self._index.get(float(value))
+        except (TypeError, ValueError):
+            return None
+
+
+def axis_for(
+    database: SubjectiveDatabase, side: Side, attribute: str
+) -> FilterAxis | None:
+    """Build the filter axis of an attribute (``None`` if not cube-able)."""
+    kind = database.entity_table(side).column(attribute).type
+    if kind is ColumnType.MULTI_VALUED:
+        return None
+    grouping = database.aligned_grouping(side, attribute)
+    if kind is ColumnType.CATEGORICAL:
+        index: dict[Any, int] = {
+            str(label): code for code, label in enumerate(grouping.labels)
+        }
+    else:
+        index = {float(label): code for code, label in enumerate(grouping.labels)}
+    return FilterAxis(side, attribute, grouping.codes, grouping.labels, kind, index)
+
+
+def cube_cells(
+    database: SubjectiveDatabase,
+    axis: FilterAxis,
+    specs: Sequence[RatingMapSpec],
+) -> int:
+    """Histogram cells the cube would hold (the budget admission check)."""
+    total = 0
+    for spec in specs:
+        n_groups = database.aligned_grouping(spec.side, spec.attribute).n_groups
+        total += axis.n_values * n_groups * database.scale
+    return total
+
+
+class StepSlices:
+    """Shared per-step scan state over one parent row set.
+
+    Attribute codes are stored shifted by one (missing ``-1`` → trash
+    code ``0``) and score buckets extended by one (invalid → trash bucket
+    ``scale``); the joint bincounts then run over every parent row with
+    no masking, and real counts live in cells ``[1:, 1:, :scale]``.
+    """
+
+    def __init__(
+        self,
+        database: SubjectiveDatabase,
+        parent_rows: np.ndarray,
+        on_pair_build: Callable[[int], None] | None = None,
+    ) -> None:
+        self._db = database
+        self._rows = parent_rows
+        self._scale = database.scale
+        self._on_pair_build = on_pair_build
+        self._lock = threading.Lock()
+        self._flight = KeyedSingleFlight()
+        #: attr key → (codes+1 sliced, n_groups, labels)
+        self._codes1: dict[_AttrKey, tuple[np.ndarray, int, tuple]] = {}
+        #: dim → extended buckets sliced (0..scale-1 real, scale = trash)
+        self._buckets: dict[str, np.ndarray] = {}
+        #: (attr key a, attr key b, dim) → (n_a+1, n_b+1, scale+1) joint
+        self._pairs: dict[tuple[_AttrKey, _AttrKey, str], np.ndarray] = {}
+        self.nbytes = 0
+        self.pair_builds = 0
+
+    # -- shared slices ------------------------------------------------------
+    def codes1(self, side: Side, attribute: str) -> tuple[np.ndarray, int, tuple]:
+        key = (side, attribute)
+        with self._lock:
+            cached = self._codes1.get(key)
+        if cached is not None:
+            return cached
+        grouping = self._db.aligned_grouping(side, attribute)
+        built = (
+            grouping.codes[self._rows] + 1,
+            grouping.n_groups,
+            grouping.labels,
+        )
+        with self._lock:
+            return self._codes1.setdefault(key, built)
+
+    def buckets(self, dimension: str) -> np.ndarray:
+        with self._lock:
+            cached = self._buckets.get(dimension)
+        if cached is not None:
+            return cached
+        scores = self._db.dimension_scores(dimension)[self._rows]
+        scale = self._scale
+        with np.errstate(invalid="ignore"):
+            valid = np.isfinite(scores) & (scores >= 1) & (scores <= scale)
+        built = np.where(valid, scores, scale + 1.0).astype(np.int64) - 1
+        with self._lock:
+            return self._buckets.setdefault(dimension, built)
+
+    def labels(self, side: Side, attribute: str) -> tuple:
+        return self.codes1(side, attribute)[2]
+
+    def sizes(self, side: Side, attribute: str) -> np.ndarray:
+        """Per-value parent-row counts of one attribute (FILTER group sizes)."""
+        codes1, n_values, __ = self.codes1(side, attribute)
+        return np.bincount(codes1, minlength=n_values + 1)[1:]
+
+    # -- histograms ---------------------------------------------------------
+    def group_hist(self, spec: RatingMapSpec) -> np.ndarray:
+        """The parent's own ``(n_groups, scale)`` histogram for one spec."""
+        codes1, n_groups, __ = self.codes1(spec.side, spec.attribute)
+        buckets = self.buckets(spec.dimension)
+        scale = self._scale
+        flat = np.bincount(
+            codes1 * (scale + 1) + buckets,
+            minlength=(n_groups + 1) * (scale + 1),
+        )
+        return flat.reshape(n_groups + 1, scale + 1)[1:, :scale]
+
+    def pair_hist(self, a: _AttrKey, b: _AttrKey, dimension: str) -> np.ndarray:
+        """Joint ``(n_a+1, n_b+1, scale+1)`` histogram, oriented a-first.
+
+        Built once per unordered (a, b) pair per dimension; the reversed
+        orientation is the transpose of the same array (a view).
+        """
+        first, second = (a, b) if _attr_order(a) <= _attr_order(b) else (b, a)
+        key = (first, second, dimension)
+        with self._lock:
+            hist = self._pairs.get(key)
+        if hist is None:
+            with self._flight.lock(key):
+                with self._lock:
+                    hist = self._pairs.get(key)
+                if hist is None:
+                    f1, nf, __ = self.codes1(*first)
+                    g1, ng, __ = self.codes1(*second)
+                    buckets = self.buckets(dimension)
+                    scale = self._scale
+                    flat = np.bincount(
+                        (f1 * (ng + 1) + g1) * (scale + 1) + buckets,
+                        minlength=(nf + 1) * (ng + 1) * (scale + 1),
+                    )
+                    hist = flat.reshape(nf + 1, ng + 1, scale + 1)
+                    with self._lock:
+                        self._pairs[key] = hist
+                        self.nbytes += hist.nbytes
+                        self.pair_builds += 1
+                    if self._on_pair_build is not None:
+                        self._on_pair_build(hist.nbytes)
+        if (a, b) == (first, second):
+            return hist
+        return hist.transpose(1, 0, 2)
+
+    def cube_slice(self, axis_key: _AttrKey, spec: RatingMapSpec) -> np.ndarray:
+        """``(n_values, n_groups, scale)`` candidate histograms of one spec."""
+        joint = self.pair_hist(axis_key, (spec.side, spec.attribute), spec.dimension)
+        return joint[1:, 1:, : self._scale]
+
+
+def _attr_order(key: _AttrKey) -> tuple[str, str]:
+    return (key[0].value, key[1])
+
+
+class CandidateCube:
+    """All FILTER candidates of one axis, as sufficient statistics.
+
+    ``counts_of`` slices, per spec, the ``(n_groups, scale)`` histogram
+    matrix of the candidate filtering the axis to one value code — exactly
+    what a full scan of that candidate's rows would produce, since both
+    are integer bincounts over the same record set.
+    """
+
+    def __init__(
+        self,
+        slices: StepSlices,
+        axis: FilterAxis,
+        specs: tuple[RatingMapSpec, ...],
+    ) -> None:
+        self._slices = slices
+        self.axis = axis
+        self.specs = specs
+        self._key = (axis.side, axis.attribute)
+        self.sizes = slices.sizes(axis.side, axis.attribute)
+
+    def candidate_size(self, code: int) -> int:
+        return int(self.sizes[code])
+
+    def candidate_counts(self, code: int, spec: RatingMapSpec) -> np.ndarray:
+        return self._slices.cube_slice(self._key, spec)[code]
+
+    def zero_counts(self, spec: RatingMapSpec) -> np.ndarray:
+        """The all-zero matrix of an out-of-domain FILTER value."""
+        n_groups = self._slices.codes1(spec.side, spec.attribute)[1]
+        return np.zeros((n_groups, self._slices._scale), dtype=np.int64)
+
+    def labels_of(self, spec: RatingMapSpec) -> tuple:
+        return self._slices.labels(spec.side, spec.attribute)

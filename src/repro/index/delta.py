@@ -1,0 +1,70 @@
+"""Delta-maintained histograms: score a candidate by what changed.
+
+A candidate group usually shares almost all of its rows with the current
+selection.  Since per-subgroup score histograms are additive over disjoint
+row sets,
+
+    counts(child) = counts(parent) − counts(parent ∖ child)
+                                   + counts(child ∖ parent)
+
+holds exactly in integers, so a candidate whose symmetric difference with
+the parent is small is scored by bincounting only the difference rows.
+Both sides of the decision — delta versus a direct scan of the child's
+rows — produce identical matrices; the choice is purely a cost call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rating_maps import RatingMapSpec
+from ..db.groupby import group_histograms
+from ..model.database import SubjectiveDatabase
+
+__all__ = ["split_rows", "delta_counts", "direct_counts", "prefer_delta"]
+
+
+def split_rows(
+    parent_rows: np.ndarray, child_rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """(parent ∖ child, child ∖ parent) for sorted unique row arrays."""
+    removed = np.setdiff1d(parent_rows, child_rows, assume_unique=True)
+    added = np.setdiff1d(child_rows, parent_rows, assume_unique=True)
+    return removed, added
+
+
+def prefer_delta(
+    removed: np.ndarray, added: np.ndarray, child_size: int
+) -> bool:
+    """Delta wins when the difference is smaller than the child itself."""
+    return removed.size + added.size < child_size
+
+
+def direct_counts(
+    database: SubjectiveDatabase, spec: RatingMapSpec, rows: np.ndarray
+) -> np.ndarray:
+    """Full-scan histogram matrix of ``rows`` for one spec."""
+    grouping = database.aligned_grouping(spec.side, spec.attribute)
+    return group_histograms(
+        grouping.codes,
+        grouping.n_groups,
+        database.dimension_scores(spec.dimension),
+        database.scale,
+        rows=rows,
+    )
+
+
+def delta_counts(
+    database: SubjectiveDatabase,
+    spec: RatingMapSpec,
+    parent_counts: np.ndarray,
+    removed: np.ndarray,
+    added: np.ndarray,
+) -> np.ndarray:
+    """``parent_counts`` adjusted by the removed/added rows."""
+    counts = parent_counts.copy()
+    if removed.size:
+        counts -= direct_counts(database, spec, removed)
+    if added.size:
+        counts += direct_counts(database, spec, added)
+    return counts

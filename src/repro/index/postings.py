@@ -1,0 +1,192 @@
+"""Posting lists: precomputed row sets per ⟨side, attribute, value⟩.
+
+The naive :class:`~repro.model.groups.RatingGroup` materialisation
+evaluates every selection pair as a fresh full-table mask — O(|U| + |I| +
+|R|) per candidate even when siblings share almost all of their rows.  A
+*posting list* stores, per attribute-value pair, the sorted row indices it
+selects — once — so a criteria's rating group becomes an intersection of
+small sorted arrays (paper §2's precomputed in-memory statistics, after
+Data Canopy [57]).
+
+Two arrays are kept per pair: the **rating-record rows** (what group
+materialisation needs) and the **entity rows** (what the group's
+reviewer/item cardinalities need).  Lists are built lazily on first use,
+guarded by per-key single-flight locks so concurrent scoring threads build
+each list once, and evicted LRU-first when the configured memory budget is
+exceeded.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..concurrency import KeyedSingleFlight
+from ..model.database import Side, SubjectiveDatabase
+from ..model.groups import AVPair, SelectionCriteria
+
+__all__ = ["PostingList", "PostingListStore"]
+
+
+@dataclass(frozen=True)
+class PostingList:
+    """The precomputed row sets of one attribute-value pair."""
+
+    pair: AVPair
+    rating_rows: np.ndarray
+    entity_rows: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.rating_rows.nbytes + self.entity_rows.nbytes)
+
+
+class PostingListStore:
+    """Lazily-built, memory-budgeted, thread-safe posting lists.
+
+    ``memory_budget_bytes`` bounds the resident posting bytes; when an
+    insertion pushes the store past the budget, least-recently-used lists
+    are dropped (they rebuild on demand, so eviction only costs time).
+    """
+
+    def __init__(
+        self,
+        database: SubjectiveDatabase,
+        memory_budget_bytes: int = 64 * 1024 * 1024,
+    ) -> None:
+        if memory_budget_bytes < 1:
+            raise ValueError(
+                f"memory budget must be positive, got {memory_budget_bytes}"
+            )
+        self._db = database
+        self._budget = int(memory_budget_bytes)
+        self._lock = threading.Lock()
+        self._flight = KeyedSingleFlight()
+        self._store: OrderedDict[AVPair, PostingList] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.builds = 0
+        self.evictions = 0
+
+    # -- bookkeeping --------------------------------------------------------
+    @property
+    def database(self) -> SubjectiveDatabase:
+        return self._db
+
+    @property
+    def memory_budget_bytes(self) -> int:
+        return self._budget
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def stats(self) -> dict[str, int | float]:
+        with self._lock:
+            requests = self.hits + self.misses
+            return {
+                "entries": len(self._store),
+                "bytes": self._bytes,
+                "budget_bytes": self._budget,
+                "hits": self.hits,
+                "misses": self.misses,
+                "builds": self.builds,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / requests if requests else 0.0,
+            }
+
+    # -- the store ----------------------------------------------------------
+    def _build(self, pair: AVPair) -> PostingList:
+        table = self._db.entity_table(pair.side)
+        entity_mask = table.column(pair.attribute).equals_mask(pair.value)
+        rating_mask = self._db.rating_rows_for_entities(pair.side, entity_mask)
+        return PostingList(
+            pair,
+            np.flatnonzero(rating_mask).astype(np.int64, copy=False),
+            np.flatnonzero(entity_mask).astype(np.int64, copy=False),
+        )
+
+    def get(self, pair: AVPair) -> PostingList:
+        """The (building if necessary) posting list of ``pair``."""
+        with self._lock:
+            cached = self._store.get(pair)
+            if cached is not None:
+                self._store.move_to_end(pair)
+                self.hits += 1
+                return cached
+            self.misses += 1
+        with self._flight.lock(pair):
+            with self._lock:
+                cached = self._store.get(pair)
+                if cached is not None:
+                    self._store.move_to_end(pair)
+                    return cached
+            posting = self._build(pair)
+            with self._lock:
+                self.builds += 1
+                self._store[pair] = posting
+                self._bytes += posting.nbytes
+                while self._bytes > self._budget and len(self._store) > 1:
+                    __, evicted = self._store.popitem(last=False)
+                    self._bytes -= evicted.nbytes
+                    self.evictions += 1
+            return posting
+
+    def rating_rows(self, pair: AVPair) -> np.ndarray:
+        return self.get(pair).rating_rows
+
+    def entity_rows(self, pair: AVPair) -> np.ndarray:
+        return self.get(pair).entity_rows
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self._bytes = 0
+
+    # -- composition --------------------------------------------------------
+    def rows_for(self, criteria: SelectionCriteria) -> np.ndarray:
+        """Sorted rating-row indices of the criteria's rating group.
+
+        Identical (bit-for-bit) to the naive
+        ``np.flatnonzero``-of-record-masks materialisation: an intersection
+        of sorted unique arrays, smallest first, is the same ascending row
+        set.
+        """
+        pairs = sorted(criteria.pairs)
+        if not pairs:
+            return np.arange(self._db.n_ratings, dtype=np.int64)
+        postings = sorted(
+            (self.rating_rows(pair) for pair in pairs), key=len
+        )
+        out = postings[0]
+        for posting in postings[1:]:
+            if out.size == 0:
+                break
+            out = np.intersect1d(out, posting, assume_unique=True)
+        return out
+
+    def entity_count(self, side: Side, criteria: SelectionCriteria) -> int:
+        """|g_U| or |g_I|: entities matching the criteria's ``side`` pairs."""
+        pairs = sorted(
+            pair for pair in criteria.pairs if pair.side is side
+        )
+        if not pairs:
+            return len(self._db.entity_table(side))
+        postings = sorted(
+            (self.entity_rows(pair) for pair in pairs), key=len
+        )
+        out = postings[0]
+        for posting in postings[1:]:
+            if out.size == 0:
+                break
+            out = np.intersect1d(out, posting, assume_unique=True)
+        return int(out.size)

@@ -1,0 +1,119 @@
+"""Structural equivalence checks between indexed and naive results.
+
+`RatingMap`/`RMSetResult` deliberately have no ``__eq__`` (they hold numpy
+state), so the equivalence suite and the speedup benchmark both compare
+*fingerprints*: plain tuples of everything user-visible — specs, subgroup
+labels and count vectors, utilities, ranks.  Identical fingerprints mean
+the indexed path reproduced the oracle bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..core.generator import RMSetResult
+from ..core.rating_maps import RatingMap
+from ..core.recommend import ScoredOperation
+
+__all__ = [
+    "map_fingerprint",
+    "result_fingerprint",
+    "recommendation_fingerprint",
+    "diff_results",
+    "diff_recommendations",
+]
+
+
+def map_fingerprint(rating_map: RatingMap) -> tuple:
+    """Everything observable about one rating map, as a comparable tuple."""
+    return (
+        rating_map.spec,
+        rating_map.criteria.describe(),
+        rating_map.group_size,
+        tuple(
+            (sg.label, tuple(int(c) for c in sg.distribution.counts))
+            for sg in rating_map.subgroups
+        ),
+    )
+
+
+def result_fingerprint(result: RMSetResult) -> tuple:
+    """Everything observable about one RM-Set result."""
+    return (
+        tuple(map_fingerprint(rm) for rm in result.selected),
+        tuple(map_fingerprint(rm) for rm in result.pool),
+        tuple(
+            (spec, result.scores[spec].dw_utility)
+            for spec in sorted(result.scores)
+        ),
+        result.diversity,
+        result.degraded,
+    )
+
+
+def recommendation_fingerprint(scored: Sequence[ScoredOperation]) -> tuple:
+    """Everything observable about one recommend() answer."""
+    return tuple(
+        (
+            s.operation.kind.value,
+            s.operation.target.describe(),
+            s.utility,
+            result_fingerprint(s.preview),
+        )
+        for s in scored
+    )
+
+
+def _diff(label: str, a: Any, b: Any) -> list[str]:
+    if a == b:
+        return []
+    return [f"{label}: {a!r} != {b!r}"]
+
+
+def diff_results(naive: RMSetResult, indexed: RMSetResult) -> list[str]:
+    """Human-readable differences between two RM-Set results ([] if none)."""
+    out: list[str] = []
+    out += _diff(
+        "selected specs",
+        [rm.spec for rm in naive.selected],
+        [rm.spec for rm in indexed.selected],
+    )
+    out += _diff(
+        "pool specs",
+        [rm.spec for rm in naive.pool],
+        [rm.spec for rm in indexed.pool],
+    )
+    for which, n_maps, i_maps in (
+        ("selected", naive.selected, indexed.selected),
+        ("pool", naive.pool, indexed.pool),
+    ):
+        for n_rm, i_rm in zip(n_maps, i_maps):
+            if map_fingerprint(n_rm) != map_fingerprint(i_rm):
+                out.append(f"{which} map {n_rm.spec} differs")
+    out += _diff("score keys", sorted(naive.scores), sorted(indexed.scores))
+    for spec in sorted(set(naive.scores) & set(indexed.scores)):
+        out += _diff(
+            f"dw_utility[{spec}]",
+            naive.scores[spec].dw_utility,
+            indexed.scores[spec].dw_utility,
+        )
+    out += _diff("diversity", naive.diversity, indexed.diversity)
+    return out
+
+
+def diff_recommendations(
+    naive: Sequence[ScoredOperation], indexed: Sequence[ScoredOperation]
+) -> list[str]:
+    """Differences between two recommend() answers ([] if identical)."""
+    out: list[str] = []
+    out += _diff(
+        "targets",
+        [s.operation.target.describe() for s in naive],
+        [s.operation.target.describe() for s in indexed],
+    )
+    for n_s, i_s in zip(naive, indexed):
+        label = n_s.operation.target.describe()
+        out += _diff(f"utility[{label}]", n_s.utility, i_s.utility)
+        for line in diff_results(n_s.preview, i_s.preview):
+            out.append(f"preview[{label}] {line}")
+    return out

@@ -169,6 +169,29 @@ class RatingGroup:
         self._n_reviewers = int(reviewer_mask.sum())
         self._n_items = int(item_mask.sum())
 
+    @classmethod
+    def from_rows(
+        cls,
+        database: SubjectiveDatabase,
+        criteria: SelectionCriteria,
+        rows: np.ndarray,
+        n_reviewers: int,
+        n_items: int,
+    ) -> "RatingGroup":
+        """Wrap pre-materialised rows without re-scanning the tables.
+
+        ``rows`` must be exactly the sorted record indices the criteria
+        selects (as an index layer computes them); callers are trusted on
+        this — the class behaves identically to a scanned group afterwards.
+        """
+        group = cls.__new__(cls)
+        group._database = database
+        group._criteria = criteria
+        group._rows = np.asarray(rows, dtype=np.int64)
+        group._n_reviewers = int(n_reviewers)
+        group._n_items = int(n_items)
+        return group
+
     @property
     def database(self) -> SubjectiveDatabase:
         return self._database

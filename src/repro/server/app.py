@@ -244,6 +244,9 @@ class EnginePool:
                 "result": engine.result_stats.snapshot(),
                 "stale_hits": engine.stale_hits,
             }
+            index = engine.engine.index
+            if index is not None:
+                snapshots[name]["index"] = index.stats()
         return snapshots
 
     def breaker_snapshots(self) -> dict[str, Any]:

@@ -170,3 +170,69 @@ class TestConcurrency:
                 assert specs == expected[criteria]
         # the shared cache amortised work across the 8 threads
         assert caching.result_stats.hits > 0
+
+
+    def test_single_flight_no_thundering_herd(self, tiny_db):
+        """8 threads missing the same key at once → exactly one generation.
+
+        Before the per-key single-flight locks, every thread that missed
+        simultaneously ran its own full RM-Set generation; now one computes
+        while the rest wait and read the freshly cached value.
+        """
+        from repro import SubDEx, SubDExConfig
+        from repro.core.recommend import RecommenderConfig
+
+        engine = SubDEx(
+            tiny_db,
+            SubDExConfig(
+                recommender=RecommenderConfig(max_values_per_attribute=3)
+            ),
+        )
+        calls: list[int] = []
+        inner = engine.generator.generate
+
+        def counting_generate(*args, **kwargs):
+            calls.append(threading.get_ident())
+            return inner(*args, **kwargs)
+
+        engine.generator.generate = counting_generate
+        caching = CachingEngine(engine)
+        criteria = SelectionCriteria.of(reviewer={"gender": "F"})
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            return caching.rating_maps(criteria)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = [f.result() for f in [pool.submit(worker) for __ in range(8)]]
+
+        assert len(calls) == 1
+        expected = [rm.spec for rm in results[0].selected]
+        for result in results[1:]:
+            assert [rm.spec for rm in result.selected] == expected
+        stats = caching.result_stats
+        assert stats.misses >= 1
+
+    def test_single_flight_distinct_keys_do_not_block(self, tiny_engine):
+        """Different criteria proceed independently under single-flight."""
+        caching = CachingEngine(tiny_engine)
+        criterias = [
+            SelectionCriteria.of(reviewer={"gender": "F"}),
+            SelectionCriteria.of(reviewer={"gender": "M"}),
+            SelectionCriteria.of(item={"city": "NYC"}),
+            SelectionCriteria.of(item={"city": "Austin"}),
+        ]
+        barrier = threading.Barrier(4)
+
+        def worker(i: int):
+            barrier.wait()
+            return caching.rating_maps(criterias[i])
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = [f.result() for f in [pool.submit(worker, i) for i in range(4)]]
+        for criteria, result in zip(criterias, results):
+            expected = tiny_engine.rating_maps(criteria)
+            assert [rm.spec for rm in result.selected] == [
+                rm.spec for rm in expected.selected
+            ]

@@ -37,6 +37,30 @@ class TestCategoricalColumn:
         col = CategoricalColumn.from_values(["a", "b", "c"])
         assert col.isin_mask(["a", "c"]).tolist() == [True, False, True]
 
+    def test_isin_mask_empty_and_unknown_values(self):
+        col = CategoricalColumn.from_values(["a", None, "b"])
+        assert not col.isin_mask([]).any()
+        assert not col.isin_mask(["zzz"]).any()
+        assert col.isin_mask(["b", "zzz"]).tolist() == [False, False, True]
+
+    def test_isin_mask_matches_equals_mask_union(self):
+        """Regression for the vectorised (np.isin over codes) rewrite: the
+        single-pass mask must equal the OR of per-value equals_mask."""
+        rng = np.random.default_rng(5)
+        values = [
+            None if v == "none" else v
+            for v in rng.choice(
+                ["a", "b", "c", "d", "e", "none"], size=500
+            ).tolist()
+        ]
+        col = CategoricalColumn.from_values(values)
+        wanted = ["b", "d", "zzz"]
+        expected = np.zeros(len(col), dtype=bool)
+        for value in wanted:
+            expected |= col.equals_mask(value)
+        np.testing.assert_array_equal(col.isin_mask(wanted), expected)
+        assert not col.isin_mask(wanted)[np.array(values) == None].any()  # noqa: E711
+
     def test_take_preserves_categories(self):
         col = CategoricalColumn.from_values(["a", "b", "c"])
         taken = col.take(np.array([2, 0]))

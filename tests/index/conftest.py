@@ -1,0 +1,96 @@
+"""Synthetic databases exercising every shape the index must handle:
+missing values, multi-valued attributes, numeric attributes, invalid
+scores, and groups that come out empty."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SubjectiveDatabase
+from repro.db import Table
+
+CITIES = ["NYC", "Austin", "Detroit", "Reno"]
+GENRES = ["Pizza", "Sushi", "Tacos", "Burgers", "Ramen"]
+
+
+def make_db(
+    seed: int = 0,
+    n_users: int = 60,
+    n_items: int = 25,
+    n_ratings: int = 900,
+    missing: float = 0.0,
+    name: str = "synthetic",
+) -> SubjectiveDatabase:
+    """A deterministic subjective database with one of every column kind.
+
+    ``missing`` drops that fraction of attribute values (categorical and
+    numeric) and empties some multi-valued sets, and also knocks out a few
+    ratings scores so the invalid-score path is exercised.
+    """
+    rng = np.random.default_rng(seed)
+
+    def drop(value):
+        return None if missing and rng.random() < missing else value
+
+    users = Table.from_columns(
+        {
+            "user_id": list(range(n_users)),
+            "gender": [drop(str(rng.choice(["M", "F"]))) for __ in range(n_users)],
+            "age": [drop(int(rng.integers(18, 80))) for __ in range(n_users)],
+            "occupation": [
+                drop(str(rng.choice(["student", "artist", "lawyer"])))
+                for __ in range(n_users)
+            ],
+        },
+        explorable={"user_id": False},
+    )
+    items = Table.from_columns(
+        {
+            "item_id": list(range(n_items)),
+            "city": [drop(str(rng.choice(CITIES))) for __ in range(n_items)],
+            "cuisine": [
+                frozenset()
+                if missing and rng.random() < missing
+                else frozenset(
+                    rng.choice(GENRES, size=int(rng.integers(1, 3)), replace=False)
+                )
+                for __ in range(n_items)
+            ],
+            "price": [drop(int(rng.integers(1, 5))) for __ in range(n_items)],
+        },
+        explorable={"item_id": False},
+    )
+    overall = rng.integers(1, 6, n_ratings).astype(float)
+    food = rng.integers(1, 6, n_ratings).astype(float)
+    if missing:
+        overall[rng.random(n_ratings) < missing / 2] = np.nan
+    ratings = Table.from_columns(
+        {
+            "user_id": rng.integers(0, n_users, n_ratings).tolist(),
+            "item_id": rng.integers(0, n_items, n_ratings).tolist(),
+            "overall": overall.tolist(),
+            "food": food.tolist(),
+        },
+        explorable={"user_id": False, "item_id": False},
+    )
+    return SubjectiveDatabase(
+        users, items, ratings, ("overall", "food"), scale=5, name=name
+    )
+
+
+@pytest.fixture(scope="session")
+def db_factory():
+    """The synthetic-database factory, for tests that vary its knobs."""
+    return make_db
+
+
+@pytest.fixture(scope="session")
+def clean_db() -> SubjectiveDatabase:
+    return make_db(seed=3, name="clean")
+
+
+@pytest.fixture(scope="session")
+def sparse_db() -> SubjectiveDatabase:
+    """Heavy missing values in every column kind plus NaN scores."""
+    return make_db(seed=7, missing=0.3, name="sparse")

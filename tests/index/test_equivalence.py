@@ -1,0 +1,122 @@
+"""The index is byte-identical to the naive oracle, end to end.
+
+Every test builds two engines over the same database — ``use_index=True``
+and ``use_index=False`` — runs the same exploration workload through both,
+and asserts the verify-module fingerprints match exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.engine import SubDEx, SubDExConfig
+from repro.core.recommend import RecommenderConfig
+from repro.exceptions import EmptyGroupError
+from repro.index.verify import (
+    diff_recommendations,
+    diff_results,
+    result_fingerprint,
+)
+from repro.model.database import Side
+from repro.model.groups import AVPair, SelectionCriteria
+
+
+def _engines(db):
+    config = SubDExConfig(recommender=RecommenderConfig(max_values_per_attribute=4))
+    return (
+        SubDEx(db, config),
+        SubDEx(db, replace(config, use_index=False)),
+    )
+
+
+@pytest.mark.parametrize(
+    "db_kwargs",
+    [
+        dict(seed=11, n_users=40, n_items=15, n_ratings=400),
+        dict(seed=12, n_users=80, n_items=40, n_ratings=2500),
+        dict(seed=13, n_users=60, n_items=25, n_ratings=900, missing=0.35),
+    ],
+    ids=["small", "larger", "missing-heavy"],
+)
+def test_rating_maps_identical(db_kwargs, db_factory):
+    db = db_factory(**db_kwargs)
+    fast, naive = _engines(db)
+    for criteria in (
+        SelectionCriteria.root(),
+        SelectionCriteria.of(reviewer={"gender": "F"}),
+        SelectionCriteria.of(item={"cuisine": "Pizza"}),  # multi-valued filter
+    ):
+        diffs = diff_results(
+            naive.rating_maps(criteria), fast.rating_maps(criteria)
+        )
+        assert not diffs, diffs
+
+
+@pytest.mark.parametrize(
+    "db_kwargs",
+    [
+        dict(seed=21, n_users=40, n_items=15, n_ratings=400),
+        dict(seed=22, n_users=60, n_items=25, n_ratings=900, missing=0.35),
+    ],
+    ids=["clean", "missing-heavy"],
+)
+def test_recommendations_identical(db_kwargs, db_factory):
+    db = db_factory(**db_kwargs)
+    fast, naive = _engines(db)
+    for criteria in (
+        SelectionCriteria.root(),
+        SelectionCriteria.of(reviewer={"gender": "M"}),
+    ):
+        diffs = diff_recommendations(
+            naive.recommend(criteria), fast.recommend(criteria)
+        )
+        assert not diffs, diffs
+
+
+def test_multi_step_exploration_identical(db_factory):
+    db = db_factory(seed=31, n_users=70, n_items=30, n_ratings=1500, missing=0.2)
+    fast, naive = _engines(db)
+    fast_path = fast.explore_automated(n_steps=4)
+    naive_path = naive.explore_automated(n_steps=4)
+    assert len(fast_path.steps) == len(naive_path.steps)
+    for f_step, n_step in zip(fast_path.steps, naive_path.steps):
+        assert f_step.criteria == n_step.criteria
+        assert f_step.group_size == n_step.group_size
+        assert result_fingerprint(f_step.result) == result_fingerprint(
+            n_step.result
+        )
+        assert [r.operation.target for r in f_step.recommendations] == [
+            r.operation.target for r in n_step.recommendations
+        ]
+
+
+def test_empty_groups_behave_identically(clean_db):
+    fast, naive = _engines(clean_db)
+    nowhere = SelectionCriteria(
+        (AVPair(Side.ITEM, "city", "Atlantis"),)  # value outside the domain
+    )
+    assert len(fast.index.group(nowhere)) == 0
+    with pytest.raises(EmptyGroupError):
+        fast.session(nowhere)
+    with pytest.raises(EmptyGroupError):
+        naive.session(nowhere)
+    diffs = diff_results(
+        naive.rating_maps(nowhere), fast.rating_maps(nowhere)
+    )
+    assert not diffs, diffs
+
+
+def test_full_pipeline_preview_mode_identical(db_factory):
+    """`preview_uses_full_pipeline` bypasses the index — still identical."""
+    db = db_factory(seed=41, n_users=40, n_items=15, n_ratings=400)
+    config = SubDExConfig(
+        recommender=RecommenderConfig(
+            max_values_per_attribute=3, preview_uses_full_pipeline=True
+        )
+    )
+    fast = SubDEx(db, config)
+    naive = SubDEx(db, replace(config, use_index=False))
+    diffs = diff_recommendations(naive.recommend(), fast.recommend())
+    assert not diffs, diffs

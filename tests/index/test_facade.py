@@ -1,0 +1,86 @@
+"""IndexedDatabase facade: toggle, stats plumbing, budget fallbacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import SubDEx, SubDExConfig
+from repro.core.recommend import RecommenderConfig
+from repro.index.facade import IndexedDatabase
+from repro.index.verify import diff_recommendations
+from repro.model.groups import RatingGroup, SelectionCriteria
+
+
+def _config(**kwargs):
+    return SubDExConfig(
+        recommender=RecommenderConfig(max_values_per_attribute=3), **kwargs
+    )
+
+
+def test_use_index_toggle(clean_db):
+    assert SubDEx(clean_db, _config()).index is not None
+    assert SubDEx(clean_db, _config(use_index=False)).index is None
+
+
+def test_group_matches_naive(clean_db):
+    index = IndexedDatabase(clean_db)
+    criteria = SelectionCriteria.of(reviewer={"gender": "F"}, item={"city": "NYC"})
+    indexed, naive = index.group(criteria), RatingGroup(clean_db, criteria)
+    np.testing.assert_array_equal(indexed.rows, naive.rows)
+    assert indexed.n_reviewers == naive.n_reviewers
+    assert indexed.n_items == naive.n_items
+    assert indexed.criteria == naive.criteria
+
+
+def test_stats_counters_move_during_recommend(clean_db):
+    engine = SubDEx(clean_db, _config())
+    stats = engine.index.stats()
+    assert stats["candidates_cube"] == 0
+    engine.recommend()
+    stats = engine.index.stats()
+    assert stats["candidates_cube"] > 0
+    assert stats["cube_builds"] > 0
+    assert stats["cube_bytes"] > 0
+    assert stats["postings"]["builds"] > 0
+    # every route is exercised on this database: the multi-valued cuisine
+    # attribute forces the posting path for its FILTER candidates
+    assert stats["candidates_delta"] + stats["candidates_direct"] > 0
+
+
+def test_zero_cube_budget_falls_back_to_postings_identically(clean_db):
+    fast = SubDEx(clean_db, _config())
+    fast._index = IndexedDatabase(clean_db, max_cube_cells=0)
+    fast.recommender._index = fast._index
+    naive = SubDEx(clean_db, _config(use_index=False))
+    diffs = diff_recommendations(naive.recommend(), fast.recommend())
+    assert not diffs, diffs
+    stats = fast.index.stats()
+    assert stats["candidates_cube"] == 0
+    assert stats["cube_builds"] == 0
+
+
+def test_index_memory_budget_reaches_posting_store(clean_db):
+    engine = SubDEx(clean_db, _config(index_memory_budget_bytes=1024))
+    engine.recommend()
+    stats = engine.index.stats()["postings"]
+    assert stats["budget_bytes"] == 1024
+    assert stats["evictions"] > 0
+
+
+def test_metrics_snapshot_shape(clean_db):
+    engine = SubDEx(clean_db, _config())
+    engine.recommend()
+    stats = engine.index.stats()
+    assert {
+        "postings",
+        "cube_builds",
+        "cube_bytes",
+        "candidates_cube",
+        "candidates_delta",
+        "candidates_direct",
+    } <= set(stats)
+    postings = stats["postings"]
+    assert {"entries", "bytes", "hits", "misses", "builds", "hit_rate"} <= set(
+        postings
+    )
