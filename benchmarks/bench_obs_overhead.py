@@ -1,0 +1,136 @@
+"""Tracing overhead — the observability layer must be ~free.
+
+The same exploration workload (fresh engine, opening step + two applied
+recommendations on the Fig. 10 synthetic Yelp database) is timed under
+three configurations of the module-level tracer the engine layers report
+into:
+
+* ``off`` — tracing disabled: every ``span(...)`` call site takes the
+  no-op fast path (one contextvar read, one flag check);
+* ``on`` — tracing enabled with an in-memory ring-buffer sink (the
+  server's default configuration);
+* ``on+jsonl`` — tracing enabled with the ring buffer *and* a JSONL
+  file sink flushing every finished trace to disk.
+
+Rounds are interleaved (off, on, on+jsonl, off, ...) so clock drift and
+cache warmth hit all variants equally.  The acceptance bar is the issue's:
+enabled tracing stays within 5% of the disabled baseline (plus a small
+absolute allowance for timer noise on short runs).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.bench import format_table, report, time_call
+from repro.core.engine import SubDEx, SubDExConfig
+from repro.datasets import yelp
+from repro.obs import JsonlTraceSink, TraceRingBuffer, configure, get_tracer
+
+_ROUNDS = int(os.environ.get("REPRO_OBS_BENCH_ROUNDS", "3"))
+_RELATIVE_SLACK = 1.05  # the ≤5% overhead acceptance bar
+_ABSOLUTE_SLACK_S = 0.05  # timer noise allowance on short CI runs
+
+
+def _scale_factor() -> float:
+    return float(os.environ.get("REPRO_OBS_BENCH_SF", "0.5"))
+
+
+def _workload(database):
+    """One exploration: opening step + two applied recommendations."""
+    engine = SubDEx(database, SubDExConfig(use_index=True))
+    session = engine.session()
+    record = session.step(with_recommendations=True)
+    for __ in range(2):
+        if not record.recommendations:
+            break
+        record = session.step(
+            record.recommendations[0].operation, with_recommendations=True
+        )
+    return record
+
+
+def test_obs_overhead(benchmark, tmp_path_factory):
+    database = yelp(seed=0, scale_factor=_scale_factor())
+    tracer = get_tracer()
+    ring = TraceRingBuffer(capacity=64)
+    jsonl_path = os.path.join(
+        tempfile.mkdtemp(prefix="obs-bench-"), "traces.jsonl"
+    )
+    jsonl = JsonlTraceSink(jsonl_path)
+
+    def run_off():
+        configure(False)
+        tracer.clear_sinks()
+        return time_call(lambda: _workload(database))[1]
+
+    def run_on():
+        configure(True)
+        tracer.clear_sinks()
+        tracer.add_sink(ring)
+        try:
+            return time_call(lambda: _workload(database))[1]
+        finally:
+            configure(False)
+            tracer.clear_sinks()
+
+    def run_on_jsonl():
+        configure(True)
+        tracer.clear_sinks()
+        tracer.add_sink(ring)
+        tracer.add_sink(jsonl)
+        try:
+            return time_call(lambda: _workload(database))[1]
+        finally:
+            configure(False)
+            tracer.clear_sinks()
+
+    variants = (("off", run_off), ("on", run_on), ("on+jsonl", run_on_jsonl))
+
+    def run():
+        samples = {name: [] for name, __ in variants}
+        _workload(database)  # warm the dataset caches outside timing
+        for __ in range(_ROUNDS):  # interleaved: drift hits all variants
+            for name, fn in variants:
+                samples[name].append(fn())
+        return {
+            name: sum(times) / len(times) for name, times in samples.items()
+        }
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    spans_recorded = sum(
+        t["n_spans"] for t in ring.snapshot()
+    )
+    jsonl.close()
+
+    off = means["off"]
+    rows = [
+        (
+            name,
+            f"{means[name] * 1000.0:.1f}",
+            f"{means[name] / off:.3f}x" if off else "n/a",
+        )
+        for name, __ in variants
+    ]
+    text = (
+        "== Tracing overhead: exploration workload, tracer off/on/on+jsonl ==\n"
+        + format_table(("variant", "mean (ms)", "vs off"), rows)
+        + f"\nrounds per variant: {_ROUNDS} (REPRO_OBS_BENCH_ROUNDS)"
+        + f"\nscale factor: {_scale_factor()} (REPRO_OBS_BENCH_SF)"
+        + f"\nspans recorded while enabled: {spans_recorded}"
+        + f"\nacceptance: enabled within {(_RELATIVE_SLACK - 1) * 100:.0f}%"
+        + f" of disabled (+{_ABSOLUTE_SLACK_S * 1000:.0f}ms noise allowance)"
+    )
+    report("obs_overhead", text)
+
+    assert spans_recorded > 0, "enabled runs recorded no spans"
+    budget = off * _RELATIVE_SLACK + _ABSOLUTE_SLACK_S
+    assert means["on"] <= budget, (
+        f"tracing overhead too high: on={means['on']:.3f}s vs "
+        f"off={off:.3f}s (budget {budget:.3f}s)"
+    )
+    assert means["on+jsonl"] <= budget, (
+        f"jsonl tracing overhead too high: {means['on+jsonl']:.3f}s vs "
+        f"off={off:.3f}s (budget {budget:.3f}s)"
+    )

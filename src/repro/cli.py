@@ -232,8 +232,10 @@ def cmd_interactive(
 
 def cmd_serve(args: argparse.Namespace, out=None) -> int:
     out = out or sys.stdout
+    from .obs.logs import setup_logging
     from .server import ServerConfig, serve
 
+    setup_logging(level=args.log_level, fmt=args.log_format)
     names = [name.strip() for name in args.dataset.split(",") if name.strip()]
     if not names:
         raise CLIError("--dataset must name at least one dataset")
@@ -258,6 +260,9 @@ def cmd_serve(args: argparse.Namespace, out=None) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_interval_seconds=args.checkpoint_interval,
         drain_seconds=args.drain_seconds,
+        tracing_enabled=not args.no_tracing,
+        trace_file=args.trace_file,
+        slow_request_ms=args.slow_request_ms,
     )
     return serve(factories, host=args.host, port=args.port, config=config, out=out)
 
@@ -323,6 +328,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seconds between periodic checkpoint flushes")
     p_serve.add_argument("--drain-seconds", type=float, default=10.0,
                          help="graceful-shutdown budget for in-flight requests")
+    p_serve.add_argument("--log-level", default="info",
+                         choices=("debug", "info", "warning", "error"),
+                         help="stdlib logging level for repro.* loggers")
+    p_serve.add_argument("--log-format", default="text",
+                         choices=("text", "json"),
+                         help="log line format; json includes trace ids")
+    p_serve.add_argument("--no-tracing", action="store_true",
+                         help="disable request tracing (spans, /debug/traces, "
+                              "?debug=1 breakdowns)")
+    p_serve.add_argument("--trace-file", default=None,
+                         help="append every finished trace to this JSONL file")
+    p_serve.add_argument("--slow-request-ms", type=float, default=1000.0,
+                         help="log requests slower than this at WARNING with "
+                              "their span tree (0 logs everything)")
     p_serve.set_defaults(fn=cmd_serve)
 
     return parser

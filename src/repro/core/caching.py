@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Hashable
 
 from ..concurrency import KeyedSingleFlight
 from ..model.groups import RatingGroup, SelectionCriteria
+from ..obs import span as obs_span
 from ..resilience.gate import under_pressure
 from .engine import SubDEx
 from .generator import RMSetResult
@@ -175,6 +176,9 @@ class CachingEngine:
         self._latest = LRUCache(result_capacity)
         self._flight = KeyedSingleFlight()
         self.stale_hits = 0
+        #: Requests that blocked on another thread's in-flight computation
+        #: and then read its freshly cached value (no duplicate work done).
+        self.flight_waits = 0
 
     @property
     def engine(self) -> SubDEx:
@@ -200,15 +204,21 @@ class CachingEngine:
 
     def group(self, criteria: SelectionCriteria) -> RatingGroup:
         """A (cached) materialised rating group."""
-        cached = self._groups.get(criteria)
-        if cached is not None:
+        with obs_span("cache.group") as sp:
+            cached = self._groups.get(criteria)
+            if cached is not None:
+                sp.set(outcome="hit")
+                return cached  # type: ignore[return-value]
+            with self._flight.lock(("group", criteria)):
+                cached = self._groups.peek(criteria)
+                if cached is None:
+                    cached = self._materialise(criteria)
+                    self._groups.put(criteria, cached)
+                    sp.set(outcome="miss")
+                else:
+                    self.flight_waits += 1
+                    sp.set(outcome="wait")
             return cached  # type: ignore[return-value]
-        with self._flight.lock(("group", criteria)):
-            cached = self._groups.peek(criteria)
-            if cached is None:
-                cached = self._materialise(criteria)
-                self._groups.put(criteria, cached)
-        return cached  # type: ignore[return-value]
 
     def rating_maps(
         self,
@@ -222,31 +232,37 @@ class CachingEngine:
             n_attributes=len(self._engine.database.grouping_attributes()),
         )
         key = (criteria, _seen_fingerprint(seen))
-        cached = self._results.get(key)
-        if cached is not None:
-            return cached  # type: ignore[return-value]
-        with self._flight.lock(("result", key)):
-            cached = self._results.peek(key)
+        with obs_span("cache.rating_maps") as sp:
+            cached = self._results.get(key)
             if cached is not None:
+                sp.set(outcome="hit")
                 return cached  # type: ignore[return-value]
-            if under_pressure():
-                # graceful degradation: reuse the latest result computed
-                # for the same selection under a *different* display
-                # history instead of paying a full generation, flagged
-                # ``degraded`` so the serving layer can tell the client
-                stale = self._latest.peek(criteria)
-                if stale is not None:
-                    self.stale_hits += 1
-                    return replace(stale, degraded=True)  # type: ignore[arg-type]
-            group = self.group(criteria)
-            result = self._engine.generator.generate(group, seen)
-            if not result.degraded:
-                # degraded (pressure-time) results are answers, not truth:
-                # keep them out of the shared caches so later requests
-                # recompute at full fidelity
-                self._results.put(key, result)
-                self._latest.put(criteria, result)
-            return result
+            with self._flight.lock(("result", key)):
+                cached = self._results.peek(key)
+                if cached is not None:
+                    self.flight_waits += 1
+                    sp.set(outcome="wait")
+                    return cached  # type: ignore[return-value]
+                if under_pressure():
+                    # graceful degradation: reuse the latest result computed
+                    # for the same selection under a *different* display
+                    # history instead of paying a full generation, flagged
+                    # ``degraded`` so the serving layer can tell the client
+                    stale = self._latest.peek(criteria)
+                    if stale is not None:
+                        self.stale_hits += 1
+                        sp.set(outcome="stale")
+                        return replace(stale, degraded=True)  # type: ignore[arg-type]
+                sp.set(outcome="miss")
+                group = self.group(criteria)
+                result = self._engine.generator.generate(group, seen)
+                if not result.degraded:
+                    # degraded (pressure-time) results are answers, not truth:
+                    # keep them out of the shared caches so later requests
+                    # recompute at full fidelity
+                    self._results.put(key, result)
+                    self._latest.put(criteria, result)
+                return result
 
     def session(self, start: SelectionCriteria | None = None) -> "ExplorationSession":
         """A fresh exploration session whose group materialisation and

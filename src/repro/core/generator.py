@@ -15,6 +15,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..model.groups import RatingGroup, SelectionCriteria
+from ..obs import span as obs_span
 from ..resilience.gate import under_pressure
 from .distance import MapDistanceMethod, min_pairwise_distance
 from .interestingness import InterestingnessScorer
@@ -125,25 +126,28 @@ class RMSetGenerator:
         )
         if group.is_empty or not specs:
             return RMSetResult((), (), {}, 0.0, ())
-        execution = PhasedExecution(
-            group,
-            specs,
-            seen,
-            config.utility,
-            self._scorer,
-            n_phases=config.n_phases,
-            shuffle_seed=config.shuffle_seed,
-        )
-        if config.diversity_only:
-            # keep every candidate: the selector alone decides
-            pruner = make_pruner(PruningStrategy.NONE, config.delta)
-            outcome = execution.run(pruner, len(specs))
-            ranked = tuple(sorted(outcome.ranked, key=lambda rm: rm.spec))
-            outcome = replace(outcome, ranked=ranked)
-        else:
-            pruner = make_pruner(config.pruning, config.delta)
-            outcome = execution.run(pruner, k * config.pruning_diversity_factor)
-        return self._finish(outcome, k)
+        with obs_span(
+            "engine.generate", group_size=len(group), n_specs=len(specs), k=k
+        ):
+            execution = PhasedExecution(
+                group,
+                specs,
+                seen,
+                config.utility,
+                self._scorer,
+                n_phases=config.n_phases,
+                shuffle_seed=config.shuffle_seed,
+            )
+            if config.diversity_only:
+                # keep every candidate: the selector alone decides
+                pruner = make_pruner(PruningStrategy.NONE, config.delta)
+                outcome = execution.run(pruner, len(specs))
+                ranked = tuple(sorted(outcome.ranked, key=lambda rm: rm.spec))
+                outcome = replace(outcome, ranked=ranked)
+            else:
+                pruner = make_pruner(config.pruning, config.delta)
+                outcome = execution.run(pruner, k * config.pruning_diversity_factor)
+            return self._finish(outcome, k)
 
     def generate_from_counts(
         self,

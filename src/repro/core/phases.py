@@ -25,6 +25,7 @@ import numpy as np
 
 from ..db.groupby import Grouping, SharedGroupByScan, phase_slices
 from ..model.groups import RatingGroup, SelectionCriteria
+from ..obs import span as obs_span
 from ..resilience.deadline import check_deadline
 from .interestingness import CriterionScores, InterestingnessScorer
 from .rating_maps import RatingMap, RatingMapSpec, rating_map_from_counts
@@ -242,28 +243,46 @@ class PhasedExecution:
         slices = phase_slices(len(rows), self._n_phases)
         phases_run = 0
         for i, block in enumerate(slices):
-            phase_rows = rows[block]
-            for scan in self._scans.values():
-                # cooperative cancellation: an oversized request aborts
-                # between GroupBy scans instead of hogging its worker
-                check_deadline()
-                scan.update(phase_rows)
-            self._rows_seen += int(len(phase_rows))
-            phases_run += 1
-            is_last = i == len(slices) - 1
-            if is_last or len(self._active) <= k_prime:
-                continue
-            if not getattr(pruner, "needs_snapshots", True):
-                continue  # e.g. NoPruning: skip the inter-phase scoring
-            snapshot = PhaseSnapshot(
-                phase=i + 1,
-                n_phases=len(slices),
-                rows_seen=self._rows_seen,
-                n_total=len(self._group),
-                scores=self._scored(),
-            )
-            to_drop = pruner.prune(snapshot)
-            self._drop(to_drop & self._active)
+            with obs_span(
+                "phase.scan", phase=i + 1, n_phases=len(slices)
+            ) as sp:
+                phase_rows = rows[block]
+                for scan in self._scans.values():
+                    # cooperative cancellation: an oversized request aborts
+                    # between GroupBy scans instead of hogging its worker
+                    check_deadline()
+                    scan.update(phase_rows)
+                self._rows_seen += int(len(phase_rows))
+                phases_run += 1
+                is_last = i == len(slices) - 1
+                if is_last or len(self._active) <= k_prime:
+                    sp.set(
+                        rows_seen=self._rows_seen,
+                        active=len(self._active),
+                        pruned=len(self._pruned),
+                    )
+                    continue
+                if not getattr(pruner, "needs_snapshots", True):
+                    sp.set(
+                        rows_seen=self._rows_seen,
+                        active=len(self._active),
+                        pruned=len(self._pruned),
+                    )
+                    continue  # e.g. NoPruning: skip the inter-phase scoring
+                snapshot = PhaseSnapshot(
+                    phase=i + 1,
+                    n_phases=len(slices),
+                    rows_seen=self._rows_seen,
+                    n_total=len(self._group),
+                    scores=self._scored(),
+                )
+                to_drop = pruner.prune(snapshot)
+                self._drop(to_drop & self._active)
+                sp.set(
+                    rows_seen=self._rows_seen,
+                    active=len(self._active),
+                    pruned=len(self._pruned),
+                )
 
         return finalize_from_counts(
             tuple(s for s in self._specs if s in self._active),

@@ -27,6 +27,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle: index builds on core
 from ..model.database import SubjectiveDatabase
 from ..model.groups import RatingGroup, SelectionCriteria
 from ..model.operations import Operation, enumerate_operations
+from ..obs import activate as obs_activate
+from ..obs import current_context as obs_current_context
+from ..obs import span as obs_span
 from ..resilience.deadline import current_deadline, deadline_scope
 from ..resilience.gate import pressure_scope, under_pressure
 from .generator import RMSetGenerator, RMSetResult
@@ -211,50 +214,60 @@ class RecommendationBuilder:
         criteria matches ``current``.
         """
         o = self._config.o if o is None else o
-        operations = (
-            list(candidates)
-            if candidates is not None
-            else self.candidate_operations(current)
-        )
-        if exclude_targets:
-            filtered = [
-                op for op in operations if op.target not in exclude_targets
-            ]
-            if filtered:
-                operations = filtered
-        # Ambient request context (deadline, load pressure) lives in
-        # contextvars, which worker threads do not inherit: capture it here
-        # and re-install it around every pooled scoring call.
-        deadline = current_deadline()
-        pressure = under_pressure()
-        if pressure:
-            operations = operations[: self._config.pressure_candidate_cap]
-        if current_group is None or current_group.criteria != current:
-            current_group = self._materialise(current)
-        current_rows = current_group.rows
-        # Sufficient-statistic fast path: candidates are scored from fused
-        # cube slices / delta-maintained histograms instead of per-candidate
-        # group scans.  The full-pipeline preview mode exercises the phased
-        # pruning machinery on purpose, so it keeps the group-based path.
-        ctx: "NeighborhoodContext | None" = None
-        if self._index is not None and not self._config.preview_uses_full_pipeline:
-            ctx = self._index.neighborhood(current_group)
+        with obs_span("engine.recommend") as sp:
+            operations = (
+                list(candidates)
+                if candidates is not None
+                else self.candidate_operations(current)
+            )
+            if exclude_targets:
+                filtered = [
+                    op for op in operations if op.target not in exclude_targets
+                ]
+                if filtered:
+                    operations = filtered
+            # Ambient request context (deadline, load pressure, active trace)
+            # lives in contextvars, which worker threads do not inherit:
+            # capture it here and re-install it around every pooled scoring
+            # call so candidate spans join this request's trace.
+            deadline = current_deadline()
+            pressure = under_pressure()
+            trace_ctx = obs_current_context()
+            if pressure:
+                operations = operations[: self._config.pressure_candidate_cap]
+            if current_group is None or current_group.criteria != current:
+                current_group = self._materialise(current)
+            current_rows = current_group.rows
+            # Sufficient-statistic fast path: candidates are scored from fused
+            # cube slices / delta-maintained histograms instead of per-candidate
+            # group scans.  The full-pipeline preview mode exercises the phased
+            # pruning machinery on purpose, so it keeps the group-based path.
+            ctx: "NeighborhoodContext | None" = None
+            if self._index is not None and not self._config.preview_uses_full_pipeline:
+                ctx = self._index.neighborhood(current_group)
 
-        def score(operation: Operation) -> ScoredOperation | None:
-            with deadline_scope(deadline), pressure_scope(pressure):
-                if deadline is not None:
-                    deadline.check()
-                if ctx is not None:
-                    return self._score_one_indexed(ctx, operation, seen)
-                return self._score_one(operation, seen, current_rows)
-        workers = self._config.workers()
-        if workers > 1 and len(operations) > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                scored = list(pool.map(score, operations))
-        else:
-            scored = [score(op) for op in operations]
-        ranked = sorted(
-            (s for s in scored if s is not None),
-            key=lambda s: (-s.utility, s.operation.target.describe()),
-        )
-        return ranked[:o]
+            def score(operation: Operation) -> ScoredOperation | None:
+                with deadline_scope(deadline), pressure_scope(pressure), \
+                        obs_activate(trace_ctx):
+                    if deadline is not None:
+                        deadline.check()
+                    if ctx is not None:
+                        return self._score_one_indexed(ctx, operation, seen)
+                    return self._score_one(operation, seen, current_rows)
+            workers = self._config.workers()
+            if workers > 1 and len(operations) > 1:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    scored = list(pool.map(score, operations))
+            else:
+                scored = [score(op) for op in operations]
+            ranked = sorted(
+                (s for s in scored if s is not None),
+                key=lambda s: (-s.utility, s.operation.target.describe()),
+            )
+            sp.set(
+                candidates=len(operations),
+                scored=sum(1 for s in scored if s is not None),
+                indexed=ctx is not None,
+                returned=min(o, len(ranked)),
+            )
+            return ranked[:o]

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 from ..exceptions import EmptyGroupError, OperationError
+from ..obs import span as obs_span
 from ..resilience.deadline import check_deadline
 from ..resilience.gate import under_pressure
 from ..model.database import SubjectiveDatabase
@@ -163,36 +164,46 @@ class ExplorationSession:
         top-o next-step recommendations.
         """
         check_deadline()
-        if operation is not None:
-            group = self._materialise(operation.target)
-            if group.is_empty:
-                raise OperationError(
-                    f"operation yields an empty group: {operation.describe()}"
-                )
-            self._state.criteria = operation.target
-            self._state.group = group
+        with obs_span(
+            "session.step",
+            step=len(self._state.steps) + 1,
+            operation=operation.describe() if operation is not None else None,
+        ) as sp:
+            if operation is not None:
+                group = self._materialise(operation.target)
+                if group.is_empty:
+                    raise OperationError(
+                        f"operation yields an empty group: {operation.describe()}"
+                    )
+                self._state.criteria = operation.target
+                self._state.group = group
 
-        started = time.perf_counter()
-        result = self._generate()
-        for rating_map in result.selected:
-            self._seen.add(rating_map)
-        generate_elapsed = time.perf_counter() - started
+            started = time.perf_counter()
+            result = self._generate()
+            for rating_map in result.selected:
+                self._seen.add(rating_map)
+            generate_elapsed = time.perf_counter() - started
 
-        recommendations: tuple[ScoredOperation, ...] = ()
-        recommend_elapsed = 0.0
-        if with_recommendations:
-            reco_started = time.perf_counter()
-            visited = {s.criteria for s in self._state.steps}
-            visited.add(self._state.criteria)
-            recommendations = tuple(
-                self._recommender.recommend(
-                    self._state.criteria,
-                    self._seen,
-                    exclude_targets=visited,
-                    current_group=self._state.group,
+            recommendations: tuple[ScoredOperation, ...] = ()
+            recommend_elapsed = 0.0
+            if with_recommendations:
+                reco_started = time.perf_counter()
+                visited = {s.criteria for s in self._state.steps}
+                visited.add(self._state.criteria)
+                recommendations = tuple(
+                    self._recommender.recommend(
+                        self._state.criteria,
+                        self._seen,
+                        exclude_targets=visited,
+                        current_group=self._state.group,
+                    )
                 )
+                recommend_elapsed = time.perf_counter() - reco_started
+            sp.set(
+                group_size=len(self._state.group),
+                maps=len(result.selected),
+                recommendations=len(recommendations),
             )
-            recommend_elapsed = time.perf_counter() - reco_started
 
         record = StepRecord(
             index=len(self._state.steps) + 1,

@@ -27,6 +27,7 @@ import numpy as np
 from ..concurrency import KeyedSingleFlight
 from ..core.rating_maps import RatingMapSpec, enumerate_map_specs
 from ..model.database import Side, SubjectiveDatabase
+from ..obs import span as obs_span
 from ..model.groups import RatingGroup, SelectionCriteria
 from ..model.operations import Operation
 from .cubes import CandidateCube, FilterAxis, StepSlices, axis_for, cube_cells
@@ -195,12 +196,15 @@ class NeighborhoodContext:
             axis = self._index.axis(side, attribute)
             if axis is not None:
                 specs = self._child_specs(side, attribute)
-                if (
-                    specs
-                    and cube_cells(self._db, axis, specs)
-                    <= self._index.max_cube_cells
-                ):
-                    cube = CandidateCube(self._slices, axis, specs)
+                cells = cube_cells(self._db, axis, specs) if specs else 0
+                if specs and cells <= self._index.max_cube_cells:
+                    with obs_span(
+                        "index.cube.build",
+                        side=side.value,
+                        attribute=attribute,
+                        cells=cells,
+                    ):
+                        cube = CandidateCube(self._slices, axis, specs)
                     self._index._bump("cube_builds")
             with self._lock:
                 self._cubes[key] = cube

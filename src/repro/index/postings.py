@@ -27,6 +27,7 @@ import numpy as np
 from ..concurrency import KeyedSingleFlight
 from ..model.database import Side, SubjectiveDatabase
 from ..model.groups import AVPair, SelectionCriteria
+from ..obs import span as obs_span
 
 __all__ = ["PostingList", "PostingListStore"]
 
@@ -130,7 +131,13 @@ class PostingListStore:
                 if cached is not None:
                     self._store.move_to_end(pair)
                     return cached
-            posting = self._build(pair)
+            with obs_span(
+                "index.postings.build",
+                side=pair.side.value,
+                attribute=pair.attribute,
+                value=str(pair.value),
+            ):
+                posting = self._build(pair)
             with self._lock:
                 self.builds += 1
                 self._store[pair] = posting

@@ -1,0 +1,69 @@
+"""``repro.obs`` — observability: tracing, metrics registry, log plumbing.
+
+The three performance-critical layers stacked on the recommendation hot
+path (phased execution → index → caching engine → server) report into
+this subsystem:
+
+* :mod:`repro.obs.tracing` — contextvar-propagated trace/span IDs with
+  ``with span("phase.scan", rows=n):`` instrumentation, near-zero-cost
+  when disabled;
+* :mod:`repro.obs.metrics` — a generic registry of labelled counters,
+  gauges and bounded histograms, rendered as JSON or Prometheus text;
+* :mod:`repro.obs.sinks` — trace destinations: in-memory ring buffer
+  (``GET /debug/traces``), JSONL file, slow-request WARNING log;
+* :mod:`repro.obs.logs` — stdlib ``logging`` formatters (text/JSON) that
+  stamp the active trace id on every line.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric reference.
+"""
+
+from .logs import JsonLogFormatter, TextLogFormatter, setup_logging
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .sinks import JsonlTraceSink, SlowTraceLog, TraceRingBuffer, render_tree
+from .tracing import (
+    Span,
+    Trace,
+    Tracer,
+    activate,
+    configure,
+    current_context,
+    current_trace_id,
+    current_trace_partial,
+    get_tracer,
+    span,
+    span_tree,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonLogFormatter",
+    "JsonlTraceSink",
+    "MetricFamily",
+    "MetricsRegistry",
+    "SlowTraceLog",
+    "Span",
+    "TextLogFormatter",
+    "Trace",
+    "TraceRingBuffer",
+    "Tracer",
+    "activate",
+    "configure",
+    "current_context",
+    "current_trace_id",
+    "current_trace_partial",
+    "get_tracer",
+    "render_tree",
+    "setup_logging",
+    "span",
+    "span_tree",
+]

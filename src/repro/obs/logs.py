@@ -1,0 +1,119 @@
+"""Logging setup: text/JSON formatters that carry the active trace id.
+
+The repo previously had not a single ``logging`` call; the serving and
+resilience layers now log through module-level loggers under the
+``"repro"`` namespace.  :func:`setup_logging` is the CLI entry point
+(``python -m repro serve --log-level debug --log-format json``): it
+configures the ``repro`` logger only — library users who never call it
+keep logging silent (a :class:`logging.NullHandler` guards against
+"no handler" warnings), and embedding applications keep control of their
+own root logger.
+
+Both formatters ask :func:`repro.obs.tracing.current_trace_id` for the
+ambient trace, so a log line emitted anywhere under a request span is
+correlatable with the trace that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, TextIO
+
+from .tracing import current_trace_id
+
+__all__ = ["JsonLogFormatter", "TextLogFormatter", "setup_logging"]
+
+_LEVELS = {"debug", "info", "warning", "error", "critical"}
+
+
+class TextLogFormatter(logging.Formatter):
+    """``HH:MM:SS LEVEL logger: message [trace=...]``."""
+
+    default_time_format = "%H:%M:%S"
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)s %(name)s: %(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        text = super().format(record)
+        trace_id = getattr(record, "trace_id", None) or current_trace_id()
+        if trace_id:
+            text += f" trace={trace_id}"
+        return text
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, message, trace_id.
+
+    Extra attributes passed via ``logger.info(..., extra={...})`` are
+    included verbatim when JSON-serialisable.
+    """
+
+    _RESERVED = frozenset(
+        logging.LogRecord(
+            "", 0, "", 0, "", (), None
+        ).__dict__
+    ) | {"message", "asctime", "taskName"}
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.localtime(record.created)
+            ),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = getattr(record, "trace_id", None) or current_trace_id()
+        if trace_id:
+            payload["trace_id"] = trace_id
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        for key, value in record.__dict__.items():
+            if key in self._RESERVED or key == "trace_id":
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        return json.dumps(payload, default=str)
+
+
+def setup_logging(
+    level: str = "info",
+    fmt: str = "text",
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the top logger.
+
+    Idempotent: a second call replaces the previously installed handler
+    instead of stacking duplicates.
+    """
+    level = level.lower()
+    if level not in _LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r} (choose from {sorted(_LEVELS)})"
+        )
+    if fmt not in ("text", "json"):
+        raise ValueError(f"unknown log format {fmt!r} (choose text or json)")
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level.upper()))
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        JsonLogFormatter() if fmt == "json" else TextLogFormatter()
+    )
+    for existing in list(logger.handlers):
+        logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+# library default: silent unless the embedding application configures
+# logging (or the CLI calls setup_logging)
+logging.getLogger("repro").addHandler(logging.NullHandler())

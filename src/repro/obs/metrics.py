@@ -1,0 +1,367 @@
+"""A generic metrics registry: labelled counters, gauges, bounded histograms.
+
+Instruments are created once (``registry.counter("subdex_events_total",
+"...", labelnames=("event",))``) and mutated from any thread; each
+instrument guards its samples with one lock, and mutation is a dict lookup
+plus an integer add — far cheaper than anything it measures.
+
+Besides direct instruments the registry accepts **collectors** — callables
+producing :class:`MetricFamily` values at scrape time.  Layers that
+already keep their own counters (cache stats, posting-store stats, the
+admission gate, circuit breakers) register a collector instead of double
+accounting on their hot paths.
+
+Two renderings:
+
+* :meth:`MetricsRegistry.to_dict` — JSON, merged into the ``/metrics``
+  payload;
+* :meth:`MetricsRegistry.render_prometheus` — the Prometheus text
+  exposition format (``# HELP`` / ``# TYPE`` lines, escaped labels,
+  cumulative histogram buckets), served at ``/metrics?format=prometheus``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Sample",
+    "escape_label_value",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Exponential-ish latency buckets in seconds, 1 ms – 30 s.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{escape_label_value(str(value))}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition line: ``name+suffix{labels} value``."""
+
+    suffix: str
+    labels: Mapping[str, str]
+    value: float
+
+
+@dataclass
+class MetricFamily:
+    """A named group of samples sharing a type and help string."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    help: str = ""
+    samples: list[Sample] = field(default_factory=list)
+
+    def add(self, value: float, suffix: str = "", **labels: Any) -> None:
+        self.samples.append(
+            Sample(suffix, {k: str(v) for k, v in labels.items()}, float(value))
+        )
+
+    def render(self) -> str:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for sample in self.samples:
+            lines.append(
+                f"{self.name}{sample.suffix}"
+                f"{_render_labels(sample.labels)} {_format_value(sample.value)}"
+            )
+        return "\n".join(lines)
+
+
+class _Instrument:
+    """Shared labelled-sample machinery of the three instrument types."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._samples: dict[tuple[str, ...], Any] = {}
+
+    def _key(self, labels: Mapping[str, Any]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {tuple(labels)}"
+            )
+        return tuple(str(labels[n]) for n in self.labelnames)
+
+    def _label_dict(self, key: tuple[str, ...]) -> dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+
+class Counter(_Instrument):
+    """A monotonically increasing labelled counter."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return float(self._samples.get(self._key(labels), 0.0))
+
+    def collect(self) -> MetricFamily:
+        family = MetricFamily(self.name, self.kind, self.help)
+        with self._lock:
+            for key, value in sorted(self._samples.items()):
+                family.samples.append(Sample("", self._label_dict(key), value))
+        return family
+
+
+class Gauge(_Instrument):
+    """A labelled value that can go up and down (or be read via callback)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._samples[key] = self._samples.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return float(self._samples.get(self._key(labels), 0.0))
+
+    def collect(self) -> MetricFamily:
+        family = MetricFamily(self.name, self.kind, self.help)
+        with self._lock:
+            for key, value in sorted(self._samples.items()):
+                family.samples.append(Sample("", self._label_dict(key), value))
+        return family
+
+
+class Histogram(_Instrument):
+    """A bounded-bucket histogram (cumulative buckets at render time).
+
+    ``buckets`` are finite upper bounds, strictly increasing; the implicit
+    ``+Inf`` bucket is always present.  Memory per label set is
+    ``len(buckets) + 2`` floats, independent of observation count.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ) or any(math.isinf(b) or math.isnan(b) for b in bounds):
+            raise ValueError(
+                f"buckets must be finite and strictly increasing, got {buckets}"
+            )
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            state = self._samples.get(key)
+            if state is None:
+                # per-bucket counts (+Inf last), then sum, then count
+                state = self._samples[key] = [0] * (len(self.buckets) + 1) + [
+                    0.0,
+                    0,
+                ]
+            state[index] += 1
+            state[-2] += value
+            state[-1] += 1
+
+    def bucket_counts(self, **labels: Any) -> dict[str, int]:
+        """Cumulative counts keyed by upper bound (``"+Inf"`` last)."""
+        with self._lock:
+            state = self._samples.get(self._key(labels))
+            raw = list(state[: len(self.buckets) + 1]) if state else [0] * (
+                len(self.buckets) + 1
+            )
+        cumulative: dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.buckets, raw):
+            running += count
+            cumulative[_format_value(bound)] = running
+        cumulative["+Inf"] = running + raw[-1]
+        return cumulative
+
+    def collect(self) -> MetricFamily:
+        family = MetricFamily(self.name, self.kind, self.help)
+        with self._lock:
+            items = sorted(
+                (key, list(state)) for key, state in self._samples.items()
+            )
+        for key, state in items:
+            labels = self._label_dict(key)
+            running = 0
+            for bound, count in zip(self.buckets, state):
+                running += count
+                family.samples.append(
+                    Sample(
+                        "_bucket",
+                        {**labels, "le": _format_value(bound)},
+                        running,
+                    )
+                )
+            family.samples.append(
+                Sample("_bucket", {**labels, "le": "+Inf"}, running + state[-3])
+            )
+            family.samples.append(Sample("_sum", labels, state[-2]))
+            family.samples.append(Sample("_count", labels, state[-1]))
+        return family
+
+
+class MetricsRegistry:
+    """Instruments + collectors behind one scrape surface."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+        self._collectors: list[Callable[[], Iterable[MetricFamily]]] = []
+
+    def _get_or_create(
+        self, cls: type, name: str, help: str, labelnames: Sequence[str], **kw: Any
+    ) -> Any:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labelnames != tuple(
+                    labelnames
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}{existing.labelnames}"
+                    )
+                return existing
+            instrument = cls(name, help, labelnames, **kw)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def register_collector(
+        self, collector: Callable[[], Iterable[MetricFamily]]
+    ) -> None:
+        """Register a scrape-time producer of :class:`MetricFamily` values."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    def collect(self) -> list[MetricFamily]:
+        with self._lock:
+            instruments = list(self._instruments.values())
+            collectors = list(self._collectors)
+        families = [instrument.collect() for instrument in instruments]
+        for collector in collectors:
+            try:
+                families.extend(collector())
+            except Exception:  # noqa: BLE001 - a broken collector must not
+                continue  # take the scrape endpoint down
+        return sorted(families, key=lambda f: f.name)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON rendering: ``{name: {"{label=value,...}": value}}``."""
+        payload: dict[str, Any] = {}
+        for family in self.collect():
+            series: dict[str, float] = {}
+            for sample in family.samples:
+                key = f"{family.name}{sample.suffix}" + (
+                    _render_labels(sample.labels) if sample.labels else ""
+                )
+                series[key] = sample.value
+            payload[family.name] = {"type": family.kind, "samples": series}
+        return payload
+
+    def render_prometheus(self) -> str:
+        return "\n".join(family.render() for family in self.collect()) + "\n"

@@ -1,0 +1,138 @@
+"""Trace sinks: where finished traces go.
+
+* :class:`TraceRingBuffer` — the last N traces in memory, filterable by
+  duration; backs ``GET /debug/traces``;
+* :class:`JsonlTraceSink` — one JSON line per trace appended to a file
+  (``--trace-file``), for offline analysis;
+* :class:`SlowTraceLog` — root spans over a threshold are logged at
+  WARNING with their rendered span tree, so slow requests self-report
+  without anyone polling the debug endpoint.
+
+Sinks are plain callables ``sink(trace)``; the tracer swallows sink
+exceptions (observability must not take requests down), so each sink is
+also individually defensive about I/O.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from collections import deque
+from typing import Any
+
+from .tracing import Trace
+
+__all__ = ["JsonlTraceSink", "SlowTraceLog", "TraceRingBuffer", "render_tree"]
+
+
+class TraceRingBuffer:
+    """A bounded in-memory buffer of the most recent finished traces."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: deque[Trace] = deque(maxlen=capacity)
+        self.total_recorded = 0
+
+    def __call__(self, trace: Trace) -> None:
+        with self._lock:
+            self._traces.append(trace)
+            self.total_recorded += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def snapshot(
+        self, min_ms: float = 0.0, limit: int | None = None
+    ) -> list[dict[str, Any]]:
+        """Most-recent-first trace dicts, at least ``min_ms`` long."""
+        with self._lock:
+            traces = list(self._traces)
+        selected = [t for t in reversed(traces) if t.duration_ms >= min_ms]
+        if limit is not None:
+            selected = selected[: max(0, limit)]
+        return [t.to_dict() for t in selected]
+
+
+class JsonlTraceSink:
+    """Append one JSON line per finished trace to ``path``.
+
+    The file handle is opened lazily and kept open; writes are serialised
+    behind a lock and flushed per trace so a crash loses at most the
+    in-flight line.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle = None
+        self.traces_written = 0
+
+    def __call__(self, trace: Trace) -> None:
+        line = json.dumps(trace.to_dict(), default=str)
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.traces_written += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+def render_tree(node: dict[str, Any], indent: int = 0) -> str:
+    """A human-readable one-line-per-span rendering of a span tree."""
+    pad = "  " * indent
+    attrs = node.get("attributes") or {}
+    attr_text = (
+        " " + " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        if attrs
+        else ""
+    )
+    status = "" if node.get("status", "ok") == "ok" else f" [{node['status']}]"
+    lines = [
+        f"{pad}{node['name']} {node['duration_ms']:.1f}ms{status}{attr_text}"
+    ]
+    for child in node.get("children", ()):
+        lines.append(render_tree(child, indent + 1))
+    return "\n".join(lines)
+
+
+class SlowTraceLog:
+    """Log traces slower than ``threshold_ms`` at WARNING with their tree."""
+
+    def __init__(
+        self,
+        threshold_ms: float,
+        logger: logging.Logger | None = None,
+    ) -> None:
+        if threshold_ms < 0:
+            raise ValueError(f"threshold_ms must be >= 0, got {threshold_ms}")
+        self.threshold_ms = float(threshold_ms)
+        self._logger = logger or logging.getLogger("repro.obs.slow")
+        self.slow_traces = 0
+
+    def __call__(self, trace: Trace) -> None:
+        if trace.duration_ms < self.threshold_ms:
+            return
+        self.slow_traces += 1
+        self._logger.warning(
+            "slow request %s: %s took %.1fms (threshold %.0fms)\n%s",
+            trace.trace_id,
+            trace.root.name,
+            trace.duration_ms,
+            self.threshold_ms,
+            render_tree(trace.tree()),
+        )

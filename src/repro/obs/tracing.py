@@ -1,0 +1,448 @@
+"""Tracing: ``contextvars``-propagated spans over the exploration hot path.
+
+One *trace* covers one logical request (an HTTP request, a CLI exploration
+step) and is a tree of *spans* — named, timed regions with attributes
+(``with span("phase.scan", phase=3): ...``).  The design goals, in order:
+
+1. **near-zero cost when disabled** — every instrumented call site goes
+   through :func:`span`, which, with no active trace and the default
+   tracer disabled, returns a shared no-op context manager: one contextvar
+   read and one attribute check, no allocation;
+2. **thread-correct propagation** — the active span lives in a
+   :class:`~contextvars.ContextVar`, so concurrent requests on different
+   server threads never see each other's spans.  Worker pools do *not*
+   inherit contextvars; callers that fan work out (the Recommendation
+   Builder) capture :func:`current_context` once and re-install it with
+   :func:`activate` inside each pooled task, so worker spans join the
+   request's trace instead of starting orphan traces;
+3. **no plumbing** — engine layers call the module-level :func:`span`
+   and attach to whatever trace is ambient.  The serving layer owns a
+   private :class:`Tracer` (isolated from other servers in the same
+   process); library/CLI users enable the module default via
+   :func:`configure`.
+
+A span that raises records ``status="error"`` with the exception type.
+Finished traces are delivered to the tracer's sinks (see
+:mod:`repro.obs.sinks`); a sink failure is swallowed — observability must
+never take the serving path down with it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Iterator, Mapping
+
+__all__ = [
+    "Span",
+    "Trace",
+    "Tracer",
+    "activate",
+    "configure",
+    "current_context",
+    "current_trace_id",
+    "current_trace_partial",
+    "get_tracer",
+    "span",
+    "span_tree",
+]
+
+
+def _new_trace_id() -> str:
+    return uuid.uuid4().hex
+
+
+def _new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One named, timed region of a trace.
+
+    ``start``/``end`` are ``perf_counter`` readings (durations only);
+    ``started_at`` is wall-clock for log correlation.  Attributes must be
+    JSON-serialisable scalars (the sinks dump them verbatim).
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "started_at",
+        "start",
+        "end",
+        "attributes",
+        "status",
+        "thread_name",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+        attributes: dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.started_at = time.time()
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self.attributes = attributes
+        self.status = "ok"
+        self.thread_name = threading.current_thread().name
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes mid-span (``sp.set(rows_seen=n)``)."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def duration_seconds(self) -> float:
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_seconds * 1000.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_at": self.started_at,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+            "thread": self.thread_name,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out when tracing is off."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class Trace:
+    """A finished trace: the root span plus every descendant, start-ordered."""
+
+    __slots__ = ("trace_id", "spans")
+
+    def __init__(self, trace_id: str, spans: tuple[Span, ...]) -> None:
+        self.trace_id = trace_id
+        self.spans = spans
+
+    @property
+    def root(self) -> Span:
+        return self.spans[0]
+
+    @property
+    def duration_ms(self) -> float:
+        return self.root.duration_ms
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.root.name,
+            "started_at": self.root.started_at,
+            "duration_ms": self.duration_ms,
+            "status": self.root.status,
+            "n_spans": len(self.spans),
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+    def tree(self) -> dict[str, Any]:
+        return span_tree(self.spans)
+
+
+def span_tree(spans: Mapping | tuple[Span, ...] | list[Span]) -> dict[str, Any]:
+    """Nest flat spans into the root's ``{name, duration_ms, children}`` tree.
+
+    Spans whose parent is missing (e.g. a partial snapshot taken while
+    ancestors are still open) are attached to the root so no timing is
+    silently dropped.
+    """
+    ordered = sorted(spans, key=lambda s: s.start)
+    if not ordered:
+        return {}
+    nodes: dict[str, dict[str, Any]] = {}
+    for s in ordered:
+        nodes[s.span_id] = {
+            "name": s.name,
+            "duration_ms": s.duration_ms,
+            "status": s.status,
+            "attributes": dict(s.attributes),
+            "children": [],
+        }
+    root = ordered[0]
+    for s in ordered[1:]:
+        parent = nodes.get(s.parent_id or "")
+        if parent is None:
+            parent = nodes[root.span_id]
+        parent["children"].append(nodes[s.span_id])
+    return nodes[root.span_id]
+
+
+class _TraceBuffer:
+    """Mutable collection point for one in-flight trace (thread-safe)."""
+
+    __slots__ = ("trace_id", "root_span_id", "finished", "lock")
+
+    def __init__(self, trace_id: str, root_span_id: str) -> None:
+        self.trace_id = trace_id
+        self.root_span_id = root_span_id
+        self.finished: list[Span] = []
+        self.lock = threading.Lock()
+
+    def add(self, span_: Span) -> None:
+        with self.lock:
+            self.finished.append(span_)
+
+    def snapshot(self) -> list[Span]:
+        with self.lock:
+            return list(self.finished)
+
+
+class _Context:
+    """What the contextvar holds: which tracer, which trace, which span.
+
+    ``parent`` links to the enclosing context so a partial snapshot can
+    walk the chain of still-open ancestor spans (contextvar tokens alone
+    cannot be traversed).
+    """
+
+    __slots__ = ("tracer", "buffer", "span", "parent")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        buffer: _TraceBuffer,
+        span_: Span,
+        parent: "_Context | None" = None,
+    ) -> None:
+        self.tracer = tracer
+        self.buffer = buffer
+        self.span = span_
+        self.parent = parent
+
+
+_CURRENT: ContextVar[_Context | None] = ContextVar("subdex_trace", default=None)
+
+
+class _ActiveSpan:
+    """Context manager for one live span (root or child)."""
+
+    __slots__ = ("_tracer", "_buffer", "_span", "_token", "_is_root")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        buffer: _TraceBuffer | None,
+        name: str,
+        attributes: dict[str, Any],
+        trace_id: str | None = None,
+    ) -> None:
+        self._tracer = tracer
+        if buffer is None:
+            tid = trace_id or _new_trace_id()
+            sid = _new_span_id()
+            self._span = Span(name, tid, sid, None, attributes)
+            self._buffer = _TraceBuffer(tid, sid)
+            self._is_root = True
+        else:
+            parent = _CURRENT.get()
+            parent_id = parent.span.span_id if parent is not None else buffer.root_span_id
+            self._span = Span(
+                name, buffer.trace_id, _new_span_id(), parent_id, attributes
+            )
+            self._buffer = buffer
+            self._is_root = False
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = _CURRENT.set(
+            _Context(self._tracer, self._buffer, self._span, _CURRENT.get())
+        )
+        # start is stamped in Span.__init__; restamp on enter so time spent
+        # between construction and entry (none, in practice) is excluded
+        self._span.start = time.perf_counter()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._span.end = time.perf_counter()
+        if exc_type is not None:
+            self._span.status = "error"
+            self._span.attributes.setdefault("error", exc_type.__name__)
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+        if self._is_root:
+            spans = self._buffer.snapshot()
+            spans.append(self._span)
+            spans.sort(key=lambda s: s.start)
+            self._tracer._deliver(Trace(self._buffer.trace_id, tuple(spans)))
+        else:
+            self._buffer.add(self._span)
+
+
+class Tracer:
+    """Owns the enabled flag and the sinks; hands out spans.
+
+    One module-level default tracer exists for library/CLI use
+    (:func:`configure`, :func:`get_tracer`); the server builds a private
+    instance so concurrent servers in one process don't share sinks.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self._enabled = bool(enabled)
+        self._sinks: list[Callable[[Trace], None]] = []
+        self._sinks_lock = threading.Lock()
+        self.traces_recorded = 0
+        self.sink_errors = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def configure(self, enabled: bool) -> None:
+        self._enabled = bool(enabled)
+
+    def add_sink(self, sink: Callable[[Trace], None]) -> None:
+        """Register a callable receiving every finished trace."""
+        with self._sinks_lock:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[Trace], None]) -> None:
+        with self._sinks_lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    def clear_sinks(self) -> None:
+        with self._sinks_lock:
+            self._sinks.clear()
+
+    def span(
+        self, name: str, trace_id: str | None = None, **attributes: Any
+    ) -> "_ActiveSpan | _NoopSpan":
+        """A span under the ambient trace, or a new root span.
+
+        ``trace_id`` seeds a *root* span's trace id (e.g. from an incoming
+        ``X-Trace-Id`` header); it is ignored for child spans.
+        """
+        if not self._enabled:
+            return _NOOP
+        ctx = _CURRENT.get()
+        buffer = ctx.buffer if ctx is not None else None
+        return _ActiveSpan(self, buffer, name, dict(attributes), trace_id)
+
+    def _deliver(self, trace: Trace) -> None:
+        self.traces_recorded += 1
+        with self._sinks_lock:
+            sinks = list(self._sinks)
+        for sink in sinks:
+            try:
+                sink(trace)
+            except Exception:  # noqa: BLE001 - sinks must not break serving
+                self.sink_errors += 1
+
+
+_default_tracer = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The module-level default tracer (disabled until :func:`configure`)."""
+    return _default_tracer
+
+
+def configure(enabled: bool) -> Tracer:
+    """Enable/disable the default tracer; returns it for sink attachment."""
+    _default_tracer.configure(enabled)
+    return _default_tracer
+
+
+def span(name: str, **attributes: Any) -> "_ActiveSpan | _NoopSpan":
+    """The instrumentation entry point used by the engine layers.
+
+    Attaches to the ambient trace whichever tracer started it; with no
+    ambient trace, starts a new root trace on the default tracer (or
+    no-ops when it is disabled).
+    """
+    ctx = _CURRENT.get()
+    if ctx is not None:
+        if not ctx.tracer._enabled:
+            return _NOOP
+        return _ActiveSpan(ctx.tracer, ctx.buffer, name, dict(attributes))
+    if not _default_tracer._enabled:
+        return _NOOP
+    return _ActiveSpan(_default_tracer, None, name, dict(attributes))
+
+
+def current_context() -> _Context | None:
+    """The ambient trace context — capture before fanning out to a pool."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def activate(ctx: _Context | None) -> Iterator[None]:
+    """Re-install a captured context in a worker thread.
+
+    ``activate(None)`` is a no-op, so call sites need no conditional.
+    """
+    if ctx is None:
+        yield
+        return
+    token = _CURRENT.set(ctx)
+    try:
+        yield
+    finally:
+        _CURRENT.reset(token)
+
+
+def current_trace_id() -> str | None:
+    """The ambient trace id, if a trace is active (for log correlation)."""
+    ctx = _CURRENT.get()
+    return ctx.buffer.trace_id if ctx is not None else None
+
+
+def current_trace_partial() -> dict[str, Any] | None:
+    """A span-tree snapshot of the in-flight trace (for ``?debug=1``).
+
+    Finished spans are exact; still-open ancestors (the request root span,
+    typically) report their elapsed-so-far duration.
+    """
+    ctx = _CURRENT.get()
+    if ctx is None:
+        return None
+    spans = ctx.buffer.snapshot()
+    seen_ids = {s.span_id for s in spans}
+    node: _Context | None = ctx
+    while node is not None:  # still-open ancestors, innermost first
+        if node.span.span_id not in seen_ids:
+            spans.append(node.span)
+            seen_ids.add(node.span.span_id)
+        node = node.parent
+    return {
+        "trace_id": ctx.buffer.trace_id,
+        "spans": span_tree(spans),
+    }

@@ -20,6 +20,7 @@ The clock is injectable so state transitions are deterministic in tests.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from typing import Callable
@@ -27,6 +28,8 @@ from typing import Callable
 from ..exceptions import ReproError
 
 __all__ = ["BreakerOpenError", "CircuitBreaker"]
+
+_log = logging.getLogger("repro.resilience.breaker")
 
 
 class BreakerOpenError(ReproError):
@@ -108,19 +111,35 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         with self._lock:
+            was_open = self._opened_at is not None
             self._failures = 0
             self._opened_at = None
             self._probing = False
+        if was_open:
+            _log.info("%s: circuit closed (probe succeeded)", self.name)
 
     def record_failure(self, error: BaseException | str) -> None:
         with self._lock:
+            was_open = self._opened_at is not None
             self._failures += 1
             self._last_error = (
                 str(error) if isinstance(error, str) else f"{type(error).__name__}: {error}"
             )
             if self._probing or self._failures >= self._threshold:
                 self._opened_at = self._clock()
+            opened = self._opened_at is not None and not was_open
+            failures = self._failures
+            last_error = self._last_error
             self._probing = False
+        if opened:
+            _log.warning(
+                "%s: circuit opened after %d consecutive failure(s); "
+                "cooling down %.1fs (last error: %s)",
+                self.name,
+                failures,
+                self._reset_seconds,
+                last_error,
+            )
 
     def snapshot(self) -> dict[str, object]:
         with self._lock:

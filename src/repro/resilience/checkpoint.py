@@ -27,6 +27,7 @@ on mutation and :meth:`~SessionCheckpointer.flush` on graceful shutdown.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
 from dataclasses import dataclass
@@ -53,6 +54,8 @@ __all__ = [
 ]
 
 CHECKPOINT_SCHEMA_VERSION = 1
+
+_log = logging.getLogger("repro.resilience.checkpoint")
 
 
 class CheckpointError(ReproError):
@@ -394,6 +397,11 @@ class SessionCheckpointer:
         except ReproError:
             with self._lock:
                 self.failures += 1
+            _log.warning(
+                "checkpoint save failed for session %s",
+                checkpoint.session_id,
+                exc_info=True,
+            )
             return False
         with self._lock:
             self.saves += 1
@@ -405,6 +413,11 @@ class SessionCheckpointer:
         except ReproError:
             with self._lock:
                 self.failures += 1
+            _log.warning(
+                "checkpoint delete failed for session %s",
+                session_id,
+                exc_info=True,
+            )
 
     def flush(self) -> int:
         """Checkpoint every session the source yields; returns saves."""

@@ -38,6 +38,7 @@ Endpoints (all JSON; see ``docs/API.md`` for the full reference)::
 from __future__ import annotations
 
 import json
+import logging
 import re
 import signal
 import threading
@@ -52,6 +53,9 @@ from ..core.engine import SubDEx
 from ..core.history import ExplorationLog
 from ..core.modes import ExplorationMode, ExplorationPath
 from ..exceptions import EmptyGroupError, OperationError, ReproError
+from ..obs.metrics import MetricFamily
+from ..obs.sinks import JsonlTraceSink, SlowTraceLog, TraceRingBuffer
+from ..obs.tracing import Tracer, current_trace_partial
 from ..resilience.breaker import BreakerOpenError, CircuitBreaker
 from ..resilience.checkpoint import (
     CheckpointStore,
@@ -90,6 +94,12 @@ __all__ = [
     "serve",
 ]
 
+_log = logging.getLogger("repro.server")
+_http_log = logging.getLogger("repro.server.http")
+
+#: Accepted shape of a client-supplied ``X-Trace-Id`` (hex/dash, bounded).
+_TRACE_ID_RE = re.compile(r"^[0-9a-fA-F-]{8,64}$")
+
 
 @dataclass(frozen=True)
 class ServerConfig:
@@ -118,6 +128,16 @@ class ServerConfig:
     checkpoint_interval_seconds: float = 30.0
     #: Graceful shutdown: how long to wait for in-flight requests.
     drain_seconds: float = 10.0
+    #: Tracing: one root span per request, ``X-Trace-Id`` response header,
+    #: engine-layer child spans, ``?debug=1`` span-tree breakdowns.
+    tracing_enabled: bool = True
+    #: Recent finished traces kept in memory for ``GET /debug/traces``.
+    trace_buffer_size: int = 128
+    #: Optional JSONL file receiving every finished trace.
+    trace_file: str | None = None
+    #: Requests slower than this are logged at WARNING with their span
+    #: tree; ``None`` disables the slow-request log.
+    slow_request_ms: float | None = 1000.0
 
 
 class DatasetLoadError(ReproError):
@@ -243,6 +263,7 @@ class EnginePool:
                 "group": engine.group_stats.snapshot(),
                 "result": engine.result_stats.snapshot(),
                 "stale_hits": engine.stale_hits,
+                "flight_waits": engine.flight_waits,
             }
             index = engine.engine.index
             if index is not None:
@@ -263,6 +284,8 @@ _ROUTES: list[tuple[str, re.Pattern, str, str, Priority]] = [
      Priority.CRITICAL),
     ("GET", re.compile(r"^/metrics$"), "handle_metrics", "GET /metrics",
      Priority.CRITICAL),
+    ("GET", re.compile(r"^/debug/traces$"), "handle_debug_traces",
+     "GET /debug/traces", Priority.CRITICAL),
     ("POST", re.compile(r"^/sessions$"), "handle_create", "POST /sessions",
      Priority.HEAVY),
     ("GET", re.compile(r"^/sessions$"), "handle_list", "GET /sessions",
@@ -324,7 +347,9 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
 
     # -- plumbing -----------------------------------------------------------
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        pass  # request logging is the metrics endpoint's job
+        # per-request accounting lives in /metrics; the raw HTTP line is
+        # still available at DEBUG for wire-level troubleshooting
+        _http_log.debug("%s - %s", self.address_string(), format % args)
 
     def do_GET(self) -> None:
         self._dispatch("GET")
@@ -369,13 +394,39 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
                     "not_found", f"no such endpoint: {method} {path}"
                 )
         else:
-            status, payload, headers = self._run_admitted(
-                handler_name, priority, params
-            )
+            with self.server.tracer.span(
+                "request",
+                trace_id=self._incoming_trace_id(),
+                method=method,
+                route=label or path,
+            ) as root:
+                status, payload, headers = self._run_admitted(
+                    handler_name, priority, params
+                )
+                trace_id = getattr(root, "trace_id", None)
+                if trace_id is not None:
+                    root.set(status=status)
+                    headers = {**headers, "X-Trace-Id": trace_id}
+                    if self._debug_requested() and isinstance(payload, dict):
+                        # taken while the root span is still open: its
+                        # duration reports elapsed-so-far, the handler's
+                        # child spans are final
+                        payload["debug"] = current_trace_partial()
         self._send(status, payload, headers)
         self.server.metrics.observe(
             label or "<unmatched>", status, time.perf_counter() - started
         )
+
+    def _incoming_trace_id(self) -> str | None:
+        """A client-supplied ``X-Trace-Id``, if well-formed (else ignored)."""
+        raw = self.headers.get("X-Trace-Id")
+        if raw is not None and _TRACE_ID_RE.match(raw):
+            return raw
+        return None
+
+    def _debug_requested(self) -> bool:
+        values = self._query().get("debug")
+        return bool(values) and values[-1].lower() in ("1", "true", "yes")
 
     def _drop_unread_body(self) -> None:
         """Close the connection if the handler never consumed the body.
@@ -454,7 +505,7 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
         try:
             result = getattr(self, handler_name)(**params)
             status, payload = result
-            if payload.get("degraded"):
+            if isinstance(payload, dict) and payload.get("degraded"):
                 self.server.metrics.record_event("degraded_responses")
             return status, payload, {}
         except _PayloadTooLarge as error:
@@ -515,12 +566,17 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
     def _send(
         self,
         status: int,
-        payload: dict[str, Any],
+        payload: dict[str, Any] | str,
         headers: Mapping[str, str] | None = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):  # Prometheus text exposition
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -568,12 +624,56 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
             "inflight": self.server.gate.inflight,
         }
 
-    def handle_metrics(self) -> tuple[int, dict[str, Any]]:
+    def handle_metrics(self) -> tuple[int, dict[str, Any] | str]:
+        fmt = self._query().get("format", ["json"])[-1]
+        if fmt == "prometheus":
+            return 200, self.server.metrics.registry.render_prometheus()
+        if fmt != "json":
+            raise ProtocolError(
+                f"unknown metrics format {fmt!r} "
+                "(supported: json, prometheus)",
+                "invalid_request",
+            )
         return 200, self.server.metrics.snapshot(
             sessions=self.server.registry.counters(),
             caches=self.server.pool.cache_snapshots(),
             resilience=self.server.resilience_snapshot(),
         )
+
+    def handle_debug_traces(self) -> tuple[int, dict[str, Any]]:
+        query = self._query()
+        min_ms = 0.0
+        limit: int | None = None
+        if "min_ms" in query:
+            try:
+                min_ms = float(query["min_ms"][-1])
+            except ValueError:
+                raise ProtocolError(
+                    f"query parameter min_ms must be a number, "
+                    f"got {query['min_ms'][-1]!r}",
+                    "invalid_request",
+                ) from None
+        if "limit" in query:
+            try:
+                limit = int(query["limit"][-1])
+            except ValueError:
+                raise ProtocolError(
+                    f"query parameter limit must be an integer, "
+                    f"got {query['limit'][-1]!r}",
+                    "invalid_request",
+                ) from None
+            if limit < 1:
+                raise ProtocolError(
+                    f"query parameter limit must be >= 1, got {limit}",
+                    "invalid_request",
+                )
+        traces = self.server.trace_buffer.snapshot(min_ms=min_ms, limit=limit)
+        return 200, {
+            "tracing_enabled": self.server.tracer.enabled,
+            "total_recorded": self.server.trace_buffer.total_recorded,
+            "returned": len(traces),
+            "traces": traces,
+        }
 
     # -- session lifecycle ---------------------------------------------------
     def handle_create(self) -> tuple[int, dict[str, Any]]:
@@ -751,6 +851,20 @@ class SubDExServer(ThreadingHTTPServer):
         self.metrics = ServerMetrics(
             reservoir_size=self.config.metrics_reservoir_size
         )
+        self.metrics.registry.register_collector(self._collect_engine_metrics)
+        # a private tracer: concurrent servers in one process (tests run
+        # several) must not deliver traces into each other's sinks
+        self.tracer = Tracer(enabled=self.config.tracing_enabled)
+        self.trace_buffer = TraceRingBuffer(self.config.trace_buffer_size)
+        self.tracer.add_sink(self.trace_buffer)
+        self.trace_file_sink: JsonlTraceSink | None = None
+        if self.config.trace_file is not None:
+            self.trace_file_sink = JsonlTraceSink(self.config.trace_file)
+            self.tracer.add_sink(self.trace_file_sink)
+        self.slow_log: SlowTraceLog | None = None
+        if self.config.slow_request_ms is not None:
+            self.slow_log = SlowTraceLog(self.config.slow_request_ms, _log)
+            self.tracer.add_sink(self.slow_log)
         self.gate = AdmissionGate(
             hard_limit=self.config.max_inflight,
             soft_limit=self.config.soft_inflight,
@@ -836,8 +950,15 @@ class SubDExServer(ThreadingHTTPServer):
                 restored += 1
             except Exception:  # noqa: BLE001 - skip the unrestorable
                 self.metrics.record_event("restore_failures")
+                _log.warning(
+                    "failed to restore session %s (dataset %r); skipping it",
+                    checkpoint.session_id,
+                    checkpoint.dataset,
+                    exc_info=True,
+                )
         if restored:
             self.metrics.record_event("sessions_restored", restored)
+            _log.info("restored %d checkpointed session(s)", restored)
         return restored
 
     def start_background(self) -> None:
@@ -856,12 +977,21 @@ class SubDExServer(ThreadingHTTPServer):
         budget = (
             self.config.drain_seconds if drain_seconds is None else drain_seconds
         )
+        _log.info("graceful shutdown: draining for up to %.1fs", budget)
         self.shutdown()  # stop accepting new connections
         drained = self.gate.drain(budget)
+        if not drained:
+            _log.warning(
+                "drain deadline hit after %.1fs; aborting in-flight requests",
+                budget,
+            )
         if self.checkpointer is not None:
             self.checkpointer.stop()
             self.checkpointer.flush()  # one final checkpoint per live session
+        if self.trace_file_sink is not None:
+            self.trace_file_sink.close()
         self.server_close()
+        _log.info("shutdown complete (drained=%s)", drained)
         return drained
 
     def resilience_snapshot(self) -> dict[str, Any]:
@@ -874,6 +1004,109 @@ class SubDExServer(ThreadingHTTPServer):
         if self.fault_plan is not None:
             snapshot["faults"] = self.fault_plan.counters()
         return snapshot
+
+    # -- metrics collection ---------------------------------------------------
+    def _collect_engine_metrics(self) -> list[MetricFamily]:
+        """Scrape-time families for layers that keep their own counters.
+
+        Reading existing counters at scrape time (instead of double
+        accounting on the hot paths) keeps instrumentation out of the
+        engine's inner loops.
+        """
+        families: list[MetricFamily] = []
+
+        sessions = MetricFamily(
+            "subdex_sessions", "gauge", "Session registry state by kind."
+        )
+        for kind, value in self.registry.counters().items():
+            sessions.add(value, kind=kind)
+        families.append(sessions)
+
+        gate = MetricFamily(
+            "subdex_gate", "gauge", "Admission gate state by kind."
+        )
+        for kind, value in self.gate.counters().items():
+            gate.add(value, kind=kind)
+        families.append(gate)
+
+        caches = MetricFamily(
+            "subdex_cache_events_total",
+            "counter",
+            "Engine cache events by dataset, cache and kind.",
+        )
+        index_events = MetricFamily(
+            "subdex_index_events_total",
+            "counter",
+            "Sufficient-statistic index events by dataset and kind.",
+        )
+        for dataset, snapshot in self.pool.cache_snapshots().items():
+            for cache in ("group", "result"):
+                for kind in ("hits", "misses", "evictions"):
+                    caches.add(
+                        snapshot[cache][kind],
+                        dataset=dataset,
+                        cache=cache,
+                        kind=kind,
+                    )
+            caches.add(
+                snapshot["stale_hits"],
+                dataset=dataset, cache="result", kind="stale_hits",
+            )
+            caches.add(
+                snapshot["flight_waits"],
+                dataset=dataset, cache="result", kind="flight_waits",
+            )
+            index = snapshot.get("index")
+            if index is not None:
+                for kind in (
+                    "cube_builds",
+                    "candidates_cube",
+                    "candidates_delta",
+                    "candidates_direct",
+                ):
+                    index_events.add(index[kind], dataset=dataset, kind=kind)
+                postings = index["postings"]
+                for kind in ("hits", "misses", "builds", "evictions"):
+                    index_events.add(
+                        postings[kind], dataset=dataset, kind=f"postings_{kind}"
+                    )
+        families.append(caches)
+        families.append(index_events)
+
+        breaker_state = MetricFamily(
+            "subdex_breaker_open",
+            "gauge",
+            "Circuit breaker state by dataset (0 closed, 0.5 half-open, 1 open).",
+        )
+        state_value = {"closed": 0.0, "half_open": 0.5, "open": 1.0}
+        for dataset, snapshot in self.pool.breaker_snapshots().items():
+            breaker_state.add(
+                state_value.get(str(snapshot["state"]), 1.0), dataset=dataset
+            )
+        families.append(breaker_state)
+
+        if self.checkpointer is not None:
+            checkpoints = MetricFamily(
+                "subdex_checkpoints_total",
+                "counter",
+                "Checkpoint events by kind.",
+            )
+            for kind, value in self.checkpointer.counters().items():
+                checkpoints.add(value, kind=kind)
+            families.append(checkpoints)
+
+        tracing = MetricFamily(
+            "subdex_traces", "gauge", "Tracer and trace sink state by kind."
+        )
+        tracing.add(self.tracer.traces_recorded, kind="recorded")
+        tracing.add(self.tracer.sink_errors, kind="sink_errors")
+        tracing.add(self.trace_buffer.total_recorded, kind="buffered")
+        if self.trace_file_sink is not None:
+            tracing.add(self.trace_file_sink.traces_written, kind="written")
+        if self.slow_log is not None:
+            tracing.add(self.slow_log.slow_traces, kind="slow")
+        families.append(tracing)
+        return families
 
 
 def build_server(
@@ -922,6 +1155,9 @@ def serve(
 
     out = out or sys.stdout
     server = build_server(factories, host, port, config)
+    _log.info(
+        "serving datasets %s on %s", ", ".join(server.pool.names), server.url
+    )
     print(f"SubDEx serving {', '.join(server.pool.names)} on {server.url}", file=out)
     print("endpoints: /health /metrics /sessions (see docs/API.md)", file=out)
 

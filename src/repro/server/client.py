@@ -54,7 +54,12 @@ _RETRYABLE_STATUSES = frozenset({429, 503, 504})
 
 
 class ServerError(ReproError):
-    """A non-2xx response from the service."""
+    """A non-2xx response from the service.
+
+    ``trace_id`` is the server's ``X-Trace-Id`` for the failed request,
+    when one was sent — quote it when reporting a problem, it pins the
+    exact trace in the server's ``/debug/traces`` ring and trace file.
+    """
 
     def __init__(
         self,
@@ -63,14 +68,17 @@ class ServerError(ReproError):
         message: str,
         retryable: bool = False,
         retry_after: float | None = None,
+        trace_id: str | None = None,
     ) -> None:
-        super().__init__(f"[{status} {code}] {message}")
+        suffix = f" [trace {trace_id}]" if trace_id else ""
+        super().__init__(f"[{status} {code}] {message}{suffix}")
         self.status = status
         self.code = code
         self.message = message
         #: The server's own judgement (the ``retryable`` payload field).
         self.retryable = retryable or status in _RETRYABLE_STATUSES
         self.retry_after = retry_after
+        self.trace_id = trace_id
 
 
 class ServerUnavailable(ServerError):
@@ -83,11 +91,15 @@ class ServerUnavailable(ServerError):
     def __init__(self, attempts: int, last_error: BaseException) -> None:
         status = last_error.status if isinstance(last_error, ServerError) else 0
         code = last_error.code if isinstance(last_error, ServerError) else "unreachable"
+        trace_id = (
+            last_error.trace_id if isinstance(last_error, ServerError) else None
+        )
         super().__init__(
             status,
             code,
             f"server unavailable after {attempts} attempts "
             f"(last error: {last_error})",
+            trace_id=trace_id,
         )
         self.attempts = attempts
         self.last_error = last_error
@@ -129,6 +141,7 @@ class SubDExClient:
         base_url: str,
         timeout: float = 60.0,
         retry: RetryPolicy | None = None,
+        trace_id: str | None = None,
     ) -> None:
         parts = urlsplit(base_url)
         if parts.scheme not in ("http", ""):
@@ -139,6 +152,11 @@ class SubDExClient:
         self._timeout = timeout
         self._retry = retry or RetryPolicy()
         self._connection: http.client.HTTPConnection | None = None
+        #: Sent as ``X-Trace-Id`` on every request, so the server threads
+        #: this client's requests onto one caller-chosen trace id family.
+        self.trace_id = trace_id
+        #: The server-assigned trace id of the most recent response.
+        self.last_trace_id: str | None = None
 
     # -- plumbing -----------------------------------------------------------
     def _connect(self) -> http.client.HTTPConnection:
@@ -183,11 +201,17 @@ class SubDExClient:
                 self.close()
                 if attempt == 2:
                     raise
+        trace_id = response.getheader("X-Trace-Id")
+        if trace_id is not None:
+            self.last_trace_id = trace_id
         try:
             data = json.loads(raw) if raw else {}
         except json.JSONDecodeError as error:
             raise ServerError(
-                response.status, "invalid_response", f"non-JSON body: {error}"
+                response.status,
+                "invalid_response",
+                f"non-JSON body: {error}",
+                trace_id=trace_id,
             ) from None
         if response.status >= 400:
             error_info = data.get("error", {}) if isinstance(data, dict) else {}
@@ -205,6 +229,7 @@ class SubDExClient:
                 error_info.get("message", raw.decode("utf-8", "replace")),
                 retryable=bool(error_info.get("retryable", False)),
                 retry_after=retry_after,
+                trace_id=trace_id,
             )
         return data
 
@@ -225,6 +250,8 @@ class SubDExClient:
             headers["Content-Type"] = "application/json"
         if deadline_ms is not None:
             headers["X-Deadline-Ms"] = str(deadline_ms)
+        if self.trace_id is not None:
+            headers["X-Trace-Id"] = self.trace_id
         if method != "GET" or self._retry.max_attempts <= 1:
             return self._round_trip(method, path, body, headers)
 

@@ -6,6 +6,15 @@ observations) and percentiles are computed with linear interpolation on a
 sorted copy at snapshot time.  All mutation is behind one lock —
 ``observe`` is a few appends and increments, far cheaper than any request
 it measures.
+
+An endpoint that has observed no latencies yet reports ``None`` (JSON
+``null``) for its mean/percentiles — never ``NaN``, which ``json.dumps``
+would serialise as the bare token ``NaN`` that strict JSON parsers
+reject.
+
+Every observation is mirrored into a :class:`~repro.obs.metrics.
+MetricsRegistry` (labelled counters + bounded latency histograms), which
+is what the Prometheus rendering of ``/metrics`` scrapes.
 """
 
 from __future__ import annotations
@@ -14,6 +23,8 @@ import threading
 import time
 from collections import deque
 from typing import Any, Mapping
+
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["ServerMetrics", "pure_percentile"]
 
@@ -46,22 +57,34 @@ class _EndpointStats:
 
     def snapshot(self) -> dict[str, Any]:
         samples = list(self.latencies)
-        return {
-            "count": self.count,
-            "errors": self.errors,
-            "latency_seconds": {
-                "mean": sum(samples) / len(samples) if samples else float("nan"),
+        if not samples:
+            # None → JSON null; float("nan") would serialise as the bare
+            # token NaN, which strict JSON parsers reject
+            latency: dict[str, float | None] = {
+                "mean": None, "p50": None, "p95": None, "p99": None,
+            }
+        else:
+            latency = {
+                "mean": sum(samples) / len(samples),
                 "p50": pure_percentile(samples, 50.0),
                 "p95": pure_percentile(samples, 95.0),
                 "p99": pure_percentile(samples, 99.0),
-            },
+            }
+        return {
+            "count": self.count,
+            "errors": self.errors,
+            "latency_seconds": latency,
         }
 
 
 class ServerMetrics:
     """Thread-safe request/latency/session accounting for ``/metrics``."""
 
-    def __init__(self, reservoir_size: int = 1024) -> None:
+    def __init__(
+        self,
+        reservoir_size: int = 1024,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         if reservoir_size < 1:
             raise ValueError(
                 f"reservoir_size must be >= 1, got {reservoir_size}"
@@ -74,6 +97,23 @@ class ServerMetrics:
         self._by_endpoint: dict[str, _EndpointStats] = {}
         self._by_status: dict[int, int] = {}
         self._events: dict[str, int] = {}
+        #: The generic registry behind ``/metrics?format=prometheus``.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._req_counter = self.registry.counter(
+            "subdex_requests_total",
+            "Completed HTTP requests by route and status.",
+            labelnames=("endpoint", "status"),
+        )
+        self._latency_histogram = self.registry.histogram(
+            "subdex_request_seconds",
+            "Request wall-clock latency by route.",
+            labelnames=("endpoint",),
+        )
+        self._event_counter = self.registry.counter(
+            "subdex_events_total",
+            "Resilience and lifecycle events (shed, degraded, deadline, ...).",
+            labelnames=("event",),
+        )
 
     def observe(self, endpoint: str, status: int, seconds: float) -> None:
         """Record one completed request.
@@ -93,6 +133,8 @@ class ServerMetrics:
                 stats.errors += 1
             stats.latencies.append(seconds)
             self._by_status[status] = self._by_status.get(status, 0) + 1
+        self._req_counter.inc(endpoint=endpoint, status=str(status))
+        self._latency_histogram.observe(seconds, endpoint=endpoint)
 
     @property
     def total_requests(self) -> int:
@@ -103,6 +145,7 @@ class ServerMetrics:
         """Count one resilience event (shed, degraded, deadline, ...)."""
         with self._lock:
             self._events[name] = self._events.get(name, 0) + count
+        self._event_counter.inc(count, event=name)
 
     def event_count(self, name: str) -> int:
         with self._lock:

@@ -21,6 +21,7 @@ The clock is injectable so eviction is deterministic in tests.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 import uuid
@@ -39,6 +40,8 @@ __all__ = [
     "SessionRegistry",
     "UnknownSessionError",
 ]
+
+_log = logging.getLogger("repro.server.registry")
 
 _TOMBSTONE_CAPACITY = 1024
 
@@ -175,6 +178,7 @@ class SessionRegistry:
             raise
         with self._lock:
             self.created += 1
+        _log.info("created session %s (dataset %r)", session_id, dataset)
         return placeholder
 
     @contextmanager
@@ -246,6 +250,7 @@ class SessionRegistry:
                 raise UnknownSessionError(session_id)
             self._remember(session_id, "closed")
             self.closed += 1
+        _log.info("closed session %s", session_id)
         return managed
 
     def evict_idle(self, now: float | None = None) -> list[str]:
@@ -269,6 +274,10 @@ class SessionRegistry:
                     evicted.append(session_id)
                 finally:
                     managed.lock.release()
+        if evicted:
+            _log.info(
+                "idle-evicted %d session(s): %s", len(evicted), ", ".join(evicted)
+            )
         return evicted
 
     def _remember(self, session_id: str, reason: str) -> None:

@@ -1,0 +1,117 @@
+"""Log formatters and setup: trace correlation, JSON lines, idempotence."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logs import JsonLogFormatter, TextLogFormatter, setup_logging
+from repro.obs.tracing import Tracer
+
+
+def make_record(message="hello", level=logging.INFO, **extra):
+    record = logging.LogRecord(
+        "repro.test", level, __file__, 1, message, (), None
+    )
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestTextLogFormatter:
+    def test_basic_line(self):
+        text = TextLogFormatter().format(make_record())
+        assert "INFO repro.test: hello" in text
+        assert "trace=" not in text
+
+    def test_ambient_trace_id_is_appended(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("request", trace_id="feedface00000000"):
+            text = TextLogFormatter().format(make_record())
+        assert text.endswith("trace=feedface00000000")
+
+    def test_explicit_trace_id_wins(self):
+        record = make_record(trace_id="cafe")
+        assert TextLogFormatter().format(record).endswith("trace=cafe")
+
+
+class TestJsonLogFormatter:
+    def test_fields(self):
+        payload = json.loads(JsonLogFormatter().format(make_record()))
+        assert payload["level"] == "INFO"
+        assert payload["logger"] == "repro.test"
+        assert payload["message"] == "hello"
+        assert "trace_id" not in payload
+
+    def test_trace_id_included_under_a_span(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("request", trace_id="feedface00000000"):
+            payload = json.loads(JsonLogFormatter().format(make_record()))
+        assert payload["trace_id"] == "feedface00000000"
+
+    def test_extra_attributes_survive(self):
+        record = make_record(dataset="yelp", rows=42)
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert payload["dataset"] == "yelp"
+        assert payload["rows"] == 42
+
+    def test_unserialisable_extra_falls_back_to_repr(self):
+        record = make_record(weird={1, 2})
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert "weird" in payload and isinstance(payload["weird"], str)
+
+    def test_exception_is_formatted(self):
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            import sys
+
+            record = logging.LogRecord(
+                "repro.test", logging.ERROR, __file__, 1, "failed", (),
+                sys.exc_info(),
+            )
+        payload = json.loads(JsonLogFormatter().format(record))
+        assert "RuntimeError: boom" in payload["exception"]
+
+
+class TestSetupLogging:
+    def test_configures_the_repro_logger_only(self):
+        stream = io.StringIO()
+        logger = setup_logging(level="debug", fmt="text", stream=stream)
+        try:
+            assert logger.name == "repro"
+            assert not logger.propagate
+            logging.getLogger("repro.test").debug("visible")
+            assert "visible" in stream.getvalue()
+        finally:
+            setup_logging(level="warning", stream=io.StringIO())
+
+    def test_idempotent_no_handler_stacking(self):
+        stream = io.StringIO()
+        setup_logging(stream=io.StringIO())
+        logger = setup_logging(stream=stream)
+        try:
+            assert len(logger.handlers) == 1
+            logging.getLogger("repro.test").info("once")
+            assert stream.getvalue().count("once") == 1
+        finally:
+            setup_logging(level="warning", stream=io.StringIO())
+
+    def test_json_format_produces_json_lines(self):
+        stream = io.StringIO()
+        setup_logging(fmt="json", stream=stream)
+        try:
+            logging.getLogger("repro.test").info("structured")
+            payload = json.loads(stream.getvalue())
+            assert payload["message"] == "structured"
+        finally:
+            setup_logging(level="warning", stream=io.StringIO())
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            setup_logging(level="loud")
+        with pytest.raises(ValueError, match="unknown log format"):
+            setup_logging(fmt="xml")

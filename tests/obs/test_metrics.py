@@ -1,0 +1,182 @@
+"""Metrics registry: instruments, collectors, and both renderings."""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    escape_label_value,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        counter = registry.counter("subdex_test_total", labelnames=("kind",))
+        counter.inc(kind="a")
+        counter.inc(2, kind="a")
+        counter.inc(kind="b")
+        assert counter.value(kind="a") == 3
+        assert counter.value(kind="b") == 1
+        assert counter.value(kind="never") == 0
+
+    def test_counters_only_go_up(self, registry):
+        counter = registry.counter("subdex_test_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_wrong_labels_rejected(self, registry):
+        counter = registry.counter("subdex_test_total", labelnames=("kind",))
+        with pytest.raises(ValueError, match="expects labels"):
+            counter.inc(other="x")
+
+    def test_get_or_create_returns_the_same_instrument(self, registry):
+        a = registry.counter("subdex_test_total", labelnames=("kind",))
+        b = registry.counter("subdex_test_total", labelnames=("kind",))
+        assert a is b
+
+    def test_type_conflict_rejected(self, registry):
+        registry.counter("subdex_test_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("subdex_test_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("subdex_test_total", labelnames=("kind",))
+
+    def test_invalid_names_rejected(self, registry):
+        for bad in ("", "9lives", "has-dash", "has space"):
+            with pytest.raises(ValueError, match="invalid metric name"):
+                registry.counter(bad)
+
+    def test_concurrent_increments_are_exact(self, registry):
+        counter = registry.counter("subdex_test_total")
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for future in [
+                pool.submit(lambda: [counter.inc() for _ in range(500)])
+                for _ in range(8)
+            ]:
+                future.result()
+        assert counter.value() == 4000
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("subdex_live")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 6
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self, registry):
+        histogram = registry.histogram(
+            "subdex_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 0.7, 5.0, 50.0):
+            histogram.observe(value)
+        counts = histogram.bucket_counts()
+        assert counts == {"0.1": 1, "1": 3, "10": 4, "+Inf": 5}
+
+    def test_boundary_lands_in_its_bucket(self, registry):
+        # le is inclusive: an observation equal to a bound counts in it
+        histogram = registry.histogram("subdex_seconds", buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        assert histogram.bucket_counts() == {"1": 1, "2": 1, "+Inf": 1}
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("subdex_seconds", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("subdex_seconds", buckets=(float("inf"),))
+
+    def test_default_buckets_cover_latency_range(self, registry):
+        histogram = registry.histogram("subdex_seconds")
+        assert histogram.buckets == DEFAULT_LATENCY_BUCKETS
+
+    def test_sum_and_count_render(self, registry):
+        histogram = registry.histogram(
+            "subdex_seconds", labelnames=("route",), buckets=(1.0,)
+        )
+        histogram.observe(0.5, route="/health")
+        histogram.observe(2.5, route="/health")
+        text = registry.render_prometheus()
+        assert 'subdex_seconds_bucket{route="/health",le="1"} 1' in text
+        assert 'subdex_seconds_bucket{route="/health",le="+Inf"} 2' in text
+        assert 'subdex_seconds_sum{route="/health"} 3' in text
+        assert 'subdex_seconds_count{route="/health"} 2' in text
+
+
+class TestPrometheusRendering:
+    def test_help_and_type_lines(self, registry):
+        registry.counter("subdex_requests_total", "Requests served.")
+        registry.gauge("subdex_live", "Live sessions.")
+        registry.histogram("subdex_seconds", "Latency.")
+        text = registry.render_prometheus()
+        assert "# HELP subdex_requests_total Requests served." in text
+        assert "# TYPE subdex_requests_total counter" in text
+        assert "# TYPE subdex_live gauge" in text
+        assert "# TYPE subdex_seconds histogram" in text
+        assert text.endswith("\n")
+
+    def test_label_escaping(self, registry):
+        counter = registry.counter("subdex_test_total", labelnames=("value",))
+        counter.inc(value='a"b\\c\nd')
+        text = registry.render_prometheus()
+        assert r'value="a\"b\\c\nd"' in text
+
+    def test_escape_label_value(self):
+        assert escape_label_value('say "hi"\n') == r'say \"hi\"\n'
+        assert escape_label_value("back\\slash") == r"back\\slash"
+
+    def test_families_sorted_by_name(self, registry):
+        registry.counter("subdex_z_total")
+        registry.counter("subdex_a_total")
+        names = [family.name for family in registry.collect()]
+        assert names == sorted(names)
+
+
+class TestCollectors:
+    def test_collector_families_are_merged(self, registry):
+        def collector():
+            family = MetricFamily("subdex_external", "gauge", "External.")
+            family.add(7, kind="x")
+            return [family]
+
+        registry.register_collector(collector)
+        text = registry.render_prometheus()
+        assert 'subdex_external{kind="x"} 7' in text
+
+    def test_broken_collector_is_skipped(self, registry):
+        registry.counter("subdex_ok_total").inc()
+
+        def broken():
+            raise RuntimeError("scrape-time failure")
+
+        registry.register_collector(broken)
+        text = registry.render_prometheus()
+        assert "subdex_ok_total 1" in text
+
+
+class TestJsonRendering:
+    def test_to_dict_is_json_safe(self, registry):
+        counter = registry.counter("subdex_test_total", labelnames=("kind",))
+        counter.inc(kind="a")
+        registry.histogram("subdex_seconds", buckets=(1.0,)).observe(0.5)
+        payload = registry.to_dict()
+        encoded = json.dumps(payload)
+        decoded = json.loads(encoded)
+        assert decoded["subdex_test_total"]["type"] == "counter"
+        assert decoded["subdex_test_total"]["samples"][
+            'subdex_test_total{kind="a"}'
+        ] == 1

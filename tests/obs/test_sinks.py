@@ -1,0 +1,163 @@
+"""Trace sinks: ring buffer eviction, JSONL durability, slow-trace log."""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+import pytest
+
+from repro.obs.sinks import (
+    JsonlTraceSink,
+    SlowTraceLog,
+    TraceRingBuffer,
+    render_tree,
+)
+from repro.obs.tracing import Tracer
+
+
+def make_trace(tracer=None, name="request", sleep_seconds=0.0, **attributes):
+    """Run one root span through ``tracer`` and return the finished trace."""
+    tracer = tracer or Tracer(enabled=True)
+    captured = []
+    tracer.add_sink(captured.append)
+    with tracer.span(name, **attributes):
+        if sleep_seconds:
+            time.sleep(sleep_seconds)
+    tracer.remove_sink(captured.append)
+    return captured[0]
+
+
+class TestTraceRingBuffer:
+    def test_keeps_only_the_most_recent(self):
+        ring = TraceRingBuffer(capacity=3)
+        tracer = Tracer(enabled=True)
+        tracer.add_sink(ring)
+        for i in range(5):
+            with tracer.span("request", index=i):
+                pass
+        assert len(ring) == 3
+        assert ring.total_recorded == 5
+        indices = [
+            t["spans"][0]["attributes"]["index"] for t in ring.snapshot()
+        ]
+        assert indices == [4, 3, 2]  # most recent first
+
+    def test_min_ms_filter(self):
+        ring = TraceRingBuffer()
+        ring(make_trace(name="fast"))
+        ring(make_trace(name="slow", sleep_seconds=0.02))
+        slow_only = ring.snapshot(min_ms=15.0)
+        assert [t["name"] for t in slow_only] == ["slow"]
+        assert len(ring.snapshot()) == 2
+
+    def test_limit(self):
+        ring = TraceRingBuffer()
+        for _ in range(4):
+            ring(make_trace())
+        assert len(ring.snapshot(limit=2)) == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceRingBuffer(capacity=0)
+
+    def test_clear(self):
+        ring = TraceRingBuffer()
+        ring(make_trace())
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.total_recorded == 1  # the counter is cumulative
+
+
+class TestJsonlTraceSink:
+    def test_writes_one_parseable_line_per_trace(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        sink = JsonlTraceSink(str(path))
+        tracer = Tracer(enabled=True)
+        tracer.add_sink(sink)
+        with tracer.span("request", route="GET /health"):
+            with tracer.span("child"):
+                pass
+        with tracer.span("request", route="GET /metrics"):
+            pass
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert sink.traces_written == 2
+        first = json.loads(lines[0])
+        assert first["name"] == "request"
+        assert first["n_spans"] == 2
+        assert first["spans"][0]["attributes"]["route"] == "GET /health"
+
+    def test_lazy_open_creates_no_file_until_a_trace(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        JsonlTraceSink(str(path))
+        assert not path.exists()
+
+    def test_close_is_idempotent_and_reopens_on_demand(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        sink = JsonlTraceSink(str(path))
+        sink(make_trace())
+        sink.close()
+        sink.close()
+        sink(make_trace())  # reopens in append mode
+        sink.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_unwritable_path_does_not_break_the_tracer(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        tracer.add_sink(JsonlTraceSink(str(tmp_path / "no" / "dir.jsonl")))
+        with tracer.span("request"):
+            pass
+        assert tracer.sink_errors == 1
+        assert tracer.traces_recorded == 1
+
+
+class TestSlowTraceLog:
+    def test_slow_traces_logged_with_tree(self, caplog):
+        sink = SlowTraceLog(threshold_ms=0.0, logger=logging.getLogger("t"))
+        with caplog.at_level(logging.WARNING, logger="t"):
+            sink(make_trace(route="GET /metrics"))
+        assert sink.slow_traces == 1
+        assert "slow request" in caplog.text
+        assert "route=GET /metrics" in caplog.text
+
+    def test_fast_traces_skipped(self, caplog):
+        sink = SlowTraceLog(threshold_ms=60_000.0)
+        with caplog.at_level(logging.WARNING):
+            sink(make_trace())
+        assert sink.slow_traces == 0
+        assert caplog.text == ""
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="threshold_ms"):
+            SlowTraceLog(threshold_ms=-1.0)
+
+
+class TestRenderTree:
+    def test_renders_one_line_per_span(self):
+        trace = make_trace()
+        text = render_tree(trace.tree())
+        assert text.startswith("request ")
+        assert "ms" in text
+
+    def test_children_indent_and_errors_flag(self):
+        node = {
+            "name": "request",
+            "duration_ms": 12.0,
+            "status": "ok",
+            "attributes": {},
+            "children": [
+                {
+                    "name": "child",
+                    "duration_ms": 3.0,
+                    "status": "error",
+                    "attributes": {"error": "ValueError"},
+                    "children": [],
+                }
+            ],
+        }
+        lines = render_tree(node).splitlines()
+        assert lines[0] == "request 12.0ms"
+        assert lines[1] == "  child 3.0ms [error] error=ValueError"

@@ -1,0 +1,239 @@
+"""Tracing core: span nesting, propagation, and the disabled fast path."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.tracing import (
+    Trace,
+    Tracer,
+    activate,
+    current_context,
+    current_trace_id,
+    current_trace_partial,
+    span_tree,
+)
+from repro.obs.tracing import _NOOP  # noqa: PLC2701 - the shared no-op
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)
+
+
+@pytest.fixture
+def sink(tracer):
+    traces: list[Trace] = []
+    tracer.add_sink(traces.append)
+    return traces
+
+
+class TestSpanLifecycle:
+    def test_root_span_delivers_a_trace(self, tracer, sink):
+        with tracer.span("request", method="GET") as root:
+            root.set(status=200)
+        assert len(sink) == 1
+        trace = sink[0]
+        assert trace.root.name == "request"
+        assert trace.root.attributes == {"method": "GET", "status": 200}
+        assert trace.root.parent_id is None
+        assert trace.duration_ms >= 0.0
+
+    def test_children_nest_under_the_root(self, tracer, sink):
+        with tracer.span("request"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        (trace,) = sink
+        assert [s.name for s in trace.spans] == [
+            "request", "inner", "leaf", "sibling",
+        ]
+        by_name = {s.name: s for s in trace.spans}
+        assert by_name["inner"].parent_id == by_name["request"].span_id
+        assert by_name["leaf"].parent_id == by_name["inner"].span_id
+        assert by_name["sibling"].parent_id == by_name["request"].span_id
+        assert len({s.trace_id for s in trace.spans}) == 1
+
+    def test_tree_nests_and_orders_by_start(self, tracer, sink):
+        with tracer.span("request"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        tree = sink[0].tree()
+        assert tree["name"] == "request"
+        assert [c["name"] for c in tree["children"]] == ["a", "b"]
+
+    def test_exception_marks_span_error(self, tracer, sink):
+        with pytest.raises(ValueError):
+            with tracer.span("request"):
+                raise ValueError("boom")
+        assert sink[0].root.status == "error"
+        assert sink[0].root.attributes["error"] == "ValueError"
+
+    def test_trace_id_seed_is_adopted(self, tracer, sink):
+        with tracer.span("request", trace_id="cafe0123deadbeef"):
+            assert current_trace_id() == "cafe0123deadbeef"
+        assert sink[0].trace_id == "cafe0123deadbeef"
+
+    def test_contextvar_is_reset_after_the_root_exits(self, tracer, sink):
+        with tracer.span("request"):
+            assert current_context() is not None
+        assert current_context() is None
+        assert current_trace_id() is None
+
+
+class TestDisabledPath:
+    def test_disabled_tracer_hands_out_the_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("request") is _NOOP
+
+    def test_noop_span_accepts_attributes(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("request") as sp:
+            assert sp.set(anything=1) is sp
+
+    def test_disabled_tracer_records_no_traces(self):
+        tracer = Tracer(enabled=False)
+        seen: list[Trace] = []
+        tracer.add_sink(seen.append)
+        with tracer.span("request"):
+            with tracer.span("child"):
+                pass
+        assert seen == []
+        assert tracer.traces_recorded == 0
+
+    def test_reconfigure_flips_the_path(self, sink, tracer):
+        tracer.configure(False)
+        with tracer.span("off"):
+            pass
+        tracer.configure(True)
+        with tracer.span("on"):
+            pass
+        assert [t.root.name for t in sink] == ["on"]
+
+
+class TestThreadPropagation:
+    def test_pool_workers_join_the_trace_via_activate(self, tracer, sink):
+        n_workers = 8
+        barrier = threading.Barrier(n_workers)
+
+        def work(i: int, ctx) -> None:
+            with activate(ctx):
+                barrier.wait(timeout=10)
+                with tracer.span("worker", index=i):
+                    pass
+
+        with tracer.span("request"):
+            ctx = current_context()
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                futures = [
+                    pool.submit(work, i, ctx) for i in range(n_workers)
+                ]
+                for future in futures:
+                    future.result()
+        (trace,) = sink
+        workers = [s for s in trace.spans if s.name == "worker"]
+        assert len(workers) == n_workers
+        assert sorted(s.attributes["index"] for s in workers) == list(
+            range(n_workers)
+        )
+        root_id = trace.root.span_id
+        assert all(s.parent_id == root_id for s in workers)
+
+    def test_worker_context_does_not_leak_into_the_pool_thread(self, tracer):
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            with tracer.span("request"):
+                ctx = current_context()
+
+                def traced() -> None:
+                    with activate(ctx):
+                        with tracer.span("worker"):
+                            pass
+
+                pool.submit(traced).result()
+                # same thread, after activate() exits: no ambient trace
+                assert pool.submit(current_context).result() is None
+
+    def test_concurrent_roots_stay_separate(self, tracer, sink):
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+
+        def request(i: int) -> None:
+            barrier.wait(timeout=10)
+            with tracer.span("request", index=i):
+                with tracer.span("child", index=i):
+                    pass
+
+        threads = [
+            threading.Thread(target=request, args=(i,))
+            for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(sink) == n_threads
+        for trace in sink:
+            assert len(trace.spans) == 2
+            root, child = trace.spans
+            assert root.attributes["index"] == child.attributes["index"]
+        assert len({t.trace_id for t in sink}) == n_threads
+
+    def test_activate_none_is_a_no_op(self, tracer):
+        with activate(None):
+            assert current_context() is None
+
+
+class TestPartialSnapshots:
+    def test_partial_includes_open_ancestors(self, tracer):
+        with tracer.span("request"):
+            with tracer.span("finished"):
+                pass
+            with tracer.span("open"):
+                partial = current_trace_partial()
+        tree = partial["spans"]
+        assert tree["name"] == "request"
+        names = {c["name"] for c in tree["children"]}
+        assert names == {"finished", "open"}
+
+    def test_partial_without_a_trace_is_none(self):
+        assert current_trace_partial() is None
+
+    def test_span_tree_attaches_orphans_to_the_root(self, tracer, sink):
+        with tracer.span("request"):
+            with tracer.span("middle"):
+                with tracer.span("leaf"):
+                    pass
+        spans = sink[0].spans
+        # drop the middle span: the leaf's parent is now unknown
+        partial = [s for s in spans if s.name != "middle"]
+        tree = span_tree(partial)
+        assert [c["name"] for c in tree["children"]] == ["leaf"]
+
+
+class TestSinkSafety:
+    def test_sink_exceptions_are_swallowed_and_counted(self, tracer):
+        def broken(trace: Trace) -> None:
+            raise RuntimeError("sink down")
+
+        good: list[Trace] = []
+        tracer.add_sink(broken)
+        tracer.add_sink(good.append)
+        with tracer.span("request"):
+            pass
+        assert len(good) == 1
+        assert tracer.sink_errors == 1
+        assert tracer.traces_recorded == 1
+
+    def test_remove_sink(self, tracer, sink):
+        tracer.remove_sink(sink.append)
+        tracer.clear_sinks()
+        with tracer.span("request"):
+            pass
+        assert sink == []
