@@ -13,6 +13,7 @@ distribution apart), with PROFILE far cheaper than NESTED.
 from dataclasses import replace
 
 from repro.bench import (
+    Metric,
     bench_database,
     bench_recommender_config,
     format_table,
@@ -64,7 +65,18 @@ def test_ablation_map_distance(benchmark):
         + "\nPROFILE (default) distinguishes grouping attributes; POOLED "
         "cannot; NESTED is the exact reference but pays an LP per pair."
     )
-    report("ablation_map_distance", text)
+    bench_metrics: dict[str, Metric | float] = {}
+    for m, (attrs, div, secs) in measured.items():
+        bench_metrics[f"{m.value}_seconds"] = secs
+        bench_metrics[f"{m.value}_attrs"] = Metric(
+            float(attrs), unit="attrs", higher_is_better=None, portable=True
+        )
+    report(
+        "ablation_map_distance",
+        text,
+        metrics=bench_metrics,
+        config={"dataset": "yelp", "n_steps": _N_STEPS},
+    )
 
     pooled_attrs = measured[MapDistanceMethod.POOLED][0]
     profile_attrs = measured[MapDistanceMethod.PROFILE][0]

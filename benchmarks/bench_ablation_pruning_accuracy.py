@@ -8,7 +8,7 @@ exact top-1 map survives.
 
 import numpy as np
 
-from repro.bench import bench_database, format_table, report
+from repro.bench import Metric, bench_database, format_table, report
 from repro.core.generator import GeneratorConfig, RMSetGenerator
 from repro.core.pruning import PruningStrategy
 from repro.core.utility import SeenMaps
@@ -66,7 +66,17 @@ def test_ablation_pruning_accuracy(benchmark):
         + "\nthe paper's w.h.p. guarantee: pruned pools should largely "
         "agree with the exact ranking, and the best map should survive."
     )
-    report("ablation_pruning_accuracy", text)
+    report(
+        "ablation_pruning_accuracy",
+        text,
+        metrics={
+            f"{s.value}_pool_overlap": Metric(
+                overlap, unit="ratio", higher_is_better=True, portable=True
+            )
+            for s, (overlap, __) in measured.items()
+        },
+        config={"dataset": "yelp", "n_groups": len(_GROUPS)},
+    )
     for strategy, (overlap, top1) in measured.items():
         assert overlap >= 0.5, f"{strategy}: pool overlap {overlap:.2f}"
         assert top1 >= 0.75, f"{strategy}: top-1 survival {top1:.2f}"

@@ -7,7 +7,7 @@ reads) is preserved — the property Kim et al. optimise for.
 
 import numpy as np
 
-from repro.bench import format_table, report, time_call
+from repro.bench import Metric, format_table, report, time_call
 from repro.core.rating_maps import RatingMapSpec, build_rating_map
 from repro.core.sampling import approximate_rating_map, ordering_agreement
 from repro.datasets import yelp
@@ -68,8 +68,23 @@ def test_ablation_sampling(benchmark):
         "preservation property (the point of [36]) is what this bench "
         "verifies."
     )
-    report("ablation_sampling", text)
     by_fraction = {row[0]: row for row in rows}
+    report(
+        "ablation_sampling",
+        text,
+        metrics={
+            "sample_10pct_seconds": by_fraction[0.1][1],
+            "sample_10pct_agreement": Metric(
+                by_fraction[0.1][3], unit="ratio",
+                higher_is_better=True, portable=True,
+            ),
+            "sample_50pct_agreement": Metric(
+                by_fraction[0.5][3], unit="ratio",
+                higher_is_better=True, portable=True,
+            ),
+        },
+        config={"fractions": list(_FRACTIONS)},
+    )
     # ordering agreement grows with the fraction and is exact at 1.0
     assert by_fraction[1.0][3] == 1.0
     assert by_fraction[0.5][3] >= by_fraction[0.05][3] - 0.05

@@ -12,7 +12,7 @@ attribute's codes once instead of four times.
 
 import numpy as np
 
-from repro.bench import format_table, report, time_call
+from repro.bench import Metric, format_table, report, time_call
 from repro.datasets import yelp
 from repro.db.groupby import Grouping, SharedGroupByScan, group_histograms
 from repro.model import RatingGroup, SelectionCriteria
@@ -99,6 +99,17 @@ def test_ablation_sharing(benchmark):
         "(paper §4.2.1: maps with the same grouping attribute are combined "
         "into a single multi-aggregate query)."
     )
-    report("ablation_sharing", text)
+    report(
+        "ablation_sharing",
+        text,
+        metrics={
+            "shared_seconds": shared_seconds,
+            "unshared_seconds": unshared_seconds,
+            "sharing_speedup": Metric(
+                speedup, unit="x", higher_is_better=True, portable=True
+            ),
+        },
+        config={"dataset": "yelp", "scale_factor": 0.25},
+    )
     # sharing must not lose; with 4 dimensions it should clearly win
     assert shared_seconds <= unshared_seconds * 1.1

@@ -10,6 +10,7 @@ import numpy as np
 from dataclasses import replace
 
 from repro.bench import (
+    Metric,
     bench_database,
     bench_recommender_config,
     bench_subjects,
@@ -84,7 +85,24 @@ def test_ablation_utility_criteria(benchmark):
         "it also serves agreement/conciseness-driven tasks (Scenario II), "
         "which a peculiarity-only utility ignores."
     )
-    report("ablation_utility_criteria", text)
+    def _key(name: str) -> str:
+        return (
+            name.replace(" (SubDEx)", "")
+            .replace("-", "_")
+            .replace(" ", "_")
+        )
+
+    report(
+        "ablation_utility_criteria",
+        text,
+        metrics={
+            f"{_key(name)}_score": Metric(
+                score, unit="score", higher_is_better=None, portable=True
+            )
+            for name, score in measured.items()
+        },
+        config={"dataset": "yelp", "n_instances": _N_INSTANCES},
+    )
 
     full = measured["max-of-4 (SubDEx)"]
     # max-of-4 must beat every non-peculiarity single criterion ...

@@ -6,7 +6,7 @@ identical results.  Reports cold vs warm step latency and the hit rate
 over a realistic retracing workload.
 """
 
-from repro.bench import bench_database, bench_recommender_config, format_table, report, time_call
+from repro.bench import Metric, bench_database, bench_recommender_config, format_table, report, time_call
 from repro.core.caching import CachingEngine
 from repro.core.engine import SubDEx, SubDExConfig
 from repro.core.utility import SeenMaps
@@ -57,6 +57,24 @@ def test_caching_interactivity(benchmark):
         )
         + f"\nresult cache: {stats.describe()}"
     )
-    report("caching_interactivity", text)
+    cold_mean = sum(cold) / len(cold)
+    warm_mean = sum(warm) / len(warm)
+    report(
+        "caching_interactivity",
+        text,
+        metrics={
+            "cold_step_s": cold_mean,
+            "warm_step_s": warm_mean,
+            "warm_vs_cold": Metric(
+                warm_mean / cold_mean if cold_mean else 0.0,
+                unit="x", higher_is_better=False, portable=True,
+            ),
+            "hit_rate": Metric(
+                stats.hit_rate, unit="ratio",
+                higher_is_better=True, portable=True,
+            ),
+        },
+        config={"workload_steps": len(latencies)},
+    )
     assert stats.hits >= 4  # every revisit under the same seen-state hits
     assert sum(warm) / len(warm) <= sum(cold) / len(cold)

@@ -19,6 +19,7 @@ import pytest
 
 from repro.baselines import all_variants
 from repro.bench import (
+    Metric,
     Sweep,
     bench_database,
     report,
@@ -43,6 +44,21 @@ def _engine(database, variant: str) -> SubDEx:
         ),
     )
     return SubDEx(database, config)
+
+
+def _sweep_metrics(sweep: Sweep) -> dict[str, Metric | float]:
+    """Endpoint timings plus the growth ratio over the sweep, per variant."""
+    metrics: dict[str, Metric | float] = {}
+    for variant in _VARIANTS:
+        series = sweep.series(variant)
+        key = variant.lower()
+        metrics[f"{key}_first_s"] = series[0]
+        metrics[f"{key}_last_s"] = series[-1]
+        metrics[f"{key}_growth"] = Metric(
+            series[-1] / max(series[0], 1e-9), unit="x",
+            higher_is_better=None, portable=True,
+        )
+    return metrics
 
 
 def _step_seconds(engine: SubDEx) -> float:
@@ -75,7 +91,8 @@ def test_fig10a_database_size(benchmark):
         + "\npaper: all variants < 1 s on their server; size has little "
         "effect (candidate maps / operations depend on attributes, not rows)."
     )
-    report("fig10a_db_size", text)
+    report("fig10a_db_size", text, metrics=_sweep_metrics(sweep),
+           config={"figure": "10a", "dataset": "yelp"})
     for variant in _VARIANTS:
         series = sweep.series(variant)
         # little effect: 5× more data should cost well under 5× more time
@@ -100,7 +117,8 @@ def test_fig10b_number_of_attributes(benchmark):
         + sweep.format()
         + "\npaper: near-linear growth for all baselines."
     )
-    report("fig10b_num_attributes", text)
+    report("fig10b_num_attributes", text, metrics=_sweep_metrics(sweep),
+           config={"figure": "10b", "dataset": "yelp"})
     for variant in _VARIANTS:
         series = sweep.series(variant)
         assert series[-1] > series[0]  # growing
@@ -128,7 +146,8 @@ def test_fig10c_number_of_values(benchmark):
         + sweep.format()
         + "\npaper: near-linear growth (values ≈ candidate operations)."
     )
-    report("fig10c_num_values", text)
+    report("fig10c_num_values", text, metrics=_sweep_metrics(sweep),
+           config={"figure": "10c", "dataset": "yelp"})
     for variant in _VARIANTS:
         series = sweep.series(variant)
         assert series[-1] > 0.5 * series[0]  # monotone-ish growth

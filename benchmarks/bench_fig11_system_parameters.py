@@ -14,8 +14,22 @@ configuration is actually exercised (as in the paper's timings).
 from dataclasses import replace
 
 from repro.baselines import all_variants
-from repro.bench import Sweep, bench_database, report, time_call
+from repro.bench import Metric, Sweep, bench_database, report, time_call
 from repro.core.engine import SubDEx, SubDExConfig
+
+
+def _sweep_metrics(sweep: Sweep, variants) -> dict[str, Metric | float]:
+    metrics: dict[str, Metric | float] = {}
+    for variant in variants:
+        series = sweep.series(variant)
+        key = variant.lower().replace(" ", "_").replace("-", "_")
+        metrics[f"{key}_first_s"] = series[0]
+        metrics[f"{key}_last_s"] = series[-1]
+        metrics[f"{key}_growth"] = Metric(
+            series[-1] / max(series[0], 1e-9), unit="x",
+            higher_is_better=None, portable=True,
+        )
+    return metrics
 
 
 def _engine(database, variant: str, **tweaks) -> SubDEx:
@@ -62,7 +76,9 @@ def test_fig11a_number_of_rating_maps(benchmark):
         + "\npaper: almost no change — the pruning-diversity factor is "
         "fixed, so the same overall number of maps is examined."
     )
-    report("fig11a_num_maps", text)
+    report("fig11a_num_maps", text,
+           metrics=_sweep_metrics(sweep, ("SubDEx", "No-Pruning")),
+           config={"figure": "11a", "k_values": [1, 2, 3, 4, 5]})
     for variant in ("SubDEx", "No-Pruning"):
         series = sweep.series(variant)
         assert max(series) < 4 * max(min(series), 1e-3)
@@ -90,7 +106,9 @@ def test_fig11b_number_of_recommendations(benchmark):
         "the dominant cost (scoring all candidates) is what parallelism "
         "spreads across cores."
     )
-    report("fig11b_num_recos", text)
+    report("fig11b_num_recos", text,
+           metrics=_sweep_metrics(sweep, ("SubDEx", "No Parallelism")),
+           config={"figure": "11b", "o_values": [1, 3, 5]})
     # o changes which top slice is returned — runtime must stay flat-ish
     subdex = sweep.series("SubDEx")
     assert max(subdex) < 3 * max(min(subdex), 1e-3)
@@ -121,6 +139,10 @@ def test_fig11c_pruning_diversity_factor(benchmark):
         + "\npaper: strong effect on all pruning baselines (larger l ⇒ "
         "fewer maps pruned); No-Pruning is flat."
     )
-    report("fig11c_pruning_factor", text)
+    report("fig11c_pruning_factor", text,
+           metrics=_sweep_metrics(
+               sweep, ("SubDEx", "CI Pruning", "MAB Pruning", "No-Pruning")
+           ),
+           config={"figure": "11c", "l_values": [1, 2, 3, 5]})
     no_pruning = sweep.series("No-Pruning")
     assert max(no_pruning) < 3 * max(min(no_pruning), 1e-3)

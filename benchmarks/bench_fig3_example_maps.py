@@ -11,7 +11,7 @@ two maps organically from a Yelp-like rating group.
 
 import numpy as np
 
-from repro.bench import bench_database, paper_vs_measured, report
+from repro.bench import Metric, bench_database, paper_vs_measured, report
 from repro.core import RatingDistribution
 from repro.core.interestingness import InterestingnessScorer
 from repro.core.rating_maps import build_rating_map, RatingMapSpec
@@ -90,7 +90,29 @@ def test_fig3_example_maps(benchmark):
             "the bounded 1/(1+σ̃) agreement so all criteria share [0, 1]."
         ),
     )
-    report("fig3_example_maps", text)
+    report(
+        "fig3_example_maps",
+        text,
+        metrics={
+            "rm_conciseness": Metric(
+                measured["rm conciseness"], unit="score",
+                higher_is_better=None, portable=True,
+            ),
+            "rm2_conciseness": Metric(
+                measured["rm' conciseness"], unit="score",
+                higher_is_better=None, portable=True,
+            ),
+            "rm_agreement": Metric(
+                measured["rm agreement (1/σ̃)"], unit="score",
+                higher_is_better=None, portable=True,
+            ),
+            "rm2_agreement": Metric(
+                measured["rm' agreement (1/σ̃)"], unit="score",
+                higher_is_better=None, portable=True,
+            ),
+        },
+        config={"figure": "3"},
+    )
     # conciseness is a pure count ratio — must match exactly
     assert abs(measured["rm conciseness"] - 16.6) < 0.1
     assert abs(measured["rm' conciseness"] - 33.3) < 0.1
@@ -126,4 +148,11 @@ def test_fig3_maps_arise_organically(benchmark):
         + by_neigh.render()
         + "\n\n"
         + by_gender.render(),
+        metrics={
+            "informative_maps": Metric(
+                float(by_neigh.is_informative) + float(by_gender.is_informative),
+                unit="maps", higher_is_better=True, portable=True,
+            ),
+        },
+        config={"figure": "3", "dataset": "yelp"},
     )

@@ -14,7 +14,7 @@ UD < RP and FA < RP regardless of expertise and domain knowledge.
 import numpy as np
 import pytest
 
-from repro.bench import bench_database, bench_recommender_config, bench_subjects, report
+from repro.bench import Metric, bench_database, bench_recommender_config, bench_subjects, report
 from repro.core.engine import SubDEx, SubDExConfig
 from repro.core.modes import ExplorationMode
 from repro.userstudy import (
@@ -88,7 +88,22 @@ def test_fig7_guidance(benchmark, dataset, scenario, n_steps):
     for mode, mean in means.items():
         lo, hi = bands[mode]
         lines.append(f"  {mode.short}: measured {mean:.2f}, paper {lo}–{hi}")
-    report(f"fig7_guidance_{dataset}_scenario{scenario}", "\n".join(lines))
+    report(
+        f"fig7_guidance_{dataset}_scenario{scenario}",
+        "\n".join(lines),
+        metrics={
+            f"{mode.short.lower()}_mean": Metric(
+                mean, unit="score", higher_is_better=None, portable=True
+            )
+            for mode, mean in means.items()
+        },
+        config={
+            "dataset": dataset,
+            "scenario": scenario,
+            "n_steps": n_steps,
+            "n_subjects_per_cell": bench_subjects(),
+        },
+    )
 
     rp = means[ExplorationMode.RECOMMENDATION_POWERED]
     ud = means[ExplorationMode.USER_DRIVEN]

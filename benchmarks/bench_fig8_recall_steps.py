@@ -8,7 +8,7 @@ recall at every step count, for both scenarios.
 
 import numpy as np
 
-from repro.bench import bench_database, bench_recommender_config, bench_subjects, report
+from repro.bench import Metric, bench_database, bench_recommender_config, bench_subjects, report
 from repro.core.engine import SubDEx, SubDExConfig
 from repro.core.modes import ExplorationMode
 from repro.userstudy import (
@@ -54,7 +54,18 @@ def test_fig8_recall_vs_steps(benchmark):
         + "\npaper: RP dominates at every step count; recall is "
         "non-decreasing in steps for every mode."
     )
-    report("fig8_recall_steps", text)
+    report(
+        "fig8_recall_steps",
+        text,
+        metrics={
+            f"{mode.short.lower()}_final_recall": Metric(
+                float(values[-1]), unit="recall",
+                higher_is_better=None, portable=True,
+            )
+            for mode, values in series.items()
+        },
+        config={"max_steps": _MAX_STEPS, "dataset": "movielens"},
+    )
 
     for mode, values in series.items():
         # recall is cumulative → non-decreasing

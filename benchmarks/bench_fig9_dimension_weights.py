@@ -11,7 +11,7 @@ from collections import Counter
 
 import numpy as np
 
-from repro.bench import bench_database, bench_recommender_config, format_table, report
+from repro.bench import Metric, bench_database, bench_recommender_config, format_table, report
 from repro.core.engine import SubDEx, SubDExConfig
 from repro.core.generator import GeneratorConfig
 from repro.core.modes import run_fully_automated
@@ -55,7 +55,21 @@ def test_fig9_dimension_weights(benchmark):
         "paper: weights balance the dimensions; without them one dimension "
         "can dominate."
     )
-    report("fig9_dimension_weights", text)
+    report(
+        "fig9_dimension_weights",
+        text,
+        metrics={
+            "spread_with_dw": Metric(
+                float(spread_with), unit="std",
+                higher_is_better=None, portable=True,
+            ),
+            "spread_without_dw": Metric(
+                float(spread_without), unit="std",
+                higher_is_better=None, portable=True,
+            ),
+        },
+        config={"n_steps": _N_STEPS, "dataset": "yelp"},
+    )
     # with weights every dimension appears at least once over 21 maps
     assert all(with_dw.get(d, 0) >= 1 for d in dims)
     # and the display is at least as balanced as without weights

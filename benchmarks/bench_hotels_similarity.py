@@ -10,7 +10,7 @@ from dataclasses import replace
 
 import numpy as np
 
-from repro.bench import bench_scale, bench_subjects, format_table, report
+from repro.bench import Metric, bench_scale, bench_subjects, format_table, report
 from repro.core.engine import SubDEx, SubDExConfig
 from repro.core.generator import GeneratorConfig
 from repro.core.modes import run_fully_automated
@@ -73,7 +73,21 @@ def test_hotels_shows_same_trend_as_yelp(benchmark):
             "{:.2f}",
         )
     )
-    report("hotels_similarity", text)
+    report(
+        "hotels_similarity",
+        text,
+        metrics={
+            "utility_only_score": Metric(
+                measured["Utility-only"], unit="score",
+                higher_is_better=None, portable=True,
+            ),
+            "diversity_only_score": Metric(
+                measured["Diversity-only"], unit="score",
+                higher_is_better=None, portable=True,
+            ),
+        },
+        config={"dataset": "hotels", "n_subjects": bench_subjects()},
+    )
     assert (
         measured["Utility-only"] >= measured["Diversity-only"] - 0.15
     )

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 
-from repro.bench import format_table, report, time_call
+from repro.bench import Metric, format_table, report, time_call
 from repro.core.engine import SubDEx, SubDExConfig
 from repro.datasets import yelp
 from repro.index.verify import diff_recommendations
@@ -78,7 +78,19 @@ def test_index_speedup(benchmark):
         + "\nidentical = indexed recommendations fingerprint-equal to the"
         " naive oracle in this same run."
     )
-    report("index_speedup", text)
+    metrics = {}
+    for name, (speedup, naive_s, fast_s, __) in outcomes.items():
+        metrics[f"{name}_naive_s"] = naive_s
+        metrics[f"{name}_indexed_s"] = fast_s
+        metrics[f"{name}_speedup"] = Metric(
+            speedup, unit="x", higher_is_better=True, portable=True
+        )
+    report(
+        "index_speedup",
+        text,
+        metrics=metrics,
+        config={"base_sf": _base_sf(), "scales": dict(_SCALES)},
+    )
 
     for name, (speedup, naive_s, fast_s, diffs) in outcomes.items():
         assert not diffs, f"{name}: indexed differs from naive: {diffs[:3]}"

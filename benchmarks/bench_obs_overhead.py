@@ -10,12 +10,18 @@ into:
 * ``on`` — tracing enabled with an in-memory ring-buffer sink (the
   server's default configuration);
 * ``on+jsonl`` — tracing enabled with the ring buffer *and* a JSONL
-  file sink flushing every finished trace to disk.
+  file sink flushing every finished trace to disk;
+* ``profiled`` — tracing disabled but the sampling profiler
+  (:mod:`repro.perf.profiler`) actively snapshotting every thread stack
+  at its default 5 ms interval, as during ``GET /debug/profile``.
 
-Rounds are interleaved (off, on, on+jsonl, off, ...) so clock drift and
-cache warmth hit all variants equally.  The acceptance bar is the issue's:
-enabled tracing stays within 5% of the disabled baseline (plus a small
-absolute allowance for timer noise on short runs).
+Rounds are interleaved (off, on, on+jsonl, profiled, off, ...) so clock
+drift and cache warmth hit all variants equally.  The acceptance bar is
+the issue's: enabled tracing — and an in-flight profile — stay within 5%
+of the disabled baseline (plus a small absolute allowance for timer noise
+on short runs).  When no profile is being taken the profiler has no
+thread and no hooks, so its steady-state idle overhead is structurally
+zero; the bar here bounds the worst case, sampling *on*.
 """
 
 from __future__ import annotations
@@ -23,10 +29,11 @@ from __future__ import annotations
 import os
 import tempfile
 
-from repro.bench import format_table, report, time_call
+from repro.bench import Metric, format_table, report, time_call
 from repro.core.engine import SubDEx, SubDExConfig
 from repro.datasets import yelp
 from repro.obs import JsonlTraceSink, TraceRingBuffer, configure, get_tracer
+from repro.perf import SamplingProfiler, filter_stacks, merge_profiles
 
 _ROUNDS = int(os.environ.get("REPRO_OBS_BENCH_ROUNDS", "3"))
 _RELATIVE_SLACK = 1.05  # the ≤5% overhead acceptance bar
@@ -86,7 +93,24 @@ def test_obs_overhead(benchmark, tmp_path_factory):
             configure(False)
             tracer.clear_sinks()
 
-    variants = (("off", run_off), ("on", run_on), ("on+jsonl", run_on_jsonl))
+    profiles = []
+
+    def run_profiled():
+        configure(False)
+        tracer.clear_sinks()
+        profiler = SamplingProfiler(interval=0.005)
+        profiler.start()
+        try:
+            return time_call(lambda: _workload(database))[1]
+        finally:
+            profiles.append(profiler.stop())
+
+    variants = (
+        ("off", run_off),
+        ("on", run_on),
+        ("on+jsonl", run_on_jsonl),
+        ("profiled", run_profiled),
+    )
 
     def run():
         samples = {name: [] for name, __ in variants}
@@ -94,43 +118,82 @@ def test_obs_overhead(benchmark, tmp_path_factory):
         for __ in range(_ROUNDS):  # interleaved: drift hits all variants
             for name, fn in variants:
                 samples[name].append(fn())
-        return {
-            name: sum(times) / len(times) for name, times in samples.items()
-        }
+        return samples
 
-    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    samples = benchmark.pedantic(run, rounds=1, iterations=1)
+    means = {
+        name: sum(times) / len(times) for name, times in samples.items()
+    }
+    # the per-variant minimum estimates the noise floor: co-scheduling
+    # spikes inflate the mean but cannot make a run *faster*, so the
+    # overhead gate and the portable ratios compare bests
+    bests = {name: min(times) for name, times in samples.items()}
     spans_recorded = sum(
         t["n_spans"] for t in ring.snapshot()
     )
     jsonl.close()
 
-    off = means["off"]
+    off = bests["off"]
     rows = [
         (
             name,
             f"{means[name] * 1000.0:.1f}",
-            f"{means[name] / off:.3f}x" if off else "n/a",
+            f"{bests[name] * 1000.0:.1f}",
+            f"{bests[name] / off:.3f}x" if off else "n/a",
         )
         for name, __ in variants
     ]
+    merged = merge_profiles(profiles)
     text = (
-        "== Tracing overhead: exploration workload, tracer off/on/on+jsonl ==\n"
-        + format_table(("variant", "mean (ms)", "vs off"), rows)
+        "== Observability overhead: tracer off/on/on+jsonl, profiler on ==\n"
+        + format_table(("variant", "mean (ms)", "best (ms)", "vs off"), rows)
         + f"\nrounds per variant: {_ROUNDS} (REPRO_OBS_BENCH_ROUNDS)"
         + f"\nscale factor: {_scale_factor()} (REPRO_OBS_BENCH_SF)"
         + f"\nspans recorded while enabled: {spans_recorded}"
-        + f"\nacceptance: enabled within {(_RELATIVE_SLACK - 1) * 100:.0f}%"
-        + f" of disabled (+{_ABSOLUTE_SLACK_S * 1000:.0f}ms noise allowance)"
+        + f"\nprofiler samples: {merged.n_samples} over {len(merged)} stacks"
+        + f"\nacceptance: enabled/profiled within"
+        + f" {(_RELATIVE_SLACK - 1) * 100:.0f}% of disabled"
+        + f" (+{_ABSOLUTE_SLACK_S * 1000:.0f}ms noise allowance)"
     )
-    report("obs_overhead", text)
+    metrics = {
+        name: bests[name] for name in ("off", "on", "profiled")
+    }
+    metrics["on_jsonl"] = bests["on+jsonl"]
+    if off:
+        for name, key in (
+            ("on", "on_vs_off"),
+            ("on+jsonl", "jsonl_vs_off"),
+            ("profiled", "profiled_vs_off"),
+        ):
+            metrics[key] = Metric(
+                bests[name] / off, unit="x",
+                higher_is_better=False, portable=True,
+            )
+    metrics["spans_recorded"] = Metric(
+        float(spans_recorded), unit="spans",
+        higher_is_better=None, portable=True,
+    )
+    report(
+        "obs_overhead",
+        text,
+        metrics=metrics,
+        config={"rounds": _ROUNDS, "scale_factor": _scale_factor()},
+    )
 
     assert spans_recorded > 0, "enabled runs recorded no spans"
+    assert merged.n_samples > 0, "the profiler took no samples"
+    # sampling during real engine work must see the engine on the stacks
+    assert filter_stacks(merged, "repro."), (
+        "profiled workload shows no repro frames in any sampled stack"
+    )
+    import threading as _threading
+
+    assert not any(
+        "profiler" in thread.name for thread in _threading.enumerate()
+    ), "a profiler thread outlived its stop()"
     budget = off * _RELATIVE_SLACK + _ABSOLUTE_SLACK_S
-    assert means["on"] <= budget, (
-        f"tracing overhead too high: on={means['on']:.3f}s vs "
-        f"off={off:.3f}s (budget {budget:.3f}s)"
-    )
-    assert means["on+jsonl"] <= budget, (
-        f"jsonl tracing overhead too high: {means['on+jsonl']:.3f}s vs "
-        f"off={off:.3f}s (budget {budget:.3f}s)"
-    )
+    for name in ("on", "on+jsonl", "profiled"):
+        assert bests[name] <= budget, (
+            f"{name} overhead too high: best {bests[name]:.3f}s vs "
+            f"off={off:.3f}s (budget {budget:.3f}s)"
+        )

@@ -27,6 +27,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.bench import (
+    Metric,
     bench_database,
     bench_recommender_config,
     format_table,
@@ -293,7 +294,33 @@ def _report(results: dict) -> str:
 def test_resilience_chaos(benchmark):
     results = benchmark.pedantic(_run_chaos, rounds=1, iterations=1)
     text = _report(results)
-    report("resilience", text)
+    summary = latency_summary(results["outcomes"].latencies)
+    report(
+        "resilience",
+        text,
+        metrics={
+            "throughput_rps": Metric(
+                results["outcomes"].total / results["storm_elapsed"],
+                unit="req/s", higher_is_better=True,
+            ),
+            "latency_p95_s": summary["p95"],
+            "availability": Metric(
+                results["outcomes"].ok / results["outcomes"].total
+                if results["outcomes"].total else 0.0,
+                unit="ratio", higher_is_better=True, portable=True,
+            ),
+            "deadline_worst_s": max(results["deadline_durations"]),
+            "restored_identical": Metric(
+                float(results["restored_identical"]), unit="sessions",
+                higher_is_better=None, portable=True,
+            ),
+        },
+        config={
+            "n_clients": N_CLIENTS,
+            "handler_error_rate": HANDLER_ERROR_RATE,
+            "slow_engine_rate": SLOW_ENGINE_RATE,
+        },
+    )
     outcomes: Outcomes = results["outcomes"]
 
     # every request answered with well-formed JSON — even the injected 500s

@@ -7,6 +7,7 @@ the engine-vs-engine comparison surface the paper says SDE needs.
 """
 
 from repro.bench import (
+    Metric,
     bench_database,
     bench_recommender_config,
     format_table,
@@ -57,7 +58,18 @@ def test_sde_suite_scores_modes(benchmark):
         )
         + "\nguided modes should not trail the unguided one overall."
     )
-    report("sde_suite", text)
+    report(
+        "sde_suite",
+        text,
+        metrics={
+            f"{mode.short.lower()}_overall_recall": Metric(
+                float(values.get("overall", 0.0)), unit="recall",
+                higher_is_better=None, portable=True,
+            )
+            for mode, values in scores.items()
+        },
+        config={"dataset": "yelp", "n_anomaly_tasks": 2, "n_insight_tasks": 1},
+    )
     rp = scores[ExplorationMode.RECOMMENDATION_POWERED]["overall"]
     ud = scores[ExplorationMode.USER_DRIVEN]["overall"]
     assert rp >= ud - 0.25

@@ -16,6 +16,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.bench import (
+    Metric,
     bench_database,
     bench_recommender_config,
     format_table,
@@ -104,7 +105,24 @@ def test_server_throughput(benchmark):
         _run_load, rounds=1, iterations=1
     )
     text = _report(latencies, elapsed, metrics)
-    report("server_throughput", text)
+    summary = latency_summary(latencies)
+    report(
+        "server_throughput",
+        text,
+        metrics={
+            "throughput_rps": Metric(
+                len(latencies) / elapsed, unit="req/s", higher_is_better=True
+            ),
+            "latency_p50_s": summary["p50"],
+            "latency_p95_s": summary["p95"],
+            "latency_mean_s": summary["mean"],
+            "result_cache_hit_rate": Metric(
+                metrics["caches"]["yelp"]["result"]["hit_rate"],
+                unit="ratio", higher_is_better=True, portable=True,
+            ),
+        },
+        config={"n_users": N_USERS, "steps_per_user": STEPS_PER_USER},
+    )
     # /metrics saw the traffic…
     assert metrics["requests"]["total"] >= len(latencies)
     assert metrics["requests"]["by_endpoint"]["POST /sessions"]["count"] == N_USERS

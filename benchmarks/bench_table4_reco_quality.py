@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.baselines import Qagview, QagviewConfig, SDDConfig, SmartDrillDown
 from repro.bench import (
+    Metric,
     bench_recommender_config,
     bench_subjects,
     format_table,
@@ -81,7 +82,19 @@ def test_table4_recommendation_quality(benchmark):
         + "\nshape: SubDEx ≥ both baselines on both datasets (drill-down-"
         "only recommenders cannot roll up to reach the second group)."
     )
-    report("table4_reco_quality", text)
+    report(
+        "table4_reco_quality",
+        text,
+        metrics={
+            f"{name}_{baseline.lower()}_score": Metric(
+                measured[name][baseline], unit="score",
+                higher_is_better=None, portable=True,
+            )
+            for name in ("movielens", "yelp")
+            for baseline in ("SubDEx", "SDD", "Qagview")
+        },
+        config={"n_instances": _N_INSTANCES, "n_steps": 7},
+    )
     for name in ("movielens", "yelp"):
         assert measured[name]["SubDEx"] >= measured[name]["SDD"] - 1e-9
         assert measured[name]["SubDEx"] >= measured[name]["Qagview"] - 1e-9

@@ -13,6 +13,7 @@ falls — l = 3 balances both.
 from dataclasses import replace
 
 from repro.bench import (
+    Metric,
     bench_database,
     bench_recommender_config,
     format_table,
@@ -109,7 +110,31 @@ def test_table5_utility_vs_diversity(benchmark):
         "absorbing the effect the paper attributes to l; absolute utilities "
         "differ because our normalisation is absolute, the paper's min–max."
     )
-    report("table5_utility_diversity", text)
+    def _key(label: str) -> str:
+        return (
+            label.lower()
+            .replace(" ", "")
+            .replace("(l=1)", "")
+            .replace("-", "_")
+            .replace("=", "")
+        )
+
+    bench_metrics: dict[str, Metric] = {}
+    for label, __ in _CONFIGS:
+        attrs, utility, diversity = measured[label]
+        key = _key(label)
+        bench_metrics[f"{key}_attrs"] = Metric(
+            float(attrs), unit="attrs", higher_is_better=None, portable=True
+        )
+        bench_metrics[f"{key}_diversity"] = Metric(
+            diversity, unit="div", higher_is_better=None, portable=True
+        )
+    report(
+        "table5_utility_diversity",
+        text,
+        metrics=bench_metrics,
+        config={"dataset": "yelp", "n_steps": _N_STEPS},
+    )
 
     diversity_by_label = {label: measured[label][2] for label, __ in _CONFIGS}
     # the l trade-off the formulation guarantees: larger pools ⇒ the GMM

@@ -11,6 +11,7 @@ from dataclasses import replace
 import numpy as np
 
 from repro.bench import (
+    Metric,
     bench_database,
     bench_recommender_config,
     bench_subjects,
@@ -84,7 +85,19 @@ def test_table6_utility_only_beats_diversity_only(benchmark):
         + format_table(["dataset", "path type", "measured", "paper"], rows)
         + "\nshape: utility-only ≥ diversity-only on both datasets."
     )
-    report("table6_utility_vs_diversity", text)
+    report(
+        "table6_utility_vs_diversity",
+        text,
+        metrics={
+            f"{name}_{label.lower().replace('-', '_')}_score": Metric(
+                measured[name][label], unit="score",
+                higher_is_better=None, portable=True,
+            )
+            for name in ("movielens", "yelp")
+            for label in _CONFIGS
+        },
+        config={"n_instances": _N_INSTANCES, "n_steps": 7},
+    )
     for name in ("movielens", "yelp"):
         assert (
             measured[name]["Utility-only"]

@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and collect ``BENCH_*.json`` results.
+
+Each benchmark file runs in its own pytest subprocess so one failing
+bench cannot take down the rest of the suite.  With ``--best-of N`` the
+whole selected suite runs N times into temporary directories and the
+per-benchmark results are merged metric-by-metric (minimum for
+lower-is-better, maximum for higher-is-better, last run for
+informational metrics) before landing in ``--results-dir`` — the
+standard noise defence for wall-clock numbers.
+
+Typical usage::
+
+    # quick CI-scale trajectory run, 3 repetitions, merged results
+    python scripts/bench_all.py --suite quick --best-of 3 \
+        --results-dir /tmp/bench-current --scale 0.05 --subjects 2
+
+    # then gate against the committed baseline
+    python scripts/check_regression.py --baseline benchmarks/baseline \
+        --current /tmp/bench-current --portable-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.perf.benchjson import (  # noqa: E402
+    BenchResult,
+    load_results_dir,
+    merge_best,
+)
+
+#: The reduced suite CI runs every push: fast benches whose portable
+#: metrics (speedups, hit rates, accuracy ratios) are machine-comparable.
+QUICK_SUITE = (
+    "bench_index_speedup.py",
+    "bench_obs_overhead.py",
+    "bench_server_throughput.py",
+    "bench_caching_interactivity.py",
+    "bench_ablation_sharing.py",
+    "bench_ablation_sampling.py",
+)
+
+
+def suite_files(suite: str) -> list[str]:
+    if suite == "quick":
+        return list(QUICK_SUITE)
+    return sorted(
+        path.name for path in (REPO / "benchmarks").glob("bench_*.py")
+    )
+
+
+def run_suite_once(
+    files: list[str], results_dir: Path, env: dict[str, str]
+) -> list[str]:
+    """Run each bench file in its own pytest process; returns failures."""
+    failures: list[str] = []
+    run_env = dict(env, REPRO_BENCH_RESULTS=str(results_dir))
+    for name in files:
+        started = time.perf_counter()
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(REPO / "benchmarks" / name),
+                "-q",
+                "-p",
+                "no:cacheprovider",
+                "--benchmark-disable-gc",
+            ],
+            cwd=REPO,
+            env=run_env,
+            capture_output=True,
+            text=True,
+        )
+        seconds = time.perf_counter() - started
+        status = "ok" if completed.returncode == 0 else "FAILED"
+        print(f"  {name:<45s} {status:>6s}  {seconds:7.1f}s", flush=True)
+        if completed.returncode != 0:
+            failures.append(name)
+            tail = (completed.stdout + completed.stderr).splitlines()[-15:]
+            for line in tail:
+                print(f"    | {line}")
+    return failures
+
+
+def merge_runs(run_dirs: list[Path], out_dir: Path) -> dict[str, BenchResult]:
+    """Best-of-k merge every benchmark seen across the repetition dirs."""
+    by_name: dict[str, list[BenchResult]] = {}
+    for run_dir in run_dirs:
+        results, problems = load_results_dir(run_dir)
+        for filename, errors in problems.items():
+            print(f"  invalid {filename}: {'; '.join(errors)}")
+        for name, result in results.items():
+            by_name.setdefault(name, []).append(result)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    merged: dict[str, BenchResult] = {}
+    for name, runs in sorted(by_name.items()):
+        merged[name] = merge_best(runs)
+        path = out_dir / f"BENCH_{name}.json"
+        payload = merged[name].to_dict()
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+            + "\n",
+            encoding="utf-8",
+        )
+    # keep the human-readable .txt tables from the final repetition
+    for txt in sorted(run_dirs[-1].glob("*.txt")):
+        shutil.copy2(txt, out_dir / txt.name)
+    return merged
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the benchmark suite, emitting BENCH_*.json results"
+    )
+    parser.add_argument(
+        "--suite",
+        choices=("quick", "full"),
+        default="quick",
+        help="quick = the CI subset; full = every benchmarks/bench_*.py",
+    )
+    parser.add_argument(
+        "--best-of",
+        type=int,
+        default=1,
+        metavar="N",
+        help="repeat the suite N times and merge best-of-N per metric",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default=str(REPO / "benchmarks" / "results"),
+        help="where the merged BENCH_*.json files land",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="sets REPRO_BENCH_SCALE (dataset scale factor)",
+    )
+    parser.add_argument(
+        "--subjects",
+        type=int,
+        default=None,
+        help="sets REPRO_BENCH_SUBJECTS (simulated subjects per cell)",
+    )
+    args = parser.parse_args(argv)
+    if args.best_of < 1:
+        parser.error("--best-of must be >= 1")
+
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    if args.scale is not None:
+        env["REPRO_BENCH_SCALE"] = str(args.scale)
+    if args.subjects is not None:
+        env["REPRO_BENCH_SUBJECTS"] = str(args.subjects)
+
+    files = suite_files(args.suite)
+    all_failures: set[str] = set()
+    with tempfile.TemporaryDirectory(prefix="bench_all_") as tmp:
+        run_dirs = []
+        for repetition in range(args.best_of):
+            run_dir = Path(tmp) / f"run{repetition}"
+            run_dir.mkdir()
+            print(
+                f"== repetition {repetition + 1}/{args.best_of} "
+                f"({args.suite} suite, {len(files)} benches) =="
+            )
+            all_failures.update(run_suite_once(files, run_dir, env))
+            run_dirs.append(run_dir)
+        merged = merge_runs(run_dirs, Path(args.results_dir))
+
+    print(
+        f"wrote {len(merged)} BENCH_*.json results to {args.results_dir}"
+        + (f" (best of {args.best_of})" if args.best_of > 1 else "")
+    )
+    if all_failures:
+        print(f"FAILED benches: {', '.join(sorted(all_failures))}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Gate current ``BENCH_*.json`` results against a committed baseline.
+
+Thin wrapper over :func:`repro.perf.regression.compare_dirs` — the
+comparison rules (relative threshold, absolute wall-clock noise floor,
+informational metrics never gated, missing/invalid results fail) live in
+the library so tests exercise them directly.
+
+Exit status: 0 when nothing regressed, 1 when any baseline benchmark is
+missing, schema-invalid, or worse than ``--threshold`` allows.
+
+Typical CI invocation (machine-independent metrics only)::
+
+    python scripts/check_regression.py \
+        --baseline benchmarks/baseline --current /tmp/bench-current \
+        --portable-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.perf.regression import (  # noqa: E402
+    DEFAULT_MIN_SECONDS,
+    DEFAULT_THRESHOLD,
+    compare_dirs,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare BENCH_*.json results against a baseline"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO / "benchmarks" / "baseline"),
+        help="directory holding the committed baseline BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--current",
+        default=str(REPO / "benchmarks" / "results"),
+        help="directory holding the current run's BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative worseness tolerated before a metric regresses "
+        f"(default {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="absolute delta below which second-valued metrics never "
+        f"regress (default {DEFAULT_MIN_SECONDS})",
+    )
+    parser.add_argument(
+        "--portable-only",
+        action="store_true",
+        help="gate only machine-independent metrics (ratios, rates); "
+        "absolute timings are reported but never fail",
+    )
+    args = parser.parse_args(argv)
+
+    if not Path(args.baseline).is_dir():
+        print(f"baseline directory not found: {args.baseline}")
+        return 1
+    report = compare_dirs(
+        args.baseline,
+        args.current,
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+        portable_only=args.portable_only,
+    )
+    print(report.render())
+    if report.failed:
+        print("REGRESSION GATE: FAILED")
+        return 1
+    print("REGRESSION GATE: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,7 @@
 """Benchmark harness (S18): timing, sweeps, tables, shared workloads."""
 
 from .harness import (
+    Metric,
     Sweep,
     Timer,
     format_series,
@@ -32,6 +33,7 @@ from .workloads import (
 __all__ = [
     "BenchmarkSuite",
     "BenchmarkTask",
+    "Metric",
     "Sweep",
     "Timer",
     "bench_database",

@@ -16,7 +16,10 @@ from typing import Callable, Iterable, Mapping, Sequence, TypeVar
 
 import numpy as np
 
+from ..perf.benchjson import Metric, write_bench_json
+
 __all__ = [
+    "Metric",
     "Timer",
     "time_call",
     "Sweep",
@@ -191,17 +194,36 @@ def paper_vs_measured(
     return "\n".join(parts)
 
 
-def report(name: str, text: str) -> str:
+def report(
+    name: str,
+    text: str,
+    metrics: Mapping[str, Metric | float] | None = None,
+    config: Mapping[str, object] | None = None,
+) -> str:
     """Print an experiment's table and persist it under the results dir.
 
     The directory defaults to ``benchmarks/results`` (override with the
     ``REPRO_BENCH_RESULTS`` environment variable); one ``<name>.txt`` file
     per experiment, so every table/figure regeneration leaves a reviewable
     artifact even when pytest captures stdout.
+
+    When ``metrics`` is given, a schema-valid machine-readable
+    ``BENCH_<name>.json`` (see :mod:`repro.perf.benchjson`) is written
+    next to the ``.txt``: the input to ``scripts/check_regression.py`` and
+    the repo's perf trajectory.  Plain floats become non-portable
+    lower-is-better seconds; pass :class:`~repro.perf.benchjson.Metric`
+    for ratios/scores (portable) or paper-reproduction values
+    (``higher_is_better=None`` — informational, never gated).
     """
     directory = Path(os.environ.get("REPRO_BENCH_RESULTS", "benchmarks/results"))
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
-    print(f"\n{text}\n[written to {path}]")
+    written = str(path)
+    if metrics:
+        json_path = write_bench_json(
+            name, metrics, config=config, directory=directory
+        )
+        written = f"{path}, {json_path}"
+    print(f"\n{text}\n[written to {written}]")
     return str(path)

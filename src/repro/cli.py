@@ -9,7 +9,10 @@ Four subcommands:
   edits the selection with ``add``/``drop`` commands or a SQL predicate
   (the "advanced screen" of the paper's UI), or quits;
 * ``serve`` — run the concurrent multi-session exploration service
-  (:mod:`repro.server`).
+  (:mod:`repro.server`);
+* ``profile`` — run any other subcommand in-process under the sampling
+  profiler (:mod:`repro.perf.profiler`) and emit flamegraph-ready
+  collapsed stacks or JSON.
 
 Sessions can be exported as JSON exploration logs (``--log``), the input
 for the personalisation extension.
@@ -23,6 +26,7 @@ Examples::
     python -m repro explore --dataset movielens --steps 5 --log run.json
     python -m repro interactive --dataset yelp
     python -m repro serve --dataset yelp --port 8642
+    python -m repro profile --output prof.txt -- explore --steps 3
 """
 
 from __future__ import annotations
@@ -267,6 +271,67 @@ def cmd_serve(args: argparse.Namespace, out=None) -> int:
     return serve(factories, host=args.host, port=args.port, config=config, out=out)
 
 
+def cmd_profile(args: argparse.Namespace, out=None) -> int:
+    """Run another subcommand in-process under the sampling profiler.
+
+    Sampling only sees this process's threads, so the inner command runs
+    in-process (same interpreter) rather than as a subprocess.  With
+    ``--output`` the profile goes to a file in pure collapsed/JSON form
+    (pipe it straight into ``flamegraph.pl`` or speedscope); without it,
+    the profile is printed after the inner command's own output.
+    """
+    import json as json_module
+
+    from .perf.profiler import SamplingProfiler
+
+    out = out or sys.stdout
+    inner = list(args.inner)
+    if inner and inner[0] == "--":
+        inner = inner[1:]
+    if not inner:
+        raise CLIError(
+            "profile needs a command to run, e.g. "
+            "repro profile -- explore --steps 3"
+        )
+    if inner[0] == "profile":
+        raise CLIError("cannot nest profile inside profile")
+    inner_args = build_parser().parse_args(inner)
+    try:
+        profiler = SamplingProfiler(interval=args.interval_ms / 1000.0)
+    except ValueError as error:
+        raise CLIError(str(error)) from None
+    profiler.start()
+    try:
+        exit_code = inner_args.fn(inner_args)
+    finally:
+        profile = profiler.stop()
+    if args.format == "collapsed":
+        rendered = profile.render_collapsed()
+    else:
+        rendered = json_module.dumps(profile.to_dict(), indent=2) + "\n"
+    if args.output:
+        try:
+            Path(args.output).write_text(rendered, encoding="utf-8")
+        except OSError as error:
+            raise CLIError(
+                f"cannot write --output file {args.output!r}: {error}"
+            ) from None
+        print(
+            f"profile written to {args.output} "
+            f"({profile.n_samples} samples, {len(profile)} stacks, "
+            f"{profile.duration_seconds:.2f}s)",
+            file=out,
+        )
+    else:
+        print(
+            f"\n━━ profile: {profile.n_samples} samples, "
+            f"{len(profile)} stacks, {profile.duration_seconds:.2f}s ━━",
+            file=out,
+        )
+        out.write(rendered)
+    return exit_code
+
+
 # -- parser ---------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -343,6 +408,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="log requests slower than this at WARNING with "
                               "their span tree (0 logs everything)")
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run another subcommand under the sampling profiler",
+    )
+    p_profile.add_argument("--interval-ms", type=float, default=5.0,
+                           help="milliseconds between stack samples")
+    p_profile.add_argument("--format", default="collapsed",
+                           choices=("collapsed", "json"),
+                           help="collapsed stacks (flamegraph.pl/speedscope) "
+                                "or JSON with sampling metadata")
+    p_profile.add_argument("--output", default=None,
+                           help="write the profile to this file instead of "
+                                "printing it after the command's output")
+    p_profile.add_argument("inner", nargs=argparse.REMAINDER,
+                           help="the repro subcommand to profile, after --")
+    p_profile.set_defaults(fn=cmd_profile)
 
     return parser
 

@@ -11,6 +11,8 @@ this subsystem:
   gauges and bounded histograms, rendered as JSON or Prometheus text;
 * :mod:`repro.obs.sinks` — trace destinations: in-memory ring buffer
   (``GET /debug/traces``), JSONL file, slow-request WARNING log;
+* :mod:`repro.obs.process` — process-level health gauges (RSS, GC
+  collections, thread count, uptime) as a scrape-time collector;
 * :mod:`repro.obs.logs` — stdlib ``logging`` formatters (text/JSON) that
   stamp the active trace id on every line.
 
@@ -26,6 +28,7 @@ from .metrics import (
     MetricFamily,
     MetricsRegistry,
 )
+from .process import ProcessCollector, rss_bytes
 from .sinks import JsonlTraceSink, SlowTraceLog, TraceRingBuffer, render_tree
 from .tracing import (
     Span,
@@ -50,6 +53,7 @@ __all__ = [
     "JsonlTraceSink",
     "MetricFamily",
     "MetricsRegistry",
+    "ProcessCollector",
     "SlowTraceLog",
     "Span",
     "TextLogFormatter",
@@ -63,6 +67,7 @@ __all__ = [
     "current_trace_partial",
     "get_tracer",
     "render_tree",
+    "rss_bytes",
     "setup_logging",
     "span",
     "span_tree",

@@ -1,0 +1,118 @@
+"""Process-level health collectors for the metrics registry.
+
+Request-scoped metrics (latency histograms, cache hit rates) say how the
+workload behaves; these gauges say how the *process* is doing while it
+serves that workload — resident memory, GC pressure, thread count and
+uptime.  They are the first thing to check when latency drifts with no
+code change: a growing RSS or a busy GC explains a lot of mysteries.
+
+:class:`ProcessCollector` is a scrape-time collector — register it with
+:meth:`~repro.obs.metrics.MetricsRegistry.register_collector` and every
+``collect()`` (JSON or Prometheus exposition) reads fresh values.  No
+background thread, no state beyond the start timestamp.
+
+Everything here is stdlib.  RSS comes from ``/proc/self/statm`` where
+available (Linux), falling back to ``resource.getrusage`` (portable, but
+peak-RSS semantics on Linux and byte-unit differences on macOS — the
+fallback normalises to bytes best-effort and is clearly better than
+nothing).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import threading
+import time
+from typing import Any
+
+from .metrics import MetricFamily
+
+__all__ = ["ProcessCollector", "rss_bytes"]
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def rss_bytes() -> int | None:
+    """Current resident set size in bytes, or ``None`` if unobtainable."""
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports kilobytes, macOS bytes; normalise to bytes
+        return peak * 1024 if sys.platform != "darwin" else peak
+    except (ImportError, OSError):
+        return None
+
+
+class ProcessCollector:
+    """Scrape-time process gauges: RSS, GC, threads, uptime."""
+
+    def __init__(self, started_monotonic: float | None = None) -> None:
+        self._started = (
+            started_monotonic
+            if started_monotonic is not None
+            else time.monotonic()
+        )
+
+    @property
+    def uptime_seconds(self) -> float:
+        return max(0.0, time.monotonic() - self._started)
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``process`` section of the JSON ``/metrics`` payload."""
+        counts = gc.get_count()
+        collections = [stats["collections"] for stats in gc.get_stats()]
+        return {
+            "rss_bytes": rss_bytes(),
+            "gc_objects_pending": sum(counts),
+            "gc_collections": {
+                f"gen{index}": count
+                for index, count in enumerate(collections)
+            },
+            "threads": threading.active_count(),
+            "uptime_seconds": self.uptime_seconds,
+        }
+
+    def __call__(self) -> list[MetricFamily]:
+        """Registry collector protocol: fresh families per scrape."""
+        families: list[MetricFamily] = []
+        rss = rss_bytes()
+        if rss is not None:
+            family = MetricFamily(
+                "subdex_process_resident_memory_bytes",
+                "gauge",
+                "Resident set size of the server process.",
+            )
+            family.add(float(rss))
+            families.append(family)
+        collections = MetricFamily(
+            "subdex_process_gc_collections_total",
+            "counter",
+            "Garbage collections per generation since process start.",
+        )
+        for index, stats in enumerate(gc.get_stats()):
+            collections.add(stats["collections"], generation=str(index))
+        families.append(collections)
+        threads = MetricFamily(
+            "subdex_process_threads",
+            "gauge",
+            "Live Python threads in the server process.",
+        )
+        threads.add(float(threading.active_count()))
+        families.append(threads)
+        uptime = MetricFamily(
+            "subdex_process_uptime_seconds",
+            "gauge",
+            "Seconds since the server process started.",
+        )
+        uptime.add(self.uptime_seconds)
+        families.append(uptime)
+        return families

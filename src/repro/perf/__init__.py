@@ -1,0 +1,69 @@
+"""``repro.perf`` — performance observability.
+
+Three pillars, layered on :mod:`repro.obs` (ISSUE 5):
+
+* :mod:`repro.perf.profiler` — a stdlib sampling wall-clock profiler
+  (``sys._current_frames()`` on a background thread) with
+  flamegraph-ready collapsed-stack output; behind ``GET /debug/profile``
+  and ``python -m repro profile``;
+* :mod:`repro.perf.spanstats` — span cost accounting: a trace sink that
+  aggregates finished spans into per-operation inclusive/exclusive time,
+  call counts and p50/p95 tables; behind ``GET /debug/spans/summary``
+  and span-cost families on the metrics registry;
+* :mod:`repro.perf.benchjson` + :mod:`repro.perf.regression` — the
+  unified ``BENCH_<name>.json`` benchmark result schema, the best-of-k
+  merge, and the baseline regression gate behind
+  ``scripts/check_regression.py``.
+
+See ``docs/PERFORMANCE.md`` for the schema and the regression-gate
+workflow, ``docs/OBSERVABILITY.md`` for the profiling endpoints.
+"""
+
+from .benchjson import (
+    SCHEMA_VERSION,
+    BenchResult,
+    Metric,
+    env_fingerprint,
+    git_sha,
+    load_results_dir,
+    merge_best,
+    validate_bench_result,
+    write_bench_json,
+)
+from .profiler import (
+    Profile,
+    SamplingProfiler,
+    filter_stacks,
+    merge_profiles,
+    profile_for,
+)
+from .regression import (
+    Comparison,
+    RegressionReport,
+    compare_dirs,
+    compare_results,
+)
+from .spanstats import SpanStatsSink, tree_costs
+
+__all__ = [
+    "BenchResult",
+    "Comparison",
+    "Metric",
+    "Profile",
+    "RegressionReport",
+    "SCHEMA_VERSION",
+    "SamplingProfiler",
+    "SpanStatsSink",
+    "compare_dirs",
+    "compare_results",
+    "env_fingerprint",
+    "filter_stacks",
+    "git_sha",
+    "load_results_dir",
+    "merge_best",
+    "merge_profiles",
+    "profile_for",
+    "tree_costs",
+    "validate_bench_result",
+    "write_bench_json",
+]

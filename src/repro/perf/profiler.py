@@ -1,0 +1,251 @@
+"""A stdlib sampling wall-clock profiler.
+
+A background thread periodically snapshots every thread's Python stack via
+``sys._current_frames()`` and counts identical stacks.  Sampling answers
+the fleet-level question tracing cannot: *where does aggregate time go*,
+across every request and maintenance thread at once, with no
+instrumentation on any hot path — the profiled code runs unmodified, and
+when no profile is being taken the profiler costs nothing at all (no
+thread, no hooks).
+
+The result renders two ways:
+
+* **collapsed** — one ``frame;frame;...;leaf count`` line per distinct
+  stack, the flamegraph-ready format of Brendan Gregg's ``flamegraph.pl``
+  and speedscope's "collapsed stacks" importer;
+* **json** — a machine-readable dict with per-stack counts plus sampling
+  metadata (duration, interval, sample/stack counts).
+
+Accuracy notes: this is a *wall-clock* profiler — a thread blocked on a
+lock or socket is sampled right where it waits, which is exactly what a
+latency investigation wants.  The sampler holds the GIL while it walks
+frames, so the overhead scales with thread count × sampling rate; the
+default 5 ms interval keeps it well under the observability layer's 5%
+budget (``benchmarks/bench_obs_overhead.py`` enforces this).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Profile",
+    "SamplingProfiler",
+    "filter_stacks",
+    "merge_profiles",
+    "profile_for",
+]
+
+#: Default seconds between stack snapshots (5 ms ≈ 200 Hz).
+DEFAULT_INTERVAL = 0.005
+
+_PROFILER_THREAD_NAME = "subdex-profiler"
+
+
+def _frame_label(frame) -> str:
+    """``module:function`` — compact, aggregatable across processes."""
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}:{frame.f_code.co_name}"
+
+
+def _walk_stack(frame, label_cache: dict) -> tuple[str, ...]:
+    """Root-first labels of one thread's stack.
+
+    ``label_cache`` maps code objects to their rendered labels: the same
+    functions appear in every sample, so label formatting (a globals
+    lookup plus an f-string) happens once per function per run instead of
+    once per frame per sample.  Keys are the code objects themselves —
+    keeping them alive for the run's duration makes id-reuse impossible.
+    """
+    labels: list[str] = []
+    while frame is not None:
+        code = frame.f_code
+        label = label_cache.get(code)
+        if label is None:
+            label = _frame_label(frame)
+            label_cache[code] = label
+        labels.append(label)
+        frame = frame.f_back
+    labels.reverse()
+    return tuple(labels)
+
+
+class Profile:
+    """A finished sampling run: stack → sample count, plus metadata."""
+
+    def __init__(
+        self,
+        stacks: Mapping[tuple[str, ...], int],
+        n_samples: int,
+        duration_seconds: float,
+        interval_seconds: float,
+    ) -> None:
+        self.stacks = dict(stacks)
+        self.n_samples = n_samples
+        self.duration_seconds = duration_seconds
+        self.interval_seconds = interval_seconds
+
+    def __len__(self) -> int:
+        return len(self.stacks)
+
+    def total_samples(self) -> int:
+        """Thread-stack observations (≥ ``n_samples`` with many threads)."""
+        return sum(self.stacks.values())
+
+    def render_collapsed(self) -> str:
+        """Flamegraph-ready collapsed stacks, heaviest first."""
+        lines = [
+            ";".join(stack) + f" {count}"
+            for stack, count in sorted(
+                self.stacks.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "duration_seconds": self.duration_seconds,
+            "interval_seconds": self.interval_seconds,
+            "n_samples": self.n_samples,
+            "n_stacks": len(self.stacks),
+            "total_stack_samples": self.total_samples(),
+            "stacks": [
+                {"frames": list(stack), "count": count}
+                for stack, count in sorted(
+                    self.stacks.items(), key=lambda item: (-item[1], item[0])
+                )
+            ],
+        }
+
+    def top_functions(self, limit: int = 20) -> list[tuple[str, int]]:
+        """Leaf-frame sample counts — the "where is time spent" headline."""
+        leaves: Counter[str] = Counter()
+        for stack, count in self.stacks.items():
+            if stack:
+                leaves[stack[-1]] += count
+        return leaves.most_common(limit)
+
+
+class SamplingProfiler:
+    """Samples all thread stacks on a background thread.
+
+    .. code-block:: python
+
+        profiler = SamplingProfiler(interval=0.005)
+        profiler.start()
+        ...  # workload
+        profile = profiler.stop()
+        print(profile.render_collapsed())
+
+    Also usable as a context manager (the profile is on ``.profile``
+    afterwards).  ``start`` after ``start`` raises; ``stop`` without
+    ``start`` raises — the profiler is one-shot by design, so a finished
+    run's data can never be mixed into a later one.
+    """
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL) -> None:
+        if not 0.0001 <= interval <= 1.0:
+            raise ValueError(
+                f"interval must be in [0.0001, 1.0] seconds, got {interval}"
+            )
+        self.interval = float(interval)
+        self._samples: Counter[tuple[str, ...]] = Counter()
+        self._n_samples = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at: float | None = None
+        self.profile: Profile | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started (one-shot)")
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name=_PROFILER_THREAD_NAME, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> Profile:
+        if self._thread is None:
+            raise RuntimeError("profiler was never started")
+        self._stop.set()
+        # the sampling loop wakes at most one interval later; join with a
+        # generous bound so a wedged interpreter surfaces as a test failure
+        # rather than a hang
+        self._thread.join(timeout=max(1.0, self.interval * 20))
+        assert not self._thread.is_alive(), "profiler thread failed to stop"
+        duration = time.perf_counter() - (self._started_at or 0.0)
+        self.profile = Profile(
+            self._samples, self._n_samples, duration, self.interval
+        )
+        return self.profile
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        own_id = threading.get_ident()
+        label_cache: dict = {}
+        while not self._stop.wait(self.interval):
+            frames = sys._current_frames()
+            self._n_samples += 1
+            for thread_id, frame in frames.items():
+                if thread_id == own_id:
+                    continue
+                self._samples[_walk_stack(frame, label_cache)] += 1
+            del frames  # drop the frame references promptly
+
+
+def profile_for(seconds: float, interval: float = DEFAULT_INTERVAL) -> Profile:
+    """Block for ``seconds`` while sampling every other thread.
+
+    The serving layer's ``GET /debug/profile`` body: the handler thread
+    sleeps (and is sampled doing so — an honest picture of an idle server)
+    while the sampler watches the rest of the process.
+    """
+    if seconds <= 0:
+        raise ValueError(f"seconds must be > 0, got {seconds}")
+    profiler = SamplingProfiler(interval=interval)
+    profiler.start()
+    try:
+        time.sleep(seconds)
+    finally:
+        profile = profiler.stop()
+    return profile
+
+
+def filter_stacks(
+    profile: Profile, substring: str
+) -> dict[tuple[str, ...], int]:
+    """Stacks containing a frame whose label contains ``substring``."""
+    return {
+        stack: count
+        for stack, count in profile.stacks.items()
+        if any(substring in label for label in stack)
+    }
+
+
+def merge_profiles(profiles: Iterable[Profile]) -> Profile:
+    """Sum several runs (e.g. per-round benchmark profiles) into one."""
+    stacks: Counter[tuple[str, ...]] = Counter()
+    n_samples = 0
+    duration = 0.0
+    interval = DEFAULT_INTERVAL
+    for profile in profiles:
+        stacks.update(profile.stacks)
+        n_samples += profile.n_samples
+        duration += profile.duration_seconds
+        interval = profile.interval_seconds
+    return Profile(stacks, n_samples, duration, interval)

@@ -1,0 +1,209 @@
+"""The regression gate: compare a results directory against a baseline.
+
+``scripts/check_regression.py`` is a thin wrapper over
+:func:`compare_dirs`; the logic lives here so tests exercise it directly
+and future tooling (dashboards, bisect drivers) can reuse it.
+
+Comparison rules, per benchmark present in the baseline:
+
+* a benchmark missing from the current results is a **failure** — a
+  silently dropped bench would otherwise read as "no regression";
+* per metric with a direction (``higher_is_better`` true/false), the
+  current value may be worse than baseline by at most ``threshold``
+  (relative) before it counts as a regression.  Tiny absolute wall-clock
+  noise is forgiven by ``min_seconds`` for second-valued metrics — a
+  3 ms → 5 ms jump is a 66% "regression" that means nothing;
+* informational metrics (direction ``None``) and, under
+  ``portable_only``, machine-dependent metrics are reported but never
+  gated;
+* improvements are recorded (the trajectory's good news) and never fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .benchjson import BenchResult, load_results_dir
+
+__all__ = ["Comparison", "RegressionReport", "compare_dirs", "compare_results"]
+
+#: Default relative tolerance before a worse value counts as a regression.
+DEFAULT_THRESHOLD = 0.25
+#: Second-valued metrics below this absolute delta never regress (noise).
+DEFAULT_MIN_SECONDS = 0.02
+
+_SECOND_UNITS = frozenset({"s", "sec", "seconds"})
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One metric's baseline-vs-current verdict."""
+
+    bench: str
+    metric: str
+    baseline: float
+    current: float
+    unit: str
+    higher_is_better: bool | None
+    portable: bool
+    #: "ok" | "regression" | "improvement" | "informational" | "skipped"
+    status: str
+    #: Signed relative change, positive = worse (direction-aware).
+    relative_change: float | None = None
+
+    def describe(self) -> str:
+        arrow = f"{self.baseline:.4g} -> {self.current:.4g} {self.unit}".strip()
+        change = (
+            f" ({self.relative_change:+.1%} worse)"
+            if self.relative_change is not None and self.relative_change > 0
+            else (
+                f" ({-self.relative_change:.1%} better)"
+                if self.relative_change is not None and self.relative_change < 0
+                else ""
+            )
+        )
+        return f"{self.bench}.{self.metric}: {arrow}{change} [{self.status}]"
+
+
+@dataclass
+class RegressionReport:
+    """Everything :func:`compare_dirs` found, ready for printing/exiting."""
+
+    comparisons: list[Comparison] = field(default_factory=list)
+    missing_benches: list[str] = field(default_factory=list)
+    new_benches: list[str] = field(default_factory=list)
+    invalid_files: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def regressions(self) -> list[Comparison]:
+        return [c for c in self.comparisons if c.status == "regression"]
+
+    @property
+    def improvements(self) -> list[Comparison]:
+        return [c for c in self.comparisons if c.status == "improvement"]
+
+    @property
+    def failed(self) -> bool:
+        return bool(
+            self.regressions or self.missing_benches or self.invalid_files
+        )
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for name, errors in sorted(self.invalid_files.items()):
+            lines.append(f"INVALID  {name}: {'; '.join(errors)}")
+        for name in self.missing_benches:
+            lines.append(f"MISSING  {name}: in baseline but not in current run")
+        for comparison in self.comparisons:
+            if comparison.status == "regression":
+                lines.append(f"WORSE    {comparison.describe()}")
+        for comparison in self.comparisons:
+            if comparison.status == "improvement":
+                lines.append(f"BETTER   {comparison.describe()}")
+        ok = sum(1 for c in self.comparisons if c.status == "ok")
+        info = sum(
+            1
+            for c in self.comparisons
+            if c.status in ("informational", "skipped")
+        )
+        for name in self.new_benches:
+            lines.append(f"NEW      {name}: no baseline yet")
+        lines.append(
+            f"checked {len(self.comparisons)} metrics: "
+            f"{len(self.regressions)} regressed, "
+            f"{len(self.improvements)} improved, {ok} within tolerance, "
+            f"{info} informational/skipped"
+        )
+        return "\n".join(lines)
+
+
+def _relative_worseness(
+    baseline: float, current: float, higher_is_better: bool
+) -> float:
+    """Positive = worse, negative = better, scaled by the baseline."""
+    scale = max(abs(baseline), 1e-12)
+    delta = (current - baseline) / scale
+    return -delta if higher_is_better else delta
+
+
+def compare_results(
+    baseline: BenchResult,
+    current: BenchResult,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    portable_only: bool = False,
+) -> list[Comparison]:
+    """Compare one benchmark's current metrics against its baseline."""
+    comparisons: list[Comparison] = []
+    for key, base_metric in sorted(baseline.metrics.items()):
+        cur_metric = current.metrics.get(key)
+        if cur_metric is None:
+            # a vanished metric is suspicious but not a regression: bench
+            # configs evolve; the baseline refresh workflow covers it
+            continue
+        common = {
+            "bench": baseline.name,
+            "metric": key,
+            "baseline": base_metric.value,
+            "current": cur_metric.value,
+            "unit": cur_metric.unit,
+            "higher_is_better": base_metric.higher_is_better,
+            "portable": base_metric.portable,
+        }
+        if base_metric.higher_is_better is None:
+            comparisons.append(Comparison(**common, status="informational"))
+            continue
+        if portable_only and not base_metric.portable:
+            comparisons.append(Comparison(**common, status="skipped"))
+            continue
+        worseness = _relative_worseness(
+            base_metric.value, cur_metric.value, base_metric.higher_is_better
+        )
+        status = "ok"
+        if worseness > threshold:
+            status = "regression"
+            if (
+                base_metric.unit in _SECOND_UNITS
+                and abs(cur_metric.value - base_metric.value) < min_seconds
+            ):
+                status = "ok"  # sub-noise absolute delta on a timing metric
+        elif worseness < -threshold:
+            status = "improvement"
+        comparisons.append(
+            Comparison(**common, status=status, relative_change=worseness)
+        )
+    return comparisons
+
+
+def compare_dirs(
+    baseline_dir: str | Path,
+    current_dir: str | Path,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    portable_only: bool = False,
+) -> RegressionReport:
+    """Compare every baseline ``BENCH_*.json`` against the current run."""
+    baseline, baseline_problems = load_results_dir(baseline_dir)
+    current, current_problems = load_results_dir(current_dir)
+    report = RegressionReport()
+    # a malformed file on either side fails the gate: the baseline must
+    # stay trustworthy and the current run must be schema-valid
+    for name, errors in {**baseline_problems, **current_problems}.items():
+        report.invalid_files[name] = errors
+    for name, base_result in sorted(baseline.items()):
+        cur_result = current.get(name)
+        if cur_result is None:
+            report.missing_benches.append(name)
+            continue
+        report.comparisons.extend(
+            compare_results(
+                base_result,
+                cur_result,
+                threshold=threshold,
+                min_seconds=min_seconds,
+                portable_only=portable_only,
+            )
+        )
+    report.new_benches = sorted(set(current) - set(baseline))
+    return report

@@ -1,0 +1,231 @@
+"""Span cost accounting: finished traces → per-operation cost tables.
+
+Tracing (PR 4) answers "where did *this* request's time go"; this module
+answers the aggregate question — across every traced request, which
+operations dominate, how often do they run, and what do their latency
+tails look like.  It is the span-level analogue of a database's EXPLAIN
+summary: per span name,
+
+* **count** and **errors**;
+* **inclusive** time — the span's own duration (children included);
+* **exclusive** time — inclusive minus the time spent in direct child
+  spans, i.e. the cost attributable to the operation itself.  Exclusive
+  times over a trace sum to the root's inclusive time, so the table's
+  exclusive column is a true cost breakdown;
+* **p50/p95** of inclusive duration, from a bounded per-operation
+  reservoir of the most recent observations.
+
+:class:`SpanStatsSink` is a plain trace sink (``sink(trace)``) — attach it
+to a :class:`~repro.obs.tracing.Tracer` next to the ring buffer.  The
+aggregation is one dict update per span behind one lock, far cheaper than
+anything traced.  ``summary()`` renders the table for
+``GET /debug/spans/summary``; ``collect()`` produces
+:class:`~repro.obs.metrics.MetricFamily` values for the metrics registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Mapping
+
+from ..obs.metrics import MetricFamily
+from ..obs.tracing import Trace
+
+__all__ = ["SpanStatsSink", "percentile", "tree_costs"]
+
+#: Inclusive-duration observations kept per span name for percentiles.
+DEFAULT_RESERVOIR = 512
+
+
+def percentile(samples: list[float], q: float) -> float | None:
+    """The ``q``-th percentile (0–100), linear interpolation, stdlib-only.
+
+    Returns ``None`` for an empty sample set (JSON ``null``; never NaN).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class _OpStats:
+    """Accumulated cost of one span name."""
+
+    __slots__ = ("count", "errors", "inclusive", "exclusive", "reservoir")
+
+    def __init__(self, reservoir_size: int) -> None:
+        self.count = 0
+        self.errors = 0
+        self.inclusive = 0.0  # seconds
+        self.exclusive = 0.0  # seconds
+        self.reservoir: deque[float] = deque(maxlen=reservoir_size)
+
+    def snapshot(self, name: str) -> dict[str, Any]:
+        samples = list(self.reservoir)
+        p50 = percentile(samples, 50.0)
+        p95 = percentile(samples, 95.0)
+        return {
+            "name": name,
+            "count": self.count,
+            "errors": self.errors,
+            "inclusive_ms": self.inclusive * 1000.0,
+            "exclusive_ms": self.exclusive * 1000.0,
+            "mean_inclusive_ms": (
+                self.inclusive / self.count * 1000.0 if self.count else None
+            ),
+            "p50_ms": p50 * 1000.0 if p50 is not None else None,
+            "p95_ms": p95 * 1000.0 if p95 is not None else None,
+        }
+
+
+class SpanStatsSink:
+    """Aggregate finished traces into per-operation cost accounting."""
+
+    def __init__(self, reservoir_size: int = DEFAULT_RESERVOIR) -> None:
+        if reservoir_size < 1:
+            raise ValueError(
+                f"reservoir_size must be >= 1, got {reservoir_size}"
+            )
+        self._reservoir_size = reservoir_size
+        self._lock = threading.Lock()
+        self._ops: dict[str, _OpStats] = {}
+        self.traces_seen = 0
+
+    def __call__(self, trace: Trace) -> None:
+        # time in direct children, keyed by parent span id — subtracting it
+        # from each span's own duration yields exclusive (self) time
+        child_seconds: dict[str, float] = {}
+        for span in trace.spans:
+            if span.parent_id is not None:
+                child_seconds[span.parent_id] = (
+                    child_seconds.get(span.parent_id, 0.0)
+                    + span.duration_seconds
+                )
+        with self._lock:
+            self.traces_seen += 1
+            for span in trace.spans:
+                stats = self._ops.get(span.name)
+                if stats is None:
+                    stats = self._ops[span.name] = _OpStats(
+                        self._reservoir_size
+                    )
+                inclusive = span.duration_seconds
+                stats.count += 1
+                if span.status != "ok":
+                    stats.errors += 1
+                stats.inclusive += inclusive
+                # clamp: a child that outlives its parent (pooled work
+                # joined after the span closed) must not go negative
+                stats.exclusive += max(
+                    0.0, inclusive - child_seconds.get(span.span_id, 0.0)
+                )
+                stats.reservoir.append(inclusive)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._ops.clear()
+            self.traces_seen = 0
+
+    def summary(self, limit: int | None = None) -> dict[str, Any]:
+        """The ``/debug/spans/summary`` payload, heaviest-exclusive first."""
+        with self._lock:
+            rows = [
+                stats.snapshot(name) for name, stats in self._ops.items()
+            ]
+            traces_seen = self.traces_seen
+        rows.sort(key=lambda row: -row["exclusive_ms"])
+        if limit is not None:
+            rows = rows[: max(0, limit)]
+        return {"traces_seen": traces_seen, "operations": rows}
+
+    def collect(self) -> list[MetricFamily]:
+        """Registry collector: span cost gauges/counters by operation."""
+        with self._lock:
+            snapshots = [
+                stats.snapshot(name) for name, stats in sorted(self._ops.items())
+            ]
+        counts = MetricFamily(
+            "subdex_span_count_total",
+            "counter",
+            "Finished spans by operation name.",
+        )
+        errors = MetricFamily(
+            "subdex_span_errors_total",
+            "counter",
+            "Spans finishing in error status by operation name.",
+        )
+        inclusive = MetricFamily(
+            "subdex_span_inclusive_seconds_total",
+            "counter",
+            "Total inclusive (children included) span time by operation.",
+        )
+        exclusive = MetricFamily(
+            "subdex_span_exclusive_seconds_total",
+            "counter",
+            "Total exclusive (self) span time by operation.",
+        )
+        quantiles = MetricFamily(
+            "subdex_span_seconds",
+            "gauge",
+            "Recent inclusive span duration quantiles by operation.",
+        )
+        for row in snapshots:
+            name = row["name"]
+            counts.add(row["count"], name=name)
+            errors.add(row["errors"], name=name)
+            inclusive.add(row["inclusive_ms"] / 1000.0, name=name)
+            exclusive.add(row["exclusive_ms"] / 1000.0, name=name)
+            for q in ("p50", "p95"):
+                value = row[f"{q}_ms"]
+                if value is not None:
+                    quantiles.add(value / 1000.0, name=name, quantile=q)
+        return [counts, errors, inclusive, exclusive, quantiles]
+
+
+def tree_costs(tree: Mapping[str, Any]) -> list[dict[str, Any]]:
+    """Flatten one ``?debug=1`` span tree into per-operation costs.
+
+    The client-side analogue of :class:`SpanStatsSink` for a single
+    request: walks the nested ``{name, duration_ms, children}`` tree and
+    returns per-name rows with inclusive/exclusive milliseconds and call
+    counts, heaviest-exclusive first.  Used by
+    :meth:`repro.server.client.SubDExClient.explain`.
+    """
+    totals: dict[str, dict[str, float]] = {}
+
+    def visit(node: Mapping[str, Any]) -> None:
+        children = node.get("children") or ()
+        inclusive = float(node.get("duration_ms", 0.0))
+        child_ms = sum(float(c.get("duration_ms", 0.0)) for c in children)
+        row = totals.setdefault(
+            str(node.get("name", "?")),
+            {"count": 0.0, "inclusive_ms": 0.0, "exclusive_ms": 0.0},
+        )
+        row["count"] += 1
+        row["inclusive_ms"] += inclusive
+        row["exclusive_ms"] += max(0.0, inclusive - child_ms)
+        for child in children:
+            visit(child)
+
+    if tree:
+        visit(tree)
+    rows = [
+        {
+            "name": name,
+            "count": int(row["count"]),
+            "inclusive_ms": row["inclusive_ms"],
+            "exclusive_ms": row["exclusive_ms"],
+        }
+        for name, row in totals.items()
+    ]
+    rows.sort(key=lambda row: -row["exclusive_ms"])
+    return rows

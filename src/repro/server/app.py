@@ -25,6 +25,9 @@ Endpoints (all JSON; see ``docs/API.md`` for the full reference)::
 
     GET    /health                          liveness + datasets
     GET    /metrics                         serving metrics
+    GET    /debug/traces                    recent finished traces
+    GET    /debug/profile                   sampling profiler (collapsed/json)
+    GET    /debug/spans/summary             span-derived cost accounting
     POST   /sessions                        create a session (opening step)
     GET    /sessions                        list live sessions
     GET    /sessions/{id}                   session summary
@@ -54,8 +57,11 @@ from ..core.history import ExplorationLog
 from ..core.modes import ExplorationMode, ExplorationPath
 from ..exceptions import EmptyGroupError, OperationError, ReproError
 from ..obs.metrics import MetricFamily
+from ..obs.process import ProcessCollector
 from ..obs.sinks import JsonlTraceSink, SlowTraceLog, TraceRingBuffer
 from ..obs.tracing import Tracer, current_trace_partial
+from ..perf.profiler import SamplingProfiler
+from ..perf.spanstats import SpanStatsSink
 from ..resilience.breaker import BreakerOpenError, CircuitBreaker
 from ..resilience.checkpoint import (
     CheckpointStore,
@@ -138,6 +144,9 @@ class ServerConfig:
     #: Requests slower than this are logged at WARNING with their span
     #: tree; ``None`` disables the slow-request log.
     slow_request_ms: float | None = 1000.0
+    #: Upper bound on one ``GET /debug/profile`` sampling window — the
+    #: handler thread is occupied for the whole window, so cap it.
+    profile_max_seconds: float = 30.0
 
 
 class DatasetLoadError(ReproError):
@@ -286,6 +295,10 @@ _ROUTES: list[tuple[str, re.Pattern, str, str, Priority]] = [
      Priority.CRITICAL),
     ("GET", re.compile(r"^/debug/traces$"), "handle_debug_traces",
      "GET /debug/traces", Priority.CRITICAL),
+    ("GET", re.compile(r"^/debug/profile$"), "handle_debug_profile",
+     "GET /debug/profile", Priority.CRITICAL),
+    ("GET", re.compile(r"^/debug/spans/summary$"), "handle_debug_spans",
+     "GET /debug/spans/summary", Priority.CRITICAL),
     ("POST", re.compile(r"^/sessions$"), "handle_create", "POST /sessions",
      Priority.HEAVY),
     ("GET", re.compile(r"^/sessions$"), "handle_list", "GET /sessions",
@@ -412,10 +425,12 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
                         # duration reports elapsed-so-far, the handler's
                         # child spans are final
                         payload["debug"] = current_trace_partial()
+        elapsed = time.perf_counter() - started
+        headers = {**headers, "X-Server-Ms": f"{elapsed * 1000.0:.3f}"}
+        # record before sending so a client that has the response in hand
+        # is guaranteed to see its own request on a follow-up /metrics read
+        self.server.metrics.observe(label or "<unmatched>", status, elapsed)
         self._send(status, payload, headers)
-        self.server.metrics.observe(
-            label or "<unmatched>", status, time.perf_counter() - started
-        )
 
     def _incoming_trace_id(self) -> str | None:
         """A client-supplied ``X-Trace-Id``, if well-formed (else ignored)."""
@@ -634,11 +649,13 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
                 "(supported: json, prometheus)",
                 "invalid_request",
             )
-        return 200, self.server.metrics.snapshot(
+        payload = self.server.metrics.snapshot(
             sessions=self.server.registry.counters(),
             caches=self.server.pool.cache_snapshots(),
             resilience=self.server.resilience_snapshot(),
         )
+        payload["process"] = self.server.process_collector.snapshot()
+        return 200, payload
 
     def handle_debug_traces(self) -> tuple[int, dict[str, Any]]:
         query = self._query()
@@ -674,6 +691,94 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
             "returned": len(traces),
             "traces": traces,
         }
+
+    def handle_debug_profile(self) -> tuple[int, dict[str, Any] | str]:
+        """Sample every thread's stack for a window; render the result.
+
+        The handler thread sleeps through the window (and is sampled doing
+        so); the profiler thread watches the rest of the process, so the
+        profile covers all concurrent request handling.  One profile at a
+        time — a second request while one is running gets 409 rather than
+        doubling the sampling overhead.
+        """
+        query = self._query()
+        seconds = 1.0
+        if "seconds" in query:
+            try:
+                seconds = float(query["seconds"][-1])
+            except ValueError:
+                raise ProtocolError(
+                    f"query parameter seconds must be a number, "
+                    f"got {query['seconds'][-1]!r}",
+                    "invalid_request",
+                ) from None
+        limit = self.server.config.profile_max_seconds
+        if not 0.0 < seconds <= limit:
+            raise ProtocolError(
+                f"query parameter seconds must be in (0, {limit:g}], "
+                f"got {seconds:g}",
+                "invalid_request",
+            )
+        interval = 0.005
+        if "interval_ms" in query:
+            try:
+                interval = float(query["interval_ms"][-1]) / 1000.0
+            except ValueError:
+                raise ProtocolError(
+                    f"query parameter interval_ms must be a number, "
+                    f"got {query['interval_ms'][-1]!r}",
+                    "invalid_request",
+                ) from None
+        fmt = query.get("format", ["collapsed"])[-1]
+        if fmt not in ("collapsed", "json"):
+            raise ProtocolError(
+                f"unknown profile format {fmt!r} "
+                "(supported: collapsed, json)",
+                "invalid_request",
+            )
+        if not self.server.profile_lock.acquire(blocking=False):
+            return 409, error_payload(
+                "profile_in_progress",
+                "another profile is being taken; retry when it finishes",
+                retryable=True,
+            )
+        try:
+            try:
+                profiler = SamplingProfiler(interval=interval)
+            except ValueError as error:
+                raise ProtocolError(str(error), "invalid_request") from None
+            profiler.start()
+            try:
+                time.sleep(seconds)
+            finally:
+                profile = profiler.stop()
+        finally:
+            self.server.profile_lock.release()
+        if fmt == "collapsed":
+            return 200, profile.render_collapsed()
+        return 200, profile.to_dict()
+
+    def handle_debug_spans(self) -> tuple[int, dict[str, Any]]:
+        """Span cost accounting: the aggregate per-operation cost table."""
+        query = self._query()
+        limit: int | None = None
+        if "limit" in query:
+            try:
+                limit = int(query["limit"][-1])
+            except ValueError:
+                raise ProtocolError(
+                    f"query parameter limit must be an integer, "
+                    f"got {query['limit'][-1]!r}",
+                    "invalid_request",
+                ) from None
+            if limit < 1:
+                raise ProtocolError(
+                    f"query parameter limit must be >= 1, got {limit}",
+                    "invalid_request",
+                )
+        payload = self.server.span_stats.summary(limit=limit)
+        payload["tracing_enabled"] = self.server.tracer.enabled
+        return 200, payload
 
     # -- session lifecycle ---------------------------------------------------
     def handle_create(self) -> tuple[int, dict[str, Any]]:
@@ -865,6 +970,15 @@ class SubDExServer(ThreadingHTTPServer):
         if self.config.slow_request_ms is not None:
             self.slow_log = SlowTraceLog(self.config.slow_request_ms, _log)
             self.tracer.add_sink(self.slow_log)
+        # span cost accounting (GET /debug/spans/summary + registry
+        # families) and process health gauges (RSS/GC/threads/uptime)
+        self.span_stats = SpanStatsSink()
+        self.tracer.add_sink(self.span_stats)
+        self.metrics.registry.register_collector(self.span_stats.collect)
+        self.process_collector = ProcessCollector()
+        self.metrics.registry.register_collector(self.process_collector)
+        #: serialises GET /debug/profile: one sampling run at a time
+        self.profile_lock = threading.Lock()
         self.gate = AdmissionGate(
             hard_limit=self.config.max_inflight,
             soft_limit=self.config.soft_inflight,

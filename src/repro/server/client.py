@@ -38,6 +38,7 @@ from typing import Any, Callable, Mapping
 from urllib.parse import urlencode, urlsplit
 
 from ..exceptions import ReproError
+from ..perf.spanstats import tree_costs
 
 __all__ = [
     "ClientSession",
@@ -157,6 +158,10 @@ class SubDExClient:
         self.trace_id = trace_id
         #: The server-assigned trace id of the most recent response.
         self.last_trace_id: str | None = None
+        #: Server-side handling time of the most recent response (the
+        #: ``X-Server-Ms`` header) — subtracting it from the client-side
+        #: wall clock isolates network + queueing from actual work.
+        self.last_server_ms: float | None = None
 
     # -- plumbing -----------------------------------------------------------
     def _connect(self) -> http.client.HTTPConnection:
@@ -204,15 +209,34 @@ class SubDExClient:
         trace_id = response.getheader("X-Trace-Id")
         if trace_id is not None:
             self.last_trace_id = trace_id
-        try:
-            data = json.loads(raw) if raw else {}
-        except json.JSONDecodeError as error:
-            raise ServerError(
-                response.status,
-                "invalid_response",
-                f"non-JSON body: {error}",
-                trace_id=trace_id,
-            ) from None
+        server_ms: float | None = None
+        raw_server_ms = response.getheader("X-Server-Ms")
+        if raw_server_ms is not None:
+            try:
+                server_ms = float(raw_server_ms)
+            except ValueError:
+                server_ms = None
+        self.last_server_ms = server_ms
+        content_type = response.getheader("Content-Type") or ""
+        if response.status < 400 and "application/json" not in content_type:
+            # text endpoints (collapsed profiles, Prometheus expositions)
+            data: dict[str, Any] = {"text": raw.decode("utf-8", "replace")}
+        else:
+            try:
+                data = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as error:
+                raise ServerError(
+                    response.status,
+                    "invalid_response",
+                    f"non-JSON body: {error}",
+                    trace_id=trace_id,
+                ) from None
+        if (
+            response.status < 400
+            and server_ms is not None
+            and isinstance(data, dict)
+        ):
+            data.setdefault("server_ms", server_ms)
         if response.status >= 400:
             error_info = data.get("error", {}) if isinstance(data, dict) else {}
             retry_after = error_info.get("retry_after")
@@ -283,6 +307,52 @@ class SubDExClient:
 
     def sessions(self) -> list[dict[str, Any]]:
         return self.request("GET", "/sessions")["sessions"]
+
+    # -- performance introspection -------------------------------------------
+    def explain(
+        self,
+        method: str,
+        path: str,
+        payload: Mapping[str, Any] | None = None,
+        query: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Re-issue a request with ``?debug=1``; return its cost breakdown.
+
+        The returned dict carries the raw span ``tree`` (the server's
+        ``debug`` payload), a flattened per-operation ``costs`` table
+        (inclusive/exclusive milliseconds, heaviest first), the
+        ``server_ms`` handling time and the ``trace_id`` to quote when
+        digging further in ``/debug/traces``.
+        """
+        merged = dict(query or {})
+        merged["debug"] = 1
+        data = self.request(method, path, payload, query=merged)
+        debug = data.get("debug") or {}
+        tree = debug.get("spans") or {}
+        return {
+            "trace_id": debug.get("trace_id") or self.last_trace_id,
+            "server_ms": data.get("server_ms"),
+            "tree": tree,
+            "costs": tree_costs(tree),
+        }
+
+    def profile(
+        self,
+        seconds: float = 1.0,
+        fmt: str = "collapsed",
+        interval_ms: float | None = None,
+    ) -> str | dict[str, Any]:
+        """Sample the server for ``seconds``; collapsed text or JSON dict."""
+        query: dict[str, Any] = {"seconds": seconds, "format": fmt}
+        if interval_ms is not None:
+            query["interval_ms"] = interval_ms
+        data = self.request("GET", "/debug/profile", query=query)
+        return data["text"] if fmt == "collapsed" else data
+
+    def spans_summary(self, limit: int | None = None) -> dict[str, Any]:
+        """The server's aggregate per-operation span cost table."""
+        query = {"limit": limit} if limit is not None else None
+        return self.request("GET", "/debug/spans/summary", query=query)
 
     def create_session(
         self,

@@ -1,0 +1,57 @@
+"""Tests for the process-level resource collectors."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import ProcessCollector, rss_bytes
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestRssBytes:
+    def test_positive_and_plausible(self):
+        rss = rss_bytes()
+        # a running CPython interpreter needs at least a few MB and fits
+        # in a TB — catches unit mistakes (pages vs bytes vs KB)
+        assert 1_000_000 < rss < 1_000_000_000_000
+
+    def test_grows_with_allocation(self):
+        before = rss_bytes()
+        ballast = bytearray(32 * 1024 * 1024)
+        after = rss_bytes()
+        del ballast
+        assert after >= before
+
+
+class TestProcessCollector:
+    def test_snapshot_fields(self):
+        collector = ProcessCollector()
+        time.sleep(0.01)
+        snapshot = collector.snapshot()
+        assert snapshot["rss_bytes"] > 0
+        assert snapshot["threads"] >= 1
+        assert snapshot["uptime_seconds"] > 0.0
+        assert snapshot["gc_objects_pending"] >= 0
+        assert set(snapshot["gc_collections"]) == {"gen0", "gen1", "gen2"}
+
+    def test_collect_families(self):
+        families = {family.name: family for family in ProcessCollector()()}
+        assert set(families) == {
+            "subdex_process_resident_memory_bytes",
+            "subdex_process_gc_collections_total",
+            "subdex_process_threads",
+            "subdex_process_uptime_seconds",
+        }
+        assert families["subdex_process_resident_memory_bytes"].kind == "gauge"
+        gc_family = families["subdex_process_gc_collections_total"]
+        assert gc_family.kind == "counter"
+        assert {
+            sample.labels["generation"] for sample in gc_family.samples
+        } == {"0", "1", "2"}
+
+    def test_registry_integration_renders_prometheus(self):
+        registry = MetricsRegistry()
+        registry.register_collector(ProcessCollector())
+        text = registry.render_prometheus()
+        assert "# HELP subdex_process_resident_memory_bytes" in text
+        assert "# TYPE subdex_process_uptime_seconds gauge" in text

@@ -1,0 +1,130 @@
+"""Tests for the stdlib sampling wall-clock profiler."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.perf import (
+    Profile,
+    SamplingProfiler,
+    filter_stacks,
+    merge_profiles,
+    profile_for,
+)
+
+
+def _spin_here(stop: threading.Event) -> None:
+    """A busy loop the sampler should catch by name."""
+    while not stop.is_set():
+        sum(range(500))
+
+
+@pytest.fixture
+def busy_thread():
+    stop = threading.Event()
+    thread = threading.Thread(target=_spin_here, args=(stop,), daemon=True)
+    thread.start()
+    yield thread
+    stop.set()
+    thread.join(timeout=5.0)
+
+
+class TestSamplingProfiler:
+    def test_captures_busy_thread(self, busy_thread):
+        profile = profile_for(0.3, interval=0.002)
+        assert profile.n_samples > 0
+        assert profile.total_samples() >= profile.n_samples
+        spinning = filter_stacks(profile, "_spin_here")
+        assert spinning, "busy loop never appeared in any sampled stack"
+        # labels are module:function
+        assert any(
+            label.endswith(":_spin_here")
+            for stack in spinning
+            for label in stack
+        )
+
+    def test_no_thread_after_stop(self, busy_thread):
+        profiler = SamplingProfiler(interval=0.002)
+        profiler.start()
+        time.sleep(0.05)
+        profiler.stop()
+        assert not profiler.running
+        assert not any(
+            "profiler" in thread.name for thread in threading.enumerate()
+        )
+
+    def test_one_shot_start(self):
+        profiler = SamplingProfiler()
+        profiler.start()
+        with pytest.raises(RuntimeError, match="one-shot"):
+            profiler.start()
+        profiler.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError, match="never started"):
+            SamplingProfiler().stop()
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=2.0)
+
+    def test_context_manager(self, busy_thread):
+        with SamplingProfiler(interval=0.002) as profiler:
+            time.sleep(0.1)
+        assert profiler.profile is not None
+        assert profiler.profile.n_samples > 0
+
+    def test_profile_for_validates_seconds(self):
+        with pytest.raises(ValueError):
+            profile_for(0.0)
+
+    def test_own_thread_not_sampled(self, busy_thread):
+        profile = profile_for(0.2, interval=0.002)
+        assert not filter_stacks(profile, "subdex-profiler")
+
+
+class TestProfileRendering:
+    def _profile(self) -> Profile:
+        return Profile(
+            {
+                ("mod:a", "mod:b"): 3,
+                ("mod:a", "mod:c"): 7,
+                ("mod:a",): 1,
+            },
+            n_samples=11,
+            duration_seconds=0.05,
+            interval_seconds=0.005,
+        )
+
+    def test_collapsed_format(self):
+        text = self._profile().render_collapsed()
+        lines = text.splitlines()
+        # heaviest stack first; "frame;frame count" per line
+        assert lines[0] == "mod:a;mod:c 7"
+        assert "mod:a;mod:b 3" in lines
+        assert text.endswith("\n")
+
+    def test_collapsed_empty(self):
+        empty = Profile({}, 0, 0.0, 0.005)
+        assert empty.render_collapsed() == ""
+
+    def test_to_dict(self):
+        payload = self._profile().to_dict()
+        assert payload["n_samples"] == 11
+        assert payload["n_stacks"] == 3
+        assert payload["total_stack_samples"] == 11
+        assert payload["stacks"][0]["count"] == 7
+
+    def test_top_functions(self):
+        top = self._profile().top_functions(limit=2)
+        assert top[0] == ("mod:c", 7)
+
+    def test_merge_profiles(self):
+        merged = merge_profiles([self._profile(), self._profile()])
+        assert merged.stacks[("mod:a", "mod:c")] == 14
+        assert merged.n_samples == 22

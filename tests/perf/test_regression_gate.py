@@ -1,0 +1,203 @@
+"""Tests for the regression gate: compare_results/compare_dirs and the
+check_regression.py CLI, including the committed baseline's self-check."""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.perf import (
+    BenchResult,
+    Metric,
+    compare_dirs,
+    compare_results,
+    write_bench_json,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+BASELINE_DIR = REPO / "benchmarks" / "baseline"
+CHECK_SCRIPT = REPO / "scripts" / "check_regression.py"
+
+
+def _result(**metrics: Metric) -> BenchResult:
+    return BenchResult(name="bench", metrics=dict(metrics), config={})
+
+
+class TestCompareResults:
+    def test_within_tolerance_is_ok(self):
+        comparisons = compare_results(
+            _result(t=Metric(1.0)), _result(t=Metric(1.1)), threshold=0.25
+        )
+        assert [c.status for c in comparisons] == ["ok"]
+
+    def test_regression_past_threshold(self):
+        (comparison,) = compare_results(
+            _result(t=Metric(1.0)), _result(t=Metric(1.5)), threshold=0.25
+        )
+        assert comparison.status == "regression"
+        assert comparison.relative_change == pytest.approx(0.5)
+
+    def test_higher_is_better_direction(self):
+        (comparison,) = compare_results(
+            _result(r=Metric(10.0, unit="x", higher_is_better=True)),
+            _result(r=Metric(6.0, unit="x", higher_is_better=True)),
+        )
+        assert comparison.status == "regression"
+        (comparison,) = compare_results(
+            _result(r=Metric(10.0, unit="x", higher_is_better=True)),
+            _result(r=Metric(14.0, unit="x", higher_is_better=True)),
+        )
+        assert comparison.status == "improvement"
+
+    def test_min_seconds_forgives_tiny_timing_noise(self):
+        # 3ms -> 5ms is 66% relative but sub-noise absolute
+        (comparison,) = compare_results(
+            _result(t=Metric(0.003)), _result(t=Metric(0.005))
+        )
+        assert comparison.status == "ok"
+        # the same relative jump on a non-second unit is NOT forgiven
+        (comparison,) = compare_results(
+            _result(t=Metric(0.003, unit="x")),
+            _result(t=Metric(0.005, unit="x")),
+        )
+        assert comparison.status == "regression"
+
+    def test_informational_never_gated(self):
+        (comparison,) = compare_results(
+            _result(s=Metric(1.0, higher_is_better=None)),
+            _result(s=Metric(100.0, higher_is_better=None)),
+        )
+        assert comparison.status == "informational"
+
+    def test_portable_only_skips_machine_dependent(self):
+        (comparison,) = compare_results(
+            _result(t=Metric(1.0, portable=False)),
+            _result(t=Metric(9.0, portable=False)),
+            portable_only=True,
+        )
+        assert comparison.status == "skipped"
+
+    def test_vanished_metric_not_compared(self):
+        assert (
+            compare_results(_result(gone=Metric(1.0)), _result(t=Metric(1.0)))
+            == []
+        )
+
+
+class TestCompareDirs:
+    def _write(self, directory, name, value, **metric_kwargs):
+        write_bench_json(
+            name,
+            {"t": Metric(value, **metric_kwargs)},
+            directory=directory,
+        )
+
+    def test_identical_dirs_pass(self, tmp_path):
+        self._write(tmp_path, "a", 1.0)
+        report = compare_dirs(tmp_path, tmp_path)
+        assert not report.failed
+        assert "0 regressed" in report.render()
+
+    def test_missing_bench_fails(self, tmp_path):
+        baseline, current = tmp_path / "base", tmp_path / "cur"
+        self._write(baseline, "a", 1.0)
+        current.mkdir()
+        report = compare_dirs(baseline, current)
+        assert report.failed
+        assert report.missing_benches == ["a"]
+        assert "MISSING" in report.render()
+
+    def test_new_bench_reported_not_failed(self, tmp_path):
+        baseline, current = tmp_path / "base", tmp_path / "cur"
+        self._write(baseline, "a", 1.0)
+        self._write(current, "a", 1.0)
+        self._write(current, "b", 1.0)
+        report = compare_dirs(baseline, current)
+        assert not report.failed
+        assert report.new_benches == ["b"]
+
+    def test_invalid_file_fails(self, tmp_path):
+        baseline, current = tmp_path / "base", tmp_path / "cur"
+        self._write(baseline, "a", 1.0)
+        self._write(current, "a", 1.0)
+        (current / "BENCH_broken.json").write_text("{oops")
+        report = compare_dirs(baseline, current)
+        assert report.failed
+        assert "BENCH_broken.json" in report.invalid_files
+
+    def test_injected_regression_fails(self, tmp_path):
+        baseline, current = tmp_path / "base", tmp_path / "cur"
+        self._write(baseline, "a", 10.0, unit="x", higher_is_better=True)
+        self._write(current, "a", 5.0, unit="x", higher_is_better=True)
+        report = compare_dirs(baseline, current)
+        assert report.failed
+        assert len(report.regressions) == 1
+
+
+@pytest.mark.skipif(
+    not BASELINE_DIR.is_dir(), reason="no committed baseline yet"
+)
+class TestCommittedBaseline:
+    def test_baseline_files_schema_valid(self):
+        from repro.perf import load_results_dir
+
+        results, problems = load_results_dir(BASELINE_DIR)
+        assert problems == {}
+        assert len(results) >= 3
+
+    def test_self_compare_passes(self):
+        report = compare_dirs(BASELINE_DIR, BASELINE_DIR, portable_only=True)
+        assert not report.failed
+
+
+class TestCheckRegressionScript:
+    def _run(self, *args: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, str(CHECK_SCRIPT), *args],
+            capture_output=True,
+            text=True,
+        )
+
+    def test_exit_zero_on_identical(self, tmp_path):
+        write_bench_json("a", {"t": 1.0}, directory=tmp_path)
+        completed = self._run(
+            "--baseline", str(tmp_path), "--current", str(tmp_path)
+        )
+        assert completed.returncode == 0, completed.stdout
+        assert "REGRESSION GATE: ok" in completed.stdout
+
+    def test_exit_nonzero_on_synthetic_regression(self, tmp_path):
+        baseline = tmp_path / "base"
+        current = tmp_path / "cur"
+        write_bench_json(
+            "a",
+            {"speedup": Metric(4.0, unit="x", higher_is_better=True,
+                               portable=True)},
+            directory=baseline,
+        )
+        # inject: copy the baseline file, then halve the speedup
+        current.mkdir()
+        shutil.copy2(
+            baseline / "BENCH_a.json", current / "BENCH_a.json"
+        )
+        payload = json.loads((current / "BENCH_a.json").read_text())
+        payload["metrics"]["speedup"]["value"] /= 2.0
+        (current / "BENCH_a.json").write_text(json.dumps(payload))
+        completed = self._run(
+            "--baseline", str(baseline), "--current", str(current),
+            "--portable-only",
+        )
+        assert completed.returncode == 1
+        assert "WORSE" in completed.stdout
+        assert "REGRESSION GATE: FAILED" in completed.stdout
+
+    def test_exit_nonzero_on_missing_baseline_dir(self, tmp_path):
+        completed = self._run(
+            "--baseline", str(tmp_path / "nope"), "--current", str(tmp_path)
+        )
+        assert completed.returncode == 1

@@ -210,6 +210,9 @@ def test_restart_restores_sessions_with_identical_history(
     assert second.metrics.event_count("sessions_restored") == 1
     reborn = no_retry_client(second.url)
     after = reborn.request("GET", f"/sessions/{session.id}/history")
+    # server_ms is per-request transport metadata, not history
+    before.pop("server_ms", None)
+    after.pop("server_ms", None)
     assert after == before
     # the restored session is live, not a read-only ghost
     step = reborn.request(

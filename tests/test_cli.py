@@ -199,3 +199,59 @@ class TestParseEdit:
         session = tiny_engine.session()
         with pytest.raises(Exception):
             _parse_edit("sql reviewer gender = 'F' OR gender = 'M'", session)
+
+
+class TestProfileCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["profile", "--", "summary", "--scale", "0.02"]
+        )
+        assert args.interval_ms == 5.0
+        assert args.format == "collapsed"
+        assert args.output is None
+        assert args.inner == ["--", "summary", "--scale", "0.02"]
+
+    def test_profiles_inner_command(self, capsys):
+        code = main(
+            ["profile", "--interval-ms", "1", "--", "summary",
+             "--dataset", "yelp", "--scale", "0.02"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        # the inner command's own output still prints
+        assert "yelp" in captured.out
+        assert "profile:" in captured.out and "samples" in captured.out
+
+    def test_output_file_is_pure_collapsed(self, tmp_path, capsys):
+        target = tmp_path / "profile.txt"
+        code = main(
+            ["profile", "--interval-ms", "1", "--output", str(target),
+             "--", "summary", "--dataset", "yelp", "--scale", "0.02"]
+        )
+        assert code == 0
+        content = target.read_text()
+        # pure collapsed-stack lines: "frame;frame count"
+        for line in content.splitlines():
+            frames, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+        assert f"profile written to {target}" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path):
+        target = tmp_path / "profile.json"
+        code = main(
+            ["profile", "--interval-ms", "1", "--format", "json",
+             "--output", str(target),
+             "--", "summary", "--dataset", "yelp", "--scale", "0.02"]
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["n_samples"] >= 0
+        assert "stacks" in payload
+
+    def test_missing_inner_command_exits_2(self, capsys):
+        assert main(["profile", "--"]) == 2
+        assert "needs a command" in capsys.readouterr().err
+
+    def test_nested_profile_rejected(self, capsys):
+        assert main(["profile", "--", "profile", "--", "summary"]) == 2
+        assert "nest" in capsys.readouterr().err
