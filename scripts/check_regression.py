@@ -61,6 +61,13 @@ def main(argv: list[str] | None = None) -> int:
         f"regress (default {DEFAULT_MIN_SECONDS})",
     )
     parser.add_argument(
+        "--only",
+        action="append",
+        metavar="BENCH",
+        help="gate only the named benchmark (repeatable); other baseline "
+        "benches are ignored instead of counting as missing",
+    )
+    parser.add_argument(
         "--portable-only",
         action="store_true",
         help="gate only machine-independent metrics (ratios, rates); "
@@ -77,6 +84,7 @@ def main(argv: list[str] | None = None) -> int:
         threshold=args.threshold,
         min_seconds=args.min_seconds,
         portable_only=args.portable_only,
+        only=args.only,
     )
     print(report.render())
     if report.failed:

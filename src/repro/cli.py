@@ -256,6 +256,10 @@ def cmd_serve(args: argparse.Namespace, out=None) -> int:
                 args.maps,
             )
         )
+    if args.workers < 0:
+        raise CLIError(f"--workers must be >= 0, got {args.workers}")
+    if args.shards is not None and args.shards < 1:
+        raise CLIError(f"--shards must be >= 1, got {args.shards}")
     config = ServerConfig(
         max_sessions=args.max_sessions,
         session_ttl_seconds=args.session_ttl,
@@ -267,6 +271,8 @@ def cmd_serve(args: argparse.Namespace, out=None) -> int:
         tracing_enabled=not args.no_tracing,
         trace_file=args.trace_file,
         slow_request_ms=args.slow_request_ms,
+        workers=args.workers,
+        shards=args.shards,
     )
     return serve(factories, host=args.host, port=args.port, config=config, out=out)
 
@@ -376,8 +382,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--port", type=int, default=8642)
     p_serve.add_argument("--maps", type=int, default=3, help="k")
     p_serve.add_argument("--recommendations", type=int, default=3, help="o")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="sharded mode: spawn N worker processes with "
+                              "shared-memory dataset partitions (0 = classic "
+                              "single-process serving)")
+    p_serve.add_argument("--shards", type=int, default=None,
+                         help="partition count for scatter/gather scans "
+                              "(default: 4 x workers)")
     p_serve.add_argument("--max-sessions", type=int, default=64,
-                         help="live-session cap (further creates get 429)")
+                         help="live-session cap (further creates get 429; "
+                              "per worker in sharded mode)")
     p_serve.add_argument("--session-ttl", type=float, default=1800.0,
                          help="idle seconds before a session is evicted")
     p_serve.add_argument("--deadline-ms", type=int, default=None,

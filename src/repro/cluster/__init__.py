@@ -1,0 +1,73 @@
+"""repro.cluster — sharded multi-process serving with shared-memory data.
+
+The cluster scales SubDEx serving across CPU cores without changing a
+single result byte: an HTTP front spawns ``N`` worker processes, each
+attaching the dataset's numpy columns as zero-copy views over
+``multiprocessing.shared_memory`` segments.  Sessions are routed to
+workers by consistent hash of the session id; phase scans are scattered
+across shard-owning workers and the partial count cubes merged by
+integer addition — byte-identical to the single-process path by
+construction (see :mod:`repro.cluster.merge` for the argument and
+``tests/cluster`` for the fingerprint proofs).
+
+Layout:
+
+* :mod:`repro.cluster.shm` — segment lifecycle: create/attach/unlink,
+  ``atexit``/signal cleanup, stale-segment purge;
+* :mod:`repro.cluster.partition` — database export/attach manifests and
+  the reviewer-row shard map;
+* :mod:`repro.cluster.merge` — partial phase scans and their exact merge;
+* :mod:`repro.cluster.hashing` — the consistent-hash ring;
+* :mod:`repro.cluster.ipc` — length-prefixed pickle frames over
+  ``AF_UNIX`` sockets;
+* :mod:`repro.cluster.worker` — the spawned worker process;
+* :mod:`repro.cluster.supervisor` — the front's pool: spawn, route,
+  scatter/gather, heartbeat/restart, drain.
+"""
+
+from .hashing import HashRing
+from .ipc import WorkerIPCError
+from .merge import (
+    PartialScan,
+    merge_scans,
+    partial_scan,
+    preview_generator,
+    result_from_scans,
+    scan_specs,
+)
+from .partition import (
+    ShardMap,
+    attach_database,
+    share_database,
+)
+from .shm import (
+    SegmentRegistry,
+    attach_array,
+    purge_stale_segments,
+    share_array,
+)
+from .supervisor import ClusterConfig, WorkerPool, WorkerUnavailableError
+from .worker import WorkerSpec, worker_main
+
+__all__ = [
+    "ClusterConfig",
+    "HashRing",
+    "PartialScan",
+    "SegmentRegistry",
+    "ShardMap",
+    "WorkerIPCError",
+    "WorkerPool",
+    "WorkerSpec",
+    "WorkerUnavailableError",
+    "attach_array",
+    "attach_database",
+    "merge_scans",
+    "partial_scan",
+    "preview_generator",
+    "purge_stale_segments",
+    "result_from_scans",
+    "scan_specs",
+    "share_array",
+    "share_database",
+    "worker_main",
+]

@@ -1,0 +1,49 @@
+"""Consistent-hash routing of sessions onto worker slots.
+
+Sessions are sticky: a session's engine state (display history, step log)
+lives on exactly one worker, so every request carrying its id must land
+on the same slot.  A consistent-hash ring over *stable slot indices*
+(0..n_workers-1, not pids) gives that stickiness a form that survives
+worker restarts — a restarted worker reoccupies its slot and the mapping
+never moves — and balances new session ids across slots.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+__all__ = ["HashRing"]
+
+
+def _point(key: str) -> int:
+    return int.from_bytes(hashlib.md5(key.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A fixed ring of ``n_slots`` slots with ``vnodes`` points per slot."""
+
+    def __init__(self, n_slots: int, vnodes: int = 64) -> None:
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self._n_slots = n_slots
+        points = sorted(
+            (_point(f"slot-{slot}:{replica}"), slot)
+            for slot in range(n_slots)
+            for replica in range(vnodes)
+        )
+        self._hashes = [h for h, _ in points]
+        self._slots = [s for _, s in points]
+
+    @property
+    def n_slots(self) -> int:
+        return self._n_slots
+
+    def slot_for(self, key: str) -> int:
+        """The slot owning ``key`` (deterministic across processes)."""
+        index = bisect.bisect_right(self._hashes, _point(key))
+        if index == len(self._hashes):
+            index = 0
+        return self._slots[index]

@@ -1,0 +1,104 @@
+"""Front↔worker IPC: length-prefixed pickles over ``AF_UNIX`` sockets.
+
+One request/response per connection keeps failure handling trivial: a
+worker that dies mid-call surfaces as a connection error on *this* call
+only, with no stale pooled connections to invalidate after its restart.
+Unix-socket connects cost microseconds against engine work costing
+milliseconds, so the simplicity is free.
+
+Messages are dicts pickled with protocol 5.  Pickle is acceptable here —
+and only here — because both ends are the same trusted process tree: the
+socket directory is created ``0700`` by the supervisor and only its own
+spawned workers bind inside it.  Every request carries the front's
+``trace_id`` and remaining deadline so observability and time budgets
+cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Mapping
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "MAX_MESSAGE_BYTES",
+    "WorkerIPCError",
+    "read_message",
+    "request",
+    "write_message",
+]
+
+#: Upper bound on one message — far above any real scan reply, low enough
+#: to fail fast on a corrupt length prefix.
+MAX_MESSAGE_BYTES = 1 << 30
+
+_HEADER = struct.Struct("!I")
+
+
+class WorkerIPCError(ReproError):
+    """The worker connection failed (refused, reset, timed out, EOF)."""
+
+
+def write_message(sock: socket.socket, message: Mapping[str, Any]) -> None:
+    payload = pickle.dumps(dict(message), protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise WorkerIPCError(
+            f"message of {len(payload)} bytes exceeds the IPC limit"
+        )
+    try:
+        sock.sendall(_HEADER.pack(len(payload)) + payload)
+    except OSError as error:
+        raise WorkerIPCError(f"send failed: {error}") from error
+
+
+def _read_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except OSError as error:
+            raise WorkerIPCError(f"receive failed: {error}") from error
+        if not chunk:
+            raise WorkerIPCError(
+                f"connection closed mid-message ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_message(sock: socket.socket) -> dict[str, Any]:
+    (length,) = _HEADER.unpack(_read_exactly(sock, _HEADER.size))
+    if length > MAX_MESSAGE_BYTES:
+        raise WorkerIPCError(f"message length {length} exceeds the IPC limit")
+    message = pickle.loads(_read_exactly(sock, length))
+    if not isinstance(message, dict):
+        raise WorkerIPCError(
+            f"expected a dict message, got {type(message).__name__}"
+        )
+    return message
+
+
+def request(
+    socket_path: str,
+    message: Mapping[str, Any],
+    timeout: float | None = None,
+) -> dict[str, Any]:
+    """One round trip to the worker listening on ``socket_path``."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        try:
+            sock.connect(socket_path)
+        except OSError as error:
+            raise WorkerIPCError(
+                f"cannot reach worker at {socket_path}: {error}"
+            ) from error
+        write_message(sock, message)
+        return read_message(sock)
+    finally:
+        sock.close()

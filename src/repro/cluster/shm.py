@@ -1,0 +1,266 @@
+"""Shared-memory segments with crash-safe lifecycle management.
+
+The cluster keeps every numeric/categorical dataset column in one
+:mod:`multiprocessing.shared_memory` segment per array.  The front
+process *owns* segments (creates and eventually unlinks them); worker
+processes *attach* (zero-copy ``np.ndarray`` views over the same pages).
+
+Lifecycle hazards this module defends against:
+
+* **CPython's resource tracker unlinking attached segments.**  On 3.11 a
+  child that merely attaches a segment registers it with its own
+  resource tracker, which unlinks it when the child exits — destroying
+  the mapping for everyone.  :meth:`SegmentRegistry.attach` therefore
+  unregisters attachments; only the owning registry ever unlinks.
+* **Leaked ``/dev/shm`` blocks after a crash.**  Segment names embed the
+  owning pid (``subdex-<pid>-<token>``); :func:`purge_stale_segments`
+  unlinks any segment whose owner is no longer alive.  The owning
+  registry also installs ``atexit`` + SIGTERM/SIGINT hooks
+  (:meth:`SegmentRegistry.install_cleanup`) so ordinary and signalled
+  exits unlink eagerly rather than relying on the purge.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import signal
+import threading
+import uuid
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SegmentRegistry",
+    "attach_array",
+    "purge_stale_segments",
+    "share_array",
+]
+
+#: Prefix of every segment this package creates; the stale-segment purge
+#: only ever touches names carrying it.
+SEGMENT_PREFIX = "subdex"
+
+_SHM_DIR = "/dev/shm"
+
+
+def _segment_name() -> str:
+    return f"{SEGMENT_PREFIX}-{os.getpid()}-{uuid.uuid4().hex[:12]}"
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Stop the resource tracker from unlinking an *attached* segment."""
+    try:  # pragma: no cover - depends on interpreter internals
+        resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:
+        pass
+
+
+def segment_owner_pid(name: str) -> int | None:
+    """The pid embedded in a segment name, or ``None`` if not ours."""
+    parts = name.split("-")
+    if len(parts) != 3 or parts[0] != SEGMENT_PREFIX:
+        return None
+    try:
+        return int(parts[1])
+    except ValueError:
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another user
+        return True
+    return True
+
+
+def purge_stale_segments(shm_dir: str = _SHM_DIR) -> list[str]:
+    """Unlink segments whose owning process is dead; returns their names.
+
+    Safe to call from anywhere (server startup does): only names carrying
+    :data:`SEGMENT_PREFIX` and a dead owner pid are touched.
+    """
+    removed: list[str] = []
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:  # pragma: no cover - non-Linux / no tmpfs
+        return removed
+    for name in names:
+        pid = segment_owner_pid(name)
+        if pid is None or pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except OSError:  # pragma: no cover - raced with another purge
+            continue
+        try:
+            # attach registered the name with our tracker; unlink
+            # unregisters it again, so the pair stays balanced
+            segment.unlink()
+        except OSError:  # pragma: no cover - raced with another purge
+            pass
+        finally:
+            segment.close()
+        removed.append(name)
+    return removed
+
+
+class SegmentRegistry:
+    """Tracks every segment a process owns or has attached.
+
+    One registry per role: the front's worker pool owns the dataset
+    segments; each worker process keeps one registry of attachments so
+    its views stay valid for the process lifetime and are closed on exit.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._owned: dict[str, shared_memory.SharedMemory] = {}
+        self._attached: dict[str, shared_memory.SharedMemory] = {}
+        self._cleanup_installed = False
+
+    # -- ownership -----------------------------------------------------------
+    def create(self, nbytes: int) -> shared_memory.SharedMemory:
+        segment = shared_memory.SharedMemory(
+            name=_segment_name(), create=True, size=max(1, int(nbytes))
+        )
+        with self._lock:
+            self._owned[segment.name] = segment
+        return segment
+
+    def attach(self, name: str) -> shared_memory.SharedMemory:
+        with self._lock:
+            cached = self._owned.get(name) or self._attached.get(name)
+        if cached is not None:
+            return cached
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except OSError as error:
+            raise ReproError(
+                f"shared-memory segment {name!r} is gone: {error}"
+            ) from error
+        # Attaching registers the segment with a resource tracker.  In a
+        # multiprocessing child the tracker is *shared* with the owning
+        # front (the fd is inherited), so the registration is a no-op and
+        # unregistering here would strip the owner's own entry — the
+        # owner's later unlink() would then double-unregister, making the
+        # tracker print KeyError tracebacks at exit.  The same applies to
+        # a second registry attaching inside the owning process itself
+        # (in-process replay and the equivalence tests do this).  Only a
+        # standalone attacher (its own tracker, foreign segment) must
+        # unregister, lest its tracker unlink the live segment when it
+        # exits (CPython 3.11 behaviour).
+        if (
+            multiprocessing.parent_process() is None
+            and segment_owner_pid(name) != os.getpid()
+        ):
+            _untrack(segment)  # the owner unlinks; we only ever close
+        with self._lock:
+            self._attached[name] = segment
+        return segment
+
+    @property
+    def owned_names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._owned)
+
+    # -- teardown ------------------------------------------------------------
+    def close_attached(self) -> None:
+        with self._lock:
+            attached, self._attached = self._attached, {}
+        for segment in attached.values():
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def unlink_all(self) -> int:
+        """Unlink (and close) every owned segment; returns how many."""
+        with self._lock:
+            owned, self._owned = self._owned, {}
+        for segment in owned.values():
+            try:
+                segment.unlink()
+            except OSError:  # pragma: no cover - already unlinked
+                pass
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self.close_attached()
+        return len(owned)
+
+    # -- crash safety --------------------------------------------------------
+    def install_cleanup(self) -> None:
+        """Unlink owned segments on interpreter exit and fatal signals.
+
+        Signal handlers chain to whatever was installed before (the
+        server's own graceful-shutdown handler keeps working); outside the
+        main thread only the ``atexit`` hook is installed.
+        """
+        if self._cleanup_installed:
+            return
+        self._cleanup_installed = True
+        atexit.register(self.unlink_all)
+        if threading.current_thread() is not threading.main_thread():
+            return
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous = signal.getsignal(signum)
+
+            def _handler(
+                sig: int, frame: Any, previous=previous
+            ) -> None:  # pragma: no cover - exercised in subprocess tests
+                self.unlink_all()
+                if callable(previous):
+                    previous(sig, frame)
+                else:
+                    signal.signal(sig, signal.SIG_DFL)
+                    os.kill(os.getpid(), sig)
+
+            try:
+                signal.signal(signum, _handler)
+            except ValueError:  # pragma: no cover - not the main thread
+                break
+
+
+def share_array(
+    array: np.ndarray, registry: SegmentRegistry
+) -> dict[str, Any]:
+    """Copy ``array`` into a new owned segment; returns its manifest."""
+    array = np.ascontiguousarray(array)
+    segment = registry.create(array.nbytes)
+    if array.nbytes:
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+    return {
+        "segment": segment.name,
+        "dtype": array.dtype.str,
+        "shape": tuple(int(n) for n in array.shape),
+    }
+
+
+def attach_array(
+    manifest: Mapping[str, Any], registry: SegmentRegistry
+) -> np.ndarray:
+    """A zero-copy read-only view over a shared segment.
+
+    The returned array's pages live for as long as ``registry`` keeps the
+    attachment open (the worker's process lifetime).
+    """
+    shape = tuple(manifest["shape"])
+    dtype = np.dtype(manifest["dtype"])
+    if not int(np.prod(shape)):
+        return np.empty(shape, dtype=dtype)
+    segment = registry.attach(manifest["segment"])
+    view = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+    view.flags.writeable = False
+    return view

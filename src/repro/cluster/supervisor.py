@@ -1,0 +1,620 @@
+"""The worker pool: spawn, route, scatter/gather, supervise, drain.
+
+The :class:`WorkerPool` is the front's handle on the cluster.  It
+
+* exports every dataset into shared memory once and spawns ``N`` workers
+  that attach zero-copy views (:mod:`repro.cluster.partition`);
+* routes session ops to their owning worker via the consistent-hash ring
+  (:mod:`repro.cluster.hashing`) behind a per-worker circuit breaker —
+  a dead worker fails fast with a retryable 503 + ``Retry-After``
+  instead of hanging callers;
+* scatters phase scans across workers by shard and gathers the partial
+  count matrices (:mod:`repro.cluster.merge`); a worker that fails
+  mid-scatter has its shards re-scanned *exactly* on the survivors
+  (every worker holds the full database), so failover changes nothing
+  in the merged bytes — only if re-scatter also fails does the result
+  degrade (reported per scan) or the request 503;
+* runs a heartbeat monitor that detects dead or wedged workers and
+  restarts them; the replacement reoccupies the same ring slot and
+  replays its own checkpoint store, so routed sessions survive a crash;
+* on shutdown drains workers (final checkpoint flush inside the worker),
+  joins the processes, and unlinks every shared-memory segment.
+
+Observability crosses the pool: RPCs run inside ``worker.rpc`` spans on
+the caller's ambient trace (scatter threads re-activate the captured
+context), worker span summaries are scraped for
+``/debug/spans/summary``, and :meth:`metric_families` feeds
+``worker``-labelled families into ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import shutil
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..core.engine import SubDExConfig
+from ..exceptions import ReproError
+from ..model.database import SubjectiveDatabase
+from ..obs.metrics import MetricFamily
+from ..obs.tracing import activate, current_context, current_trace_id, span
+from ..resilience.breaker import BreakerOpenError, CircuitBreaker
+from ..resilience.deadline import current_deadline
+from . import ipc
+from .hashing import HashRing
+from .merge import PartialScan
+from .partition import ShardMap, share_database
+from .shm import SegmentRegistry, purge_stale_segments
+from .worker import WorkerSpec, worker_main
+
+__all__ = ["ClusterConfig", "WorkerPool", "WorkerUnavailableError"]
+
+_log = logging.getLogger("repro.cluster.supervisor")
+
+
+class WorkerUnavailableError(ReproError):
+    """A worker RPC failed at the transport layer (dead, wedged, restarting)."""
+
+    def __init__(self, worker: int, reason: str, retry_after: float) -> None:
+        super().__init__(f"worker {worker} unavailable: {reason}")
+        self.worker = worker
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs of the sharded deployment (``serve --workers N --shards M``)."""
+
+    workers: int = 2
+    #: Shard count; ``None`` → ``4 × workers`` so shards outnumber workers
+    #: and failover re-scatter spreads a dead worker's load evenly.
+    shards: int | None = None
+    heartbeat_interval_seconds: float = 0.5
+    heartbeat_timeout_seconds: float = 1.0
+    #: consecutive failed heartbeats before a live-looking worker is
+    #: declared wedged and restarted
+    heartbeat_misses: int = 3
+    rpc_timeout_seconds: float = 30.0
+    start_timeout_seconds: float = 30.0
+    restart_backoff_seconds: float = 0.1
+    #: per-worker restart budget; beyond it the slot is marked failed and
+    #: its sessions answer 503 until the operator intervenes
+    max_restarts: int = 8
+    breaker_failure_threshold: int = 3
+    breaker_reset_seconds: float = 1.0
+    retry_after_seconds: float = 1.0
+
+    @property
+    def n_shards(self) -> int:
+        return self.shards if self.shards is not None else 4 * self.workers
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+
+
+@dataclass
+class _WorkerHandle:
+    index: int
+    socket_path: str
+    breaker: CircuitBreaker
+    process: multiprocessing.process.BaseProcess | None = None
+    state: str = "starting"  # starting | up | restarting | failed
+    restarts: int = 0
+    heartbeat_misses: int = 0
+    rpcs_ok: int = 0
+    rpcs_error: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class WorkerPool:
+    """Owns the worker processes, their shared memory, and all routing."""
+
+    def __init__(
+        self,
+        datasets: Mapping[str, tuple[SubjectiveDatabase, SubDExConfig]],
+        config: ClusterConfig | None = None,
+        *,
+        max_sessions: int = 64,
+        session_ttl_seconds: float = 1800.0,
+        group_cache_capacity: int = 256,
+        result_cache_capacity: int = 128,
+        checkpoint_dir: str | None = None,
+        checkpoint_interval_seconds: float = 30.0,
+        tracing_enabled: bool = True,
+    ) -> None:
+        if not datasets:
+            raise ValueError("WorkerPool needs at least one dataset")
+        self.config = config or ClusterConfig()
+        self._datasets = dict(datasets)
+        self.default_dataset = next(iter(self._datasets))
+        self._max_sessions = max_sessions
+        self._session_ttl_seconds = session_ttl_seconds
+        self._group_cache_capacity = group_cache_capacity
+        self._result_cache_capacity = result_cache_capacity
+        self._checkpoint_dir = checkpoint_dir
+        self._checkpoint_interval_seconds = checkpoint_interval_seconds
+        self._tracing_enabled = tracing_enabled
+        self.shard_map = ShardMap(self.config.n_shards)
+        self.ring = HashRing(self.config.workers)
+        self.segments = SegmentRegistry()
+        self._run_dir: str | None = None
+        self._manifests: dict[str, dict[str, Any]] | None = None
+        self._handles: list[_WorkerHandle] = []
+        self._ctx = multiprocessing.get_context("spawn")
+        self._executor: ThreadPoolExecutor | None = None
+        self._monitor: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Export datasets, spawn every worker, wait until all answer ping."""
+        if self._started:
+            return
+        purge_stale_segments()
+        self._run_dir = tempfile.mkdtemp(prefix="subdex-cluster-")
+        self.segments.install_cleanup()
+        self._manifests = {
+            name: share_database(db, self.segments)
+            for name, (db, _) in self._datasets.items()
+        }
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(4, 2 * self.config.workers),
+            thread_name_prefix="subdex-scatter",
+        )
+        for index in range(self.config.workers):
+            handle = _WorkerHandle(
+                index=index,
+                socket_path=os.path.join(self._run_dir, f"worker-{index}.sock"),
+                breaker=CircuitBreaker(
+                    f"worker {index}",
+                    failure_threshold=self.config.breaker_failure_threshold,
+                    reset_seconds=self.config.breaker_reset_seconds,
+                ),
+            )
+            self._handles.append(handle)
+            self._spawn(handle)
+        deadline = time.monotonic() + self.config.start_timeout_seconds
+        for handle in self._handles:
+            self._wait_ready(handle, deadline)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="subdex-cluster-monitor", daemon=True
+        )
+        self._monitor.start()
+        self._started = True
+
+    def _spec(self, index: int) -> WorkerSpec:
+        assert self._manifests is not None and self._run_dir is not None
+        return WorkerSpec(
+            index=index,
+            n_workers=self.config.workers,
+            n_shards=self.config.n_shards,
+            socket_path=os.path.join(self._run_dir, f"worker-{index}.sock"),
+            manifests=self._manifests,
+            configs={
+                name: cfg for name, (_, cfg) in self._datasets.items()
+            },
+            default_dataset=self.default_dataset,
+            max_sessions=self._max_sessions,
+            session_ttl_seconds=self._session_ttl_seconds,
+            group_cache_capacity=self._group_cache_capacity,
+            result_cache_capacity=self._result_cache_capacity,
+            checkpoint_dir=self._checkpoint_dir,
+            checkpoint_interval_seconds=self._checkpoint_interval_seconds,
+            tracing_enabled=self._tracing_enabled,
+        )
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        if os.path.exists(handle.socket_path):
+            os.unlink(handle.socket_path)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(self._spec(handle.index),),
+            name=f"subdex-worker-{handle.index}",
+            daemon=True,
+        )
+        process.start()
+        handle.process = process
+        handle.heartbeat_misses = 0
+
+    def _wait_ready(self, handle: _WorkerHandle, deadline: float) -> None:
+        while time.monotonic() < deadline:
+            try:
+                ipc.request(
+                    handle.socket_path,
+                    {"op": "ping", "payload": {}},
+                    timeout=self.config.heartbeat_timeout_seconds,
+                )
+                handle.state = "up"
+                handle.breaker.record_success()
+                return
+            except ipc.WorkerIPCError:
+                if handle.process is not None and not handle.process.is_alive():
+                    break
+                time.sleep(0.02)
+        handle.state = "failed"
+        raise WorkerUnavailableError(
+            handle.index,
+            "did not become ready in time",
+            self.config.retry_after_seconds,
+        )
+
+    # -- supervision ---------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        interval = self.config.heartbeat_interval_seconds
+        while not self._stop.wait(interval):
+            for handle in list(self._handles):
+                if self._stop.is_set() or handle.state == "failed":
+                    continue
+                process = handle.process
+                dead = process is None or not process.is_alive()
+                if not dead:
+                    try:
+                        # bypass the breaker: liveness probing must keep
+                        # working while the breaker is open
+                        ipc.request(
+                            handle.socket_path,
+                            {"op": "ping", "payload": {}},
+                            timeout=self.config.heartbeat_timeout_seconds,
+                        )
+                        handle.heartbeat_misses = 0
+                        handle.state = "up"
+                        continue
+                    except ipc.WorkerIPCError:
+                        handle.heartbeat_misses += 1
+                        if handle.heartbeat_misses < self.config.heartbeat_misses:
+                            continue
+                        # wedged: kill it so the restart starts clean
+                        process.kill()
+                        process.join(5.0)
+                self._restart(handle)
+
+    def _restart(self, handle: _WorkerHandle) -> None:
+        with handle.lock:
+            if self._stop.is_set() or handle.state == "failed":
+                return
+            handle.restarts += 1
+            if handle.restarts > self.config.max_restarts:
+                handle.state = "failed"
+                _log.error(
+                    "worker %d exceeded %d restarts; marking failed",
+                    handle.index,
+                    self.config.max_restarts,
+                )
+                return
+            handle.state = "restarting"
+            _log.warning(
+                "worker %d died; restarting (attempt %d/%d)",
+                handle.index,
+                handle.restarts,
+                self.config.max_restarts,
+            )
+            if handle.process is not None:
+                handle.process.join(0.1)
+            time.sleep(self.config.restart_backoff_seconds)
+            self._spawn(handle)
+            try:
+                self._wait_ready(
+                    handle,
+                    time.monotonic() + self.config.start_timeout_seconds,
+                )
+            except WorkerUnavailableError:
+                _log.error("worker %d failed to come back up", handle.index)
+
+    # -- routing + RPC -------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        return self.config.workers
+
+    @property
+    def dataset_names(self) -> tuple[str, ...]:
+        return tuple(self._datasets)
+
+    def dataset(self, name: str) -> tuple[SubjectiveDatabase, SubDExConfig]:
+        """The (database, engine config) pair served under ``name``."""
+        return self._datasets[name]
+
+    def route(self, session_id: str) -> int:
+        """The ring slot (worker index) owning ``session_id``."""
+        return self.ring.slot_for(session_id)
+
+    def _message(self, op: str, payload: Mapping[str, Any]) -> dict[str, Any]:
+        deadline = current_deadline()
+        remaining = None
+        if deadline is not None:
+            remaining = max(deadline.remaining(), 0.001)
+        return {
+            "op": op,
+            "payload": dict(payload),
+            "trace_id": current_trace_id(),
+            "deadline_s": remaining,
+        }
+
+    def call(
+        self,
+        worker: int,
+        op: str,
+        payload: Mapping[str, Any],
+        timeout: float | None = None,
+    ) -> tuple[int, dict[str, Any]]:
+        """One breaker-guarded RPC; returns the worker's (status, payload).
+
+        Raises :class:`BreakerOpenError` while the worker's breaker is
+        open and :class:`WorkerUnavailableError` on transport failure —
+        both map to a retryable 503 at the HTTP layer.
+        """
+        handle = self._handles[worker]
+        if handle.state == "failed":
+            raise WorkerUnavailableError(
+                worker, "worker is failed", self.config.retry_after_seconds
+            )
+        handle.breaker.before_call()
+        with span("worker.rpc", worker=worker, op=op):
+            try:
+                reply = ipc.request(
+                    handle.socket_path,
+                    self._message(op, payload),
+                    timeout=timeout or self.config.rpc_timeout_seconds,
+                )
+            except ipc.WorkerIPCError as error:
+                handle.rpcs_error += 1
+                handle.breaker.record_failure(error)
+                raise WorkerUnavailableError(
+                    worker, str(error), self.config.retry_after_seconds
+                ) from error
+        handle.rpcs_ok += 1
+        handle.breaker.record_success()
+        return reply["status"], reply["payload"]
+
+    # -- scatter/gather ------------------------------------------------------
+    def scatter_scan(
+        self,
+        dataset: str,
+        criteria: Any,
+        specs: Sequence[Any],
+        timeout: float | None = None,
+    ) -> tuple[list[PartialScan], dict[str, Any]]:
+        """Scan ``criteria`` across all workers; gather the partials.
+
+        Each worker scans its owned shards; shards of workers that fail
+        are re-scattered to the survivors (exact — any worker can scan
+        any shard).  Returns the partials plus scatter metadata:
+        ``degraded`` is True iff some shards ended up uncovered, and
+        ``missing_shards`` lists them.  Raises
+        :class:`WorkerUnavailableError` if no worker answered at all.
+        """
+        assert self._executor is not None, "pool not started"
+        assignment = {
+            w: list(self.shard_map.owned_shards(w, self.n_workers))
+            for w in range(self.n_workers)
+        }
+        ctx = current_context()
+
+        def scan_on(worker: int, shards: list[int]) -> PartialScan:
+            with activate(ctx):
+                status, payload = self.call(
+                    worker,
+                    "scan",
+                    {
+                        "dataset": dataset,
+                        "criteria": criteria,
+                        "specs": tuple(specs),
+                        "shards": tuple(shards),
+                    },
+                    timeout=timeout,
+                )
+            if status != 200:
+                raise WorkerUnavailableError(
+                    worker,
+                    f"scan answered {status}",
+                    self.config.retry_after_seconds,
+                )
+            return PartialScan(
+                shards=tuple(payload["shards"]),
+                group_size=payload["group_size"],
+                counts=payload["counts"],
+            )
+
+        partials: list[PartialScan] = []
+        scanned_by: list[dict[str, Any]] = []
+        pending = {w: shards for w, shards in assignment.items() if shards}
+        failed_shards: list[int] = []
+        failed_workers: set[int] = set()
+
+        def run_round(work: dict[int, list[int]]) -> None:
+            futures = {
+                w: self._executor.submit(scan_on, w, shards)
+                for w, shards in work.items()
+            }
+            for w, future in futures.items():
+                try:
+                    partial = future.result()
+                except (WorkerUnavailableError, BreakerOpenError):
+                    failed_workers.add(w)
+                    failed_shards.extend(work[w])
+                    continue
+                partials.append(partial)
+                scanned_by.append(
+                    {
+                        "worker": w,
+                        "shards": list(partial.shards),
+                        "rows": partial.group_size,
+                    }
+                )
+
+        with span("cluster.scatter", dataset=dataset, workers=len(pending)):
+            run_round(pending)
+            missing = list(failed_shards)
+            if missing:
+                survivors = [
+                    w for w in range(self.n_workers) if w not in failed_workers
+                ]
+                if survivors:
+                    failed_shards.clear()
+                    retry = {w: [] for w in survivors}
+                    for i, shard in enumerate(missing):
+                        retry[survivors[i % len(survivors)]].append(shard)
+                    run_round({w: s for w, s in retry.items() if s})
+                    missing = list(failed_shards)
+        if not partials and missing:
+            raise WorkerUnavailableError(
+                -1, "no worker answered the scatter", self.config.retry_after_seconds
+            )
+        meta = {
+            "workers": scanned_by,
+            "degraded": bool(missing),
+            "missing_shards": sorted(missing),
+        }
+        return partials, meta
+
+    # -- introspection -------------------------------------------------------
+    def worker_states(self) -> list[dict[str, Any]]:
+        states = []
+        for handle in self._handles:
+            process = handle.process
+            states.append(
+                {
+                    "worker": handle.index,
+                    "state": handle.state,
+                    "pid": process.pid if process is not None else None,
+                    "alive": bool(process is not None and process.is_alive()),
+                    "restarts": handle.restarts,
+                    "breaker": handle.breaker.snapshot(),
+                    "rpcs": {
+                        "ok": handle.rpcs_ok,
+                        "error": handle.rpcs_error,
+                    },
+                }
+            )
+        return states
+
+    def stats(
+        self, limit: int | None = None, timeout: float = 1.0
+    ) -> dict[str, Any]:
+        """Best-effort per-worker stats scrape (skips unreachable workers)."""
+        out: dict[str, Any] = {}
+        for handle in self._handles:
+            try:
+                reply = ipc.request(
+                    handle.socket_path,
+                    {"op": "stats", "payload": {"limit": limit}},
+                    timeout=timeout,
+                )
+                out[str(handle.index)] = reply["payload"]
+            except ipc.WorkerIPCError:
+                out[str(handle.index)] = {"unreachable": True}
+        return out
+
+    def live_sessions(self, timeout: float = 2.0) -> list[dict[str, Any]]:
+        """Merge every reachable worker's session list (for GET /sessions)."""
+        merged: list[dict[str, Any]] = []
+        for handle in self._handles:
+            try:
+                reply = ipc.request(
+                    handle.socket_path,
+                    {"op": "sessions.list", "payload": {}},
+                    timeout=timeout,
+                )
+            except ipc.WorkerIPCError:
+                continue
+            for summary in reply["payload"]["sessions"]:
+                summary["worker"] = handle.index
+                merged.append(summary)
+        return merged
+
+    def metric_families(self) -> list[MetricFamily]:
+        """``worker``-labelled families for the front's ``/metrics``."""
+        up = MetricFamily(
+            "subdex_worker_up",
+            "gauge",
+            "Worker liveness (1 up, 0 down/restarting/failed).",
+        )
+        restarts = MetricFamily(
+            "subdex_worker_restarts_total",
+            "counter",
+            "Worker restarts by the supervisor.",
+        )
+        rpcs = MetricFamily(
+            "subdex_worker_rpcs_total",
+            "counter",
+            "Front-to-worker RPCs by worker and outcome.",
+        )
+        sessions = MetricFamily(
+            "subdex_worker_sessions",
+            "gauge",
+            "Live sessions owned by each worker.",
+        )
+        for handle in self._handles:
+            alive = (
+                handle.state == "up"
+                and handle.process is not None
+                and handle.process.is_alive()
+            )
+            up.add(1.0 if alive else 0.0, worker=handle.index)
+            restarts.add(handle.restarts, worker=handle.index)
+            rpcs.add(handle.rpcs_ok, worker=handle.index, outcome="ok")
+            rpcs.add(handle.rpcs_error, worker=handle.index, outcome="error")
+            if alive:
+                try:
+                    reply = ipc.request(
+                        handle.socket_path,
+                        {"op": "ping", "payload": {}},
+                        timeout=0.5,
+                    )
+                    sessions.add(
+                        reply["payload"]["sessions"], worker=handle.index
+                    )
+                except ipc.WorkerIPCError:
+                    pass
+        return [up, restarts, rpcs, sessions]
+
+    # -- shutdown ------------------------------------------------------------
+    def shutdown(self, drain_seconds: float = 10.0) -> None:
+        """Drain and join every worker, then unlink all shared memory."""
+        if not self._started and not self._handles:
+            return
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(
+                self.config.heartbeat_interval_seconds
+                + self.config.heartbeat_timeout_seconds
+                + 1.0
+            )
+        deadline = time.monotonic() + drain_seconds
+        for handle in self._handles:
+            try:
+                ipc.request(
+                    handle.socket_path,
+                    {"op": "shutdown", "payload": {"drain": True}},
+                    timeout=min(2.0, drain_seconds),
+                )
+            except ipc.WorkerIPCError:
+                pass
+        for handle in self._handles:
+            process = handle.process
+            if process is None:
+                continue
+            process.join(max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(1.0)
+            handle.state = "stopped"
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        self.segments.unlink_all()
+        if self._run_dir is not None:
+            shutil.rmtree(self._run_dir, ignore_errors=True)
+        self._started = False

@@ -1,0 +1,544 @@
+"""The worker process: one shard-owning engine behind a Unix socket.
+
+Each worker is spawned (not forked — the front is multi-threaded) from a
+picklable :class:`WorkerSpec`, attaches the shared-memory dataset
+manifests as zero-copy views, and serves pickled request/response
+messages over its ``AF_UNIX`` socket:
+
+* **session ops** — the worker owns every session the consistent-hash
+  ring routes to its slot, running the unmodified engine
+  (:class:`~repro.core.caching.CachingEngine` over
+  :class:`~repro.core.engine.SubDEx`), so per-session responses are
+  byte-identical to the single-process server's;
+* **scan** — the scatter half of a phase scan: count matrices for the
+  requested shards only (:func:`~repro.cluster.merge.partial_scan`);
+* **ping / stats / shutdown** — supervision, observability scrape, and
+  graceful drain.
+
+Resilience mirrors the front: each worker keeps its own checkpoint
+store (``<checkpoint_dir>/worker-<i>``), restores from it on (re)start,
+checkpoints on every mutation, and flushes on SIGTERM before exiting 0.
+Observability crosses the boundary: requests carry the front's trace id
+into a per-worker tracer + span-stats sink whose summary the front
+exposes under ``/debug/spans/summary``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.caching import CachingEngine
+from ..core.engine import SubDEx, SubDExConfig
+from ..core.history import ExplorationLog
+from ..core.modes import ExplorationMode, ExplorationPath
+from ..exceptions import EmptyGroupError, OperationError, ReproError
+from ..obs.tracing import Tracer
+from ..perf.spanstats import SpanStatsSink
+from ..resilience.checkpoint import (
+    CheckpointStore,
+    SessionCheckpoint,
+    SessionCheckpointer,
+    restore_session,
+)
+from ..resilience.deadline import Deadline, DeadlineExceeded, deadline_scope
+from ..server.protocol import (
+    ProtocolError,
+    apply_edit,
+    criteria_from_json,
+    criteria_to_json,
+    error_payload,
+    rating_map_to_json,
+    recommendation_to_json,
+    step_to_json,
+)
+from ..server.registry import (
+    SessionGoneError,
+    SessionLimitError,
+    SessionRegistry,
+    UnknownSessionError,
+)
+from . import ipc
+from .merge import partial_scan
+from .partition import ShardMap, attach_database
+from .shm import SegmentRegistry
+
+__all__ = ["WorkerSpec", "worker_main"]
+
+_log = logging.getLogger("repro.cluster.worker")
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a spawned worker needs, in picklable form."""
+
+    index: int
+    n_workers: int
+    n_shards: int
+    socket_path: str
+    #: dataset name → :func:`~repro.cluster.partition.share_database` manifest
+    manifests: Mapping[str, Mapping[str, Any]]
+    #: dataset name → engine configuration (mirrors the front's factories)
+    configs: Mapping[str, SubDExConfig]
+    default_dataset: str
+    max_sessions: int = 64
+    session_ttl_seconds: float = 1800.0
+    group_cache_capacity: int = 256
+    result_cache_capacity: int = 128
+    #: Per-worker checkpoint subdirectories hang off this root.
+    checkpoint_dir: str | None = None
+    checkpoint_interval_seconds: float = 30.0
+    tracing_enabled: bool = True
+
+
+class WorkerApp:
+    """Request dispatch + engine/session/checkpoint state of one worker."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.spec = spec
+        self.started = time.monotonic()
+        self.segments = SegmentRegistry()
+        self.databases = {
+            name: attach_database(manifest, self.segments)
+            for name, manifest in spec.manifests.items()
+        }
+        shard_map = ShardMap(spec.n_shards)
+        self.record_shards = {
+            name: shard_map.record_shards(db)
+            for name, db in self.databases.items()
+        }
+        self._engines: dict[str, CachingEngine] = {}
+        self._engines_lock = threading.Lock()
+        self.registry = SessionRegistry(
+            max_sessions=spec.max_sessions,
+            ttl_seconds=spec.session_ttl_seconds,
+        )
+        self.tracer = Tracer(enabled=spec.tracing_enabled)
+        self.span_stats = SpanStatsSink()
+        self.tracer.add_sink(self.span_stats)
+        self.checkpointer: SessionCheckpointer | None = None
+        if spec.checkpoint_dir is not None:
+            store = CheckpointStore(
+                os.path.join(spec.checkpoint_dir, f"worker-{spec.index}")
+            )
+            self.checkpointer = SessionCheckpointer(
+                store,
+                source=self._checkpoint_source,
+                interval_seconds=spec.checkpoint_interval_seconds,
+            )
+        self.stop = threading.Event()
+        self.requests_handled = 0
+
+    # -- engines -------------------------------------------------------------
+    def engine(self, dataset: str) -> CachingEngine:
+        database = self.databases.get(dataset)
+        if database is None:
+            raise ProtocolError(
+                f"unknown dataset {dataset!r} "
+                f"(served datasets: {', '.join(self.databases)})",
+                "unknown_dataset",
+            )
+        with self._engines_lock:
+            engine = self._engines.get(dataset)
+            if engine is None:
+                engine = CachingEngine(
+                    SubDEx(database, self.spec.configs[dataset]),
+                    group_capacity=self.spec.group_cache_capacity,
+                    result_capacity=self.spec.result_cache_capacity,
+                )
+                self._engines[dataset] = engine
+            return engine
+
+    # -- checkpointing -------------------------------------------------------
+    def _checkpoint_source(self):
+        for managed in self.registry.live_sessions():
+            if managed.session is None:
+                continue
+            if not managed.lock.acquire(blocking=False):
+                continue
+            try:
+                yield SessionCheckpoint.capture(
+                    managed.session_id,
+                    managed.dataset,
+                    managed.created_wall,
+                    managed.session,
+                )
+            finally:
+                managed.lock.release()
+
+    def save_checkpoint(self, managed) -> None:
+        if self.checkpointer is None or managed.session is None:
+            return
+        self.checkpointer.save(
+            SessionCheckpoint.capture(
+                managed.session_id,
+                managed.dataset,
+                managed.created_wall,
+                managed.session,
+            )
+        )
+
+    def restore_sessions(self) -> int:
+        """Replay this worker's checkpoints — the restart-recovery path."""
+        if self.checkpointer is None:
+            return 0
+        restored = 0
+        for checkpoint in self.checkpointer.store.load_all():
+            try:
+                engine = self.engine(checkpoint.dataset)
+                session = restore_session(engine, checkpoint)
+                managed = self.registry.adopt(
+                    checkpoint.session_id,
+                    checkpoint.dataset,
+                    session,
+                    created_wall=checkpoint.created_wall,
+                )
+                managed.latest = session.steps[-1] if session.steps else None
+                restored += 1
+            except Exception:  # noqa: BLE001 - skip the unrestorable
+                _log.warning(
+                    "worker %d: failed to restore session %s; skipping",
+                    self.spec.index,
+                    checkpoint.session_id,
+                    exc_info=True,
+                )
+        return restored
+
+    # -- dispatch ------------------------------------------------------------
+    def handle(self, message: Mapping[str, Any]) -> dict[str, Any]:
+        op = message.get("op", "<missing>")
+        payload = message.get("payload") or {}
+        deadline_s = message.get("deadline_s")
+        deadline = Deadline(deadline_s) if deadline_s else None
+        started = time.perf_counter()
+        self.requests_handled += 1
+        with self.tracer.span(
+            "worker.request",
+            trace_id=message.get("trace_id"),
+            op=op,
+            worker=self.spec.index,
+        ) as root:
+            try:
+                with deadline_scope(deadline):
+                    handler = getattr(self, "op_" + op.replace(".", "_"), None)
+                    if handler is None:
+                        raise ProtocolError(
+                            f"unknown worker op {op!r}", "unknown_op"
+                        )
+                    status, reply = handler(payload)
+            except Exception as error:  # noqa: BLE001 - mapped to envelopes
+                status, reply = self._error_envelope(error)
+            root.set(status=status)
+        return {
+            "status": status,
+            "payload": reply,
+            "worker": self.spec.index,
+            "server_ms": (time.perf_counter() - started) * 1000.0,
+        }
+
+    @staticmethod
+    def _error_envelope(error: Exception) -> tuple[int, dict[str, Any]]:
+        """The front's ``_run`` status map, reproduced for IPC replies."""
+        if isinstance(error, DeadlineExceeded):
+            return 504, error_payload(
+                "deadline_exceeded", str(error), retryable=True
+            )
+        if isinstance(error, ProtocolError):
+            return 400, error_payload(error.code, str(error))
+        if isinstance(error, UnknownSessionError):
+            return 404, error_payload("unknown_session", str(error))
+        if isinstance(error, SessionGoneError):
+            return 410, error_payload("session_gone", str(error))
+        if isinstance(error, SessionLimitError):
+            return 429, error_payload(
+                "too_many_sessions", str(error), retryable=True, retry_after=1
+            )
+        if isinstance(error, (EmptyGroupError, OperationError)):
+            return 400, error_payload("empty_group", str(error))
+        if isinstance(error, ReproError):
+            return 400, error_payload("bad_request", str(error))
+        return 500, error_payload(
+            "internal_error", f"{type(error).__name__}: {error}"
+        )
+
+    # -- supervision ops -----------------------------------------------------
+    def op_ping(self, payload: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+        return 200, {
+            "worker": self.spec.index,
+            "pid": os.getpid(),
+            "sessions": self.registry.live_count,
+            "uptime_seconds": time.monotonic() - self.started,
+        }
+
+    def op_stats(self, payload: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+        limit = payload.get("limit")
+        stats: dict[str, Any] = {
+            "worker": self.spec.index,
+            "pid": os.getpid(),
+            "uptime_seconds": time.monotonic() - self.started,
+            "requests_handled": self.requests_handled,
+            "sessions": self.registry.counters(),
+            "spans": self.span_stats.summary(limit=limit),
+        }
+        if self.checkpointer is not None:
+            stats["checkpoints"] = self.checkpointer.counters()
+        return 200, stats
+
+    def op_shutdown(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        self.stop.set()
+        return 200, {"worker": self.spec.index, "stopping": True}
+
+    # -- scatter scans -------------------------------------------------------
+    def op_scan(self, payload: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+        dataset = payload.get("dataset") or self.spec.default_dataset
+        database = self.databases.get(dataset)
+        if database is None:
+            raise ProtocolError(
+                f"unknown dataset {dataset!r}", "unknown_dataset"
+            )
+        partial = partial_scan(
+            database,
+            payload["criteria"],
+            payload["specs"],
+            self.record_shards[dataset],
+            payload["shards"],
+        )
+        return 200, {
+            "worker": self.spec.index,
+            "shards": partial.shards,
+            "group_size": partial.group_size,
+            "counts": partial.counts,
+        }
+
+    # -- session ops (mirror the HTTP handlers one-to-one) --------------------
+    def op_session_create(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        sid = payload["sid"]
+        body = payload.get("body") or {}
+        dataset = body.get("dataset") or self.spec.default_dataset
+        if not isinstance(dataset, str):
+            raise ProtocolError("'dataset' must be a string", "invalid_request")
+        engine = self.engine(dataset)
+        start = (
+            criteria_from_json(body["criteria"])
+            if body.get("criteria") is not None
+            else None
+        )
+        self.registry.evict_idle()
+        session = engine.session(start)
+        managed = self.registry.adopt(sid, dataset, session)
+        with managed.lock:
+            record = session.step(with_recommendations=True)
+            managed.latest = record
+            self.save_checkpoint(managed)
+            return 201, {
+                "session_id": sid,
+                "dataset": dataset,
+                "degraded": record.degraded,
+                "step": step_to_json(record),
+            }
+
+    def op_sessions_list(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        return 200, {"sessions": self.registry.summaries()}
+
+    def op_session_summary(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        with self.registry.acquire(payload["sid"]) as managed:
+            summary = managed.summary(now=time.monotonic())
+            summary["criteria"] = (
+                criteria_to_json(managed.session.criteria)
+                if managed.session is not None
+                else None
+            )
+            summary["worker"] = self.spec.index
+            return 200, summary
+
+    def op_session_close(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        sid = payload["sid"]
+        managed = self.registry.close(sid)
+        if self.checkpointer is not None:
+            self.checkpointer.forget(sid)
+        return 200, {
+            "session_id": sid,
+            "closed": True,
+            "n_steps": managed.session.n_steps if managed.session else 0,
+        }
+
+    def op_session_maps(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        sid = payload["sid"]
+        with self.registry.acquire(sid) as managed:
+            record = managed.latest
+            return 200, {
+                "session_id": sid,
+                "step_index": record.index if record else 0,
+                "degraded": record.degraded if record else False,
+                "criteria": criteria_to_json(record.criteria)
+                if record
+                else None,
+                "maps": [
+                    rating_map_to_json(rm, record.result.dw_utility(rm))
+                    for rm in record.result.selected
+                ]
+                if record
+                else [],
+            }
+
+    def op_session_recommendations(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        sid = payload["sid"]
+        limit = payload.get("o")
+        with self.registry.acquire(sid) as managed:
+            scored = managed.latest.recommendations if managed.latest else ()
+            if limit is not None:
+                scored = scored[:limit]
+            return 200, {
+                "session_id": sid,
+                "recommendations": [
+                    recommendation_to_json(i, s)
+                    for i, s in enumerate(scored, 1)
+                ],
+            }
+
+    def op_session_apply(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        sid = payload["sid"]
+        body = payload.get("body") or {}
+        directives = [
+            k
+            for k in ("recommendation", "add", "drop", "sql", "criteria")
+            if k in body
+        ]
+        if len(directives) > 1:
+            raise ProtocolError(
+                "apply body must contain exactly one of 'recommendation', "
+                f"'add', 'drop', 'sql' or 'criteria', got {directives}",
+                "invalid_edit",
+            )
+        with self.registry.acquire(sid) as managed:
+            if "recommendation" in body:
+                number = body["recommendation"]
+                scored = managed.latest.recommendations if managed.latest else ()
+                if (
+                    not isinstance(number, int)
+                    or isinstance(number, bool)
+                    or not 1 <= number <= len(scored)
+                ):
+                    raise ProtocolError(
+                        f"invalid recommendation number {number!r} "
+                        f"(the current step offers 1..{len(scored)})",
+                        "invalid_recommendation",
+                    )
+                record = managed.session.step(
+                    scored[number - 1].operation, with_recommendations=True
+                )
+            else:
+                criteria = apply_edit(managed.session.criteria, body)
+                record = managed.session.apply_criteria(
+                    criteria, with_recommendations=True
+                )
+            managed.latest = record
+            self.save_checkpoint(managed)
+            return 200, {
+                "session_id": sid,
+                "degraded": record.degraded,
+                "step": step_to_json(record),
+            }
+
+    def op_session_history(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        sid = payload["sid"]
+        with self.registry.acquire(sid) as managed:
+            path = ExplorationPath(
+                ExplorationMode.USER_DRIVEN, managed.session.steps
+            )
+            log = ExplorationLog.from_path(
+                path,
+                dataset=managed.dataset,
+                metadata={"session_id": sid},
+            )
+            return 200, log.to_dict()
+
+
+def _serve_connection(app: WorkerApp, conn: socket.socket) -> None:
+    try:
+        conn.settimeout(60.0)
+        message = ipc.read_message(conn)
+        ipc.write_message(conn, app.handle(message))
+    except ipc.WorkerIPCError:
+        pass  # client went away; nothing to answer
+    except Exception:  # noqa: BLE001 - a worker thread must never die loudly
+        _log.exception("worker %d: connection handler failed", app.spec.index)
+    finally:
+        conn.close()
+
+
+def worker_main(spec: WorkerSpec) -> int:
+    """Spawn entry point: attach, restore, serve until told to stop."""
+    logging.basicConfig(level=logging.WARNING)
+    app = WorkerApp(spec)
+
+    def _request_stop(signum: int, frame: object) -> None:
+        app.stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # front handles Ctrl-C
+
+    restored = app.restore_sessions()
+    if restored:
+        _log.info("worker %d: restored %d session(s)", spec.index, restored)
+    if app.checkpointer is not None:
+        app.checkpointer.start()
+
+    listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        if os.path.exists(spec.socket_path):
+            os.unlink(spec.socket_path)
+        listener.bind(spec.socket_path)
+        listener.listen(128)
+        listener.settimeout(0.2)  # poll the stop flag between accepts
+        while not app.stop.is_set():
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            threading.Thread(
+                target=_serve_connection,
+                args=(app, conn),
+                name=f"worker-{spec.index}-conn",
+                daemon=True,
+            ).start()
+    finally:
+        listener.close()
+        try:
+            os.unlink(spec.socket_path)
+        except OSError:
+            pass
+        # drain: one final checkpoint per live session, then detach
+        if app.checkpointer is not None:
+            app.checkpointer.stop()
+            app.checkpointer.flush()
+        app.segments.close_attached()
+    return 0

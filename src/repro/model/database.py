@@ -82,6 +82,7 @@ class SubjectiveDatabase:
         user_key: str = "user_id",
         item_key: str = "item_id",
         name: str = "subjective-db",
+        alignment: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> None:
         if not dimensions:
             raise SchemaError("at least one rating dimension is required")
@@ -108,21 +109,40 @@ class SubjectiveDatabase:
         self._item_key = item_key
         self._name = name
 
-        user_ids = reviewers.numeric(user_key).astype(np.int64)
-        item_ids = items.numeric(item_key).astype(np.int64)
-        user_map = _id_to_row(user_ids, "reviewer")
-        item_map = _id_to_row(item_ids, "item")
-        r_users = ratings.numeric(user_key).astype(np.int64)
-        r_items = ratings.numeric(item_key).astype(np.int64)
-        try:
-            user_rows = np.fromiter(
-                (user_map[int(u)] for u in r_users), dtype=np.int64, count=len(r_users)
-            )
-            item_rows = np.fromiter(
-                (item_map[int(i)] for i in r_items), dtype=np.int64, count=len(r_items)
-            )
-        except KeyError as exc:
-            raise SchemaError(f"rating record references unknown id {exc}") from exc
+        if alignment is not None:
+            # Trusted precomputed alignment (e.g. a worker process attaching
+            # shared-memory columns exported by an already-validated
+            # database): skip the per-record id-resolution loops.
+            user_rows = np.asarray(alignment[0], dtype=np.int64)
+            item_rows = np.asarray(alignment[1], dtype=np.int64)
+            n = len(ratings)
+            if len(user_rows) != n or len(item_rows) != n:
+                raise SchemaError(
+                    f"alignment length mismatch: {len(user_rows)}/"
+                    f"{len(item_rows)} rows for {n} rating records"
+                )
+        else:
+            user_ids = reviewers.numeric(user_key).astype(np.int64)
+            item_ids = items.numeric(item_key).astype(np.int64)
+            user_map = _id_to_row(user_ids, "reviewer")
+            item_map = _id_to_row(item_ids, "item")
+            r_users = ratings.numeric(user_key).astype(np.int64)
+            r_items = ratings.numeric(item_key).astype(np.int64)
+            try:
+                user_rows = np.fromiter(
+                    (user_map[int(u)] for u in r_users),
+                    dtype=np.int64,
+                    count=len(r_users),
+                )
+                item_rows = np.fromiter(
+                    (item_map[int(i)] for i in r_items),
+                    dtype=np.int64,
+                    count=len(r_items),
+                )
+            except KeyError as exc:
+                raise SchemaError(
+                    f"rating record references unknown id {exc}"
+                ) from exc
         self._alignment = _Alignment(user_rows, item_rows)
 
         self._catalogs = {

@@ -21,10 +21,11 @@ Comparison rules, per benchmark present in the baseline:
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from .benchjson import BenchResult, load_results_dir
+from .benchjson import BENCH_FILE_PREFIX, BenchResult, load_results_dir
 
 __all__ = ["Comparison", "RegressionReport", "compare_dirs", "compare_results"]
 
@@ -176,20 +177,41 @@ def compare_results(
     return comparisons
 
 
+def _bench_name(filename: str) -> str:
+    """``BENCH_<name>.json`` -> ``<name>`` (best effort, for filtering)."""
+    stem = Path(filename).stem
+    if stem.startswith(BENCH_FILE_PREFIX):
+        return stem[len(BENCH_FILE_PREFIX):]
+    return stem
+
+
 def compare_dirs(
     baseline_dir: str | Path,
     current_dir: str | Path,
     threshold: float = DEFAULT_THRESHOLD,
     min_seconds: float = DEFAULT_MIN_SECONDS,
     portable_only: bool = False,
+    only: Iterable[str] | None = None,
 ) -> RegressionReport:
-    """Compare every baseline ``BENCH_*.json`` against the current run."""
+    """Compare every baseline ``BENCH_*.json`` against the current run.
+
+    ``only`` restricts the gate to the named benchmarks — the escape
+    hatch for focused CI jobs that run a single bench file into an
+    otherwise-empty results directory, where every other baseline bench
+    would falsely count as "missing".
+    """
     baseline, baseline_problems = load_results_dir(baseline_dir)
     current, current_problems = load_results_dir(current_dir)
+    selected = None if only is None else set(only)
+    if selected is not None:
+        baseline = {n: r for n, r in baseline.items() if n in selected}
+        current = {n: r for n, r in current.items() if n in selected}
     report = RegressionReport()
     # a malformed file on either side fails the gate: the baseline must
     # stay trustworthy and the current run must be schema-valid
     for name, errors in {**baseline_problems, **current_problems}.items():
+        if selected is not None and _bench_name(name) not in selected:
+            continue
         report.invalid_files[name] = errors
     for name, base_result in sorted(baseline.items()):
         cur_result = current.get(name)

@@ -28,6 +28,8 @@ Endpoints (all JSON; see ``docs/API.md`` for the full reference)::
     GET    /debug/traces                    recent finished traces
     GET    /debug/profile                   sampling profiler (collapsed/json)
     GET    /debug/spans/summary             span-derived cost accounting
+    GET    /cluster/workers                 worker states (sharded mode)
+    POST   /cluster/maps                    stateless scatter/gather scan
     POST   /sessions                        create a session (opening step)
     GET    /sessions                        list live sessions
     GET    /sessions/{id}                   session summary
@@ -46,13 +48,28 @@ import re
 import signal
 import threading
 import time
+import uuid
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Iterator, Mapping
 from urllib.parse import parse_qs, urlsplit
 
+from ..cluster.merge import (
+    partial_scan,
+    preview_generator,
+    result_from_scans,
+    scan_specs,
+)
+from ..cluster.partition import ShardMap
+# import the module, not names: repro.cluster.worker imports the server
+# package, so when an import starts from the cluster side this module
+# runs while repro.cluster.supervisor is still partially initialised —
+# its names only resolve at call time, which is all we need
+from ..cluster import supervisor as cluster_supervisor
 from ..core.caching import CachingEngine
 from ..core.engine import SubDEx
+from ..core.generator import RMSetGenerator
+from ..model.groups import SelectionCriteria
 from ..core.history import ExplorationLog
 from ..core.modes import ExplorationMode, ExplorationPath
 from ..exceptions import EmptyGroupError, OperationError, ReproError
@@ -147,6 +164,18 @@ class ServerConfig:
     #: Upper bound on one ``GET /debug/profile`` sampling window — the
     #: handler thread is occupied for the whole window, so cap it.
     profile_max_seconds: float = 30.0
+    #: Cluster mode: spawn this many shard-owning worker processes behind
+    #: the front (``0`` = classic single-process serving).  Sessions are
+    #: routed to workers by consistent hash; phase scans scatter/gather
+    #: across shards with byte-identical merged results.
+    workers: int = 0
+    #: Partition count for scatter/gather scans; ``None`` → 4 × workers
+    #: (also used by the single-process ``POST /cluster/maps`` path,
+    #: where ``None`` → 4).
+    shards: int | None = None
+    worker_heartbeat_seconds: float = 0.5
+    worker_rpc_timeout_seconds: float = 30.0
+    worker_max_restarts: int = 8
 
 
 class DatasetLoadError(ReproError):
@@ -299,6 +328,10 @@ _ROUTES: list[tuple[str, re.Pattern, str, str, Priority]] = [
      "GET /debug/profile", Priority.CRITICAL),
     ("GET", re.compile(r"^/debug/spans/summary$"), "handle_debug_spans",
      "GET /debug/spans/summary", Priority.CRITICAL),
+    ("GET", re.compile(r"^/cluster/workers$"), "handle_cluster_workers",
+     "GET /cluster/workers", Priority.CRITICAL),
+    ("POST", re.compile(r"^/cluster/maps$"), "handle_cluster_maps",
+     "POST /cluster/maps", Priority.HEAVY),
     ("POST", re.compile(r"^/sessions$"), "handle_create", "POST /sessions",
      Priority.HEAVY),
     ("GET", re.compile(r"^/sessions$"), "handle_list", "GET /sessions",
@@ -520,9 +553,19 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
         try:
             result = getattr(self, handler_name)(**params)
             status, payload = result
-            if isinstance(payload, dict) and payload.get("degraded"):
-                self.server.metrics.record_event("degraded_responses")
-            return status, payload, {}
+            headers: dict[str, str] = {}
+            if isinstance(payload, dict):
+                if payload.get("degraded"):
+                    self.server.metrics.record_event("degraded_responses")
+                # forwarded worker error envelopes carry retry_after in the
+                # body; surface it as the Retry-After header the
+                # single-process paths set directly
+                error = payload.get("error")
+                if isinstance(error, dict) and "retry_after" in error:
+                    headers["Retry-After"] = (
+                        f"{max(1, round(error['retry_after']))}"
+                    )
+            return status, payload, headers
         except _PayloadTooLarge as error:
             self.close_connection = True  # unread body still on the wire
             return 413, error_payload("payload_too_large", str(error)), {}
@@ -567,6 +610,18 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
             return 500, error_payload("injected_fault", str(error), retryable=True), {}
         except (EmptyGroupError, OperationError) as error:
             return 400, error_payload("empty_group", str(error)), {}
+        except cluster_supervisor.WorkerUnavailableError as error:
+            self.server.metrics.record_event("worker_unavailable")
+            return (
+                503,
+                error_payload(
+                    "worker_unavailable",
+                    str(error),
+                    retryable=True,
+                    retry_after=error.retry_after,
+                ),
+                {"Retry-After": f"{max(1, round(error.retry_after))}"},
+            )
         except ReproError as error:
             return 400, error_payload("bad_request", str(error)), {}
         except Exception as error:  # noqa: BLE001 - last-resort 500
@@ -630,14 +685,44 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
     def _query(self) -> dict[str, list[str]]:
         return parse_qs(urlsplit(self.path).query)
 
+    # -- cluster forwarding ---------------------------------------------------
+    def _cluster_forward(
+        self, op: str, sid: str, payload: dict[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """Route a session op to its ring-owning worker; relay the reply.
+
+        Transport failures and open worker breakers surface as
+        :class:`~repro.cluster.supervisor.WorkerUnavailableError` — a retryable 503 with
+        ``Retry-After`` — instead of hanging the caller on a dead worker.
+        """
+        cluster = self.server.cluster
+        worker = cluster.route(sid)
+        try:
+            return cluster.call(worker, op, {"sid": sid, **payload})
+        except BreakerOpenError as error:
+            raise cluster_supervisor.WorkerUnavailableError(
+                worker, str(error), error.retry_after
+            ) from error
+
     # -- service endpoints ---------------------------------------------------
     def handle_health(self) -> tuple[int, dict[str, Any]]:
-        return 200, {
+        payload: dict[str, Any] = {
             "status": "ok",
             "datasets": list(self.server.pool.names),
             "sessions": self.server.registry.live_count,
             "inflight": self.server.gate.inflight,
         }
+        cluster = self.server.cluster
+        if cluster is not None:
+            states = cluster.worker_states()
+            payload["cluster"] = {
+                "workers": len(states),
+                "up": sum(
+                    1 for s in states if s["alive"] and s["state"] == "up"
+                ),
+                "restarts": sum(s["restarts"] for s in states),
+            }
+        return 200, payload
 
     def handle_metrics(self) -> tuple[int, dict[str, Any] | str]:
         fmt = self._query().get("format", ["json"])[-1]
@@ -655,6 +740,10 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
             resilience=self.server.resilience_snapshot(),
         )
         payload["process"] = self.server.process_collector.snapshot()
+        if self.server.cluster is not None:
+            payload["cluster"] = {
+                "workers": self.server.cluster.worker_states()
+            }
         return 200, payload
 
     def handle_debug_traces(self) -> tuple[int, dict[str, Any]]:
@@ -778,11 +867,117 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
                 )
         payload = self.server.span_stats.summary(limit=limit)
         payload["tracing_enabled"] = self.server.tracer.enabled
+        if self.server.cluster is not None:
+            # per-worker span accounting, scraped over IPC; an unreachable
+            # worker reports {"unreachable": true} instead of blocking
+            payload["workers"] = {
+                index: stats.get("spans", stats)
+                for index, stats in self.server.cluster.stats(
+                    limit=limit
+                ).items()
+            }
         return 200, payload
+
+    # -- cluster endpoints ----------------------------------------------------
+    def handle_cluster_workers(self) -> tuple[int, dict[str, Any]]:
+        cluster = self.server.cluster
+        if cluster is None:
+            return 200, {"enabled": False, "workers": []}
+        return 200, {
+            "enabled": True,
+            "n_workers": cluster.n_workers,
+            "n_shards": cluster.config.n_shards,
+            "workers": cluster.worker_states(),
+        }
+
+    def handle_cluster_maps(self) -> tuple[int, dict[str, Any]]:
+        """One stateless scatter/gather phase scan (no session involved).
+
+        In cluster mode the scan fans out across the workers' shards and
+        the partial count cubes merge by addition; in single-process mode
+        the *same* merge code runs over all shards locally — so the two
+        deployments answer byte-identical maps for the same body, which
+        the equivalence suite asserts end to end.
+        """
+        body = self._json_body()
+        dataset = body.get("dataset") or self.server.pool.default_dataset
+        if not isinstance(dataset, str):
+            raise ProtocolError("'dataset' must be a string", "invalid_request")
+        criteria = (
+            criteria_from_json(body["criteria"])
+            if body.get("criteria") is not None
+            else SelectionCriteria.root()
+        )
+        k = body.get("k")
+        if k is not None and (
+            not isinstance(k, int) or isinstance(k, bool) or k < 1
+        ):
+            raise ProtocolError(
+                f"'k' must be an integer >= 1, got {k!r}", "invalid_request"
+            )
+        cluster = self.server.cluster
+        if cluster is not None:
+            if dataset not in cluster.dataset_names:
+                raise ProtocolError(
+                    f"unknown dataset {dataset!r} "
+                    f"(served datasets: {', '.join(cluster.dataset_names)})",
+                    "unknown_dataset",
+                )
+            database, engine_config = cluster.dataset(dataset)
+            generator = preview_generator(
+                RMSetGenerator(engine_config.generator)
+            )
+            specs = scan_specs(database, criteria)
+            try:
+                partials, scatter = cluster.scatter_scan(
+                    dataset, criteria, specs
+                )
+            except BreakerOpenError as error:
+                raise cluster_supervisor.WorkerUnavailableError(
+                    -1, str(error), error.retry_after
+                ) from error
+        else:
+            engine = self.server.pool.get(dataset)
+            database = engine.database
+            generator = preview_generator(engine.engine.generator)
+            specs = scan_specs(database, criteria)
+            n_shards = self.server.config.shards or 4
+            shard_map = ShardMap(n_shards)
+            record_shards = shard_map.record_shards(database)
+            partials = [
+                partial_scan(database, criteria, specs, record_shards, (s,))
+                for s in range(n_shards)
+            ]
+            scatter = {
+                "workers": [],
+                "degraded": False,
+                "missing_shards": [],
+                "mode": "local",
+                "shards": n_shards,
+            }
+        result = result_from_scans(
+            generator, database, criteria, specs, partials, k=k
+        )
+        return 200, {
+            "dataset": dataset,
+            "criteria": criteria_to_json(criteria),
+            "group_size": sum(p.group_size for p in partials),
+            "degraded": bool(scatter["degraded"]),
+            "scatter": scatter,
+            "maps": [
+                rating_map_to_json(rm, result.dw_utility(rm))
+                for rm in result.selected
+            ],
+        }
 
     # -- session lifecycle ---------------------------------------------------
     def handle_create(self) -> tuple[int, dict[str, Any]]:
         body = self._json_body()
+        if self.server.cluster is not None:
+            # the front picks the id so it can route before the session
+            # exists; the worker adopts the session under this id
+            sid = uuid.uuid4().hex
+            return self._cluster_forward("session.create", sid, {"body": body})
         dataset = body.get("dataset") or self.server.pool.default_dataset
         if not isinstance(dataset, str):
             raise ProtocolError("'dataset' must be a string", "invalid_request")
@@ -807,9 +1002,13 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
             }
 
     def handle_list(self) -> tuple[int, dict[str, Any]]:
+        if self.server.cluster is not None:
+            return 200, {"sessions": self.server.cluster.live_sessions()}
         return 200, {"sessions": self.server.registry.summaries()}
 
     def handle_summary(self, sid: str) -> tuple[int, dict[str, Any]]:
+        if self.server.cluster is not None:
+            return self._cluster_forward("session.summary", sid, {})
         registry = self.server.registry
         with registry.acquire(sid) as managed:
             summary = managed.summary(now=time.monotonic())
@@ -821,6 +1020,8 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
             return 200, summary
 
     def handle_close(self, sid: str) -> tuple[int, dict[str, Any]]:
+        if self.server.cluster is not None:
+            return self._cluster_forward("session.close", sid, {})
         managed = self.server.registry.close(sid)
         self.server.forget_checkpoint(sid)
         return 200, {
@@ -831,6 +1032,8 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
 
     # -- exploration ---------------------------------------------------------
     def handle_maps(self, sid: str) -> tuple[int, dict[str, Any]]:
+        if self.server.cluster is not None:
+            return self._cluster_forward("session.maps", sid, {})
         with self.server.registry.acquire(sid) as managed:
             record = managed.latest
             return 200, {
@@ -863,6 +1066,10 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
                     f"query parameter o must be >= 1, got {limit}",
                     "invalid_request",
                 )
+        if self.server.cluster is not None:
+            return self._cluster_forward(
+                "session.recommendations", sid, {"o": limit}
+            )
         with self.server.registry.acquire(sid) as managed:
             scored = managed.latest.recommendations if managed.latest else ()
             if limit is not None:
@@ -877,6 +1084,8 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
 
     def handle_apply(self, sid: str) -> tuple[int, dict[str, Any]]:
         body = self._json_body()
+        if self.server.cluster is not None:
+            return self._cluster_forward("session.apply", sid, {"body": body})
         directives = [
             k
             for k in ("recommendation", "add", "drop", "sql", "criteria")
@@ -919,6 +1128,8 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
             }
 
     def handle_history(self, sid: str) -> tuple[int, dict[str, Any]]:
+        if self.server.cluster is not None:
+            return self._cluster_forward("session.history", sid, {})
         with self.server.registry.acquire(sid) as managed:
             path = ExplorationPath(
                 ExplorationMode.USER_DRIVEN, managed.session.steps
@@ -943,11 +1154,15 @@ class SubDExServer(ThreadingHTTPServer):
         pool: EnginePool,
         config: ServerConfig | None = None,
         fault_plan: FaultPlan | None = None,
+        cluster: cluster_supervisor.WorkerPool | None = None,
     ) -> None:
         super().__init__(address, SubDExRequestHandler)
         self.config = config or ServerConfig()
         self.pool = pool
         self.fault_plan = fault_plan
+        #: sharded mode: a started :class:`~repro.cluster.supervisor.WorkerPool`;
+        #: ``None`` means classic single-process serving
+        self.cluster = cluster
         self.registry = SessionRegistry(
             max_sessions=self.config.max_sessions,
             ttl_seconds=self.config.session_ttl_seconds,
@@ -957,6 +1172,10 @@ class SubDExServer(ThreadingHTTPServer):
             reservoir_size=self.config.metrics_reservoir_size
         )
         self.metrics.registry.register_collector(self._collect_engine_metrics)
+        if self.cluster is not None:
+            self.metrics.registry.register_collector(
+                self.cluster.metric_families
+            )
         # a private tracer: concurrent servers in one process (tests run
         # several) must not deliver traces into each other's sinks
         self.tracer = Tracer(enabled=self.config.tracing_enabled)
@@ -1102,6 +1321,10 @@ class SubDExServer(ThreadingHTTPServer):
         if self.checkpointer is not None:
             self.checkpointer.stop()
             self.checkpointer.flush()  # one final checkpoint per live session
+        if self.cluster is not None:
+            # drain workers (each flushes its own checkpoints), join their
+            # processes, unlink every shared-memory segment
+            self.cluster.shutdown(drain_seconds=budget)
         if self.trace_file_sink is not None:
             self.trace_file_sink.close()
         self.server_close()
@@ -1245,7 +1468,35 @@ def build_server(
         breaker_reset_seconds=config.breaker_reset_seconds,
         fault_plan=fault_plan,
     )
-    server = SubDExServer((host, port), pool, config, fault_plan=fault_plan)
+    cluster: cluster_supervisor.WorkerPool | None = None
+    if config.workers > 0:
+        # cluster mode needs the datasets eagerly: they are exported into
+        # shared memory once and every worker attaches zero-copy views
+        datasets = {}
+        for name, factory in factories.items():
+            engine = factory()
+            datasets[name] = (engine.database, engine.config)
+        cluster = cluster_supervisor.WorkerPool(
+            datasets,
+            cluster_supervisor.ClusterConfig(
+                workers=config.workers,
+                shards=config.shards,
+                heartbeat_interval_seconds=config.worker_heartbeat_seconds,
+                rpc_timeout_seconds=config.worker_rpc_timeout_seconds,
+                max_restarts=config.worker_max_restarts,
+            ),
+            max_sessions=config.max_sessions,
+            session_ttl_seconds=config.session_ttl_seconds,
+            group_cache_capacity=config.group_cache_capacity,
+            result_cache_capacity=config.result_cache_capacity,
+            checkpoint_dir=config.checkpoint_dir,
+            checkpoint_interval_seconds=config.checkpoint_interval_seconds,
+            tracing_enabled=config.tracing_enabled,
+        )
+        cluster.start()
+    server = SubDExServer(
+        (host, port), pool, config, fault_plan=fault_plan, cluster=cluster
+    )
     server.restore_sessions()
     server.start_background()
     return server
@@ -1273,6 +1524,13 @@ def serve(
         "serving datasets %s on %s", ", ".join(server.pool.names), server.url
     )
     print(f"SubDEx serving {', '.join(server.pool.names)} on {server.url}", file=out)
+    if server.cluster is not None:
+        print(
+            f"cluster: {server.cluster.n_workers} workers, "
+            f"{server.cluster.config.n_shards} shards "
+            "(see docs/SCALING.md)",
+            file=out,
+        )
     print("endpoints: /health /metrics /sessions (see docs/API.md)", file=out)
 
     stop = threading.Event()

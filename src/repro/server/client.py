@@ -289,8 +289,14 @@ class SubDExClient:
                     raise
                 last_error = error
                 retry_after = error.retry_after
-            except OSError as error:
-                # connection refused / reset: the server may be restarting
+            except (OSError, http.client.HTTPException) as error:
+                # connection refused / reset / aborted mid-response: the
+                # server (or its worker) may be restarting.  OSError covers
+                # ConnectionResetError and RemoteDisconnected (a subclass);
+                # HTTPException catches the non-OSError failure shapes a
+                # dying peer produces — BadStatusLine on a garbage status
+                # line, IncompleteRead on a truncated body — which
+                # _round_trip re-raises after its single reconnect.
                 self.close()
                 last_error = error
                 retry_after = None
@@ -307,6 +313,27 @@ class SubDExClient:
 
     def sessions(self) -> list[dict[str, Any]]:
         return self.request("GET", "/sessions")["sessions"]
+
+    # -- cluster -------------------------------------------------------------
+    def workers(self) -> dict[str, Any]:
+        """Worker states of a sharded server (``enabled: false`` otherwise)."""
+        return self.request("GET", "/cluster/workers")
+
+    def cluster_maps(
+        self,
+        dataset: str | None = None,
+        criteria: Mapping[str, Any] | None = None,
+        k: int | None = None,
+    ) -> dict[str, Any]:
+        """One stateless scatter/gather phase scan (``POST /cluster/maps``)."""
+        payload: dict[str, Any] = {}
+        if dataset is not None:
+            payload["dataset"] = dataset
+        if criteria is not None:
+            payload["criteria"] = dict(criteria)
+        if k is not None:
+            payload["k"] = k
+        return self.request("POST", "/cluster/maps", payload)
 
     # -- performance introspection -------------------------------------------
     def explain(

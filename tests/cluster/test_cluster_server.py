@@ -1,0 +1,167 @@
+"""End-to-end sharded serving: ``--workers 2`` answers byte-for-byte what
+the single-process server answers, and the cluster surfaces (worker
+states, worker-labelled metrics, per-worker span summaries, merged
+session lists) are wired through the front."""
+
+from __future__ import annotations
+
+import os
+import threading
+import urllib.request
+
+import pytest
+
+from repro.cluster.shm import SEGMENT_PREFIX
+from repro.core.engine import SubDEx, SubDExConfig
+from repro.server import ServerConfig, SubDExClient, build_server
+
+
+def _factories(make_db):
+    return {"synthetic": lambda: SubDEx(make_db(seed=3), SubDExConfig())}
+
+
+def _start(server):
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server
+
+
+@pytest.fixture(scope="module")
+def single_server(db_factory):
+    server = _start(
+        build_server(
+            _factories(db_factory), config=ServerConfig(workers=0, shards=8)
+        )
+    )
+    yield server
+    server.graceful_shutdown(drain_seconds=5.0)
+
+
+@pytest.fixture(scope="module")
+def sharded_server(db_factory):
+    server = _start(
+        build_server(
+            _factories(db_factory), config=ServerConfig(workers=2, shards=8)
+        )
+    )
+    yield server
+    server.graceful_shutdown(drain_seconds=5.0)
+    leftover = [
+        n for n in os.listdir("/dev/shm") if n.startswith(SEGMENT_PREFIX)
+    ]
+    assert leftover == []  # shutdown unlinked every segment
+
+
+@pytest.fixture(scope="module")
+def single(single_server):
+    with SubDExClient(single_server.url) as client:
+        yield client
+
+
+@pytest.fixture(scope="module")
+def sharded(sharded_server):
+    with SubDExClient(sharded_server.url) as client:
+        yield client
+
+
+def test_health_reports_cluster(single, sharded):
+    cluster = sharded.health()["cluster"]
+    assert cluster["workers"] == 2 and cluster["up"] == 2
+    assert "cluster" not in single.health()
+
+
+def test_workers_endpoint(single, sharded):
+    info = sharded.workers()
+    assert info["enabled"] is True
+    assert info["n_workers"] == 2 and info["n_shards"] == 8
+    assert [w["state"] for w in info["workers"]] == ["up", "up"]
+    assert all(w["alive"] for w in info["workers"])
+    mine = single.workers()
+    assert mine["enabled"] is False and mine["workers"] == []
+
+
+def test_cluster_maps_byte_identical(single, sharded):
+    mine = single.cluster_maps()
+    theirs = sharded.cluster_maps()
+    assert mine["group_size"] == theirs["group_size"]
+    assert mine["maps"] == theirs["maps"]
+    assert theirs["degraded"] is False
+    assert {w["worker"] for w in theirs["scatter"]["workers"]} == {0, 1}
+    assert mine["scatter"]["mode"] == "local"
+
+
+def test_cluster_maps_with_criteria_and_k(single, sharded):
+    criteria = {"reviewer": {"gender": "M"}}
+    mine = single.cluster_maps(criteria=criteria, k=2)
+    theirs = sharded.cluster_maps(criteria=criteria, k=2)
+    assert len(theirs["maps"]) == 2
+    assert mine["maps"] == theirs["maps"]
+
+
+def test_session_flow_byte_identical(single, sharded, strip):
+    mine, theirs = single.create_session(), sharded.create_session()
+    for path in ("maps", "recommendations", "history"):
+        a = single.request("GET", f"/sessions/{mine.id}/{path}")
+        b = sharded.request("GET", f"/sessions/{theirs.id}/{path}")
+        assert strip(a) == strip(b), f"{path} differs"
+    a = single.request("POST", f"/sessions/{mine.id}/apply", {"recommendation": 1})
+    b = sharded.request("POST", f"/sessions/{theirs.id}/apply", {"recommendation": 1})
+    assert strip(a) == strip(b)
+    # and after the step, the whole history still matches
+    a = single.request("GET", f"/sessions/{mine.id}/history")
+    b = sharded.request("GET", f"/sessions/{theirs.id}/history")
+    assert strip(a) == strip(b)
+    mine.close()
+    theirs.close()
+
+
+def test_sessions_list_carries_worker_tag(sharded):
+    session = sharded.create_session()
+    try:
+        listed = {s["session_id"]: s for s in sharded.sessions()}
+        assert session.id in listed
+        assert listed[session.id]["worker"] in (0, 1)
+        summary = sharded.request("GET", f"/sessions/{session.id}")
+        assert summary["worker"] == listed[session.id]["worker"]
+    finally:
+        session.close()
+
+
+def test_metrics_have_worker_families(sharded_server, sharded):
+    session = sharded.create_session()
+    try:
+        text = urllib.request.urlopen(
+            sharded_server.url + "/metrics?format=prometheus"
+        ).read().decode()
+    finally:
+        session.close()
+    for family in (
+        "subdex_worker_up",
+        "subdex_worker_restarts_total",
+        "subdex_worker_rpcs_total",
+        "subdex_worker_sessions",
+    ):
+        assert family in text
+    assert 'subdex_worker_up{worker="0"} 1' in text
+    assert 'subdex_worker_up{worker="1"} 1' in text
+    json_payload = sharded.metrics()
+    assert len(json_payload["cluster"]["workers"]) == 2
+
+
+def test_debug_spans_include_worker_sections(sharded):
+    # touch both workers first so each has spans to report
+    sharded.cluster_maps()
+    spans = sharded.spans_summary()
+    assert sorted(spans["workers"]) == ["0", "1"]
+    front_spans = {entry["name"] for entry in spans["operations"]}
+    assert "cluster.scatter" in front_spans and "worker.rpc" in front_spans
+    for stats in spans["workers"].values():
+        worker_ops = {entry["name"] for entry in stats["operations"]}
+        assert "worker.request" in worker_ops
+
+
+def test_unknown_session_404_from_worker(sharded):
+    from repro.server import ServerError
+
+    with pytest.raises(ServerError) as info:
+        sharded.request("GET", "/sessions/" + "0" * 32)
+    assert info.value.status == 404

@@ -1,0 +1,54 @@
+"""Consistent-hash ring: deterministic, stable across instances, and
+spread over every slot — a restarted front keeps routing sessions to the
+same worker slot."""
+
+from __future__ import annotations
+
+import uuid
+
+import pytest
+
+from repro.cluster.hashing import HashRing
+
+
+def _keys(n: int) -> list[str]:
+    rng_free = [uuid.uuid5(uuid.NAMESPACE_DNS, str(i)).hex for i in range(n)]
+    return rng_free
+
+
+def test_slots_in_range():
+    ring = HashRing(3)
+    for key in _keys(200):
+        assert 0 <= ring.slot_for(key) < 3
+
+
+def test_deterministic_across_instances():
+    keys = _keys(300)
+    first = [HashRing(4).slot_for(key) for key in keys]
+    second = [HashRing(4).slot_for(key) for key in keys]
+    assert first == second
+
+
+def test_every_slot_receives_keys():
+    ring = HashRing(2)
+    slots = {ring.slot_for(key) for key in _keys(200)}
+    assert slots == {0, 1}
+
+
+def test_reasonable_balance():
+    ring = HashRing(4)
+    counts = [0, 0, 0, 0]
+    for key in _keys(2000):
+        counts[ring.slot_for(key)] += 1
+    # vnodes keep the spread within a loose factor of perfect balance
+    assert min(counts) > 2000 / 4 / 4
+
+
+def test_single_slot_ring():
+    ring = HashRing(1)
+    assert {ring.slot_for(key) for key in _keys(50)} == {0}
+
+
+def test_invalid_slot_count():
+    with pytest.raises(ValueError):
+        HashRing(0)

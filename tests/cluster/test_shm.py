@@ -1,0 +1,155 @@
+"""Shared-memory lifecycle: roundtrips, ownership, stale-segment purge,
+and crash-safe cleanup hooks (the satellite-2 behaviours)."""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cluster.shm import (
+    SEGMENT_PREFIX,
+    SegmentRegistry,
+    attach_array,
+    purge_stale_segments,
+    segment_owner_pid,
+    share_array,
+)
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+_SHM_DIR = "/dev/shm"
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir(_SHM_DIR), reason="needs POSIX shared memory"
+)
+
+
+@pytest.fixture()
+def registry():
+    instance = SegmentRegistry()
+    yield instance
+    instance.unlink_all()
+
+
+@pytest.fixture()
+def attach_registry():
+    # attached views are only valid while their registry is alive — hold
+    # it for the test's duration (workers hold theirs for the process)
+    instance = SegmentRegistry()
+    yield instance
+    instance.close_attached()
+
+
+def _our_segments() -> list[str]:
+    return [n for n in os.listdir(_SHM_DIR) if n.startswith(SEGMENT_PREFIX)]
+
+
+@pytest.mark.parametrize(
+    "array",
+    [
+        np.arange(24, dtype=np.float64).reshape(4, 6),
+        np.array([3, 1, 2], dtype=np.int32),
+        np.zeros((0, 5), dtype=np.int64),  # empty arrays travel inline
+        np.array([[True, False], [False, True]]),
+    ],
+    ids=["float64-2d", "int32-1d", "empty", "bool"],
+)
+def test_share_attach_roundtrip(registry, attach_registry, array):
+    manifest = share_array(array, registry)
+    view = attach_array(manifest, attach_registry)
+    assert view.dtype == array.dtype and view.shape == array.shape
+    np.testing.assert_array_equal(view, array)
+
+
+def test_attached_views_are_read_only(registry, attach_registry):
+    manifest = share_array(np.arange(8.0), registry)
+    view = attach_array(manifest, attach_registry)
+    with pytest.raises(ValueError):
+        view[0] = 99.0
+
+
+def test_attach_of_owned_segment_reuses_handle(registry):
+    manifest = share_array(np.arange(4.0), registry)
+    name = manifest["segment"]
+    assert registry.attach(name) is registry._owned[name]
+
+
+def test_segment_names_embed_owner_pid(registry):
+    manifest = share_array(np.arange(4.0), registry)
+    assert segment_owner_pid(manifest["segment"]) == os.getpid()
+    assert segment_owner_pid("unrelated") is None
+    assert segment_owner_pid(f"{SEGMENT_PREFIX}-notanint-abc") is None
+
+
+def test_unlink_all_removes_segments():
+    registry = SegmentRegistry()
+    names = [
+        share_array(np.arange(16.0), registry)["segment"] for __ in range(2)
+    ]
+    assert all(name in _our_segments() for name in names)
+    assert registry.unlink_all() == 2
+    assert not any(name in _our_segments() for name in names)
+    assert registry.unlink_all() == 0  # idempotent
+
+
+def test_purge_removes_dead_owner_segments_only(registry):
+    # a segment whose embedded owner pid is dead: simulate the leak a
+    # SIGKILLed front leaves behind
+    child = subprocess.Popen(["true"])
+    child.wait()
+    stale = f"{SEGMENT_PREFIX}-{child.pid}-deadbeef0000"
+    with open(os.path.join(_SHM_DIR, stale), "wb") as handle:
+        handle.write(b"\0" * 64)
+    live = share_array(np.arange(4.0), registry)["segment"]
+    removed = purge_stale_segments()
+    assert stale in removed
+    assert stale not in _our_segments()
+    assert live in _our_segments()  # our own segments are never purged
+
+
+def test_sigterm_cleanup_unlinks_owned_segments(tmp_path):
+    """A front killed with SIGTERM unlinks its segments on the way out."""
+    script = tmp_path / "owner.py"
+    script.write_text(
+        textwrap.dedent(
+            """
+            import os, signal, sys, time
+            import numpy as np
+            from repro.cluster.shm import SegmentRegistry, share_array
+
+            registry = SegmentRegistry()
+            registry.install_cleanup()
+            manifest = share_array(np.arange(32.0), registry)
+            print(manifest["segment"], flush=True)
+            while True:
+                time.sleep(0.1)
+            """
+        )
+    )
+    env = dict(os.environ, PYTHONPATH=_SRC)
+    process = subprocess.Popen(
+        [sys.executable, str(script)],
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        name = process.stdout.readline().strip()
+        assert name.startswith(SEGMENT_PREFIX)
+        assert name in _our_segments()
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=10)
+    finally:
+        if process.poll() is None:
+            process.kill()
+    deadline = time.monotonic() + 5.0
+    while name in _our_segments() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert name not in _our_segments()

@@ -138,6 +138,33 @@ class TestCompareDirs:
         assert report.failed
         assert len(report.regressions) == 1
 
+    def test_only_filter_scopes_the_gate(self, tmp_path):
+        """A focused job runs one bench; the others must not read as
+        missing, but the selected bench is still fully gated."""
+        baseline, current = tmp_path / "base", tmp_path / "cur"
+        self._write(baseline, "a", 1.0)
+        self._write(baseline, "b", 1.0)
+        self._write(current, "a", 1.0)
+        report = compare_dirs(baseline, current, only=["a"])
+        assert not report.failed
+        assert report.missing_benches == []
+        assert {c.bench for c in report.comparisons} == {"a"}
+        # the selected bench still regresses when it is worse
+        self._write(current, "a", 9.0)
+        assert compare_dirs(baseline, current, only=["a"]).failed
+        # ...and a selected-but-absent bench is still missing
+        report = compare_dirs(baseline, current, only=["b"])
+        assert report.failed and report.missing_benches == ["b"]
+
+    def test_only_filter_ignores_unselected_invalid_files(self, tmp_path):
+        baseline, current = tmp_path / "base", tmp_path / "cur"
+        self._write(baseline, "a", 1.0)
+        self._write(current, "a", 1.0)
+        (current / "BENCH_broken.json").write_text("{oops")
+        report = compare_dirs(baseline, current, only=["a"])
+        assert not report.failed
+        assert compare_dirs(baseline, current, only=["broken"]).failed
+
 
 @pytest.mark.skipif(
     not BASELINE_DIR.is_dir(), reason="no committed baseline yet"
@@ -195,6 +222,22 @@ class TestCheckRegressionScript:
         assert completed.returncode == 1
         assert "WORSE" in completed.stdout
         assert "REGRESSION GATE: FAILED" in completed.stdout
+
+    def test_only_flag_scopes_the_cli_gate(self, tmp_path):
+        baseline, current = tmp_path / "base", tmp_path / "cur"
+        write_bench_json("a", {"t": 1.0}, directory=baseline)
+        write_bench_json("b", {"t": 1.0}, directory=baseline)
+        write_bench_json("a", {"t": 1.0}, directory=current)
+        completed = self._run(
+            "--baseline", str(baseline), "--current", str(current)
+        )
+        assert completed.returncode == 1  # b is missing without --only
+        completed = self._run(
+            "--baseline", str(baseline), "--current", str(current),
+            "--only", "a",
+        )
+        assert completed.returncode == 0, completed.stdout
+        assert "REGRESSION GATE: ok" in completed.stdout
 
     def test_exit_nonzero_on_missing_baseline_dir(self, tmp_path):
         completed = self._run(

@@ -192,3 +192,79 @@ def test_seeded_policies_are_deterministic():
     assert [policy_a.backoff(i) for i in range(4)] == [
         policy_b.backoff(i) for i in range(4)
     ]
+
+
+class FlakySocketServer:
+    """A raw TCP server scripting connection-level failures.
+
+    Behaviours: ``"close"`` — accept then close without a byte (the peer
+    sees ``RemoteDisconnected``); ``"garbage"`` — answer a non-HTTP blob
+    (``BadStatusLine``); ``"ok"`` — one well-formed JSON 200.
+    """
+
+    def __init__(self, behaviours):
+        self.listener = socket.socket()
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(8)
+        self.behaviours = list(behaviours)
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    @property
+    def url(self):
+        return f"http://127.0.0.1:{self.listener.getsockname()[1]}"
+
+    def _serve(self):
+        for behaviour in self.behaviours:
+            try:
+                connection, _ = self.listener.accept()
+            except OSError:
+                return
+            try:
+                connection.recv(65536)
+                if behaviour == "garbage":
+                    connection.sendall(b"!!this is not HTTP!!\r\n\r\n")
+                elif behaviour == "ok":
+                    body = b'{"ok": true}'
+                    connection.sendall(
+                        b"HTTP/1.1 200 OK\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                        b"Connection: close\r\n\r\n" + body
+                    )
+            finally:
+                connection.close()
+
+    def stop(self):
+        self.listener.close()
+
+
+def test_get_retries_disconnects_and_garbage_status_lines():
+    """Worker restarts look like resets/garbage mid-response: a dropped
+    connection (RemoteDisconnected) and a non-HTTP answer (BadStatusLine)
+    must both burn one retry attempt each, then succeed."""
+    server = FlakySocketServer(["close", "garbage", "ok"])
+    try:
+        policy, sleeps = recording_policy()
+        with SubDExClient(server.url, retry=policy) as client:
+            assert client.request("GET", "/health") == {"ok": True}
+        # "close" is absorbed by the transport's single reconnect; the
+        # "garbage" BadStatusLine that follows costs one backoff sleep
+        assert len(sleeps) == 1
+    finally:
+        server.stop()
+
+
+def test_post_does_not_retry_disconnects():
+    """Non-idempotent requests must surface transport failures instead of
+    silently replaying them."""
+    server = FlakySocketServer(["close", "close", "ok"])
+    try:
+        policy, sleeps = recording_policy()
+        with SubDExClient(server.url, retry=policy) as client:
+            with pytest.raises(Exception) as excinfo:
+                client.request("POST", "/sessions", {})
+        assert not isinstance(excinfo.value, ServerError)
+        assert sleeps == []
+    finally:
+        server.stop()
