@@ -40,6 +40,7 @@ from ..model.groups import RatingGroup, SelectionCriteria
 
 __all__ = [
     "PartialScan",
+    "local_partial_scans",
     "merge_scans",
     "partial_scan",
     "preview_generator",
@@ -93,6 +94,36 @@ def partial_scan(
         group_size=int(rows.size),
         counts=tuple(direct_counts(database, spec, rows) for spec in specs),
     )
+
+
+def local_partial_scans(
+    database: SubjectiveDatabase,
+    criteria: SelectionCriteria,
+    specs: Sequence[RatingMapSpec],
+    record_shards: np.ndarray,
+    n_shards: int,
+) -> list[PartialScan]:
+    """Every shard's partial scan of one local database.
+
+    The single-process twin of a full scatter: selects ``criteria``'s
+    group **once** and slices the row set by shard, instead of re-running
+    the group selection per shard the way ``n_shards`` separate
+    :func:`partial_scan` calls would.  Row order within each shard matches
+    :func:`partial_scan` exactly, so the merged result is byte-identical.
+    """
+    rows = RatingGroup(database, criteria).rows
+    shard_of = record_shards[rows]
+    return [
+        PartialScan(
+            shards=(shard,),
+            group_size=int(shard_rows.size),
+            counts=tuple(
+                direct_counts(database, spec, shard_rows) for spec in specs
+            ),
+        )
+        for shard in range(n_shards)
+        for shard_rows in (rows[shard_of == shard],)
+    ]
 
 
 def merge_scans(

@@ -37,6 +37,7 @@ import tempfile
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -113,6 +114,9 @@ class _WorkerHandle:
     heartbeat_misses: int = 0
     rpcs_ok: int = 0
     rpcs_error: int = 0
+    #: live-session count cached from the last successful heartbeat ping,
+    #: so /metrics never blocks on per-worker IPC
+    sessions: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock)
 
 
@@ -230,11 +234,12 @@ class WorkerPool:
     def _wait_ready(self, handle: _WorkerHandle, deadline: float) -> None:
         while time.monotonic() < deadline:
             try:
-                ipc.request(
+                reply = ipc.request(
                     handle.socket_path,
                     {"op": "ping", "payload": {}},
                     timeout=self.config.heartbeat_timeout_seconds,
                 )
+                handle.sessions = int(reply["payload"].get("sessions", 0))
                 handle.state = "up"
                 handle.breaker.record_success()
                 return
@@ -262,10 +267,13 @@ class WorkerPool:
                     try:
                         # bypass the breaker: liveness probing must keep
                         # working while the breaker is open
-                        ipc.request(
+                        reply = ipc.request(
                             handle.socket_path,
                             {"op": "ping", "payload": {}},
                             timeout=self.config.heartbeat_timeout_seconds,
+                        )
+                        handle.sessions = int(
+                            reply["payload"].get("sessions", 0)
                         )
                         handle.heartbeat_misses = 0
                         handle.state = "up"
@@ -332,7 +340,7 @@ class WorkerPool:
         deadline = current_deadline()
         remaining = None
         if deadline is not None:
-            remaining = max(deadline.remaining(), 0.001)
+            remaining = max(deadline.remaining, 0.001)
         return {
             "op": op,
             "payload": dict(payload),
@@ -498,37 +506,56 @@ class WorkerPool:
             )
         return states
 
+    def _scrape_all(
+        self, op: str, payload: Mapping[str, Any], timeout: float
+    ) -> dict[int, dict[str, Any] | None]:
+        """Fan ``op`` out to every worker concurrently; gather best-effort.
+
+        ``timeout`` bounds the *whole* scrape, not each worker: one wedged
+        worker costs at most ``timeout`` total, regardless of pool size.
+        Unreachable or late workers map to ``None``.
+        """
+        assert self._executor is not None, "pool not started"
+        futures = {
+            handle.index: self._executor.submit(
+                ipc.request,
+                handle.socket_path,
+                {"op": op, "payload": dict(payload)},
+                timeout=timeout,
+            )
+            for handle in self._handles
+        }
+        deadline = time.monotonic() + timeout
+        out: dict[int, dict[str, Any] | None] = {}
+        for index, future in futures.items():
+            try:
+                reply = future.result(max(0.0, deadline - time.monotonic()))
+                out[index] = reply["payload"]
+            except (ipc.WorkerIPCError, FuturesTimeoutError):
+                out[index] = None
+        return out
+
     def stats(
         self, limit: int | None = None, timeout: float = 1.0
     ) -> dict[str, Any]:
         """Best-effort per-worker stats scrape (skips unreachable workers)."""
-        out: dict[str, Any] = {}
-        for handle in self._handles:
-            try:
-                reply = ipc.request(
-                    handle.socket_path,
-                    {"op": "stats", "payload": {"limit": limit}},
-                    timeout=timeout,
-                )
-                out[str(handle.index)] = reply["payload"]
-            except ipc.WorkerIPCError:
-                out[str(handle.index)] = {"unreachable": True}
-        return out
+        return {
+            str(index): payload if payload is not None else {"unreachable": True}
+            for index, payload in self._scrape_all(
+                "stats", {"limit": limit}, timeout
+            ).items()
+        }
 
     def live_sessions(self, timeout: float = 2.0) -> list[dict[str, Any]]:
         """Merge every reachable worker's session list (for GET /sessions)."""
         merged: list[dict[str, Any]] = []
-        for handle in self._handles:
-            try:
-                reply = ipc.request(
-                    handle.socket_path,
-                    {"op": "sessions.list", "payload": {}},
-                    timeout=timeout,
-                )
-            except ipc.WorkerIPCError:
+        for index, payload in sorted(
+            self._scrape_all("sessions.list", {}, timeout).items()
+        ):
+            if payload is None:
                 continue
-            for summary in reply["payload"]["sessions"]:
-                summary["worker"] = handle.index
+            for summary in payload["sessions"]:
+                summary["worker"] = index
                 merged.append(summary)
         return merged
 
@@ -565,17 +592,9 @@ class WorkerPool:
             rpcs.add(handle.rpcs_ok, worker=handle.index, outcome="ok")
             rpcs.add(handle.rpcs_error, worker=handle.index, outcome="error")
             if alive:
-                try:
-                    reply = ipc.request(
-                        handle.socket_path,
-                        {"op": "ping", "payload": {}},
-                        timeout=0.5,
-                    )
-                    sessions.add(
-                        reply["payload"]["sessions"], worker=handle.index
-                    )
-                except ipc.WorkerIPCError:
-                    pass
+                # cached from the heartbeat monitor's last ping — /metrics
+                # must never block on per-worker IPC
+                sessions.add(handle.sessions, worker=handle.index)
         return [up, restarts, rpcs, sessions]
 
     # -- shutdown ------------------------------------------------------------

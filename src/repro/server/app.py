@@ -55,7 +55,7 @@ from typing import Any, Callable, Iterator, Mapping
 from urllib.parse import parse_qs, urlsplit
 
 from ..cluster.merge import (
-    partial_scan,
+    local_partial_scans,
     preview_generator,
     result_from_scans,
     scan_specs,
@@ -944,10 +944,9 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
             n_shards = self.server.config.shards or 4
             shard_map = ShardMap(n_shards)
             record_shards = shard_map.record_shards(database)
-            partials = [
-                partial_scan(database, criteria, specs, record_shards, (s,))
-                for s in range(n_shards)
-            ]
+            partials = local_partial_scans(
+                database, criteria, specs, record_shards, n_shards
+            )
             scatter = {
                 "workers": [],
                 "degraded": False,

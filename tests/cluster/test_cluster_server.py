@@ -165,3 +165,27 @@ def test_unknown_session_404_from_worker(sharded):
     with pytest.raises(ServerError) as info:
         sharded.request("GET", "/sessions/" + "0" * 32)
     assert info.value.status == 404
+
+
+def test_session_ops_honor_deadline_header(sharded):
+    """X-Deadline-Ms rides the IPC envelope to the routed worker.
+
+    Regression: deadline propagation called the ``Deadline.remaining``
+    property, so *every* deadlined request 500ed in cluster mode.
+    """
+    from repro.server import ServerError
+
+    created = sharded.request("POST", "/sessions", {}, deadline_ms=60_000)
+    sid = created["session_id"]
+    try:
+        maps = sharded.request(
+            "GET", f"/sessions/{sid}/maps", deadline_ms=60_000
+        )
+        assert maps["session_id"] == sid
+    finally:
+        sharded.request("DELETE", f"/sessions/{sid}")
+    # an already-spent budget unwinds as a typed 504, not a hang or a 500
+    with pytest.raises(ServerError) as info:
+        sharded.request("POST", "/sessions", {}, deadline_ms=1)
+    assert info.value.status == 504
+    assert info.value.code == "deadline_exceeded"
