@@ -50,6 +50,7 @@ QUICK_SUITE = (
     "bench_caching_interactivity.py",
     "bench_ablation_sharing.py",
     "bench_ablation_sampling.py",
+    "bench_anytime.py",
 )
 
 

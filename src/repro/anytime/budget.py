@@ -1,0 +1,60 @@
+"""Budget precedence: one rule for ``X-Deadline-Ms`` vs ``budget_ms``.
+
+A *deadline* is a hard limit — overruns unwind with
+:class:`~repro.resilience.deadline.DeadlineExceeded` (HTTP 504).  A
+*budget* is a soft limit — the anytime loop cuts at the next phase
+boundary and returns its best-so-far.  When a request carries both, the
+smaller wins: a budget larger than the remaining deadline can never be
+honoured (the 504 fires first), and a deadline larger than the budget
+just means the soft cut lands before the hard one.
+
+Every layer (HTTP front, worker RPC, engine loop) derives its effective
+limit through these helpers so the precedence rule lives in one place.
+"""
+
+from __future__ import annotations
+
+from ..resilience.deadline import Deadline
+
+__all__ = ["budget_deadline", "effective_deadline", "parse_budget_ms"]
+
+
+def parse_budget_ms(raw: object) -> int | None:
+    """Validate a wire-supplied ``budget_ms`` (``None`` passes through).
+
+    Accepts integers and integer strings (query parameters arrive as
+    strings); everything else — floats included — is rejected rather
+    than silently truncated.
+    """
+    if raw is None:
+        return None
+    if isinstance(raw, str):
+        try:
+            raw = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"budget_ms must be an integer >= 1, got {raw!r}"
+            ) from None
+    if isinstance(raw, bool) or not isinstance(raw, int):
+        raise ValueError(f"budget_ms must be an integer >= 1, got {raw!r}")
+    if raw < 1:
+        raise ValueError(f"budget_ms must be >= 1, got {raw}")
+    return raw
+
+
+def budget_deadline(budget_ms: int | None) -> Deadline | None:
+    """A fresh soft-limit :class:`Deadline` for ``budget_ms``, if any."""
+    if budget_ms is None:
+        return None
+    return Deadline(budget_ms / 1000.0)
+
+
+def effective_deadline(
+    deadline: Deadline | None, budget: Deadline | None
+) -> Deadline | None:
+    """The binding limit of a hard deadline and a soft budget: smaller wins."""
+    if deadline is None:
+        return budget
+    if budget is None:
+        return deadline
+    return budget if budget.remaining < deadline.remaining else deadline

@@ -1,0 +1,138 @@
+"""The anytime controller: live load signals → a quality-ladder rung.
+
+The serving layer already has three honest load signals: the admission
+gate's in-flight count against its soft/hard limits, the dataset circuit
+breakers, and how long recent recommendation requests actually took
+(tracked here as an EWMA).  The controller folds them into one rung
+choice so recommendation traffic *steps down the ladder* under load
+instead of being shed with 503 — and steps back up by itself once
+pressure clears, because every signal is read live at selection time.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from .ladder import QualityLadder, QualityRung
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.gate import AdmissionGate
+
+__all__ = ["AnytimeController"]
+
+
+class AnytimeController:
+    """Selects a ladder rung from gate occupancy, latency EWMA, breakers.
+
+    ``breaker_states`` is a zero-argument callable yielding the current
+    breaker state strings (``"closed"`` / ``"half_open"`` / ``"open"``);
+    an open breaker means the dataset layer is already failing, so the
+    only honest answer is the cached rung.
+    """
+
+    def __init__(
+        self,
+        gate: "AdmissionGate | None" = None,
+        ladder: QualityLadder | None = None,
+        latency_target_ms: float = 500.0,
+        ewma_alpha: float = 0.2,
+        breaker_states: Callable[[], Iterable[str]] | None = None,
+    ) -> None:
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self._gate = gate
+        self.ladder = ladder or QualityLadder()
+        self._latency_target_ms = latency_target_ms
+        self._alpha = ewma_alpha
+        self._breaker_states = breaker_states
+        self._lock = threading.Lock()
+        self._ewma_ms: float | None = None
+        #: rung label → requests answered at that rung
+        self._rung_requests: dict[str, int] = {}
+        self._partials = 0
+        self._snapshots = 0
+        self._forced_cuts = 0
+        self._cache_serves = 0
+
+    # -- signals -------------------------------------------------------------
+    def observe_latency(self, seconds: float) -> None:
+        """Feed one recommendation request's wall time into the EWMA."""
+        millis = max(0.0, seconds * 1000.0)
+        with self._lock:
+            if self._ewma_ms is None:
+                self._ewma_ms = millis
+            else:
+                self._ewma_ms += self._alpha * (millis - self._ewma_ms)
+
+    @property
+    def latency_ewma_ms(self) -> float | None:
+        with self._lock:
+            return self._ewma_ms
+
+    # -- selection -----------------------------------------------------------
+    def select_rung(self, overloaded: bool = False) -> QualityRung:
+        """The rung recommendation traffic should run at, right now.
+
+        ``overloaded`` marks a request admitted past the hard limit
+        (degradable overflow): the server is beyond its worker budget, so
+        the only spend-nothing answer — the cached rung — is correct.
+        Softer signals each cost one rung: occupancy past the soft limit,
+        and a latency EWMA over target.  An open dataset breaker forces
+        the cached rung regardless.
+        """
+        if self._breaker_states is not None:
+            if any(state == "open" for state in self._breaker_states()):
+                return QualityRung.CACHED
+        if overloaded:
+            return QualityRung.CACHED
+        steps = 0
+        if self._gate is not None:
+            counters = self._gate.counters()
+            inflight = counters["inflight"]
+            if inflight > counters["hard_limit"]:
+                # someone (this very request) was overflow-admitted past
+                # the worker budget: spend nothing
+                return QualityRung.CACHED
+            if inflight >= counters["hard_limit"]:
+                steps += 2
+            elif inflight > counters["soft_limit"]:
+                steps += 1
+        with self._lock:
+            over_target = (
+                self._ewma_ms is not None
+                and self._ewma_ms > self._latency_target_ms
+            )
+        if over_target:
+            steps += 1
+        return QualityRung(min(steps, int(QualityRung.CACHED)))
+
+    # -- accounting ----------------------------------------------------------
+    def record(
+        self,
+        rung: QualityRung,
+        partial: bool = False,
+        snapshots: int = 0,
+        forced_cut: bool = False,
+    ) -> None:
+        with self._lock:
+            label = rung.label
+            self._rung_requests[label] = self._rung_requests.get(label, 0) + 1
+            if partial:
+                self._partials += 1
+            self._snapshots += snapshots
+            if forced_cut:
+                self._forced_cuts += 1
+            if rung is QualityRung.CACHED:
+                self._cache_serves += 1
+
+    def counters(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "rung_requests": dict(self._rung_requests),
+                "partials": self._partials,
+                "snapshots": self._snapshots,
+                "forced_cuts": self._forced_cuts,
+                "cache_serves": self._cache_serves,
+                "latency_ewma_ms": self._ewma_ms,
+            }

@@ -1,0 +1,85 @@
+"""Partial recommendation results and their completeness descriptors.
+
+An anytime run answers *something* by its budget; the
+:class:`Completeness` descriptor says exactly how much of the full
+computation backs that answer — the candidate universe size, how much of
+it was scanned before the cut, the pruning confidence of the previews
+and the ladder rung that shaped the run — so clients (and the
+consistency tests) can reason about the gap to the full-run oracle
+instead of guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a core cycle
+    from ..core.recommend import ScoredOperation
+
+from .ladder import QualityRung
+
+__all__ = ["Completeness", "AnytimeRecommendation"]
+
+
+@dataclass(frozen=True)
+class Completeness:
+    """How much of the full computation backs a returned answer.
+
+    ``candidates_total`` is the size of the full-run candidate universe
+    (before any cap or sampling); ``candidates_scanned`` is how many of
+    them were submitted for scoring before the budget cut;
+    ``candidates_scored`` how many survived the size/redundancy gates
+    with a preview.  ``complete`` is True only when the answer is
+    exactly what an unbudgeted full-rung run would have produced.
+    ``pruning_confidence`` is ``1 - delta`` for pruned previews and 1.0
+    for exact ones; ``snapshots`` counts the phase-boundary best-so-far
+    cuts the cooperative loop passed through.
+    """
+
+    rung: QualityRung
+    candidates_total: int
+    candidates_scanned: int
+    candidates_scored: int
+    complete: bool
+    pruning_confidence: float = 1.0
+    snapshots: int = 0
+    budget_cut: bool = False
+
+    @property
+    def fraction_scanned(self) -> float:
+        if self.candidates_total <= 0:
+            return 0.0
+        return self.candidates_scanned / self.candidates_total
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rung": self.rung.label,
+            "complete": self.complete,
+            "candidates_total": self.candidates_total,
+            "candidates_scanned": self.candidates_scanned,
+            "candidates_scored": self.candidates_scored,
+            "fraction_scanned": round(self.fraction_scanned, 6),
+            "pruning_confidence": self.pruning_confidence,
+            "snapshots": self.snapshots,
+            "budget_cut": self.budget_cut,
+        }
+
+
+@dataclass(frozen=True)
+class AnytimeRecommendation:
+    """The best-so-far top-o plus how trustworthy it is."""
+
+    recommendations: tuple["ScoredOperation", ...]
+    completeness: Completeness
+    elapsed_seconds: float = 0.0
+
+    @property
+    def is_partial(self) -> bool:
+        return not self.completeness.complete
+
+    def __iter__(self):
+        return iter(self.recommendations)
+
+    def __len__(self) -> int:
+        return len(self.recommendations)

@@ -1,0 +1,163 @@
+"""Refinement tokens: background jobs that finish what a budget cut short.
+
+A partial (or degraded-rung) recommendation answer carries a token; the
+server keeps improving the answer in a background thread and clients
+poll ``GET .../recommendations/refine/<token>`` until the full-quality
+result is ready.  The store is deliberately process-local state — in
+cluster mode each worker owns the tokens it minted, so a worker that is
+SIGKILLed mid-refinement comes back with an *empty* store and polls for
+its lost tokens answer a typed ``refinement_lost`` error (never a hang,
+never a 500); the client simply re-requests with a budget.
+
+Jobs and polls are bounded: a capacity cap evicts the oldest finished
+job first, and finished jobs expire after a TTL so an abandoned token
+cannot pin its result forever.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from ..exceptions import ReproError
+from ..obs import span as obs_span
+
+__all__ = ["RefinementLostError", "RefinementStore"]
+
+
+class RefinementLostError(ReproError):
+    """The token names no live refinement job (HTTP 410, typed).
+
+    Raised for unknown, expired and evicted tokens alike — including
+    tokens minted by a worker that died before finishing.  The remedy is
+    always the same: issue a fresh budgeted request.
+    """
+
+    def __init__(self, token: str) -> None:
+        super().__init__(
+            f"refinement {token!r} is not (or no longer) tracked here; "
+            "re-request with a budget to start a new one"
+        )
+        self.token = token
+
+
+class _Job:
+    __slots__ = ("token", "status", "result", "error", "created", "finished")
+
+    def __init__(self, token: str, created: float) -> None:
+        self.token = token
+        self.status = "pending"
+        self.result: dict[str, Any] | None = None
+        self.error: str | None = None
+        self.created = created
+        self.finished: float | None = None
+
+
+class RefinementStore:
+    """Bounded, TTL-evicting registry of background refinement jobs."""
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        ttl_seconds: float = 600.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._ttl = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._jobs: dict[str, _Job] = {}
+        self._counts = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "evicted": 0,
+            "expired": 0,
+            "polls": 0,
+            "lost_polls": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+    def submit(self, token: str, fn: Callable[[], dict[str, Any]]) -> str:
+        """Run ``fn`` on a daemon thread; its dict return becomes the result.
+
+        The job is registered *before* the thread starts so a poll racing
+        the submission sees ``pending`` rather than ``refinement_lost``.
+        """
+        job = _Job(token, self._clock())
+        with self._lock:
+            self._jobs[token] = job
+            self._counts["submitted"] += 1
+            self._evict_locked()
+
+        def run() -> None:
+            with self._lock:
+                if self._jobs.get(token) is not job:
+                    return  # evicted before it ever ran
+                job.status = "running"
+            try:
+                with obs_span("anytime.refine", token=token):
+                    result = fn()
+                with self._lock:
+                    job.result = result
+                    job.status = "done"
+                    job.finished = self._clock()
+                    self._counts["completed"] += 1
+            except Exception as error:  # noqa: BLE001 - surfaced via poll
+                with self._lock:
+                    job.error = f"{type(error).__name__}: {error}"
+                    job.status = "failed"
+                    job.finished = self._clock()
+                    self._counts["failed"] += 1
+
+        threading.Thread(
+            target=run, name=f"refine-{token[:8]}", daemon=True
+        ).start()
+        return token
+
+    def poll(self, token: str) -> dict[str, Any]:
+        """The job's current state; raises :class:`RefinementLostError`."""
+        with self._lock:
+            self._evict_locked()
+            self._counts["polls"] += 1
+            job = self._jobs.get(token)
+            if job is None:
+                self._counts["lost_polls"] += 1
+                raise RefinementLostError(token)
+            payload: dict[str, Any] = {"token": token, "status": job.status}
+            if job.status == "done" and job.result is not None:
+                payload.update(job.result)
+            if job.status == "failed":
+                payload["error"] = job.error
+            return payload
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _evict_locked(self) -> None:
+        now = self._clock()
+        expired = [
+            token
+            for token, job in self._jobs.items()
+            if job.finished is not None and now - job.finished > self._ttl
+        ]
+        for token in expired:
+            del self._jobs[token]
+            self._counts["expired"] += 1
+        while len(self._jobs) > self._capacity:
+            # oldest finished job first; oldest overall as a last resort
+            victim = min(
+                self._jobs.values(),
+                key=lambda j: (j.finished is None, j.created),
+            )
+            del self._jobs[victim.token]
+            self._counts["evicted"] += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)

@@ -31,11 +31,19 @@ import signal
 import socket
 import threading
 import time
+import uuid
 from dataclasses import dataclass
 from typing import Any, Mapping
 
 import numpy as np
 
+from ..anytime import (
+    QualityLadder,
+    QualityRung,
+    RefinementLostError,
+    RefinementStore,
+    budget_deadline,
+)
 from ..core.caching import CachingEngine
 from ..core.engine import SubDEx, SubDExConfig
 from ..core.history import ExplorationLog
@@ -136,6 +144,12 @@ class WorkerApp:
             )
         self.stop = threading.Event()
         self.requests_handled = 0
+        #: anytime: the rung plans this worker executes and the
+        #: refinement jobs it owns.  The store is process-local on
+        #: purpose — a worker that dies takes its tokens with it, and
+        #: polls after the restart answer a typed ``refinement_lost``.
+        self.ladder = QualityLadder()
+        self.refinements = RefinementStore()
 
     # -- engines -------------------------------------------------------------
     def engine(self, dataset: str) -> CachingEngine:
@@ -257,6 +271,8 @@ class WorkerApp:
             return 404, error_payload("unknown_session", str(error))
         if isinstance(error, SessionGoneError):
             return 410, error_payload("session_gone", str(error))
+        if isinstance(error, RefinementLostError):
+            return 410, error_payload("refinement_lost", str(error))
         if isinstance(error, SessionLimitError):
             return 429, error_payload(
                 "too_many_sessions", str(error), retryable=True, retry_after=1
@@ -287,6 +303,7 @@ class WorkerApp:
             "requests_handled": self.requests_handled,
             "sessions": self.registry.counters(),
             "spans": self.span_stats.summary(limit=limit),
+            "refinements": self.refinements.counters(),
         }
         if self.checkpointer is not None:
             stats["checkpoints"] = self.checkpointer.counters()
@@ -406,17 +423,94 @@ class WorkerApp:
     ) -> tuple[int, dict[str, Any]]:
         sid = payload["sid"]
         limit = payload.get("o")
+        budget_ms = payload.get("budget_ms")
+        rung_label = payload.get("rung")
+        if budget_ms is None and rung_label is None:
+            # pre-anytime shape: serve the stored step recommendations
+            with self.registry.acquire(sid) as managed:
+                scored = managed.latest.recommendations if managed.latest else ()
+                if limit is not None:
+                    scored = scored[:limit]
+                return 200, {
+                    "session_id": sid,
+                    "recommendations": [
+                        recommendation_to_json(i, s)
+                        for i, s in enumerate(scored, 1)
+                    ],
+                }
+        # anytime: the front picked the rung from its load signals; this
+        # worker executes the plan under the soft budget (the envelope's
+        # deadline_s stays the hard limit and still 504s on overrun)
+        rung = (
+            QualityRung.from_label(rung_label)
+            if rung_label is not None
+            else QualityRung.FULL
+        )
+        plan = self.ladder.plan(rung)
         with self.registry.acquire(sid) as managed:
-            scored = managed.latest.recommendations if managed.latest else ()
-            if limit is not None:
-                scored = scored[:limit]
-            return 200, {
-                "session_id": sid,
-                "recommendations": [
+            if plan.use_cached:
+                scored = managed.latest.recommendations if managed.latest else ()
+                if limit is not None:
+                    scored = scored[:limit]
+                quality: dict[str, Any] = {
+                    "rung": rung.label,
+                    "complete": False,
+                    "stale": True,
+                }
+                partial = True
+                recommendations = [
                     recommendation_to_json(i, s)
                     for i, s in enumerate(scored, 1)
+                ]
+            else:
+                result = managed.session.recommendations_anytime(
+                    budget=budget_deadline(budget_ms),
+                    o=limit,
+                    plan=plan,
+                )
+                quality = result.completeness.to_json()
+                partial = result.is_partial
+                recommendations = [
+                    recommendation_to_json(i, s)
+                    for i, s in enumerate(result, 1)
+                ]
+        refinement: dict[str, Any] | None = None
+        if partial:
+            token = uuid.uuid4().hex
+            self.refinements.submit(token, lambda: self._refine_job(sid))
+            refinement = {
+                "token": token,
+                "href": f"/sessions/{sid}/recommendations/refine/{token}",
+            }
+        if budget_ms is not None:
+            quality["budget_ms"] = budget_ms
+        return 200, {
+            "session_id": sid,
+            "degraded": partial or rung is not QualityRung.FULL,
+            "quality": quality,
+            "refinement": refinement,
+            "recommendations": recommendations,
+        }
+
+    def _refine_job(self, sid: str) -> dict[str, Any]:
+        """Full-quality recompute backing one refinement token."""
+        with self.registry.acquire(sid) as managed:
+            result = managed.session.recommendations_anytime()
+            return {
+                "quality": result.completeness.to_json(),
+                "recommendations": [
+                    recommendation_to_json(i, s)
+                    for i, s in enumerate(result, 1)
                 ],
             }
+
+    def op_session_refine(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        return 200, {
+            "session_id": payload["sid"],
+            **self.refinements.poll(payload["token"]),
+        }
 
     def op_session_apply(
         self, payload: Mapping[str, Any]

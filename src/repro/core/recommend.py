@@ -15,22 +15,31 @@ baseline.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle: index builds on core
     from ..index.facade import IndexedDatabase, NeighborhoodContext
 
+from ..anytime.budget import effective_deadline
+from ..anytime.ladder import QualityRung, RungPlan
+from ..anytime.partial import AnytimeRecommendation, Completeness
 from ..model.database import SubjectiveDatabase
 from ..model.groups import RatingGroup, SelectionCriteria
 from ..model.operations import Operation, enumerate_operations
 from ..obs import activate as obs_activate
 from ..obs import current_context as obs_current_context
 from ..obs import span as obs_span
-from ..resilience.deadline import current_deadline, deadline_scope
+from ..resilience.deadline import (
+    Deadline,
+    DeadlineExceeded,
+    current_deadline,
+    deadline_scope,
+)
 from ..resilience.gate import pressure_scope, under_pressure
 from .generator import RMSetGenerator, RMSetResult
 from .pruning import PruningStrategy
@@ -146,6 +155,7 @@ class RecommendationBuilder:
         operation: Operation,
         seen: SeenMaps,
         current_rows: "np.ndarray | None" = None,
+        generator: RMSetGenerator | None = None,
     ) -> ScoredOperation | None:
         group = self._materialise(operation.target)
         if len(group) < self._config.min_group_size:
@@ -156,7 +166,7 @@ class RecommendationBuilder:
             # not a real move (it also causes add/remove oscillation in FA)
             if np.array_equal(group.rows, current_rows):
                 return None
-        preview = self._preview_generator.generate(group, seen)
+        preview = (generator or self._preview_generator).generate(group, seen)
         if not preview.selected:
             return None
         return ScoredOperation(operation, preview.total_utility(), preview)
@@ -166,6 +176,7 @@ class RecommendationBuilder:
         ctx: "NeighborhoodContext",
         operation: Operation,
         seen: SeenMaps,
+        generator: RMSetGenerator | None = None,
     ) -> ScoredOperation | None:
         """Score from sufficient statistics — no group materialisation.
 
@@ -180,7 +191,7 @@ class RecommendationBuilder:
             return None
         if view.matches_parent(ctx.parent_size):
             return None
-        preview = self._preview_generator.generate_from_counts(
+        preview = (generator or self._preview_generator).generate_from_counts(
             operation.target,
             view.specs,
             view.counts_of,
@@ -271,3 +282,189 @@ class RecommendationBuilder:
                 returned=min(o, len(ranked)),
             )
             return ranked[:o]
+
+    # -- anytime --------------------------------------------------------------
+    def _preview_for(self, plan: "RungPlan | None") -> RMSetGenerator:
+        """The preview generator a ladder rung prescribes.
+
+        ``preview_phases`` applies everywhere; a ``pruning`` override only
+        makes sense when previews run the full phased pipeline (the exact
+        single-pass preview has nothing to prune).
+        """
+        if plan is None:
+            return self._preview_generator
+        base = self._preview_generator.config
+        changes: dict[str, object] = {}
+        if plan.preview_phases is not None and base.n_phases != plan.preview_phases:
+            changes["n_phases"] = max(1, plan.preview_phases)
+        if plan.pruning is not None and self._config.preview_uses_full_pipeline:
+            strategy = PruningStrategy(plan.pruning)
+            if base.pruning is not strategy:
+                changes["pruning"] = strategy
+        if not changes:
+            return self._preview_generator
+        return RMSetGenerator(replace(base, **changes))
+
+    def recommend_anytime(
+        self,
+        current: SelectionCriteria,
+        seen: SeenMaps,
+        budget: "Deadline | None" = None,
+        o: int | None = None,
+        plan: "RungPlan | None" = None,
+        candidates: Sequence[Operation] | None = None,
+        exclude_targets: "set[SelectionCriteria] | frozenset[SelectionCriteria] | None" = None,
+        current_group: RatingGroup | None = None,
+        force_cut_after: int | None = None,
+        on_snapshot: "Callable[[list[ScoredOperation]], None] | None" = None,
+    ) -> AnytimeRecommendation:
+        """Cooperative-anytime Problem 2: best-so-far under a soft budget.
+
+        The candidate loop runs in phase-sized chunks; between chunks the
+        best-so-far ranking is a well-defined snapshot (``on_snapshot``
+        observes each one).  When ``budget`` — a *soft* limit, distinct
+        from the ambient hard deadline — expires, the loop cuts at the
+        next boundary and returns a partial result with an honest
+        :class:`~repro.anytime.partial.Completeness` instead of raising.
+        The ambient hard deadline still unwinds with
+        :class:`~repro.resilience.deadline.DeadlineExceeded` (a budget
+        larger than the remaining deadline can never be honoured — the
+        smaller limit always wins).
+
+        ``plan`` applies a quality-ladder rung: a candidate cap, a sample
+        stride and cheaper previews.  ``force_cut_after`` (from
+        :meth:`~repro.resilience.faults.FaultPlan.budget_cut`) forces the
+        cut after that many chunks, making partial-result paths testable
+        without timing races.  With no budget, no plan and no forced cut
+        the result is exactly :meth:`recommend`'s.
+        """
+        o = self._config.o if o is None else o
+        started = time.perf_counter()
+        hard = current_deadline()
+        soft = effective_deadline(hard, budget)
+        with obs_span(
+            "anytime.recommend",
+            rung=plan.label if plan is not None else QualityRung.FULL.label,
+            budget_ms=(
+                round(budget.budget_seconds * 1000.0) if budget is not None else None
+            ),
+        ) as sp:
+            operations = (
+                list(candidates)
+                if candidates is not None
+                else self.candidate_operations(current)
+            )
+            if exclude_targets:
+                filtered = [
+                    op for op in operations if op.target not in exclude_targets
+                ]
+                if filtered:
+                    operations = filtered
+            pressure = under_pressure()
+            trace_ctx = obs_current_context()
+            if pressure:
+                operations = operations[: self._config.pressure_candidate_cap]
+            total = len(operations)
+            if plan is not None:
+                if plan.candidate_cap is not None:
+                    operations = operations[: plan.candidate_cap]
+                if plan.sample_stride > 1:
+                    operations = operations[:: plan.sample_stride]
+            if current_group is None or current_group.criteria != current:
+                current_group = self._materialise(current)
+            current_rows = current_group.rows
+            preview = self._preview_for(plan)
+            ctx: "NeighborhoodContext | None" = None
+            if self._index is not None and not self._config.preview_uses_full_pipeline:
+                ctx = self._index.neighborhood(current_group)
+
+            def score(operation: Operation) -> "ScoredOperation | None":
+                # the *soft* limit governs scoring so a spent budget aborts
+                # the in-flight preview quickly; the cut decision below
+                # distinguishes it from the hard deadline
+                with deadline_scope(soft), pressure_scope(pressure), \
+                        obs_activate(trace_ctx):
+                    if soft is not None:
+                        soft.check()
+                    if ctx is not None:
+                        return self._score_one_indexed(
+                            ctx, operation, seen, preview
+                        )
+                    return self._score_one(
+                        operation, seen, current_rows, preview
+                    )
+
+            workers = self._config.workers()
+            chunk = max(1, workers)
+            scored: list[ScoredOperation | None] = []
+            scanned = 0
+            snapshots = 0
+            budget_cut = False
+            pool = (
+                ThreadPoolExecutor(max_workers=workers)
+                if workers > 1 and len(operations) > 1
+                else None
+            )
+            try:
+                for offset in range(0, len(operations), chunk):
+                    if hard is not None:
+                        hard.check()
+                    if force_cut_after is not None and snapshots >= force_cut_after:
+                        budget_cut = True
+                        break
+                    if budget is not None and budget.expired:
+                        budget_cut = True
+                        break
+                    block = operations[offset : offset + chunk]
+                    try:
+                        if pool is not None:
+                            block_scored = list(pool.map(score, block))
+                        else:
+                            block_scored = [score(op) for op in block]
+                    except DeadlineExceeded:
+                        if hard is not None and hard.expired:
+                            raise  # the hard deadline, not the budget
+                        budget_cut = True
+                        break
+                    scored.extend(block_scored)
+                    scanned += len(block)
+                    snapshots += 1
+                    if on_snapshot is not None:
+                        on_snapshot(self._rank(scored)[:o])
+            finally:
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+            ranked = self._rank(scored)
+            confidence = 1.0
+            if preview.config.pruning is not PruningStrategy.NONE:
+                confidence = 1.0 - preview.config.delta
+            completeness = Completeness(
+                rung=plan.rung if plan is not None else QualityRung.FULL,
+                candidates_total=total,
+                candidates_scanned=scanned,
+                candidates_scored=sum(1 for s in scored if s is not None),
+                complete=not budget_cut and scanned == total,
+                pruning_confidence=confidence,
+                snapshots=snapshots,
+                budget_cut=budget_cut,
+            )
+            sp.set(
+                candidates=total,
+                scanned=scanned,
+                complete=completeness.complete,
+                snapshots=snapshots,
+            )
+            return AnytimeRecommendation(
+                recommendations=tuple(ranked[:o]),
+                completeness=completeness,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+
+    @staticmethod
+    def _rank(
+        scored: "Sequence[ScoredOperation | None]",
+    ) -> "list[ScoredOperation]":
+        return sorted(
+            (s for s in scored if s is not None),
+            key=lambda s: (-s.utility, s.operation.target.describe()),
+        )

@@ -24,7 +24,10 @@ from .recommend import RecommendationBuilder, ScoredOperation
 from .utility import SeenMaps
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..anytime.ladder import RungPlan
+    from ..anytime.partial import AnytimeRecommendation
     from ..index.facade import IndexedDatabase
+    from ..resilience.deadline import Deadline
     from .caching import CachingEngine
 
 __all__ = ["StepRecord", "ExplorationSession"]
@@ -250,6 +253,33 @@ class ExplorationSession:
             self._seen,
             o=o,
             current_group=self._state.group,
+        )
+
+    def recommendations_anytime(
+        self,
+        budget: "Deadline | None" = None,
+        o: int | None = None,
+        plan: "RungPlan | None" = None,
+        force_cut_after: int | None = None,
+    ) -> "AnytimeRecommendation":
+        """Budget-bounded recommendations for the current state.
+
+        Uses the same visited-criteria exclusions as
+        :meth:`step` ``(with_recommendations=True)``, so an unbudgeted
+        full-rung recompute reproduces the step's stored recommendations
+        exactly — which is what refinement jobs rely on.
+        """
+        visited = {s.criteria for s in self._state.steps}
+        visited.add(self._state.criteria)
+        return self._recommender.recommend_anytime(
+            self._state.criteria,
+            self._seen,
+            budget=budget,
+            o=o,
+            plan=plan,
+            exclude_targets=visited,
+            current_group=self._state.group,
+            force_cut_after=force_cut_after,
         )
 
     def apply_criteria(

@@ -20,7 +20,11 @@ Installable injection points (each component accepts ``fault_plan=``):
   mid-write — the atomic rename must protect the previous checkpoint);
 * the request handler (:class:`repro.server.app.SubDExServer` with a plan):
   site ``"handler"`` (a raised :class:`InjectedFault` that must still
-  produce a well-formed JSON 500).
+  produce a well-formed JSON 500);
+* the anytime recommendation loop (site ``"anytime.recommend"``):
+  :meth:`FaultPlan.budget_cut` forces the budget to "expire" after a
+  fixed number of snapshot chunks, so partial-result paths are exercised
+  deterministically instead of racing a real clock.
 
 Latency injection calls an injectable ``sleep`` so unit tests can count
 stalls without waiting for them; the chaos benchmark uses real (small)
@@ -75,7 +79,13 @@ class FaultPlan:
         partial_write_rates: Mapping[str, float] | None = None,
         latency_seconds: float = 0.05,
         sleep: Callable[[float], None] = time.sleep,
+        budget_cut_phases: Mapping[str, int] | None = None,
     ) -> None:
+        for site, phases in (budget_cut_phases or {}).items():
+            if phases < 0:
+                raise ValueError(
+                    f"budget_cut_phases for {site!r} must be >= 0, got {phases}"
+                )
         for rates in (error_rates, latency_rates, partial_write_rates):
             for site, rate in (rates or {}).items():
                 if not 0.0 <= rate <= 1.0:
@@ -87,6 +97,7 @@ class FaultPlan:
         self._partial_write_rates = dict(partial_write_rates or {})
         self._latency_seconds = latency_seconds
         self._sleep = sleep
+        self._budget_cut_phases = dict(budget_cut_phases or {})
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         #: site → {"errors": n, "stalls": n, "partial_writes": n}
@@ -96,7 +107,7 @@ class FaultPlan:
     def _count(self, site: str, kind: str) -> None:
         # caller holds self._lock
         per_site = self.injected.setdefault(
-            site, {"errors": 0, "stalls": 0, "partial_writes": 0}
+            site, {"errors": 0, "stalls": 0, "partial_writes": 0, "budget_cuts": 0}
         )
         per_site[kind] += 1
 
@@ -122,6 +133,22 @@ class FaultPlan:
             self._sleep(self._latency_seconds)
         if fail:
             raise InjectedFault(site)
+
+    def budget_cut(self, site: str) -> int | None:
+        """Deterministic budget expiry: force the cut after *n* chunks.
+
+        Returns the configured snapshot count for ``site`` (``None`` when
+        the site has no forced cut).  The anytime loop treats the value
+        exactly like a spent budget — it cuts at that phase boundary and
+        returns a partial result — so chaos tests can pin the cut at
+        phase *k* with no real clock involved.
+        """
+        phases = self._budget_cut_phases.get(site)
+        if phases is None:
+            return None
+        with self._lock:
+            self._count(site, "budget_cuts")
+        return phases
 
     def truncate(self, site: str, data: bytes) -> bytes | None:
         """Partial-write decision: the prefix to write instead, or ``None``.

@@ -104,6 +104,7 @@ class AdmissionGate:
         self._inflight = 0
         self.shed = 0
         self.degraded = 0
+        self.degraded_overflow = 0
 
     @property
     def hard_limit(self) -> int:
@@ -119,26 +120,39 @@ class AdmissionGate:
             return self._inflight
 
     @contextmanager
-    def admit(self, priority: Priority = Priority.NORMAL) -> Iterator[bool]:
+    def admit(
+        self, priority: Priority = Priority.NORMAL, degradable: bool = False
+    ) -> Iterator[bool]:
         """Admit one request for the ``with`` body; yields ``degraded``.
 
         Sheddable work (priority above :attr:`Priority.CRITICAL`) past the
         hard limit raises :class:`OverloadedError`; admitted work past the
         soft limit runs inside a :func:`pressure_scope` and yields ``True``
         so the handler can flag the response.
+
+        ``degradable`` marks work with a cheap fallback (anytime
+        recommendations can answer from the quality ladder's cached rung
+        at near-zero cost): instead of being shed past the hard limit it
+        is admitted *over* the limit with ``degraded=True``, and the
+        handler is expected to spend almost nothing.
         """
         with self._lock:
+            overflow = False
             if (
                 self._inflight >= self._hard_limit
                 and priority > Priority.CRITICAL
             ):
-                self.shed += 1
-                raise OverloadedError(
-                    self._inflight, self._hard_limit, self._retry_after
-                )
+                if not degradable:
+                    self.shed += 1
+                    raise OverloadedError(
+                        self._inflight, self._hard_limit, self._retry_after
+                    )
+                overflow = True
+                self.degraded_overflow += 1
             self._inflight += 1
-            degraded = (
-                self._inflight > self._soft_limit and priority >= Priority.HEAVY
+            degraded = overflow or (
+                self._inflight > self._soft_limit
+                and (priority >= Priority.HEAVY or degradable)
             )
             if degraded:
                 self.degraded += 1
@@ -173,4 +187,5 @@ class AdmissionGate:
                 "hard_limit": self._hard_limit,
                 "shed": self.shed,
                 "degraded": self.degraded,
+                "degraded_overflow": self.degraded_overflow,
             }

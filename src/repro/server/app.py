@@ -86,9 +86,22 @@ from ..resilience.checkpoint import (
     SessionCheckpointer,
     restore_session,
 )
+from ..anytime import (
+    AnytimeController,
+    QualityRung,
+    RefinementLostError,
+    RefinementStore,
+    budget_deadline,
+    parse_budget_ms,
+)
 from ..resilience.deadline import Deadline, DeadlineExceeded, deadline_scope
 from ..resilience.faults import FaultPlan, InjectedFault
-from ..resilience.gate import AdmissionGate, OverloadedError, Priority
+from ..resilience.gate import (
+    AdmissionGate,
+    OverloadedError,
+    Priority,
+    under_pressure,
+)
 from .metrics import ServerMetrics
 from .protocol import (
     ProtocolError,
@@ -176,6 +189,16 @@ class ServerConfig:
     worker_heartbeat_seconds: float = 0.5
     worker_rpc_timeout_seconds: float = 30.0
     worker_max_restarts: int = 8
+    #: Anytime recommendations: clients may send ``?budget_ms=`` for a
+    #: soft-bounded best-so-far answer, and under load the quality ladder
+    #: degrades recommendation traffic instead of shedding it.  Requests
+    #: with no budget on an unloaded server are untouched by this flag.
+    anytime_enabled: bool = True
+    #: Latency EWMA target feeding the degradation controller.
+    anytime_latency_target_ms: float = 500.0
+    #: Bounds of the background refinement-job store.
+    refinement_capacity: int = 64
+    refinement_ttl_seconds: float = 600.0
 
 
 class DatasetLoadError(ReproError):
@@ -365,6 +388,16 @@ _ROUTES: list[tuple[str, re.Pattern, str, str, Priority]] = [
         Priority.NORMAL,
     ),
     (
+        "GET",
+        re.compile(
+            rf"^/sessions/{_SESSION_ID}/recommendations/refine/"
+            r"(?P<token>[0-9a-f]{32})$"
+        ),
+        "handle_refine",
+        "GET /sessions/{id}/recommendations/refine/{token}",
+        Priority.NORMAL,
+    ),
+    (
         "POST",
         re.compile(rf"^/sessions/{_SESSION_ID}/apply$"),
         "handle_apply",
@@ -514,8 +547,15 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
         except ProtocolError as error:
             self._drop_unread_body()
             return 400, error_payload(error.code, str(error)), {}
+        # anytime recommendation reads can always answer from the quality
+        # ladder's cached rung at near-zero cost, so past the hard limit
+        # they degrade instead of being shed with 503
+        degradable = (
+            handler_name == "handle_recommendations"
+            and server.config.anytime_enabled
+        )
         try:
-            with server.gate.admit(priority) as degraded:
+            with server.gate.admit(priority, degradable=degradable) as degraded:
                 if degraded:
                     server.metrics.record_event("pressure_admissions")
                 with deadline_scope(deadline):
@@ -599,6 +639,9 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
             return 404, error_payload("unknown_session", str(error)), {}
         except SessionGoneError as error:
             return 410, error_payload("session_gone", str(error)), {}
+        except RefinementLostError as error:
+            self.server.metrics.record_event("refinements_lost")
+            return 410, error_payload("refinement_lost", str(error)), {}
         except SessionLimitError as error:
             return (
                 429,
@@ -1065,21 +1108,130 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
                     f"query parameter o must be >= 1, got {limit}",
                     "invalid_request",
                 )
-        if self.server.cluster is not None:
-            return self._cluster_forward(
-                "session.recommendations", sid, {"o": limit}
+        budget_ms: int | None = None
+        if "budget_ms" in query:
+            try:
+                budget_ms = parse_budget_ms(query["budget_ms"][0])
+            except ValueError as error:
+                raise ProtocolError(str(error), "invalid_request") from None
+        server = self.server
+        # the anytime path engages only when asked for (a budget) or
+        # needed (admitted under pressure / past the hard limit); a
+        # budget-less request on an unloaded server takes the exact
+        # pre-anytime path
+        engaged = server.config.anytime_enabled and (
+            budget_ms is not None or under_pressure()
+        )
+        if server.cluster is not None:
+            if not engaged:
+                return self._cluster_forward(
+                    "session.recommendations", sid, {"o": limit}
+                )
+            # the front owns the load signals, so it picks the rung; the
+            # plan ships to the shard owner inside the op payload (the
+            # envelope deadline stays the *hard* limit)
+            rung = server.anytime.select_rung()
+            status, payload = self._cluster_forward(
+                "session.recommendations",
+                sid,
+                {"o": limit, "budget_ms": budget_ms, "rung": rung.label},
             )
-        with self.server.registry.acquire(sid) as managed:
-            scored = managed.latest.recommendations if managed.latest else ()
-            if limit is not None:
-                scored = scored[:limit]
-            return 200, {
-                "session_id": sid,
-                "recommendations": [
+            if status == 200 and isinstance(payload, dict):
+                quality = payload.get("quality") or {}
+                server.anytime.record(
+                    QualityRung.from_label(quality.get("rung", rung.label)),
+                    partial=not quality.get("complete", True),
+                    snapshots=int(quality.get("snapshots", 0)),
+                )
+            return status, payload
+        if not engaged:
+            with server.registry.acquire(sid) as managed:
+                scored = managed.latest.recommendations if managed.latest else ()
+                if limit is not None:
+                    scored = scored[:limit]
+                return 200, {
+                    "session_id": sid,
+                    "recommendations": [
+                        recommendation_to_json(i, s)
+                        for i, s in enumerate(scored, 1)
+                    ],
+                }
+        return self._anytime_recommendations(sid, limit, budget_ms)
+
+    def _anytime_recommendations(
+        self, sid: str, limit: int | None, budget_ms: int | None
+    ) -> tuple[int, dict[str, Any]]:
+        """Budget-bounded / degraded recommendations with refinement."""
+        server = self.server
+        started = time.perf_counter()
+        rung = server.anytime.select_rung()
+        plan = server.anytime.ladder.plan(rung)
+        force_cut: int | None = None
+        if server.fault_plan is not None:
+            force_cut = server.fault_plan.budget_cut("anytime.recommend")
+        with server.registry.acquire(sid) as managed:
+            if plan.use_cached:
+                scored = managed.latest.recommendations if managed.latest else ()
+                if limit is not None:
+                    scored = scored[:limit]
+                quality: dict[str, Any] = {
+                    "rung": rung.label,
+                    "complete": False,
+                    "stale": True,
+                }
+                partial = True
+                recommendations = [
                     recommendation_to_json(i, s)
                     for i, s in enumerate(scored, 1)
-                ],
+                ]
+            else:
+                result = managed.session.recommendations_anytime(
+                    budget=budget_deadline(budget_ms),
+                    o=limit,
+                    plan=plan,
+                    force_cut_after=force_cut,
+                )
+                quality = result.completeness.to_json()
+                partial = result.is_partial
+                recommendations = [
+                    recommendation_to_json(i, s)
+                    for i, s in enumerate(result, 1)
+                ]
+        refinement: dict[str, Any] | None = None
+        if partial:
+            token = uuid.uuid4().hex
+            server.refinements.submit(
+                token, lambda: server.refine_session(sid)
+            )
+            refinement = {
+                "token": token,
+                "href": f"/sessions/{sid}/recommendations/refine/{token}",
             }
+        server.anytime.observe_latency(time.perf_counter() - started)
+        server.anytime.record(
+            rung,
+            partial=partial,
+            snapshots=int(quality.get("snapshots", 0)),
+            forced_cut=force_cut is not None and bool(quality.get("budget_cut")),
+        )
+        if budget_ms is not None:
+            quality["budget_ms"] = budget_ms
+        return 200, {
+            "session_id": sid,
+            "degraded": partial or rung is not QualityRung.FULL,
+            "quality": quality,
+            "refinement": refinement,
+            "recommendations": recommendations,
+        }
+
+    def handle_refine(self, sid: str, token: str) -> tuple[int, dict[str, Any]]:
+        """Poll one refinement token (``refinement_lost`` → typed 410)."""
+        if self.server.cluster is not None:
+            return self._cluster_forward(
+                "session.refine", sid, {"token": token}
+            )
+        payload = self.server.refinements.poll(token)
+        return 200, {"session_id": sid, **payload}
 
     def handle_apply(self, sid: str) -> tuple[int, dict[str, Any]]:
         body = self._json_body()
@@ -1202,6 +1354,17 @@ class SubDExServer(ThreadingHTTPServer):
             soft_limit=self.config.soft_inflight,
             retry_after_seconds=self.config.shed_retry_after_seconds,
         )
+        #: anytime recommendations: the degradation controller reads the
+        #: gate / breakers live, the store tracks refinement jobs
+        self.anytime = AnytimeController(
+            gate=self.gate,
+            latency_target_ms=self.config.anytime_latency_target_ms,
+            breaker_states=self._breaker_states,
+        )
+        self.refinements = RefinementStore(
+            capacity=self.config.refinement_capacity,
+            ttl_seconds=self.config.refinement_ttl_seconds,
+        )
         self.checkpointer: SessionCheckpointer | None = None
         if self.config.checkpoint_dir is not None:
             store = CheckpointStore(
@@ -1257,6 +1420,30 @@ class SubDExServer(ThreadingHTTPServer):
     def forget_checkpoint(self, session_id: str) -> None:
         if self.checkpointer is not None:
             self.checkpointer.forget(session_id)
+
+    # -- anytime --------------------------------------------------------------
+    def _breaker_states(self) -> list[str]:
+        return [
+            str(snapshot["state"])
+            for snapshot in self.pool.breaker_snapshots().values()
+        ]
+
+    def refine_session(self, sid: str) -> dict[str, Any]:
+        """Full-quality recompute backing one refinement token.
+
+        Runs on a refinement-store thread with no ambient deadline or
+        pressure, so the answer it produces is the unbudgeted full-rung
+        result — exactly what the budget-cut request could not wait for.
+        """
+        with self.registry.acquire(sid) as managed:
+            result = managed.session.recommendations_anytime()
+            return {
+                "quality": result.completeness.to_json(),
+                "recommendations": [
+                    recommendation_to_json(i, s)
+                    for i, s in enumerate(result, 1)
+                ],
+            }
 
     def restore_sessions(self) -> int:
         """Replay every checkpoint in the store into live sessions.
@@ -1334,6 +1521,8 @@ class SubDExServer(ThreadingHTTPServer):
         snapshot: dict[str, Any] = {
             "gate": self.gate.counters(),
             "breakers": self.pool.breaker_snapshots(),
+            "anytime": self.anytime.counters(),
+            "refinements": self.refinements.counters(),
         }
         if self.checkpointer is not None:
             snapshot["checkpoints"] = self.checkpointer.counters()
@@ -1430,6 +1619,46 @@ class SubDExServer(ThreadingHTTPServer):
             for kind, value in self.checkpointer.counters().items():
                 checkpoints.add(value, kind=kind)
             families.append(checkpoints)
+
+        anytime_counters = self.anytime.counters()
+        anytime_requests = MetricFamily(
+            "subdex_anytime_requests_total",
+            "counter",
+            "Anytime recommendation requests by quality rung.",
+        )
+        for label, value in sorted(
+            dict(anytime_counters["rung_requests"]).items()  # type: ignore[call-overload]
+        ):
+            anytime_requests.add(value, rung=label)
+        families.append(anytime_requests)
+
+        anytime_events = MetricFamily(
+            "subdex_anytime_events_total",
+            "counter",
+            "Anytime degradation events by kind.",
+        )
+        for kind in ("partials", "snapshots", "forced_cuts", "cache_serves"):
+            anytime_events.add(float(anytime_counters[kind]), kind=kind)  # type: ignore[arg-type]
+        families.append(anytime_events)
+
+        ewma = anytime_counters["latency_ewma_ms"]
+        if ewma is not None:
+            anytime_latency = MetricFamily(
+                "subdex_anytime_latency_ewma_ms",
+                "gauge",
+                "EWMA of recommendation latency feeding the ladder controller.",
+            )
+            anytime_latency.add(float(ewma))  # type: ignore[arg-type]
+            families.append(anytime_latency)
+
+        refinements = MetricFamily(
+            "subdex_anytime_refinements_total",
+            "counter",
+            "Background refinement-job events by kind.",
+        )
+        for kind, value in self.refinements.counters().items():
+            refinements.add(value, kind=kind)
+        families.append(refinements)
 
         tracing = MetricFamily(
             "subdex_traces", "gauge", "Tracer and trace sink state by kind."

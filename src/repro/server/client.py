@@ -428,6 +428,64 @@ class ClientSession:
         )
         return data["recommendations"]
 
+    def recommend(
+        self,
+        o: int | None = None,
+        budget_ms: int | None = None,
+        deadline_ms: int | None = None,
+    ) -> dict[str, Any]:
+        """Recommendations with the full anytime envelope.
+
+        ``budget_ms`` is the *soft* limit: the server answers its
+        best-so-far inside the budget and the payload's ``quality``
+        describes how complete the answer is; a partial answer carries a
+        ``refinement`` token to poll.  ``deadline_ms`` stays the hard
+        limit (504 on overrun) — when both are given, the smaller wins.
+        """
+        query: dict[str, Any] = {}
+        if o is not None:
+            query["o"] = o
+        if budget_ms is not None:
+            query["budget_ms"] = budget_ms
+        return self._client.request(
+            "GET",
+            f"/sessions/{self.id}/recommendations",
+            query=query or None,
+            deadline_ms=deadline_ms,
+        )
+
+    def refine(self, token: str) -> dict[str, Any]:
+        """Poll one refinement token (``refinement_lost`` → 410)."""
+        return self._client.request(
+            "GET", f"/sessions/{self.id}/recommendations/refine/{token}"
+        )
+
+    def wait_for_refinement(
+        self,
+        token: str,
+        timeout: float = 30.0,
+        interval: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> dict[str, Any]:
+        """Poll ``token`` until its job finishes (done *or* failed).
+
+        Raises :class:`TimeoutError` when the job is still running at the
+        deadline; a lost token surfaces immediately as the server's typed
+        410 (:class:`ServerError` with code ``refinement_lost``).
+        """
+        give_up = clock() + timeout
+        while True:
+            data = self.refine(token)
+            if data.get("status") in ("done", "failed"):
+                return data
+            if clock() >= give_up:
+                raise TimeoutError(
+                    f"refinement {token!r} still {data.get('status')!r} "
+                    f"after {timeout:.1f}s"
+                )
+            sleep(interval)
+
     def apply_recommendation(self, number: int) -> dict[str, Any]:
         """Apply recommendation ``number`` (1-based, as displayed)."""
         return self._apply({"recommendation": number})

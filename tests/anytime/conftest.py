@@ -1,0 +1,142 @@
+"""Fixtures for the anytime suite: engines, servers, synthetic databases."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import SubDEx, SubDExConfig, SubjectiveDatabase
+from repro.core.recommend import RecommenderConfig
+from repro.db import Table
+from repro.server import ServerConfig, SubDExClient, build_server
+from repro.server.client import RetryPolicy
+
+
+def make_db(
+    seed: int = 0,
+    n_users: int = 50,
+    n_items: int = 20,
+    n_ratings: int = 700,
+    missing: float = 0.0,
+    name: str = "synthetic",
+) -> SubjectiveDatabase:
+    """A deterministic database; ``missing`` drops values and rating scores."""
+    rng = np.random.default_rng(seed)
+
+    def drop(value):
+        return None if missing and rng.random() < missing else value
+
+    users = Table.from_columns(
+        {
+            "user_id": list(range(n_users)),
+            "gender": [drop(str(rng.choice(["M", "F"]))) for __ in range(n_users)],
+            "age_group": [
+                drop(str(rng.choice(["young", "adult", "senior"])))
+                for __ in range(n_users)
+            ],
+        },
+        explorable={"user_id": False},
+    )
+    items = Table.from_columns(
+        {
+            "item_id": list(range(n_items)),
+            "city": [
+                drop(str(rng.choice(["NYC", "Austin", "Detroit"])))
+                for __ in range(n_items)
+            ],
+            "cuisine": [
+                frozenset()
+                if missing and rng.random() < missing
+                else frozenset(
+                    rng.choice(
+                        ["Pizza", "Sushi", "Tacos"],
+                        size=int(rng.integers(1, 3)),
+                        replace=False,
+                    )
+                )
+                for __ in range(n_items)
+            ],
+        },
+        explorable={"item_id": False},
+    )
+    overall = rng.integers(1, 6, n_ratings).astype(float)
+    food = rng.integers(1, 6, n_ratings).astype(float)
+    if missing:
+        overall[rng.random(n_ratings) < missing / 2] = np.nan
+    ratings = Table.from_columns(
+        {
+            "user_id": rng.integers(0, n_users, n_ratings).tolist(),
+            "item_id": rng.integers(0, n_items, n_ratings).tolist(),
+            "overall": overall.tolist(),
+            "food": food.tolist(),
+        },
+        explorable={"user_id": False, "item_id": False},
+    )
+    return SubjectiveDatabase(
+        users, items, ratings, ("overall", "food"), scale=5, name=name
+    )
+
+
+@pytest.fixture(scope="session")
+def db_factory():
+    return make_db
+
+
+@pytest.fixture
+def tiny_engine(tiny_db) -> SubDEx:
+    return SubDEx(
+        tiny_db,
+        SubDExConfig(recommender=RecommenderConfig(max_values_per_attribute=3)),
+    )
+
+
+@pytest.fixture
+def make_server(tiny_db):
+    """Factory for live servers (``build(fault_plan=..., **config_kwargs)``)."""
+    servers = []
+
+    def default_factories():
+        return {
+            "tiny": lambda: SubDEx(
+                tiny_db,
+                SubDExConfig(
+                    recommender=RecommenderConfig(max_values_per_attribute=3)
+                ),
+            )
+        }
+
+    def build(fault_plan=None, factories=None, **config_kwargs):
+        instance = build_server(
+            factories if factories is not None else default_factories(),
+            port=0,
+            config=ServerConfig(**config_kwargs),
+            fault_plan=fault_plan,
+        )
+        thread = threading.Thread(target=instance.serve_forever, daemon=True)
+        thread.start()
+        servers.append(instance)
+        return instance
+
+    yield build
+    for instance in servers:
+        try:
+            instance.shutdown()
+            instance.server_close()
+        except OSError:
+            pass
+
+
+@pytest.fixture
+def no_retry_client():
+    clients = []
+
+    def connect(url: str) -> SubDExClient:
+        client = SubDExClient(url, retry=RetryPolicy(max_attempts=1))
+        clients.append(client)
+        return client
+
+    yield connect
+    for client in clients:
+        client.close()

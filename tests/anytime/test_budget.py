@@ -1,0 +1,68 @@
+"""Budget parsing and the one precedence rule: the smaller limit wins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anytime import budget_deadline, effective_deadline, parse_budget_ms
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import FaultPlan
+
+
+# -- parsing -----------------------------------------------------------------
+
+def test_parse_accepts_ints_and_strings():
+    assert parse_budget_ms(None) is None
+    assert parse_budget_ms(250) == 250
+    assert parse_budget_ms("250") == 250
+
+
+@pytest.mark.parametrize("raw", [0, -5, "0", "nope", 2.5, True])
+def test_parse_rejects_garbage(raw):
+    with pytest.raises(ValueError):
+        parse_budget_ms(raw)
+
+
+def test_budget_deadline_construction():
+    assert budget_deadline(None) is None
+    deadline = budget_deadline(500)
+    assert deadline is not None
+    assert deadline.budget_seconds == pytest.approx(0.5)
+
+
+# -- precedence --------------------------------------------------------------
+
+def test_effective_deadline_smaller_wins():
+    clock = lambda: 0.0  # noqa: E731 - frozen clock makes remaining exact
+    short = Deadline(0.1, clock=clock)
+    long = Deadline(10.0, clock=clock)
+    assert effective_deadline(None, None) is None
+    assert effective_deadline(short, None) is short
+    assert effective_deadline(None, long) is long
+    # header deadline smaller than budget -> the deadline binds
+    assert effective_deadline(short, long) is short
+    # budget smaller than header deadline -> the budget binds
+    assert effective_deadline(long, short) is short
+
+
+# -- deterministic budget-expiry injection (FaultPlan) -----------------------
+
+def test_fault_plan_budget_cut_site():
+    plan = FaultPlan(budget_cut_phases={"anytime.recommend": 2})
+    assert plan.budget_cut("anytime.recommend") == 2
+    assert plan.budget_cut("anytime.recommend") == 2
+    assert plan.budget_cut("elsewhere") is None
+    counters = plan.counters()
+    assert counters["anytime.recommend"]["budget_cuts"] == 2
+    assert "elsewhere" not in counters
+
+
+def test_fault_plan_budget_cut_zero_is_valid():
+    """Phase 0 = cut before any work: the degenerate partial result."""
+    plan = FaultPlan(budget_cut_phases={"anytime.recommend": 0})
+    assert plan.budget_cut("anytime.recommend") == 0
+
+
+def test_fault_plan_rejects_negative_cut():
+    with pytest.raises(ValueError):
+        FaultPlan(budget_cut_phases={"anytime.recommend": -1})

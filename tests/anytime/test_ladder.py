@@ -1,0 +1,130 @@
+"""The quality ladder and the load-signal → rung controller."""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro.anytime import AnytimeController, QualityLadder, QualityRung
+from repro.resilience.gate import AdmissionGate, Priority
+
+
+# -- rungs and plans ---------------------------------------------------------
+
+def test_rung_labels_round_trip():
+    for rung in QualityRung:
+        assert QualityRung.from_label(rung.label) is rung
+    with pytest.raises(ValueError):
+        QualityRung.from_label("bogus")
+
+
+def test_ladder_covers_every_rung():
+    ladder = QualityLadder()
+    assert ladder.rungs() == tuple(QualityRung)
+    for rung in QualityRung:
+        assert ladder.plan(rung).rung is rung
+
+
+def test_plans_are_monotonically_cheaper():
+    """Each rung spends no more candidates than the one above it."""
+    ladder = QualityLadder()
+
+    def spend(plan):
+        if plan.use_cached:
+            return 0
+        cap = plan.candidate_cap if plan.candidate_cap is not None else 10**9
+        return cap // plan.sample_stride
+
+    spends = [spend(ladder.plan(rung)) for rung in QualityRung]
+    assert spends == sorted(spends, reverse=True)
+    assert ladder.plan(QualityRung.CACHED).use_cached is True
+    assert ladder.plan(QualityRung.FULL).candidate_cap is None
+
+
+def test_ladder_validates_caps():
+    with pytest.raises(ValueError):
+        QualityLadder(reduced_pool_cap=0)
+    with pytest.raises(ValueError):
+        QualityLadder(sample_stride=0)
+
+
+# -- controller --------------------------------------------------------------
+
+def test_unloaded_controller_selects_full():
+    assert AnytimeController().select_rung() is QualityRung.FULL
+
+
+def test_occupancy_steps_down_the_ladder():
+    gate = AdmissionGate(hard_limit=4, soft_limit=2)
+    controller = AnytimeController(gate=gate)
+    with contextlib.ExitStack() as stack:
+        for _ in range(3):  # past soft, below hard
+            stack.enter_context(gate.admit(Priority.CRITICAL))
+        assert controller.select_rung() is QualityRung.CI_ONLY
+        stack.enter_context(gate.admit(Priority.CRITICAL))  # at hard
+        assert controller.select_rung() is QualityRung.REDUCED_POOL
+    assert controller.select_rung() is QualityRung.FULL  # pressure cleared
+
+
+def test_overflow_admission_selects_cached():
+    """Inflight past the hard limit = a degradable overflow in progress."""
+    gate = AdmissionGate(hard_limit=2, soft_limit=1)
+    controller = AnytimeController(gate=gate)
+    with contextlib.ExitStack() as stack:
+        for _ in range(2):
+            stack.enter_context(gate.admit(Priority.CRITICAL))
+        stack.enter_context(gate.admit(Priority.NORMAL, degradable=True))
+        assert gate.counters()["inflight"] == 3
+        assert controller.select_rung() is QualityRung.CACHED
+
+
+def test_explicit_overload_flag_selects_cached():
+    assert AnytimeController().select_rung(overloaded=True) is QualityRung.CACHED
+
+
+def test_open_breaker_forces_cached():
+    controller = AnytimeController(breaker_states=lambda: ["closed", "open"])
+    assert controller.select_rung() is QualityRung.CACHED
+    healthy = AnytimeController(breaker_states=lambda: ["closed", "half_open"])
+    assert healthy.select_rung() is QualityRung.FULL
+
+
+def test_slow_latency_ewma_costs_one_rung():
+    controller = AnytimeController(latency_target_ms=100.0)
+    controller.observe_latency(0.5)  # 500ms > 100ms target
+    assert controller.latency_ewma_ms == pytest.approx(500.0)
+    assert controller.select_rung() is QualityRung.CI_ONLY
+    # EWMA decays back under the target -> full quality again
+    for _ in range(40):
+        controller.observe_latency(0.01)
+    assert controller.select_rung() is QualityRung.FULL
+
+
+def test_signals_accumulate_and_clamp():
+    gate = AdmissionGate(hard_limit=2, soft_limit=1)
+    controller = AnytimeController(gate=gate, latency_target_ms=1.0)
+    controller.observe_latency(1.0)
+    with contextlib.ExitStack() as stack:
+        for _ in range(2):
+            stack.enter_context(gate.admit(Priority.CRITICAL))
+        # at-hard (+2) + slow EWMA (+1) = SAMPLED, clamped within the ladder
+        assert controller.select_rung() is QualityRung.SAMPLED
+
+
+def test_controller_counters_accumulate():
+    controller = AnytimeController()
+    controller.record(QualityRung.FULL, partial=False, snapshots=3)
+    controller.record(QualityRung.SAMPLED, partial=True, snapshots=1, forced_cut=True)
+    controller.record(QualityRung.CACHED, partial=True)
+    counters = controller.counters()
+    assert counters["rung_requests"] == {"full": 1, "sampled": 1, "cached": 1}
+    assert counters["partials"] == 2
+    assert counters["snapshots"] == 4
+    assert counters["forced_cuts"] == 1
+    assert counters["cache_serves"] == 1
+
+
+def test_invalid_ewma_alpha_rejected():
+    with pytest.raises(ValueError):
+        AnytimeController(ewma_alpha=0.0)

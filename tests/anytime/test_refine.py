@@ -1,0 +1,114 @@
+"""RefinementStore: bounded background jobs behind poll tokens."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.anytime import RefinementLostError, RefinementStore
+
+
+def _wait(store: RefinementStore, token: str, timeout: float = 5.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        payload = store.poll(token)
+        if payload["status"] in ("done", "failed"):
+            return payload
+        time.sleep(0.005)
+    raise AssertionError(f"refinement {token} never finished")
+
+
+def test_submit_poll_lifecycle():
+    store = RefinementStore()
+    store.submit("tok-a", lambda: {"answer": 42})
+    payload = _wait(store, "tok-a")
+    assert payload["status"] == "done"
+    assert payload["token"] == "tok-a"
+    assert payload["answer"] == 42  # job result merges into the poll payload
+    counters = store.counters()
+    assert counters["submitted"] == 1
+    assert counters["completed"] == 1
+    assert counters["failed"] == 0
+    assert len(store) == 1
+
+
+def test_poll_racing_submission_sees_pending():
+    """The job is registered before its thread starts: no lost-token race."""
+    store = RefinementStore()
+    release = threading.Event()
+
+    def job():
+        release.wait(5.0)
+        return {"ok": True}
+
+    store.submit("tok-b", job)
+    assert store.poll("tok-b")["status"] in ("pending", "running")
+    release.set()
+    assert _wait(store, "tok-b")["ok"] is True
+
+
+def test_failure_is_captured_not_raised():
+    store = RefinementStore()
+
+    def job():
+        raise ValueError("boom")
+
+    store.submit("tok-c", job)
+    payload = _wait(store, "tok-c")
+    assert payload["status"] == "failed"
+    assert "ValueError: boom" in payload["error"]
+    assert store.counters()["failed"] == 1
+
+
+def test_unknown_token_is_typed_loss():
+    store = RefinementStore()
+    with pytest.raises(RefinementLostError):
+        store.poll("never-minted")
+    assert store.counters()["lost_polls"] == 1
+
+
+def test_finished_jobs_expire_after_ttl():
+    now = [0.0]
+    store = RefinementStore(ttl_seconds=10.0, clock=lambda: now[0])
+    store.submit("tok-d", lambda: {"n": 1})
+    _wait(store, "tok-d")
+    now[0] = 5.0
+    assert store.poll("tok-d")["status"] == "done"  # still within TTL
+    now[0] = 11.0
+    with pytest.raises(RefinementLostError):
+        store.poll("tok-d")
+    counters = store.counters()
+    assert counters["expired"] == 1
+    assert counters["lost_polls"] == 1
+    assert len(store) == 0
+
+
+def test_capacity_evicts_oldest_finished_first():
+    now = [0.0]
+    store = RefinementStore(capacity=3, ttl_seconds=10**6, clock=lambda: now[0])
+    release = threading.Event()
+    store.submit("old-done", lambda: {})
+    _wait(store, "old-done")
+    now[0] = 1.0
+    store.submit("new-done", lambda: {})
+    _wait(store, "new-done")
+    now[0] = 2.0
+    store.submit("in-flight", lambda: release.wait(5.0) and {} or {})
+    # the store is at capacity; the next submit evicts the oldest *finished*
+    # job, never the one still running
+    now[0] = 3.0
+    store.submit("fresh", lambda: {})
+    with pytest.raises(RefinementLostError):
+        store.poll("old-done")
+    assert store.poll("new-done")["status"] == "done"
+    assert store.poll("in-flight")["status"] in ("pending", "running")
+    assert store.counters()["evicted"] == 1
+    release.set()
+    _wait(store, "in-flight")
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        RefinementStore(capacity=0)
