@@ -1,0 +1,169 @@
+"""Candidate-count sweep — per-candidate amortized scoring cost.
+
+Family batching turns candidate scoring from "one pipeline per candidate"
+into "one kernel pass per family", so its win should *grow* with the
+number of sibling candidates.  This sweep scores neighbourhoods of
+``n ∈ {16, 64, 256, 1024}`` candidates — wide FILTER families over a
+synthetic database whose attributes have hundreds of values — through the
+per-candidate indexed path and the batched path, and reports the
+amortized per-candidate cost of each.
+
+The wide database is deliberately family-heavy (four 256-value single
+-valued attributes): it isolates the per-candidate fixed overhead the
+batch kernel removes, which the regular Yelp-shaped benches dilute with
+residue candidates and preview materialisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import Metric, format_table, report, time_call
+from repro.core.engine import SubDEx, SubDExConfig
+from repro.core.recommend import RecommenderConfig
+from repro.core.utility import SeenMaps
+from repro.db import Table
+from repro.model.database import SubjectiveDatabase
+from repro.model.groups import SelectionCriteria
+
+_SWEEP = (16, 64, 256, 1024)
+
+
+def _wide_db(
+    seed: int = 0, n_values: int = 256, n_users: int = 6000,
+    n_ratings: int = 48_000,
+) -> SubjectiveDatabase:
+    """Four single-valued user attributes × ``n_values`` values each."""
+    rng = np.random.default_rng(seed)
+    columns: dict[str, list] = {"user_id": list(range(n_users))}
+    for a in range(4):
+        columns[f"attr{a}"] = [
+            f"v{rng.integers(n_values)}" for __ in range(n_users)
+        ]
+    users = Table.from_columns(columns, explorable={"user_id": False})
+    n_items = 50
+    items = Table.from_columns(
+        {
+            "item_id": list(range(n_items)),
+            "kind": [f"k{rng.integers(8)}" for __ in range(n_items)],
+        },
+        explorable={"item_id": False},
+    )
+    ratings = Table.from_columns(
+        {
+            "user_id": rng.integers(0, n_users, n_ratings).tolist(),
+            "item_id": rng.integers(0, n_items, n_ratings).tolist(),
+            "overall": rng.integers(1, 6, n_ratings).tolist(),
+        },
+        explorable={"user_id": False, "item_id": False},
+    )
+    return SubjectiveDatabase(
+        users, items, ratings, ("overall",), scale=5, name="wide"
+    )
+
+
+def test_candidate_count_sweep(benchmark):
+    def run():
+        database = _wide_db()
+
+        def engine(batch: bool) -> SubDEx:
+            return SubDEx(
+                database,
+                SubDExConfig(
+                    use_index=True,
+                    batch_scoring=batch,
+                    recommender=RecommenderConfig(parallel=False),
+                ),
+            )
+
+        unbatched, batched = engine(False), engine(True)
+        operations = batched.recommender.candidate_operations(
+            SelectionCriteria.root()
+        )
+        assert len(operations) >= _SWEEP[-1], len(operations)
+
+        def seen(eng: SubDEx) -> SeenMaps:
+            return SeenMaps(
+                database.dimensions,
+                n_attributes=len(database.grouping_attributes()),
+            )
+
+        rows = []
+        outcomes = {}
+        for n in _SWEEP:
+            slice_ops = operations[:n]
+            times = {}
+            for label, eng in (("indexed", unbatched), ("batched", batched)):
+                result, seconds = time_call(
+                    lambda eng=eng: eng.recommender.recommend_anytime(
+                        SelectionCriteria.root(),
+                        seen(eng),
+                        o=5,
+                        candidates=list(slice_ops),
+                    ),
+                    repeats=1,
+                )
+                assert result.completeness.complete
+                times[label] = seconds
+            ratio = (
+                times["indexed"] / times["batched"]
+                if times["batched"]
+                else float("inf")
+            )
+            outcomes[n] = (times["indexed"], times["batched"], ratio)
+            rows.append(
+                (
+                    f"{n}",
+                    f"{times['indexed'] * 1e3:.0f}",
+                    f"{times['batched'] * 1e3:.0f}",
+                    f"{times['indexed'] / n * 1e3:.3f}",
+                    f"{times['batched'] / n * 1e3:.3f}",
+                    f"{ratio:.2f}x",
+                )
+            )
+        return rows, outcomes
+
+    rows, outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "== Candidate-count sweep: per-candidate amortized scoring cost ==\n"
+        + format_table(
+            (
+                "candidates",
+                "indexed (ms)",
+                "batched (ms)",
+                "indexed (ms/cand)",
+                "batched (ms/cand)",
+                "speedup",
+            ),
+            rows,
+        )
+        + "\nwide synthetic database: 4 single-valued attributes ×"
+        " 256 values, 48k ratings."
+    )
+    metrics = {}
+    for n, (indexed_s, batched_s, ratio) in outcomes.items():
+        metrics[f"n{n}_indexed_ms_per_cand"] = Metric(
+            indexed_s / n * 1e3, unit="ms"
+        )
+        metrics[f"n{n}_batched_ms_per_cand"] = Metric(
+            batched_s / n * 1e3, unit="ms"
+        )
+        metrics[f"n{n}_speedup"] = Metric(
+            ratio, unit="x", higher_is_better=True, portable=True
+        )
+    report(
+        "batch_sweep",
+        text,
+        metrics=metrics,
+        config={"sweep": list(_SWEEP)},
+    )
+    # the amortized batched cost must fall as families widen; at the
+    # widest point batching must win outright
+    widest = outcomes[_SWEEP[-1]]
+    narrowest = outcomes[_SWEEP[0]]
+    assert widest[1] / _SWEEP[-1] < narrowest[1] / _SWEEP[0], (
+        "batched per-candidate cost did not amortize with family width"
+    )
+    assert widest[2] > 1.0, (
+        f"batched slower than indexed at {_SWEEP[-1]} candidates"
+    )

@@ -141,6 +141,14 @@ def main(argv: list[str] | None = None) -> int:
         help="repeat the suite N times and merge best-of-N per metric",
     )
     parser.add_argument(
+        "--bench",
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="restrict to this bench file (repeatable); filters the"
+        " selected suite, e.g. --bench bench_index_speedup.py",
+    )
+    parser.add_argument(
         "--results-dir",
         default=str(REPO / "benchmarks" / "results"),
         help="where the merged BENCH_*.json files land",
@@ -174,6 +182,15 @@ def main(argv: list[str] | None = None) -> int:
         env["REPRO_BENCH_SUBJECTS"] = str(args.subjects)
 
     files = suite_files(args.suite)
+    if args.bench:
+        wanted = set(args.bench)
+        unknown = wanted.difference(files)
+        if unknown:
+            parser.error(
+                f"--bench not in the {args.suite} suite:"
+                f" {', '.join(sorted(unknown))}"
+            )
+        files = [name for name in files if name in wanted]
     all_failures: set[str] = set()
     with tempfile.TemporaryDirectory(prefix="bench_all_") as tmp:
         run_dirs = []

@@ -1,0 +1,737 @@
+"""Family-batched candidate scoring on the recommendation hot path.
+
+The per-candidate indexed path (:meth:`RecommendationBuilder._score_one_indexed`)
+walks candidates one by one even though every clean FILTER candidate of one
+(side, attribute) is a slice of the same fused cube.  This module scores a
+whole *family* at once:
+
+1. **plan** — :func:`plan_units` splits the neighbourhood into family units
+   (single-added-pair FILTERs with a cube) and residue blocks (GENERALIZE,
+   CHANGE, multi-valued FILTER, compounds — the per-candidate path);
+2. **stack** — each family stacks its cube slices into one
+   ``(candidate, subgroup, bucket)`` count tensor per spec and runs the
+   bitwise-exact fused kernel (:mod:`repro.batch.kernel`) to get every
+   candidate's raw criteria and DW-utility matrix in a few array passes;
+3. **prune** — a candidate's Eq.-(2) utility (Σ DW over the k *selected*
+   maps) is bounded above by the Σ of its top-k pool DW utilities, so
+   candidates are finalised in descending-bound order and the loop stops
+   once the bound falls below the o-th best exact utility.  One-shot
+   requests push this further: every family is *prepared* (kernel only)
+   first and a single request-global queue finalises candidates
+   best-bound-first, so the threshold warms up as fast as possible;
+4. **exact-score cheaply, materialise lazily** — a surviving candidate's
+   *exact* utility needs only the GMM selection over its pool maps'
+   profiles, not the materialised preview: profiles (subgroup means and
+   sizes) come straight from the count tensors, and the same
+   ``gmm_select``/``weighted_points_emd`` the oracle uses picks the same
+   maps bit for bit.  The full preview — through the ordinary
+   ``generate_from_counts`` pipeline with the kernel's raw scores
+   injected, byte-identical to the per-candidate oracle — is materialised
+   only for candidates that actually reach a returned top-o (or an
+   anytime snapshot).
+
+The anytime loop keeps its original scan order: :func:`plan_lookup` maps
+every operation to its family membership, and :meth:`FamilyBatchScorer.
+score_scan_block` walks a worker-sized chunk in scan order, lazily running
+each family's kernel pass the first time one of its members is scanned.
+Snapshot, budget-cut and ``force_cut_after`` semantics are therefore
+identical to the per-candidate path — only the arithmetic is batched.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
+
+from ..core.distance import weighted_points_emd
+from ..core.generator import RMSetGenerator
+from ..core.gmm import gmm_select
+from ..core.interestingness import (
+    CriterionScores,
+    DispersionMeasure,
+    PeculiarityDistance,
+)
+from ..core.normalization import NormalizationStrategy
+from ..core.rating_maps import RatingMapSpec
+from ..core.utility import (
+    SeenMaps,
+    UtilityAggregation,
+    UtilityConfig,
+    dimension_weights,
+)
+from ..model.operations import Operation
+from ..obs import span as obs_span
+from ..resilience.deadline import check_deadline
+from ..resilience.gate import under_pressure
+from .kernel import FamilyScores, batch_family_dw, batch_family_scores
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: index builds on core
+    from ..core.recommend import RecommenderConfig, ScoredOperation
+    from ..index.cubes import CandidateCube
+    from ..index.facade import NeighborhoodContext
+
+__all__ = [
+    "FamilyPlan",
+    "PreparedFamily",
+    "PreparedRows",
+    "BatchScored",
+    "BatchUnit",
+    "supports_batch",
+    "plan_units",
+    "plan_lookup",
+    "FamilyBatchScorer",
+]
+
+#: Safety margin of the upper-bound prune.  The bound and the exact
+#: utility are few-term sums of the same DW scores, so they can disagree
+#: by a couple of ULPs (~1e-16 at these magnitudes); pruning only below
+#: ``threshold - margin`` keeps every exact tie-break candidate alive
+#: without giving up any real pruning.
+_PRUNE_MARGIN = 1e-9
+
+
+def supports_batch(config: "Any") -> bool:
+    """Whether a generator config is covered by the bitwise batch kernel.
+
+    The kernel mirrors the scorer's STD/TVD fast path under SQUASH
+    normalisation and MAX aggregation (the paper's defaults).  Ablation
+    configurations fall back to the per-candidate path — correctness never
+    depends on batching.
+    """
+    utility: UtilityConfig = config.utility
+    return (
+        not config.diversity_only
+        and utility.normalization is NormalizationStrategy.SQUASH
+        and utility.aggregation is UtilityAggregation.MAX
+        and utility.dispersion is DispersionMeasure.STD
+        and utility.peculiarity is PeculiarityDistance.TOTAL_VARIATION
+    )
+
+
+@dataclass
+class FamilyPlan:
+    """One FILTER family: all candidates adding a value of one attribute."""
+
+    cube: "CandidateCube"
+    operations: list[Operation] = field(default_factory=list)
+    codes: list[int | None] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+@dataclass
+class PreparedFamily:
+    """A family after the kernel pass: bounds ready, previews pending.
+
+    ``valid`` indexes into ``family.operations``; all arrays run over the
+    valid candidates only.  ``pools[c]`` is candidate ``c``'s utility-ranked
+    informative pool (spec indices, at most k'), and ``dw`` the full
+    DW-utility matrix.  The count tensors themselves are *not* kept — an
+    evaluated candidate re-reads its rows from the family cube (the same
+    joint histogram the kernel stacked, so the values are identical).
+    """
+
+    family: FamilyPlan
+    valid: list[int]
+    codes: np.ndarray
+    group_sizes: np.ndarray
+    specs: "tuple[RatingMapSpec, ...]"
+    scale: int
+    scores: FamilyScores
+    dw: np.ndarray
+    pools: list[list[int]]
+    bounds: np.ndarray
+    n_scored: int
+    _members: "dict[int, int] | None" = None
+
+    def candidate_of(self, member: int) -> int | None:
+        """The candidate row of family member ``member`` (None if gated)."""
+        if self._members is None:
+            self._members = {m: c for c, m in enumerate(self.valid)}
+        return self._members.get(member)
+
+    def operation(self, c: int) -> Operation:
+        return self.family.operations[self.valid[c]]
+
+    def size_of(self, c: int) -> int:
+        return int(self.group_sizes[c])
+
+    def counts_of(self, c: int, spec: RatingMapSpec) -> np.ndarray:
+        return self.family.cube.candidate_counts(int(self.codes[c]), spec)
+
+    def labels_of(self, spec: RatingMapSpec) -> tuple:
+        return self.family.cube.labels_of(spec)
+
+
+@dataclass
+class PreparedRows:
+    """A rows-served (posting-list) candidate after the kernel pass.
+
+    GENERALIZE/CHANGE/multi-valued-FILTER candidates have no family cube,
+    but their per-spec count matrices — gathered through the ordinary
+    delta/direct path, so byte-identical to the per-candidate oracle's —
+    still stack into a one-candidate tensor for the fused kernel.  That
+    buys them the same vectorised criteria, exact-utility bound, global
+    best-bound-first pruning and lazy preview as cube families.  Exposes
+    the same candidate-indexed surface as :class:`PreparedFamily` (with
+    ``c`` always 0), so the evaluation/materialisation code is shared.
+    """
+
+    view: Any
+    op: Operation
+    specs: "tuple[RatingMapSpec, ...]"
+    scale: int
+    counts: "dict[RatingMapSpec, np.ndarray]"
+    scores: FamilyScores
+    dw: np.ndarray
+    pools: list[list[int]]
+    bounds: np.ndarray
+    n_scored: int
+
+    def operation(self, c: int) -> Operation:
+        return self.op
+
+    def size_of(self, c: int) -> int:
+        return int(self.view.size)
+
+    def counts_of(self, c: int, spec: RatingMapSpec) -> np.ndarray:
+        return self.counts[spec]
+
+    def labels_of(self, spec: RatingMapSpec) -> tuple:
+        return self.view.labels_of(spec)
+
+
+class BatchScored:
+    """A batch-scored candidate: exact utility now, preview on demand.
+
+    Ranking (and the anytime re-ranks) only needs ``operation`` and
+    ``utility``; :meth:`materialize` builds the full
+    :class:`~repro.core.recommend.ScoredOperation` — with the preview the
+    per-candidate oracle would produce — the first time the candidate
+    actually makes a returned top-o, and caches it.
+    """
+
+    __slots__ = ("operation", "utility", "_scorer", "_prepared", "_c", "_final")
+
+    def __init__(
+        self,
+        operation: Operation,
+        utility: float,
+        scorer: "FamilyBatchScorer",
+        prepared: "PreparedFamily | PreparedRows",
+        c: int,
+    ) -> None:
+        self.operation = operation
+        self.utility = utility
+        self._scorer = scorer
+        self._prepared = prepared
+        self._c = c
+        self._final: "ScoredOperation | None" = None
+
+    def materialize(self) -> "ScoredOperation | None":
+        if self._final is None:
+            self._final = self._scorer.materialize_candidate(
+                self._prepared, self._c, self.utility
+            )
+        return self._final
+
+
+#: A scoring unit: a batched family or a residue block of loose candidates.
+BatchUnit = "FamilyPlan | list[Operation]"
+
+
+def plan_units(
+    ctx: "NeighborhoodContext",
+    operations: Sequence[Operation],
+    residue_chunk: int,
+) -> list["FamilyPlan | list[Operation]"]:
+    """Split the neighbourhood into family and residue units, in first-
+    appearance order (so anytime snapshots stay roughly scan-ordered)."""
+    units: list[FamilyPlan | list[Operation]] = []
+    families: dict[tuple, FamilyPlan] = {}
+    block: list[Operation] = []
+    chunk = max(1, int(residue_chunk))
+    for operation in operations:
+        route = ctx.filter_route(operation)
+        if route is None:
+            block.append(operation)
+            if len(block) >= chunk:
+                units.append(block)
+                block = []
+            continue
+        cube, code = route
+        key = (cube.axis.side, cube.axis.attribute)
+        family = families.get(key)
+        if family is None:
+            family = FamilyPlan(cube)
+            families[key] = family
+            units.append(family)
+        family.operations.append(operation)
+        family.codes.append(code)
+    if block:
+        units.append(block)
+    return units
+
+
+def plan_lookup(
+    ctx: "NeighborhoodContext",
+    operations: Sequence[Operation],
+) -> "dict[int, tuple[FamilyPlan, int] | None]":
+    """Map each operation (by id) to its family membership.
+
+    The anytime loop scans candidates in their original order — so its
+    snapshot and budget-cut boundaries are exactly the per-candidate
+    path's — and uses this lookup to batch the *arithmetic* by family:
+    the first scanned member of a family triggers the whole family's
+    kernel pass.  Residue candidates map to ``None`` (the one-candidate
+    stack of :meth:`FamilyBatchScorer.prepare_rows`).
+    """
+    lookup: "dict[int, tuple[FamilyPlan, int] | None]" = {}
+    families: dict[tuple, FamilyPlan] = {}
+    for operation in operations:
+        route = ctx.filter_route(operation)
+        if route is None:
+            lookup[id(operation)] = None
+            continue
+        cube, code = route
+        key = (cube.axis.side, cube.axis.attribute)
+        family = families.get(key)
+        if family is None:
+            family = FamilyPlan(cube)
+            families[key] = family
+        lookup[id(operation)] = (family, len(family.operations))
+        family.operations.append(operation)
+        family.codes.append(code)
+    return lookup
+
+
+class FamilyBatchScorer:
+    """Scores family units for one recommendation request.
+
+    Holds the request-scoped state the upper-bound prune needs: the top-o
+    exact utilities seen so far (across families *and* residue candidates —
+    the builder feeds residue scores back via :meth:`note_exact`).
+    """
+
+    def __init__(
+        self,
+        ctx: "NeighborhoodContext",
+        config: "RecommenderConfig",
+        generator: RMSetGenerator,
+        seen: SeenMaps,
+        o: int,
+    ) -> None:
+        self._ctx = ctx
+        self._config = config
+        self._generator = generator
+        self._seen = seen
+        self._o = max(1, int(o))
+        gcfg = generator.config
+        self._k = gcfg.k
+        self._k_prime = gcfg.k_prime
+        self._utility = gcfg.utility
+        self._min_support = max(1, int(gcfg.utility.min_support))
+        pooled = seen.pooled_distributions()
+        self._seen_probs = (
+            np.stack([q.probabilities() for q in pooled]) if pooled else None
+        )
+        self._dim_weights = dimension_weights(
+            seen.dimension_history(), seen.dimensions
+        )
+        self._top: list[float] = []  # min-heap of the o best exact utilities
+        self._lock = threading.Lock()
+        self._families: "dict[int, PreparedFamily | None]" = {}
+        self.stats = {
+            "families": 0,
+            "candidates": 0,
+            "batched": 0,
+            "scored": 0,
+            "evaluated": 0,
+            "pruned": 0,
+            "materialized": 0,
+        }
+
+    # -- the global exact-utility threshold ---------------------------------
+    def note_exact(self, utility: float) -> None:
+        """Record one candidate's exact utility (family or residue path)."""
+        with self._lock:
+            if len(self._top) < self._o:
+                heapq.heappush(self._top, utility)
+            elif utility > self._top[0]:
+                heapq.heapreplace(self._top, utility)
+
+    def _threshold(self) -> float:
+        with self._lock:
+            if len(self._top) < self._o:
+                return float("-inf")
+            return self._top[0]
+
+    # -- per-spec weights (constant across a family's candidates) -----------
+    def _spec_weight(self, spec: RatingMapSpec) -> float:
+        weight = (
+            self._dim_weights[spec.dimension]
+            if self._utility.use_dimension_weights
+            else 1.0
+        )
+        if self._utility.use_attribute_weights:
+            weight *= self._seen.attribute_weight((spec.side, spec.attribute))
+        return weight
+
+    # -- family scoring ------------------------------------------------------
+    def score_scan_block(
+        self,
+        operations: Sequence[Operation],
+        lookup: "dict[int, tuple[FamilyPlan, int] | None]",
+    ) -> tuple["list[BatchScored | None]", int]:
+        """Score one scan-ordered block (the anytime form).
+
+        Candidates are visited in their original scan order — so snapshot
+        contents, best-so-far rankings and budget-cut boundaries are
+        identical to the per-candidate path — while each family's kernel
+        pass still runs exactly once, triggered lazily by its first
+        scanned member.  Returns per-operation results aligned with
+        ``operations`` (``None`` for size-gated, empty-pool and
+        bound-pruned candidates) plus the number of *scored* candidates —
+        those whose preview pool is non-empty, whether or not the prune
+        skipped their evaluation (a pruned candidate provably cannot sit
+        in the current top-o, so prunes never change a snapshot).
+        """
+        with obs_span("batch.scan", candidates=len(operations)) as sp:
+            results: "list[BatchScored | None]" = [None] * len(operations)
+            n_scored = evaluated = pruned = 0
+            for i, operation in enumerate(operations):
+                check_deadline()
+                member = lookup.get(id(operation))
+                if member is None:
+                    ready: "PreparedFamily | PreparedRows | None" = (
+                        self.prepare_rows(operation)
+                    )
+                    c = 0
+                    if ready is None:
+                        continue
+                else:
+                    family, index = member
+                    ready = self._family(family)
+                    if ready is None:
+                        continue
+                    at = ready.candidate_of(index)
+                    if at is None or not ready.pools[at]:
+                        continue
+                    c = at
+                n_scored += 1
+                if ready.bounds[c] < self._threshold() - _PRUNE_MARGIN:
+                    pruned += 1
+                    continue
+                results[i] = self.evaluate_candidate(ready, c)
+                evaluated += 1
+            sp.set(scored=n_scored, evaluated=evaluated, pruned=pruned)
+        with self._lock:
+            self.stats["evaluated"] += evaluated
+            self.stats["pruned"] += pruned
+        return results, n_scored
+
+    def _family(self, family: FamilyPlan) -> "PreparedFamily | None":
+        """The family's kernel pass, run once on first scanned member."""
+        key = id(family)
+        if key not in self._families:
+            self._families[key] = self.prepare_family(family)
+        return self._families[key]
+
+    def prepare_family(self, family: FamilyPlan) -> "PreparedFamily | None":
+        """Kernel pass only: raw criteria, DW matrix and utility bounds.
+
+        One-shot requests prepare every family first and finalise through
+        :meth:`finalize_prepared`, which maximises what the shared
+        threshold can prune.  Returns ``None`` when no candidate survives
+        the size gates.
+        """
+        axis = family.cube.axis
+        with obs_span(
+            "batch.score",
+            side=axis.side.value,
+            attribute=axis.attribute,
+            candidates=len(family),
+        ) as sp:
+            prepared = self._prepare(family)
+            sp.set(scored=prepared.n_scored if prepared is not None else 0)
+        return prepared
+
+    def _prepare(self, family: FamilyPlan) -> "PreparedFamily | None":
+        config = self._config
+        cube = family.cube
+        parent_size = self._ctx.parent_size
+        sizes = [
+            0 if code is None else cube.candidate_size(code)
+            for code in family.codes
+        ]
+        # same gates as _score_one_indexed: size floor, then the FILTER
+        # redundancy test (child ⊆ parent, so equal size ⇒ equal rows)
+        valid = [
+            i
+            for i, size in enumerate(sizes)
+            if size >= config.min_group_size and size != parent_size
+        ]
+        prepared: "PreparedFamily | None" = None
+        n_scored = 0
+        if valid:
+            self._ctx.count_cube_candidates(len(valid))
+            codes = np.array([family.codes[i] for i in valid], dtype=np.intp)
+            group_sizes = np.array([sizes[i] for i in valid], dtype=np.int64)
+            specs = cube.specs
+            stacks = []
+            for spec in specs:
+                check_deadline()
+                stacks.append(cube.stacked_counts(codes, spec))
+            scores = batch_family_scores(
+                stacks,
+                group_sizes,
+                self._seen_probs,
+                self._min_support,
+                self._utility.global_use_min,
+            )
+            weights = np.array([self._spec_weight(spec) for spec in specs])
+            dw = batch_family_dw(scores, weights, self._utility)
+            pools, bounds = self._pools_and_bounds(
+                dw, scores.informative, specs
+            )
+            n_scored = sum(1 for pool in pools if pool)
+            if n_scored:
+                prepared = PreparedFamily(
+                    family=family,
+                    valid=valid,
+                    codes=codes,
+                    group_sizes=group_sizes,
+                    specs=specs,
+                    scale=int(stacks[0].shape[2]),
+                    scores=scores,
+                    dw=dw,
+                    pools=pools,
+                    bounds=bounds,
+                    n_scored=n_scored,
+                )
+        with self._lock:
+            self.stats["families"] += 1
+            self.stats["candidates"] += len(family)
+            self.stats["batched"] += len(family)
+            self.stats["scored"] += n_scored
+        return prepared
+
+    def _pools_and_bounds(
+        self,
+        dw: np.ndarray,
+        informative: np.ndarray,
+        specs: "tuple[RatingMapSpec, ...]",
+    ) -> tuple[list[list[int]], np.ndarray]:
+        """Per-candidate pool membership + utility upper bound.
+
+        The pool is the top-k' specs by (-dw, spec) that yield informative
+        maps — exactly ``finalize_from_counts``'s ranking — and the Σ of
+        the pool's top-k DW scores bounds the selected set's Σ from above.
+        """
+        n_candidates = dw.shape[0]
+        bounds = np.zeros(n_candidates)
+        pools: list[list[int]] = []
+        for c in range(n_candidates):
+            order = sorted(
+                range(len(specs)), key=lambda j: (-dw[c, j], specs[j])
+            )
+            pool = [
+                j for j in order[: self._k_prime] if informative[c, j]
+            ]
+            pools.append(pool)
+            if pool:
+                bounds[c] = float(sum(dw[c, j] for j in pool[: self._k]))
+        return pools, bounds
+
+    # -- rows-served (residue) candidates ------------------------------------
+    def prepare_rows(self, operation: Operation) -> "PreparedRows | None":
+        """Kernel pass for one posting-list candidate (no family cube).
+
+        Applies the same gates as the per-candidate path — size floor and
+        the row-equality redundancy test — then runs the one-candidate
+        count stack through the fused kernel.  The count matrices come
+        from the unchanged delta/direct machinery, so they are the exact
+        arrays the oracle would score.
+        """
+        view = self._ctx.candidate(operation)
+        size = view.size
+        prepared: "PreparedRows | None" = None
+        n_scored = 0
+        if (
+            size >= self._config.min_group_size
+            and not view.matches_parent(self._ctx.parent_size)
+        ):
+            specs = view.specs
+            if specs:
+                counts: "dict[RatingMapSpec, np.ndarray]" = {}
+                stacks = []
+                for spec in specs:
+                    check_deadline()
+                    matrix = np.asarray(view.counts_of(spec))
+                    counts[spec] = matrix
+                    stacks.append(matrix[None])
+                scores = batch_family_scores(
+                    stacks,
+                    np.array([size], dtype=np.int64),
+                    self._seen_probs,
+                    self._min_support,
+                    self._utility.global_use_min,
+                )
+                weights = np.array(
+                    [self._spec_weight(spec) for spec in specs]
+                )
+                dw = batch_family_dw(scores, weights, self._utility)
+                pools, bounds = self._pools_and_bounds(
+                    dw, scores.informative, specs
+                )
+                if pools[0]:
+                    n_scored = 1
+                    prepared = PreparedRows(
+                        view=view,
+                        op=operation,
+                        specs=specs,
+                        scale=int(stacks[0].shape[2]),
+                        counts=counts,
+                        scores=scores,
+                        dw=dw,
+                        pools=pools,
+                        bounds=bounds,
+                        n_scored=1,
+                    )
+        with self._lock:
+            self.stats["candidates"] += 1
+            self.stats["batched"] += 1
+            self.stats["scored"] += n_scored
+        return prepared
+
+    # -- exact utility without materialisation -------------------------------
+    def _pool_profile(
+        self, prepared: "PreparedFamily | PreparedRows", c: int, j: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The PROFILE-distance point set of one pool map, from counts.
+
+        Bitwise-identical to ``distance._profile`` of the materialised
+        :class:`~repro.core.rating_maps.RatingMap`: subgroups are the
+        non-empty histogram rows in label order, means reduce each row
+        with the same last-axis pairwise tree ``histogram_mean`` uses, and
+        weights are the (exact integer) row totals.
+        """
+        counts = np.asarray(
+            prepared.counts_of(c, prepared.specs[j]), dtype=np.float64
+        )
+        totals = counts.sum(axis=1)  # exact
+        nonzero = totals > 0
+        rows = counts[nonzero]
+        weights = totals[nonzero]
+        values = np.arange(1, counts.shape[1] + 1, dtype=np.float64)
+        means = (values * rows).sum(axis=1) / weights
+        return means, weights
+
+    def evaluate_candidate(
+        self, prepared: "PreparedFamily | PreparedRows", c: int
+    ) -> BatchScored:
+        """Exact-score one candidate without materialising its preview.
+
+        Replays the RM-Selector on pool profiles computed straight from
+        the count tensors: the same GMM over the same EMD values selects
+        the same maps as the oracle's ``_finish``, so the Eq.-(2) utility
+        — the Σ of the selected specs' DW scores, summed in selection
+        order — is bitwise-identical to ``preview.total_utility()``.
+        Under load pressure the oracle skips GMM and shows the plain
+        top-k, and so does this.  Feeds the exact utility back into the
+        shared prune threshold.
+        """
+        pool = prepared.pools[c]
+        k = self._k
+        if under_pressure():
+            # mirror _finish's load-shedding path: plain top-k by utility
+            chosen = pool[:k]
+        elif k >= len(pool):
+            chosen = list(pool)
+        else:
+            profiles = [self._pool_profile(prepared, c, j) for j in pool]
+            span = float(prepared.scale - 1)
+
+            def dist(ia: int, ib: int) -> float:
+                xa, wa = profiles[ia]
+                xb, wb = profiles[ib]
+                return weighted_points_emd(xa, wa, xb, wb, span)
+
+            chosen = [
+                pool[i]
+                for i in gmm_select(
+                    list(range(len(pool))), k, dist, seed_index=0
+                )
+            ]
+        utility = sum(float(prepared.dw[c, j]) for j in chosen)
+        self.note_exact(utility)
+        return BatchScored(prepared.operation(c), utility, self, prepared, c)
+
+    def materialize_candidate(
+        self, prepared: "PreparedFamily | PreparedRows", c: int, utility: float
+    ) -> "ScoredOperation | None":
+        """Build one candidate's full preview (injected raw scores).
+
+        The counts callable re-reads the candidate's rows from the family
+        cube — the same joint histogram the kernel stacked, so the preview
+        is built from values identical to the batch tensor's row ``c``.
+        """
+        from ..core.recommend import ScoredOperation
+
+        specs = prepared.specs
+        raw = {
+            spec: prepared.scores.criterion_scores(c, j)
+            for j, spec in enumerate(specs)
+        }
+        preview = self._generator.generate_from_counts(
+            prepared.operation(c).target,
+            specs,
+            lambda spec: prepared.counts_of(c, spec),
+            prepared.labels_of,
+            prepared.size_of(c),
+            self._seen,
+            raw_scores=raw,
+        )
+        with self._lock:
+            self.stats["materialized"] += 1
+        if not preview.selected:  # pragma: no cover - pool ⇒ selected
+            return None
+        return ScoredOperation(prepared.operation(c), utility, preview)
+
+    def finalize_prepared(
+        self, prepared: "Sequence[PreparedFamily | PreparedRows]"
+    ) -> "list[BatchScored]":
+        """Exact-score all prepared families through one global bound queue.
+
+        Candidates across every family are evaluated best-bound-first, so
+        the o-th best exact utility rises as fast as possible and the
+        remaining tail is pruned in one cut.  Order does not affect the
+        result: a candidate is only skipped when its upper bound proves it
+        cannot reach the top-o.
+        """
+        queue: list[tuple[float, int, int]] = []
+        for fi, family in enumerate(prepared):
+            for c in range(len(family.pools)):
+                if family.pools[c]:
+                    queue.append((family.bounds[c], fi, c))
+        queue.sort(key=lambda entry: (-entry[0], entry[1], entry[2]))
+        results: "list[BatchScored]" = []
+        evaluated = pruned = 0
+        with obs_span("batch.finalize", candidates=len(queue)) as sp:
+            for position, (bound, fi, c) in enumerate(queue):
+                check_deadline()
+                if bound < self._threshold() - _PRUNE_MARGIN:
+                    pruned = len(queue) - position
+                    break
+                results.append(self.evaluate_candidate(prepared[fi], c))
+                evaluated += 1
+            sp.set(evaluated=evaluated, pruned=pruned)
+        with self._lock:
+            self.stats["evaluated"] += evaluated
+            self.stats["pruned"] += pruned
+        return results

@@ -82,6 +82,7 @@ def finalize_from_counts(
     k_prime: int,
     pruned: Sequence[RatingMapSpec] = (),
     phases_run: int = 1,
+    raw_scores: Mapping[RatingMapSpec, CriterionScores] | None = None,
 ) -> PhasedExecutionResult:
     """Score and rank candidate maps from their final histogram matrices.
 
@@ -91,12 +92,21 @@ def finalize_from_counts(
     — a phased scan, a fused candidate cube, or delta maintenance.
     ``counts_of``/``labels_of`` supply each spec's matrix and subgroup
     labels; both the phased executor and :mod:`repro.index` route here.
+
+    ``raw_scores`` lets a caller that already holds the raw criterion
+    scores (the batched family kernel of :mod:`repro.batch`) inject them
+    instead of re-running the scorer; they must equal what ``scorer``
+    would produce from ``counts_of`` — everything downstream (normalise,
+    rank, materialise) is shared either way.
     """
-    seen_pooled = seen.pooled_distributions()
-    raw = {
-        spec: scorer.score(counts_of(spec), group_size, seen_pooled)
-        for spec in specs
-    }
+    if raw_scores is not None:
+        raw = {spec: raw_scores[spec] for spec in specs}
+    else:
+        seen_pooled = seen.pooled_distributions()
+        raw = {
+            spec: scorer.score(counts_of(spec), group_size, seen_pooled)
+            for spec in specs
+        }
     dimension_of = {spec: spec.dimension for spec in raw}
     attribute_of = {spec: (spec.side, spec.attribute) for spec in raw}
     final_scores = score_candidate_set(

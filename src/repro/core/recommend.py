@@ -15,6 +15,7 @@ baseline.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
@@ -28,6 +29,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle: index builds on core
 from ..anytime.budget import effective_deadline
 from ..anytime.ladder import QualityRung, RungPlan
 from ..anytime.partial import AnytimeRecommendation, Completeness
+from ..batch.scoring import (
+    BatchScored,
+    FamilyBatchScorer,
+    FamilyPlan,
+    plan_lookup,
+    plan_units,
+    supports_batch,
+)
 from ..model.database import SubjectiveDatabase
 from ..model.groups import RatingGroup, SelectionCriteria
 from ..model.operations import Operation, enumerate_operations
@@ -113,11 +122,13 @@ class RecommendationBuilder:
         generator: RMSetGenerator,
         config: RecommenderConfig | None = None,
         index: "IndexedDatabase | None" = None,
+        batch_scoring: bool = True,
     ) -> None:
         self._database = database
         self._generator = generator
         self._config = config or RecommenderConfig()
         self._index = index
+        self._batch_scoring = bool(batch_scoring)
         if self._config.preview_uses_full_pipeline:
             self._preview_generator = generator
         else:
@@ -128,10 +139,64 @@ class RecommendationBuilder:
                     pruning=PruningStrategy.NONE,
                 )
             )
+        # shared scoring pool: created once on first parallel request and
+        # reused for the builder's lifetime (no per-request thread churn)
+        self._pool_lock = threading.Lock()
+        self._executor: ThreadPoolExecutor | None = None
+        self._batch_lock = threading.Lock()
+        self._batch_totals = {
+            "requests": 0,
+            "families": 0,
+            "candidates": 0,
+            "batched": 0,
+            "scored": 0,
+            "evaluated": 0,
+            "pruned": 0,
+            "materialized": 0,
+            "fallback": 0,
+        }
 
     @property
     def config(self) -> RecommenderConfig:
         return self._config
+
+    @property
+    def batch_scoring(self) -> bool:
+        """Whether family-batched scoring is enabled for this builder."""
+        return self._batch_scoring
+
+    def batch_stats(self) -> dict[str, int]:
+        """Lifetime family-batching counters (for ``/metrics``)."""
+        with self._batch_lock:
+            return dict(self._batch_totals)
+
+    def _merge_batch_stats(self, stats: "dict[str, int]", fallback: int) -> None:
+        with self._batch_lock:
+            self._batch_totals["requests"] += 1
+            self._batch_totals["fallback"] += fallback
+            for key in ("families", "candidates", "batched", "scored",
+                        "evaluated", "pruned", "materialized"):
+                self._batch_totals[key] += stats[key]
+
+    def _shared_pool(self) -> "ThreadPoolExecutor | None":
+        """The builder-lifetime scoring pool (``None`` when serial)."""
+        workers = self._config.workers()
+        if workers <= 1:
+            return None
+        with self._pool_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="subdex-score"
+                )
+            return self._executor
+
+    def _use_batch(self, ctx: "NeighborhoodContext | None") -> bool:
+        """Family batching needs the index context and a kernel-covered config."""
+        return (
+            ctx is not None
+            and self._batch_scoring
+            and supports_batch(self._preview_generator.config)
+        )
 
     def candidate_operations(self, current: SelectionCriteria) -> list[Operation]:
         """The enumerated (unscored) neighbourhood of ``current``."""
@@ -265,23 +330,71 @@ class RecommendationBuilder:
                     if ctx is not None:
                         return self._score_one_indexed(ctx, operation, seen)
                     return self._score_one(operation, seen, current_rows)
+
             workers = self._config.workers()
-            if workers > 1 and len(operations) > 1:
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    scored = list(pool.map(score, operations))
-            else:
-                scored = [score(op) for op in operations]
-            ranked = sorted(
-                (s for s in scored if s is not None),
-                key=lambda s: (-s.utility, s.operation.target.describe()),
+            use_batch = self._use_batch(ctx)
+            pool = (
+                self._shared_pool()
+                if workers > 1 and len(operations) > 1
+                else None
             )
+            if use_batch:
+                batch = FamilyBatchScorer(
+                    ctx, self._config, self._preview_generator, seen, o
+                )
+                units = plan_units(ctx, operations, workers)
+                families = [u for u in units if isinstance(u, FamilyPlan)]
+                residue = [
+                    op
+                    for u in units
+                    if not isinstance(u, FamilyPlan)
+                    for op in u
+                ]
+
+                def prep_rows(operation: Operation):
+                    with deadline_scope(deadline), pressure_scope(pressure), \
+                            obs_activate(trace_ctx):
+                        if deadline is not None:
+                            deadline.check()
+                        return batch.prepare_rows(operation)
+
+                if pool is not None and len(residue) > 1:
+                    rows_ready = list(pool.map(prep_rows, residue))
+                else:
+                    rows_ready = [prep_rows(op) for op in residue]
+                prepared = [ready for ready in rows_ready if ready is not None]
+                for family in families:
+                    if deadline is not None:
+                        deadline.check()
+                    ready = batch.prepare_family(family)
+                    if ready is not None:
+                        prepared.append(ready)
+                scored_count = sum(ready.n_scored for ready in prepared)
+                # one request-global queue: evaluate best-bound-first across
+                # all families and residue candidates, prune the tail in a
+                # single cut
+                scored = list(batch.finalize_prepared(prepared))
+            else:
+                if pool is not None:
+                    scored = list(pool.map(score, operations))
+                else:
+                    scored = [score(op) for op in operations]
+                scored_count = sum(1 for s in scored if s is not None)
+            ranked = self._rank(scored)
+            top = self._materialize_top(ranked, o)
+            if use_batch:
+                self._merge_batch_stats(
+                    batch.stats,
+                    fallback=len(operations) - batch.stats["candidates"],
+                )
             sp.set(
                 candidates=len(operations),
-                scored=sum(1 for s in scored if s is not None),
+                scored=scored_count,
                 indexed=ctx is not None,
-                returned=min(o, len(ranked)),
+                batched=use_batch,
+                returned=len(top),
             )
-            return ranked[:o]
+            return top
 
     # -- anytime --------------------------------------------------------------
     def _preview_for(self, plan: "RungPlan | None") -> RMSetGenerator:
@@ -396,45 +509,77 @@ class RecommendationBuilder:
 
             workers = self._config.workers()
             chunk = max(1, workers)
+            use_batch = self._use_batch(ctx)
+            batch: "FamilyBatchScorer | None" = None
+            lookup: "dict[int, tuple[FamilyPlan, int] | None] | None" = None
+            if use_batch:
+                batch = FamilyBatchScorer(
+                    ctx, self._config, preview, seen, o
+                )
+                # candidates keep their scan order (so snapshot and
+                # budget-cut boundaries match the per-candidate path);
+                # the lookup batches the arithmetic by family lazily
+                lookup = plan_lookup(ctx, operations)
+            units = [
+                operations[offset : offset + chunk]
+                for offset in range(0, len(operations), chunk)
+            ]
             scored: list[ScoredOperation | None] = []
             scanned = 0
+            scored_count = 0
             snapshots = 0
             budget_cut = False
             pool = (
-                ThreadPoolExecutor(max_workers=workers)
+                self._shared_pool()
                 if workers > 1 and len(operations) > 1
                 else None
             )
-            try:
-                for offset in range(0, len(operations), chunk):
-                    if hard is not None:
-                        hard.check()
-                    if force_cut_after is not None and snapshots >= force_cut_after:
-                        budget_cut = True
-                        break
-                    if budget is not None and budget.expired:
-                        budget_cut = True
-                        break
-                    block = operations[offset : offset + chunk]
-                    try:
-                        if pool is not None:
-                            block_scored = list(pool.map(score, block))
+            for unit in units:
+                if hard is not None:
+                    hard.check()
+                if force_cut_after is not None and snapshots >= force_cut_after:
+                    budget_cut = True
+                    break
+                if budget is not None and budget.expired:
+                    budget_cut = True
+                    break
+                try:
+                    if batch is not None:
+                        # the batch scorer checks the soft limit between
+                        # spec stacks and evaluations
+                        with deadline_scope(soft), pressure_scope(pressure), \
+                                obs_activate(trace_ctx):
+                            block_scored, block_count = (
+                                batch.score_scan_block(unit, lookup)
+                            )
+                    else:
+                        if pool is not None and len(unit) > 1:
+                            block_scored = list(pool.map(score, unit))
                         else:
-                            block_scored = [score(op) for op in block]
-                    except DeadlineExceeded:
-                        if hard is not None and hard.expired:
-                            raise  # the hard deadline, not the budget
-                        budget_cut = True
-                        break
-                    scored.extend(block_scored)
-                    scanned += len(block)
-                    snapshots += 1
-                    if on_snapshot is not None:
-                        on_snapshot(self._rank(scored)[:o])
-            finally:
-                if pool is not None:
-                    pool.shutdown(wait=False, cancel_futures=True)
+                            block_scored = [score(op) for op in unit]
+                        block_count = sum(
+                            1 for result in block_scored if result is not None
+                        )
+                except DeadlineExceeded:
+                    if hard is not None and hard.expired:
+                        raise  # the hard deadline, not the budget
+                    budget_cut = True
+                    break
+                scored.extend(block_scored)
+                scanned += len(unit)
+                scored_count += block_count
+                snapshots += 1
+                if on_snapshot is not None:
+                    on_snapshot(
+                        self._materialize_top(self._rank(scored), o)
+                    )
             ranked = self._rank(scored)
+            top = tuple(self._materialize_top(ranked, o))
+            if batch is not None:
+                self._merge_batch_stats(
+                    batch.stats,
+                    fallback=scanned - batch.stats["candidates"],
+                )
             confidence = 1.0
             if preview.config.pruning is not PruningStrategy.NONE:
                 confidence = 1.0 - preview.config.delta
@@ -442,7 +587,7 @@ class RecommendationBuilder:
                 rung=plan.rung if plan is not None else QualityRung.FULL,
                 candidates_total=total,
                 candidates_scanned=scanned,
-                candidates_scored=sum(1 for s in scored if s is not None),
+                candidates_scored=scored_count,
                 complete=not budget_cut and scanned == total,
                 pruning_confidence=confidence,
                 snapshots=snapshots,
@@ -452,19 +597,46 @@ class RecommendationBuilder:
                 candidates=total,
                 scanned=scanned,
                 complete=completeness.complete,
+                batched=use_batch,
                 snapshots=snapshots,
             )
             return AnytimeRecommendation(
-                recommendations=tuple(ranked[:o]),
+                recommendations=top,
                 completeness=completeness,
                 elapsed_seconds=time.perf_counter() - started,
             )
 
     @staticmethod
     def _rank(
-        scored: "Sequence[ScoredOperation | None]",
-    ) -> "list[ScoredOperation]":
+        scored: "Sequence[ScoredOperation | BatchScored | None]",
+    ) -> "list[ScoredOperation | BatchScored]":
+        # describe_key memoises target.describe(): anytime re-ranks after
+        # every chunk, so the tie-break string is built once per operation
         return sorted(
             (s for s in scored if s is not None),
-            key=lambda s: (-s.utility, s.operation.target.describe()),
+            key=lambda s: (-s.utility, s.operation.describe_key),
         )
+
+    @staticmethod
+    def _materialize_top(
+        ranked: "Sequence[ScoredOperation | BatchScored]", o: int
+    ) -> "list[ScoredOperation]":
+        """The top-o with previews built — batch entries materialise here.
+
+        Batch-scored candidates carry an exact utility but a lazy preview;
+        only entries that actually make a returned top-o (or an anytime
+        snapshot) pay for ``generate_from_counts``.  Materialisation is
+        cached on the entry, so repeated snapshots re-use it.
+        """
+        top: "list[ScoredOperation]" = []
+        for entry in ranked:
+            if len(top) >= o:
+                break
+            if isinstance(entry, BatchScored):
+                final = entry.materialize()
+                if final is None:  # pragma: no cover - pool ⇒ selected
+                    continue
+                top.append(final)
+            else:
+                top.append(entry)
+        return top

@@ -210,8 +210,18 @@ class NeighborhoodContext:
                 self._cubes[key] = cube
             return cube
 
-    def candidate(self, operation: Operation) -> "_CubeCandidate | _RowsCandidate":
-        """The cheapest exact statistics view of one candidate operation."""
+    def filter_route(
+        self, operation: Operation
+    ) -> "tuple[CandidateCube, int | None] | None":
+        """The fused-cube route of a clean single-added-pair FILTER.
+
+        Returns the family cube and the added value's code (``None`` code =
+        out-of-domain value, an empty candidate), or ``None`` when the
+        operation is not cube-servable (GENERALIZE/CHANGE/compound edits,
+        multi-valued attributes, over-budget cubes) and must take the
+        posting-list path.  The batched family scorer groups candidates by
+        this route.
+        """
         target = operation.target
         parent_pairs = self._parent.criteria.pairs
         added = tuple(target.pairs - parent_pairs)
@@ -220,11 +230,21 @@ class NeighborhoodContext:
             pair = added[0]
             cube = self.cube(pair.side, pair.attribute)
             if cube is not None:
-                self._index._bump("candidates_cube")
-                return _CubeCandidate(
-                    cube, cube.axis.code_of(pair.value), target
-                )
-        return _RowsCandidate(self, target)
+                return cube, cube.axis.code_of(pair.value)
+        return None
+
+    def count_cube_candidates(self, n: int) -> None:
+        """Attribute ``n`` cube-served candidates to the index counters."""
+        self._index._bump("candidates_cube", n)
+
+    def candidate(self, operation: Operation) -> "_CubeCandidate | _RowsCandidate":
+        """The cheapest exact statistics view of one candidate operation."""
+        route = self.filter_route(operation)
+        if route is not None:
+            cube, code = route
+            self._index._bump("candidates_cube")
+            return _CubeCandidate(cube, code, operation.target)
+        return _RowsCandidate(self, operation.target)
 
 
 class _CubeCandidate:

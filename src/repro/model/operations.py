@@ -10,6 +10,7 @@ supported behind a flag).
 from __future__ import annotations
 
 import enum
+import functools
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -49,6 +50,19 @@ class Operation:
             parts.append("drop " + ", ".join(repr(p) for p in self.removed))
         edit = "; ".join(parts) if parts else "no-op"
         return f"{self.kind.value}: {edit} → {self.target.describe()}"
+
+    @functools.cached_property
+    def describe_key(self) -> str:
+        """The target's description, memoised for ranking tie-breaks.
+
+        Recommendation ranking sorts by ``(-utility, target.describe())``;
+        anytime snapshots re-rank after every chunk, so rebuilding the
+        description string per sort adds up.  ``cached_property`` stores
+        the string in the instance ``__dict__`` directly, which works on a
+        frozen dataclass (no ``__setattr__`` involved) and stays out of
+        field-based equality/hashing.
+        """
+        return self.target.describe()
 
     def __repr__(self) -> str:
         return f"Operation({self.describe()})"

@@ -329,6 +329,9 @@ class EnginePool:
             index = engine.engine.index
             if index is not None:
                 snapshots[name]["index"] = index.stats()
+            snapshots[name]["batch"] = (
+                engine.engine.recommender.batch_stats()
+            )
         return snapshots
 
     def breaker_snapshots(self) -> dict[str, Any]:
@@ -1564,6 +1567,11 @@ class SubDExServer(ThreadingHTTPServer):
             "counter",
             "Sufficient-statistic index events by dataset and kind.",
         )
+        batch_events = MetricFamily(
+            "subdex_batch_events_total",
+            "counter",
+            "Family-batched scoring events by dataset and kind.",
+        )
         for dataset, snapshot in self.pool.cache_snapshots().items():
             for cache in ("group", "result"):
                 for kind in ("hits", "misses", "evictions"):
@@ -1595,8 +1603,11 @@ class SubDExServer(ThreadingHTTPServer):
                     index_events.add(
                         postings[kind], dataset=dataset, kind=f"postings_{kind}"
                     )
+            for kind, value in snapshot.get("batch", {}).items():
+                batch_events.add(value, dataset=dataset, kind=kind)
         families.append(caches)
         families.append(index_events)
+        families.append(batch_events)
 
         breaker_state = MetricFamily(
             "subdex_breaker_open",

@@ -1,0 +1,126 @@
+"""Fused family kernel vs its per-spec reference, bit for bit.
+
+``batch_family_scores`` documents a bitwise contract against the per-spec
+``batch_raw_scores`` assembly (itself validated against the scalar scorer
+by the equivalence suite): the fused ``reduceat``/grouped-matvec pass must
+reproduce every criterion column exactly, including NaN-free zeros for
+inactive (sub-support) candidate/spec pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch.kernel import (
+    _family_scores_by_spec,
+    batch_dw_column,
+    batch_family_dw,
+    batch_family_scores,
+    batch_raw_scores,
+)
+from repro.core.utility import UtilityConfig
+
+
+def _random_family(rng, n, scale=5, n_specs=4, sparse=0.3):
+    """Random per-spec count stacks with empty rows and tiny groups."""
+    stacks = []
+    for __ in range(n_specs):
+        n_groups = int(rng.integers(2, 7))
+        stack = rng.integers(0, 12, size=(n, n_groups, scale))
+        stack[rng.random(stack.shape) < sparse] = 0
+        # a few fully-empty subgroup rows and one empty candidate
+        stack[:, int(rng.integers(n_groups))] = 0
+        stack[int(rng.integers(n))] = 0
+        stacks.append(stack.astype(np.int64))
+    # group sizes dominate every spec's histogram total (missing values
+    # only ever shrink a histogram relative to its group)
+    group_sizes = rng.integers(1, 40, size=n) + np.stack(
+        [stack.sum(axis=(1, 2)) for stack in stacks]
+    ).max(axis=0)
+    return stacks, group_sizes.astype(np.int64)
+
+
+@pytest.mark.parametrize("trial", range(20))
+def test_fused_scores_match_per_spec_reference(trial):
+    rng = np.random.default_rng(trial)
+    n = int(rng.integers(1, 9))
+    stacks, group_sizes = _random_family(
+        rng, n, n_specs=int(rng.integers(1, 6))
+    )
+    seen = (
+        None
+        if trial % 3 == 0
+        else rng.dirichlet(np.ones(5), size=int(rng.integers(1, 4)))
+    )
+    min_support = int(rng.integers(1, 6))
+    fused = batch_family_scores(stacks, group_sizes, seen, min_support, True)
+    reference = _family_scores_by_spec(
+        stacks, group_sizes, seen, min_support, True
+    )
+    for column in (
+        "conciseness",
+        "agreement",
+        "pec_self",
+        "pec_global",
+        "n_subgroups",
+        "informative",
+    ):
+        np.testing.assert_array_equal(
+            getattr(fused, column), getattr(reference, column), err_msg=column
+        )
+
+
+def test_family_dw_matches_per_spec_columns():
+    rng = np.random.default_rng(7)
+    stacks, group_sizes = _random_family(rng, 6, n_specs=5)
+    seen = rng.dirichlet(np.ones(5), size=2)
+    config = UtilityConfig()
+    scores = batch_family_scores(stacks, group_sizes, seen, 5, True)
+    weights = rng.uniform(0.2, 1.5, size=5)
+    dw = batch_family_dw(scores, weights, config)
+    assert dw.shape == (6, 5)
+    for j, stack in enumerate(stacks):
+        column = batch_raw_scores(stack, group_sizes, seen, 5, True)
+        np.testing.assert_array_equal(
+            dw[:, j], batch_dw_column(column, float(weights[j]), config)
+        )
+
+
+def test_degenerate_shapes():
+    config_sizes = np.array([10, 20], dtype=np.int64)
+    # no specs at all
+    empty = batch_family_scores([], config_sizes, None, 5, True)
+    assert empty.conciseness.shape == (2, 0)
+    assert batch_family_dw(empty, np.zeros(0), UtilityConfig()).shape == (2, 0)
+    # a zero-group spec routes through the per-spec fallback
+    stacks = [
+        np.zeros((2, 0, 5), dtype=np.int64),
+        np.ones((2, 3, 5), dtype=np.int64),
+    ]
+    scores = batch_family_scores(stacks, config_sizes, None, 5, True)
+    assert scores.conciseness.shape == (2, 2)
+    assert not scores.informative[:, 0].any()
+    assert scores.informative[:, 1].all()
+    # no candidates
+    none = batch_family_scores(
+        [np.zeros((0, 3, 5), dtype=np.int64)], np.zeros(0, dtype=np.int64),
+        None, 5, True,
+    )
+    assert none.conciseness.shape == (0, 1)
+
+
+def test_zeroed_candidates_score_zero():
+    """A candidate with every row below support gets zero everywhere but
+    stays informative when two rows hold any ratings at all."""
+    stack = np.zeros((1, 3, 5), dtype=np.int64)
+    stack[0, 0, 0] = 1
+    stack[0, 1, 1] = 1
+    scores = batch_family_scores(
+        [stack], np.array([100], dtype=np.int64), None, 5, True
+    )
+    assert scores.informative[0, 0]  # two non-empty rows
+    assert scores.n_subgroups[0, 0] == 0  # but neither passes support
+    assert scores.agreement[0, 0] == 0.0
+    assert scores.pec_self[0, 0] == 0.0
+    assert scores.conciseness[0, 0] == 0.0

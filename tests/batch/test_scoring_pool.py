@@ -1,0 +1,55 @@
+"""The scoring thread pool is hoisted: one pool per builder, ever.
+
+Regression guard for per-request executor churn: under parallel scoring
+(8 workers here) a burst of requests must construct exactly one
+``ThreadPoolExecutor`` and never leave more than ``max_workers`` live
+``subdex-score`` threads behind.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import repro.core.recommend as recommend_module
+
+
+def _live_score_threads() -> list[threading.Thread]:
+    return [
+        thread
+        for thread in threading.enumerate()
+        if thread.name.startswith("subdex-score")
+    ]
+
+
+def test_no_thread_churn_across_requests(
+    batch_db_factory, batch_engine_factory, monkeypatch
+):
+    created: list[str] = []
+
+    class CountingExecutor(ThreadPoolExecutor):
+        def __init__(self, *args, **kwargs):
+            created.append(kwargs.get("thread_name_prefix", ""))
+            super().__init__(*args, **kwargs)
+
+    monkeypatch.setattr(
+        recommend_module, "ThreadPoolExecutor", CountingExecutor
+    )
+    before = len(_live_score_threads())
+    engine = batch_engine_factory(
+        batch_db_factory(seed=1, name="pooldb"), max_workers=8
+    )
+    session = engine.session()
+    session.step(with_recommendations=False)
+    for __ in range(20):
+        recommendations = session.recommendations(o=3)
+        assert recommendations
+        # anytime shares the same hoisted pool
+        session.recommendations_anytime(o=3)
+    assert created == ["subdex-score"]
+    assert len(_live_score_threads()) - before <= 8
+    # and the builder hands back the same executor object every time
+    assert (
+        engine.recommender._shared_pool()
+        is engine.recommender._shared_pool()
+    )

@@ -112,3 +112,16 @@ class TestApplyOperation:
         )
         assert "add" in op.describe()
         assert "city" in op.describe()
+
+    def test_describe_key_is_memoised(self):
+        from repro.model.operations import Operation
+
+        pair = AVPair(Side.ITEM, "city", "NYC")
+        op = Operation(SelectionCriteria([pair]), OperationKind.FILTER)
+        assert "describe_key" not in vars(op)
+        key = op.describe_key
+        assert key == op.target.describe()
+        # cached_property lands in the instance __dict__ despite the
+        # frozen dataclass, so repeat access returns the same object
+        assert "describe_key" in vars(op)
+        assert op.describe_key is key
