@@ -1,0 +1,241 @@
+"""IDEBench-style macro-workload bench reporting against the live SLOs.
+
+Simulates a user population (Poisson session arrivals, think time, the
+paper's three exploration modes, anytime ``budget_ms`` callers) against
+an in-process server, then answers the question the micro-benches
+can't: **is the system fast *enough*, as deployed, under realistic
+load?**  Reported per deployment shape (single-process and
+``--workers 2`` cluster):
+
+* time-to-insight p50/p95 — wall seconds until a simulated user has
+  applied ``insight_steps`` recommendations;
+* SLO attainment straight from ``GET /slo`` (availability, latency
+  attainment, shed/degraded rates per endpoint class);
+* ``slo_match`` — the acceptance cross-check: the server's scorecard
+  recomputed offline from the driver's own request log (same
+  evaluation math, independent tally) must agree within 1%.
+
+Environment knobs (the CI quick profile keeps wall time small):
+
+* ``REPRO_MACRO_DURATION`` — arrival window seconds (default 4);
+* ``REPRO_MACRO_WORKERS`` — deployment shapes (default ``0,2``);
+* ``REPRO_MACRO_RATE`` — session arrivals per second (default 3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import threading
+
+from repro.bench import (
+    Metric,
+    bench_database,
+    bench_recommender_config,
+    format_table,
+    report,
+)
+from repro.core.engine import SubDEx, SubDExConfig
+from repro.server import ServerConfig, SubDExClient, build_server
+from repro.slo import load_slo_config
+from repro.workload import (
+    MacroWorkloadDriver,
+    WorkloadProfile,
+    compare_scorecards,
+    time_to_insight_summary,
+)
+
+
+def _duration() -> float:
+    return float(os.environ.get("REPRO_MACRO_DURATION", "4"))
+
+
+def _rate() -> float:
+    return float(os.environ.get("REPRO_MACRO_RATE", "3"))
+
+
+def _worker_counts() -> list[int]:
+    raw = os.environ.get("REPRO_MACRO_WORKERS", "0,2")
+    return [int(part) for part in raw.replace(" ", ",").split(",") if part]
+
+
+def _profile() -> WorkloadProfile:
+    return WorkloadProfile(
+        duration_seconds=_duration(),
+        arrival_rate_per_second=_rate(),
+        mean_think_seconds=0.02,
+        seed=11,
+    )
+
+
+def _run_population(workers: int) -> dict:
+    """One deployment shape: server up, population through, scorecards."""
+    database = bench_database("yelp")
+    factory = lambda: SubDEx(  # noqa: E731
+        database, SubDExConfig(recommender=bench_recommender_config())
+    )
+    server = build_server(
+        {"yelp": factory},
+        port=0,
+        config=ServerConfig(max_sessions=64, workers=workers),
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        driver = MacroWorkloadDriver(server.url, _profile())
+        result = driver.run()
+        with SubDExClient(server.url) as client:
+            scorecard = client.slo()
+    finally:
+        if workers:
+            server.graceful_shutdown(drain_seconds=10.0)
+        else:
+            server.shutdown()
+            server.server_close()
+    comparison = compare_scorecards(
+        load_slo_config(None), scorecard, result.records
+    )
+    return {
+        "workers": workers,
+        "result": result,
+        "scorecard": scorecard,
+        "comparison": comparison,
+        "insight": time_to_insight_summary(result.outcomes),
+    }
+
+
+def _overall_rates(records) -> dict:
+    observed = [r for r in records if r.observed]
+    total = len(observed)
+    if not total:
+        return {"availability": 0.0, "shed_rate": 0.0, "degraded_rate": 0.0}
+    return {
+        "availability": sum(1 for r in observed if r.status < 500) / total,
+        "shed_rate": sum(1 for r in observed if r.shed) / total,
+        "degraded_rate": sum(1 for r in observed if r.degraded) / total,
+    }
+
+
+def _report(runs: list[dict]) -> tuple[str, dict, dict]:
+    rows = []
+    metrics: dict[str, object] = {}
+    for run in runs:
+        n = run["workers"]
+        records = run["result"].records
+        rates = _overall_rates(records)
+        insight = run["insight"]
+        comparison = run["comparison"]
+        match = 1.0 if comparison["match"] else 0.0
+        rows.append(
+            [
+                f"workers={n}",
+                float(len(records)),
+                rates["availability"],
+                insight["p50_seconds"] or float("nan"),
+                insight["p95_seconds"] or float("nan"),
+                rates["shed_rate"],
+                rates["degraded_rate"],
+                match,
+            ]
+        )
+        prefix = f"w{n}_"
+        metrics[prefix + "requests_total"] = Metric(
+            len(records), unit="requests", higher_is_better=None
+        )
+        metrics[prefix + "availability"] = Metric(
+            rates["availability"],
+            unit="ratio",
+            higher_is_better=True,
+            portable=True,
+        )
+        metrics[prefix + "slo_match"] = Metric(
+            match, unit="ratio", higher_is_better=True, portable=True
+        )
+        metrics[prefix + "shed_rate"] = Metric(
+            rates["shed_rate"], unit="ratio", higher_is_better=None
+        )
+        metrics[prefix + "degraded_rate"] = Metric(
+            rates["degraded_rate"], unit="ratio", higher_is_better=None
+        )
+        if insight["p50_seconds"] is not None:
+            metrics[prefix + "tti_p50_s"] = Metric(
+                insight["p50_seconds"], unit="s", higher_is_better=False
+            )
+        if insight["p95_seconds"] is not None:
+            metrics[prefix + "tti_p95_s"] = Metric(
+                insight["p95_seconds"], unit="s", higher_is_better=False
+            )
+    text = (
+        "== Macro workload: simulated population vs. live SLOs ==\n"
+        + format_table(
+            [
+                "deployment",
+                "requests",
+                "availability",
+                "tti p50 (s)",
+                "tti p95 (s)",
+                "shed",
+                "degraded",
+                "slo match",
+            ],
+            rows,
+            "{:.4f}",
+        )
+    )
+    config = {
+        "duration_seconds": _duration(),
+        "arrival_rate_per_second": _rate(),
+        "workers": [run["workers"] for run in runs],
+        "cpu_count": os.cpu_count(),
+    }
+    return text, metrics, config
+
+
+def _check(runs: list[dict]) -> None:
+    for run in runs:
+        comparison = run["comparison"]
+        assert comparison["match"], (
+            f"workers={run['workers']}: server /slo disagrees with the "
+            f"offline recomputation: {comparison['mismatches'][:3]} "
+            f"(max delta {comparison['max_delta']:.4f})"
+        )
+        assert comparison["checked"] >= 1, "no traffic class was compared"
+        assert run["result"].unobserved == 0, (
+            f"{run['result'].unobserved} requests got no HTTP response"
+        )
+        if run["workers"]:
+            cluster = run["scorecard"].get("cluster") or {}
+            assert cluster.get("workers"), "cluster run reported no workers"
+            fleet = (cluster.get("fleet") or {}).get("classes") or {}
+            assert fleet, "cluster run reported an empty fleet scorecard"
+
+
+def test_macro_workload(benchmark):
+    counts = _worker_counts()
+    runs = benchmark.pedantic(
+        lambda: [_run_population(n) for n in counts], rounds=1, iterations=1
+    )
+    text, metrics, config = _report(runs)
+    report("macro_workload", text, metrics=metrics, config=config)
+    _check(runs)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="*",
+        default=None,
+        help="deployment shapes to drive (default from REPRO_MACRO_WORKERS)",
+    )
+    arguments = parser.parse_args()
+    counts = arguments.workers or _worker_counts()
+    runs = [_run_population(n) for n in counts]
+    text, metrics, config = _report(runs)
+    report("macro_workload", text, metrics=metrics, config=config)
+    _check(runs)
+
+
+if __name__ == "__main__":
+    main()

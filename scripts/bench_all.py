@@ -51,6 +51,7 @@ QUICK_SUITE = (
     "bench_ablation_sharing.py",
     "bench_ablation_sampling.py",
     "bench_anytime.py",
+    "bench_macro_workload.py",
 )
 
 

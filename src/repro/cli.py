@@ -258,6 +258,13 @@ def cmd_serve(args: argparse.Namespace, out=None) -> int:
         )
     if args.workers < 0:
         raise CLIError(f"--workers must be >= 0, got {args.workers}")
+    if args.slo_config is not None:
+        from .slo import load_slo_config
+
+        try:
+            load_slo_config(args.slo_config)
+        except (OSError, ValueError) as error:
+            raise CLIError(f"--slo-config: {error}")
     if args.shards is not None and args.shards < 1:
         raise CLIError(f"--shards must be >= 1, got {args.shards}")
     config = ServerConfig(
@@ -273,6 +280,8 @@ def cmd_serve(args: argparse.Namespace, out=None) -> int:
         slow_request_ms=args.slow_request_ms,
         workers=args.workers,
         shards=args.shards,
+        slo_enabled=not args.no_slo,
+        slo_config_path=args.slo_config,
     )
     return serve(factories, host=args.host, port=args.port, config=config, out=out)
 
@@ -421,6 +430,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--slow-request-ms", type=float, default=1000.0,
                          help="log requests slower than this at WARNING with "
                               "their span tree (0 logs everything)")
+    p_serve.add_argument("--slo-config", default=None,
+                         help="JSON file overriding the shipped SLO "
+                              "objectives/endpoint classes (GET /slo; see "
+                              "docs/OBSERVABILITY.md)")
+    p_serve.add_argument("--no-slo", action="store_true",
+                         help="disable SLO tracking (GET /slo answers "
+                              "enabled: false)")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_profile = sub.add_parser(

@@ -135,6 +135,7 @@ class WorkerPool:
         checkpoint_dir: str | None = None,
         checkpoint_interval_seconds: float = 30.0,
         tracing_enabled: bool = True,
+        slo_config: Mapping[str, Any] | None = None,
     ) -> None:
         if not datasets:
             raise ValueError("WorkerPool needs at least one dataset")
@@ -148,6 +149,7 @@ class WorkerPool:
         self._checkpoint_dir = checkpoint_dir
         self._checkpoint_interval_seconds = checkpoint_interval_seconds
         self._tracing_enabled = tracing_enabled
+        self._slo_config = dict(slo_config) if slo_config is not None else None
         self.shard_map = ShardMap(self.config.n_shards)
         self.ring = HashRing(self.config.workers)
         self.segments = SegmentRegistry()
@@ -216,6 +218,7 @@ class WorkerPool:
             checkpoint_dir=self._checkpoint_dir,
             checkpoint_interval_seconds=self._checkpoint_interval_seconds,
             tracing_enabled=self._tracing_enabled,
+            slo_config=self._slo_config,
         )
 
     def _spawn(self, handle: _WorkerHandle) -> None:
@@ -545,6 +548,22 @@ class WorkerPool:
                 "stats", {"limit": limit}, timeout
             ).items()
         }
+
+    def slo_totals(
+        self, timeout: float = 1.0
+    ) -> dict[int, dict[str, Any] | None]:
+        """Best-effort per-worker SLO window scrape (None = unreachable).
+
+        Returns each reachable worker's per-class per-window raw counts;
+        the front merges them by addition into the fleet scorecard (the
+        math lives in :func:`repro.slo.tracker.scorecard_from_totals`).
+        """
+        out: dict[int, dict[str, Any] | None] = {}
+        for index, payload in self._scrape_all("slo", {}, timeout).items():
+            out[index] = (
+                payload.get("totals") if payload is not None else None
+            )
+        return out
 
     def live_sessions(self, timeout: float = 2.0) -> list[dict[str, Any]]:
         """Merge every reachable worker's session list (for GET /sessions)."""

@@ -74,6 +74,7 @@ from ..server.registry import (
     SessionRegistry,
     UnknownSessionError,
 )
+from ..slo import SLOConfig, SLOTracker
 from . import ipc
 from .merge import partial_scan
 from .partition import ShardMap, attach_database
@@ -105,6 +106,10 @@ class WorkerSpec:
     checkpoint_dir: str | None = None
     checkpoint_interval_seconds: float = 30.0
     tracing_enabled: bool = True
+    #: JSON form of the front's :class:`~repro.slo.SLOConfig`; ``None``
+    #: disables per-worker SLO windows (the front still tracks HTTP-level
+    #: SLOs itself).
+    slo_config: Mapping[str, Any] | None = None
 
 
 class WorkerApp:
@@ -150,6 +155,11 @@ class WorkerApp:
         #: polls after the restart answer a typed ``refinement_lost``.
         self.ladder = QualityLadder()
         self.refinements = RefinementStore()
+        #: per-worker SLO windows over op traffic, scraped by the front's
+        #: GET /slo and merged by addition into the fleet scorecard
+        self.slo: SLOTracker | None = None
+        if spec.slo_config is not None:
+            self.slo = SLOTracker(SLOConfig.from_json(spec.slo_config))
 
     # -- engines -------------------------------------------------------------
     def engine(self, dataset: str) -> CachingEngine:
@@ -251,11 +261,25 @@ class WorkerApp:
             except Exception as error:  # noqa: BLE001 - mapped to envelopes
                 status, reply = self._error_envelope(error)
             root.set(status=status)
+        elapsed = time.perf_counter() - started
+        # supervision chatter (heartbeats, scrapes) would drown the ops
+        # class; only real work feeds the worker's SLO windows
+        if self.slo is not None and op not in ("ping", "stats", "slo"):
+            degraded = False
+            rung = None
+            if isinstance(reply, dict):
+                degraded = bool(reply.get("degraded"))
+                quality = reply.get("quality")
+                if isinstance(quality, dict):
+                    rung = quality.get("rung")
+            self.slo.ingest(
+                op, status, elapsed, degraded=degraded, rung=rung, op=True
+            )
         return {
             "status": status,
             "payload": reply,
             "worker": self.spec.index,
-            "server_ms": (time.perf_counter() - started) * 1000.0,
+            "server_ms": elapsed * 1000.0,
         }
 
     @staticmethod
@@ -308,6 +332,13 @@ class WorkerApp:
         if self.checkpointer is not None:
             stats["checkpoints"] = self.checkpointer.counters()
         return 200, stats
+
+    def op_slo(self, payload: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+        """This worker's SLO window counts (merged at the front by addition)."""
+        return 200, {
+            "worker": self.spec.index,
+            "totals": self.slo.totals() if self.slo is not None else None,
+        }
 
     def op_shutdown(
         self, payload: Mapping[str, Any]

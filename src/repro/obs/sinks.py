@@ -18,6 +18,7 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import time
 from collections import deque
 from typing import Any
 
@@ -111,28 +112,82 @@ def render_tree(node: dict[str, Any], indent: int = 0) -> str:
 
 
 class SlowTraceLog:
-    """Log traces slower than ``threshold_ms`` at WARNING with their tree."""
+    """Log traces slower than ``threshold_ms`` at WARNING with their tree.
+
+    Emission is rate-limited with one token bucket **per operation** (the
+    root span's ``route`` attribute when present, else its name): each
+    operation may log ``burst`` trees back-to-back, refilling at
+    ``rate_per_second`` — so a saturated workload where *every* request is
+    slow cannot flood the log sink.  First-and-counts semantics: the
+    first slow trace of an operation always logs (the bucket starts
+    full), suppressed occurrences are counted, and the next permitted
+    line carries ``suppressed=N`` so nothing disappears silently.
+    """
 
     def __init__(
         self,
         threshold_ms: float,
         logger: logging.Logger | None = None,
+        rate_per_second: float = 0.5,
+        burst: int = 5,
+        clock=time.monotonic,
     ) -> None:
         if threshold_ms < 0:
             raise ValueError(f"threshold_ms must be >= 0, got {threshold_ms}")
+        if rate_per_second <= 0:
+            raise ValueError(
+                f"rate_per_second must be > 0, got {rate_per_second}"
+            )
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
         self.threshold_ms = float(threshold_ms)
+        self.rate_per_second = float(rate_per_second)
+        self.burst = int(burst)
+        self._clock = clock
         self._logger = logger or logging.getLogger("repro.obs.slow")
+        self._lock = threading.Lock()
+        #: operation → [tokens, last_refill, suppressed_since_last_log]
+        self._buckets: dict[str, list[float]] = {}
         self.slow_traces = 0
+        self.suppressed_total = 0
+
+    def _operation(self, trace: Trace) -> str:
+        route = trace.root.attributes.get("route")
+        return str(route) if route else trace.root.name
 
     def __call__(self, trace: Trace) -> None:
         if trace.duration_ms < self.threshold_ms:
             return
-        self.slow_traces += 1
+        operation = self._operation(trace)
+        now = self._clock()
+        with self._lock:
+            self.slow_traces += 1
+            bucket = self._buckets.get(operation)
+            if bucket is None:
+                bucket = self._buckets[operation] = [float(self.burst), now, 0.0]
+            tokens, last, suppressed = bucket
+            tokens = min(
+                float(self.burst),
+                tokens + (now - last) * self.rate_per_second,
+            )
+            if tokens < 1.0:
+                bucket[0] = tokens
+                bucket[1] = now
+                bucket[2] = suppressed + 1.0
+                self.suppressed_total += 1
+                return
+            bucket[0] = tokens - 1.0
+            bucket[1] = now
+            bucket[2] = 0.0
+        suffix = (
+            f" suppressed={int(suppressed)}" if suppressed else ""
+        )
         self._logger.warning(
-            "slow request %s: %s took %.1fms (threshold %.0fms)\n%s",
+            "slow request %s: %s took %.1fms (threshold %.0fms)%s\n%s",
             trace.trace_id,
             trace.root.name,
             trace.duration_ms,
             self.threshold_ms,
+            suffix,
             render_tree(trace.tree()),
         )

@@ -26,16 +26,20 @@ anything traced.  ``summary()`` renders the table for
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from collections import deque
 from typing import Any, Mapping
 
-from ..obs.metrics import MetricFamily
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricFamily
 from ..obs.tracing import Trace
 
 __all__ = ["SpanStatsSink", "percentile", "tree_costs"]
 
 #: Inclusive-duration observations kept per span name for percentiles.
 DEFAULT_RESERVOIR = 512
+
+#: Histogram bounds (seconds) for the inclusive-duration export.
+BUCKET_BOUNDS: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
 
 
 def percentile(samples: list[float], q: float) -> float | None:
@@ -60,7 +64,14 @@ def percentile(samples: list[float], q: float) -> float | None:
 class _OpStats:
     """Accumulated cost of one span name."""
 
-    __slots__ = ("count", "errors", "inclusive", "exclusive", "reservoir")
+    __slots__ = (
+        "count",
+        "errors",
+        "inclusive",
+        "exclusive",
+        "reservoir",
+        "buckets",
+    )
 
     def __init__(self, reservoir_size: int) -> None:
         self.count = 0
@@ -68,6 +79,9 @@ class _OpStats:
         self.inclusive = 0.0  # seconds
         self.exclusive = 0.0  # seconds
         self.reservoir: deque[float] = deque(maxlen=reservoir_size)
+        # per-bound observation counts (+1 overflow slot); cumulated only
+        # at collect() time so the hot path is a single increment
+        self.buckets = [0] * (len(BUCKET_BOUNDS) + 1)
 
     def snapshot(self, name: str) -> dict[str, Any]:
         samples = list(self.reservoir)
@@ -129,6 +143,7 @@ class SpanStatsSink:
                     0.0, inclusive - child_seconds.get(span.span_id, 0.0)
                 )
                 stats.reservoir.append(inclusive)
+                stats.buckets[bisect_left(BUCKET_BOUNDS, inclusive)] += 1
 
     def reset(self) -> None:
         with self._lock:
@@ -148,10 +163,19 @@ class SpanStatsSink:
         return {"traces_seen": traces_seen, "operations": rows}
 
     def collect(self) -> list[MetricFamily]:
-        """Registry collector: span cost gauges/counters by operation."""
+        """Registry collector: span cost counters and a true histogram.
+
+        ``subdex_span_seconds`` is exported as a cumulative Prometheus
+        histogram (``_bucket``/``_sum``/``_count``) so tails can be
+        aggregated across processes and over time; the reservoir-derived
+        p50/p95 remain available as ``subdex_span_quantile_seconds``
+        gauges for quick eyeballing, clearly separated from the
+        aggregatable series.
+        """
         with self._lock:
             snapshots = [
-                stats.snapshot(name) for name, stats in sorted(self._ops.items())
+                (stats.snapshot(name), list(stats.buckets))
+                for name, stats in sorted(self._ops.items())
             ]
         counts = MetricFamily(
             "subdex_span_count_total",
@@ -173,22 +197,40 @@ class SpanStatsSink:
             "counter",
             "Total exclusive (self) span time by operation.",
         )
-        quantiles = MetricFamily(
+        histogram = MetricFamily(
             "subdex_span_seconds",
+            "histogram",
+            "Inclusive span duration histogram by operation.",
+        )
+        quantiles = MetricFamily(
+            "subdex_span_quantile_seconds",
             "gauge",
             "Recent inclusive span duration quantiles by operation.",
         )
-        for row in snapshots:
+        for row, buckets in snapshots:
             name = row["name"]
             counts.add(row["count"], name=name)
             errors.add(row["errors"], name=name)
             inclusive.add(row["inclusive_ms"] / 1000.0, name=name)
             exclusive.add(row["exclusive_ms"] / 1000.0, name=name)
+            cumulative = 0
+            for bound, bucket_count in zip(BUCKET_BOUNDS, buckets):
+                cumulative += bucket_count
+                histogram.add(
+                    cumulative, suffix="_bucket", name=name, le=f"{bound:g}"
+                )
+            histogram.add(
+                row["count"], suffix="_bucket", name=name, le="+Inf"
+            )
+            histogram.add(
+                row["inclusive_ms"] / 1000.0, suffix="_sum", name=name
+            )
+            histogram.add(row["count"], suffix="_count", name=name)
             for q in ("p50", "p95"):
                 value = row[f"{q}_ms"]
                 if value is not None:
                     quantiles.add(value / 1000.0, name=name, quantile=q)
-        return [counts, errors, inclusive, exclusive, quantiles]
+        return [counts, errors, inclusive, exclusive, histogram, quantiles]
 
 
 def tree_costs(tree: Mapping[str, Any]) -> list[dict[str, Any]]:

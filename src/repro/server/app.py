@@ -95,6 +95,8 @@ from ..anytime import (
     parse_budget_ms,
 )
 from ..resilience.deadline import Deadline, DeadlineExceeded, deadline_scope
+from ..slo import SLOTracker, load_slo_config, merge_worker_totals
+from ..slo.tracker import scorecard_from_totals
 from ..resilience.faults import FaultPlan, InjectedFault
 from ..resilience.gate import (
     AdmissionGate,
@@ -199,6 +201,13 @@ class ServerConfig:
     #: Bounds of the background refinement-job store.
     refinement_capacity: int = 64
     refinement_ttl_seconds: float = 600.0
+    #: SLO tracking: per-endpoint-class objectives scored over rolling
+    #: 1m/5m/1h windows, served at ``GET /slo`` and as ``subdex_slo_*``
+    #: metric families, with burn-rate threshold events in the log.
+    slo_enabled: bool = True
+    #: Optional ``--slo-config`` JSON file overriding the shipped
+    #: objectives/route classes (see docs/OBSERVABILITY.md).
+    slo_config_path: str | None = None
 
 
 class DatasetLoadError(ReproError):
@@ -347,6 +356,8 @@ _ROUTES: list[tuple[str, re.Pattern, str, str, Priority]] = [
     ("GET", re.compile(r"^/health$"), "handle_health", "GET /health",
      Priority.CRITICAL),
     ("GET", re.compile(r"^/metrics$"), "handle_metrics", "GET /metrics",
+     Priority.CRITICAL),
+    ("GET", re.compile(r"^/slo$"), "handle_slo", "GET /slo",
      Priority.CRITICAL),
     ("GET", re.compile(r"^/debug/traces$"), "handle_debug_traces",
      "GET /debug/traces", Priority.CRITICAL),
@@ -499,6 +510,30 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
         # record before sending so a client that has the response in hand
         # is guaranteed to see its own request on a follow-up /metrics read
         self.server.metrics.observe(label or "<unmatched>", status, elapsed)
+        slo = self.server.slo
+        if slo is not None:
+            shed = False
+            degraded = False
+            rung = None
+            if isinstance(payload, dict):
+                error = payload.get("error")
+                shed = (
+                    status == 503
+                    and isinstance(error, dict)
+                    and error.get("code") == "overloaded"
+                )
+                degraded = bool(payload.get("degraded"))
+                quality = payload.get("quality")
+                if isinstance(quality, dict):
+                    rung = quality.get("rung")
+            slo.ingest(
+                label or "<unmatched>",
+                status,
+                elapsed,
+                shed=shed,
+                degraded=degraded,
+                rung=rung,
+            )
         self._send(status, payload, headers)
 
     def _incoming_trace_id(self) -> str | None:
@@ -789,6 +824,39 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
         if self.server.cluster is not None:
             payload["cluster"] = {
                 "workers": self.server.cluster.worker_states()
+            }
+        return 200, payload
+
+    def handle_slo(self) -> tuple[int, dict[str, Any]]:
+        """The SLO scorecard: attainment, budgets, burn rates per class.
+
+        In cluster mode the front's own tracker (which sees every HTTP
+        request) stays the primary scorecard; the per-worker op windows
+        are scraped best-effort and merged by addition into a ``fleet``
+        aggregate so per-worker skew is visible from one endpoint.
+        """
+        slo = self.server.slo
+        if slo is None:
+            return 200, {"enabled": False}
+        payload = slo.scorecard()
+        payload["enabled"] = True
+        cluster = self.server.cluster
+        if cluster is not None:
+            worker_totals = cluster.slo_totals()
+            reachable = {
+                index: totals
+                for index, totals in worker_totals.items()
+                if totals is not None
+            }
+            payload["cluster"] = {
+                "workers": sorted(reachable),
+                "unreachable": sorted(
+                    set(worker_totals) - set(reachable)
+                ),
+                "fleet": scorecard_from_totals(
+                    slo.config,
+                    merge_worker_totals(reachable.values()),
+                ),
             }
         return 200, payload
 
@@ -1326,6 +1394,15 @@ class SubDExServer(ThreadingHTTPServer):
             reservoir_size=self.config.metrics_reservoir_size
         )
         self.metrics.registry.register_collector(self._collect_engine_metrics)
+        #: SLO tracking: one ingest per finished request in _dispatch,
+        #: scored at GET /slo and collected as subdex_slo_* families
+        self.slo: SLOTracker | None = None
+        if self.config.slo_enabled:
+            self.slo = SLOTracker(
+                load_slo_config(self.config.slo_config_path),
+                on_event=self._on_slo_event,
+            )
+            self.metrics.registry.register_collector(self.slo.collect)
         if self.cluster is not None:
             self.metrics.registry.register_collector(
                 self.cluster.metric_families
@@ -1423,6 +1500,11 @@ class SubDExServer(ThreadingHTTPServer):
     def forget_checkpoint(self, session_id: str) -> None:
         if self.checkpointer is not None:
             self.checkpointer.forget(session_id)
+
+    # -- SLO events -----------------------------------------------------------
+    def _on_slo_event(self, event: Mapping[str, Any]) -> None:
+        """Count burn-rate state transitions into /metrics event counters."""
+        self.metrics.record_event(f"slo_{event.get('to', 'unknown')}")
 
     # -- anytime --------------------------------------------------------------
     def _breaker_states(self) -> list[str]:
@@ -1681,6 +1763,7 @@ class SubDExServer(ThreadingHTTPServer):
             tracing.add(self.trace_file_sink.traces_written, kind="written")
         if self.slow_log is not None:
             tracing.add(self.slow_log.slow_traces, kind="slow")
+            tracing.add(self.slow_log.suppressed_total, kind="slow_suppressed")
         families.append(tracing)
         return families
 
@@ -1731,6 +1814,11 @@ def build_server(
             checkpoint_dir=config.checkpoint_dir,
             checkpoint_interval_seconds=config.checkpoint_interval_seconds,
             tracing_enabled=config.tracing_enabled,
+            slo_config=(
+                load_slo_config(config.slo_config_path).to_json()
+                if config.slo_enabled
+                else None
+            ),
         )
         cluster.start()
     server = SubDExServer(

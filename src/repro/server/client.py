@@ -311,6 +311,10 @@ class SubDExClient:
     def metrics(self) -> dict[str, Any]:
         return self.request("GET", "/metrics")
 
+    def slo(self) -> dict[str, Any]:
+        """The SLO scorecard (attainment, budgets, burn rates per class)."""
+        return self.request("GET", "/slo")
+
     def sessions(self) -> list[dict[str, Any]]:
         return self.request("GET", "/sessions")["sessions"]
 

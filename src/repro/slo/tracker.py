@@ -1,0 +1,433 @@
+"""The live SLO tracker: ingest → rolling windows → scorecard/metrics.
+
+:class:`SLOTracker` sits on the request envelope path (one
+:meth:`ingest` per finished request, next to ``ServerMetrics.observe``)
+and turns the raw stream into:
+
+* ``GET /slo`` — a JSON scorecard per endpoint class and window, with
+  error-budget consumption and fast (5m) / slow (1h) burn rates;
+* ``subdex_slo_*`` Prometheus families, **including** a cumulative
+  ``subdex_slo_request_seconds`` histogram with ``_bucket`` lines so
+  external burn-rate math (recording rules over ``rate()``) works;
+* threshold-crossing events: burn-rate state transitions are logged at
+  WARNING through ``repro.slo`` and surfaced to an ``on_event`` callback
+  (the server counts them into ``/metrics``), throttled to at most one
+  evaluation per second per tracker.
+
+:func:`scorecard_from_totals` is deliberately a module function over the
+JSON count form: the same code scores this process's own windows and the
+cluster front's merged per-worker scrape, so a fleet scorecard cannot
+drift from a single-process one.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Iterable, Mapping
+
+from ..obs.metrics import MetricFamily
+from .spec import SLOConfig, default_slo_config, evaluate_counts
+from .windows import (
+    BUCKET_BOUNDS,
+    TOTAL_WINDOW,
+    ClassWindows,
+    merge_counts,
+)
+
+__all__ = ["SLOTracker", "merge_worker_totals", "scorecard_from_totals"]
+
+_log = logging.getLogger("repro.slo")
+
+#: Burn-rate states, in increasing severity.
+_STATES = ("ok", "slow_burn", "fast_burn")
+
+#: How many threshold-crossing events the tracker remembers.
+_EVENT_CAPACITY = 64
+
+#: Minimum seconds between burn-rate evaluations (ingest-driven).
+_EVAL_INTERVAL = 1.0
+
+
+def scorecard_from_totals(
+    config: SLOConfig, totals: Mapping[str, Mapping[str, Mapping[str, Any]]]
+) -> dict[str, Any]:
+    """Score per-class per-window JSON counts against ``config``.
+
+    ``totals`` maps class → window label → counts (the
+    :meth:`~repro.slo.windows.ClassWindows.totals_json` form).  Used for
+    the local scorecard *and* the cluster fleet aggregate.
+    """
+    classes: dict[str, Any] = {}
+    for cls in sorted(config.classes):
+        objective = config.objective(cls)
+        windows = totals.get(cls, {})
+        evaluated = {
+            label: evaluate_counts(objective, counts)
+            for label, counts in windows.items()
+        }
+        fast = evaluated.get("5m", evaluate_counts(objective, {}))
+        slow = evaluated.get("1h", evaluate_counts(objective, {}))
+        total = evaluated.get(TOTAL_WINDOW, evaluate_counts(objective, {}))
+        fast_burn = fast["burn_rates"]["max"]
+        slow_burn = slow["burn_rates"]["max"]
+        if fast_burn >= config.fast_burn_threshold:
+            state = "fast_burn"
+        elif slow_burn >= config.slow_burn_threshold:
+            state = "slow_burn"
+        else:
+            state = "ok"
+        budget = {
+            name: max(0.0, 1.0 - total["burn_rates"][name])
+            for name in ("availability", "latency", "degraded")
+        }
+        classes[cls] = {
+            "objectives": objective.to_json(),
+            "windows": evaluated,
+            "burn": {
+                "fast_5m": fast_burn,
+                "slow_1h": slow_burn,
+                "fast_threshold": config.fast_burn_threshold,
+                "slow_threshold": config.slow_burn_threshold,
+            },
+            "budget_remaining": budget,
+            "rungs": dict(
+                windows.get(TOTAL_WINDOW, {}).get("rungs", {}) or {}
+            ),
+            "state": state,
+        }
+    worst = max(
+        (c["state"] for c in classes.values()),
+        key=_STATES.index,
+        default="ok",
+    )
+    return {"classes": classes, "state": worst}
+
+
+def merge_worker_totals(
+    parts: Iterable[Mapping[str, Mapping[str, Mapping[str, Any]]]],
+) -> dict[str, dict[str, dict[str, Any]]]:
+    """Merge per-worker ``totals()`` payloads by addition (fleet view)."""
+    grouped: dict[str, dict[str, list[Mapping[str, Any]]]] = {}
+    for part in parts:
+        for cls, windows in part.items():
+            by_window = grouped.setdefault(cls, {})
+            for label, counts in windows.items():
+                by_window.setdefault(label, []).append(counts)
+    return {
+        cls: {
+            label: merge_counts(parts_list).to_json()
+            for label, parts_list in windows.items()
+        }
+        for cls, windows in grouped.items()
+    }
+
+
+class SLOTracker:
+    """Multi-window SLO accounting behind one ingest call per request."""
+
+    def __init__(
+        self,
+        config: SLOConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        on_event: Callable[[dict[str, Any]], None] | None = None,
+    ) -> None:
+        self.config = config or default_slo_config()
+        self._clock = clock
+        self._on_event = on_event
+        self._classes = {
+            cls: ClassWindows(clock=clock) for cls in self.config.classes
+        }
+        self._alert_lock = threading.Lock()
+        self._alert_states = {cls: "ok" for cls in self.config.classes}
+        self._alert_counts: dict[tuple[str, str], int] = {}
+        self._next_eval = clock()
+        self._events: deque[dict[str, Any]] = deque(maxlen=_EVENT_CAPACITY)
+        self.started_monotonic = clock()
+
+    # -- hot path -------------------------------------------------------------
+    def ingest(
+        self,
+        route: str,
+        status: int,
+        seconds: float,
+        shed: bool = False,
+        degraded: bool = False,
+        rung: str | None = None,
+        op: bool = False,
+    ) -> None:
+        """Record one finished request (HTTP route, or worker op if ``op``)."""
+        cls = (
+            self.config.classify_op(route)
+            if op
+            else self.config.classify(route)
+        )
+        windows = self._classes.get(cls)
+        if windows is None:  # pragma: no cover - classify() guarantees hit
+            return
+        objective = self.config.objective(cls)
+        windows.ingest(
+            seconds,
+            error=status >= 500,
+            shed=shed,
+            degraded=degraded,
+            within_budget=seconds * 1000.0 <= objective.latency_ms,
+            rung=rung,
+        )
+        now = self._clock()
+        if now >= self._next_eval:
+            self._evaluate(now)
+
+    # -- burn-rate events -----------------------------------------------------
+    def _evaluate(self, now: float) -> None:
+        """Re-derive per-class burn states; raise events on transitions."""
+        with self._alert_lock:
+            if now < self._next_eval:
+                return
+            self._next_eval = now + _EVAL_INTERVAL
+        for cls, windows in self._classes.items():
+            objective = self.config.objective(cls)
+            counts = windows.window_counts(now)
+            fast = evaluate_counts(objective, counts["5m"].to_json())
+            slow = evaluate_counts(objective, counts["1h"].to_json())
+            fast_burn = fast["burn_rates"]["max"]
+            slow_burn = slow["burn_rates"]["max"]
+            if fast_burn >= self.config.fast_burn_threshold:
+                state = "fast_burn"
+            elif slow_burn >= self.config.slow_burn_threshold:
+                state = "slow_burn"
+            else:
+                state = "ok"
+            with self._alert_lock:
+                previous = self._alert_states[cls]
+                if state == previous:
+                    continue
+                self._alert_states[cls] = state
+                key = (cls, state)
+                self._alert_counts[key] = self._alert_counts.get(key, 0) + 1
+                event = {
+                    "class": cls,
+                    "from": previous,
+                    "to": state,
+                    "burn_5m": fast_burn,
+                    "burn_1h": slow_burn,
+                    "at_wall": time.time(),
+                }
+                self._events.append(event)
+            level = (
+                logging.INFO if state == "ok" else logging.WARNING
+            )
+            _log.log(
+                level,
+                "SLO class %r: %s -> %s (burn 5m=%.2f 1h=%.2f, "
+                "thresholds fast=%.1f slow=%.1f)",
+                cls,
+                previous,
+                state,
+                fast_burn,
+                slow_burn,
+                self.config.fast_burn_threshold,
+                self.config.slow_burn_threshold,
+            )
+            if self._on_event is not None:
+                try:
+                    self._on_event(event)
+                except Exception:  # noqa: BLE001 - observers must not
+                    pass  # take the request path down
+
+    # -- read side ------------------------------------------------------------
+    def totals(self, now: float | None = None) -> dict[str, Any]:
+        """Per-class per-window JSON counts (the cluster scrape payload)."""
+        return {
+            cls: windows.totals_json(now)
+            for cls, windows in self._classes.items()
+        }
+
+    def scorecard(self, now: float | None = None) -> dict[str, Any]:
+        """The ``GET /slo`` payload for this process's own traffic."""
+        if now is None:
+            now = self._clock()
+        card = scorecard_from_totals(self.config, self.totals(now))
+        with self._alert_lock:
+            card["recent_events"] = list(self._events)
+        card["uptime_seconds"] = now - self.started_monotonic
+        return card
+
+    def recent_events(self) -> list[dict[str, Any]]:
+        with self._alert_lock:
+            return list(self._events)
+
+    # -- Prometheus -----------------------------------------------------------
+    def collect(self) -> list[MetricFamily]:
+        """Registry collector: ``subdex_slo_*`` families at scrape time."""
+        now = self._clock()
+        totals = self.totals(now)
+
+        requests = MetricFamily(
+            "subdex_slo_requests_total",
+            "counter",
+            "Requests by SLO endpoint class.",
+        )
+        errors = MetricFamily(
+            "subdex_slo_errors_total",
+            "counter",
+            "5xx (budget-burning) requests by SLO endpoint class.",
+        )
+        shed = MetricFamily(
+            "subdex_slo_shed_total",
+            "counter",
+            "Load-shed (503 overloaded) requests by SLO endpoint class.",
+        )
+        degraded = MetricFamily(
+            "subdex_slo_degraded_total",
+            "counter",
+            "Degraded (anytime-ladder) responses by SLO endpoint class.",
+        )
+        within = MetricFamily(
+            "subdex_slo_within_budget_total",
+            "counter",
+            "Requests inside their class latency budget.",
+        )
+        rungs = MetricFamily(
+            "subdex_slo_rung_total",
+            "counter",
+            "Responses by SLO endpoint class and anytime quality rung.",
+        )
+        seconds = MetricFamily(
+            "subdex_slo_request_seconds",
+            "histogram",
+            "Request latency by SLO endpoint class "
+            "(cumulative buckets; external burn-rate math welcome).",
+        )
+        objective_family = MetricFamily(
+            "subdex_slo_objective",
+            "gauge",
+            "Configured objective values by class and objective.",
+        )
+        attainment = MetricFamily(
+            "subdex_slo_attainment",
+            "gauge",
+            "Attainment by class, window and objective (absent when the "
+            "window is empty).",
+        )
+        burn = MetricFamily(
+            "subdex_slo_burn_rate",
+            "gauge",
+            "Error-budget burn rate by class, window and objective "
+            "(1.0 = burning exactly at budget).",
+        )
+        budget = MetricFamily(
+            "subdex_slo_budget_remaining",
+            "gauge",
+            "Fraction of the since-start error budget left, by class and "
+            "objective (clamped at 0).",
+        )
+        alerts = MetricFamily(
+            "subdex_slo_alerts_total",
+            "counter",
+            "Burn-rate state transitions by class and entered state.",
+        )
+
+        for cls in sorted(self.config.classes):
+            objective = self.config.objective(cls)
+            windows = totals.get(cls, {})
+            total = windows.get(TOTAL_WINDOW, {})
+            requests.add(total.get("count", 0), **{"class": cls})
+            errors.add(total.get("errors", 0), **{"class": cls})
+            shed.add(total.get("shed", 0), **{"class": cls})
+            degraded.add(total.get("degraded", 0), **{"class": cls})
+            within.add(total.get("within_budget", 0), **{"class": cls})
+            for rung, value in (total.get("rungs") or {}).items():
+                rungs.add(value, **{"class": cls, "rung": rung})
+
+            raw_buckets = list(
+                total.get("buckets") or [0] * (len(BUCKET_BOUNDS) + 1)
+            )
+            running = 0
+            for bound, value in zip(BUCKET_BOUNDS, raw_buckets):
+                running += value
+                seconds.add(
+                    running,
+                    suffix="_bucket",
+                    **{"class": cls, "le": f"{bound:g}"},
+                )
+            seconds.add(
+                running + raw_buckets[-1],
+                suffix="_bucket",
+                **{"class": cls, "le": "+Inf"},
+            )
+            seconds.add(
+                total.get("sum_seconds", 0.0), suffix="_sum",
+                **{"class": cls},
+            )
+            seconds.add(
+                total.get("count", 0), suffix="_count", **{"class": cls}
+            )
+
+            objective_family.add(
+                objective.latency_ms / 1000.0,
+                **{"class": cls, "objective": "latency_seconds"},
+            )
+            objective_family.add(
+                objective.latency_target,
+                **{"class": cls, "objective": "latency_target"},
+            )
+            objective_family.add(
+                objective.availability_target,
+                **{"class": cls, "objective": "availability"},
+            )
+            objective_family.add(
+                objective.max_degraded_rate,
+                **{"class": cls, "objective": "max_degraded_rate"},
+            )
+
+            for label, counts in windows.items():
+                report = evaluate_counts(objective, counts)
+                for name, key in (
+                    ("availability", "availability"),
+                    ("latency", "latency_attainment"),
+                ):
+                    value = report[key]
+                    if value is not None:
+                        attainment.add(
+                            value,
+                            **{
+                                "class": cls,
+                                "window": label,
+                                "objective": name,
+                            },
+                        )
+                for name in ("availability", "latency", "degraded"):
+                    burn.add(
+                        report["burn_rates"][name],
+                        **{"class": cls, "window": label, "objective": name},
+                    )
+
+            total_report = evaluate_counts(objective, total)
+            for name in ("availability", "latency", "degraded"):
+                budget.add(
+                    max(0.0, 1.0 - total_report["burn_rates"][name]),
+                    **{"class": cls, "objective": name},
+                )
+
+        with self._alert_lock:
+            alert_counts = dict(self._alert_counts)
+        for (cls, state), value in sorted(alert_counts.items()):
+            alerts.add(value, **{"class": cls, "state": state})
+
+        return [
+            requests,
+            errors,
+            shed,
+            degraded,
+            within,
+            rungs,
+            seconds,
+            objective_family,
+            attainment,
+            burn,
+            budget,
+            alerts,
+        ]

@@ -1,0 +1,260 @@
+"""Lock-cheap multi-window rolling aggregates for SLO tracking.
+
+One :class:`ClassWindows` per endpoint class holds three slot-ring
+windows (1m of 1 s slots, 5m of 5 s slots, 1h of 60 s slots) plus a
+cumulative since-start total.  Each ring is a fixed array of
+:class:`WindowCounts` slots; a slot is identified by its *epoch*
+(``int(now // slot_seconds)``) and lazily reset the first time a new
+epoch lands on its position — no timer threads, no allocation on the
+hot path, and reads simply skip slots whose epoch has fallen out of the
+window.
+
+An ingest is one lock acquisition and a handful of integer adds per
+window (the latency bucket index is computed once, outside the lock) —
+deliberately far cheaper than the requests it measures, so the obs
+overhead gate (≤ 5%) keeps holding with SLO tracking on.
+
+:class:`WindowCounts` is also the merge unit for cluster aggregation:
+per-worker totals serialise with :meth:`WindowCounts.to_json`, ship over
+the worker IPC, and merge by addition at the front into one fleet
+scorecard.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from typing import Any, Callable, Iterable, Mapping
+
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "DEFAULT_WINDOWS",
+    "ClassWindows",
+    "WindowCounts",
+    "merge_counts",
+]
+
+#: Latency histogram bounds (seconds) — the registry's request buckets,
+#: so ``subdex_slo_request_seconds`` and ``subdex_request_seconds`` are
+#: directly comparable.
+BUCKET_BOUNDS: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+
+#: (label, slot_seconds, n_slots): 1m/5m/1h ring windows.
+DEFAULT_WINDOWS: tuple[tuple[str, float, int], ...] = (
+    ("1m", 1.0, 60),
+    ("5m", 5.0, 60),
+    ("1h", 60.0, 60),
+)
+
+#: The cumulative since-start pseudo-window's label.
+TOTAL_WINDOW = "total"
+
+
+class WindowCounts:
+    """Raw counts of one window (or one ring slot): the merge unit."""
+
+    __slots__ = (
+        "count",
+        "errors",
+        "shed",
+        "degraded",
+        "within_budget",
+        "sum_seconds",
+        "buckets",
+        "rungs",
+    )
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.errors = 0
+        self.shed = 0
+        self.degraded = 0
+        self.within_budget = 0
+        self.sum_seconds = 0.0
+        #: per-bucket (non-cumulative) latency counts; +Inf bucket last
+        self.buckets = [0] * (len(BUCKET_BOUNDS) + 1)
+        self.rungs: dict[str, int] = {}
+
+    def reset(self) -> None:
+        self.count = 0
+        self.errors = 0
+        self.shed = 0
+        self.degraded = 0
+        self.within_budget = 0
+        self.sum_seconds = 0.0
+        for index in range(len(self.buckets)):
+            self.buckets[index] = 0
+        self.rungs.clear()
+
+    def add_sample(
+        self,
+        seconds: float,
+        bucket_index: int,
+        error: bool,
+        shed: bool,
+        degraded: bool,
+        within_budget: bool,
+        rung: str | None,
+    ) -> None:
+        self.count += 1
+        self.sum_seconds += seconds
+        self.buckets[bucket_index] += 1
+        if error:
+            self.errors += 1
+        if shed:
+            self.shed += 1
+        if degraded:
+            self.degraded += 1
+        if within_budget:
+            self.within_budget += 1
+        if rung is not None:
+            self.rungs[rung] = self.rungs.get(rung, 0) + 1
+
+    def merge(self, other: "WindowCounts") -> None:
+        self.count += other.count
+        self.errors += other.errors
+        self.shed += other.shed
+        self.degraded += other.degraded
+        self.within_budget += other.within_budget
+        self.sum_seconds += other.sum_seconds
+        for index, value in enumerate(other.buckets):
+            self.buckets[index] += value
+        for rung, value in other.rungs.items():
+            self.rungs[rung] = self.rungs.get(rung, 0) + value
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "errors": self.errors,
+            "shed": self.shed,
+            "degraded": self.degraded,
+            "within_budget": self.within_budget,
+            "sum_seconds": self.sum_seconds,
+            "buckets": list(self.buckets),
+            "rungs": dict(sorted(self.rungs.items())),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "WindowCounts":
+        counts = cls()
+        counts.count = int(data.get("count", 0))
+        counts.errors = int(data.get("errors", 0))
+        counts.shed = int(data.get("shed", 0))
+        counts.degraded = int(data.get("degraded", 0))
+        counts.within_budget = int(data.get("within_budget", 0))
+        counts.sum_seconds = float(data.get("sum_seconds", 0.0))
+        raw_buckets = list(data.get("buckets") or ())
+        for index in range(min(len(raw_buckets), len(counts.buckets))):
+            counts.buckets[index] = int(raw_buckets[index])
+        counts.rungs = {
+            str(k): int(v) for k, v in (data.get("rungs") or {}).items()
+        }
+        return counts
+
+
+def merge_counts(parts: Iterable[Mapping[str, Any]]) -> WindowCounts:
+    """Merge JSON-form counts (per-worker scrapes) by addition."""
+    merged = WindowCounts()
+    for part in parts:
+        merged.merge(WindowCounts.from_json(part))
+    return merged
+
+
+class _SlotRing:
+    """A fixed ring of epoch-stamped slots; staleness handled lazily."""
+
+    __slots__ = ("slot_seconds", "n_slots", "slots", "epochs")
+
+    def __init__(self, slot_seconds: float, n_slots: int) -> None:
+        self.slot_seconds = slot_seconds
+        self.n_slots = n_slots
+        self.slots = [WindowCounts() for _ in range(n_slots)]
+        self.epochs = [-1] * n_slots
+
+    def slot(self, now: float) -> WindowCounts:
+        """The live slot for ``now``, reset if a stale epoch occupied it."""
+        epoch = int(now // self.slot_seconds)
+        position = epoch % self.n_slots
+        if self.epochs[position] != epoch:
+            self.slots[position].reset()
+            self.epochs[position] = epoch
+        return self.slots[position]
+
+    def totals(self, now: float) -> WindowCounts:
+        """Sum of every slot still inside the window ending at ``now``."""
+        epoch = int(now // self.slot_seconds)
+        oldest = epoch - self.n_slots + 1
+        merged = WindowCounts()
+        for position in range(self.n_slots):
+            if oldest <= self.epochs[position] <= epoch:
+                merged.merge(self.slots[position])
+        return merged
+
+
+class ClassWindows:
+    """One endpoint class's rolling windows + cumulative total."""
+
+    def __init__(
+        self,
+        windows: tuple[tuple[str, float, int], ...] = DEFAULT_WINDOWS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._rings = {
+            label: _SlotRing(slot_seconds, n_slots)
+            for label, slot_seconds, n_slots in windows
+        }
+        self._total = WindowCounts()
+
+    def ingest(
+        self,
+        seconds: float,
+        error: bool,
+        shed: bool,
+        degraded: bool,
+        within_budget: bool,
+        rung: str | None = None,
+    ) -> None:
+        """Record one finished request (a few adds behind one lock)."""
+        bucket_index = bisect_left(BUCKET_BOUNDS, seconds)
+        now = self._clock()
+        with self._lock:
+            for ring in self._rings.values():
+                ring.slot(now).add_sample(
+                    seconds,
+                    bucket_index,
+                    error,
+                    shed,
+                    degraded,
+                    within_budget,
+                    rung,
+                )
+            self._total.add_sample(
+                seconds, bucket_index, error, shed, degraded,
+                within_budget, rung,
+            )
+
+    def window_counts(self, now: float | None = None) -> dict[str, WindowCounts]:
+        """Per-window totals (rolling windows + the cumulative total)."""
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            counts = {
+                label: ring.totals(now)
+                for label, ring in self._rings.items()
+            }
+            total = WindowCounts()
+            total.merge(self._total)
+        counts[TOTAL_WINDOW] = total
+        return counts
+
+    def totals_json(self, now: float | None = None) -> dict[str, Any]:
+        """JSON form of :meth:`window_counts` (the cluster scrape payload)."""
+        return {
+            label: counts.to_json()
+            for label, counts in self.window_counts(now).items()
+        }

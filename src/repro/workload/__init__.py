@@ -1,0 +1,37 @@
+"""IDEBench-style macro-workload driver and its SLO reporting.
+
+:mod:`repro.workload.driver` simulates a population of interactive
+users against a live SubDEx server — Poisson session arrivals, think
+time, the paper's three exploration modes, heavy-tailed dataset
+popularity — and records every request it makes.
+:mod:`repro.workload.report` recomputes the SLO scorecard offline from
+that request log with the *same* evaluation math the server uses, so
+``benchmarks/bench_macro_workload.py`` can cross-check ``GET /slo``
+against an independent tally.
+"""
+
+from .driver import (
+    MacroWorkloadDriver,
+    RequestRecord,
+    SessionOutcome,
+    WorkloadProfile,
+    WorkloadResult,
+)
+from .report import (
+    compare_scorecards,
+    offline_counts,
+    offline_scorecard,
+    time_to_insight_summary,
+)
+
+__all__ = [
+    "MacroWorkloadDriver",
+    "RequestRecord",
+    "SessionOutcome",
+    "WorkloadProfile",
+    "WorkloadResult",
+    "compare_scorecards",
+    "offline_counts",
+    "offline_scorecard",
+    "time_to_insight_summary",
+]

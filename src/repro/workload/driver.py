@@ -1,0 +1,462 @@
+"""The macro-workload driver: simulated user populations over HTTP.
+
+IDEBench-style load generation for an interactive data exploration
+system: instead of hammering one endpoint, the driver simulates
+*sessions* — a user arrives (Poisson), explores for a few steps
+(geometric), thinks between actions (exponential), and leans on the
+system in one of the paper's three modes:
+
+* ``user_driven`` — read-heavy: the user studies maps and summaries
+  each step and only then applies a recommendation;
+* ``recommendation_powered`` — the intended hot path: fetch
+  recommendations (optionally under an anytime ``budget_ms``), apply
+  one, poll a refinement when the answer was partial;
+* ``fully_automated`` — no think time: apply the top recommendation as
+  fast as the server answers.
+
+Dataset popularity across sessions is heavy-tailed (Zipf), so shared
+caches see realistic skew.  Every request the driver issues is recorded
+as a :class:`RequestRecord` carrying the **server-side** handling time
+(the ``X-Server-Ms`` header) next to the client wall time — the server
+ingests exactly that handling time into its SLO windows, so an offline
+recomputation from these records (:mod:`repro.workload.report`) must
+agree with ``GET /slo`` to the digit.
+
+The driver never retries (``RetryPolicy(max_attempts=1)``): one logical
+request is one record is one server-side observation, keeping the
+client-side log and the server-side counters in one-to-one
+correspondence.
+"""
+
+from __future__ import annotations
+
+import http.client
+import random
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..server.client import RetryPolicy, ServerError, SubDExClient
+
+__all__ = [
+    "MacroWorkloadDriver",
+    "RequestRecord",
+    "SessionOutcome",
+    "WorkloadProfile",
+    "WorkloadResult",
+]
+
+#: The paper's exploration modes and their default population shares.
+DEFAULT_MODE_MIX: Mapping[str, float] = {
+    "user_driven": 0.3,
+    "recommendation_powered": 0.5,
+    "fully_automated": 0.2,
+}
+
+#: Anytime budget mix: most requests unconstrained, a tail of
+#: dashboard-like callers with tight soft budgets.
+DEFAULT_BUDGET_MS_MIX: tuple[tuple[int | None, float], ...] = (
+    (None, 0.6),
+    (250, 0.25),
+    (50, 0.15),
+)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Everything that shapes one simulated population.
+
+    ``arrival_rate_per_second`` is the Poisson intensity of *session*
+    starts; ``mean_steps`` the geometric mean of recommendation-apply
+    steps per session; ``mean_think_seconds`` the exponential mean
+    pause between a user's actions (ignored by ``fully_automated``).
+    ``insight_steps`` defines time-to-insight: the wall time from
+    session start until that many steps have been applied.
+    """
+
+    duration_seconds: float = 10.0
+    arrival_rate_per_second: float = 2.0
+    mean_think_seconds: float = 0.05
+    mean_steps: float = 3.0
+    mode_mix: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_MODE_MIX)
+    )
+    budget_ms_mix: tuple[tuple[int | None, float], ...] = (
+        DEFAULT_BUDGET_MS_MIX
+    )
+    datasets: tuple[str, ...] = ("yelp",)
+    zipf_s: float = 1.1
+    insight_steps: int = 2
+    recommend_o: int = 5
+    max_concurrent_sessions: int = 16
+    request_timeout_seconds: float = 30.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0:
+            raise ValueError(
+                f"duration_seconds must be > 0, got {self.duration_seconds}"
+            )
+        if self.arrival_rate_per_second <= 0:
+            raise ValueError(
+                f"arrival_rate_per_second must be > 0, "
+                f"got {self.arrival_rate_per_second}"
+            )
+        if self.mean_think_seconds < 0:
+            raise ValueError(
+                f"mean_think_seconds must be >= 0, "
+                f"got {self.mean_think_seconds}"
+            )
+        if self.mean_steps < 1:
+            raise ValueError(f"mean_steps must be >= 1, got {self.mean_steps}")
+        if not self.datasets:
+            raise ValueError("datasets must not be empty")
+        if not self.mode_mix:
+            raise ValueError("mode_mix must not be empty")
+        unknown = set(self.mode_mix) - set(DEFAULT_MODE_MIX)
+        if unknown:
+            raise ValueError(
+                f"unknown workload modes: {', '.join(sorted(unknown))}"
+            )
+        for table, name in (
+            (tuple(self.mode_mix.values()), "mode_mix"),
+            (tuple(w for _, w in self.budget_ms_mix), "budget_ms_mix"),
+        ):
+            if any(w < 0 for w in table) or sum(table) <= 0:
+                raise ValueError(f"{name} weights must be >= 0, sum > 0")
+        if self.insight_steps < 1:
+            raise ValueError(
+                f"insight_steps must be >= 1, got {self.insight_steps}"
+            )
+        if self.max_concurrent_sessions < 1:
+            raise ValueError(
+                f"max_concurrent_sessions must be >= 1, "
+                f"got {self.max_concurrent_sessions}"
+            )
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One request as the driver saw it.
+
+    ``seconds`` is the server's own handling time (``X-Server-Ms``) —
+    the number the server fed its SLO windows; ``wall_seconds`` adds
+    network and client queueing on top.  ``observed`` is False for
+    requests that never produced an HTTP response (connection refused):
+    the server has no corresponding counter, so offline recomputation
+    must set them aside.
+    """
+
+    route: str
+    status: int
+    seconds: float
+    wall_seconds: float
+    shed: bool = False
+    degraded: bool = False
+    rung: int | None = None
+    error_code: str | None = None
+    mode: str = "?"
+    dataset: str = "?"
+    observed: bool = True
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "route": self.route,
+            "status": self.status,
+            "seconds": self.seconds,
+            "wall_seconds": self.wall_seconds,
+            "shed": self.shed,
+            "degraded": self.degraded,
+            "rung": self.rung,
+            "error_code": self.error_code,
+            "mode": self.mode,
+            "dataset": self.dataset,
+            "observed": self.observed,
+        }
+
+
+@dataclass
+class SessionOutcome:
+    """One simulated user's session, end to end."""
+
+    mode: str
+    dataset: str
+    steps_applied: int = 0
+    requests: int = 0
+    failures: int = 0
+    time_to_insight_seconds: float | None = None
+    completed: bool = False
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "dataset": self.dataset,
+            "steps_applied": self.steps_applied,
+            "requests": self.requests,
+            "failures": self.failures,
+            "time_to_insight_seconds": self.time_to_insight_seconds,
+            "completed": self.completed,
+        }
+
+
+@dataclass
+class WorkloadResult:
+    """Everything one driver run produced."""
+
+    records: list[RequestRecord]
+    outcomes: list[SessionOutcome]
+    wall_seconds: float
+
+    @property
+    def unobserved(self) -> int:
+        return sum(1 for r in self.records if not r.observed)
+
+
+def _pick_weighted(rng: random.Random, pairs: Sequence[tuple[Any, float]]):
+    """One weighted choice from ``(value, weight)`` pairs."""
+    total = sum(weight for _, weight in pairs)
+    point = rng.uniform(0.0, total)
+    for value, weight in pairs:
+        point -= weight
+        if point <= 0:
+            return value
+    return pairs[-1][0]
+
+
+def _zipf_weights(n: int, s: float) -> list[float]:
+    return [1.0 / ((rank + 1) ** s) for rank in range(n)]
+
+
+class MacroWorkloadDriver:
+    """Run one :class:`WorkloadProfile` against a live server."""
+
+    def __init__(
+        self,
+        base_url: str,
+        profile: WorkloadProfile | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.base_url = base_url
+        self.profile = profile or WorkloadProfile()
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._records: list[RequestRecord] = []
+        # per-session labels; sessions run on pool threads concurrently
+        self._local = threading.local()
+
+    # -- recording ----------------------------------------------------------
+    def _call(
+        self,
+        client: SubDExClient,
+        route: str,
+        fn: Callable[..., Mapping[str, Any]],
+        *args: Any,
+        **kwargs: Any,
+    ) -> tuple[Mapping[str, Any] | None, RequestRecord]:
+        """Issue one request, record it, swallow server-side failures."""
+        client.last_server_ms = None  # don't inherit the previous response's
+        status, code, data = 200, None, None
+        started = time.perf_counter()
+        try:
+            data = fn(*args, **kwargs)
+        except ServerError as error:
+            status, code = error.status, error.code
+        except (OSError, http.client.HTTPException) as error:
+            status, code = 0, type(error).__name__
+        wall = time.perf_counter() - started
+        server_ms = client.last_server_ms
+        observed = server_ms is not None
+        degraded = bool(data.get("degraded")) if isinstance(data, Mapping) else False
+        rung = None
+        if isinstance(data, Mapping):
+            quality = data.get("quality")
+            if isinstance(quality, Mapping):
+                rung = quality.get("rung")
+        record = RequestRecord(
+            route=route,
+            status=status,
+            seconds=(server_ms / 1000.0) if observed else wall,
+            wall_seconds=wall,
+            shed=status == 503 and code == "overloaded",
+            degraded=degraded,
+            rung=rung,
+            error_code=code,
+            mode=getattr(self._local, "mode", "?"),
+            dataset=getattr(self._local, "dataset", "?"),
+            observed=observed,
+        )
+        with self._lock:
+            self._records.append(record)
+        return data, record
+
+    # -- one simulated user -------------------------------------------------
+    def _think(self, rng: random.Random) -> None:
+        if self.profile.mean_think_seconds > 0:
+            self._sleep(rng.expovariate(1.0 / self.profile.mean_think_seconds))
+
+    def _run_session(
+        self, seed: int, mode: str, dataset: str
+    ) -> SessionOutcome:
+        rng = random.Random(seed)
+        outcome = SessionOutcome(mode=mode, dataset=dataset)
+        self._local.mode, self._local.dataset = mode, dataset
+        profile = self.profile
+        # geometric number of steps with the requested mean
+        p = min(1.0, 1.0 / profile.mean_steps)
+        steps = 1
+        while rng.random() > p and steps < 50:
+            steps += 1
+        started = time.perf_counter()
+        client = SubDExClient(
+            self.base_url,
+            timeout=profile.request_timeout_seconds,
+            retry=RetryPolicy(max_attempts=1),
+        )
+        try:
+            created, record = self._call(
+                client,
+                "POST /sessions",
+                client.request,
+                "POST",
+                "/sessions",
+                {"dataset": dataset},
+            )
+            outcome.requests += 1
+            if created is None or "session_id" not in created:
+                outcome.failures += 1
+                return outcome
+            session_id = created["session_id"]
+            base = f"/sessions/{session_id}"
+
+            def get(route: str, path: str, query=None):
+                data, __ = self._call(
+                    client, route, client.request, "GET", path, None, query
+                )
+                outcome.requests += 1
+                if data is None:
+                    outcome.failures += 1
+                return data
+
+            for __ in range(steps):
+                if mode == "user_driven":
+                    self._think(rng)
+                    get("GET /sessions/{id}/maps", f"{base}/maps")
+                    self._think(rng)
+                    get("GET /sessions/{id}", base)
+                budget_ms = None
+                if mode != "user_driven":
+                    budget_ms = _pick_weighted(rng, profile.budget_ms_mix)
+                if mode == "recommendation_powered":
+                    self._think(rng)
+                query: dict[str, Any] = {"o": profile.recommend_o}
+                if budget_ms is not None:
+                    query["budget_ms"] = budget_ms
+                envelope = get(
+                    "GET /sessions/{id}/recommendations",
+                    f"{base}/recommendations",
+                    query,
+                )
+                token = None
+                if isinstance(envelope, Mapping):
+                    refinement = envelope.get("refinement")
+                    if isinstance(refinement, Mapping):
+                        token = refinement.get("token")
+                if token and mode != "fully_automated":
+                    self._think(rng)
+                    get(
+                        "GET /sessions/{id}/recommendations/refine/{token}",
+                        f"{base}/recommendations/refine/{token}",
+                    )
+                n_options = 0
+                if isinstance(envelope, Mapping):
+                    n_options = len(envelope.get("recommendations") or ())
+                if n_options:
+                    number = (
+                        1
+                        if mode == "fully_automated"
+                        else rng.randint(1, n_options)
+                    )
+                    applied, __ = self._call(
+                        client,
+                        "POST /sessions/{id}/apply",
+                        client.request,
+                        "POST",
+                        f"{base}/apply",
+                        {"recommendation": number},
+                    )
+                    outcome.requests += 1
+                    if applied is None:
+                        outcome.failures += 1
+                    else:
+                        outcome.steps_applied += 1
+                        if (
+                            outcome.time_to_insight_seconds is None
+                            and outcome.steps_applied
+                            >= profile.insight_steps
+                        ):
+                            outcome.time_to_insight_seconds = (
+                                time.perf_counter() - started
+                            )
+            if mode == "user_driven":
+                get("GET /sessions/{id}/history", f"{base}/history")
+            closed, __ = self._call(
+                client,
+                "DELETE /sessions/{id}",
+                client.request,
+                "DELETE",
+                base,
+            )
+            outcome.requests += 1
+            if closed is None:
+                outcome.failures += 1
+            outcome.completed = True
+        finally:
+            client.close()
+        return outcome
+
+    # -- the population -----------------------------------------------------
+    def run(self) -> WorkloadResult:
+        """Simulate the population; block until every session finishes."""
+        profile = self.profile
+        rng = random.Random(profile.seed)
+        arrivals = [0.0]  # at least one session, immediately
+        t = rng.expovariate(profile.arrival_rate_per_second)
+        while t < profile.duration_seconds:
+            arrivals.append(t)
+            t += rng.expovariate(profile.arrival_rate_per_second)
+        dataset_weights = list(
+            zip(profile.datasets, _zipf_weights(len(profile.datasets), profile.zipf_s))
+        )
+        mode_weights = list(profile.mode_mix.items())
+        plans = [
+            (
+                offset,
+                rng.getrandbits(32),
+                _pick_weighted(rng, mode_weights),
+                _pick_weighted(rng, dataset_weights),
+            )
+            for offset in arrivals
+        ]
+        outcomes: list[SessionOutcome] = []
+        started = time.perf_counter()
+        with ThreadPoolExecutor(
+            max_workers=profile.max_concurrent_sessions
+        ) as pool:
+            futures = []
+            for offset, seed, mode, dataset in plans:
+                delay = offset - (time.perf_counter() - started)
+                if delay > 0:
+                    self._sleep(delay)
+                futures.append(
+                    pool.submit(self._run_session, seed, mode, dataset)
+                )
+            for future in futures:
+                outcomes.append(future.result())
+        wall = time.perf_counter() - started
+        with self._lock:
+            records = list(self._records)
+        return WorkloadResult(
+            records=records, outcomes=outcomes, wall_seconds=wall
+        )

@@ -1,0 +1,222 @@
+"""Offline SLO recomputation and scorecard comparison.
+
+The driver's :class:`~repro.workload.driver.RequestRecord` log carries,
+per request, exactly what the server fed its own SLO windows: the
+route label, the status, the server-side handling seconds and the
+shed/degraded flags.  :func:`offline_scorecard` re-tallies those
+records into per-class counts and pushes them through the *same*
+:func:`repro.slo.spec.evaluate_counts` the live tracker uses — so when
+:func:`compare_scorecards` finds a discrepancy against ``GET /slo``,
+one of the two pipelines is actually wrong, not merely different.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..perf.spanstats import percentile
+from ..slo.spec import SLOConfig, evaluate_counts
+from .driver import RequestRecord, SessionOutcome
+
+__all__ = [
+    "compare_scorecards",
+    "offline_counts",
+    "offline_scorecard",
+    "time_to_insight_summary",
+]
+
+#: Endpoint classes the driver actually exercises.  Its own scorecard
+#: and metrics fetches land in ``ops`` on the server side but are not
+#: part of the recorded workload, so ``ops`` is excluded from equality
+#: checks by default.
+TRAFFIC_CLASSES: tuple[str, ...] = ("recommendations", "steps", "reads")
+
+#: Scorecard rate fields compared with an absolute tolerance.
+_RATE_FIELDS = (
+    "availability",
+    "latency_attainment",
+    "error_rate",
+    "shed_rate",
+    "degraded_rate",
+)
+
+
+def offline_counts(
+    config: SLOConfig, records: Iterable[RequestRecord]
+) -> dict[str, dict[str, Any]]:
+    """Per-class raw counts in the :class:`WindowCounts` JSON shape.
+
+    Only ``observed`` records count — a request that never produced an
+    HTTP response has no server-side twin.  ``within_budget`` uses the
+    class objective's latency budget against the record's *server*
+    seconds, mirroring :meth:`repro.slo.tracker.SLOTracker.ingest`.
+    """
+    per_class: dict[str, dict[str, Any]] = {}
+    for record in records:
+        if not record.observed:
+            continue
+        cls = config.classify(record.route)
+        counts = per_class.get(cls)
+        if counts is None:
+            counts = per_class[cls] = {
+                "count": 0,
+                "errors": 0,
+                "shed": 0,
+                "degraded": 0,
+                "within_budget": 0,
+                "sum_seconds": 0.0,
+                "rungs": {},
+            }
+        objective = config.objective(cls)
+        counts["count"] += 1
+        if record.status >= 500:
+            counts["errors"] += 1
+        if record.shed:
+            counts["shed"] += 1
+        if record.degraded:
+            counts["degraded"] += 1
+        if record.seconds * 1000.0 <= objective.latency_ms:
+            counts["within_budget"] += 1
+        counts["sum_seconds"] += record.seconds
+        if record.rung is not None:
+            key = str(record.rung)
+            counts["rungs"][key] = counts["rungs"].get(key, 0) + 1
+    return per_class
+
+
+def offline_scorecard(
+    config: SLOConfig, records: Iterable[RequestRecord]
+) -> dict[str, Any]:
+    """An independently tallied total-window scorecard per class."""
+    per_class = offline_counts(config, records)
+    return {
+        "classes": {
+            cls: {
+                "counts": counts,
+                "evaluation": evaluate_counts(config.objective(cls), counts),
+            }
+            for cls, counts in sorted(per_class.items())
+        }
+    }
+
+
+def _server_total_evaluation(
+    server_scorecard: Mapping[str, Any], cls: str
+) -> Mapping[str, Any] | None:
+    entry = (server_scorecard.get("classes") or {}).get(cls)
+    if entry is None:
+        return None
+    return (entry.get("windows") or {}).get("total")
+
+
+def compare_scorecards(
+    config: SLOConfig,
+    server_scorecard: Mapping[str, Any],
+    records: Sequence[RequestRecord],
+    classes: Sequence[str] = TRAFFIC_CLASSES,
+    tolerance: float = 0.01,
+) -> dict[str, Any]:
+    """Server ``GET /slo`` vs. the offline tally, field by field.
+
+    Returns ``{"match": bool, "max_delta": float, "mismatches": [...],
+    "checked": int}``.  Counts must agree exactly; rate fields within
+    ``tolerance`` absolutely; burn rates within ``tolerance``
+    relatively (burn is a ratio of rates, so its scale varies).
+    Classes with zero offline traffic are skipped — the server may
+    still have seen requests there from other callers.
+    """
+    offline = offline_scorecard(config, records)
+    mismatches: list[dict[str, Any]] = []
+    max_delta = 0.0
+    checked = 0
+
+    def note(cls: str, field: str, server: Any, ours: Any, delta: float):
+        mismatches.append(
+            {
+                "class": cls,
+                "field": field,
+                "server": server,
+                "offline": ours,
+                "delta": delta,
+            }
+        )
+
+    for cls in classes:
+        ours = offline["classes"].get(cls)
+        if ours is None:
+            continue
+        evaluation = ours["evaluation"]
+        server_eval = _server_total_evaluation(server_scorecard, cls)
+        if server_eval is None:
+            note(cls, "present", None, evaluation["count"], 1.0)
+            max_delta = 1.0
+            continue
+        checked += 1
+        if int(server_eval.get("count", -1)) != evaluation["count"]:
+            note(
+                cls,
+                "count",
+                server_eval.get("count"),
+                evaluation["count"],
+                1.0,
+            )
+            max_delta = max(max_delta, 1.0)
+        for field in _RATE_FIELDS:
+            server_value = server_eval.get(field)
+            our_value = evaluation[field]
+            if server_value is None or our_value is None:
+                if server_value != our_value:
+                    note(cls, field, server_value, our_value, 1.0)
+                    max_delta = max(max_delta, 1.0)
+                continue
+            delta = abs(float(server_value) - float(our_value))
+            max_delta = max(max_delta, delta)
+            if delta > tolerance:
+                note(cls, field, server_value, our_value, delta)
+        server_burns = server_eval.get("burn_rates") or {}
+        our_burns = evaluation["burn_rates"]
+        for objective in ("availability", "latency", "degraded"):
+            server_value = float(server_burns.get(objective, 0.0))
+            our_value = float(our_burns[objective])
+            scale = max(1.0, abs(server_value), abs(our_value))
+            delta = abs(server_value - our_value) / scale
+            max_delta = max(max_delta, delta)
+            if delta > tolerance:
+                note(
+                    cls,
+                    f"burn_rates.{objective}",
+                    server_value,
+                    our_value,
+                    delta,
+                )
+    return {
+        "match": not mismatches,
+        "max_delta": max_delta,
+        "mismatches": mismatches,
+        "checked": checked,
+    }
+
+
+def time_to_insight_summary(
+    outcomes: Iterable[SessionOutcome],
+) -> dict[str, Any]:
+    """Time-to-insight percentiles across completed sessions.
+
+    Sessions that never reached ``insight_steps`` applies (too short,
+    or failed) are counted but excluded from the percentile sample;
+    values are ``None`` (JSON null, never NaN) when nothing qualified.
+    """
+    outcomes = list(outcomes)
+    samples = sorted(
+        o.time_to_insight_seconds
+        for o in outcomes
+        if o.time_to_insight_seconds is not None
+    )
+    return {
+        "sessions": len(outcomes),
+        "completed": sum(1 for o in outcomes if o.completed),
+        "with_insight": len(samples),
+        "p50_seconds": percentile(samples, 50.0),
+        "p95_seconds": percentile(samples, 95.0),
+        "max_seconds": samples[-1] if samples else None,
+    }

@@ -134,6 +134,91 @@ class TestSlowTraceLog:
         with pytest.raises(ValueError, match="threshold_ms"):
             SlowTraceLog(threshold_ms=-1.0)
 
+    def test_rate_and_burst_validation(self):
+        with pytest.raises(ValueError, match="rate_per_second"):
+            SlowTraceLog(threshold_ms=0.0, rate_per_second=0.0)
+        with pytest.raises(ValueError, match="burst"):
+            SlowTraceLog(threshold_ms=0.0, burst=0)
+
+    def test_token_bucket_suppresses_floods_per_operation(self, caplog):
+        clock = FakeClock()
+        sink = SlowTraceLog(
+            threshold_ms=0.0,
+            logger=logging.getLogger("t.bucket"),
+            rate_per_second=1.0,
+            burst=2,
+            clock=clock,
+        )
+        trace = make_trace(route="GET /slow")
+        with caplog.at_level(logging.WARNING, logger="t.bucket"):
+            for _ in range(10):
+                sink(trace)
+        assert sink.slow_traces == 10
+        assert sink.suppressed_total == 8  # burst of 2 logged, rest counted
+        assert len(caplog.records) == 2
+
+    def test_suppressed_count_reported_on_next_permitted_log(self, caplog):
+        clock = FakeClock()
+        sink = SlowTraceLog(
+            threshold_ms=0.0,
+            logger=logging.getLogger("t.suppressed"),
+            rate_per_second=1.0,
+            burst=1,
+            clock=clock,
+        )
+        trace = make_trace(route="GET /slow")
+        with caplog.at_level(logging.WARNING, logger="t.suppressed"):
+            sink(trace)  # logs (bucket starts full)
+            sink(trace)  # suppressed
+            sink(trace)  # suppressed
+            clock.advance(5.0)  # refill
+            sink(trace)  # logs again, carrying the count
+        assert len(caplog.records) == 2
+        assert "suppressed=" not in caplog.records[0].getMessage()
+        assert "suppressed=2" in caplog.records[1].getMessage()
+
+    def test_distinct_operations_have_independent_buckets(self, caplog):
+        clock = FakeClock()
+        sink = SlowTraceLog(
+            threshold_ms=0.0,
+            logger=logging.getLogger("t.ops"),
+            rate_per_second=0.001,
+            burst=1,
+            clock=clock,
+        )
+        with caplog.at_level(logging.WARNING, logger="t.ops"):
+            sink(make_trace(route="GET /a"))
+            sink(make_trace(route="GET /a"))  # suppressed
+            sink(make_trace(route="GET /b"))  # fresh bucket → logs
+        assert len(caplog.records) == 2
+        assert sink.suppressed_total == 1
+
+    def test_operation_falls_back_to_root_name_without_route(self, caplog):
+        clock = FakeClock()
+        sink = SlowTraceLog(
+            threshold_ms=0.0,
+            logger=logging.getLogger("t.name"),
+            rate_per_second=0.001,
+            burst=1,
+            clock=clock,
+        )
+        with caplog.at_level(logging.WARNING, logger="t.name"):
+            sink(make_trace(name="op_a"))
+            sink(make_trace(name="op_a"))  # same key → suppressed
+            sink(make_trace(name="op_b"))  # different key → logs
+        assert len(caplog.records) == 2
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
 
 class TestRenderTree:
     def test_renders_one_line_per_span(self):

@@ -125,6 +125,7 @@ class TestSpanStatsSink:
             "subdex_span_inclusive_seconds_total",
             "subdex_span_exclusive_seconds_total",
             "subdex_span_seconds",
+            "subdex_span_quantile_seconds",
         }
         counts = families["subdex_span_count_total"]
         assert counts.kind == "counter"
@@ -132,10 +133,57 @@ class TestSpanStatsSink:
             sample.labels["name"]: sample.value for sample in counts.samples
         }
         assert labels == {"root": 1, "inner": 1}
-        quantiles = families["subdex_span_seconds"]
+        quantiles = families["subdex_span_quantile_seconds"]
+        assert quantiles.kind == "gauge"
         assert {
             sample.labels["quantile"] for sample in quantiles.samples
         } == {"p50", "p95"}
+
+    def test_collect_emits_cumulative_histogram(self):
+        sink = SpanStatsSink()
+        # 0.003s lands in the 0.005 bucket, 0.2s in the 0.25 bucket,
+        # 99s overflows every bound
+        sink(_trace(_span("op", "a", None, 0.003)))
+        sink(_trace(_span("op", "b", None, 0.2)))
+        sink(_trace(_span("op", "c", None, 99.0)))
+        families = {family.name: family for family in sink.collect()}
+        histogram = families["subdex_span_seconds"]
+        assert histogram.kind == "histogram"
+        buckets = {
+            sample.labels["le"]: sample.value
+            for sample in histogram.samples
+            if sample.suffix == "_bucket"
+        }
+        assert buckets["0.001"] == 0
+        assert buckets["0.005"] == 1
+        assert buckets["0.25"] == 2
+        assert buckets["30"] == 2
+        assert buckets["+Inf"] == 3
+        # counts are monotone non-decreasing in bound order
+        ordered = [
+            sample.value
+            for sample in histogram.samples
+            if sample.suffix == "_bucket"
+        ]
+        assert ordered == sorted(ordered)
+        (sum_sample,) = [
+            s for s in histogram.samples if s.suffix == "_sum"
+        ]
+        assert sum_sample.value == pytest.approx(0.003 + 0.2 + 99.0)
+        (count_sample,) = [
+            s for s in histogram.samples if s.suffix == "_count"
+        ]
+        assert count_sample.value == 3
+
+    def test_collect_rendering_escapes_label_values(self):
+        sink = SpanStatsSink()
+        tricky = 'op with "quotes" and \\slash'
+        sink(_trace(_span(tricky, "a", None, 0.01)))
+        families = {family.name: family for family in sink.collect()}
+        text = families["subdex_span_seconds"].render()
+        assert 'name="op with \\"quotes\\" and \\\\slash"' in text
+        assert "subdex_span_seconds_bucket" in text
+        assert 'le="+Inf"' in text
 
 
 class TestTreeCosts:

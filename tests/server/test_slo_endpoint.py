@@ -1,0 +1,106 @@
+"""GET /slo end to end: live scorecard, config knobs, Prometheus lines."""
+
+from __future__ import annotations
+
+import json
+
+from repro.server import ServerConfig, SubDExClient, build_server
+
+
+class TestSloEndpoint:
+    def test_scorecard_reflects_traffic(self, client):
+        session = client.create_session()
+        session.maps()
+        session.recommendations()
+        session.close()
+        card = client.slo()
+        assert card["enabled"] is True
+        assert card["state"] in ("ok", "slow_burn", "fast_burn")
+        classes = card["classes"]
+        assert set(classes) == {"recommendations", "steps", "reads", "ops"}
+        # POST /sessions landed in steps, maps/close in reads
+        assert classes["steps"]["windows"]["total"]["count"] >= 1
+        assert classes["reads"]["windows"]["total"]["count"] >= 2
+        assert (
+            classes["recommendations"]["windows"]["total"]["count"] >= 1
+        )
+        json.dumps(card, allow_nan=False)  # raises if NaN leaks in
+
+    def test_objectives_and_budget_present(self, client):
+        card = client.slo()
+        recommendations = card["classes"]["recommendations"]
+        assert recommendations["objectives"]["latency_ms"] == 800.0
+        assert set(recommendations["budget_remaining"]) == {
+            "availability",
+            "latency",
+            "degraded",
+        }
+        assert recommendations["burn"]["fast_threshold"] == 14.4
+
+    def test_prometheus_families_exported(self, client):
+        client.create_session().close()
+        text = client.request("GET", "/metrics", query={"format": "prometheus"})[
+            "text"
+        ]
+        assert "subdex_slo_requests_total" in text
+        assert 'subdex_slo_request_seconds_bucket{class="steps",le="+Inf"}' in text
+        assert "subdex_slo_request_seconds_sum" in text
+        assert "subdex_slo_objective" in text
+
+    def test_disabled_via_config(self, make_server):
+        server = make_server(slo_enabled=False)
+        with SubDExClient(server.url) as client:
+            card = client.slo()
+            assert card["enabled"] is False
+            assert "classes" not in card
+            text = client.request(
+                "GET", "/metrics", query={"format": "prometheus"}
+            )["text"]
+            assert "subdex_slo_requests_total" not in text
+
+    def test_custom_slo_config_file(self, tiny_db, tmp_path):
+        import threading
+
+        from repro import SubDEx, SubDExConfig
+        from repro.core.recommend import RecommenderConfig
+
+        path = tmp_path / "slo.json"
+        path.write_text(
+            json.dumps({"classes": {"reads": {"latency_ms": 1}}})
+        )
+        server = build_server(
+            {
+                "tiny": lambda: SubDEx(
+                    tiny_db,
+                    SubDExConfig(
+                        recommender=RecommenderConfig(
+                            max_values_per_attribute=3
+                        )
+                    ),
+                )
+            },
+            port=0,
+            config=ServerConfig(slo_config_path=str(path)),
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with SubDExClient(server.url) as client:
+                card = client.slo()
+                assert (
+                    card["classes"]["reads"]["objectives"]["latency_ms"]
+                    == 1.0
+                )
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_slo_events_land_in_server_metrics(self, server):
+        # burn-rate transitions reach /metrics through the on_event hook
+        server.slo._on_event({"class": "reads", "to": "fast_burn"})
+        assert server.metrics.event_count("slo_fast_burn") == 1
+
+    def test_uptime_reported(self, client):
+        card = client.slo()
+        assert card["uptime_seconds"] >= 0.0
+        assert card["recent_events"] == []

@@ -1,0 +1,24 @@
+"""Shared fixtures for the SLO test suite."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _propagate_repro_logs():
+    """Let ``repro.slo`` records reach caplog's root handler.
+
+    Any earlier test that called ``setup_logging`` leaves the ``repro``
+    logger with ``propagate = False`` (that is the library's documented
+    behaviour), which would silently blind ``caplog`` here depending on
+    suite order.  Re-enable propagation for the duration of each test
+    and restore the previous state afterwards.
+    """
+    logger = logging.getLogger("repro")
+    previous = logger.propagate
+    logger.propagate = True
+    yield
+    logger.propagate = previous

@@ -1,0 +1,219 @@
+"""SLOTracker: ingest classification, burn alerts, scorecards, metrics."""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.slo import SLOTracker, merge_worker_totals, scorecard_from_totals
+from repro.slo.spec import default_slo_config
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_tracker(**kwargs) -> tuple[SLOTracker, FakeClock]:
+    clock = FakeClock()
+    return SLOTracker(clock=clock, **kwargs), clock
+
+
+class TestIngest:
+    def test_routes_and_ops_classify_differently(self):
+        tracker, __ = make_tracker()
+        tracker.ingest("GET /sessions/{id}/recommendations", 200, 0.05)
+        tracker.ingest("session.recommendations", 200, 0.05, op=True)
+        tracker.ingest("GET /metrics", 200, 0.01)
+        totals = tracker.totals()
+        assert totals["recommendations"]["total"]["count"] == 2
+        assert totals["ops"]["total"]["count"] == 1
+
+    def test_error_and_budget_accounting(self):
+        tracker, __ = make_tracker()
+        tracker.ingest("GET /sessions/{id}/maps", 200, 0.01)  # within 250ms
+        tracker.ingest("GET /sessions/{id}/maps", 200, 0.4)  # over budget
+        tracker.ingest("GET /sessions/{id}/maps", 500, 0.01)
+        total = tracker.totals()["reads"]["total"]
+        assert total["count"] == 3
+        assert total["errors"] == 1
+        assert total["within_budget"] == 2
+
+    def test_shed_degraded_rung(self):
+        tracker, __ = make_tracker()
+        tracker.ingest(
+            "GET /sessions/{id}/recommendations",
+            200,
+            0.1,
+            degraded=True,
+            rung="1",
+        )
+        tracker.ingest(
+            "GET /sessions/{id}/recommendations", 503, 0.001, shed=True
+        )
+        total = tracker.totals()["recommendations"]["total"]
+        assert total["shed"] == 1
+        assert total["degraded"] == 1
+        assert total["rungs"] == {"1": 1}
+
+
+class TestBurnAlerts:
+    def test_sustained_errors_raise_fast_burn(self, caplog):
+        events = []
+        tracker, clock = make_tracker(on_event=events.append)
+        with caplog.at_level(logging.WARNING, logger="repro.slo"):
+            for __ in range(20):
+                tracker.ingest("GET /sessions/{id}/maps", 500, 0.01)
+                clock.advance(1.1)  # past the evaluation throttle
+        assert any(e["to"] == "fast_burn" for e in events)
+        assert "fast_burn" in caplog.text
+        assert tracker.scorecard()["classes"]["reads"]["state"] == "fast_burn"
+        assert any(
+            e["to"] == "fast_burn" for e in tracker.recent_events()
+        )
+
+    def test_recovery_logs_at_info(self, caplog):
+        events = []
+        tracker, clock = make_tracker(on_event=events.append)
+        for __ in range(20):
+            tracker.ingest("GET /sessions/{id}/maps", 500, 0.01)
+            clock.advance(1.1)
+        # the bad minute rolls out of both burn windows
+        clock.advance(3700.0)
+        with caplog.at_level(logging.INFO, logger="repro.slo"):
+            tracker.ingest("GET /sessions/{id}/maps", 200, 0.01)
+        assert events[-1]["to"] == "ok"
+        assert "-> ok" in caplog.text
+
+    def test_on_event_exceptions_are_swallowed(self):
+        def explode(event):
+            raise RuntimeError("observer bug")
+
+        tracker, clock = make_tracker(on_event=explode)
+        for __ in range(20):
+            tracker.ingest("GET /sessions/{id}/maps", 500, 0.01)
+            clock.advance(1.1)
+        assert tracker.totals()["reads"]["total"]["count"] == 20
+
+    def test_evaluation_is_throttled(self):
+        events = []
+        tracker, clock = make_tracker(on_event=events.append)
+        # clock frozen: only the first ingest may trigger an evaluation
+        for __ in range(50):
+            tracker.ingest("GET /sessions/{id}/maps", 500, 0.01)
+        first = len(events)
+        for __ in range(50):
+            tracker.ingest("GET /sessions/{id}/maps", 500, 0.01)
+        assert len(events) == first  # no re-evaluation while throttled
+
+
+class TestScorecard:
+    def test_empty_tracker_serializes_without_nan(self):
+        tracker, __ = make_tracker()
+        card = tracker.scorecard()
+        text = json.dumps(card, allow_nan=False)
+        assert "NaN" not in text
+        assert card["state"] == "ok"
+        for cls in card["classes"].values():
+            assert cls["windows"]["total"]["availability"] is None
+            assert cls["budget_remaining"]["availability"] == 1.0
+
+    def test_budget_depletes_with_errors(self):
+        tracker, __ = make_tracker()
+        for index in range(100):
+            status = 500 if index < 2 else 200
+            tracker.ingest("GET /sessions/{id}/maps", status, 0.01)
+        card = tracker.scorecard()
+        reads = card["classes"]["reads"]
+        # 2% errors against a 99.9% availability target: budget gone
+        assert reads["budget_remaining"]["availability"] == 0.0
+        assert reads["windows"]["total"]["availability"] == pytest.approx(
+            0.98
+        )
+
+    def test_fleet_merge_equals_sum(self):
+        config = default_slo_config()
+        a, __ = make_tracker()
+        b, __ = make_tracker()
+        for __i in range(3):
+            a.ingest("GET /sessions/{id}/maps", 200, 0.01)
+        for __i in range(2):
+            b.ingest("GET /sessions/{id}/maps", 500, 0.01)
+        merged = merge_worker_totals([a.totals(), b.totals()])
+        assert merged["reads"]["total"]["count"] == 5
+        assert merged["reads"]["total"]["errors"] == 2
+        card = scorecard_from_totals(config, merged)
+        assert card["classes"]["reads"]["windows"]["total"][
+            "availability"
+        ] == pytest.approx(0.6)
+
+
+class TestCollect:
+    def test_families_and_cumulative_buckets(self):
+        tracker, __ = make_tracker()
+        tracker.ingest("GET /sessions/{id}/recommendations", 200, 0.05)
+        tracker.ingest("GET /sessions/{id}/recommendations", 200, 0.3)
+        families = {family.name: family for family in tracker.collect()}
+        assert "subdex_slo_requests_total" in families
+        histogram = families["subdex_slo_request_seconds"]
+        assert histogram.kind == "histogram"
+        buckets = [
+            sample.value
+            for sample in histogram.samples
+            if sample.suffix == "_bucket"
+            and sample.labels["class"] == "recommendations"
+        ]
+        assert buckets == sorted(buckets)  # cumulative → monotone
+        assert buckets[-1] == 2  # +Inf sees everything
+        rendered = histogram.render()
+        assert 'le="+Inf"' in rendered
+        assert "subdex_slo_request_seconds_bucket" in rendered
+
+    def test_empty_windows_emit_no_attainment(self):
+        tracker, __ = make_tracker()
+        families = {family.name: family for family in tracker.collect()}
+        assert families["subdex_slo_attainment"].samples == []
+        # burn gauges exist and are zero (empty window burns nothing)
+        burns = families["subdex_slo_burn_rate"].samples
+        assert burns and all(sample.value == 0.0 for sample in burns)
+
+    def test_alert_counter_after_transitions(self):
+        tracker, clock = make_tracker()
+        for __ in range(20):
+            tracker.ingest("GET /sessions/{id}/maps", 500, 0.01)
+            clock.advance(1.1)
+        families = {family.name: family for family in tracker.collect()}
+        alerts = families["subdex_slo_alerts_total"].samples
+        assert any(
+            sample.labels == {"class": "reads", "state": "fast_burn"}
+            for sample in alerts
+        )
+
+    def test_collect_under_concurrent_ingest(self):
+        tracker, __ = make_tracker()
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                tracker.ingest("GET /sessions/{id}/maps", 200, 0.01)
+
+        threads = [threading.Thread(target=hammer) for __ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for __ in range(20):
+                families = tracker.collect()
+                assert len(families) == 12
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()

@@ -1,0 +1,178 @@
+"""Rolling windows: rotation boundaries, merging, concurrent ingest."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.slo import ClassWindows, WindowCounts, merge_counts
+from repro.slo.windows import BUCKET_BOUNDS, _SlotRing
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def ingest_ok(windows: ClassWindows, seconds: float = 0.01, **kwargs) -> None:
+    defaults = dict(
+        error=False, shed=False, degraded=False, within_budget=True
+    )
+    defaults.update(kwargs)
+    windows.ingest(seconds, **defaults)
+
+
+class TestWindowCounts:
+    def test_json_roundtrip(self):
+        counts = WindowCounts()
+        counts.add_sample(0.02, 3, True, False, True, False, "2")
+        counts.add_sample(0.5, 9, False, True, False, True, "2")
+        restored = WindowCounts.from_json(counts.to_json())
+        assert restored.to_json() == counts.to_json()
+        assert restored.count == 2
+        assert restored.rungs == {"2": 2}
+
+    def test_merge_adds_everything(self):
+        a, b = WindowCounts(), WindowCounts()
+        a.add_sample(0.1, 1, True, False, False, False, "0")
+        b.add_sample(0.2, 1, False, True, True, True, "0")
+        a.merge(b)
+        assert a.count == 2
+        assert a.errors == 1
+        assert a.shed == 1
+        assert a.degraded == 1
+        assert a.within_budget == 1
+        assert a.sum_seconds == pytest.approx(0.3)
+        assert a.buckets[1] == 2
+        assert a.rungs == {"0": 2}
+
+    def test_merge_counts_over_json_parts(self):
+        a, b = WindowCounts(), WindowCounts()
+        a.add_sample(0.1, 0, False, False, False, True, None)
+        b.add_sample(0.1, 0, True, False, False, False, None)
+        merged = merge_counts([a.to_json(), b.to_json()])
+        assert merged.count == 2
+        assert merged.errors == 1
+
+
+class TestSlotRing:
+    def test_slots_rotate_and_reset(self):
+        ring = _SlotRing(slot_seconds=1.0, n_slots=3)
+        ring.slot(0.0).count = 5
+        # same epoch → same live slot, no reset
+        assert ring.slot(0.9).count == 5
+        # three epochs later the position is reused and must come clean
+        assert ring.slot(3.0).count == 0
+
+    def test_totals_drop_expired_slots(self):
+        ring = _SlotRing(slot_seconds=1.0, n_slots=3)
+        ring.slot(0.0).count = 1
+        ring.slot(1.0).count = 1
+        assert ring.totals(1.0).count == 2
+        # at t=3 the epoch-0 slot has left the [1..3] window
+        assert ring.totals(3.0).count == 1
+        assert ring.totals(10.0).count == 0
+
+
+class TestClassWindows:
+    def test_window_rotation_boundaries(self):
+        clock = FakeClock()
+        windows = ClassWindows(clock=clock)
+        ingest_ok(windows)
+        counts = windows.window_counts()
+        assert counts["1m"].count == 1
+        assert counts["5m"].count == 1
+        assert counts["1h"].count == 1
+        assert counts["total"].count == 1
+        clock.advance(61.0)  # out of 1m, still inside 5m and 1h
+        counts = windows.window_counts()
+        assert counts["1m"].count == 0
+        assert counts["5m"].count == 1
+        assert counts["1h"].count == 1
+        clock.advance(300.0)  # out of 5m too
+        counts = windows.window_counts()
+        assert counts["5m"].count == 0
+        assert counts["1h"].count == 1
+        clock.advance(3600.0)  # everything rolled off but the total
+        counts = windows.window_counts()
+        assert counts["1h"].count == 0
+        assert counts["total"].count == 1
+
+    def test_bucket_index_from_bounds(self):
+        clock = FakeClock()
+        windows = ClassWindows(clock=clock)
+        ingest_ok(windows, seconds=0.0005)  # below the first bound
+        ingest_ok(windows, seconds=99.0)  # above the last bound
+        total = windows.window_counts()["total"]
+        assert total.buckets[0] == 1
+        assert total.buckets[len(BUCKET_BOUNDS)] == 1
+        assert sum(total.buckets) == total.count
+
+    def test_flags_accumulate(self):
+        clock = FakeClock()
+        windows = ClassWindows(clock=clock)
+        ingest_ok(windows, error=True, within_budget=False)
+        ingest_ok(windows, shed=True, degraded=True, rung="1")
+        total = windows.window_counts()["total"]
+        assert total.errors == 1
+        assert total.shed == 1
+        assert total.degraded == 1
+        assert total.within_budget == 1
+        assert total.rungs == {"1": 1}
+
+    def test_concurrent_ingest_loses_nothing(self):
+        """8 threads hammering one ClassWindows: every sample lands."""
+        windows = ClassWindows()
+        n_threads, per_thread = 8, 500
+        barrier = threading.Barrier(n_threads)
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                windows.ingest(
+                    0.001 * (i % 7 + 1),
+                    error=i % 10 == 0,
+                    shed=False,
+                    degraded=i % 5 == 0,
+                    within_budget=True,
+                    rung=str(index % 3),
+                )
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected = n_threads * per_thread
+        counts = windows.window_counts()
+        total = counts["total"]
+        assert total.count == expected
+        assert total.errors == n_threads * sum(
+            1 for i in range(per_thread) if i % 10 == 0
+        )
+        assert total.degraded == n_threads * sum(
+            1 for i in range(per_thread) if i % 5 == 0
+        )
+        assert sum(total.buckets) == expected
+        assert sum(total.rungs.values()) == expected
+        # the run takes well under a minute: the 1m window saw it all too
+        assert counts["1m"].count == expected
+
+    def test_totals_json_shape(self):
+        clock = FakeClock()
+        windows = ClassWindows(clock=clock)
+        ingest_ok(windows)
+        payload = windows.totals_json()
+        assert set(payload) == {"1m", "5m", "1h", "total"}
+        assert payload["total"]["count"] == 1
+        assert isinstance(payload["total"]["buckets"], list)

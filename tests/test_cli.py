@@ -102,6 +102,20 @@ class TestUsageErrors:
         assert main(["serve", "--dataset", "nope"]) == 2
         assert "unknown dataset" in capsys.readouterr().err
 
+    def test_serve_missing_slo_config_exits_2(self, capsys):
+        code = main(["serve", "--slo-config", "/no/such/slo.json"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: --slo-config:")
+        assert err.count("\n") == 1  # a one-line message, not a traceback
+
+    def test_serve_invalid_slo_config_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "slo.json"
+        path.write_text('{"classes": 3}')
+        assert main(["serve", "--slo-config", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "--slo-config:" in err and "JSON object" in err
+
 
 class TestExploreCommand:
     def test_explore_writes_log(self, tmp_path, capsys):

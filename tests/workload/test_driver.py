@@ -1,0 +1,217 @@
+"""Workload driver units: profile validation, sampling, offline report."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.slo import default_slo_config, scorecard_from_totals
+from repro.workload import (
+    RequestRecord,
+    SessionOutcome,
+    WorkloadProfile,
+    compare_scorecards,
+    offline_counts,
+    offline_scorecard,
+    time_to_insight_summary,
+)
+from repro.workload.driver import _pick_weighted, _zipf_weights
+
+
+class TestWorkloadProfile:
+    def test_defaults_valid(self):
+        WorkloadProfile()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duration_seconds": 0.0},
+            {"arrival_rate_per_second": -1.0},
+            {"mean_think_seconds": -0.1},
+            {"mean_steps": 0.5},
+            {"datasets": ()},
+            {"mode_mix": {}},
+            {"mode_mix": {"telepathic": 1.0}},
+            {"mode_mix": {"user_driven": -1.0}},
+            {"insight_steps": 0},
+            {"max_concurrent_sessions": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadProfile(**kwargs)
+
+
+class TestSampling:
+    def test_pick_weighted_respects_weights(self):
+        rng = random.Random(3)
+        picks = [
+            _pick_weighted(rng, [("a", 0.9), ("b", 0.1)]) for __ in range(500)
+        ]
+        assert picks.count("a") > picks.count("b")
+
+    def test_pick_weighted_zero_weight_never_chosen(self):
+        rng = random.Random(3)
+        picks = {
+            _pick_weighted(rng, [("a", 1.0), ("b", 0.0)]) for __ in range(200)
+        }
+        assert picks == {"a"}
+
+    def test_zipf_weights_are_heavy_tailed(self):
+        weights = _zipf_weights(4, 1.0)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == pytest.approx(1.0)
+        assert weights[1] == pytest.approx(0.5)
+
+
+def record(
+    route: str = "GET /sessions/{id}/maps",
+    status: int = 200,
+    seconds: float = 0.01,
+    **kwargs,
+) -> RequestRecord:
+    return RequestRecord(
+        route=route,
+        status=status,
+        seconds=seconds,
+        wall_seconds=seconds,
+        **kwargs,
+    )
+
+
+class TestOfflineCounts:
+    def test_tallies_by_class(self):
+        config = default_slo_config()
+        records = [
+            record("POST /sessions"),
+            record("GET /sessions/{id}/maps"),
+            record("GET /sessions/{id}/maps", status=500),
+            record("GET /sessions/{id}/recommendations", seconds=2.0),
+        ]
+        counts = offline_counts(config, records)
+        assert counts["steps"]["count"] == 1
+        assert counts["reads"]["count"] == 2
+        assert counts["reads"]["errors"] == 1
+        # 2s blows the 800ms recommendations budget
+        assert counts["recommendations"]["within_budget"] == 0
+
+    def test_unobserved_records_excluded(self):
+        config = default_slo_config()
+        records = [
+            record(),
+            record(status=0, observed=False),
+        ]
+        counts = offline_counts(config, records)
+        assert counts["reads"]["count"] == 1
+
+    def test_shed_degraded_rungs(self):
+        config = default_slo_config()
+        records = [
+            record(
+                "GET /sessions/{id}/recommendations",
+                status=503,
+                shed=True,
+            ),
+            record(
+                "GET /sessions/{id}/recommendations",
+                degraded=True,
+                rung=2,
+            ),
+        ]
+        counts = offline_counts(config, records)["recommendations"]
+        assert counts["shed"] == 1
+        assert counts["degraded"] == 1
+        assert counts["rungs"] == {"2": 1}
+
+
+class TestCompareScorecards:
+    def _server_card(self, records):
+        """A server scorecard built from the same records via the same
+        windows shape the tracker produces — a self-consistency fixture."""
+        config = default_slo_config()
+        counts = offline_counts(config, records)
+        totals = {cls: {"total": c} for cls, c in counts.items()}
+        return config, scorecard_from_totals(config, totals)
+
+    def test_identical_tallies_match(self):
+        records = [
+            record("POST /sessions"),
+            record("GET /sessions/{id}/maps"),
+            record("GET /sessions/{id}/recommendations", seconds=0.1),
+            record("GET /sessions/{id}/recommendations", status=500),
+        ]
+        config, card = self._server_card(records)
+        comparison = compare_scorecards(config, card, records)
+        assert comparison["match"] is True
+        assert comparison["max_delta"] == 0.0
+        assert comparison["checked"] == 3
+
+    def test_divergent_counts_flagged(self):
+        records = [record("GET /sessions/{id}/maps") for __ in range(4)]
+        config, card = self._server_card(records)
+        comparison = compare_scorecards(config, card, records[:-1])
+        assert comparison["match"] is False
+        fields = {m["field"] for m in comparison["mismatches"]}
+        assert "count" in fields
+
+    def test_divergent_rates_flagged(self):
+        records = [
+            record("GET /sessions/{id}/maps", status=200),
+            record("GET /sessions/{id}/maps", status=500),
+        ]
+        config, card = self._server_card(records)
+        # offline sees both as successes → availability disagrees by 0.5
+        tweaked = [
+            record("GET /sessions/{id}/maps", status=200),
+            record("GET /sessions/{id}/maps", status=200),
+        ]
+        comparison = compare_scorecards(config, card, tweaked)
+        assert comparison["match"] is False
+        assert comparison["max_delta"] >= 0.5
+
+    def test_missing_server_class_flagged(self):
+        config = default_slo_config()
+        records = [record("GET /sessions/{id}/maps")]
+        comparison = compare_scorecards(
+            config, {"classes": {}}, records
+        )
+        assert comparison["match"] is False
+        assert comparison["mismatches"][0]["field"] == "present"
+
+    def test_classes_without_offline_traffic_skipped(self):
+        config = default_slo_config()
+        comparison = compare_scorecards(config, {"classes": {}}, [])
+        assert comparison["match"] is True
+        assert comparison["checked"] == 0
+
+
+class TestTimeToInsight:
+    def test_summary(self):
+        outcomes = [
+            SessionOutcome(
+                mode="recommendation_powered",
+                dataset="yelp",
+                time_to_insight_seconds=1.0,
+                completed=True,
+            ),
+            SessionOutcome(
+                mode="user_driven",
+                dataset="yelp",
+                time_to_insight_seconds=3.0,
+                completed=True,
+            ),
+            SessionOutcome(mode="fully_automated", dataset="yelp"),
+        ]
+        summary = time_to_insight_summary(outcomes)
+        assert summary["sessions"] == 3
+        assert summary["completed"] == 2
+        assert summary["with_insight"] == 2
+        assert summary["p50_seconds"] == pytest.approx(2.0)
+        assert summary["max_seconds"] == 3.0
+
+    def test_empty_is_null_never_nan(self):
+        summary = time_to_insight_summary([])
+        assert summary["p50_seconds"] is None
+        assert summary["p95_seconds"] is None
+        assert summary["max_seconds"] is None
