@@ -29,11 +29,14 @@ from __future__ import annotations
 import os
 import tempfile
 
+import threading
+
 from repro.bench import Metric, format_table, report, time_call
 from repro.core.engine import SubDEx, SubDExConfig
 from repro.datasets import yelp
 from repro.obs import JsonlTraceSink, TraceRingBuffer, configure, get_tracer
 from repro.perf import SamplingProfiler, filter_stacks, merge_profiles
+from repro.server import ServerConfig, SubDExClient, build_server
 
 _ROUNDS = int(os.environ.get("REPRO_OBS_BENCH_ROUNDS", "3"))
 _RELATIVE_SLACK = 1.05  # the ≤5% overhead acceptance bar
@@ -56,6 +59,59 @@ def _workload(database):
             record.recommendations[0].operation, with_recommendations=True
         )
     return record
+
+
+def _collect_overhead(database):
+    """Fleet trace collection cost on a live 2-worker server.
+
+    The same client workload (session step + maps + one scatter scan) is
+    timed with fleet collection off vs on — tail sampling at 5%, so the
+    measured cost is fragment shipping + reassembly + sampling, not
+    record storage.  Returns (samples, stitched, counters).
+    """
+    server = build_server(
+        {"yelp": lambda: SubDEx(database, SubDExConfig(use_index=True))},
+        config=ServerConfig(workers=2, shards=4, trace_sample_rate=0.05),
+    )
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    collector = server.collector
+
+    def set_collect(enabled: bool) -> None:
+        server.cluster.collect_traces = enabled
+        server.tracer.remove_sink(collector)
+        if enabled:
+            server.tracer.add_sink(collector)
+
+    try:
+        with SubDExClient(server.url) as client:
+
+            def client_workload():
+                session = client.create_session()
+                client.request("GET", f"/sessions/{session.id}/maps")
+                client.cluster_maps()
+                session.close()
+
+            client_workload()  # warm workers, sockets, caches
+            samples = {"collect-off": [], "collect-on": []}
+            for __ in range(_ROUNDS):  # interleaved, like the engine runs
+                for name, enabled in (
+                    ("collect-off", False),
+                    ("collect-on", True),
+                ):
+                    set_collect(enabled)
+                    samples[name].append(
+                        time_call(client_workload)[1]
+                    )
+            # one burn-pinned workload proves end-to-end assembly: its
+            # traces bypass the 5% sampling and must stitch completely
+            set_collect(True)
+            server.trace_sampler.pin_burn("bench")
+            client_workload()
+            stitched = [r for r in collector.search() if r["workers"]]
+            counters = collector.counters()
+    finally:
+        server.graceful_shutdown(drain_seconds=5.0)
+    return samples, stitched, counters
 
 
 def test_obs_overhead(benchmark, tmp_path_factory):
@@ -121,6 +177,7 @@ def test_obs_overhead(benchmark, tmp_path_factory):
         return samples
 
     samples = benchmark.pedantic(run, rounds=1, iterations=1)
+    collect_samples, stitched, collect_counters = _collect_overhead(database)
     means = {
         name: sum(times) / len(times) for name, times in samples.items()
     }
@@ -144,6 +201,21 @@ def test_obs_overhead(benchmark, tmp_path_factory):
         for name, __ in variants
     ]
     merged = merge_profiles(profiles)
+    collect_bests = {
+        name: min(times) for name, times in collect_samples.items()
+    }
+    collect_off = collect_bests["collect-off"]
+    collect_rows = [
+        (
+            name,
+            f"{sum(times) / len(times) * 1000.0:.1f}",
+            f"{collect_bests[name] * 1000.0:.1f}",
+            f"{collect_bests[name] / collect_off:.3f}x"
+            if collect_off
+            else "n/a",
+        )
+        for name, times in collect_samples.items()
+    ]
     text = (
         "== Observability overhead: tracer off/on/on+jsonl, profiler on ==\n"
         + format_table(("variant", "mean (ms)", "best (ms)", "vs off"), rows)
@@ -154,6 +226,14 @@ def test_obs_overhead(benchmark, tmp_path_factory):
         + f"\nacceptance: enabled/profiled within"
         + f" {(_RELATIVE_SLACK - 1) * 100:.0f}% of disabled"
         + f" (+{_ABSOLUTE_SLACK_S * 1000:.0f}ms noise allowance)"
+        + "\n\n== Fleet collection overhead: 2 workers, 5% tail sampling ==\n"
+        + format_table(
+            ("variant", "mean (ms)", "best (ms)", "vs off"), collect_rows
+        )
+        + f"\nfragments received: {collect_counters['fragments_received']}"
+        + f"\ntraces kept/dropped: {collect_counters['kept']}"
+        + f"/{collect_counters['dropped']}"
+        + f"\nstitched traces (burn-pinned probe): {len(stitched)}"
     )
     metrics = {
         name: bests[name] for name in ("off", "on", "profiled")
@@ -173,6 +253,13 @@ def test_obs_overhead(benchmark, tmp_path_factory):
         float(spans_recorded), unit="spans",
         higher_is_better=None, portable=True,
     )
+    metrics["collect_off"] = collect_off
+    metrics["collect_on"] = collect_bests["collect-on"]
+    if collect_off:
+        metrics["collect_vs_off"] = Metric(
+            collect_bests["collect-on"] / collect_off, unit="x",
+            higher_is_better=False, portable=True,
+        )
     report(
         "obs_overhead",
         text,
@@ -197,3 +284,20 @@ def test_obs_overhead(benchmark, tmp_path_factory):
             f"{name} overhead too high: best {bests[name]:.3f}s vs "
             f"off={off:.3f}s (budget {budget:.3f}s)"
         )
+    # fleet collection: fragments shipped from both workers, at least one
+    # fully stitched tree, and the same ≤5% overhead bar
+    assert collect_counters["fragments_received"] > 0, (
+        "collect-on rounds shipped no worker fragments"
+    )
+    assert stitched, "burn-pinned probe left no stitched trace"
+    scatters = [r for r in stitched if r["route"] == "POST /cluster/maps"]
+    assert scatters, "no stitched scatter trace collected"
+    probe = scatters[0]
+    assert probe["partial"] is False
+    assert sorted(w["worker"] for w in probe["workers"]) == [0, 1]
+    collect_budget = collect_off * _RELATIVE_SLACK + _ABSOLUTE_SLACK_S
+    assert collect_bests["collect-on"] <= collect_budget, (
+        f"fleet collection overhead too high: best "
+        f"{collect_bests['collect-on']:.3f}s vs off={collect_off:.3f}s "
+        f"(budget {collect_budget:.3f}s)"
+    )

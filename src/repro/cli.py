@@ -267,6 +267,11 @@ def cmd_serve(args: argparse.Namespace, out=None) -> int:
             raise CLIError(f"--slo-config: {error}")
     if args.shards is not None and args.shards < 1:
         raise CLIError(f"--shards must be >= 1, got {args.shards}")
+    if not 0.0 <= args.trace_sample_rate <= 1.0:
+        raise CLIError(
+            f"--trace-sample-rate must be in [0, 1], "
+            f"got {args.trace_sample_rate}"
+        )
     config = ServerConfig(
         max_sessions=args.max_sessions,
         session_ttl_seconds=args.session_ttl,
@@ -277,6 +282,10 @@ def cmd_serve(args: argparse.Namespace, out=None) -> int:
         drain_seconds=args.drain_seconds,
         tracing_enabled=not args.no_tracing,
         trace_file=args.trace_file,
+        trace_file_max_mb=args.trace_file_max_mb,
+        trace_ring_mb=args.trace_ring_mb,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_max_spans=args.trace_max_spans,
         slow_request_ms=args.slow_request_ms,
         workers=args.workers,
         shards=args.shards,
@@ -427,6 +436,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "?debug=1 breakdowns)")
     p_serve.add_argument("--trace-file", default=None,
                          help="append every finished trace to this JSONL file")
+    p_serve.add_argument("--trace-file-max-mb", type=float, default=None,
+                         help="rotate --trace-file past this size "
+                              "(trace.jsonl -> trace.jsonl.1, keeping 3 "
+                              "generations; default: grow unbounded)")
+    p_serve.add_argument("--trace-ring-mb", type=float, default=16.0,
+                         help="byte budget (MiB) for each in-memory trace "
+                              "store backing GET /debug/traces")
+    p_serve.add_argument("--trace-sample-rate", type=float, default=1.0,
+                         help="tail-sampling keep probability for unremarkable "
+                              "traces; error/shed/degraded/slow/burn-window "
+                              "traces are always kept")
+    p_serve.add_argument("--trace-max-spans", type=int, default=512,
+                         help="truncate pathological span trees past this "
+                              "many spans per trace (marked truncated: true)")
     p_serve.add_argument("--slow-request-ms", type=float, default=1000.0,
                          help="log requests slower than this at WARNING with "
                               "their span tree (0 logs everything)")

@@ -136,6 +136,7 @@ class WorkerPool:
         checkpoint_interval_seconds: float = 30.0,
         tracing_enabled: bool = True,
         slo_config: Mapping[str, Any] | None = None,
+        trace_max_spans: int = 512,
     ) -> None:
         if not datasets:
             raise ValueError("WorkerPool needs at least one dataset")
@@ -150,6 +151,15 @@ class WorkerPool:
         self._checkpoint_interval_seconds = checkpoint_interval_seconds
         self._tracing_enabled = tracing_enabled
         self._slo_config = dict(slo_config) if slo_config is not None else None
+        self._trace_max_spans = trace_max_spans
+        #: Fleet trace collection: when ``collect_traces`` is on, every
+        #: RPC message asks the worker to ship its finished span tree
+        #: back on the reply, and the fragment is handed to
+        #: ``trace_sink`` (the front's TraceCollector.add_fragment).
+        #: Sink exceptions are swallowed — collection must never fail an
+        #: RPC that already succeeded.
+        self.collect_traces = False
+        self.trace_sink: Callable[[Mapping[str, Any]], None] | None = None
         self.shard_map = ShardMap(self.config.n_shards)
         self.ring = HashRing(self.config.workers)
         self.segments = SegmentRegistry()
@@ -219,6 +229,7 @@ class WorkerPool:
             checkpoint_interval_seconds=self._checkpoint_interval_seconds,
             tracing_enabled=self._tracing_enabled,
             slo_config=self._slo_config,
+            trace_max_spans=self._trace_max_spans,
         )
 
     def _spawn(self, handle: _WorkerHandle) -> None:
@@ -349,6 +360,7 @@ class WorkerPool:
             "payload": dict(payload),
             "trace_id": current_trace_id(),
             "deadline_s": remaining,
+            "collect": self.collect_traces and self.trace_sink is not None,
         }
 
     def call(
@@ -385,6 +397,13 @@ class WorkerPool:
                 ) from error
         handle.rpcs_ok += 1
         handle.breaker.record_success()
+        fragment = reply.get("trace") if isinstance(reply, dict) else None
+        sink = self.trace_sink
+        if fragment is not None and sink is not None:
+            try:
+                sink(fragment)
+            except Exception:  # noqa: BLE001 - collection must not fail RPCs
+                pass
         return reply["status"], reply["payload"]
 
     # -- scatter/gather ------------------------------------------------------

@@ -49,6 +49,7 @@ from ..core.engine import SubDEx, SubDExConfig
 from ..core.history import ExplorationLog
 from ..core.modes import ExplorationMode, ExplorationPath
 from ..exceptions import EmptyGroupError, OperationError, ReproError
+from ..obs.collect import ThreadLocalTraceCapture, fragment_from_trace
 from ..obs.tracing import Tracer
 from ..perf.spanstats import SpanStatsSink
 from ..resilience.checkpoint import (
@@ -110,6 +111,8 @@ class WorkerSpec:
     #: disables per-worker SLO windows (the front still tracks HTTP-level
     #: SLOs itself).
     slo_config: Mapping[str, Any] | None = None
+    #: Truncation guard for shipped trace fragments (fleet collection).
+    trace_max_spans: int = 512
 
 
 class WorkerApp:
@@ -137,6 +140,11 @@ class WorkerApp:
         self.tracer = Tracer(enabled=spec.tracing_enabled)
         self.span_stats = SpanStatsSink()
         self.tracer.add_sink(self.span_stats)
+        # fleet trace collection: the root span closes on the handling
+        # thread, so a thread-local capture lets handle() pick the
+        # finished trace up and ship it back on the IPC reply
+        self.trace_capture = ThreadLocalTraceCapture()
+        self.tracer.add_sink(self.trace_capture)
         self.checkpointer: SessionCheckpointer | None = None
         if spec.checkpoint_dir is not None:
             store = CheckpointStore(
@@ -275,12 +283,29 @@ class WorkerApp:
             self.slo.ingest(
                 op, status, elapsed, degraded=degraded, rung=rung, op=True
             )
-        return {
+        envelope = {
             "status": status,
             "payload": reply,
             "worker": self.spec.index,
             "server_ms": elapsed * 1000.0,
         }
+        # fleet trace collection: ship this request's finished span tree
+        # back as a fragment when the front asked for it (supervision
+        # chatter uses raw ipc.request and never sets "collect")
+        trace = self.trace_capture.take()
+        if (
+            message.get("collect")
+            and message.get("trace_id")
+            and trace is not None
+            and trace.trace_id == message.get("trace_id")
+        ):
+            envelope["trace"] = fragment_from_trace(
+                trace,
+                self.spec.index,
+                os.getpid(),
+                max_spans=self.spec.trace_max_spans,
+            )
+        return envelope
 
     @staticmethod
     def _error_envelope(error: Exception) -> tuple[int, dict[str, Any]]:
@@ -354,13 +379,20 @@ class WorkerApp:
             raise ProtocolError(
                 f"unknown dataset {dataset!r}", "unknown_dataset"
             )
-        partial = partial_scan(
-            database,
-            payload["criteria"],
-            payload["specs"],
-            self.record_shards[dataset],
-            payload["shards"],
-        )
+        with self.tracer.span(
+            "engine.scan", dataset=dataset, n_specs=len(payload["specs"])
+        ):
+            with self.tracer.span(
+                "phase.scan", shards=len(payload["shards"])
+            ) as sp:
+                partial = partial_scan(
+                    database,
+                    payload["criteria"],
+                    payload["specs"],
+                    self.record_shards[dataset],
+                    payload["shards"],
+                )
+                sp.set(rows=partial.group_size)
         return 200, {
             "worker": self.spec.index,
             "shards": partial.shards,

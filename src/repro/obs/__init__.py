@@ -19,10 +19,18 @@ this subsystem:
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric reference.
 """
 
+from .collect import (
+    TailSampler,
+    ThreadLocalTraceCapture,
+    TraceCollector,
+    dict_span_tree,
+    fragment_from_trace,
+)
 from .logs import JsonLogFormatter, TextLogFormatter, setup_logging
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
+    Exemplar,
     Gauge,
     Histogram,
     MetricFamily,
@@ -35,6 +43,7 @@ from .tracing import (
     Trace,
     Tracer,
     activate,
+    annotate,
     configure,
     current_context,
     current_trace_id,
@@ -47,6 +56,7 @@ from .tracing import (
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "Exemplar",
     "Gauge",
     "Histogram",
     "JsonLogFormatter",
@@ -56,15 +66,21 @@ __all__ = [
     "ProcessCollector",
     "SlowTraceLog",
     "Span",
+    "TailSampler",
     "TextLogFormatter",
+    "ThreadLocalTraceCapture",
     "Trace",
+    "TraceCollector",
     "TraceRingBuffer",
     "Tracer",
     "activate",
+    "annotate",
     "configure",
     "current_context",
     "current_trace_id",
     "current_trace_partial",
+    "dict_span_tree",
+    "fragment_from_trace",
     "get_tracer",
     "render_tree",
     "rss_bytes",

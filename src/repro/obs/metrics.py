@@ -30,6 +30,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 __all__ = [
     "Counter",
+    "Exemplar",
     "Gauge",
     "Histogram",
     "MetricFamily",
@@ -84,12 +85,39 @@ def _render_labels(labels: Mapping[str, str]) -> str:
 
 
 @dataclass(frozen=True)
+class Exemplar:
+    """An OpenMetrics exemplar: a traced observation pinned to a bucket.
+
+    Rendered as ``# {trace_id="…"} value [timestamp]`` after a
+    ``_bucket`` sample line, linking the aggregate back to one concrete
+    trace (``GET /debug/traces/<trace_id>``).  Only emitted by the
+    OpenMetrics rendering — exemplars are not part of the classic
+    Prometheus text format.
+    """
+
+    labels: Mapping[str, str]
+    value: float
+    timestamp: float | None = None
+
+    def render(self) -> str:
+        inner = ",".join(
+            f'{name}="{escape_label_value(str(value))}"'
+            for name, value in self.labels.items()
+        )
+        text = f"# {{{inner}}} {_format_value(self.value)}"
+        if self.timestamp is not None:
+            text += f" {self.timestamp:.3f}"
+        return text
+
+
+@dataclass(frozen=True)
 class Sample:
     """One exposition line: ``name+suffix{labels} value``."""
 
     suffix: str
     labels: Mapping[str, str]
     value: float
+    exemplar: Exemplar | None = None
 
 
 @dataclass
@@ -101,21 +129,40 @@ class MetricFamily:
     help: str = ""
     samples: list[Sample] = field(default_factory=list)
 
-    def add(self, value: float, suffix: str = "", **labels: Any) -> None:
+    def add(
+        self,
+        value: float,
+        suffix: str = "",
+        exemplar: Exemplar | None = None,
+        **labels: Any,
+    ) -> None:
         self.samples.append(
-            Sample(suffix, {k: str(v) for k, v in labels.items()}, float(value))
+            Sample(
+                suffix,
+                {k: str(v) for k, v in labels.items()},
+                float(value),
+                exemplar,
+            )
         )
 
-    def render(self) -> str:
+    def render(self, openmetrics: bool = False) -> str:
         lines = []
         if self.help:
             lines.append(f"# HELP {self.name} {self.help}")
         lines.append(f"# TYPE {self.name} {self.kind}")
         for sample in self.samples:
-            lines.append(
+            line = (
                 f"{self.name}{sample.suffix}"
                 f"{_render_labels(sample.labels)} {_format_value(sample.value)}"
             )
+            # exemplars are only legal on histogram bucket lines
+            if (
+                openmetrics
+                and sample.exemplar is not None
+                and sample.suffix == "_bucket"
+            ):
+                line += " " + sample.exemplar.render()
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -365,3 +412,11 @@ class MetricsRegistry:
 
     def render_prometheus(self) -> str:
         return "\n".join(family.render() for family in self.collect()) + "\n"
+
+    def render_openmetrics(self) -> str:
+        """The OpenMetrics rendering: classic text plus exemplars on
+        ``_bucket`` lines and the mandatory ``# EOF`` terminator."""
+        body = "\n".join(
+            family.render(openmetrics=True) for family in self.collect()
+        )
+        return body + "\n# EOF\n"

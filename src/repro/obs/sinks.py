@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import threading
 import time
 from collections import deque
@@ -28,28 +29,90 @@ __all__ = ["JsonlTraceSink", "SlowTraceLog", "TraceRingBuffer", "render_tree"]
 
 
 class TraceRingBuffer:
-    """A bounded in-memory buffer of the most recent finished traces."""
+    """A bounded in-memory buffer of the most recent finished traces.
 
-    def __init__(self, capacity: int = 256) -> None:
+    Bounded by *count* (``capacity``) and optionally by *bytes*
+    (``max_bytes``, the JSON footprint of the stored traces — what
+    ``--trace-ring-mb`` configures), so a few pathological span trees
+    cannot pin hundreds of megabytes.  ``max_spans_per_trace`` truncates
+    such trees on ingest; truncated traces carry ``truncated: true`` in
+    their snapshot dicts so the cut is explicit, never silent.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        max_bytes: int | None = None,
+        max_spans_per_trace: int | None = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if max_spans_per_trace is not None and max_spans_per_trace < 1:
+            raise ValueError(
+                f"max_spans_per_trace must be >= 1, got {max_spans_per_trace}"
+            )
         self.capacity = capacity
+        self.max_bytes = max_bytes
+        self.max_spans_per_trace = max_spans_per_trace
         self._lock = threading.Lock()
-        self._traces: deque[Trace] = deque(maxlen=capacity)
+        #: entries are (trace, approx_bytes, truncated)
+        self._traces: deque[tuple[Trace, int, bool]] = deque()
+        self._bytes = 0
         self.total_recorded = 0
+        self.traces_truncated = 0
+        self.traces_evicted_bytes = 0
 
     def __call__(self, trace: Trace) -> None:
+        truncated = False
+        if (
+            self.max_spans_per_trace is not None
+            and len(trace.spans) > self.max_spans_per_trace
+        ):
+            # spans are start-ordered (root first): keep the shallow
+            # structure, drop leaf detail
+            trace = Trace(
+                trace.trace_id, trace.spans[: self.max_spans_per_trace]
+            )
+            truncated = True
+        size = 0
+        if self.max_bytes is not None:
+            try:
+                size = len(json.dumps(trace.to_dict(), default=str))
+            except (TypeError, ValueError):  # pragma: no cover - defensive
+                size = 1024
         with self._lock:
-            self._traces.append(trace)
+            self._traces.append((trace, size, truncated))
+            self._bytes += size
             self.total_recorded += 1
+            if truncated:
+                self.traces_truncated += 1
+            while len(self._traces) > self.capacity:
+                _, evicted, _ = self._traces.popleft()
+                self._bytes -= evicted
+            while (
+                self.max_bytes is not None
+                and self._bytes > self.max_bytes
+                and len(self._traces) > 1
+            ):
+                _, evicted, _ = self._traces.popleft()
+                self._bytes -= evicted
+                self.traces_evicted_bytes += 1
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._traces)
 
+    @property
+    def stored_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
     def clear(self) -> None:
         with self._lock:
             self._traces.clear()
+            self._bytes = 0
 
     def snapshot(
         self, min_ms: float = 0.0, limit: int | None = None
@@ -57,10 +120,20 @@ class TraceRingBuffer:
         """Most-recent-first trace dicts, at least ``min_ms`` long."""
         with self._lock:
             traces = list(self._traces)
-        selected = [t for t in reversed(traces) if t.duration_ms >= min_ms]
+        selected = [
+            (t, truncated)
+            for t, _, truncated in reversed(traces)
+            if t.duration_ms >= min_ms
+        ]
         if limit is not None:
             selected = selected[: max(0, limit)]
-        return [t.to_dict() for t in selected]
+        out = []
+        for t, truncated in selected:
+            d = t.to_dict()
+            if truncated:
+                d["truncated"] = True
+            out.append(d)
+        return out
 
 
 class JsonlTraceSink:
@@ -68,22 +141,72 @@ class JsonlTraceSink:
 
     The file handle is opened lazily and kept open; writes are serialised
     behind a lock and flushed per trace so a crash loses at most the
-    in-flight line.
+    in-flight line.  With ``max_mb`` set (``--trace-file-max-mb``), the
+    file rotates atomically via :func:`os.replace` once a write would
+    push it past the budget — ``trace.jsonl → trace.jsonl.1 → … →
+    trace.jsonl.<generations>`` — keeping ``generations`` rotated files
+    and deleting older ones, so the sink's disk footprint is bounded at
+    roughly ``(generations + 1) × max_mb``.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        max_mb: float | None = None,
+        generations: int = 3,
+    ) -> None:
+        if max_mb is not None and max_mb <= 0:
+            raise ValueError(f"max_mb must be > 0, got {max_mb}")
+        if generations < 1:
+            raise ValueError(f"generations must be >= 1, got {generations}")
         self.path = path
+        self.max_bytes = None if max_mb is None else int(max_mb * 1024 * 1024)
+        self.generations = generations
         self._lock = threading.Lock()
         self._handle = None
+        self._size = 0
         self.traces_written = 0
+        self.rotations = 0
+
+    def _open(self) -> None:
+        self._handle = open(self.path, "a", encoding="utf-8")
+        try:
+            self._size = os.path.getsize(self.path)
+        except OSError:  # pragma: no cover - defensive
+            self._size = 0
+
+    def _rotate(self) -> None:
+        """Shift generations up and start a fresh file. Caller holds the lock."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        oldest = f"{self.path}.{self.generations}"
+        try:
+            os.remove(oldest)
+        except FileNotFoundError:
+            pass
+        for gen in range(self.generations - 1, 0, -1):
+            src = f"{self.path}.{gen}"
+            if os.path.exists(src):
+                os.replace(src, f"{self.path}.{gen + 1}")
+        os.replace(self.path, f"{self.path}.1")
+        self.rotations += 1
+        self._open()
 
     def __call__(self, trace: Trace) -> None:
-        line = json.dumps(trace.to_dict(), default=str)
+        line = json.dumps(trace.to_dict(), default=str) + "\n"
         with self._lock:
             if self._handle is None:
-                self._handle = open(self.path, "a", encoding="utf-8")
-            self._handle.write(line + "\n")
+                self._open()
+            if (
+                self.max_bytes is not None
+                and self._size > 0
+                and self._size + len(line) > self.max_bytes
+            ):
+                self._rotate()
+            self._handle.write(line)
             self._handle.flush()
+            self._size += len(line)
             self.traces_written += 1
 
     def close(self) -> None:

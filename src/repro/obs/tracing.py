@@ -41,6 +41,7 @@ __all__ = [
     "Trace",
     "Tracer",
     "activate",
+    "annotate",
     "configure",
     "current_context",
     "current_trace_id",
@@ -401,6 +402,18 @@ def span(name: str, **attributes: Any) -> "_ActiveSpan | _NoopSpan":
 def current_context() -> _Context | None:
     """The ambient trace context — capture before fanning out to a pool."""
     return _CURRENT.get()
+
+
+def annotate(**attributes: Any) -> None:
+    """Set attributes on the innermost open span, if any.
+
+    Lets code that learns a fact mid-span (e.g. a handler resolving its
+    dataset) pin it to the trace without threading the span object
+    through; a no-op outside any trace.
+    """
+    ctx = _CURRENT.get()
+    if ctx is not None:
+        ctx.span.attributes.update(attributes)
 
 
 @contextmanager

@@ -30,7 +30,7 @@ from bisect import bisect_left
 from collections import deque
 from typing import Any, Mapping
 
-from ..obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricFamily
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS, Exemplar, MetricFamily
 from ..obs.tracing import Trace
 
 __all__ = ["SpanStatsSink", "percentile", "tree_costs"]
@@ -71,6 +71,7 @@ class _OpStats:
         "exclusive",
         "reservoir",
         "buckets",
+        "exemplars",
     )
 
     def __init__(self, reservoir_size: int) -> None:
@@ -82,6 +83,11 @@ class _OpStats:
         # per-bound observation counts (+1 overflow slot); cumulated only
         # at collect() time so the hot path is a single increment
         self.buckets = [0] * (len(BUCKET_BOUNDS) + 1)
+        # per-bucket last observed (trace_id, seconds, wall_time) — the
+        # OpenMetrics exemplar linking each bucket to a concrete trace
+        self.exemplars: list[tuple[str, float, float] | None] = [None] * (
+            len(BUCKET_BOUNDS) + 1
+        )
 
     def snapshot(self, name: str) -> dict[str, Any]:
         samples = list(self.reservoir)
@@ -143,7 +149,13 @@ class SpanStatsSink:
                     0.0, inclusive - child_seconds.get(span.span_id, 0.0)
                 )
                 stats.reservoir.append(inclusive)
-                stats.buckets[bisect_left(BUCKET_BOUNDS, inclusive)] += 1
+                index = bisect_left(BUCKET_BOUNDS, inclusive)
+                stats.buckets[index] += 1
+                stats.exemplars[index] = (
+                    trace.trace_id,
+                    inclusive,
+                    span.started_at,
+                )
 
     def reset(self) -> None:
         with self._lock:
@@ -174,7 +186,11 @@ class SpanStatsSink:
         """
         with self._lock:
             snapshots = [
-                (stats.snapshot(name), list(stats.buckets))
+                (
+                    stats.snapshot(name),
+                    list(stats.buckets),
+                    list(stats.exemplars),
+                )
                 for name, stats in sorted(self._ops.items())
             ]
         counts = MetricFamily(
@@ -207,20 +223,30 @@ class SpanStatsSink:
             "gauge",
             "Recent inclusive span duration quantiles by operation.",
         )
-        for row, buckets in snapshots:
+        for row, buckets, exemplars in snapshots:
             name = row["name"]
             counts.add(row["count"], name=name)
             errors.add(row["errors"], name=name)
             inclusive.add(row["inclusive_ms"] / 1000.0, name=name)
             exclusive.add(row["exclusive_ms"] / 1000.0, name=name)
             cumulative = 0
-            for bound, bucket_count in zip(BUCKET_BOUNDS, buckets):
+            for index, (bound, bucket_count) in enumerate(
+                zip(BUCKET_BOUNDS, buckets)
+            ):
                 cumulative += bucket_count
                 histogram.add(
-                    cumulative, suffix="_bucket", name=name, le=f"{bound:g}"
+                    cumulative,
+                    suffix="_bucket",
+                    exemplar=_exemplar(exemplars[index]),
+                    name=name,
+                    le=f"{bound:g}",
                 )
             histogram.add(
-                row["count"], suffix="_bucket", name=name, le="+Inf"
+                row["count"],
+                suffix="_bucket",
+                exemplar=_exemplar(exemplars[-1]),
+                name=name,
+                le="+Inf",
             )
             histogram.add(
                 row["inclusive_ms"] / 1000.0, suffix="_sum", name=name
@@ -231,6 +257,15 @@ class SpanStatsSink:
                 if value is not None:
                     quantiles.add(value / 1000.0, name=name, quantile=q)
         return [counts, errors, inclusive, exclusive, histogram, quantiles]
+
+
+def _exemplar(
+    entry: tuple[str, float, float] | None,
+) -> Exemplar | None:
+    if entry is None:
+        return None
+    trace_id, seconds, wall_time = entry
+    return Exemplar({"trace_id": trace_id}, seconds, wall_time)
 
 
 def tree_costs(tree: Mapping[str, Any]) -> list[dict[str, Any]]:

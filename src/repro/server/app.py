@@ -73,10 +73,11 @@ from ..model.groups import SelectionCriteria
 from ..core.history import ExplorationLog
 from ..core.modes import ExplorationMode, ExplorationPath
 from ..exceptions import EmptyGroupError, OperationError, ReproError
+from ..obs.collect import TailSampler, TraceCollector
 from ..obs.metrics import MetricFamily
 from ..obs.process import ProcessCollector
 from ..obs.sinks import JsonlTraceSink, SlowTraceLog, TraceRingBuffer
-from ..obs.tracing import Tracer, current_trace_partial
+from ..obs.tracing import Tracer, annotate, current_trace_partial
 from ..perf.profiler import SamplingProfiler
 from ..perf.spanstats import SpanStatsSink
 from ..resilience.breaker import BreakerOpenError, CircuitBreaker
@@ -171,8 +172,21 @@ class ServerConfig:
     tracing_enabled: bool = True
     #: Recent finished traces kept in memory for ``GET /debug/traces``.
     trace_buffer_size: int = 128
+    #: Byte budget (MiB) for each in-memory trace store — the ring buffer
+    #: and the fleet collector each evict oldest-first past it.
+    trace_ring_mb: float = 16.0
+    #: Pathological span trees are truncated past this many spans per
+    #: trace (per process), with an explicit ``truncated: true`` marker.
+    trace_max_spans: int = 512
+    #: Tail-sampling keep probability for unremarkable traces.  Error,
+    #: shed, degraded, slow (≥ ``slow_request_ms``) and SLO-burn-window
+    #: traces are always kept regardless of this rate.
+    trace_sample_rate: float = 1.0
     #: Optional JSONL file receiving every finished trace.
     trace_file: str | None = None
+    #: Rotate ``trace_file`` past this size (``trace.jsonl →
+    #: trace.jsonl.1``, keeping 3 generations); ``None`` grows unbounded.
+    trace_file_max_mb: float | None = None
     #: Requests slower than this are logged at WARNING with their span
     #: tree; ``None`` disables the slow-request log.
     slow_request_ms: float | None = 1000.0
@@ -361,6 +375,13 @@ _ROUTES: list[tuple[str, re.Pattern, str, str, Priority]] = [
      Priority.CRITICAL),
     ("GET", re.compile(r"^/debug/traces$"), "handle_debug_traces",
      "GET /debug/traces", Priority.CRITICAL),
+    (
+        "GET",
+        re.compile(r"^/debug/traces/(?P<trace_id>[0-9a-fA-F-]{8,64})$"),
+        "handle_debug_trace",
+        "GET /debug/traces/{id}",
+        Priority.CRITICAL,
+    ),
     ("GET", re.compile(r"^/debug/profile$"), "handle_debug_profile",
      "GET /debug/profile", Priority.CRITICAL),
     ("GET", re.compile(r"^/debug/spans/summary$"), "handle_debug_spans",
@@ -428,6 +449,27 @@ _ROUTES: list[tuple[str, re.Pattern, str, str, Priority]] = [
 ]
 
 
+def _classify_payload(
+    status: int, payload: Any
+) -> tuple[bool, bool, str | None]:
+    """(shed, degraded, rung) of one finished response envelope."""
+    shed = False
+    degraded = False
+    rung = None
+    if isinstance(payload, dict):
+        error = payload.get("error")
+        shed = (
+            status == 503
+            and isinstance(error, dict)
+            and error.get("code") == "overloaded"
+        )
+        degraded = bool(payload.get("degraded"))
+        quality = payload.get("quality")
+        if isinstance(quality, dict):
+            rung = quality.get("rung")
+    return shed, degraded, rung
+
+
 class _PayloadTooLarge(ReproError):
     """Request body exceeds the configured limit (HTTP 413)."""
 
@@ -474,6 +516,10 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
 
         started = time.perf_counter()
         headers: dict[str, str] = {}
+        trace_id: str | None = None
+        shed = False
+        degraded = False
+        rung = None
         if handler_name is None:
             if allowed:
                 label = f"{method} {path}"
@@ -496,9 +542,16 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
                 status, payload, headers = self._run_admitted(
                     handler_name, priority, params
                 )
+                shed, degraded, rung = _classify_payload(status, payload)
                 trace_id = getattr(root, "trace_id", None)
                 if trace_id is not None:
+                    # outcome attributes set while the root is open: the
+                    # tail sampler reads them off the finished root span
                     root.set(status=status)
+                    if shed:
+                        root.set(shed=True)
+                    if degraded:
+                        root.set(degraded=True)
                     headers = {**headers, "X-Trace-Id": trace_id}
                     if self._debug_requested() and isinstance(payload, dict):
                         # taken while the root span is still open: its
@@ -512,20 +565,6 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
         self.server.metrics.observe(label or "<unmatched>", status, elapsed)
         slo = self.server.slo
         if slo is not None:
-            shed = False
-            degraded = False
-            rung = None
-            if isinstance(payload, dict):
-                error = payload.get("error")
-                shed = (
-                    status == 503
-                    and isinstance(error, dict)
-                    and error.get("code") == "overloaded"
-                )
-                degraded = bool(payload.get("degraded"))
-                quality = payload.get("quality")
-                if isinstance(quality, dict):
-                    rung = quality.get("rung")
             slo.ingest(
                 label or "<unmatched>",
                 status,
@@ -533,6 +572,7 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
                 shed=shed,
                 degraded=degraded,
                 rung=rung,
+                trace_id=trace_id,
             )
         self._send(status, payload, headers)
 
@@ -630,8 +670,12 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
     ) -> tuple[int, dict[str, Any], dict[str, str]]:
         try:
             result = getattr(self, handler_name)(**params)
-            status, payload = result
-            headers: dict[str, str] = {}
+            if len(result) == 3:  # (status, payload, extra headers)
+                status, payload, handler_headers = result
+            else:
+                status, payload = result
+                handler_headers = {}
+            headers: dict[str, str] = dict(handler_headers)
             if isinstance(payload, dict):
                 if payload.get("degraded"):
                     self.server.metrics.record_event("degraded_responses")
@@ -726,10 +770,12 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
         else:
             body = json.dumps(payload).encode("utf-8")
             content_type = "application/json; charset=utf-8"
+        remaining = dict(headers or {})
+        content_type = remaining.pop("Content-Type", content_type)
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
+        for name, value in remaining.items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
@@ -807,12 +853,24 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
 
     def handle_metrics(self) -> tuple[int, dict[str, Any] | str]:
         fmt = self._query().get("format", ["json"])[-1]
-        if fmt == "prometheus":
-            return 200, self.server.metrics.registry.render_prometheus()
+        if fmt in ("prometheus", "openmetrics"):
+            # both serve the exemplar-bearing OpenMetrics rendering (a
+            # superset of the classic text format: exemplars after
+            # _bucket values, "# EOF" terminator); "openmetrics" also
+            # negotiates the proper content type
+            text = self.server.metrics.registry.render_openmetrics()
+            if fmt == "openmetrics":
+                return 200, text, {
+                    "Content-Type": (
+                        "application/openmetrics-text; "
+                        "version=1.0.0; charset=utf-8"
+                    )
+                }
+            return 200, text
         if fmt != "json":
             raise ProtocolError(
                 f"unknown metrics format {fmt!r} "
-                "(supported: json, prometheus)",
+                "(supported: json, prometheus, openmetrics)",
                 "invalid_request",
             )
         payload = self.server.metrics.snapshot(
@@ -887,13 +945,40 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
                     f"query parameter limit must be >= 1, got {limit}",
                     "invalid_request",
                 )
-        traces = self.server.trace_buffer.snapshot(min_ms=min_ms, limit=limit)
+        op = query.get("op", [None])[-1]
+        dataset = query.get("dataset", [None])[-1]
+        status = query.get("status", [None])[-1]
+        if status is not None and status not in ("ok", "error") and not (
+            status.isdigit() and len(status) == 3
+        ):
+            raise ProtocolError(
+                f"query parameter status must be 'ok', 'error' or a "
+                f"3-digit HTTP status, got {status!r}",
+                "invalid_request",
+            )
+        traces = self.server.collector.search(
+            op=op, dataset=dataset, min_ms=min_ms, status=status, limit=limit
+        )
         return 200, {
             "tracing_enabled": self.server.tracer.enabled,
             "total_recorded": self.server.trace_buffer.total_recorded,
             "returned": len(traces),
+            "sampling": self.server.collector.counters(),
             "traces": traces,
         }
+
+    def handle_debug_trace(
+        self, trace_id: str
+    ) -> tuple[int, dict[str, Any]]:
+        """One fleet-assembled trace: front + worker spans, stitched."""
+        record = self.server.collector.get(trace_id)
+        if record is None:
+            return 404, error_payload(
+                "unknown_trace",
+                f"no collected trace {trace_id!r} "
+                "(it may have been sampled out or evicted)",
+            )
+        return 200, record
 
     def handle_debug_profile(self) -> tuple[int, dict[str, Any] | str]:
         """Sample every thread's stack for a window; render the result.
@@ -1017,6 +1102,7 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
         dataset = body.get("dataset") or self.server.pool.default_dataset
         if not isinstance(dataset, str):
             raise ProtocolError("'dataset' must be a string", "invalid_request")
+        annotate(dataset=dataset)
         criteria = (
             criteria_from_json(body["criteria"])
             if body.get("criteria") is not None
@@ -1094,6 +1180,7 @@ class SubDExRequestHandler(BaseHTTPRequestHandler):
         dataset = body.get("dataset") or self.server.pool.default_dataset
         if not isinstance(dataset, str):
             raise ProtocolError("'dataset' must be a string", "invalid_request")
+        annotate(dataset=dataset)
         engine = self.server.pool.get(dataset)
         start = (
             criteria_from_json(body["criteria"])
@@ -1410,11 +1497,36 @@ class SubDExServer(ThreadingHTTPServer):
         # a private tracer: concurrent servers in one process (tests run
         # several) must not deliver traces into each other's sinks
         self.tracer = Tracer(enabled=self.config.tracing_enabled)
-        self.trace_buffer = TraceRingBuffer(self.config.trace_buffer_size)
+        ring_bytes = int(self.config.trace_ring_mb * 1024 * 1024) or None
+        self.trace_buffer = TraceRingBuffer(
+            self.config.trace_buffer_size,
+            max_bytes=ring_bytes,
+            max_spans_per_trace=self.config.trace_max_spans,
+        )
         self.tracer.add_sink(self.trace_buffer)
+        #: fleet trace collection: tail-sampled, cross-worker-stitched
+        #: traces behind GET /debug/traces[/<id>] — identical endpoints
+        #: in 0-worker and N-worker deployments
+        self.trace_sampler = TailSampler(
+            sample_rate=self.config.trace_sample_rate,
+            slow_ms=self.config.slow_request_ms,
+        )
+        self.collector = TraceCollector(
+            sampler=self.trace_sampler,
+            max_traces=self.config.trace_buffer_size,
+            max_bytes=ring_bytes,
+            max_spans_per_trace=self.config.trace_max_spans,
+        )
+        self.tracer.add_sink(self.collector)
+        if self.cluster is not None:
+            self.cluster.trace_sink = self.collector.add_fragment
+            self.cluster.collect_traces = self.config.tracing_enabled
         self.trace_file_sink: JsonlTraceSink | None = None
         if self.config.trace_file is not None:
-            self.trace_file_sink = JsonlTraceSink(self.config.trace_file)
+            self.trace_file_sink = JsonlTraceSink(
+                self.config.trace_file,
+                max_mb=self.config.trace_file_max_mb,
+            )
             self.tracer.add_sink(self.trace_file_sink)
         self.slow_log: SlowTraceLog | None = None
         if self.config.slow_request_ms is not None:
@@ -1503,8 +1615,18 @@ class SubDExServer(ThreadingHTTPServer):
 
     # -- SLO events -----------------------------------------------------------
     def _on_slo_event(self, event: Mapping[str, Any]) -> None:
-        """Count burn-rate state transitions into /metrics event counters."""
-        self.metrics.record_event(f"slo_{event.get('to', 'unknown')}")
+        """Count burn-rate state transitions into /metrics event counters.
+
+        Also drives the tail sampler's burn windows: while any class is
+        burning, every trace is kept so the incident is fully traced.
+        """
+        state = event.get("to", "unknown")
+        self.metrics.record_event(f"slo_{state}")
+        slo_class = str(event.get("class", ""))
+        if state == "ok":
+            self.trace_sampler.unpin_burn(slo_class)
+        else:
+            self.trace_sampler.pin_burn(slo_class)
 
     # -- anytime --------------------------------------------------------------
     def _breaker_states(self) -> list[str]:
@@ -1761,9 +1883,23 @@ class SubDExServer(ThreadingHTTPServer):
         tracing.add(self.trace_buffer.total_recorded, kind="buffered")
         if self.trace_file_sink is not None:
             tracing.add(self.trace_file_sink.traces_written, kind="written")
+            tracing.add(self.trace_file_sink.rotations, kind="file_rotations")
         if self.slow_log is not None:
             tracing.add(self.slow_log.slow_traces, kind="slow")
             tracing.add(self.slow_log.suppressed_total, kind="slow_suppressed")
+        collect_counters = self.collector.counters()
+        for kind in (
+            "kept",
+            "dropped",
+            "stored",
+            "stored_bytes",
+            "pending_fragments",
+            "fragments_received",
+            "fragments_unmatched",
+            "truncated",
+            "partial",
+        ):
+            tracing.add(float(collect_counters[kind]), kind=f"collect_{kind}")
         families.append(tracing)
         return families
 
@@ -1819,6 +1955,7 @@ def build_server(
                 if config.slo_enabled
                 else None
             ),
+            trace_max_spans=config.trace_max_spans,
         )
         cluster.start()
     server = SubDExServer(

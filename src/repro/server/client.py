@@ -385,6 +385,43 @@ class SubDExClient:
         query = {"limit": limit} if limit is not None else None
         return self.request("GET", "/debug/spans/summary", query=query)
 
+    def traces(
+        self,
+        op: str | None = None,
+        dataset: str | None = None,
+        min_ms: float | None = None,
+        status: str | None = None,
+        limit: int | None = None,
+    ) -> dict[str, Any]:
+        """Search the server's collected (fleet-stitched) traces.
+
+        Filters mirror ``GET /debug/traces``: ``op`` substring-matches
+        the route label, ``dataset`` matches any span's dataset
+        attribute, ``status`` is ``"ok"``/``"error"`` or an HTTP status.
+        """
+        query = {
+            name: value
+            for name, value in (
+                ("op", op),
+                ("dataset", dataset),
+                ("min_ms", min_ms),
+                ("status", status),
+                ("limit", limit),
+            )
+            if value is not None
+        }
+        return self.request("GET", "/debug/traces", query=query or None)
+
+    def trace(self, trace_id: str) -> dict[str, Any]:
+        """One fleet-assembled trace (front + worker spans) by id.
+
+        The id to pass is the ``[trace <id>]`` from a
+        :class:`ServerError` message or the ``X-Trace-Id`` response
+        header — in cluster deployments the returned tree includes the
+        worker-side spans stitched under the front's ``worker.rpc``.
+        """
+        return self.request("GET", f"/debug/traces/{trace_id}")
+
     def create_session(
         self,
         dataset: str | None = None,

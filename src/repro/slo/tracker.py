@@ -25,10 +25,11 @@ from __future__ import annotations
 import logging
 import threading
 import time
+from bisect import bisect_left
 from collections import deque
 from typing import Any, Callable, Iterable, Mapping
 
-from ..obs.metrics import MetricFamily
+from ..obs.metrics import Exemplar, MetricFamily
 from .spec import SLOConfig, default_slo_config, evaluate_counts
 from .windows import (
     BUCKET_BOUNDS,
@@ -49,6 +50,10 @@ _EVENT_CAPACITY = 64
 
 #: Minimum seconds between burn-rate evaluations (ingest-driven).
 _EVAL_INTERVAL = 1.0
+
+#: How many notable (error / over-budget) trace ids to remember per class
+#: for burn-rate event exemplars.
+_NOTABLE_CAPACITY = 8
 
 
 def scorecard_from_totals(
@@ -125,6 +130,15 @@ def merge_worker_totals(
     }
 
 
+def _bucket_exemplar(
+    entry: tuple[str, float, float] | None,
+) -> Exemplar | None:
+    if entry is None:
+        return None
+    trace_id, seconds, wall_time = entry
+    return Exemplar({"trace_id": trace_id}, seconds, wall_time)
+
+
 class SLOTracker:
     """Multi-window SLO accounting behind one ingest call per request."""
 
@@ -146,6 +160,14 @@ class SLOTracker:
         self._next_eval = clock()
         self._events: deque[dict[str, Any]] = deque(maxlen=_EVENT_CAPACITY)
         self.started_monotonic = clock()
+        # OpenMetrics exemplars: per-class last traced observation per
+        # latency bucket, and recent notable (error / over-budget) trace
+        # ids attached to burn-rate alert events
+        self._exemplar_lock = threading.Lock()
+        self._bucket_exemplars: dict[
+            str, list[tuple[str, float, float] | None]
+        ] = {}
+        self._notable: dict[str, deque[str]] = {}
 
     # -- hot path -------------------------------------------------------------
     def ingest(
@@ -157,6 +179,7 @@ class SLOTracker:
         degraded: bool = False,
         rung: str | None = None,
         op: bool = False,
+        trace_id: str | None = None,
     ) -> None:
         """Record one finished request (HTTP route, or worker op if ``op``)."""
         cls = (
@@ -168,14 +191,31 @@ class SLOTracker:
         if windows is None:  # pragma: no cover - classify() guarantees hit
             return
         objective = self.config.objective(cls)
+        within_budget = seconds * 1000.0 <= objective.latency_ms
         windows.ingest(
             seconds,
             error=status >= 500,
             shed=shed,
             degraded=degraded,
-            within_budget=seconds * 1000.0 <= objective.latency_ms,
+            within_budget=within_budget,
             rung=rung,
         )
+        if trace_id is not None:
+            index = bisect_left(BUCKET_BOUNDS, seconds)
+            with self._exemplar_lock:
+                exemplars = self._bucket_exemplars.get(cls)
+                if exemplars is None:
+                    exemplars = self._bucket_exemplars[cls] = [None] * (
+                        len(BUCKET_BOUNDS) + 1
+                    )
+                exemplars[index] = (trace_id, seconds, time.time())
+                if status >= 500 or shed or not within_budget:
+                    notable = self._notable.get(cls)
+                    if notable is None:
+                        notable = self._notable[cls] = deque(
+                            maxlen=_NOTABLE_CAPACITY
+                        )
+                    notable.append(trace_id)
         now = self._clock()
         if now >= self._next_eval:
             self._evaluate(now)
@@ -207,6 +247,8 @@ class SLOTracker:
                 self._alert_states[cls] = state
                 key = (cls, state)
                 self._alert_counts[key] = self._alert_counts.get(key, 0) + 1
+                with self._exemplar_lock:
+                    exemplar_ids = list(self._notable.get(cls, ()))
                 event = {
                     "class": cls,
                     "from": previous,
@@ -214,6 +256,9 @@ class SLOTracker:
                     "burn_5m": fast_burn,
                     "burn_1h": slow_burn,
                     "at_wall": time.time(),
+                    # recent notable trace ids — resolve them via
+                    # GET /debug/traces/<trace_id>
+                    "exemplars": exemplar_ids,
                 }
                 self._events.append(event)
             level = (
@@ -345,17 +390,26 @@ class SLOTracker:
             raw_buckets = list(
                 total.get("buckets") or [0] * (len(BUCKET_BOUNDS) + 1)
             )
+            with self._exemplar_lock:
+                exemplars = list(
+                    self._bucket_exemplars.get(cls)
+                    or [None] * (len(BUCKET_BOUNDS) + 1)
+                )
             running = 0
-            for bound, value in zip(BUCKET_BOUNDS, raw_buckets):
+            for index, (bound, value) in enumerate(
+                zip(BUCKET_BOUNDS, raw_buckets)
+            ):
                 running += value
                 seconds.add(
                     running,
                     suffix="_bucket",
+                    exemplar=_bucket_exemplar(exemplars[index]),
                     **{"class": cls, "le": f"{bound:g}"},
                 )
             seconds.add(
                 running + raw_buckets[-1],
                 suffix="_bucket",
+                exemplar=_bucket_exemplar(exemplars[-1]),
                 **{"class": cls, "le": "+Inf"},
             )
             seconds.add(

@@ -1,0 +1,425 @@
+"""Fleet trace collection: stitching, tail sampling, budgets, concurrency."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.collect import (
+    TailSampler,
+    ThreadLocalTraceCapture,
+    TraceCollector,
+    dict_span_tree,
+    fragment_from_trace,
+)
+from repro.obs.tracing import Span, Trace
+
+TRACE_ID = "a" * 32
+
+
+def make_span(
+    name,
+    trace_id=TRACE_ID,
+    span_id="root",
+    parent_id=None,
+    duration_s=0.01,
+    span_status="ok",
+    **attrs,
+):
+    span = Span(name, trace_id, span_id, parent_id, dict(attrs))
+    span.end = span.start + duration_s
+    span.status = span_status
+    return span
+
+
+def front_trace(
+    trace_id=TRACE_ID, workers=(0, 1), status=200, duration_s=0.01, **root_attrs
+):
+    """A realistic front-process trace: request → scatter → worker.rpc×N."""
+    root = make_span(
+        "request",
+        trace_id,
+        "root",
+        None,
+        duration_s,
+        route="GET /sessions/{id}/maps",
+        status=status,
+        **root_attrs,
+    )
+    scatter = make_span(
+        "cluster.scatter",
+        trace_id,
+        "scatter",
+        "root",
+        duration_s * 0.8,
+        dataset="synthetic",
+        workers=len(workers),
+    )
+    spans = [root, scatter]
+    for w in workers:
+        spans.append(
+            make_span(
+                "worker.rpc",
+                trace_id,
+                f"rpc-{w}",
+                "scatter",
+                duration_s * 0.5,
+                worker=w,
+                op="session.maps",
+            )
+        )
+    return Trace(trace_id, tuple(spans))
+
+
+def make_fragment(trace_id=TRACE_ID, worker=0, pid=4242, extra_spans=0):
+    """A worker-side fragment: worker.request → engine.maps → phase.scan."""
+    base = time.time()
+
+    def span_dict(name, span_id, parent_id, depth):
+        return {
+            "name": name,
+            "trace_id": trace_id,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "started_at": base + depth * 0.001,
+            "duration_ms": 4.0 - depth,
+            "status": "ok",
+            "thread": "worker",
+            "attributes": {"op": "session.maps"},
+        }
+
+    prefix = f"w{worker}"
+    spans = [
+        span_dict("worker.request", f"{prefix}-root", None, 0),
+        span_dict("engine.maps", f"{prefix}-engine", f"{prefix}-root", 1),
+        span_dict("phase.scan", f"{prefix}-scan", f"{prefix}-engine", 2),
+    ]
+    for i in range(extra_spans):
+        spans.append(
+            span_dict("phase.scan", f"{prefix}-extra{i}", f"{prefix}-engine", 3)
+        )
+    return {
+        "trace_id": trace_id,
+        "worker": worker,
+        "pid": pid,
+        "truncated": False,
+        "spans": spans,
+    }
+
+
+def names(node):
+    """Flatten a tree into {name: node} for structural assertions."""
+    out = {node["name"]: node}
+    for child in node["children"]:
+        out.update(names(child))
+    return out
+
+
+class TestStitching:
+    def test_fragments_reparent_under_their_rpc_spans(self):
+        collector = TraceCollector()
+        collector.add_fragment(make_fragment(worker=0, pid=100))
+        collector.add_fragment(make_fragment(worker=1, pid=101))
+        collector(front_trace(workers=(0, 1)))
+
+        record = collector.get(TRACE_ID)
+        assert record is not None
+        assert record["partial"] is False
+        assert record["truncated"] is False
+        assert record["n_spans"] == 4 + 6  # front spans + two fragments
+        assert sorted(w["worker"] for w in record["workers"]) == [0, 1]
+        assert sorted(w["pid"] for w in record["workers"]) == [100, 101]
+        assert all(w["matched"] for w in record["workers"])
+
+        tree = record["tree"]
+        assert tree["name"] == "request"
+        by_name = names(tree)
+        # the acceptance-criteria chain, both sides of the IPC boundary
+        for expected in (
+            "request",
+            "cluster.scatter",
+            "worker.rpc",
+            "worker.request",
+            "engine.maps",
+            "phase.scan",
+        ):
+            assert expected in by_name
+        scatter = by_name["cluster.scatter"]
+        assert [c["name"] for c in scatter["children"]] == [
+            "worker.rpc",
+            "worker.rpc",
+        ]
+        for rpc in scatter["children"]:
+            (worker_root,) = rpc["children"]
+            assert worker_root["name"] == "worker.request"
+            # per-worker attribution + reported (not corrected) skew
+            assert worker_root["attributes"]["worker"] == rpc[
+                "attributes"
+            ]["worker"]
+            assert isinstance(
+                worker_root["attributes"]["clock_skew_ms"], float
+            )
+
+    def test_missing_fragment_surfaces_as_partial(self):
+        collector = TraceCollector()
+        collector.add_fragment(make_fragment(worker=0))
+        collector(front_trace(workers=(0, 1)))  # worker 1 never reported
+        record = collector.get(TRACE_ID)
+        assert record["partial"] is True
+        assert [w["worker"] for w in record["workers"]] == [0]
+        assert collector.traces_partial == 1
+
+    def test_unmatched_fragment_attaches_to_front_root(self):
+        collector = TraceCollector()
+        collector.add_fragment(make_fragment(worker=7))  # no rpc span for 7
+        collector(front_trace(workers=(0,)))
+        record = collector.get(TRACE_ID)
+        assert collector.fragments_unmatched == 1
+        by_name = names(record["tree"])
+        assert by_name["worker.request"]["attributes"]["fleet_unmatched"]
+        # the rpc span for worker 0 stays unclaimed → partial
+        assert record["partial"] is True
+
+    def test_late_fragment_merges_into_stored_record(self):
+        collector = TraceCollector()
+        collector(front_trace(workers=(0,)))
+        assert collector.get(TRACE_ID)["partial"] is True
+        collector.add_fragment(make_fragment(worker=0))
+        record = collector.get(TRACE_ID)
+        assert record["partial"] is False
+        assert [w["worker"] for w in record["workers"]] == [0]
+
+    def test_no_worker_parity(self):
+        """A 0-worker deployment: same sink, same record shape, no workers."""
+        collector = TraceCollector()
+        root = make_span("request", route="GET /health", status=200)
+        child = make_span("engine.maps", span_id="child", parent_id="root")
+        collector(Trace(TRACE_ID, (root, child)))
+        record = collector.get(TRACE_ID)
+        assert record["workers"] == []
+        assert record["partial"] is False
+        assert record["tree"]["children"][0]["name"] == "engine.maps"
+
+    def test_search_filters(self):
+        collector = TraceCollector()
+        collector(front_trace("1" * 32, workers=()))
+        slow = front_trace("2" * 32, workers=(), duration_s=0.5)
+        collector(slow)
+        error = front_trace("3" * 32, workers=(), status=500)
+        error.spans[0].status = "error"
+        collector(error)
+
+        assert len(collector.search()) == 3
+        assert [t["trace_id"] for t in collector.search(limit=1)] == [
+            "3" * 32
+        ]  # most recent first
+        assert [t["trace_id"] for t in collector.search(min_ms=400.0)] == [
+            "2" * 32
+        ]
+        assert [t["trace_id"] for t in collector.search(status="error")] == [
+            "3" * 32
+        ]
+        assert len(collector.search(status="ok")) == 2
+        assert len(collector.search(op="maps")) == 3
+        assert collector.search(op="nowhere") == []
+        assert len(collector.search(dataset="synthetic")) == 3
+        assert collector.search(dataset="other") == []
+        assert collector.get("f" * 32) is None
+
+
+class TestTailSampler:
+    def test_always_keep_rules(self):
+        sampler = TailSampler(sample_rate=0.0, slow_ms=50.0)
+        keep = sampler.reason_to_keep
+        assert keep(TRACE_ID, 1.0, True, {}) == "error"
+        assert keep(TRACE_ID, 1.0, False, {"status": 503}) == "error"
+        assert keep(TRACE_ID, 1.0, False, {"shed": True}) == "shed"
+        assert keep(TRACE_ID, 1.0, False, {"degraded": True}) == "degraded"
+        assert keep(TRACE_ID, 60.0, False, {"status": 200}) == "slow"
+        assert keep(TRACE_ID, 1.0, False, {"status": 200}) is None
+
+    def test_burn_window_pins_everything(self):
+        sampler = TailSampler(sample_rate=0.0)
+        assert sampler.reason_to_keep(TRACE_ID, 1.0, False, {}) is None
+        sampler.pin_burn("steps")
+        assert sampler.reason_to_keep(TRACE_ID, 1.0, False, {}) == "burn"
+        sampler.unpin_burn("steps")
+        assert sampler.reason_to_keep(TRACE_ID, 1.0, False, {}) is None
+
+    def test_hash_sampling_is_deterministic_and_proportionate(self):
+        sampler = TailSampler(sample_rate=0.5)
+        ids = [f"{i:032x}" for i in range(2000)]
+        first = [sampler.reason_to_keep(t, 1.0, False, {}) for t in ids]
+        second = [sampler.reason_to_keep(t, 1.0, False, {}) for t in ids]
+        assert first == second  # same id → same decision, always
+        kept = sum(1 for r in first if r is not None)
+        assert 800 < kept < 1200  # ≈ half
+
+    def test_rate_validation_and_counters(self):
+        with pytest.raises(ValueError, match="sample_rate"):
+            TailSampler(sample_rate=1.5)
+        sampler = TailSampler(sample_rate=1.0)
+        sampler.record("sampled")
+        sampler.record(None)
+        counters = sampler.counters()
+        assert counters["kept"] == 1
+        assert counters["dropped"] == 1
+        assert counters["kept_by_reason"] == {"sampled": 1}
+
+    def test_collector_drops_unremarkable_traces(self):
+        collector = TraceCollector(sampler=TailSampler(sample_rate=0.0))
+        collector(front_trace("1" * 32, workers=()))
+        assert collector.get("1" * 32) is None
+        error = front_trace("2" * 32, workers=(), status=500)
+        error.spans[0].status = "error"
+        collector(error)
+        assert collector.get("2" * 32) is not None
+        counters = collector.counters()
+        assert counters["kept"] == 1
+        assert counters["dropped"] == 1
+
+
+class TestBudgets:
+    def test_count_eviction_is_oldest_first(self):
+        collector = TraceCollector(max_traces=2)
+        for i in range(4):
+            collector(front_trace(f"{i:032x}", workers=()))
+        assert len(collector) == 2
+        assert collector.get(f"{0:032x}") is None
+        assert collector.get(f"{3:032x}") is not None
+
+    def test_byte_budget_evicts_oldest(self):
+        one_record = len(
+            json.dumps(
+                TraceCollector()._assemble(
+                    front_trace(workers=()), [], "sampled"
+                )
+            )
+        )
+        collector = TraceCollector(max_traces=100, max_bytes=3 * one_record)
+        for i in range(10):
+            collector(front_trace(f"{i:032x}", workers=()))
+        assert len(collector) < 10
+        assert collector.counters()["stored_bytes"] <= 3 * one_record
+        assert collector.get(f"{9:032x}") is not None  # newest survives
+
+    def test_max_spans_truncates_with_marker(self):
+        collector = TraceCollector(max_spans_per_trace=3)
+        collector(front_trace(workers=(0, 1)))  # 4 front spans → truncated
+        record = collector.get(TRACE_ID)
+        assert record["truncated"] is True
+        assert collector.traces_truncated == 1
+
+    def test_fragment_truncation_marks_record(self):
+        collector = TraceCollector(max_spans_per_trace=4)
+        collector.add_fragment(make_fragment(worker=0, extra_spans=8))
+        collector(front_trace(workers=(0,)))
+        record = collector.get(TRACE_ID)
+        assert record["truncated"] is True
+        (worker_meta,) = record["workers"]
+        assert worker_meta["truncated"] is True
+        assert worker_meta["n_spans"] == 4
+
+    def test_pending_fragment_buffer_is_bounded(self):
+        collector = TraceCollector(pending_capacity=2)
+        for i in range(5):
+            collector.add_fragment(make_fragment(f"{i:032x}", worker=0))
+        assert collector.fragments_evicted >= 3
+        assert collector.counters()["pending_fragments"] <= 2
+
+
+class TestConcurrency:
+    def test_eight_thread_collect_search_exactness(self):
+        """8 threads collecting + searching concurrently lose nothing."""
+        collector = TraceCollector(max_traces=10_000)
+        per_thread = 50
+        errors: list[Exception] = []
+
+        def work(thread_index: int) -> None:
+            try:
+                for i in range(per_thread):
+                    trace_id = f"{thread_index:04x}{i:028x}"
+                    if thread_index % 2 == 0:
+                        collector.add_fragment(
+                            make_fragment(trace_id, worker=0)
+                        )
+                    collector(
+                        front_trace(
+                            trace_id,
+                            workers=(0,) if thread_index % 2 == 0 else (),
+                        )
+                    )
+                    # reads race the writes: they must never throw or
+                    # observe a half-assembled record
+                    found = collector.search(limit=5)
+                    assert len(found) <= 5
+                    record = collector.get(trace_id)
+                    assert record is not None
+                    assert record["trace_id"] == trace_id
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        total = 8 * per_thread
+        assert len(collector) == total
+        assert collector.counters()["kept"] == total
+        assert collector.counters()["dropped"] == 0
+        assert len(collector.search()) == total
+        for thread_index in range(8):
+            for i in range(per_thread):
+                trace_id = f"{thread_index:04x}{i:028x}"
+                record = collector.get(trace_id)
+                assert record is not None
+                if thread_index % 2 == 0:
+                    assert record["partial"] is False
+                    assert [w["worker"] for w in record["workers"]] == [0]
+
+
+class TestHelpers:
+    def test_dict_span_tree_attaches_orphans_to_root(self):
+        spans = [
+            {"span_id": "a", "parent_id": None, "name": "root",
+             "started_at": 1.0, "duration_ms": 10.0, "attributes": {}},
+            {"span_id": "b", "parent_id": "missing", "name": "orphan",
+             "started_at": 2.0, "duration_ms": 1.0, "attributes": {}},
+        ]
+        tree = dict_span_tree(spans)
+        assert tree["name"] == "root"
+        assert [c["name"] for c in tree["children"]] == ["orphan"]
+        assert dict_span_tree([]) == {}
+
+    def test_fragment_from_trace_truncates(self):
+        trace = front_trace(workers=(0, 1))
+        fragment = fragment_from_trace(trace, 3, 999, max_spans=2)
+        assert fragment["worker"] == 3
+        assert fragment["pid"] == 999
+        assert fragment["truncated"] is True
+        assert len(fragment["spans"]) == 2
+        assert fragment["spans"][0]["name"] == "request"
+
+    def test_thread_local_capture_isolated_per_thread(self):
+        capture = ThreadLocalTraceCapture()
+        capture(front_trace("1" * 32, workers=()))
+        seen_in_thread: list = []
+
+        def other():
+            seen_in_thread.append(capture.take())
+
+        thread = threading.Thread(target=other)
+        thread.start()
+        thread.join()
+        assert seen_in_thread == [None]  # other thread sees nothing
+        taken = capture.take()
+        assert taken is not None and taken.trace_id == "1" * 32
+        assert capture.take() is None  # consumed

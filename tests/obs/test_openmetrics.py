@@ -1,0 +1,229 @@
+"""OpenMetrics exposition: exemplars, escaping, EOF, parser round-trip."""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import (
+    Exemplar,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Span, Trace
+from repro.perf.spanstats import SpanStatsSink
+from repro.slo import SLOTracker
+
+TRACE_ID = "c0ffee" + "0" * 26
+
+
+# -- a minimal OpenMetrics line parser, used to validate real scrapes ---------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*?)\})?"
+    r" (?P<value>[^ #]+)"
+    r"(?: # \{(?P<exlabels>.*?)\} (?P<exvalue>[^ ]+)(?: (?P<exts>[^ ]+))?)?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace(r"\"", '"').replace(r"\n", "\n").replace(r"\\", "\\")
+    )
+
+
+def _parse_labels(raw: str | None) -> dict[str, str]:
+    if not raw:
+        return {}
+    return {name: _unescape(value) for name, value in _LABEL_RE.findall(raw)}
+
+
+def parse_openmetrics(text: str):
+    """Parse an OpenMetrics exposition into (samples, types).
+
+    Samples are ``(name, labels, value, exemplar-or-None)`` tuples where
+    an exemplar is ``(labels, value)``.  Asserts structural validity:
+    mandatory ``# EOF`` terminator and parseable sample lines.
+    """
+    assert text.endswith("\n# EOF\n"), "missing OpenMetrics EOF terminator"
+    samples = []
+    types: dict[str, str] = {}
+    for line in text.splitlines():
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            __, __, name, kind = line.split(" ", 3)
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP
+        match = _SAMPLE_RE.match(line)
+        assert match is not None, f"unparseable sample line: {line!r}"
+        exemplar = None
+        if match.group("exlabels") is not None:
+            exemplar = (
+                _parse_labels(match.group("exlabels")),
+                float(match.group("exvalue")),
+            )
+        samples.append(
+            (
+                match.group("name"),
+                _parse_labels(match.group("labels")),
+                float(match.group("value")),
+                exemplar,
+            )
+        )
+    return samples, types
+
+
+def make_trace(name="engine.maps", duration_s=0.03, trace_id=TRACE_ID):
+    span = Span(name, trace_id, "root", None, {})
+    span.end = span.start + duration_s
+    return Trace(trace_id, (span,))
+
+
+class TestExemplarRendering:
+    def test_render_with_and_without_timestamp(self):
+        bare = Exemplar({"trace_id": "abc"}, 0.093)
+        assert bare.render() == '# {trace_id="abc"} 0.093'
+        stamped = Exemplar({"trace_id": "abc"}, 0.093, 1690000000.1234)
+        assert stamped.render() == '# {trace_id="abc"} 0.093 1690000000.123'
+
+    def test_label_values_escaped(self):
+        exemplar = Exemplar({"trace_id": 'a"b\\c\nd'}, 1.0)
+        assert exemplar.render() == '# {trace_id="a\\"b\\\\c\\nd"} 1'
+
+    def test_exemplars_only_on_bucket_lines(self):
+        family = MetricFamily("subdex_x_seconds", "histogram")
+        exemplar = Exemplar({"trace_id": "t1"}, 0.5)
+        family.add(3, suffix="_bucket", exemplar=exemplar, le="1")
+        family.add(0.7, suffix="_sum", exemplar=exemplar)  # must not render
+        family.add(3, suffix="_count", exemplar=exemplar)  # must not render
+        text = family.render(openmetrics=True)
+        lines = text.splitlines()
+        assert 'subdex_x_seconds_bucket{le="1"} 3 # {trace_id="t1"} 0.5' in lines
+        assert "subdex_x_seconds_sum 0.7" in lines
+        assert "subdex_x_seconds_count 3" in lines
+        assert text.count("# {") == 1
+
+    def test_classic_rendering_never_carries_exemplars(self):
+        family = MetricFamily("subdex_x_seconds", "histogram")
+        family.add(
+            3, suffix="_bucket", exemplar=Exemplar({"trace_id": "t1"}, 0.5),
+            le="1",
+        )
+        assert "# {" not in family.render()  # openmetrics=False default
+
+
+class TestRegistryRenderings:
+    def make_registry(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "subdex_events_total", "Events.", labelnames=("event",)
+        )
+        counter.inc(event='weird "value"\nwith\\escapes')
+        histogram = registry.histogram(
+            "subdex_latency_seconds", "Latency.", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05)
+        return registry
+
+    def test_openmetrics_has_eof_and_prometheus_does_not(self):
+        registry = self.make_registry()
+        openmetrics = registry.render_openmetrics()
+        classic = registry.render_prometheus()
+        assert openmetrics.endswith("\n# EOF\n")
+        assert "# EOF" not in classic
+        # bodies agree when no exemplars are present
+        assert openmetrics == classic.rstrip("\n") + "\n# EOF\n"
+
+    def test_parser_round_trip_with_escaped_labels(self):
+        samples, types = parse_openmetrics(
+            self.make_registry().render_openmetrics()
+        )
+        assert types["subdex_events_total"] == "counter"
+        assert types["subdex_latency_seconds"] == "histogram"
+        by_name: dict[str, list] = {}
+        for name, labels, value, exemplar in samples:
+            by_name.setdefault(name, []).append((labels, value, exemplar))
+        ((labels, value, __),) = by_name["subdex_events_total"]
+        assert labels == {"event": 'weird "value"\nwith\\escapes'}
+        assert value == 1.0
+        buckets = [
+            (labels["le"], value)
+            for labels, value, __ in by_name["subdex_latency_seconds_bucket"]
+        ]
+        assert buckets == [("0.1", 1.0), ("1", 1.0), ("+Inf", 1.0)]
+
+
+class TestSpanStatsExemplars:
+    def test_bucket_exemplars_carry_trace_ids(self):
+        sink = SpanStatsSink()
+        sink(make_trace(duration_s=0.03, trace_id="1" * 32))
+        sink(make_trace(duration_s=0.3, trace_id="2" * 32))
+        registry = MetricsRegistry()
+        registry.register_collector(sink.collect)
+        samples, __ = parse_openmetrics(registry.render_openmetrics())
+        exemplars = {
+            labels["le"]: exemplar
+            for name, labels, __, exemplar in samples
+            if name == "subdex_span_seconds_bucket" and exemplar is not None
+        }
+        assert exemplars, "no exemplars on span histogram buckets"
+        trace_ids = {labels["trace_id"] for labels, __ in exemplars.values()}
+        assert trace_ids == {"1" * 32, "2" * 32}
+        for labels, value in exemplars.values():
+            assert set(labels) == {"trace_id"}
+            assert value > 0.0
+
+    def test_non_bucket_samples_have_no_exemplars(self):
+        sink = SpanStatsSink()
+        sink(make_trace())
+        registry = MetricsRegistry()
+        registry.register_collector(sink.collect)
+        for name, __, __, exemplar in parse_openmetrics(
+            registry.render_openmetrics()
+        )[0]:
+            if not name.endswith("_bucket"):
+                assert exemplar is None, name
+
+
+class TestSLOExemplars:
+    def test_ingest_records_bucket_exemplars(self):
+        tracker = SLOTracker()
+        tracker.ingest(
+            "GET /sessions/{id}/maps", 200, 0.02, trace_id="a" * 32
+        )
+        tracker.ingest(
+            "GET /sessions/{id}/maps", 200, 0.02
+        )  # untraced: no exemplar churn
+        registry = MetricsRegistry()
+        registry.register_collector(tracker.collect)
+        samples, __ = parse_openmetrics(registry.render_openmetrics())
+        exemplars = [
+            exemplar
+            for name, __, __, exemplar in samples
+            if name == "subdex_slo_request_seconds_bucket"
+            and exemplar is not None
+        ]
+        assert len(exemplars) == 1
+        labels, value = exemplars[0]
+        assert labels == {"trace_id": "a" * 32}
+        assert value == 0.02
+
+    def test_burn_events_carry_notable_trace_ids(self):
+        events: list[dict] = []
+        tracker = SLOTracker(on_event=events.append)
+        # errors with trace ids: notable, and enough to trip the fast window
+        for i in range(300):
+            tracker.ingest(
+                "GET /sessions/{id}/maps", 500, 0.01,
+                trace_id=f"{i:032x}",
+            )
+        assert events, "expected a burn-rate event"
+        exemplars = events[0]["exemplars"]
+        assert 0 < len(exemplars) <= 8
+        assert all(re.fullmatch(r"[0-9a-f]{32}", t) for t in exemplars)
+        assert exemplars == events[0]["exemplars"][-len(exemplars):]
+        assert tracker.recent_events()[0]["exemplars"] == exemplars

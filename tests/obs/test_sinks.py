@@ -114,6 +114,117 @@ class TestJsonlTraceSink:
         assert tracer.traces_recorded == 1
 
 
+class TestRingBudgets:
+    def make_fat_trace(self, padding=2048, **attributes):
+        return make_trace(payload="x" * padding, **attributes)
+
+    def test_byte_budget_evicts_oldest(self):
+        one = self.make_fat_trace()
+        one_size = len(json.dumps(one.to_dict(), default=str))
+        ring = TraceRingBuffer(capacity=100, max_bytes=3 * one_size)
+        for i in range(10):
+            ring(self.make_fat_trace(index=i))
+        assert len(ring) < 10
+        assert ring.stored_bytes <= 3 * one_size
+        assert ring.traces_evicted_bytes >= 1
+        # newest survives, oldest went first
+        indices = [
+            t["spans"][0]["attributes"]["index"] for t in ring.snapshot()
+        ]
+        assert indices[0] == 9
+        assert indices == sorted(indices, reverse=True)
+
+    def test_byte_budget_never_empties_the_ring(self):
+        ring = TraceRingBuffer(capacity=10, max_bytes=1)
+        ring(self.make_fat_trace())
+        assert len(ring) == 1  # a single over-budget trace is kept
+
+    def test_span_truncation_marks_snapshot(self):
+        ring = TraceRingBuffer(max_spans_per_trace=3)
+        tracer = Tracer(enabled=True)
+        tracer.add_sink(ring)
+        with tracer.span("request"):
+            for i in range(6):
+                with tracer.span("phase.scan", index=i):
+                    pass
+        (snap,) = ring.snapshot()
+        assert snap["truncated"] is True
+        assert len(snap["spans"]) == 3
+        assert snap["spans"][0]["name"] == "request"  # root kept
+        assert ring.traces_truncated == 1
+
+    def test_untruncated_snapshot_has_no_marker(self):
+        ring = TraceRingBuffer(max_spans_per_trace=8)
+        ring(make_trace())
+        (snap,) = ring.snapshot()
+        assert "truncated" not in snap
+        assert ring.traces_truncated == 0
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            TraceRingBuffer(max_bytes=0)
+        with pytest.raises(ValueError, match="max_spans_per_trace"):
+            TraceRingBuffer(max_spans_per_trace=0)
+
+
+class TestJsonlRotation:
+    def fill(self, sink, n, padding=512):
+        for _ in range(n):
+            sink(make_trace(payload="x" * padding))
+
+    def test_rotation_shifts_generations(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        # ~600-byte lines, 1 KiB budget → rotate roughly every other trace
+        sink = JsonlTraceSink(str(path), max_mb=1024 / (1024 * 1024))
+        self.fill(sink, 12)
+        sink.close()
+        assert sink.rotations >= 3
+        assert path.exists()
+        for gen in (1, 2, 3):
+            assert (tmp_path / f"trace.jsonl.{gen}").exists()
+        assert not (tmp_path / "trace.jsonl.4").exists()  # oldest deleted
+        # every surviving line is intact JSON: rotation never splits a line
+        total = 0
+        for name in ("trace.jsonl", "trace.jsonl.1", "trace.jsonl.2",
+                     "trace.jsonl.3"):
+            for line in (tmp_path / name).read_text().splitlines():
+                json.loads(line)
+                total += 1
+        assert total <= 12
+        assert sink.traces_written == 12
+
+    def test_no_rotation_without_budget(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(str(path))
+        self.fill(sink, 20)
+        sink.close()
+        assert sink.rotations == 0
+        assert not (tmp_path / "trace.jsonl.1").exists()
+        assert len(path.read_text().splitlines()) == 20
+
+    def test_budget_counts_preexisting_bytes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("x" * 900 + "\n")  # from a previous process
+        sink = JsonlTraceSink(str(path), max_mb=1024 / (1024 * 1024))
+        self.fill(sink, 1)
+        sink.close()
+        assert sink.rotations == 1  # rotated before the first write
+        assert (tmp_path / "trace.jsonl.1").read_text().startswith("x")
+
+    def test_single_oversized_line_still_written(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(str(path), max_mb=1 / (1024 * 1024))  # 1 byte
+        self.fill(sink, 1)
+        sink.close()
+        assert len(path.read_text().splitlines()) == 1  # never dropped
+
+    def test_parameter_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_mb"):
+            JsonlTraceSink(str(tmp_path / "t.jsonl"), max_mb=0)
+        with pytest.raises(ValueError, match="generations"):
+            JsonlTraceSink(str(tmp_path / "t.jsonl"), generations=0)
+
+
 class TestSlowTraceLog:
     def test_slow_traces_logged_with_tree(self, caplog):
         sink = SlowTraceLog(threshold_ms=0.0, logger=logging.getLogger("t"))

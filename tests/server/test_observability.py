@@ -205,3 +205,114 @@ class TestTraceFileSink:
             for line in lines
         ]
         assert routes == ["GET /health", "GET /sessions"]
+
+
+class TestTraceSearchEndpoint:
+    """0-worker ``/debug/traces`` search + full-tree fetch parity."""
+
+    def test_filters_and_full_tree_fetch(self, client):
+        client.health()
+        session = client.create_session()
+        client.request("GET", f"/sessions/{session.id}/maps")
+
+        hits = client.traces(op="maps")
+        assert hits["returned"] >= 1
+        hit = hits["traces"][0]
+        assert hit["route"] == "GET /sessions/{id}/maps"
+
+        record = client.trace(hit["trace_id"])
+        assert record["trace_id"] == hit["trace_id"]
+        assert record["workers"] == []  # no fleet, same record shape
+        assert record["partial"] is False
+        assert record["tree"]["name"] == "request"
+        assert record["tree"]["attributes"]["route"] == hit["route"]
+
+    def test_dataset_and_status_filters(self, client):
+        client.create_session()
+        assert client.traces(dataset="tiny")["returned"] >= 1
+        assert client.traces(dataset="elsewhere")["returned"] == 0
+        assert client.traces(status="error")["returned"] == 0
+        assert client.traces(status="ok")["returned"] >= 1
+        assert client.traces(status="201")["returned"] >= 1
+
+    def test_sampling_counters_exposed(self, client):
+        client.health()
+        sampling = client.traces()["sampling"]
+        assert sampling["kept"] >= 1
+        assert sampling["dropped"] == 0
+        assert sampling["sample_rate"] == 1.0
+        assert "kept_by_reason" in sampling
+
+    def test_invalid_status_filter_400(self, client):
+        with pytest.raises(ServerError) as exc:
+            client.request(
+                "GET", "/debug/traces", query={"status": "teapot"}
+            )
+        assert exc.value.status == 400
+
+    def test_unknown_trace_404(self, client):
+        with pytest.raises(ServerError) as exc:
+            client.trace("0" * 32)
+        assert exc.value.status == 404
+        assert exc.value.code == "unknown_trace"
+
+    def test_sampled_out_traces_are_absent(self, make_server):
+        server = make_server(trace_sample_rate=0.0)
+        with SubDExClient(server.url) as client:
+            client.health()
+            trace_id = client.last_trace_id
+            with pytest.raises(ServerError) as exc:
+                client.trace(trace_id)
+            assert exc.value.status == 404
+            sampling = client.traces()["sampling"]
+            assert sampling["dropped"] >= 1
+
+
+class TestOpenMetricsFormat:
+    def test_openmetrics_content_type_and_eof(self, client, server):
+        client.health()
+        status, headers, body = raw_get(
+            server, "/metrics?format=openmetrics"
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith(
+            "application/openmetrics-text"
+        )
+        text = body.decode()
+        assert text.endswith("\n# EOF\n")
+        assert "# TYPE subdex_requests_total counter" in text
+
+    def test_prometheus_format_carries_exemplars(self, client, server):
+        client.create_session()
+        __, __, body = raw_get(server, "/metrics?format=prometheus")
+        text = body.decode()
+        assert '} # {trace_id="' not in text  # exemplars have values too
+        assert '# {trace_id="' in text
+        # exemplars appear only on _bucket sample lines
+        for line in text.splitlines():
+            if '# {trace_id="' in line:
+                assert "_bucket{" in line
+
+    def test_collector_counters_in_scrape(self, client, server):
+        client.health()
+        __, __, body = raw_get(server, "/metrics?format=prometheus")
+        text = body.decode()
+        assert 'subdex_traces{kind="collect_kept"}' in text
+        assert 'subdex_traces{kind="collect_stored"}' in text
+
+
+class TestTraceFileRotation:
+    def test_server_rotates_trace_file(self, tmp_path, make_server):
+        path = tmp_path / "traces.jsonl"
+        server = make_server(
+            trace_file=str(path),
+            trace_file_max_mb=2048 / (1024 * 1024),  # 2 KiB budget
+        )
+        with SubDExClient(server.url) as client:
+            for _ in range(30):
+                client.health()
+        assert server.trace_file_sink.rotations >= 1
+        assert path.exists()
+        assert (tmp_path / "traces.jsonl.1").exists()
+        for line in path.read_text().splitlines():
+            json.loads(line)  # rotation never tears a line
